@@ -1,0 +1,474 @@
+//! Application archetypes used throughout the experiments.
+//!
+//! Three synthetic codes with distinct bottleneck signatures, standing in
+//! for the real T3E workloads the paper's tool analyzed:
+//!
+//! * [`stencil3d`] — a well-balanced halo-exchange stencil solver: small
+//!   serial fraction, neighbor point-to-point traffic, one global residual
+//!   reduction per iteration. Scales well; its eventual bottleneck is the
+//!   collective and the replicated setup code.
+//! * [`particle_mc`] — a particle Monte-Carlo code with strong random load
+//!   imbalance resolved at explicit barriers: the textbook `SyncCost` /
+//!   `LoadImbalance` case of §4.2.
+//! * [`spectral_io`] — a spectral transform code with all-to-all transposes
+//!   and heavy checkpoint I/O on a shared filesystem: collective and I/O
+//!   bound at scale.
+//!
+//! All three have a `main` function whose root region is the COSY ranking
+//! basis, plus a few numerical subroutines.
+
+use crate::program::{
+    CallModel, CommProfile, FunctionModel, ProgramModel, RegionNode, SkewPattern, Workload,
+};
+use perfdata::{RegionKind, TimingType};
+
+fn region(
+    kind: RegionKind,
+    name: &str,
+    lines: (u32, u32),
+    workload: Workload,
+    children: Vec<RegionNode>,
+    calls: Vec<CallModel>,
+) -> RegionNode {
+    RegionNode {
+        kind,
+        name: name.to_string(),
+        lines,
+        workload,
+        children,
+        calls,
+    }
+}
+
+fn barrier_call(count_per_pass: f64) -> CallModel {
+    CallModel {
+        callee: "barrier".to_string(),
+        count_per_pass,
+        count_imbalance: 0.0,
+    }
+}
+
+/// A well-balanced 3-D stencil solver (halo exchange + residual reduction).
+pub fn stencil3d(seed: u64) -> ProgramModel {
+    let sweep = region(
+        RegionKind::Loop,
+        "smooth:loop@31",
+        (31, 58),
+        Workload {
+            passes: 400,
+            serial_work: 0.0,
+            parallel_work: 0.045,
+            imbalance: 0.03,
+            skew: SkewPattern::Random,
+            comm: CommProfile::none(),
+        },
+        vec![],
+        vec![],
+    );
+    let halo = region(
+        RegionKind::BasicBlock,
+        "smooth:block@60",
+        (60, 74),
+        Workload {
+            passes: 400,
+            serial_work: 0.0,
+            parallel_work: 0.002,
+            imbalance: 0.0,
+            skew: SkewPattern::Random,
+            comm: CommProfile {
+                ptp_msgs: 6.0, // six faces of the local block
+                ptp_bytes: 8.0 * 1024.0,
+                ..CommProfile::none()
+            },
+        },
+        vec![],
+        vec![],
+    );
+    let residual = region(
+        RegionKind::BasicBlock,
+        "smooth:block@76",
+        (76, 82),
+        Workload {
+            passes: 400,
+            serial_work: 0.0,
+            parallel_work: 0.004,
+            imbalance: 0.02,
+            skew: SkewPattern::Random,
+            comm: CommProfile {
+                collectives: 1.0,
+                collective_bytes: 8.0,
+                collective_kind: Some(TimingType::AllReduce),
+                ..CommProfile::none()
+            },
+        },
+        vec![],
+        vec![CallModel {
+            callee: "global_sum".to_string(),
+            count_per_pass: 1.0,
+            count_imbalance: 0.0,
+        }],
+    );
+    let smooth_root = region(
+        RegionKind::Subprogram,
+        "smooth",
+        (20, 90),
+        Workload::empty(),
+        vec![sweep, halo, residual],
+        vec![],
+    );
+
+    let setup = region(
+        RegionKind::BasicBlock,
+        "main:block@12",
+        (12, 30),
+        Workload {
+            passes: 1,
+            serial_work: 0.08, // replicated grid setup: an unmeasured cost
+            parallel_work: 1.2,
+            imbalance: 0.0,
+            skew: SkewPattern::Random,
+            comm: CommProfile::none(),
+        },
+        vec![],
+        vec![],
+    );
+    let output = region(
+        RegionKind::BasicBlock,
+        "main:block@95",
+        (95, 105),
+        Workload {
+            passes: 1,
+            serial_work: 0.0,
+            parallel_work: 0.01,
+            imbalance: 0.0,
+            skew: SkewPattern::Random,
+            comm: CommProfile {
+                io_ops: 4.0,
+                io_bytes: 0.2e6,
+                io_read_fraction: 0.0,
+                ..CommProfile::none()
+            },
+        },
+        vec![],
+        vec![],
+    );
+    let main_root = region(
+        RegionKind::Subprogram,
+        "main",
+        (1, 110),
+        Workload::empty(),
+        vec![setup, output],
+        vec![],
+    );
+
+    ProgramModel {
+        name: "stencil3d".to_string(),
+        seed,
+        functions: vec![
+            FunctionModel {
+                name: "main".to_string(),
+                root: main_root,
+            },
+            FunctionModel {
+                name: "smooth".to_string(),
+                root: smooth_root,
+            },
+        ],
+        runtime_routines: vec!["barrier".to_string(), "global_sum".to_string()],
+    }
+}
+
+/// A particle Monte-Carlo code with strong random imbalance at barriers.
+pub fn particle_mc(seed: u64) -> ProgramModel {
+    let move_particles = region(
+        RegionKind::Loop,
+        "step:loop@22",
+        (22, 47),
+        Workload {
+            passes: 250,
+            serial_work: 0.0,
+            parallel_work: 0.08,
+            imbalance: 0.45, // strong clustering
+            skew: SkewPattern::Random,
+            comm: CommProfile {
+                barriers: 1.0,
+                ..CommProfile::none()
+            },
+        },
+        vec![],
+        vec![barrier_call(1.0)],
+    );
+    let tally = region(
+        RegionKind::BasicBlock,
+        "step:block@50",
+        (50, 61),
+        Workload {
+            passes: 250,
+            serial_work: 0.0,
+            parallel_work: 0.006,
+            imbalance: 0.05,
+            skew: SkewPattern::Random,
+            comm: CommProfile {
+                collectives: 1.0,
+                collective_bytes: 4096.0,
+                collective_kind: Some(TimingType::Reduce),
+                ..CommProfile::none()
+            },
+        },
+        vec![],
+        vec![],
+    );
+    let step_root = region(
+        RegionKind::Subprogram,
+        "step",
+        (15, 70),
+        Workload::empty(),
+        vec![move_particles, tally],
+        vec![],
+    );
+
+    let source_gen = region(
+        RegionKind::BasicBlock,
+        "main:block@8",
+        (8, 18),
+        Workload {
+            passes: 1,
+            serial_work: 0.4,
+            parallel_work: 0.8,
+            imbalance: 0.1,
+            skew: SkewPattern::SingleHot,
+            comm: CommProfile {
+                barriers: 1.0,
+                ..CommProfile::none()
+            },
+        },
+        vec![],
+        vec![barrier_call(1.0)],
+    );
+    let main_root = region(
+        RegionKind::Subprogram,
+        "main",
+        (1, 90),
+        Workload::empty(),
+        vec![source_gen],
+        vec![],
+    );
+
+    ProgramModel {
+        name: "particle_mc".to_string(),
+        seed,
+        functions: vec![
+            FunctionModel {
+                name: "main".to_string(),
+                root: main_root,
+            },
+            FunctionModel {
+                name: "step".to_string(),
+                root: step_root,
+            },
+        ],
+        runtime_routines: vec!["barrier".to_string()],
+    }
+}
+
+/// A spectral transform code: all-to-all transposes + checkpoint I/O.
+pub fn spectral_io(seed: u64) -> ProgramModel {
+    let fft = region(
+        RegionKind::Loop,
+        "transform:loop@18",
+        (18, 39),
+        Workload {
+            passes: 120,
+            serial_work: 0.001,
+            parallel_work: 0.11,
+            imbalance: 0.04,
+            skew: SkewPattern::Random,
+            comm: CommProfile::none(),
+        },
+        vec![],
+        vec![],
+    );
+    let transpose = region(
+        RegionKind::BasicBlock,
+        "transform:block@41",
+        (41, 52),
+        Workload {
+            passes: 120,
+            serial_work: 0.0,
+            parallel_work: 0.004,
+            imbalance: 0.0,
+            skew: SkewPattern::Random,
+            comm: CommProfile {
+                collectives: 2.0,
+                collective_bytes: 256.0 * 1024.0,
+                collective_kind: Some(TimingType::AllToAll),
+                ..CommProfile::none()
+            },
+        },
+        vec![],
+        vec![CallModel {
+            callee: "transpose".to_string(),
+            count_per_pass: 2.0,
+            count_imbalance: 0.0,
+        }],
+    );
+    let transform_root = region(
+        RegionKind::Subprogram,
+        "transform",
+        (10, 60),
+        Workload::empty(),
+        vec![fft, transpose],
+        vec![],
+    );
+
+    let checkpoint = region(
+        RegionKind::IfBlock,
+        "main:if@33",
+        (33, 44),
+        Workload {
+            passes: 12,
+            serial_work: 0.002,
+            parallel_work: 0.002,
+            imbalance: 0.0,
+            skew: SkewPattern::Random,
+            comm: CommProfile {
+                io_ops: 8.0,
+                io_bytes: 4e6,
+                io_read_fraction: 0.1,
+                ..CommProfile::none()
+            },
+        },
+        vec![],
+        vec![CallModel {
+            callee: "checkpoint".to_string(),
+            count_per_pass: 1.0,
+            count_imbalance: 0.0,
+        }],
+    );
+    let init_read = region(
+        RegionKind::BasicBlock,
+        "main:block@9",
+        (9, 20),
+        Workload {
+            passes: 1,
+            serial_work: 0.15,
+            parallel_work: 0.05,
+            imbalance: 0.0,
+            skew: SkewPattern::Random,
+            comm: CommProfile {
+                io_ops: 16.0,
+                io_bytes: 8e6,
+                io_read_fraction: 1.0,
+                ..CommProfile::none()
+            },
+        },
+        vec![],
+        vec![],
+    );
+    let main_root = region(
+        RegionKind::Subprogram,
+        "main",
+        (1, 80),
+        Workload::empty(),
+        vec![init_read, checkpoint],
+        vec![],
+    );
+
+    ProgramModel {
+        name: "spectral_io".to_string(),
+        seed,
+        functions: vec![
+            FunctionModel {
+                name: "main".to_string(),
+                root: main_root,
+            },
+            FunctionModel {
+                name: "transform".to_string(),
+                root: transform_root,
+            },
+        ],
+        runtime_routines: vec![
+            "barrier".to_string(),
+            "transpose".to_string(),
+            "checkpoint".to_string(),
+        ],
+    }
+}
+
+/// All three archetypes with the given seed.
+pub fn all(seed: u64) -> Vec<ProgramModel> {
+    vec![stencil3d(seed), particle_mc(seed), spectral_io(seed)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineModel;
+    use crate::summary::simulate_program;
+    use perfdata::{validate, OverheadCategory, Store};
+
+    fn dominant_category(model: &ProgramModel, no_pe: u32) -> OverheadCategory {
+        let machine = MachineModel::t3e_900();
+        let mut store = Store::new();
+        simulate_program(&mut store, model, &machine, &[no_pe]);
+        let mut per_cat: std::collections::HashMap<OverheadCategory, f64> = Default::default();
+        for t in &store.typed_timings {
+            if t.ty.category() != OverheadCategory::Runtime {
+                *per_cat.entry(t.ty.category()).or_default() += t.time;
+            }
+        }
+        per_cat
+            .into_iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap()
+            .0
+    }
+
+    #[test]
+    fn all_archetypes_produce_valid_stores() {
+        for model in all(3) {
+            let machine = MachineModel::t3e_900();
+            let mut store = Store::new();
+            simulate_program(&mut store, &model, &machine, &[1, 8]);
+            let v = validate(&store);
+            assert!(v.is_empty(), "{}: {v:?}", model.name);
+        }
+    }
+
+    #[test]
+    fn particle_mc_is_synchronization_bound() {
+        assert_eq!(
+            dominant_category(&particle_mc(7), 32),
+            OverheadCategory::Synchronization
+        );
+    }
+
+    #[test]
+    fn spectral_io_is_io_or_collective_bound_at_scale() {
+        let cat = dominant_category(&spectral_io(7), 64);
+        assert!(
+            matches!(cat, OverheadCategory::Io | OverheadCategory::Collective),
+            "unexpected dominant category {cat:?}"
+        );
+    }
+
+    #[test]
+    fn stencil_scales_better_than_particle() {
+        let machine = MachineModel::t3e_900();
+        let lost = |model: &ProgramModel| {
+            let mut store = Store::new();
+            let v = simulate_program(&mut store, model, &machine, &[1, 32]);
+            let main = store.main_region(v).unwrap();
+            let runs = store.versions[v.index()].runs.clone();
+            let d1 = store.duration(main, runs[0]).unwrap();
+            let d32 = store.duration(main, runs[1]).unwrap();
+            (d32 - d1) / d1
+        };
+        let stencil_loss = lost(&stencil3d(3));
+        let particle_loss = lost(&particle_mc(3));
+        assert!(
+            particle_loss > stencil_loss * 1.5,
+            "stencil {stencil_loss} vs particle {particle_loss}"
+        );
+    }
+}

@@ -1,0 +1,199 @@
+//! Machine model: per-operation costs of the simulated parallel computer.
+//!
+//! Defaults approximate the Cray T3E-900 installed at FZ Jülich when the
+//! paper was written (450 MHz Alpha EV5 processors, ~3D torus with very low
+//! latency, hardware barrier support, a shared parallel filesystem).
+//! Absolute values matter less than their relative magnitudes: the
+//! reproduced experiments compare *shapes* (who wins, how costs scale with
+//! the processor count), not absolute seconds.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-operation cost parameters of the simulated machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineModel {
+    /// Processor clock speed in MHz (stored in `TestRun.Clockspeed`).
+    pub clockspeed_mhz: u32,
+    /// Point-to-point message latency in seconds.
+    pub ptp_latency: f64,
+    /// Point-to-point bandwidth in bytes/second.
+    pub ptp_bandwidth: f64,
+    /// Base cost of one barrier operation in seconds (hardware barrier).
+    pub barrier_base: f64,
+    /// Additional barrier cost per log2(PE) level in seconds.
+    pub barrier_per_level: f64,
+    /// Latency per collective stage in seconds.
+    pub collective_latency: f64,
+    /// Collective bandwidth in bytes/second (per stage).
+    pub collective_bandwidth: f64,
+    /// One-sided (SHMEM) operation latency in seconds.
+    pub shmem_latency: f64,
+    /// One-sided bandwidth in bytes/second.
+    pub shmem_bandwidth: f64,
+    /// Per-operation I/O latency in seconds (metadata, seeks).
+    pub io_latency: f64,
+    /// Aggregate filesystem bandwidth in bytes/second, shared by all PEs
+    /// (contention makes per-PE effective bandwidth shrink with PE count).
+    pub io_bandwidth: f64,
+    /// Cost of packing/unpacking one byte of message buffer, in seconds.
+    pub pack_cost_per_byte: f64,
+    /// Instrumentation (monitoring) overhead per region pass, in seconds.
+    /// Apprentice records this separately so tools can subtract it.
+    pub instr_per_pass: f64,
+    /// Runtime startup cost in seconds (charged to the main region, grows
+    /// logarithmically with the PE count).
+    pub startup_base: f64,
+    /// Runtime shutdown cost in seconds.
+    pub shutdown_base: f64,
+    /// Memory-contention slowdown coefficient: compute time is inflated by
+    /// `1 + coeff * ln(PE)` to model shared-resource pressure. This is an
+    /// *unmeasured* cost — it appears in no overhead category, exactly the
+    /// kind of cost the paper's `UnmeasuredCost` property flags.
+    pub contention_coeff: f64,
+}
+
+impl MachineModel {
+    /// A Cray T3E-900-like machine (450 MHz).
+    pub fn t3e_900() -> Self {
+        MachineModel {
+            clockspeed_mhz: 450,
+            ptp_latency: 10e-6,
+            ptp_bandwidth: 300e6,
+            barrier_base: 3e-6,
+            barrier_per_level: 0.5e-6,
+            collective_latency: 12e-6,
+            collective_bandwidth: 250e6,
+            shmem_latency: 2e-6,
+            shmem_bandwidth: 350e6,
+            io_latency: 250e-6,
+            io_bandwidth: 120e6,
+            pack_cost_per_byte: 1.2e-9,
+            instr_per_pass: 1.5e-6,
+            startup_base: 0.01,
+            shutdown_base: 0.004,
+            contention_coeff: 0.004,
+        }
+    }
+
+    /// A machine with zero overhead costs — useful in tests to isolate the
+    /// compute/imbalance model.
+    pub fn ideal() -> Self {
+        MachineModel {
+            clockspeed_mhz: 450,
+            ptp_latency: 0.0,
+            ptp_bandwidth: f64::INFINITY,
+            barrier_base: 0.0,
+            barrier_per_level: 0.0,
+            collective_latency: 0.0,
+            collective_bandwidth: f64::INFINITY,
+            shmem_latency: 0.0,
+            shmem_bandwidth: f64::INFINITY,
+            io_latency: 0.0,
+            io_bandwidth: f64::INFINITY,
+            pack_cost_per_byte: 0.0,
+            instr_per_pass: 0.0,
+            startup_base: 0.0,
+            shutdown_base: 0.0,
+            contention_coeff: 0.0,
+        }
+    }
+
+    /// Cost of one point-to-point message of `bytes` bytes.
+    pub fn ptp_cost(&self, bytes: f64) -> f64 {
+        self.ptp_latency + bytes / self.ptp_bandwidth
+    }
+
+    /// Cost of one barrier across `pe` processors.
+    pub fn barrier_cost(&self, pe: u32) -> f64 {
+        self.barrier_base + self.barrier_per_level * log2_ceil(pe)
+    }
+
+    /// Cost of one collective of `bytes` bytes across `pe` processors
+    /// (log-tree algorithm; zero stages on a single PE).
+    pub fn collective_cost(&self, bytes: f64, pe: u32) -> f64 {
+        log2_ceil(pe) * (self.collective_latency + bytes / self.collective_bandwidth)
+    }
+
+    /// Cost of one one-sided operation of `bytes` bytes.
+    pub fn shmem_cost(&self, bytes: f64) -> f64 {
+        self.shmem_latency + bytes / self.shmem_bandwidth
+    }
+
+    /// Per-PE time to move `bytes_per_pe` bytes of file data when `pe`
+    /// processors share the filesystem, plus `ops` operation latencies.
+    pub fn io_cost(&self, bytes_per_pe: f64, ops: f64, pe: u32) -> f64 {
+        ops * self.io_latency + bytes_per_pe * pe as f64 / self.io_bandwidth
+    }
+
+    /// Compute-time inflation factor from memory contention at `pe` PEs.
+    pub fn contention_factor(&self, pe: u32) -> f64 {
+        1.0 + self.contention_coeff * (pe as f64).ln()
+    }
+}
+
+/// `ceil(log2(pe))` as f64, with `log2_ceil(1) == 0`.
+pub fn log2_ceil(pe: u32) -> f64 {
+    if pe <= 1 {
+        0.0
+    } else {
+        (32 - (pe - 1).leading_zeros()) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_ceil_values() {
+        assert_eq!(log2_ceil(1), 0.0);
+        assert_eq!(log2_ceil(2), 1.0);
+        assert_eq!(log2_ceil(3), 2.0);
+        assert_eq!(log2_ceil(4), 2.0);
+        assert_eq!(log2_ceil(5), 3.0);
+        assert_eq!(log2_ceil(128), 7.0);
+    }
+
+    #[test]
+    fn collective_free_on_one_pe() {
+        let m = MachineModel::t3e_900();
+        assert_eq!(m.collective_cost(1e6, 1), 0.0);
+        assert!(m.collective_cost(1e6, 2) > 0.0);
+    }
+
+    #[test]
+    fn barrier_grows_with_pe() {
+        let m = MachineModel::t3e_900();
+        assert!(m.barrier_cost(64) > m.barrier_cost(2));
+        assert!(m.barrier_cost(2) > 0.0);
+    }
+
+    #[test]
+    fn io_contention_scales_with_pe() {
+        let m = MachineModel::t3e_900();
+        let t4 = m.io_cost(1e6, 1.0, 4);
+        let t64 = m.io_cost(1e6, 1.0, 64);
+        assert!(t64 > t4 * 4.0, "I/O contention must grow: {t4} vs {t64}");
+    }
+
+    #[test]
+    fn ideal_machine_has_no_overheads() {
+        let m = MachineModel::ideal();
+        assert_eq!(m.ptp_cost(1e9), 0.0);
+        assert_eq!(m.barrier_cost(1024), 0.0);
+        assert_eq!(m.io_cost(1e9, 10.0, 128), 0.0);
+        assert_eq!(m.contention_factor(128), 1.0);
+    }
+
+    #[test]
+    fn contention_grows_logarithmically() {
+        let m = MachineModel::t3e_900();
+        let f1 = m.contention_factor(1);
+        let f2 = m.contention_factor(2);
+        let f3 = m.contention_factor(3);
+        assert_eq!(f1, 1.0);
+        assert!(f2 > 1.0);
+        // ln is concave: consecutive increments shrink.
+        assert!((f3 - f2) < (f2 - f1));
+    }
+}

@@ -1,0 +1,443 @@
+//! Synthetic program models: region trees with workload laws.
+//!
+//! A [`ProgramModel`] is the simulator's stand-in for an instrumented
+//! application: functions containing nested regions (the paper's
+//! "subprograms, loops, if-blocks, subroutine calls, and arbitrary basic
+//! blocks"), where each region carries a [`Workload`] describing how much
+//! serial and parallel computation it performs and which communication /
+//! I/O operations it issues per pass.
+
+use crate::noise;
+use perfdata::{RegionKind, TimingType};
+use serde::{Deserialize, Serialize};
+
+/// Communication and I/O issued by a region, per pass and per PE.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CommProfile {
+    /// Barrier operations per pass.
+    pub barriers: f64,
+    /// Point-to-point messages per pass per PE (e.g. halo exchanges).
+    pub ptp_msgs: f64,
+    /// Bytes per point-to-point message.
+    pub ptp_bytes: f64,
+    /// Collective operations per pass.
+    pub collectives: f64,
+    /// Bytes per collective.
+    pub collective_bytes: f64,
+    /// Which collective the region uses (`Reduce`, `AllReduce`, `AllToAll`…).
+    /// `None` defaults to `AllReduce`.
+    pub collective_kind: Option<TimingType>,
+    /// One-sided (SHMEM) operations per pass per PE.
+    pub shmem_ops: f64,
+    /// Bytes per one-sided operation.
+    pub shmem_bytes: f64,
+    /// I/O operations per pass per PE.
+    pub io_ops: f64,
+    /// I/O bytes per pass per PE.
+    pub io_bytes: f64,
+    /// Fraction of I/O that is reads (the rest is writes), in `[0, 1]`.
+    pub io_read_fraction: f64,
+}
+
+impl CommProfile {
+    /// A profile with no communication at all.
+    pub fn none() -> Self {
+        CommProfile::default()
+    }
+
+    /// True if the region performs any barrier operations (such regions get
+    /// a call site to the `barrier` routine, which is what the paper's
+    /// `LoadImbalance` property is evaluated on).
+    pub fn has_barrier(&self) -> bool {
+        self.barriers > 0.0
+    }
+}
+
+/// The workload law of one region.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Times the region body executes during the program run.
+    pub passes: u64,
+    /// Seconds of *replicated* (serial, unparallelizable) work per pass.
+    /// Every PE performs this work, so the summed cost grows linearly with
+    /// the PE count — the classic source of unmeasured cost.
+    pub serial_work: f64,
+    /// Seconds of perfectly divisible work per pass at one PE.
+    pub parallel_work: f64,
+    /// Load-imbalance strength in `[0, 1)`: per-PE work multipliers are
+    /// spread by `±imbalance` (normalized so total work is preserved).
+    pub imbalance: f64,
+    /// Skew pattern of the imbalance.
+    pub skew: SkewPattern,
+    /// Communication/I/O profile.
+    pub comm: CommProfile,
+}
+
+impl Workload {
+    /// A compute-only workload with no imbalance and no communication.
+    pub fn compute(passes: u64, parallel_work: f64) -> Self {
+        Workload {
+            passes,
+            serial_work: 0.0,
+            parallel_work,
+            imbalance: 0.0,
+            skew: SkewPattern::Random,
+            comm: CommProfile::none(),
+        }
+    }
+
+    /// An empty workload (structural regions that only contain children).
+    pub fn empty() -> Self {
+        Workload::compute(0, 0.0)
+    }
+}
+
+/// How load imbalance is distributed over the PEs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SkewPattern {
+    /// Independent pseudo-random per-PE multipliers (particle clustering).
+    Random,
+    /// Linearly increasing load with the PE index (bad block distribution).
+    Linear,
+    /// One hot PE carries the extra load (master bottleneck).
+    SingleHot,
+}
+
+/// The per-PE work multiplier for a region: deterministic in
+/// `(seed, region, pe)`, with mean exactly 1 over the PE set after
+/// normalization (done by the simulator).
+pub fn raw_skew(pattern: SkewPattern, imbalance: f64, seed: u64, region: u64, pe: u32, no_pe: u32) -> f64 {
+    if imbalance == 0.0 || no_pe <= 1 {
+        return 1.0;
+    }
+    let x = match pattern {
+        SkewPattern::Random => noise::signed_noise(seed, region, pe as u64, 17),
+        SkewPattern::Linear => {
+            // -1 at PE 0 .. +1 at the last PE.
+            2.0 * pe as f64 / (no_pe - 1).max(1) as f64 - 1.0
+        }
+        SkewPattern::SingleHot => {
+            if pe == (noise::hash3(seed, region, 23) % no_pe as u64) as u32 {
+                1.0
+            } else {
+                -1.0 / (no_pe as f64 - 1.0)
+            }
+        }
+    };
+    (1.0 + imbalance * x).max(0.05)
+}
+
+/// A call site inside a region.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CallModel {
+    /// Name of the called function (e.g. `"barrier"`, `"mpi_allreduce"`).
+    pub callee: String,
+    /// Calls per pass of the enclosing region, per PE.
+    pub count_per_pass: f64,
+    /// Relative spread of the per-PE call count (0 for SPMD-regular codes).
+    pub count_imbalance: f64,
+}
+
+/// A region of the synthetic program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionNode {
+    /// Region kind (subprogram, loop, if-block, call site, basic block).
+    pub kind: RegionKind,
+    /// Region name (unique within the program, used in reports).
+    pub name: String,
+    /// Source line range occupied by the region.
+    pub lines: (u32, u32),
+    /// The region's own workload (exclusive of children).
+    pub workload: Workload,
+    /// Nested regions.
+    pub children: Vec<RegionNode>,
+    /// Call sites contained directly in this region.
+    pub calls: Vec<CallModel>,
+}
+
+impl RegionNode {
+    /// Count of nodes in this subtree (including self).
+    pub fn subtree_size(&self) -> usize {
+        1 + self.children.iter().map(RegionNode::subtree_size).sum::<usize>()
+    }
+
+    /// Depth of this subtree (a leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(RegionNode::depth)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Iterate over the subtree in pre-order.
+    pub fn walk(&self) -> Vec<&RegionNode> {
+        let mut out = vec![self];
+        for c in &self.children {
+            out.extend(c.walk());
+        }
+        out
+    }
+}
+
+/// A function of the synthetic program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FunctionModel {
+    /// Function name.
+    pub name: String,
+    /// The subprogram region (root of the function's region tree).
+    pub root: RegionNode,
+}
+
+/// A complete synthetic application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProgramModel {
+    /// Application name.
+    pub name: String,
+    /// Simulation seed: all per-PE noise derives from it.
+    pub seed: u64,
+    /// Functions; `functions[0]` is `main`.
+    pub functions: Vec<FunctionModel>,
+    /// Names of runtime routines called by the program (e.g. `barrier`);
+    /// these become `Function` objects with call sites but no regions of
+    /// their own.
+    pub runtime_routines: Vec<String>,
+}
+
+impl ProgramModel {
+    /// Total region count across all functions.
+    pub fn region_count(&self) -> usize {
+        self.functions.iter().map(|f| f.root.subtree_size()).sum()
+    }
+
+    /// A structural sketch of the program, stored as its "source code".
+    pub fn source_sketch(&self) -> String {
+        let mut out = String::new();
+        for f in &self.functions {
+            out.push_str(&format!("subroutine {}\n", f.name));
+            sketch_region(&f.root, 1, &mut out);
+            out.push_str("end\n");
+        }
+        out
+    }
+}
+
+fn sketch_region(r: &RegionNode, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    out.push_str(&format!(
+        "{pad}! {} {} lines {}..{} passes {}\n",
+        r.kind.name(),
+        r.name,
+        r.lines.0,
+        r.lines.1,
+        r.workload.passes
+    ));
+    for c in &r.calls {
+        out.push_str(&format!("{pad}  call {}\n", c.callee));
+    }
+    for c in &r.children {
+        sketch_region(c, indent + 1, out);
+    }
+}
+
+/// Parameterized random program generator (for stress tests and the parse /
+/// scale benchmarks). Uses the same deterministic noise as the simulator.
+#[derive(Debug, Clone)]
+pub struct ProgramGenerator {
+    /// Seed for structure and workloads.
+    pub seed: u64,
+    /// Number of functions besides `main`.
+    pub functions: usize,
+    /// Maximum region-tree depth per function.
+    pub max_depth: usize,
+    /// Maximum children per region.
+    pub max_fanout: usize,
+    /// Base parallel work per leaf pass in seconds.
+    pub base_work: f64,
+    /// Probability (in `[0,1]`) that a region communicates.
+    pub comm_probability: f64,
+}
+
+impl Default for ProgramGenerator {
+    fn default() -> Self {
+        ProgramGenerator {
+            seed: 1,
+            functions: 4,
+            max_depth: 4,
+            max_fanout: 3,
+            base_work: 0.02,
+            comm_probability: 0.5,
+        }
+    }
+}
+
+impl ProgramGenerator {
+    /// Generate a program model.
+    pub fn generate(&self) -> ProgramModel {
+        let mut functions = Vec::new();
+        let mut next_region = 0u64;
+        for fi in 0..=self.functions {
+            let name = if fi == 0 {
+                "main".to_string()
+            } else {
+                format!("sub_{fi}")
+            };
+            let root = self.gen_region(&name, fi as u64, 0, &mut next_region);
+            functions.push(FunctionModel { name, root });
+        }
+        ProgramModel {
+            name: format!("generated_{}", self.seed),
+            seed: self.seed,
+            functions,
+            runtime_routines: vec!["barrier".to_string(), "global_sum".to_string()],
+        }
+    }
+
+    fn gen_region(&self, fname: &str, fi: u64, depth: usize, counter: &mut u64) -> RegionNode {
+        let rid = *counter;
+        *counter += 1;
+        let h = noise::hash3(self.seed, fi * 1000 + rid, depth as u64);
+        let kind = if depth == 0 {
+            RegionKind::Subprogram
+        } else {
+            match h % 4 {
+                0 => RegionKind::Loop,
+                1 => RegionKind::IfBlock,
+                2 => RegionKind::BasicBlock,
+                _ => RegionKind::Loop,
+            }
+        };
+        let passes = 1 + (h >> 8) % 50;
+        let wants_comm = noise::unit(noise::hash3(self.seed, rid, 77)) < self.comm_probability;
+        let comm = if wants_comm && depth > 0 {
+            CommProfile {
+                barriers: ((h >> 16) % 3) as f64,
+                ptp_msgs: ((h >> 20) % 8) as f64,
+                ptp_bytes: 1024.0 * (1 + (h >> 24) % 64) as f64,
+                collectives: ((h >> 32) % 2) as f64,
+                collective_bytes: 512.0,
+                collective_kind: None,
+                shmem_ops: 0.0,
+                shmem_bytes: 0.0,
+                io_ops: 0.0,
+                io_bytes: 0.0,
+                io_read_fraction: 0.5,
+            }
+        } else {
+            CommProfile::none()
+        };
+        let has_barrier = comm.has_barrier();
+        let imbalance = noise::unit(noise::hash3(self.seed, rid, 99)) * 0.4;
+        let n_children = if depth >= self.max_depth {
+            0
+        } else {
+            ((h >> 40) % (self.max_fanout as u64 + 1)) as usize
+        };
+        let line0 = 1 + (rid * 10) as u32;
+        let children = (0..n_children)
+            .map(|_| self.gen_region(fname, fi, depth + 1, counter))
+            .collect();
+        RegionNode {
+            kind,
+            name: format!("{fname}:{}@{line0}", kind.name()),
+            lines: (line0, line0 + 9),
+            workload: Workload {
+                passes,
+                serial_work: if depth == 0 { self.base_work * 0.1 } else { 0.0 },
+                parallel_work: self.base_work * (1.0 + noise::unit(h)),
+                imbalance,
+                skew: SkewPattern::Random,
+                comm,
+            },
+            children,
+            calls: if has_barrier {
+                vec![CallModel {
+                    callee: "barrier".to_string(),
+                    count_per_pass: 1.0,
+                    count_imbalance: 0.0,
+                }]
+            } else {
+                Vec::new()
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_deterministic() {
+        let g = ProgramGenerator::default();
+        assert_eq!(g.generate(), g.generate());
+    }
+
+    #[test]
+    fn generator_respects_depth_bound() {
+        let g = ProgramGenerator {
+            max_depth: 2,
+            ..Default::default()
+        };
+        let m = g.generate();
+        for f in &m.functions {
+            assert!(f.root.depth() <= 3, "{} too deep", f.name);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = ProgramGenerator {
+            seed: 1,
+            ..Default::default()
+        }
+        .generate();
+        let b = ProgramGenerator {
+            seed: 2,
+            ..Default::default()
+        }
+        .generate();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn walk_visits_all_nodes() {
+        let g = ProgramGenerator::default();
+        let m = g.generate();
+        let total: usize = m.functions.iter().map(|f| f.root.walk().len()).sum();
+        assert_eq!(total, m.region_count());
+    }
+
+    #[test]
+    fn raw_skew_balanced_case() {
+        assert_eq!(raw_skew(SkewPattern::Random, 0.0, 1, 2, 3, 16), 1.0);
+        assert_eq!(raw_skew(SkewPattern::Linear, 0.5, 1, 2, 0, 1), 1.0);
+    }
+
+    #[test]
+    fn raw_skew_linear_monotone() {
+        let lo = raw_skew(SkewPattern::Linear, 0.4, 1, 2, 0, 8);
+        let hi = raw_skew(SkewPattern::Linear, 0.4, 1, 2, 7, 8);
+        assert!(lo < hi);
+        assert!((lo - 0.6).abs() < 1e-12);
+        assert!((hi - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn raw_skew_single_hot_has_one_peak() {
+        let no_pe = 16;
+        let vals: Vec<f64> = (0..no_pe)
+            .map(|pe| raw_skew(SkewPattern::SingleHot, 0.5, 9, 4, pe, no_pe))
+            .collect();
+        let hot = vals.iter().filter(|v| **v > 1.2).count();
+        assert_eq!(hot, 1, "{vals:?}");
+    }
+
+    #[test]
+    fn source_sketch_mentions_functions() {
+        let m = ProgramGenerator::default().generate();
+        let sketch = m.source_sketch();
+        assert!(sketch.contains("subroutine main"));
+    }
+}

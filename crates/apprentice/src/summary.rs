@@ -1,0 +1,382 @@
+//! Apprentice-style summarization: turn per-PE simulation results into the
+//! summed-over-processes records of the COSY data model.
+//!
+//! §3 of the paper: "After program execution Apprentice is started.
+//! Apprentice then computes summary data for program regions … The resulting
+//! information is written to a file and transferred into the database." This
+//! module is that pipeline: [`build_static`] creates the static structure
+//! (functions, regions, call sites), [`summarize_run`] adds the dynamic
+//! records of one test run, and [`simulate_program`] drives both for a PE
+//! sweep.
+
+use crate::machine::MachineModel;
+use crate::program::ProgramModel;
+use crate::simulate::simulate_run;
+use perfdata::{
+    CallId, CallTiming, DateTime, FunctionId, RegionId, Store, TestRunId, VersionId,
+};
+
+/// Mapping from model order to store ids, produced by [`build_static`].
+#[derive(Debug, Clone)]
+pub struct ModelIndex {
+    /// One entry per function in model order.
+    pub functions: Vec<FunctionId>,
+    /// `regions[fi][ri]` is the store id of pre-order region `ri` of
+    /// function `fi`.
+    pub regions: Vec<Vec<RegionId>>,
+    /// `calls[fi][ri]` lists the store ids of the call sites of that region
+    /// in model order.
+    pub calls: Vec<Vec<Vec<CallId>>>,
+}
+
+/// Create the static structure of a program version in the store.
+pub fn build_static(
+    store: &mut Store,
+    model: &ProgramModel,
+    compiled_at: DateTime,
+) -> (VersionId, ModelIndex) {
+    let program = store
+        .programs
+        .iter()
+        .position(|p| p.name == model.name)
+        .map(|i| perfdata::ProgramId(i as u32))
+        .unwrap_or_else(|| store.add_program(model.name.clone()));
+    let version = store.add_version(program, compiled_at, model.source_sketch());
+
+    // Functions first (call sites need callee ids).
+    let mut functions = Vec::new();
+    for f in &model.functions {
+        functions.push(store.add_function(version, f.name.clone()));
+    }
+    let mut routine_ids = Vec::new();
+    for r in &model.runtime_routines {
+        routine_ids.push((r.clone(), store.add_function(version, r.clone())));
+    }
+    let find_callee = |name: &str| -> Option<FunctionId> {
+        routine_ids
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, id)| *id)
+            .or_else(|| {
+                model
+                    .functions
+                    .iter()
+                    .position(|f| f.name == name)
+                    .map(|i| functions[i])
+            })
+    };
+
+    let mut regions = Vec::new();
+    let mut calls = Vec::new();
+    for (fi, f) in model.functions.iter().enumerate() {
+        let mut region_ids = Vec::new();
+        let mut call_ids = Vec::new();
+        // Pre-order walk with parent tracking.
+        struct Frame<'a> {
+            node: &'a crate::program::RegionNode,
+            parent: Option<RegionId>,
+        }
+        let mut stack = vec![Frame {
+            node: &f.root,
+            parent: None,
+        }];
+        // An explicit stack would visit in reversed-child order; recurse
+        // instead to match `RegionNode::walk` exactly.
+        fn visit(
+            store: &mut Store,
+            function: FunctionId,
+            node: &crate::program::RegionNode,
+            parent: Option<RegionId>,
+            find_callee: &dyn Fn(&str) -> Option<FunctionId>,
+            region_ids: &mut Vec<RegionId>,
+            call_ids: &mut Vec<Vec<CallId>>,
+        ) {
+            let rid = store.add_region(function, parent, node.kind, node.name.clone(), node.lines);
+            region_ids.push(rid);
+            let mut sites = Vec::new();
+            for cm in &node.calls {
+                if let Some(callee) = find_callee(&cm.callee) {
+                    sites.push(store.add_call(function, callee, rid));
+                }
+            }
+            call_ids.push(sites);
+            for c in &node.children {
+                visit(store, function, c, Some(rid), find_callee, region_ids, call_ids);
+            }
+        }
+        let root_frame = stack.pop().expect("one frame");
+        visit(
+            store,
+            functions[fi],
+            root_frame.node,
+            root_frame.parent,
+            &find_callee,
+            &mut region_ids,
+            &mut call_ids,
+        );
+        regions.push(region_ids);
+        calls.push(call_ids);
+    }
+
+    (
+        version,
+        ModelIndex {
+            functions,
+            regions,
+            calls,
+        },
+    )
+}
+
+/// Per-PE statistics helper: min/max/mean/stddev and extremal indexes.
+fn stats(values: &[f64]) -> (f64, f64, f64, f64, u32, u32) {
+    debug_assert!(!values.is_empty());
+    let n = values.len() as f64;
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let (mut min_i, mut max_i) = (0u32, 0u32);
+    let mut sum = 0.0;
+    for (i, &v) in values.iter().enumerate() {
+        if v < min {
+            min = v;
+            min_i = i as u32;
+        }
+        if v > max {
+            max = v;
+            max_i = i as u32;
+        }
+        sum += v;
+    }
+    let mean = sum / n;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    (min, max, mean, var.sqrt(), min_i, max_i)
+}
+
+/// Simulate one run and write its Apprentice summary records to the store.
+pub fn summarize_run(
+    store: &mut Store,
+    index: &ModelIndex,
+    version: VersionId,
+    model: &ProgramModel,
+    machine: &MachineModel,
+    no_pe: u32,
+    start: DateTime,
+) -> TestRunId {
+    let run = store.add_run(version, start, no_pe, machine.clockspeed_mhz);
+    let sim = simulate_run(model, machine, no_pe);
+
+    // Pass 1: bottom-up inclusive times per function. Regions are in
+    // pre-order; a child always has a larger index than its parent, so a
+    // reverse sweep accumulates children before parents. The measured
+    // overhead (`Ovhd`) is accumulated the same way: a region's overhead
+    // covers its whole subtree, so `MeasuredCost` on an enclosing region
+    // accounts for the measured costs of everything it contains.
+    let mut incls: Vec<Vec<f64>> = Vec::with_capacity(sim.functions.len());
+    let mut ovhds: Vec<Vec<f64>> = Vec::with_capacity(sim.functions.len());
+    for (fi, fsim) in sim.functions.iter().enumerate() {
+        let f = &model.functions[fi];
+        let n = f.root.walk().len();
+        debug_assert_eq!(n, fsim.regions.len());
+
+        // children_of[i] = indexes (in pre-order) of direct children.
+        let mut children_of: Vec<Vec<usize>> = vec![Vec::new(); n];
+        {
+            fn assign(
+                node: &crate::program::RegionNode,
+                parent: Option<usize>,
+                next: &mut usize,
+                children_of: &mut [Vec<usize>],
+            ) {
+                let me = *next;
+                *next += 1;
+                if let Some(p) = parent {
+                    children_of[p].push(me);
+                }
+                for c in &node.children {
+                    assign(c, Some(me), next, children_of);
+                }
+            }
+            let mut next = 0;
+            assign(&f.root, None, &mut next, &mut children_of);
+        }
+
+        let mut incl = vec![0.0f64; n];
+        let mut ovhd = vec![0.0f64; n];
+        for i in (0..n).rev() {
+            let own = fsim.regions[i].total_own();
+            let kids: f64 = children_of[i].iter().map(|c| incl[*c]).sum();
+            incl[i] = own + kids;
+            let own_ov = fsim.regions[i].total_overhead();
+            let kids_ov: f64 = children_of[i].iter().map(|c| ovhd[*c]).sum();
+            ovhd[i] = own_ov + kids_ov;
+        }
+        incls.push(incl);
+        ovhds.push(ovhd);
+    }
+
+    // The dynamic call tree is rooted at `main`: every other function is
+    // (transitively) called from it, so its inclusive time (and measured
+    // overhead) is attributed to main's root region. This makes
+    // `Duration(main, t)` the whole-program duration the paper's ranking
+    // basis requires.
+    let called_time: f64 = (1..incls.len()).map(|fi| incls[fi][0]).sum();
+    let called_ovhd: f64 = (1..ovhds.len()).map(|fi| ovhds[fi][0]).sum();
+    if let Some(main_incl) = incls.get_mut(0).and_then(|v| v.first_mut()) {
+        *main_incl += called_time;
+    }
+    if let Some(main_ovhd) = ovhds.get_mut(0).and_then(|v| v.first_mut()) {
+        *main_ovhd += called_ovhd;
+    }
+
+    // Pass 2: write the summary records.
+    for (fi, fsim) in sim.functions.iter().enumerate() {
+        let incl = &incls[fi];
+        let ovhd = &ovhds[fi];
+        for (ri, rsim) in fsim.regions.iter().enumerate() {
+            let rid = index.regions[fi][ri];
+            let excl = rsim.total_compute();
+            store.add_total_timing(rid, run, excl, incl[ri], ovhd[ri]);
+            for (ty, per_pe) in &rsim.overheads {
+                let t: f64 = per_pe.iter().sum();
+                if t > 0.0 {
+                    store.add_typed_timing(rid, run, *ty, t);
+                }
+            }
+            for (ci, csim) in rsim.calls.iter().enumerate() {
+                let Some(&call_id) = index.calls[fi][ri].get(ci) else {
+                    continue;
+                };
+                let (min_c, max_c, mean_c, sd_c, min_ci, max_ci) = stats(&csim.counts);
+                let (min_t, max_t, mean_t, sd_t, min_ti, max_ti) = stats(&csim.times);
+                store.add_call_timing(CallTiming {
+                    call: call_id,
+                    run,
+                    min_count: min_c,
+                    max_count: max_c,
+                    mean_count: mean_c,
+                    stdev_count: sd_c,
+                    min_count_pe: min_ci,
+                    max_count_pe: max_ci,
+                    min_time: min_t,
+                    max_time: max_t,
+                    mean_time: mean_t,
+                    stdev_time: sd_t,
+                    min_time_pe: min_ti,
+                    max_time_pe: max_ti,
+                });
+            }
+        }
+    }
+    run
+}
+
+/// Full pipeline: build the static structure and run the PE sweep.
+/// Returns the created version id.
+pub fn simulate_program(
+    store: &mut Store,
+    model: &ProgramModel,
+    machine: &MachineModel,
+    pe_counts: &[u32],
+) -> VersionId {
+    let (version, index) = build_static(store, model, DateTime::from_secs(946_684_800));
+    for (i, &no_pe) in pe_counts.iter().enumerate() {
+        let start = DateTime::from_secs(946_684_800 + 3600 * (i as i64 + 1));
+        summarize_run(store, &index, version, model, machine, no_pe, start);
+    }
+    version
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::archetypes;
+    use perfdata::validate;
+
+    #[test]
+    fn full_pipeline_produces_valid_store() {
+        let model = archetypes::particle_mc(5);
+        let machine = MachineModel::t3e_900();
+        let mut store = Store::new();
+        let v = simulate_program(&mut store, &model, &machine, &[1, 2, 4, 8]);
+        let violations = validate(&store);
+        assert!(violations.is_empty(), "{violations:?}");
+        assert_eq!(store.versions[v.index()].runs.len(), 4);
+        assert!(store.total_timings.len() >= 4 * model.region_count());
+    }
+
+    #[test]
+    fn duration_is_monotone_in_overheads() {
+        // With overheads the summed duration at high PE counts must exceed
+        // the 1-PE duration (lost cycles > 0) for an imbalanced code.
+        let model = archetypes::particle_mc(5);
+        let machine = MachineModel::t3e_900();
+        let mut store = Store::new();
+        let v = simulate_program(&mut store, &model, &machine, &[1, 16]);
+        let main = store.main_region(v).unwrap();
+        let runs = store.versions[v.index()].runs.clone();
+        let d1 = store.duration(main, runs[0]).unwrap();
+        let d16 = store.duration(main, runs[1]).unwrap();
+        assert!(
+            d16 > d1 * 1.01,
+            "imbalanced code must lose cycles: {d1} vs {d16}"
+        );
+    }
+
+    #[test]
+    fn stats_helper() {
+        let (min, max, mean, sd, min_i, max_i) = stats(&[3.0, 1.0, 2.0]);
+        assert_eq!(min, 1.0);
+        assert_eq!(max, 3.0);
+        assert_eq!(mean, 2.0);
+        assert_eq!(min_i, 1);
+        assert_eq!(max_i, 0);
+        assert!((sd - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn static_structure_matches_model() {
+        let model = archetypes::stencil3d(1);
+        let mut store = Store::new();
+        let (v, index) = build_static(&mut store, &model, DateTime::from_secs(0));
+        assert_eq!(
+            index.functions.len(),
+            model.functions.len()
+        );
+        let total_regions: usize = index.regions.iter().map(Vec::len).sum();
+        assert_eq!(total_regions, model.region_count());
+        // Runtime routines become functions too.
+        assert_eq!(
+            store.versions[v.index()].functions.len(),
+            model.functions.len() + model.runtime_routines.len()
+        );
+    }
+
+    #[test]
+    fn barrier_calls_get_call_timings() {
+        let model = archetypes::particle_mc(5);
+        let machine = MachineModel::t3e_900();
+        let mut store = Store::new();
+        simulate_program(&mut store, &model, &machine, &[8]);
+        // The barrier routine must have call sites with statistics.
+        let barrier_fn = store
+            .functions
+            .iter()
+            .find(|f| f.name == "barrier")
+            .expect("barrier routine exists");
+        assert!(!barrier_fn.calls.is_empty());
+        for &c in &barrier_fn.calls {
+            assert!(!store.calls[c.index()].sums.is_empty());
+        }
+    }
+
+    #[test]
+    fn two_versions_of_same_program_share_program_object() {
+        let model = archetypes::stencil3d(1);
+        let machine = MachineModel::t3e_900();
+        let mut store = Store::new();
+        simulate_program(&mut store, &model, &machine, &[2]);
+        simulate_program(&mut store, &model, &machine, &[2]);
+        assert_eq!(store.programs.len(), 1);
+        assert_eq!(store.programs[0].versions.len(), 2);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests of the simulator's physical invariants across
+//! randomized workloads and machine configurations.
+
+use apprentice_sim::program::SkewPattern;
+use apprentice_sim::{simulate_region, CommProfile, MachineModel, Workload};
+use perfdata::TimingType;
+use proptest::prelude::*;
+
+fn workload_strategy() -> impl Strategy<Value = Workload> {
+    (
+        1u64..200,
+        0.0f64..0.05,
+        0.001f64..2.0,
+        0.0f64..0.8,
+        prop_oneof![
+            Just(SkewPattern::Random),
+            Just(SkewPattern::Linear),
+            Just(SkewPattern::SingleHot)
+        ],
+        0.0f64..3.0,   // barriers
+        0.0f64..8.0,   // ptp msgs
+        0.0f64..4.0,   // collectives
+        0.0f64..2.0,   // io ops
+    )
+        .prop_map(
+            |(passes, serial, parallel, imb, skew, barriers, ptp, coll, io)| Workload {
+                passes,
+                serial_work: serial,
+                parallel_work: parallel,
+                imbalance: imb,
+                skew,
+                comm: CommProfile {
+                    barriers,
+                    ptp_msgs: ptp,
+                    ptp_bytes: 4096.0,
+                    collectives: coll,
+                    collective_bytes: 1024.0,
+                    collective_kind: None,
+                    shmem_ops: 0.0,
+                    shmem_bytes: 0.0,
+                    io_ops: io,
+                    io_bytes: 1e5,
+                    io_read_fraction: 0.5,
+                },
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn all_times_non_negative(w in workload_strategy(), pe in 1u32..64, seed in 0u64..1000) {
+        let m = MachineModel::t3e_900();
+        let sim = simulate_region(&w, &[], &m, pe, seed, 1, false);
+        prop_assert!(sim.compute.iter().all(|c| *c >= 0.0));
+        for (ty, v) in &sim.overheads {
+            prop_assert!(v.iter().all(|x| *x >= 0.0), "negative time in {ty:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_work_is_conserved(w in workload_strategy(), pe in 1u32..64, seed in 0u64..1000) {
+        // With zero contention, the summed compute equals
+        // passes * (serial*P + parallel), for any skew pattern.
+        let mut m = MachineModel::ideal();
+        m.contention_coeff = 0.0;
+        let sim = simulate_region(&w, &[], &m, pe, seed, 2, false);
+        let expected = w.passes as f64
+            * (w.serial_work * pe as f64 + w.parallel_work);
+        let total = sim.total_compute();
+        prop_assert!(
+            (total - expected).abs() <= 1e-9 * expected.max(1.0),
+            "total {total} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn barrier_wait_zero_for_slowest_pe(w in workload_strategy(), pe in 2u32..64, seed in 0u64..1000) {
+        prop_assume!(w.comm.barriers > 0.0);
+        let m = MachineModel::ideal();
+        let sim = simulate_region(&w, &[], &m, pe, seed, 3, false);
+        if let Some((_, barrier)) = sim
+            .overheads
+            .iter()
+            .find(|(ty, _)| *ty == TimingType::Barrier)
+        {
+            let min = barrier.iter().cloned().fold(f64::INFINITY, f64::min);
+            prop_assert!(min.abs() < 1e-12, "slowest PE must wait ~0, got {min}");
+        }
+    }
+
+    #[test]
+    fn overheads_grow_with_pe_count(w in workload_strategy(), seed in 0u64..1000) {
+        prop_assume!(w.comm.barriers > 0.0 && w.imbalance > 0.1);
+        let m = MachineModel::t3e_900();
+        let small = simulate_region(&w, &[], &m, 4, seed, 4, false);
+        let large = simulate_region(&w, &[], &m, 64, seed, 4, false);
+        // Summed compute is ~conserved, so overhead share cannot shrink a lot.
+        prop_assert!(
+            large.total_overhead() >= small.total_overhead() * 0.5,
+            "{} vs {}",
+            small.total_overhead(),
+            large.total_overhead()
+        );
+    }
+
+    #[test]
+    fn simulation_is_pure(w in workload_strategy(), pe in 1u32..32, seed in 0u64..1000) {
+        let m = MachineModel::t3e_900();
+        let a = simulate_region(&w, &[], &m, pe, seed, 5, false);
+        let b = simulate_region(&w, &[], &m, pe, seed, 5, false);
+        prop_assert_eq!(a, b);
+    }
+}

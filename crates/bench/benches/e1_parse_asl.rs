@@ -1,0 +1,32 @@
+//! E1 — wall-clock throughput of the ASL front-end (lexer, parser, checker)
+//! on the paper's suite and synthetic specifications of growing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kojak_bench::experiments::e1_parse::synthetic_spec;
+
+fn bench_parse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_parse_asl");
+    let suite = cosy::suite::standard_suite_source();
+    g.throughput(Throughput::Bytes(suite.len() as u64));
+    g.bench_function("paper_suite", |b| {
+        b.iter(|| asl_core::parse_and_check(std::hint::black_box(&suite)).unwrap())
+    });
+    for n in [10usize, 100] {
+        let src = synthetic_spec(n);
+        g.throughput(Throughput::Bytes(src.len() as u64));
+        g.bench_with_input(BenchmarkId::new("synthetic", n), &src, |b, src| {
+            b.iter(|| asl_core::parse_and_check(std::hint::black_box(src)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_parse_only(c: &mut Criterion) {
+    let suite = cosy::suite::standard_suite_source();
+    c.bench_function("e1_parse_without_check", |b| {
+        b.iter(|| asl_core::parse(std::hint::black_box(&suite)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_parse, bench_parse_only);
+criterion_main!(benches);

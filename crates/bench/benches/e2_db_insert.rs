@@ -1,0 +1,54 @@
+//! E2 — wall-clock cost of the insertion path per backend: statement parse,
+//! execution and the cost model. The virtual-clock ratios are printed by
+//! the harness; this measures the real engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kojak_bench::data;
+use reldb::remote::{connection::share, ApiBinding, BackendProfile, Connection};
+use reldb::Database;
+
+fn bench_insert(c: &mut Criterion) {
+    let (store, _) = data::mixed_store(1, &[1, 8]);
+    let spec = cosy::suite::standard_suite();
+    let schema = asl_sql::generate_schema(&spec.model).unwrap();
+    let cosy_data = asl_eval::CosyData::new(&store);
+    let stmts =
+        asl_sql::loader::insert_statements(&schema, &spec.model, &cosy_data).unwrap();
+
+    let mut g = c.benchmark_group("e2_db_insert");
+    g.throughput(Throughput::Elements(stmts.len() as u64));
+    for (profile, binding) in [
+        (BackendProfile::oracle7(), ApiBinding::jdbc()),
+        (BackendProfile::msaccess(), ApiBinding::native_c()),
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new("replay", profile.name),
+            &stmts,
+            |b, stmts| {
+                b.iter(|| {
+                    let db = share(Database::new());
+                    let mut conn =
+                        Connection::connect(db, profile.clone(), binding.clone());
+                    for ddl in schema.ddl() {
+                        conn.execute(&ddl).unwrap();
+                    }
+                    for s in stmts {
+                        conn.execute(s).unwrap();
+                    }
+                    conn.elapsed()
+                })
+            },
+        );
+    }
+    g.bench_function("bulk_load_store", |b| {
+        b.iter(|| {
+            let mut db = Database::new();
+            schema.create_all(&mut db).unwrap();
+            asl_sql::loader::load_store(&mut db, &schema, &spec.model, &cosy_data).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_insert);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! E3 — wall-clock cost of cursor (record-at-a-time) result delivery vs
+//! batched SELECT.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use kojak_bench::data;
+use reldb::remote::{connection::share, ApiBinding, BackendProfile, Connection};
+
+fn bench_fetch(c: &mut Criterion) {
+    let (store, _) = data::mixed_store(2, &[1, 4, 16]);
+    let (_, _, db) = data::loaded_database(&store);
+    let shared = share(db);
+    let rows = store.total_timings.len() as u64;
+
+    let mut g = c.benchmark_group("e3_fetch_overhead");
+    g.throughput(Throughput::Elements(rows));
+    g.bench_function("cursor_record_at_a_time", |b| {
+        b.iter(|| {
+            let mut conn = Connection::connect(
+                shared.clone(),
+                BackendProfile::oracle7(),
+                ApiBinding::jdbc(),
+            );
+            let mut n = 0u64;
+            let mut cur = conn
+                .open_cursor("SELECT id, Run_id, Excl, Incl, Ovhd FROM TotalTiming")
+                .unwrap();
+            while cur.fetch().is_some() {
+                n += 1;
+            }
+            n
+        })
+    });
+    g.bench_function("batched_select", |b| {
+        b.iter(|| {
+            let mut conn = Connection::connect(
+                shared.clone(),
+                BackendProfile::oracle7(),
+                ApiBinding::jdbc(),
+            );
+            conn.execute("SELECT id, Run_id, Excl, Incl, Ovhd FROM TotalTiming")
+                .unwrap()
+                .rows
+                .len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fetch);
+criterion_main!(benches);

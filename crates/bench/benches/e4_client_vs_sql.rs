@@ -1,0 +1,57 @@
+//! E4 — wall-clock cost of the evaluation strategies (interpreter vs
+//! per-context SQL vs batched SQL) on a mid-size program.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kojak_bench::data;
+use kojak_bench::experiments::strategies::{client_side, sql_batched, sql_per_context};
+use reldb::remote::{connection::share, ApiBinding, BackendProfile, Connection};
+
+fn bench_strategies(c: &mut Criterion) {
+    let (store, version) = data::generated_store(4, &[1, 16]);
+    let (spec, schema, db) = data::loaded_database(&store);
+    let shared = share(db);
+    let run = *store.versions[version.index()].runs.last().unwrap();
+
+    let mut g = c.benchmark_group("e4_strategies");
+    g.sample_size(20);
+    g.bench_function("client_interpreter", |b| {
+        b.iter(|| {
+            let mut conn = Connection::connect(
+                shared.clone(),
+                BackendProfile::oracle7(),
+                ApiBinding::jdbc(),
+            );
+            client_side(&mut conn, &store, &spec, version, run).unwrap().held.len()
+        })
+    });
+    g.bench_function("sql_per_context", |b| {
+        b.iter(|| {
+            let mut conn = Connection::connect(
+                shared.clone(),
+                BackendProfile::oracle7(),
+                ApiBinding::jdbc(),
+            );
+            sql_per_context(&mut conn, &store, &spec, &schema, version, run)
+                .unwrap()
+                .held
+                .len()
+        })
+    });
+    g.bench_function("sql_batched", |b| {
+        b.iter(|| {
+            let mut conn = Connection::connect(
+                shared.clone(),
+                BackendProfile::oracle7(),
+                ApiBinding::jdbc(),
+            );
+            sql_batched(&mut conn, &store, &spec, &schema, version, run)
+                .unwrap()
+                .held
+                .len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E5 — wall-clock cost of a full COSY analysis, per backend.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cosy::{Analyzer, Backend, ProblemThreshold};
+use kojak_bench::data;
+
+fn bench_analysis(c: &mut Criterion) {
+    let (store, version) = data::particle_store(&[1, 4, 16, 64]);
+    let run = *store.versions[version.index()].runs.last().unwrap();
+    let analyzer = Analyzer::new(&store, version).unwrap();
+
+    let mut g = c.benchmark_group("e5_cosy_analysis");
+    g.sample_size(20);
+    for backend in [Backend::Interpreter, Backend::Sql] {
+        g.bench_with_input(
+            BenchmarkId::new("analyze", format!("{backend:?}")),
+            &backend,
+            |b, backend| {
+                b.iter(|| {
+                    analyzer
+                        .analyze(run, *backend, ProblemThreshold::default())
+                        .unwrap()
+                        .entries
+                        .len()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! E6 — wall-clock cost of the Apprentice simulator across PE counts
+//! (the data-generation side of the cost-scaling figure).
+
+use apprentice_sim::{archetypes, simulate_program, MachineModel};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use perfdata::Store;
+
+fn bench_simulation(c: &mut Criterion) {
+    let machine = MachineModel::t3e_900();
+    let mut g = c.benchmark_group("e6_simulate");
+    for pe in [4u32, 64, 1024] {
+        g.bench_with_input(BenchmarkId::new("particle_mc", pe), &pe, |b, &pe| {
+            let model = archetypes::particle_mc(42);
+            b.iter(|| {
+                let mut store = Store::new();
+                simulate_program(&mut store, &model, &machine, &[pe]);
+                store.object_count()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_generated_size(c: &mut Criterion) {
+    let machine = MachineModel::t3e_900();
+    let mut g = c.benchmark_group("e6_simulate_generated");
+    g.sample_size(20);
+    for functions in [4usize, 16] {
+        g.bench_with_input(
+            BenchmarkId::new("functions", functions),
+            &functions,
+            |b, &functions| {
+                let gen = apprentice_sim::ProgramGenerator {
+                    seed: 7,
+                    functions,
+                    ..Default::default()
+                };
+                let model = gen.generate();
+                b.iter(|| {
+                    let mut store = Store::new();
+                    simulate_program(&mut store, &model, &machine, &[64]);
+                    store.object_count()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulation, bench_generated_size);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! E7 — wall-clock cost of the relational engine pieces the ablation
+//! stresses: correlated point lookups vs full scans, and the batched
+//! property query.
+
+use asl_eval::Value;
+use criterion::{criterion_group, criterion_main, Criterion};
+use kojak_bench::data;
+
+fn bench_engine_paths(c: &mut Criterion) {
+    let (store, version) = data::generated_store(6, &[1, 16]);
+    let (spec, schema, db) = data::loaded_database(&store);
+    let run = *store.versions[version.index()].runs.last().unwrap();
+    let main = store.main_region(version).unwrap();
+
+    let mut g = c.benchmark_group("e7_engine");
+    g.bench_function("indexed_point_lookup", |b| {
+        b.iter(|| {
+            db.query("SELECT Incl FROM TotalTiming WHERE TotTimes_owner = 3 AND Run_id = 1")
+                .unwrap()
+                .rows
+                .len()
+        })
+    });
+    g.bench_function("full_scan_aggregate", |b| {
+        b.iter(|| {
+            db.query("SELECT SUM(Time) FROM TypedTiming WHERE Time > 0.0")
+                .unwrap()
+                .rows
+                .len()
+        })
+    });
+    let bc = asl_sql::compile_batch(
+        &spec,
+        &schema,
+        "SyncCost",
+        0,
+        &[(1, Value::run(run)), (2, Value::region(main))],
+        None,
+    )
+    .unwrap();
+    g.bench_function("batched_property_query", |b| {
+        b.iter(|| asl_sql::eval_batch(&db, &bc).unwrap().len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine_paths);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! The experiment harness: regenerates every table/figure/claim of the
+//! paper (E1–E7, see DESIGN.md §4) and prints paper-style tables.
+//!
+//! ```sh
+//! cargo run --release -p kojak-bench --bin harness            # all
+//! cargo run --release -p kojak-bench --bin harness -- --e2    # one
+//! ```
+
+use kojak_bench::experiments::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |flag: &str| args.is_empty() || args.iter().any(|a| a == flag);
+    let mut failures = Vec::new();
+
+    if want("--e1") {
+        println!("== E1: ASL front-end (Figure 1 grammar) =====================================\n");
+        let rows = e1_parse::run();
+        println!("{}", e1_parse::render(&rows));
+    }
+
+    if want("--e2") {
+        println!("== E2: insertion across database backends (§5) ==============================\n");
+        let rows = e2_insert::run(2);
+        println!("{}", e2_insert::render(&rows));
+        report_claim(&mut failures, "E2", e2_insert::check_claims(&rows));
+        println!("paper: Oracle ~2x slower than MS SQL/Postgres; MS Access ~20x faster than Oracle\n");
+    }
+
+    if want("--e3") {
+        println!("== E3: record fetch & API binding overhead (§5) =============================\n");
+        let rows = e3_fetch::run();
+        println!("{}", e3_fetch::render(&rows));
+        report_claim(&mut failures, "E3", e3_fetch::check_claims(&rows));
+        println!("paper: fetching a record from Oracle ~1 ms; JDBC 2-4x slower than C\n");
+    }
+
+    if want("--e4") {
+        println!("== E4: client-side evaluation vs SQL translation (§5) =======================\n");
+        let rows = e4_client_vs_sql::run(&[2, 6, 12]);
+        println!("{}", e4_client_vs_sql::render(&rows));
+        report_claim(&mut failures, "E4", e4_client_vs_sql::check_claims(&rows));
+        println!("paper: \"significant advantage to translate the conditions ... entirely into SQL\"\n");
+    }
+
+    if want("--e5") {
+        println!("== E5: COSY ranked analysis (§3/§4) ==========================================\n");
+        let results = e5_analysis::run();
+        for r in &results {
+            println!("{}", r.report_text);
+        }
+        println!("{}", e5_analysis::render_summary(&results));
+        report_claim(&mut failures, "E5", e5_analysis::check_claims(&results));
+        println!();
+    }
+
+    if want("--e6") {
+        println!("== E6: total cost vs processor count (§4.2 semantics) =======================\n");
+        let rows = e6_cost_scaling::run(&[1, 2, 4, 8, 16, 32, 64, 128]);
+        println!("{}", e6_cost_scaling::render(&rows));
+        report_claim(&mut failures, "E6", e6_cost_scaling::check_claims(&rows));
+        println!();
+    }
+
+    if want("--e7") {
+        println!("== E7: work-distribution ablation ===========================================\n");
+        let rows = e7_distribution::run(&[2, 10]);
+        println!("{}", e7_distribution::render(&rows));
+        report_claim(&mut failures, "E7", e7_distribution::check_claims(&rows));
+        println!();
+    }
+
+    if failures.is_empty() {
+        println!("all checked paper claims reproduced");
+    } else {
+        println!("CLAIM CHECK FAILURES:");
+        for f in &failures {
+            println!("  {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+fn report_claim(failures: &mut Vec<String>, exp: &str, r: Result<(), String>) {
+    match r {
+        Ok(()) => println!("[{exp}] paper-shape claims hold"),
+        Err(e) => {
+            println!("[{exp}] CLAIM FAILED: {e}");
+            failures.push(format!("{exp}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Shared dataset builders for the experiments.
+
+use apprentice_sim::{archetypes, simulate_program, MachineModel};
+use asl_core::check::CheckedSpec;
+use asl_eval::CosyData;
+use asl_sql::{generate_schema, loader, SchemaInfo};
+use cosy::suite::standard_suite;
+use perfdata::{Store, VersionId};
+use reldb::Database;
+
+/// Simulate `versions` program versions of each archetype over `pe_counts`.
+/// More versions ⇒ linearly more rows in the database.
+pub fn mixed_store(versions: usize, pe_counts: &[u32]) -> (Store, Vec<VersionId>) {
+    let machine = MachineModel::t3e_900();
+    let mut store = Store::new();
+    let mut out = Vec::new();
+    for seed in 0..versions as u64 {
+        for model in archetypes::all(seed) {
+            out.push(simulate_program(&mut store, &model, &machine, pe_counts));
+        }
+    }
+    (store, out)
+}
+
+/// One particle-MC version (the archetype exercising every §4.2 property).
+pub fn particle_store(pe_counts: &[u32]) -> (Store, VersionId) {
+    let machine = MachineModel::t3e_900();
+    let mut store = Store::new();
+    let model = archetypes::particle_mc(42);
+    let v = simulate_program(&mut store, &model, &machine, pe_counts);
+    (store, v)
+}
+
+/// A generated application with roughly `functions`-proportional region
+/// count — the scale axis for the work-distribution experiments (real codes
+/// have tens to hundreds of instrumented regions).
+pub fn generated_store(functions: usize, pe_counts: &[u32]) -> (Store, VersionId) {
+    let machine = MachineModel::t3e_900();
+    let gen = apprentice_sim::ProgramGenerator {
+        seed: 1717,
+        functions,
+        max_depth: 4,
+        max_fanout: 3,
+        base_work: 0.02,
+        comm_probability: 0.6,
+    };
+    let model = gen.generate();
+    let mut store = Store::new();
+    let v = simulate_program(&mut store, &model, &machine, pe_counts);
+    (store, v)
+}
+
+/// The standard suite plus a database loaded from the store.
+pub fn loaded_database(store: &Store) -> (CheckedSpec, SchemaInfo, Database) {
+    let spec = standard_suite();
+    let schema = generate_schema(&spec.model).expect("schema generation");
+    let mut db = Database::new();
+    schema.create_all(&mut db).expect("DDL");
+    let data = CosyData::new(store);
+    loader::load_store(&mut db, &schema, &spec.model, &data).expect("load");
+    (spec, schema, db)
+}
+
+/// Total dynamic rows (the tables the insertion experiment transfers).
+pub fn dynamic_row_count(store: &Store) -> usize {
+    store.total_timings.len() + store.typed_timings.len() + store.call_timings.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixed_store_scales_with_versions() {
+        let (s1, v1) = mixed_store(1, &[1, 4]);
+        let (s2, v2) = mixed_store(2, &[1, 4]);
+        assert_eq!(v1.len(), 3);
+        assert_eq!(v2.len(), 6);
+        assert!(s2.total_timings.len() > s1.total_timings.len());
+    }
+
+    #[test]
+    fn loaded_database_has_all_tables() {
+        let (store, _) = particle_store(&[1, 4]);
+        let (_, _, db) = loaded_database(&store);
+        assert_eq!(db.table_names().len(), 10);
+        assert_eq!(
+            db.table("TotalTiming").unwrap().len(),
+            store.total_timings.len()
+        );
+    }
+}

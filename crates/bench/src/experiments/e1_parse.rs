@@ -1,0 +1,83 @@
+//! E1 — Figure 1: the ASL property-specification language.
+//!
+//! The paper's only figure is the property grammar. We reproduce it by
+//! construction: the parser accepts the paper's data model and all printed
+//! properties (golden tests in `crates/core/tests`), and this experiment
+//! measures front-end throughput on specifications of growing size.
+
+use crate::table::Table;
+use asl_core::parse_and_check;
+use cosy::suite::standard_suite_source;
+use std::time::Instant;
+
+/// Generate a syntactically rich specification with `n` properties.
+pub fn synthetic_spec(n: usize) -> String {
+    let mut src = String::from(asl_eval::COSY_DATA_MODEL);
+    src.push_str("float Threshold0 = 0.25;\n");
+    for i in 0..n {
+        src.push_str(&format!(
+            r#"
+Property Synth{i}(Region r, TestRun t, Region Basis) {{
+    LET float Acc{i} = SUM(tt.Time WHERE tt IN r.TypTimes AND tt.Run == t
+            AND (tt.Type == Barrier OR tt.Type == IoRead));
+        TotalTiming S{i} = UNIQUE({{s IN r.TotTimes WITH s.Run == t}})
+    IN
+    CONDITION: (hi{i}) Acc{i} > Threshold0 * S{i}.Incl OR (lo{i}) Acc{i} > 0;
+    CONFIDENCE: MAX((hi{i}) -> 1, (lo{i}) -> 0.5);
+    SEVERITY: MAX((hi{i}) -> Acc{i} / Duration(Basis, t),
+                  (lo{i}) -> Acc{i} / (2 * Duration(Basis, t)));
+}}
+"#
+        ));
+    }
+    src
+}
+
+/// One measured row of the E1 table.
+#[derive(Debug, Clone)]
+pub struct E1Row {
+    /// Input description.
+    pub input: String,
+    /// Source size in bytes.
+    pub bytes: usize,
+    /// Properties parsed.
+    pub properties: usize,
+    /// Wall time for parse + type check, in milliseconds.
+    pub wall_ms: f64,
+}
+
+/// Run the experiment.
+pub fn run() -> Vec<E1Row> {
+    let mut rows = Vec::new();
+    let mut measure = |name: &str, src: &str| {
+        let t0 = Instant::now();
+        let spec = parse_and_check(src).expect("spec must check");
+        let wall = t0.elapsed().as_secs_f64() * 1e3;
+        rows.push(E1Row {
+            input: name.to_string(),
+            bytes: src.len(),
+            properties: spec.properties().len(),
+            wall_ms: wall,
+        });
+    };
+    measure("paper suite (§4.1 + §4.2)", &standard_suite_source());
+    for n in [10usize, 100, 1000] {
+        measure(&format!("synthetic x{n}"), &synthetic_spec(n));
+    }
+    rows
+}
+
+/// Render the E1 table.
+pub fn render(rows: &[E1Row]) -> String {
+    let mut t = Table::new(&["input", "bytes", "properties", "parse+check [ms]", "MB/s"]);
+    for r in rows {
+        t.row(vec![
+            r.input.clone(),
+            r.bytes.to_string(),
+            r.properties.to_string(),
+            format!("{:.2}", r.wall_ms),
+            format!("{:.1}", r.bytes as f64 / 1e6 / (r.wall_ms / 1e3)),
+        ]);
+    }
+    t.render()
+}

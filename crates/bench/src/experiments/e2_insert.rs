@@ -1,0 +1,122 @@
+//! E2 — §5 insertion comparison across database backends.
+//!
+//! Paper: "We ran experiments with four different databases: Oracle 7, MS
+//! Access, MS SQL server, and Postgres. For all those databases, except MS
+//! Access, the setup was in a distributed fashion. … While Oracle was a
+//! factor of 2 slower than MS SQL server and Postgres, MS Access
+//! outperformed all those systems. Insertion of performance information was
+//! a factor of 20 faster than with the Oracle server."
+
+use crate::data;
+use crate::table::Table;
+use asl_eval::CosyData;
+use asl_sql::loader;
+use cosy::suite::standard_suite;
+use reldb::remote::{connection::share, ApiBinding, BackendProfile, Connection};
+use reldb::Database;
+
+/// One backend's measured insertion cost.
+#[derive(Debug, Clone)]
+pub struct E2Row {
+    /// Backend name.
+    pub backend: &'static str,
+    /// API binding used (JDBC for the networked servers, native for the
+    /// in-process Access setup, as in the paper).
+    pub binding: &'static str,
+    /// Rows transferred.
+    pub rows: usize,
+    /// Virtual-clock seconds for the full transfer.
+    pub virtual_secs: f64,
+}
+
+/// Run the experiment at a given dataset scale (number of versions per
+/// archetype).
+pub fn run(scale: usize) -> Vec<E2Row> {
+    let (store, _) = data::mixed_store(scale, &[1, 4, 16, 64]);
+    let spec = standard_suite();
+    let schema = asl_sql::generate_schema(&spec.model).expect("schema");
+    let cosy_data = CosyData::new(&store);
+    let stmts = loader::insert_statements(&schema, &spec.model, &cosy_data).expect("statements");
+
+    let setups = [
+        (BackendProfile::oracle7(), ApiBinding::jdbc()),
+        (BackendProfile::msaccess(), ApiBinding::native_c()),
+        (BackendProfile::mssql7(), ApiBinding::jdbc()),
+        (BackendProfile::postgres(), ApiBinding::jdbc()),
+    ];
+    let mut rows = Vec::new();
+    for (profile, binding) in setups {
+        let db = share(Database::new());
+        let mut conn = Connection::connect(db, profile.clone(), binding.clone());
+        for ddl in schema.ddl() {
+            conn.execute(&ddl).expect("ddl");
+        }
+        conn.reset_clock();
+        for s in &stmts {
+            conn.execute(s).expect("insert");
+        }
+        rows.push(E2Row {
+            backend: profile.name,
+            binding: binding.name,
+            rows: stmts.len(),
+            virtual_secs: conn.elapsed(),
+        });
+    }
+    rows
+}
+
+/// Render the E2 table (ratios relative to Oracle 7, as the paper reports).
+pub fn render(rows: &[E2Row]) -> String {
+    let oracle = rows
+        .iter()
+        .find(|r| r.backend.starts_with("Oracle"))
+        .map(|r| r.virtual_secs)
+        .unwrap_or(1.0);
+    let mut t = Table::new(&[
+        "backend",
+        "binding",
+        "rows",
+        "insert [virt s]",
+        "per row [ms]",
+        "speedup vs Oracle",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.backend.to_string(),
+            r.binding.to_string(),
+            r.rows.to_string(),
+            format!("{:.3}", r.virtual_secs),
+            format!("{:.3}", r.virtual_secs / r.rows as f64 * 1e3),
+            format!("{:.1}x", oracle / r.virtual_secs),
+        ]);
+    }
+    t.render()
+}
+
+/// The two paper claims as machine-checkable predicates (used by tests and
+/// EXPERIMENTS.md).
+pub fn check_claims(rows: &[E2Row]) -> Result<(), String> {
+    let get = |prefix: &str| {
+        rows.iter()
+            .find(|r| r.backend.starts_with(prefix))
+            .map(|r| r.virtual_secs)
+            .ok_or_else(|| format!("backend {prefix} missing"))
+    };
+    let oracle = get("Oracle")?;
+    let mssql = get("MS SQL")?;
+    let postgres = get("Postgres")?;
+    let access = get("MS Access")?;
+    let r1 = oracle / mssql;
+    let r2 = oracle / postgres;
+    let r3 = oracle / access;
+    if !(1.5..=2.5).contains(&r1) {
+        return Err(format!("Oracle/MSSQL ratio {r1:.2} outside ~2x"));
+    }
+    if !(1.4..=2.5).contains(&r2) {
+        return Err(format!("Oracle/Postgres ratio {r2:.2} outside ~2x"));
+    }
+    if !(13.0..=30.0).contains(&r3) {
+        return Err(format!("Oracle/Access ratio {r3:.2} outside ~20x"));
+    }
+    Ok(())
+}

@@ -1,0 +1,113 @@
+//! E3 — §5 record-fetch and API-binding overhead.
+//!
+//! Paper: "accessing the database via JDBC is a factor of two to four
+//! slower than C-based implementations, fetching a record from the Oracle
+//! server takes about 1 ms".
+
+use crate::data;
+use crate::table::Table;
+use reldb::remote::{connection::share, ApiBinding, BackendProfile, Connection, SharedDb};
+
+/// Measured per-fetch costs for one backend.
+#[derive(Debug, Clone)]
+pub struct E3Row {
+    /// Backend name.
+    pub backend: &'static str,
+    /// Records fetched.
+    pub records: usize,
+    /// Per-record fetch cost via JDBC, in milliseconds.
+    pub jdbc_ms: f64,
+    /// Per-record fetch cost via the native binding, in milliseconds.
+    pub native_ms: f64,
+}
+
+impl E3Row {
+    /// JDBC slowdown factor vs native.
+    pub fn ratio(&self) -> f64 {
+        self.jdbc_ms / self.native_ms
+    }
+}
+
+/// Fetch every record of the query record-at-a-time; returns
+/// `(records, virtual seconds spent fetching)`.
+fn fetch_all(shared: &SharedDb, profile: &BackendProfile, binding: &ApiBinding) -> (usize, f64) {
+    let mut conn = Connection::connect(shared.clone(), profile.clone(), binding.clone());
+    let mut n = 0usize;
+    {
+        let mut cur = conn
+            .open_cursor("SELECT id, Run_id, Excl, Incl, Ovhd, TotTimes_owner FROM TotalTiming")
+            .expect("cursor");
+        while cur.fetch().is_some() {
+            n += 1;
+        }
+    }
+    (n, conn.elapsed())
+}
+
+/// Run the experiment: cursor (record-at-a-time) access to the TotalTiming
+/// table, as COSY's analysis reads records.
+pub fn run() -> Vec<E3Row> {
+    let (store, _) = data::mixed_store(2, &[1, 4, 16]);
+    let (_, _, db) = data::loaded_database(&store);
+    let shared = share(db);
+
+    let profiles = [
+        BackendProfile::oracle7(),
+        BackendProfile::mssql7(),
+        BackendProfile::postgres(),
+    ];
+    let mut rows = Vec::new();
+    for profile in profiles {
+        let (records, jdbc_total) = fetch_all(&shared, &profile, &ApiBinding::jdbc());
+        let (_, native_total) = fetch_all(&shared, &profile, &ApiBinding::native_c());
+        rows.push(E3Row {
+            backend: profile.name,
+            records,
+            jdbc_ms: jdbc_total / records.max(1) as f64 * 1e3,
+            native_ms: native_total / records.max(1) as f64 * 1e3,
+        });
+    }
+    rows
+}
+
+/// Render the E3 table.
+pub fn render(rows: &[E3Row]) -> String {
+    let mut t = Table::new(&[
+        "backend",
+        "records",
+        "JDBC [ms/rec]",
+        "native C [ms/rec]",
+        "JDBC/native",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.backend.to_string(),
+            r.records.to_string(),
+            format!("{:.3}", r.jdbc_ms),
+            format!("{:.3}", r.native_ms),
+            format!("{:.1}x", r.ratio()),
+        ]);
+    }
+    t.render()
+}
+
+/// Paper claims: Oracle+JDBC ≈ 1 ms/fetch; JDBC 2–4x slower than native.
+pub fn check_claims(rows: &[E3Row]) -> Result<(), String> {
+    let oracle = rows
+        .iter()
+        .find(|r| r.backend.starts_with("Oracle"))
+        .ok_or("no Oracle row")?;
+    if !(0.7..=1.4).contains(&oracle.jdbc_ms) {
+        return Err(format!(
+            "Oracle JDBC fetch {:.3} ms not ~1 ms",
+            oracle.jdbc_ms
+        ));
+    }
+    for r in rows {
+        let ratio = r.ratio();
+        if !(2.0..=4.0).contains(&ratio) {
+            return Err(format!("{}: JDBC/native {ratio:.2} outside 2-4x", r.backend));
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,136 @@
+//! E6 — cost scaling (the `SublinearSpeedup` semantics of §4.2): total
+//! cost vs processor count per archetype, with the dominant overhead
+//! families. This regenerates the "figure" a COSY user reads: lost cycles
+//! relative to the reference run as the machine grows.
+
+use crate::table::Table;
+use apprentice_sim::{archetypes, simulate_program, MachineModel};
+use cosy::{Analyzer, Backend, ProblemThreshold};
+use perfdata::Store;
+
+/// One (application, PE count) sample.
+#[derive(Debug, Clone)]
+pub struct E6Row {
+    /// Application name.
+    pub app: String,
+    /// Processor count.
+    pub no_pe: u32,
+    /// Whole-program duration (summed over processes, seconds).
+    pub duration: f64,
+    /// Total cost as a fraction of the basis duration.
+    pub total_cost: f64,
+    /// Measured cost fraction (basis region).
+    pub measured: f64,
+    /// Unmeasured cost fraction (basis region).
+    pub unmeasured: f64,
+    /// Severity of the synchronization refinement on the worst region.
+    pub worst_sync: f64,
+    /// Severity of the I/O refinement on the worst region.
+    pub worst_io: f64,
+}
+
+/// Run the sweep.
+pub fn run(pe_counts: &[u32]) -> Vec<E6Row> {
+    let machine = MachineModel::t3e_900();
+    let mut out = Vec::new();
+    for model in archetypes::all(7) {
+        let mut store = Store::new();
+        let version = simulate_program(&mut store, &model, &machine, pe_counts);
+        let analyzer = Analyzer::new(&store, version).expect("analyzer");
+        for &run in &store.versions[version.index()].runs {
+            let report = analyzer
+                .analyze(run, Backend::Interpreter, ProblemThreshold::default())
+                .expect("analysis");
+            let basis_region = store.main_region(version).map(|r| r.0);
+            let basis_sev = |prop: &str| {
+                report
+                    .entries
+                    .iter()
+                    .find(|e| e.property == prop && e.context.region == basis_region)
+                    .map(|e| e.severity)
+                    .unwrap_or(0.0)
+            };
+            let worst = |prop: &str| {
+                report
+                    .entries
+                    .iter()
+                    .filter(|e| e.property == prop)
+                    .map(|e| e.severity)
+                    .fold(0.0f64, f64::max)
+            };
+            out.push(E6Row {
+                app: model.name.clone(),
+                no_pe: report.no_pe,
+                duration: report.basis_duration,
+                total_cost: report.total_cost,
+                measured: basis_sev("MeasuredCost"),
+                unmeasured: basis_sev("UnmeasuredCost"),
+                worst_sync: worst("SyncCost"),
+                worst_io: worst("IoCost"),
+            });
+        }
+    }
+    out
+}
+
+/// Render the E6 series.
+pub fn render(rows: &[E6Row]) -> String {
+    let mut t = Table::new(&[
+        "application",
+        "PEs",
+        "duration [s]",
+        "total cost",
+        "measured",
+        "unmeasured",
+        "max SyncCost",
+        "max IoCost",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.app.clone(),
+            r.no_pe.to_string(),
+            format!("{:.2}", r.duration),
+            format!("{:5.1}%", r.total_cost * 100.0),
+            format!("{:5.1}%", r.measured * 100.0),
+            format!("{:5.1}%", r.unmeasured * 100.0),
+            format!("{:5.1}%", r.worst_sync * 100.0),
+            format!("{:5.1}%", r.worst_io * 100.0),
+        ]);
+    }
+    t.render()
+}
+
+/// Shape claims: costs grow monotonically with PE count; the particle code
+/// is synchronization-dominated, the spectral code I/O- or
+/// collective-dominated at scale.
+pub fn check_claims(rows: &[E6Row]) -> Result<(), String> {
+    for app in ["stencil3d", "particle_mc", "spectral_io"] {
+        let series: Vec<&E6Row> = rows.iter().filter(|r| r.app == app).collect();
+        if series.len() < 3 {
+            return Err(format!("{app}: too few samples"));
+        }
+        for w in series.windows(2) {
+            if w[1].no_pe > w[0].no_pe && w[1].total_cost < w[0].total_cost - 1e-9 {
+                return Err(format!(
+                    "{app}: total cost not monotone ({} PEs {:.3} -> {} PEs {:.3})",
+                    w[0].no_pe, w[0].total_cost, w[1].no_pe, w[1].total_cost
+                ));
+            }
+        }
+    }
+    let at_max = |app: &str| {
+        rows.iter()
+            .filter(|r| r.app == app)
+            .max_by_key(|r| r.no_pe)
+            .expect("series nonempty")
+    };
+    let particle = at_max("particle_mc");
+    if particle.worst_sync <= at_max("stencil3d").worst_sync {
+        return Err("particle_mc must out-sync stencil3d".to_string());
+    }
+    let spectral = at_max("spectral_io");
+    if spectral.worst_io <= particle.worst_io {
+        return Err("spectral_io must out-I/O particle_mc".to_string());
+    }
+    Ok(())
+}

@@ -1,0 +1,10 @@
+//! The experiments E1–E7 (see DESIGN.md §4 for the index).
+
+pub mod e1_parse;
+pub mod e2_insert;
+pub mod e3_fetch;
+pub mod e4_client_vs_sql;
+pub mod e5_analysis;
+pub mod e6_cost_scaling;
+pub mod e7_distribution;
+pub mod strategies;

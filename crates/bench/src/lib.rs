@@ -1,0 +1,13 @@
+//! # `kojak-bench` — experiment harness
+//!
+//! One module per experiment of DESIGN.md §4 (E1–E7), each reproducing a
+//! figure, table or quantitative claim of the paper. The `harness` binary
+//! prints the paper-style tables (recorded in EXPERIMENTS.md); the
+//! criterion benches in `benches/` measure the real wall-clock performance
+//! of the underlying machinery.
+
+pub mod data;
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;

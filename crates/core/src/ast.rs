@@ -1,0 +1,514 @@
+//! Abstract syntax tree for ASL specifications.
+//!
+//! A [`Specification`] holds the two sections described in §4 of the paper:
+//! the **data model** (classes and enums) and the **performance properties**
+//! (helper functions and property declarations). The expression grammar
+//! covers everything used in the paper's examples — set comprehensions,
+//! `UNIQUE`, quantified aggregates (`SUM(e WHERE x IN s AND p)`), attribute
+//! chains, calls, arithmetic and boolean operators — plus the documented
+//! extensions `EXISTS`/`FORALL` and `COUNT`.
+
+use crate::span::Span;
+use serde::Serialize;
+use std::fmt;
+
+/// An identifier with its source location.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Ident {
+    /// The identifier text.
+    pub name: String,
+    /// Source location.
+    pub span: Span,
+}
+
+impl Ident {
+    /// Construct an identifier.
+    pub fn new(name: impl Into<String>, span: Span) -> Self {
+        Ident {
+            name: name.into(),
+            span,
+        }
+    }
+}
+
+impl fmt::Display for Ident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// A syntactic type annotation.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TypeExpr {
+    /// The shape of the annotation.
+    pub kind: TypeExprKind,
+    /// Source location.
+    pub span: Span,
+}
+
+/// Shape of a type annotation.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum TypeExprKind {
+    /// A named type: builtin (`int`, `float`, `bool`, `String`, `DateTime`),
+    /// class, or enum.
+    Named(String),
+    /// `setof T` — a set of named-type elements.
+    Setof(String),
+}
+
+impl fmt::Display for TypeExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            TypeExprKind::Named(n) => write!(f, "{n}"),
+            TypeExprKind::Setof(n) => write!(f, "setof {n}"),
+        }
+    }
+}
+
+/// A complete ASL specification (data model + properties).
+#[derive(Debug, Clone, PartialEq, Default, Serialize)]
+pub struct Specification {
+    /// Class declarations of the data model section.
+    pub classes: Vec<ClassDecl>,
+    /// Enumeration declarations (e.g. `TimingType`).
+    pub enums: Vec<EnumDecl>,
+    /// Global constant definitions (extension; e.g. the tool-defined
+    /// `ImbalanceThreshold` referenced by the paper's `LoadImbalance`).
+    pub constants: Vec<ConstDecl>,
+    /// Helper function definitions (e.g. `Summary`, `Duration`).
+    pub functions: Vec<FunctionDecl>,
+    /// Performance property declarations.
+    pub properties: Vec<PropertyDecl>,
+}
+
+/// A global constant: `Type Name = expr;`
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ConstDecl {
+    /// Declared type.
+    pub ty: TypeExpr,
+    /// Constant name.
+    pub name: Ident,
+    /// Defining expression (evaluated once; may reference earlier
+    /// constants but not data-model objects).
+    pub value: Expr,
+    /// Full declaration span.
+    pub span: Span,
+}
+
+/// `class Name [extends Base] { attrs… }`
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ClassDecl {
+    /// Class name.
+    pub name: Ident,
+    /// Optional superclass (single inheritance, §4.1).
+    pub base: Option<Ident>,
+    /// Attribute declarations in source order.
+    pub attrs: Vec<AttrDecl>,
+    /// Full declaration span.
+    pub span: Span,
+}
+
+/// A single attribute inside a class body: `Type Name;`
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct AttrDecl {
+    /// Declared type.
+    pub ty: TypeExpr,
+    /// Attribute name.
+    pub name: Ident,
+    /// Declaration span.
+    pub span: Span,
+}
+
+/// `enum Name { A, B, C }`
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct EnumDecl {
+    /// Enum type name.
+    pub name: Ident,
+    /// Variant names in declaration order.
+    pub variants: Vec<Ident>,
+    /// Full declaration span.
+    pub span: Span,
+}
+
+/// A typed parameter: `Region r`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Param {
+    /// Parameter type.
+    pub ty: TypeExpr,
+    /// Parameter name.
+    pub name: Ident,
+    /// Declaration span.
+    pub span: Span,
+}
+
+/// A helper function: `RetType Name(params) = expr;`
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FunctionDecl {
+    /// Declared return type.
+    pub ret_ty: TypeExpr,
+    /// Function name.
+    pub name: Ident,
+    /// Parameter list.
+    pub params: Vec<Param>,
+    /// Defining expression.
+    pub body: Expr,
+    /// Full declaration span.
+    pub span: Span,
+}
+
+/// A performance property declaration (Figure 1 of the paper).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PropertyDecl {
+    /// Property name.
+    pub name: Ident,
+    /// Context parameters (e.g. `Region r, TestRun t, Region Basis`).
+    pub params: Vec<Param>,
+    /// `LET` definitions, in scope for the three sections below.
+    pub lets: Vec<LetDef>,
+    /// The `CONDITION:` section — one or more (possibly named) conditions.
+    pub conditions: Vec<Condition>,
+    /// The `CONFIDENCE:` section.
+    pub confidence: ArmSpec,
+    /// The `SEVERITY:` section.
+    pub severity: ArmSpec,
+    /// Full declaration span.
+    pub span: Span,
+}
+
+/// A `LET` binding: `Type Name = expr;`
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct LetDef {
+    /// Declared type of the binding.
+    pub ty: TypeExpr,
+    /// Bound name.
+    pub name: Ident,
+    /// Bound expression.
+    pub value: Expr,
+    /// Declaration span.
+    pub span: Span,
+}
+
+/// One condition of a property, optionally labelled with a condition id.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Condition {
+    /// Condition identifier, referenced by guarded confidence/severity arms.
+    pub id: Option<Ident>,
+    /// The boolean predicate.
+    pub expr: Expr,
+    /// Source span.
+    pub span: Span,
+}
+
+/// A confidence or severity section: either a single expression or
+/// `MAX( arm, arm, … )` where each arm may be guarded by a condition id.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ArmSpec {
+    /// True if written with the `MAX( … )` combiner.
+    pub is_max: bool,
+    /// The arms (a single unguarded arm when `is_max` is false).
+    pub arms: Vec<Arm>,
+    /// Source span of the section.
+    pub span: Span,
+}
+
+/// One arm of a confidence/severity section: `[(cond-id) ->] expr`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Arm {
+    /// Optional guard naming a condition id.
+    pub guard: Option<Ident>,
+    /// The arithmetic expression of this arm.
+    pub expr: Expr,
+    /// Source span.
+    pub span: Span,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+}
+
+impl BinOp {
+    /// Source text of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+        }
+    }
+
+    /// True for `+ - * / %`.
+    pub fn is_arithmetic(self) -> bool {
+        matches!(
+            self,
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod
+        )
+    }
+
+    /// True for `== != < <= > >=`.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+
+    /// True for `AND` / `OR`.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum UnOp {
+    /// Arithmetic negation `-e`.
+    Neg,
+    /// Boolean negation `NOT e`.
+    Not,
+}
+
+/// Aggregate operators usable in the quantified form
+/// `AGG(value WHERE binder IN source [AND pred])`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum AggOp {
+    /// `SUM`
+    Sum,
+    /// `MIN`
+    Min,
+    /// `MAX`
+    Max,
+    /// `AVG` (extension)
+    Avg,
+    /// `COUNT` (extension)
+    Count,
+}
+
+impl AggOp {
+    /// Keyword text.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            AggOp::Sum => "SUM",
+            AggOp::Min => "MIN",
+            AggOp::Max => "MAX",
+            AggOp::Avg => "AVG",
+            AggOp::Count => "COUNT",
+        }
+    }
+}
+
+/// Quantifiers (documented extension beyond the paper's examples).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Quant {
+    /// `EXISTS(x IN s WITH p)`
+    Exists,
+    /// `FORALL(x IN s WITH p)`
+    Forall,
+}
+
+impl Quant {
+    /// Keyword text.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            Quant::Exists => "EXISTS",
+            Quant::Forall => "FORALL",
+        }
+    }
+}
+
+/// An expression with its source span.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Expr {
+    /// The expression node.
+    pub kind: ExprKind,
+    /// Source location.
+    pub span: Span,
+}
+
+impl Expr {
+    /// Construct an expression node.
+    pub fn new(kind: ExprKind, span: Span) -> Self {
+        Expr { kind, span }
+    }
+}
+
+/// Expression node kinds.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum ExprKind {
+    /// Integer literal.
+    IntLit(i64),
+    /// Float literal.
+    FloatLit(f64),
+    /// String literal.
+    StrLit(String),
+    /// Boolean literal.
+    BoolLit(bool),
+    /// Variable reference (parameter, LET binding, binder, or enum variant).
+    Var(String),
+    /// Attribute access `base.Attr`.
+    Attr(Box<Expr>, Ident),
+    /// Function call `Name(args…)`. Also used for the n-ary numeric
+    /// builtins `MAX`/`MIN` when written without a `WHERE` clause.
+    Call(Ident, Vec<Expr>),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Set comprehension `{ binder IN source WITH pred }`.
+    SetComp {
+        /// The bound element variable.
+        binder: Ident,
+        /// The set being filtered.
+        source: Box<Expr>,
+        /// The filter predicate (binder in scope).
+        pred: Box<Expr>,
+    },
+    /// `UNIQUE(set)` — the single element of a singleton set.
+    Unique(Box<Expr>),
+    /// Quantified aggregate `AGG(value WHERE binder IN source [AND pred])`.
+    Aggregate {
+        /// Which aggregate.
+        op: AggOp,
+        /// Value expression (binder in scope).
+        value: Box<Expr>,
+        /// The bound element variable.
+        binder: Ident,
+        /// The set being aggregated over.
+        source: Box<Expr>,
+        /// Optional additional predicate (binder in scope).
+        pred: Option<Box<Expr>>,
+    },
+    /// `EXISTS` / `FORALL` quantifier over a set.
+    Quantifier {
+        /// Which quantifier.
+        q: Quant,
+        /// The bound element variable.
+        binder: Ident,
+        /// The set quantified over.
+        source: Box<Expr>,
+        /// The predicate (binder in scope).
+        pred: Box<Expr>,
+    },
+    /// `COUNT(set)` — cardinality of a set expression.
+    CountSet(Box<Expr>),
+}
+
+impl Specification {
+    /// Find a class declaration by name.
+    pub fn class(&self, name: &str) -> Option<&ClassDecl> {
+        self.classes.iter().find(|c| c.name.name == name)
+    }
+
+    /// Find an enum declaration by name.
+    pub fn enum_decl(&self, name: &str) -> Option<&EnumDecl> {
+        self.enums.iter().find(|e| e.name.name == name)
+    }
+
+    /// Find a helper function by name.
+    pub fn function(&self, name: &str) -> Option<&FunctionDecl> {
+        self.functions.iter().find(|f| f.name.name == name)
+    }
+
+    /// Find a global constant by name.
+    pub fn constant(&self, name: &str) -> Option<&ConstDecl> {
+        self.constants.iter().find(|c| c.name.name == name)
+    }
+
+    /// Find a property by name.
+    pub fn property(&self, name: &str) -> Option<&PropertyDecl> {
+        self.properties.iter().find(|p| p.name.name == name)
+    }
+
+    /// Merge another specification into this one (used to layer a property
+    /// suite on top of a shared data model).
+    pub fn extend(&mut self, other: Specification) {
+        self.classes.extend(other.classes);
+        self.enums.extend(other.enums);
+        self.constants.extend(other.constants);
+        self.functions.extend(other.functions);
+        self.properties.extend(other.properties);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_classification() {
+        assert!(BinOp::Add.is_arithmetic());
+        assert!(!BinOp::Add.is_comparison());
+        assert!(BinOp::Eq.is_comparison());
+        assert!(BinOp::And.is_logical());
+        assert_eq!(BinOp::Le.symbol(), "<=");
+    }
+
+    #[test]
+    fn spec_lookup_helpers() {
+        let mut spec = Specification::default();
+        spec.classes.push(ClassDecl {
+            name: Ident::new("Region", Span::default()),
+            base: None,
+            attrs: vec![],
+            span: Span::default(),
+        });
+        assert!(spec.class("Region").is_some());
+        assert!(spec.class("Nope").is_none());
+    }
+
+    #[test]
+    fn spec_extend_merges() {
+        let mut a = Specification::default();
+        a.classes.push(ClassDecl {
+            name: Ident::new("A", Span::default()),
+            base: None,
+            attrs: vec![],
+            span: Span::default(),
+        });
+        let mut b = Specification::default();
+        b.enums.push(EnumDecl {
+            name: Ident::new("E", Span::default()),
+            variants: vec![],
+            span: Span::default(),
+        });
+        a.extend(b);
+        assert_eq!(a.classes.len(), 1);
+        assert_eq!(a.enums.len(), 1);
+    }
+}

@@ -1,0 +1,178 @@
+//! Diagnostics produced by the ASL front-end.
+
+use crate::span::{SourceMap, Span};
+use std::fmt;
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advice that does not block acceptance of the specification.
+    Warning,
+    /// The specification is invalid.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// A single message attached to a source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Severity class of the message.
+    pub severity: Severity,
+    /// Where in the source the problem was detected.
+    pub span: Span,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Construct an error diagnostic.
+    pub fn error(span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Error,
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// Construct a warning diagnostic.
+    pub fn warning(span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// Render the diagnostic as `line:col: severity: message` using a map.
+    pub fn render(&self, map: &SourceMap) -> String {
+        format!("{}: {}: {}", map.locate(self.span.start), self.severity, self.message)
+    }
+}
+
+/// An ordered collection of diagnostics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Diagnostics {
+    items: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    /// An empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a diagnostic.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.items.push(d);
+    }
+
+    /// Append an error at `span`.
+    pub fn error(&mut self, span: Span, message: impl Into<String>) {
+        self.push(Diagnostic::error(span, message));
+    }
+
+    /// Append a warning at `span`.
+    pub fn warning(&mut self, span: Span, message: impl Into<String>) {
+        self.push(Diagnostic::warning(span, message));
+    }
+
+    /// True if any diagnostic is an error.
+    pub fn has_errors(&self) -> bool {
+        self.items.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// True if no diagnostics were recorded at all.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Number of recorded diagnostics.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Iterate over diagnostics in emission order.
+    pub fn iter(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.items.iter()
+    }
+
+    /// Consume and return the underlying vector.
+    pub fn into_vec(self) -> Vec<Diagnostic> {
+        self.items
+    }
+
+    /// Render all diagnostics against the given source, one per line.
+    pub fn render(&self, source: &str) -> String {
+        let map = SourceMap::new(source);
+        let mut out = String::new();
+        for d in &self.items {
+            out.push_str(&d.render(&map));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Diagnostics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.items {
+            writeln!(f, "{}: {} (at {})", d.severity, d.message, d.span)?;
+        }
+        Ok(())
+    }
+}
+
+impl IntoIterator for Diagnostics {
+    type Item = Diagnostic;
+    type IntoIter = std::vec::IntoIter<Diagnostic>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter()
+    }
+}
+
+impl From<Diagnostic> for Diagnostics {
+    fn from(d: Diagnostic) -> Self {
+        Diagnostics { items: vec![d] }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_errors_distinguishes_warnings() {
+        let mut ds = Diagnostics::new();
+        ds.warning(Span::new(0, 1), "just a warning");
+        assert!(!ds.has_errors());
+        ds.error(Span::new(1, 2), "a real error");
+        assert!(ds.has_errors());
+        assert_eq!(ds.len(), 2);
+    }
+
+    #[test]
+    fn render_includes_position() {
+        let src = "ab\ncd";
+        let mut ds = Diagnostics::new();
+        ds.error(Span::new(3, 4), "bad token");
+        let rendered = ds.render(src);
+        assert!(rendered.contains("2:1: error: bad token"), "{rendered}");
+    }
+
+    #[test]
+    fn display_lists_all() {
+        let mut ds = Diagnostics::new();
+        ds.error(Span::new(0, 1), "one");
+        ds.error(Span::new(1, 2), "two");
+        let s = ds.to_string();
+        assert!(s.contains("one") && s.contains("two"));
+    }
+}

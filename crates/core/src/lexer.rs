@@ -1,0 +1,493 @@
+//! Hand-written lexer for ASL.
+//!
+//! Produces a `Vec<Token>` with byte-accurate spans. Comments (`// …` to end
+//! of line and `/* … */` block comments) and ASCII whitespace separate
+//! tokens. Numeric literals follow the usual `123`, `1.5`, `1e-3`, `2.5E+4`
+//! forms; a `.` not followed by a digit terminates an integer so that
+//! attribute access such as `Summary(r,t).Incl` lexes correctly.
+
+use crate::diag::{Diagnostic, Diagnostics};
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Tokenize a full source string.
+///
+/// On success returns the token stream terminated by a single
+/// [`TokenKind::Eof`] token. Lexical errors (stray characters, unterminated
+/// strings/comments, malformed numbers) are collected and returned together.
+pub fn lex(source: &str) -> Result<Vec<Token>, Diagnostics> {
+    let mut lx = Lexer::new(source);
+    lx.run();
+    if lx.diags.has_errors() {
+        Err(lx.diags)
+    } else {
+        Ok(lx.tokens)
+    }
+}
+
+struct Lexer<'s> {
+    src: &'s str,
+    bytes: &'s [u8],
+    pos: usize,
+    tokens: Vec<Token>,
+    diags: Diagnostics,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(src: &'s str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            tokens: Vec::with_capacity(src.len() / 4),
+            diags: Diagnostics::new(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize) {
+        self.tokens
+            .push(Token::new(kind, Span::new(start as u32, self.pos as u32)));
+    }
+
+    fn run(&mut self) {
+        while let Some(b) = self.peek() {
+            let start = self.pos;
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.pos += 1;
+                }
+                b'/' if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                b'/' if self.peek2() == Some(b'*') => {
+                    self.block_comment(start);
+                }
+                b'A'..=b'Z' | b'a'..=b'z' | b'_' => self.ident(start),
+                b'0'..=b'9' => self.number(start),
+                b'"' => self.string(start),
+                b'{' => {
+                    self.pos += 1;
+                    self.push(TokenKind::LBrace, start);
+                }
+                b'}' => {
+                    self.pos += 1;
+                    self.push(TokenKind::RBrace, start);
+                }
+                b'(' => {
+                    self.pos += 1;
+                    self.push(TokenKind::LParen, start);
+                }
+                b')' => {
+                    self.pos += 1;
+                    self.push(TokenKind::RParen, start);
+                }
+                b';' => {
+                    self.pos += 1;
+                    self.push(TokenKind::Semi, start);
+                }
+                b',' => {
+                    self.pos += 1;
+                    self.push(TokenKind::Comma, start);
+                }
+                b'.' => {
+                    self.pos += 1;
+                    self.push(TokenKind::Dot, start);
+                }
+                b':' => {
+                    self.pos += 1;
+                    self.push(TokenKind::Colon, start);
+                }
+                b'+' => {
+                    self.pos += 1;
+                    self.push(TokenKind::Plus, start);
+                }
+                b'-' => {
+                    self.pos += 1;
+                    if self.peek() == Some(b'>') {
+                        self.pos += 1;
+                        self.push(TokenKind::Arrow, start);
+                    } else {
+                        self.push(TokenKind::Minus, start);
+                    }
+                }
+                b'*' => {
+                    self.pos += 1;
+                    self.push(TokenKind::Star, start);
+                }
+                b'/' => {
+                    self.pos += 1;
+                    self.push(TokenKind::Slash, start);
+                }
+                b'%' => {
+                    self.pos += 1;
+                    self.push(TokenKind::Percent, start);
+                }
+                b'=' => {
+                    self.pos += 1;
+                    if self.peek() == Some(b'=') {
+                        self.pos += 1;
+                        self.push(TokenKind::EqEq, start);
+                    } else {
+                        self.push(TokenKind::Assign, start);
+                    }
+                }
+                b'!' => {
+                    self.pos += 1;
+                    if self.peek() == Some(b'=') {
+                        self.pos += 1;
+                        self.push(TokenKind::NotEq, start);
+                    } else {
+                        self.diags.push(Diagnostic::error(
+                            Span::new(start as u32, self.pos as u32),
+                            "unexpected `!`; did you mean `!=` or `NOT`?",
+                        ));
+                    }
+                }
+                b'<' => {
+                    self.pos += 1;
+                    if self.peek() == Some(b'=') {
+                        self.pos += 1;
+                        self.push(TokenKind::Le, start);
+                    } else if self.peek() == Some(b'>') {
+                        // SQL-style inequality accepted as an alias.
+                        self.pos += 1;
+                        self.push(TokenKind::NotEq, start);
+                    } else {
+                        self.push(TokenKind::Lt, start);
+                    }
+                }
+                b'>' => {
+                    self.pos += 1;
+                    if self.peek() == Some(b'=') {
+                        self.pos += 1;
+                        self.push(TokenKind::Ge, start);
+                    } else {
+                        self.push(TokenKind::Gt, start);
+                    }
+                }
+                other => {
+                    self.pos += 1;
+                    self.diags.push(Diagnostic::error(
+                        Span::new(start as u32, self.pos as u32),
+                        format!("unexpected character `{}`", other as char),
+                    ));
+                }
+            }
+        }
+        let at = self.pos as u32;
+        self.tokens.push(Token::new(TokenKind::Eof, Span::point(at)));
+    }
+
+    fn block_comment(&mut self, start: usize) {
+        self.pos += 2; // consume `/*`
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(), self.peek2()) {
+                (Some(b'*'), Some(b'/')) => {
+                    self.pos += 2;
+                    depth -= 1;
+                }
+                (Some(b'/'), Some(b'*')) => {
+                    self.pos += 2;
+                    depth += 1;
+                }
+                (Some(_), _) => self.pos += 1,
+                (None, _) => {
+                    self.diags.push(Diagnostic::error(
+                        Span::new(start as u32, self.pos as u32),
+                        "unterminated block comment",
+                    ));
+                    return;
+                }
+            }
+        }
+    }
+
+    fn ident(&mut self, start: usize) {
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = &self.src[start..self.pos];
+        let kind = TokenKind::keyword(text).unwrap_or_else(|| TokenKind::Ident(text.to_string()));
+        self.push(kind, start);
+    }
+
+    fn number(&mut self, start: usize) {
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        // Fractional part: only if `.` is followed by a digit, so that
+        // `x.Incl`-style attribute access still works after an integer.
+        if self.peek() == Some(b'.') && self.peek2().is_some_and(|b| b.is_ascii_digit()) {
+            is_float = true;
+            self.pos += 1;
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        // Exponent.
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            let save = self.pos;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            if self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                is_float = true;
+                while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            } else {
+                // Not an exponent after all (e.g. `1e` followed by ident char).
+                self.pos = save;
+            }
+        }
+        let text = &self.src[start..self.pos];
+        if is_float {
+            match text.parse::<f64>() {
+                Ok(v) => self.push(TokenKind::Float(v), start),
+                Err(_) => self.diags.push(Diagnostic::error(
+                    Span::new(start as u32, self.pos as u32),
+                    format!("malformed float literal `{text}`"),
+                )),
+            }
+        } else {
+            match text.parse::<i64>() {
+                Ok(v) => self.push(TokenKind::Int(v), start),
+                Err(_) => self.diags.push(Diagnostic::error(
+                    Span::new(start as u32, self.pos as u32),
+                    format!("integer literal `{text}` out of range"),
+                )),
+            }
+        }
+    }
+
+    fn string(&mut self, start: usize) {
+        self.pos += 1; // opening quote
+        // Accumulate raw bytes so multi-byte UTF-8 sequences survive, then
+        // validate once at the end.
+        let mut value: Vec<u8> = Vec::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => break,
+                Some(b'\\') => match self.bump() {
+                    Some(b'n') => value.push(b'\n'),
+                    Some(b't') => value.push(b'\t'),
+                    Some(b'\\') => value.push(b'\\'),
+                    Some(b'"') => value.push(b'"'),
+                    Some(other) => {
+                        self.diags.push(Diagnostic::error(
+                            Span::new(self.pos as u32 - 2, self.pos as u32),
+                            format!("unknown escape `\\{}`", other as char),
+                        ));
+                    }
+                    None => {
+                        self.diags.push(Diagnostic::error(
+                            Span::new(start as u32, self.pos as u32),
+                            "unterminated string literal",
+                        ));
+                        return;
+                    }
+                },
+                Some(b'\n') | None => {
+                    self.diags.push(Diagnostic::error(
+                        Span::new(start as u32, self.pos as u32),
+                        "unterminated string literal",
+                    ));
+                    return;
+                }
+                Some(b) => value.push(b),
+            }
+        }
+        match String::from_utf8(value) {
+            Ok(s) => self.push(TokenKind::Str(s), start),
+            Err(_) => self.diags.push(Diagnostic::error(
+                Span::new(start as u32, self.pos as u32),
+                "string literal is not valid UTF-8",
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_class_declaration() {
+        let ks = kinds("class Program { String Name; }");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Class,
+                TokenKind::Ident("Program".into()),
+                TokenKind::LBrace,
+                TokenKind::Ident("String".into()),
+                TokenKind::Ident("Name".into()),
+                TokenKind::Semi,
+                TokenKind::RBrace,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn attribute_access_after_call() {
+        let ks = kinds("Summary(r,t).Incl");
+        assert!(ks.contains(&TokenKind::Dot));
+        assert!(ks.contains(&TokenKind::Ident("Incl".into())));
+    }
+
+    #[test]
+    fn integer_then_dot_ident_is_not_float() {
+        let ks = kinds("1.x");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Int(1),
+                TokenKind::Dot,
+                TokenKind::Ident("x".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn float_forms() {
+        assert_eq!(kinds("1.5")[0], TokenKind::Float(1.5));
+        assert_eq!(kinds("2e3")[0], TokenKind::Float(2000.0));
+        assert_eq!(kinds("2.5E+1")[0], TokenKind::Float(25.0));
+        assert_eq!(kinds("7")[0], TokenKind::Int(7));
+    }
+
+    #[test]
+    fn operators() {
+        let ks = kinds("== != <= >= < > = -> + - * / %");
+        assert_eq!(
+            ks[..ks.len() - 1],
+            vec![
+                TokenKind::EqEq,
+                TokenKind::NotEq,
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::Lt,
+                TokenKind::Gt,
+                TokenKind::Assign,
+                TokenKind::Arrow,
+                TokenKind::Plus,
+                TokenKind::Minus,
+                TokenKind::Star,
+                TokenKind::Slash,
+                TokenKind::Percent,
+            ]
+        );
+    }
+
+    #[test]
+    fn sql_style_inequality_alias() {
+        assert_eq!(kinds("a <> b")[1], TokenKind::NotEq);
+    }
+
+    #[test]
+    fn line_and_block_comments_are_skipped() {
+        let ks = kinds("a // comment\n b /* block /* nested */ still */ c");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Ident("c".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_block_comment_errors() {
+        assert!(lex("a /* never closed").is_err());
+    }
+
+    #[test]
+    fn string_literals_with_escapes() {
+        let ks = kinds(r#""hello \"world\"\n""#);
+        assert_eq!(ks[0], TokenKind::Str("hello \"world\"\n".into()));
+    }
+
+    #[test]
+    fn utf8_string_literals_survive() {
+        let ks = kinds("\"Jülich T3E — λ\"");
+        assert_eq!(ks[0], TokenKind::Str("Jülich T3E — λ".into()));
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex("\"abc").is_err());
+        assert!(lex("\"abc\ndef\"").is_err());
+    }
+
+    #[test]
+    fn keywords_in_context() {
+        let ks = kinds("PROPERTY P(Region r) { CONDITION: TRUE; }");
+        assert_eq!(ks[0], TokenKind::Property);
+        assert!(ks.contains(&TokenKind::Condition));
+        assert!(ks.contains(&TokenKind::True));
+    }
+
+    #[test]
+    fn spans_are_byte_accurate() {
+        let toks = lex("ab cd").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 2));
+        assert_eq!(toks[1].span, Span::new(3, 5));
+        assert_eq!(toks[2].span, Span::point(5));
+    }
+
+    #[test]
+    fn stray_character_is_error() {
+        assert!(lex("a $ b").is_err());
+        assert!(lex("a ! b").is_err());
+    }
+
+    #[test]
+    fn paper_aggregate_expression_lexes() {
+        // From the SyncCost property of the paper.
+        let src = "SUM(tt.Time WHERE tt IN r.TypTimes AND tt.Run==t AND tt.Type == Barrier)";
+        let ks = kinds(src);
+        assert_eq!(ks[0], TokenKind::Sum);
+        assert!(ks.contains(&TokenKind::Where));
+        assert!(ks.contains(&TokenKind::In));
+        assert!(ks.contains(&TokenKind::And));
+    }
+
+    #[test]
+    fn int_out_of_range_is_error() {
+        assert!(lex("99999999999999999999999999").is_err());
+    }
+}

@@ -1,0 +1,458 @@
+//! Canonical pretty-printer for ASL.
+//!
+//! The printer produces a normalized layout whose output re-parses to an
+//! equal AST (`parse ∘ pretty = id` up to spans) — verified by round-trip
+//! tests. Operator printing is precedence-aware, inserting only necessary
+//! parentheses.
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Pretty-print a full specification.
+pub fn print_spec(spec: &Specification) -> String {
+    let mut out = String::new();
+    for e in &spec.enums {
+        print_enum(&mut out, e);
+        out.push('\n');
+    }
+    for c in &spec.classes {
+        print_class(&mut out, c);
+        out.push('\n');
+    }
+    for c in &spec.constants {
+        let _ = writeln!(out, "{} {} = {};\n", c.ty, c.name, print_expr(&c.value));
+    }
+    for f in &spec.functions {
+        print_function(&mut out, f);
+        out.push('\n');
+    }
+    for p in &spec.properties {
+        print_property(&mut out, p);
+        out.push('\n');
+    }
+    out
+}
+
+fn print_enum(out: &mut String, e: &EnumDecl) {
+    let _ = write!(out, "enum {} {{ ", e.name);
+    for (i, v) in e.variants.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&v.name);
+    }
+    out.push_str(" }\n");
+}
+
+fn print_class(out: &mut String, c: &ClassDecl) {
+    let _ = write!(out, "class {}", c.name);
+    if let Some(b) = &c.base {
+        let _ = write!(out, " extends {b}");
+    }
+    out.push_str(" {\n");
+    for a in &c.attrs {
+        let _ = writeln!(out, "    {} {};", a.ty, a.name);
+    }
+    out.push_str("}\n");
+}
+
+fn print_function(out: &mut String, f: &FunctionDecl) {
+    let _ = write!(out, "{} {}(", f.ret_ty, f.name);
+    print_params(out, &f.params);
+    out.push_str(") =\n    ");
+    out.push_str(&print_expr(&f.body));
+    out.push_str(";\n");
+}
+
+fn print_params(out: &mut String, params: &[Param]) {
+    for (i, p) in params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{} {}", p.ty, p.name);
+    }
+}
+
+fn print_property(out: &mut String, p: &PropertyDecl) {
+    let _ = write!(out, "PROPERTY {}(", p.name);
+    print_params(out, &p.params);
+    out.push_str(") {\n");
+    if !p.lets.is_empty() {
+        out.push_str("    LET ");
+        for (i, l) in p.lets.iter().enumerate() {
+            if i > 0 {
+                out.push_str("        ");
+            }
+            let _ = writeln!(out, "{} {} = {};", l.ty, l.name, print_expr(&l.value));
+        }
+        out.push_str("    IN\n");
+    }
+    out.push_str("    CONDITION: ");
+    for (i, c) in p.conditions.iter().enumerate() {
+        if i > 0 {
+            out.push_str(" OR ");
+        }
+        if let Some(id) = &c.id {
+            let _ = write!(out, "({id}) ");
+        }
+        out.push_str(&print_expr(&c.expr));
+    }
+    out.push_str(";\n");
+    out.push_str("    CONFIDENCE: ");
+    print_arm_spec(out, &p.confidence);
+    out.push_str(";\n");
+    out.push_str("    SEVERITY: ");
+    print_arm_spec(out, &p.severity);
+    out.push_str(";\n}\n");
+}
+
+fn print_arm_spec(out: &mut String, spec: &ArmSpec) {
+    if spec.is_max {
+        out.push_str("MAX(");
+        for (i, arm) in spec.arms.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            if let Some(g) = &arm.guard {
+                let _ = write!(out, "({g}) -> ");
+            }
+            out.push_str(&print_expr(&arm.expr));
+        }
+        out.push(')');
+    } else {
+        let arm = &spec.arms[0];
+        if let Some(g) = &arm.guard {
+            let _ = write!(out, "({g}) -> ");
+        }
+        out.push_str(&print_expr(&arm.expr));
+    }
+}
+
+/// Binding strength used to decide parenthesization. Larger binds tighter.
+fn precedence(e: &ExprKind) -> u8 {
+    match e {
+        ExprKind::Binary(BinOp::Or, _, _) => 1,
+        ExprKind::Binary(BinOp::And, _, _) => 2,
+        ExprKind::Unary(UnOp::Not, _) => 3,
+        ExprKind::Binary(op, _, _) if op.is_comparison() => 4,
+        ExprKind::Binary(BinOp::Add | BinOp::Sub, _, _) => 5,
+        ExprKind::Binary(BinOp::Mul | BinOp::Div | BinOp::Mod, _, _) => 6,
+        ExprKind::Unary(UnOp::Neg, _) => 7,
+        _ => 10,
+    }
+}
+
+/// Pretty-print a single expression.
+pub fn print_expr(e: &Expr) -> String {
+    let mut s = String::new();
+    write_expr(&mut s, e);
+    s
+}
+
+/// Print a binder source (`x IN <source>`): the parser reads it at
+/// comparison level, so anything looser (NOT/AND/OR) needs parentheses.
+fn write_source(out: &mut String, source: &Expr) {
+    write_child(out, source, 4, false);
+}
+
+fn write_child(out: &mut String, child: &Expr, parent_prec: u8, tighter: bool) {
+    let cp = precedence(&child.kind);
+    let need = if tighter {
+        cp <= parent_prec
+    } else {
+        cp < parent_prec
+    };
+    if need {
+        out.push('(');
+        write_expr(out, child);
+        out.push(')');
+    } else {
+        write_expr(out, child);
+    }
+}
+
+fn write_expr(out: &mut String, e: &Expr) {
+    match &e.kind {
+        ExprKind::IntLit(v) => {
+            let _ = write!(out, "{v}");
+        }
+        ExprKind::FloatLit(v) => {
+            if v.fract() == 0.0 && v.is_finite() && v.abs() < 1e15 {
+                let _ = write!(out, "{v:.1}");
+            } else {
+                let _ = write!(out, "{v}");
+            }
+        }
+        ExprKind::StrLit(s) => {
+            out.push('"');
+            for ch in s.chars() {
+                match ch {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        ExprKind::BoolLit(b) => out.push_str(if *b { "TRUE" } else { "FALSE" }),
+        ExprKind::Var(n) => out.push_str(n),
+        ExprKind::Attr(base, attr) => {
+            let bp = precedence(&base.kind);
+            if bp < 10 {
+                out.push('(');
+                write_expr(out, base);
+                out.push(')');
+            } else {
+                write_expr(out, base);
+            }
+            let _ = write!(out, ".{attr}");
+        }
+        ExprKind::Call(name, args) => {
+            let _ = write!(out, "{name}(");
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(out, a);
+            }
+            out.push(')');
+        }
+        ExprKind::Unary(op, inner) => {
+            let p = precedence(&e.kind);
+            match op {
+                UnOp::Neg => {
+                    out.push('-');
+                    write_child(out, inner, p, true);
+                }
+                UnOp::Not => {
+                    out.push_str("NOT ");
+                    write_child(out, inner, p, true);
+                }
+            }
+        }
+        ExprKind::Binary(op, lhs, rhs) => {
+            let p = precedence(&e.kind);
+            // Left-associative operators: the left child may share the
+            // precedence. Comparisons are *non-associative* in the grammar
+            // (a single optional operator), so a comparison child on either
+            // side needs parentheses.
+            write_child(out, lhs, p, op.is_comparison());
+            let _ = write!(out, " {} ", op.symbol());
+            write_child(out, rhs, p, true);
+        }
+        ExprKind::SetComp {
+            binder,
+            source,
+            pred,
+        } => {
+            let _ = write!(out, "{{{binder} IN ");
+            write_source(out, source);
+            out.push_str(" WITH ");
+            write_expr(out, pred);
+            out.push('}');
+        }
+        ExprKind::Unique(inner) => {
+            out.push_str("UNIQUE(");
+            write_expr(out, inner);
+            out.push(')');
+        }
+        ExprKind::Aggregate {
+            op,
+            value,
+            binder,
+            source,
+            pred,
+        } => {
+            let _ = write!(out, "{}(", op.keyword());
+            write_expr(out, value);
+            let _ = write!(out, " WHERE {binder} IN ");
+            write_source(out, source);
+            if let Some(p) = pred {
+                out.push_str(" AND ");
+                write_expr(out, p);
+            }
+            out.push(')');
+        }
+        ExprKind::Quantifier {
+            q,
+            binder,
+            source,
+            pred,
+        } => {
+            let _ = write!(out, "{}({binder} IN ", q.keyword());
+            write_source(out, source);
+            out.push_str(" WITH ");
+            write_expr(out, pred);
+            out.push(')');
+        }
+        ExprKind::CountSet(inner) => {
+            out.push_str("COUNT(");
+            write_expr(out, inner);
+            out.push(')');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse, parse_expr};
+
+    /// Strip spans so ASTs can be compared structurally after a round-trip.
+    fn normalize_expr(e: &mut Expr) {
+        e.span = crate::span::Span::default();
+        match &mut e.kind {
+            ExprKind::Attr(b, a) => {
+                normalize_expr(b);
+                a.span = crate::span::Span::default();
+            }
+            ExprKind::Call(n, args) => {
+                n.span = crate::span::Span::default();
+                args.iter_mut().for_each(normalize_expr);
+            }
+            ExprKind::Unary(_, i) | ExprKind::Unique(i) | ExprKind::CountSet(i) => {
+                normalize_expr(i)
+            }
+            ExprKind::Binary(_, l, r) => {
+                normalize_expr(l);
+                normalize_expr(r);
+            }
+            ExprKind::SetComp {
+                binder,
+                source,
+                pred,
+            } => {
+                binder.span = crate::span::Span::default();
+                normalize_expr(source);
+                normalize_expr(pred);
+            }
+            ExprKind::Aggregate {
+                value,
+                binder,
+                source,
+                pred,
+                ..
+            } => {
+                binder.span = crate::span::Span::default();
+                normalize_expr(value);
+                normalize_expr(source);
+                if let Some(p) = pred {
+                    normalize_expr(p);
+                }
+            }
+            ExprKind::Quantifier {
+                binder,
+                source,
+                pred,
+                ..
+            } => {
+                binder.span = crate::span::Span::default();
+                normalize_expr(source);
+                normalize_expr(pred);
+            }
+            _ => {}
+        }
+    }
+
+    fn roundtrip_expr(src: &str) {
+        let mut e1 = parse_expr(src).expect("initial parse");
+        let printed = print_expr(&e1);
+        let mut e2 = parse_expr(&printed)
+            .unwrap_or_else(|d| panic!("reparse of `{printed}` failed: {d}"));
+        normalize_expr(&mut e1);
+        normalize_expr(&mut e2);
+        assert_eq!(e1, e2, "round-trip changed `{src}` -> `{printed}`");
+    }
+
+    #[test]
+    fn roundtrip_simple_expressions() {
+        roundtrip_expr("1 + 2 * 3");
+        roundtrip_expr("(1 + 2) * 3");
+        roundtrip_expr("a.b.c");
+        roundtrip_expr("-a * b");
+        roundtrip_expr("-(a * b)");
+        roundtrip_expr("NOT a AND b");
+        roundtrip_expr("NOT (a AND b)");
+        roundtrip_expr("a OR b AND c");
+        roundtrip_expr("(a OR b) AND c");
+    }
+
+    #[test]
+    fn roundtrip_paper_expressions() {
+        roundtrip_expr("UNIQUE({s IN r.TotTimes WITH s.Run == t}).Incl");
+        roundtrip_expr("SUM(tt.Time WHERE tt IN r.TypTimes AND tt.Run == t AND tt.Type == Barrier)");
+        roundtrip_expr("MIN(s.Run.NoPe WHERE s IN r.TotTimes)");
+        roundtrip_expr("Duration(r, t) - Duration(r, MinPeSum.Run)");
+        roundtrip_expr("COUNT(r.TotTimes)");
+        roundtrip_expr("EXISTS(s IN r.TotTimes WITH s.Incl > 0.0)");
+    }
+
+    #[test]
+    fn roundtrip_full_property() {
+        let src = r#"
+            Property SublinearSpeedup(Region r, TestRun t, Region Basis) {
+                LET TotalTiming MinPeSum = UNIQUE({sum IN r.TotTimes WITH sum.Run.NoPe ==
+                        MIN(s.Run.NoPe WHERE s IN r.TotTimes)});
+                    float TotalCost = Duration(r,t) - Duration(r,MinPeSum.Run)
+                IN
+                CONDITION: TotalCost>0; CONFIDENCE: 1;
+                SEVERITY: TotalCost/Duration(Basis,t);
+            }
+        "#;
+        let s1 = parse(src).unwrap();
+        let printed = print_spec(&s1);
+        let s2 = parse(&printed).unwrap_or_else(|d| panic!("reparse failed:\n{printed}\n{d}"));
+        assert_eq!(s1.properties.len(), s2.properties.len());
+        assert_eq!(
+            print_spec(&s2),
+            printed,
+            "pretty-printing must be a fixpoint"
+        );
+    }
+
+    #[test]
+    fn roundtrip_guarded_max() {
+        let src = r#"
+            PROPERTY P(Region r) {
+                CONDITION: (hi) x > 100 OR (lo) x > 10;
+                CONFIDENCE: MAX((hi) -> 1, (lo) -> 0.5);
+                SEVERITY: MAX((hi) -> x, (lo) -> x / 10);
+            }
+        "#;
+        let s1 = parse(src).unwrap();
+        let printed = print_spec(&s1);
+        let s2 = parse(&printed).unwrap();
+        assert_eq!(print_spec(&s2), printed);
+        assert!(s2.properties[0].confidence.is_max);
+    }
+
+    #[test]
+    fn roundtrip_class_and_enum() {
+        let src = r#"
+            enum TimingType { Barrier, IoRead }
+            class Region extends Base { setof TotalTiming TotTimes; float X; }
+            class Base { int Id; }
+        "#;
+        let s1 = parse(src).unwrap();
+        let printed = print_spec(&s1);
+        let s2 = parse(&printed).unwrap();
+        assert_eq!(print_spec(&s2), printed);
+        assert_eq!(s2.classes.len(), 2);
+        assert_eq!(s2.enums[0].variants.len(), 2);
+    }
+
+    #[test]
+    fn float_literals_stay_floats() {
+        // `1.0` must not print as `1` (which would re-lex as an int).
+        roundtrip_expr("1.0 + 2.5");
+        let e = parse_expr("1.0").unwrap();
+        assert_eq!(print_expr(&e), "1.0");
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        roundtrip_expr(r#""a\"b\\c\nd""#);
+    }
+}

@@ -1,0 +1,174 @@
+//! Byte-offset source spans and line/column mapping.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into a source string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+}
+
+impl Span {
+    /// Create a span from byte offsets.
+    pub fn new(start: u32, end: u32) -> Self {
+        debug_assert!(start <= end, "span start must not exceed end");
+        Span { start, end }
+    }
+
+    /// A zero-length span at a byte offset (used for EOF diagnostics).
+    pub fn point(at: u32) -> Self {
+        Span { start: at, end: at }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Length of the span in bytes.
+    pub fn len(self) -> u32 {
+        self.end - self.start
+    }
+
+    /// True if the span covers no bytes.
+    pub fn is_empty(self) -> bool {
+        self.start == self.end
+    }
+
+    /// Extract the spanned text from the given source.
+    pub fn slice(self, source: &str) -> &str {
+        &source[self.start as usize..self.end as usize]
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// A 1-based line/column position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineCol {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column (in bytes within the line).
+    pub col: u32,
+}
+
+impl fmt::Display for LineCol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Maps byte offsets to line/column positions for diagnostic rendering.
+#[derive(Debug, Clone)]
+pub struct SourceMap {
+    /// Byte offset at which each line starts. `line_starts[0] == 0`.
+    line_starts: Vec<u32>,
+    len: u32,
+}
+
+impl SourceMap {
+    /// Build a source map by scanning the source once for newlines.
+    pub fn new(source: &str) -> Self {
+        let mut line_starts = vec![0u32];
+        for (i, b) in source.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i as u32 + 1);
+            }
+        }
+        SourceMap {
+            line_starts,
+            len: source.len() as u32,
+        }
+    }
+
+    /// Convert a byte offset into a line/column pair. Offsets past the end
+    /// of the source are clamped to the final position.
+    pub fn locate(&self, offset: u32) -> LineCol {
+        let offset = offset.min(self.len);
+        let line_idx = match self.line_starts.binary_search(&offset) {
+            Ok(exact) => exact,
+            Err(next) => next - 1,
+        };
+        LineCol {
+            line: line_idx as u32 + 1,
+            col: offset - self.line_starts[line_idx] + 1,
+        }
+    }
+
+    /// Number of lines in the mapped source.
+    pub fn line_count(&self) -> usize {
+        self.line_starts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_merge_covers_both() {
+        let a = Span::new(3, 7);
+        let b = Span::new(10, 12);
+        assert_eq!(a.merge(b), Span::new(3, 12));
+        assert_eq!(b.merge(a), Span::new(3, 12));
+    }
+
+    #[test]
+    fn span_slice_extracts_text() {
+        let src = "hello world";
+        assert_eq!(Span::new(6, 11).slice(src), "world");
+    }
+
+    #[test]
+    fn span_point_is_empty() {
+        assert!(Span::point(5).is_empty());
+        assert_eq!(Span::point(5).len(), 0);
+    }
+
+    #[test]
+    fn locate_first_line() {
+        let sm = SourceMap::new("abc\ndef");
+        assert_eq!(sm.locate(0), LineCol { line: 1, col: 1 });
+        assert_eq!(sm.locate(2), LineCol { line: 1, col: 3 });
+    }
+
+    #[test]
+    fn locate_after_newline() {
+        let sm = SourceMap::new("abc\ndef\nghi");
+        assert_eq!(sm.locate(4), LineCol { line: 2, col: 1 });
+        assert_eq!(sm.locate(8), LineCol { line: 3, col: 1 });
+        assert_eq!(sm.locate(10), LineCol { line: 3, col: 3 });
+    }
+
+    #[test]
+    fn locate_clamps_past_end() {
+        let sm = SourceMap::new("ab");
+        assert_eq!(sm.locate(100), LineCol { line: 1, col: 3 });
+    }
+
+    #[test]
+    fn locate_on_newline_byte() {
+        let sm = SourceMap::new("ab\ncd");
+        // The newline byte itself belongs to line 1.
+        assert_eq!(sm.locate(2), LineCol { line: 1, col: 3 });
+        assert_eq!(sm.locate(3), LineCol { line: 2, col: 1 });
+    }
+
+    #[test]
+    fn empty_source() {
+        let sm = SourceMap::new("");
+        assert_eq!(sm.locate(0), LineCol { line: 1, col: 1 });
+        assert_eq!(sm.line_count(), 1);
+    }
+}

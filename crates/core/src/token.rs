@@ -1,0 +1,298 @@
+//! Token definitions for the ASL lexer.
+
+use crate::span::Span;
+use std::fmt;
+
+/// The kind of a lexical token.
+///
+/// Keyword policy: section and expression keywords are recognized in their
+/// exact uppercase spelling (`LET`, `IN`, `SUM`, `MAX`, …) plus the single
+/// alternative `Property` for `PROPERTY`, because the paper's Figure 1 uses
+/// `PROPERTY` while its worked examples write `Property`. Everything else —
+/// including lowercase `sum`, which the paper itself uses as a comprehension
+/// binder — lexes as an identifier. Declaration keywords (`class`, `enum`,
+/// `setof`, `extends`) are lowercase, matching every occurrence in the
+/// paper.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    // ---- literals & identifiers -------------------------------------------------
+    /// An identifier such as `Region` or `TotTimes`.
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A floating-point literal.
+    Float(f64),
+    /// A double-quoted string literal (value has escapes resolved).
+    Str(String),
+
+    // ---- case-insensitive section / expression keywords -------------------------
+    /// `PROPERTY`
+    Property,
+    /// `TEMPLATE` (ASL report extension; reserved)
+    Template,
+    /// `LET`
+    Let,
+    /// `IN`
+    In,
+    /// `CONDITION`
+    Condition,
+    /// `CONFIDENCE`
+    Confidence,
+    /// `SEVERITY`
+    Severity,
+    /// `MAX`
+    Max,
+    /// `MIN`
+    Min,
+    /// `SUM`
+    Sum,
+    /// `AVG`
+    Avg,
+    /// `COUNT`
+    Count,
+    /// `UNIQUE`
+    Unique,
+    /// `EXISTS`
+    Exists,
+    /// `FORALL`
+    Forall,
+    /// `WHERE`
+    Where,
+    /// `WITH`
+    With,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+    /// `NOT`
+    Not,
+    /// `TRUE`
+    True,
+    /// `FALSE`
+    False,
+
+    // ---- lowercase declaration keywords -----------------------------------------
+    /// `class`
+    Class,
+    /// `enum`
+    Enum,
+    /// `setof`
+    Setof,
+    /// `extends`
+    Extends,
+
+    // ---- punctuation --------------------------------------------------------------
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `:`
+    Colon,
+    /// `->`
+    Arrow,
+    /// `=`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// A short human-readable name used in parser error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Int(v) => format!("integer `{v}`"),
+            TokenKind::Float(v) => format!("float `{v}`"),
+            TokenKind::Str(_) => "string literal".to_string(),
+            TokenKind::Eof => "end of input".to_string(),
+            other => format!("`{}`", other.lexeme()),
+        }
+    }
+
+    /// The canonical source text for fixed tokens (empty for variable ones).
+    pub fn lexeme(&self) -> &'static str {
+        match self {
+            TokenKind::Property => "PROPERTY",
+            TokenKind::Template => "TEMPLATE",
+            TokenKind::Let => "LET",
+            TokenKind::In => "IN",
+            TokenKind::Condition => "CONDITION",
+            TokenKind::Confidence => "CONFIDENCE",
+            TokenKind::Severity => "SEVERITY",
+            TokenKind::Max => "MAX",
+            TokenKind::Min => "MIN",
+            TokenKind::Sum => "SUM",
+            TokenKind::Avg => "AVG",
+            TokenKind::Count => "COUNT",
+            TokenKind::Unique => "UNIQUE",
+            TokenKind::Exists => "EXISTS",
+            TokenKind::Forall => "FORALL",
+            TokenKind::Where => "WHERE",
+            TokenKind::With => "WITH",
+            TokenKind::And => "AND",
+            TokenKind::Or => "OR",
+            TokenKind::Not => "NOT",
+            TokenKind::True => "TRUE",
+            TokenKind::False => "FALSE",
+            TokenKind::Class => "class",
+            TokenKind::Enum => "enum",
+            TokenKind::Setof => "setof",
+            TokenKind::Extends => "extends",
+            TokenKind::LBrace => "{",
+            TokenKind::RBrace => "}",
+            TokenKind::LParen => "(",
+            TokenKind::RParen => ")",
+            TokenKind::Semi => ";",
+            TokenKind::Comma => ",",
+            TokenKind::Dot => ".",
+            TokenKind::Colon => ":",
+            TokenKind::Arrow => "->",
+            TokenKind::Assign => "=",
+            TokenKind::EqEq => "==",
+            TokenKind::NotEq => "!=",
+            TokenKind::Lt => "<",
+            TokenKind::Le => "<=",
+            TokenKind::Gt => ">",
+            TokenKind::Ge => ">=",
+            TokenKind::Plus => "+",
+            TokenKind::Minus => "-",
+            TokenKind::Star => "*",
+            TokenKind::Slash => "/",
+            TokenKind::Percent => "%",
+            _ => "",
+        }
+    }
+
+    /// Look up a keyword by its exact spelling; returns `None` for idents.
+    pub fn keyword(word: &str) -> Option<TokenKind> {
+        Some(match word {
+            "class" => TokenKind::Class,
+            "enum" => TokenKind::Enum,
+            "setof" => TokenKind::Setof,
+            "extends" => TokenKind::Extends,
+            "PROPERTY" | "Property" => TokenKind::Property,
+            "TEMPLATE" => TokenKind::Template,
+            "LET" => TokenKind::Let,
+            "IN" => TokenKind::In,
+            "CONDITION" => TokenKind::Condition,
+            "CONFIDENCE" => TokenKind::Confidence,
+            "SEVERITY" => TokenKind::Severity,
+            "MAX" => TokenKind::Max,
+            "MIN" => TokenKind::Min,
+            "SUM" => TokenKind::Sum,
+            "AVG" => TokenKind::Avg,
+            "COUNT" => TokenKind::Count,
+            "UNIQUE" => TokenKind::Unique,
+            "EXISTS" => TokenKind::Exists,
+            "FORALL" => TokenKind::Forall,
+            "WHERE" => TokenKind::Where,
+            "WITH" => TokenKind::With,
+            "AND" => TokenKind::And,
+            "OR" => TokenKind::Or,
+            "NOT" => TokenKind::Not,
+            "TRUE" => TokenKind::True,
+            "FALSE" => TokenKind::False,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.describe())
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Where it appears in the source.
+    pub span: Span,
+}
+
+impl Token {
+    /// Construct a token.
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token { kind, span }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn property_accepts_both_paper_spellings() {
+        assert_eq!(TokenKind::keyword("Property"), Some(TokenKind::Property));
+        assert_eq!(TokenKind::keyword("PROPERTY"), Some(TokenKind::Property));
+        assert_eq!(TokenKind::keyword("property"), None);
+        assert_eq!(TokenKind::keyword("CONDITION"), Some(TokenKind::Condition));
+        assert_eq!(TokenKind::keyword("Condition"), None);
+    }
+
+    #[test]
+    fn lowercase_sum_is_an_identifier() {
+        // The paper uses `sum` as a comprehension binder in the
+        // SublinearSpeedup property; it must not collide with `SUM`.
+        assert_eq!(TokenKind::keyword("sum"), None);
+        assert_eq!(TokenKind::keyword("SUM"), Some(TokenKind::Sum));
+        assert_eq!(TokenKind::keyword("min"), None);
+    }
+
+    #[test]
+    fn declaration_keywords_are_lowercase_only() {
+        assert_eq!(TokenKind::keyword("class"), Some(TokenKind::Class));
+        assert_eq!(TokenKind::keyword("Class"), None);
+        assert_eq!(TokenKind::keyword("SETOF"), None);
+        assert_eq!(TokenKind::keyword("setof"), Some(TokenKind::Setof));
+    }
+
+    #[test]
+    fn non_keywords_are_none() {
+        assert_eq!(TokenKind::keyword("Region"), None);
+        assert_eq!(TokenKind::keyword("TotTimes"), None);
+        // `MinPeSum` must lex as an identifier, not the MIN keyword.
+        assert_eq!(TokenKind::keyword("MinPeSum"), None);
+    }
+
+    #[test]
+    fn describe_is_informative() {
+        assert_eq!(TokenKind::Ident("x".into()).describe(), "identifier `x`");
+        assert_eq!(TokenKind::Le.describe(), "`<=`");
+    }
+}

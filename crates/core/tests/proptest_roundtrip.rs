@@ -1,0 +1,215 @@
+//! Property-based round-trip tests: for any generated ASL expression tree,
+//! `parse(pretty(e)) == e` (up to spans). This pins down the precedence and
+//! parenthesization rules of the printer against the parser for the whole
+//! expression grammar, far beyond the hand-written cases.
+
+use asl_core::ast::*;
+use asl_core::parser::parse_expr;
+use asl_core::pretty::print_expr;
+use asl_core::span::Span;
+use proptest::prelude::*;
+
+fn ident_pool() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("x".to_string()),
+        Just("y".to_string()),
+        Just("r".to_string()),
+        Just("t".to_string()),
+        Just("sum".to_string()), // lowercase `sum` is an identifier!
+        Just("TotTimes".to_string()),
+        Just("Incl".to_string()),
+        Just("MinPeSum".to_string()),
+        Just("val_1".to_string()),
+    ]
+}
+
+fn ident() -> impl Strategy<Value = Ident> {
+    ident_pool().prop_map(|n| Ident::new(n, Span::default()))
+}
+
+fn leaf() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (0i64..10_000).prop_map(|v| Expr::new(ExprKind::IntLit(v), Span::default())),
+        // Non-negative finite floats: negatives print as unary minus.
+        (0.0f64..1e6).prop_map(|v| Expr::new(ExprKind::FloatLit(v), Span::default())),
+        any::<bool>().prop_map(|b| Expr::new(ExprKind::BoolLit(b), Span::default())),
+        "[ -~&&[^\"\\\\]]{0,12}"
+            .prop_map(|s| Expr::new(ExprKind::StrLit(s), Span::default())),
+        ident_pool().prop_map(|n| Expr::new(ExprKind::Var(n), Span::default())),
+    ]
+}
+
+fn binop() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+        Just(BinOp::Mod),
+        Just(BinOp::Eq),
+        Just(BinOp::Ne),
+        Just(BinOp::Lt),
+        Just(BinOp::Le),
+        Just(BinOp::Gt),
+        Just(BinOp::Ge),
+        Just(BinOp::And),
+        Just(BinOp::Or),
+    ]
+}
+
+fn aggop() -> impl Strategy<Value = AggOp> {
+    prop_oneof![
+        Just(AggOp::Sum),
+        Just(AggOp::Min),
+        Just(AggOp::Max),
+        Just(AggOp::Avg),
+        Just(AggOp::Count),
+    ]
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    // Depth/size bounds are conservative: prop_recursive's limits are
+    // probabilistic, and a pathologically deep tree can overflow the 2 MB
+    // test-thread stack inside the recursive-descent parser (debug builds).
+    leaf().prop_recursive(3, 24, 3, |inner| {
+        let e = inner.clone();
+        prop_oneof![
+            (binop(), e.clone(), e.clone()).prop_map(|(op, a, b)| Expr::new(
+                ExprKind::Binary(op, Box::new(a), Box::new(b)),
+                Span::default()
+            )),
+            e.clone().prop_map(|a| Expr::new(
+                ExprKind::Unary(UnOp::Neg, Box::new(a)),
+                Span::default()
+            )),
+            e.clone().prop_map(|a| Expr::new(
+                ExprKind::Unary(UnOp::Not, Box::new(a)),
+                Span::default()
+            )),
+            (e.clone(), ident()).prop_map(|(a, id)| Expr::new(
+                ExprKind::Attr(Box::new(a), id),
+                Span::default()
+            )),
+            (ident(), prop::collection::vec(e.clone(), 0..3)).prop_map(|(id, args)| {
+                Expr::new(ExprKind::Call(id, args), Span::default())
+            }),
+            (ident(), e.clone(), e.clone()).prop_map(|(b, src, pred)| Expr::new(
+                ExprKind::SetComp {
+                    binder: b,
+                    source: Box::new(src),
+                    pred: Box::new(pred),
+                },
+                Span::default()
+            )),
+            e.clone().prop_map(|a| Expr::new(
+                ExprKind::Unique(Box::new(a)),
+                Span::default()
+            )),
+            (aggop(), e.clone(), ident(), e.clone(), prop::option::of(e.clone())).prop_map(
+                |(op, value, binder, source, pred)| Expr::new(
+                    ExprKind::Aggregate {
+                        op,
+                        value: Box::new(value),
+                        binder,
+                        source: Box::new(source),
+                        pred: pred.map(Box::new),
+                    },
+                    Span::default()
+                )
+            ),
+            (
+                prop_oneof![Just(Quant::Exists), Just(Quant::Forall)],
+                ident(),
+                e.clone(),
+                e.clone()
+            )
+                .prop_map(|(q, binder, source, pred)| Expr::new(
+                    ExprKind::Quantifier {
+                        q,
+                        binder,
+                        source: Box::new(source),
+                        pred: Box::new(pred),
+                    },
+                    Span::default()
+                )),
+            e.prop_map(|a| Expr::new(ExprKind::CountSet(Box::new(a)), Span::default())),
+        ]
+    })
+}
+
+/// Strip spans so structural equality ignores positions.
+fn normalize(e: &mut Expr) {
+    e.span = Span::default();
+    match &mut e.kind {
+        ExprKind::Attr(b, a) => {
+            normalize(b);
+            a.span = Span::default();
+        }
+        ExprKind::Call(n, args) => {
+            n.span = Span::default();
+            args.iter_mut().for_each(normalize);
+        }
+        ExprKind::Unary(_, i) | ExprKind::Unique(i) | ExprKind::CountSet(i) => normalize(i),
+        ExprKind::Binary(_, l, r) => {
+            normalize(l);
+            normalize(r);
+        }
+        ExprKind::SetComp {
+            binder,
+            source,
+            pred,
+        } => {
+            binder.span = Span::default();
+            normalize(source);
+            normalize(pred);
+        }
+        ExprKind::Aggregate {
+            value,
+            binder,
+            source,
+            pred,
+            ..
+        } => {
+            binder.span = Span::default();
+            normalize(value);
+            normalize(source);
+            if let Some(p) = pred {
+                normalize(p);
+            }
+        }
+        ExprKind::Quantifier {
+            binder,
+            source,
+            pred,
+            ..
+        } => {
+            binder.span = Span::default();
+            normalize(source);
+            normalize(pred);
+        }
+        _ => {}
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn pretty_parse_roundtrip(mut e in expr_strategy()) {
+        normalize(&mut e);
+        let printed = print_expr(&e);
+        let mut reparsed = parse_expr(&printed)
+            .unwrap_or_else(|d| panic!("reparse of `{printed}` failed:\n{d}"));
+        normalize(&mut reparsed);
+        prop_assert_eq!(&e, &reparsed, "printed form: `{}`", printed);
+    }
+
+    #[test]
+    fn pretty_is_fixpoint(mut e in expr_strategy()) {
+        normalize(&mut e);
+        let once = print_expr(&e);
+        let reparsed = parse_expr(&once).unwrap();
+        let twice = print_expr(&reparsed);
+        prop_assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,478 @@
+//! Context enumeration, parallel property evaluation, ranking and
+//! bottleneck detection.
+
+use crate::backend::{Backend, PreparedBackend};
+use crate::suite::{standard_suite, ContextSelector, SUITE};
+use asl_core::check::CheckedSpec;
+use asl_eval::Value;
+use perfdata::{CallId, RegionId, Store, TestRunId, VersionId};
+use rayon::prelude::*;
+use serde::Serialize;
+
+/// Severity threshold above which a property is a *performance problem*
+/// (§4: "A performance property is a performance problem, iff its severity
+/// is greater than a user- or tool-defined threshold").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ProblemThreshold(pub f64);
+
+impl Default for ProblemThreshold {
+    fn default() -> Self {
+        // 5% of the ranking basis duration.
+        ProblemThreshold(0.05)
+    }
+}
+
+/// The context a property instance was evaluated in.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ContextDesc {
+    /// Region context, if region-based.
+    pub region: Option<u32>,
+    /// Call-site context, if call-based.
+    pub call: Option<u32>,
+    /// The analyzed test run.
+    pub run: u32,
+    /// Human-readable label (region name or call description).
+    pub label: String,
+}
+
+/// One ranked analysis result.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RankedEntry {
+    /// Rank (1-based, by decreasing severity).
+    pub rank: usize,
+    /// Property name.
+    pub property: String,
+    /// Evaluation context.
+    pub context: ContextDesc,
+    /// Severity (fraction of the basis duration).
+    pub severity: f64,
+    /// Confidence in `[0, 1]`.
+    pub confidence: f64,
+    /// True if severity exceeds the problem threshold.
+    pub is_problem: bool,
+}
+
+/// A complete COSY analysis of one test run.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct AnalysisReport {
+    /// Program name.
+    pub program: String,
+    /// Analyzed run's processor count.
+    pub no_pe: u32,
+    /// Reference run's processor count (smallest configuration).
+    pub reference_pe: u32,
+    /// Duration of the ranking basis region in the analyzed run (summed
+    /// over processes, seconds).
+    pub basis_duration: f64,
+    /// Total cost of the run: lost cycles vs the reference run, relative to
+    /// the basis duration (the severity of `SublinearSpeedup` on the basis
+    /// region — "the main property is the total cost of the test run").
+    pub total_cost: f64,
+    /// The problem threshold used.
+    pub threshold: ProblemThreshold,
+    /// Entries holding with severity > 0, ranked by decreasing severity.
+    pub entries: Vec<RankedEntry>,
+    /// Contexts skipped as not applicable.
+    pub skipped: usize,
+}
+
+impl AnalysisReport {
+    /// The program's unique bottleneck: its most severe property (§4).
+    /// `None` when nothing held.
+    pub fn bottleneck(&self) -> Option<&RankedEntry> {
+        self.entries.first()
+    }
+
+    /// Entries above the problem threshold.
+    pub fn problems(&self) -> impl Iterator<Item = &RankedEntry> {
+        self.entries.iter().filter(|e| e.is_problem)
+    }
+
+    /// §4: "If this bottleneck is not a performance problem, the program
+    /// does not need any further tuning."
+    pub fn needs_tuning(&self) -> bool {
+        self.bottleneck().is_some_and(|b| b.is_problem)
+    }
+}
+
+/// The COSY analyzer bound to one program version in a store.
+pub struct Analyzer<'s> {
+    store: &'s Store,
+    version: VersionId,
+    spec: CheckedSpec,
+    basis: RegionId,
+}
+
+impl<'s> Analyzer<'s> {
+    /// Create an analyzer with the standard suite; the ranking basis is the
+    /// main region of the version.
+    pub fn new(store: &'s Store, version: VersionId) -> Result<Self, String> {
+        let basis = store
+            .main_region(version)
+            .ok_or_else(|| "version has no main region".to_string())?;
+        Ok(Analyzer {
+            store,
+            version,
+            spec: standard_suite(),
+            basis,
+        })
+    }
+
+    /// Use a custom checked suite (must be based on the COSY data model).
+    pub fn with_suite(mut self, spec: CheckedSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Override the ranking basis region.
+    pub fn with_basis(mut self, basis: RegionId) -> Self {
+        self.basis = basis;
+        self
+    }
+
+    /// The checked suite in use.
+    pub fn spec(&self) -> &CheckedSpec {
+        &self.spec
+    }
+
+    /// Regions of the analyzed version (all functions).
+    pub fn regions(&self) -> Vec<RegionId> {
+        self.store.versions[self.version.index()]
+            .functions
+            .iter()
+            .flat_map(|f| self.store.functions[f.index()].regions.iter().copied())
+            .collect()
+    }
+
+    /// Call sites according to a context selector.
+    pub fn calls(&self, selector: ContextSelector) -> Vec<CallId> {
+        let version = &self.store.versions[self.version.index()];
+        version
+            .functions
+            .iter()
+            .filter(|f| {
+                selector == ContextSelector::AllCalls
+                    || self.store.functions[f.index()].name == "barrier"
+            })
+            .flat_map(|f| self.store.functions[f.index()].calls.iter().copied())
+            .collect()
+    }
+
+    /// Enumerate all (property, argument-vector, context) instances for one
+    /// run. Properties not present in the suite spec are skipped.
+    pub fn instances(&self, run: TestRunId) -> Vec<(String, Vec<Value>, ContextDesc)> {
+        let mut out = Vec::new();
+        let basis = Value::region(self.basis);
+        for info in SUITE {
+            if self.spec.property(info.name).is_none() {
+                continue;
+            }
+            match info.contexts {
+                ContextSelector::AllRegions => {
+                    for r in self.regions() {
+                        out.push((
+                            info.name.to_string(),
+                            vec![Value::region(r), Value::run(run), basis.clone()],
+                            ContextDesc {
+                                region: Some(r.0),
+                                call: None,
+                                run: run.0,
+                                label: self.store.regions[r.index()].name.clone(),
+                            },
+                        ));
+                    }
+                }
+                sel @ (ContextSelector::BarrierCalls | ContextSelector::AllCalls) => {
+                    for c in self.calls(sel) {
+                        let call = &self.store.calls[c.index()];
+                        let callee = &self.store.functions[call.callee.index()].name;
+                        let site = &self.store.regions[call.calling_reg.index()].name;
+                        out.push((
+                            info.name.to_string(),
+                            vec![Value::call(c), Value::run(run), basis.clone()],
+                            ContextDesc {
+                                region: None,
+                                call: Some(c.0),
+                                run: run.0,
+                                label: format!("call {callee} at {site}"),
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Run the full analysis of one test run.
+    pub fn analyze(
+        &self,
+        run: TestRunId,
+        backend: Backend,
+        threshold: ProblemThreshold,
+    ) -> Result<AnalysisReport, String> {
+        let prepared = PreparedBackend::prepare(backend, &self.spec, self.store)?;
+        let instances = self.instances(run);
+
+        // Evaluate in parallel; contexts are independent.
+        type Held = (String, ContextDesc, f64, f64);
+        let results: Vec<Result<Option<Held>, String>> = instances
+            .par_iter()
+            .map(|(prop, args, ctx)| {
+                match prepared.eval(prop, args)? {
+                    Some(o) if o.holds && o.severity > 0.0 => {
+                        Ok(Some((prop.clone(), ctx.clone(), o.severity, o.confidence)))
+                    }
+                    Some(_) => Ok(None),
+                    None => Ok(None),
+                }
+            })
+            .collect();
+
+        let mut skipped = 0usize;
+        let mut held = Vec::new();
+        for (r, (prop, args, _)) in results.into_iter().zip(instances.iter()) {
+            match r {
+                Ok(Some(entry)) => held.push(entry),
+                Ok(None) => {
+                    // Distinguish "not applicable" from "did not hold" only
+                    // for the statistic; re-query cheaply via the prepared
+                    // backend is wasteful, so count both as skipped-or-quiet.
+                    let _ = (prop, args);
+                    skipped += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Deterministic ranking: severity desc, then name, then label.
+        held.sort_by(|a, b| {
+            b.2.total_cmp(&a.2)
+                .then_with(|| a.0.cmp(&b.0))
+                .then_with(|| a.1.label.cmp(&b.1.label))
+        });
+
+        let entries: Vec<RankedEntry> = held
+            .into_iter()
+            .enumerate()
+            .map(|(i, (property, context, severity, confidence))| RankedEntry {
+                rank: i + 1,
+                property,
+                context,
+                severity,
+                confidence,
+                is_problem: severity > threshold.0,
+            })
+            .collect();
+
+        let basis_duration = self.store.duration(self.basis, run).unwrap_or(0.0);
+        let total_cost = entries
+            .iter()
+            .find(|e| {
+                e.property == "SublinearSpeedup" && e.context.region == Some(self.basis.0)
+            })
+            .map(|e| e.severity)
+            .unwrap_or(0.0);
+        let reference_pe = self
+            .store
+            .min_pe_run(self.version)
+            .map(|r| self.store.runs[r.index()].no_pe)
+            .unwrap_or(0);
+
+        Ok(AnalysisReport {
+            program: self.store.program_of(self.version).name.clone(),
+            no_pe: self.store.runs[run.index()].no_pe,
+            reference_pe,
+            basis_duration,
+            total_cost,
+            threshold,
+            entries,
+            skipped,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apprentice_sim::{archetypes, simulate_program, MachineModel};
+
+    fn analyzed(backend: Backend) -> AnalysisReport {
+        let mut store = Store::new();
+        let model = archetypes::particle_mc(23);
+        let machine = MachineModel::t3e_900();
+        let version = simulate_program(&mut store, &model, &machine, &[1, 4, 16]);
+        let run = store.versions[version.index()].runs[2];
+        let analyzer = Analyzer::new(&store, version).unwrap();
+        analyzer
+            .analyze(run, backend, ProblemThreshold::default())
+            .unwrap()
+    }
+
+    #[test]
+    fn particle_mc_analysis_finds_problems() {
+        let report = analyzed(Backend::Interpreter);
+        assert!(!report.entries.is_empty());
+        assert!(report.needs_tuning());
+        assert!(report.total_cost > 0.0, "16-PE run must show total cost");
+        // Sync cost must rank among the problems for this archetype.
+        assert!(
+            report
+                .problems()
+                .any(|e| e.property == "SyncCost" || e.property == "LoadImbalance"),
+            "expected synchronization-related problems, got: {:?}",
+            report
+                .entries
+                .iter()
+                .take(5)
+                .map(|e| (&e.property, e.severity))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn ranking_is_sorted_and_ranked() {
+        let report = analyzed(Backend::Interpreter);
+        for w in report.entries.windows(2) {
+            assert!(w[0].severity >= w[1].severity);
+        }
+        for (i, e) in report.entries.iter().enumerate() {
+            assert_eq!(e.rank, i + 1);
+        }
+    }
+
+    #[test]
+    fn bottleneck_is_most_severe() {
+        let report = analyzed(Backend::Interpreter);
+        let b = report.bottleneck().unwrap();
+        assert!(report.entries.iter().all(|e| e.severity <= b.severity));
+    }
+
+    #[test]
+    fn backends_agree_on_the_ranking() {
+        let a = analyzed(Backend::Interpreter);
+        for other in [Backend::Sql, Backend::SqlBatched] {
+            let b = analyzed(other);
+            assert_eq!(a.entries.len(), b.entries.len(), "{other:?}");
+            for (x, y) in a.entries.iter().zip(&b.entries) {
+                assert_eq!(x.property, y.property, "{other:?}");
+                assert_eq!(x.context.label, y.context.label, "{other:?}");
+                assert!(
+                    (x.severity - y.severity).abs() <= 1e-9 * x.severity.abs().max(1.0),
+                    "{other:?} {}: {} vs {}",
+                    x.property,
+                    x.severity,
+                    y.severity
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn one_pe_run_has_no_total_cost() {
+        let mut store = Store::new();
+        let model = archetypes::stencil3d(2);
+        let machine = MachineModel::t3e_900();
+        let version = simulate_program(&mut store, &model, &machine, &[1, 8]);
+        let run1 = store.versions[version.index()].runs[0];
+        let analyzer = Analyzer::new(&store, version).unwrap();
+        let report = analyzer
+            .analyze(run1, Backend::Interpreter, ProblemThreshold::default())
+            .unwrap();
+        // The reference run compared with itself has zero lost cycles.
+        assert_eq!(report.total_cost, 0.0);
+        assert!(report
+            .entries
+            .iter()
+            .all(|e| e.property != "SublinearSpeedup"));
+    }
+
+    #[test]
+    fn load_imbalance_only_on_barrier_calls() {
+        let report = analyzed(Backend::Interpreter);
+        for e in &report.entries {
+            if e.property == "LoadImbalance" {
+                assert!(e.context.label.contains("barrier"), "{}", e.context.label);
+            }
+        }
+    }
+
+    #[test]
+    fn custom_basis_changes_severities() {
+        let mut store = Store::new();
+        let model = archetypes::particle_mc(23);
+        let machine = MachineModel::t3e_900();
+        let version = simulate_program(&mut store, &model, &machine, &[1, 16]);
+        let run = store.versions[version.index()].runs[1];
+        // Basis = the step subprogram instead of main: severities are
+        // relative to a smaller duration, so they grow.
+        let step_root = store
+            .regions
+            .iter()
+            .position(|r| r.name == "step")
+            .map(|i| perfdata::RegionId(i as u32))
+            .unwrap();
+        let default_report = Analyzer::new(&store, version)
+            .unwrap()
+            .analyze(run, Backend::Interpreter, ProblemThreshold::default())
+            .unwrap();
+        let rebased_report = Analyzer::new(&store, version)
+            .unwrap()
+            .with_basis(step_root)
+            .analyze(run, Backend::Interpreter, ProblemThreshold::default())
+            .unwrap();
+        let sync = |r: &AnalysisReport| {
+            r.entries
+                .iter()
+                .find(|e| e.property == "SyncCost")
+                .map(|e| e.severity)
+                .unwrap_or(0.0)
+        };
+        assert!(sync(&rebased_report) > sync(&default_report));
+    }
+
+    #[test]
+    fn custom_suite_restricts_properties() {
+        let mut store = Store::new();
+        let model = archetypes::particle_mc(23);
+        let machine = MachineModel::t3e_900();
+        let version = simulate_program(&mut store, &model, &machine, &[1, 16]);
+        let run = store.versions[version.index()].runs[1];
+        // A suite with only SyncCost declared: other SUITE entries are
+        // skipped because the spec does not declare them.
+        let src = format!(
+            "{}\nProperty SyncCost(Region r, TestRun t, Region Basis) {{\n\
+             LET float B = SUM(tt.Time WHERE tt IN r.TypTimes AND tt.Run==t \
+             AND tt.Type == Barrier) IN CONDITION: B > 0; CONFIDENCE: 1; \
+             SEVERITY: B / Duration(Basis,t); }}",
+            asl_eval::COSY_DATA_MODEL
+        );
+        let spec = asl_core::parse_and_check(&src).unwrap();
+        let report = Analyzer::new(&store, version)
+            .unwrap()
+            .with_suite(spec)
+            .analyze(run, Backend::Interpreter, ProblemThreshold::default())
+            .unwrap();
+        assert!(!report.entries.is_empty());
+        assert!(report.entries.iter().all(|e| e.property == "SyncCost"));
+    }
+
+    #[test]
+    fn threshold_controls_problem_flag() {
+        let mut store = Store::new();
+        let model = archetypes::particle_mc(23);
+        let machine = MachineModel::t3e_900();
+        let version = simulate_program(&mut store, &model, &machine, &[1, 16]);
+        let run = store.versions[version.index()].runs[1];
+        let analyzer = Analyzer::new(&store, version).unwrap();
+        let strict = analyzer
+            .analyze(run, Backend::Interpreter, ProblemThreshold(0.0))
+            .unwrap();
+        let lax = analyzer
+            .analyze(run, Backend::Interpreter, ProblemThreshold(f64::MAX))
+            .unwrap();
+        assert!(strict.problems().count() > 0);
+        assert_eq!(lax.problems().count(), 0);
+        assert!(!lax.needs_tuning());
+    }
+}

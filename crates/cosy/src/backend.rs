@@ -1,0 +1,165 @@
+//! Evaluation backends: client-side interpretation vs in-database SQL.
+//!
+//! §5 of the paper compares two work distributions between the analysis
+//! tool and the database server: fetching the data components and
+//! evaluating property expressions in the tool, versus translating the
+//! conditions entirely into SQL queries. Both are first-class here and must
+//! produce identical analyses (enforced by integration tests).
+
+use asl_core::check::CheckedSpec;
+use asl_eval::{CosyData, EvalError, Interpreter, PropertyOutcome, Value};
+use asl_sql::{
+    compile_batch, compile_property, eval_batch, eval_compiled, generate_schema, loader,
+    SchemaInfo,
+};
+use perfdata::Store;
+use reldb::Database;
+use std::collections::HashMap;
+
+/// Which evaluation strategy to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Direct interpretation over the object store (client-side).
+    Interpreter,
+    /// Compilation of every property instance into SQL, executed by the
+    /// embedded relational engine.
+    Sql,
+    /// One SQL query per (property, run) covering all contexts at once —
+    /// the fully set-oriented translation (§5/§6 of the paper).
+    SqlBatched,
+}
+
+/// Cache key for batched evaluation: (property, run id, basis id).
+type BatchKey = (String, u32, u32);
+
+/// A prepared evaluator for one backend. `None` outcomes mean the property
+/// is not applicable in that context (e.g. no timing recorded).
+pub enum PreparedBackend<'a> {
+    /// Interpreter state.
+    Interpreter(Interpreter<'a, CosyData<'a>>),
+    /// SQL state: generated schema plus the loaded database.
+    Sql {
+        /// The checked suite.
+        spec: &'a CheckedSpec,
+        /// Generated schema info (needed to compile properties).
+        schema: SchemaInfo,
+        /// The populated database.
+        db: Database,
+    },
+    /// Batched SQL state: like [`PreparedBackend::Sql`] plus a cache of
+    /// whole-context-set results keyed by (property, run, basis).
+    SqlBatched {
+        /// The checked suite.
+        spec: &'a CheckedSpec,
+        /// Generated schema info.
+        schema: SchemaInfo,
+        /// The populated database.
+        db: Database,
+        /// One result map per (property, run, basis); filled lazily.
+        cache: std::sync::Mutex<HashMap<BatchKey, HashMap<u32, PropertyOutcome>>>,
+    },
+}
+
+impl<'a> PreparedBackend<'a> {
+    /// Prepare a backend for a suite and a store.
+    pub fn prepare(
+        backend: Backend,
+        spec: &'a CheckedSpec,
+        store: &'a Store,
+    ) -> Result<Self, String> {
+        match backend {
+            Backend::Interpreter => {
+                let data = CosyData::new(store);
+                let interp = Interpreter::new(spec, data).map_err(|e| e.to_string())?;
+                Ok(PreparedBackend::Interpreter(interp))
+            }
+            Backend::Sql | Backend::SqlBatched => {
+                let schema = generate_schema(&spec.model).map_err(|e| e.to_string())?;
+                let mut db = Database::new();
+                schema.create_all(&mut db).map_err(|e| e.to_string())?;
+                let data = CosyData::new(store);
+                loader::load_store(&mut db, &schema, &spec.model, &data)
+                    .map_err(|e| e.to_string())?;
+                if backend == Backend::Sql {
+                    Ok(PreparedBackend::Sql { spec, schema, db })
+                } else {
+                    Ok(PreparedBackend::SqlBatched {
+                        spec,
+                        schema,
+                        db,
+                        cache: std::sync::Mutex::new(HashMap::new()),
+                    })
+                }
+            }
+        }
+    }
+
+    /// Evaluate one property instance. Returns `Ok(None)` when the property
+    /// is not applicable in the context.
+    pub fn eval(&self, prop: &str, args: &[Value]) -> Result<Option<PropertyOutcome>, String> {
+        match self {
+            PreparedBackend::Interpreter(interp) => match interp.eval_property(prop, args) {
+                Ok(o) => Ok(Some(o)),
+                Err(e) if e.is_not_applicable() => Ok(None),
+                Err(e) => Err(format!("{prop}: {e}")),
+            },
+            PreparedBackend::Sql { spec, schema, db } => {
+                let cp = compile_property(spec, schema, prop, args).map_err(|e| e.to_string())?;
+                let o = eval_compiled(db, &cp).map_err(|e| e.to_string())?;
+                Ok(Some(o))
+            }
+            PreparedBackend::SqlBatched {
+                spec,
+                schema,
+                db,
+                cache,
+            } => {
+                // Expect the COSY signature (subject, run, basis).
+                let subject = match args.first() {
+                    Some(Value::Obj(o)) => o.clone(),
+                    other => return Err(format!("{prop}: non-object subject {other:?}")),
+                };
+                let (run, basis) = match (args.get(1), args.get(2)) {
+                    (Some(Value::Obj(r)), Some(Value::Obj(b))) => (r.index, b.index),
+                    other => return Err(format!("{prop}: unexpected context {other:?}")),
+                };
+                let key: BatchKey = (prop.to_string(), run, basis);
+                let mut cache = cache.lock().map_err(|e| e.to_string())?;
+                if !cache.contains_key(&key) {
+                    let fixed = [
+                        (1usize, args[1].clone()),
+                        (2usize, args[2].clone()),
+                    ];
+                    let bc = compile_batch(spec, schema, prop, 0, &fixed, None)
+                        .map_err(|e| e.to_string())?;
+                    let outcomes = eval_batch(db, &bc).map_err(|e| e.to_string())?;
+                    cache.insert(key.clone(), outcomes.into_iter().collect());
+                }
+                let by_id = &cache[&key];
+                Ok(Some(by_id.get(&subject.index).cloned().unwrap_or(
+                    // Absent from the batch result: the conditions filtered
+                    // it server-side — the property does not hold here.
+                    PropertyOutcome {
+                        property: prop.to_string(),
+                        holds: false,
+                        fired: Vec::new(),
+                        confidence: 0.0,
+                        severity: 0.0,
+                    },
+                )))
+            }
+        }
+    }
+}
+
+/// Convert an eval error into an optional outcome (shared helper for
+/// callers that talk to the interpreter directly).
+pub fn outcome_or_skip(
+    r: Result<PropertyOutcome, EvalError>,
+) -> Result<Option<PropertyOutcome>, String> {
+    match r {
+        Ok(o) => Ok(Some(o)),
+        Err(e) if e.is_not_applicable() => Ok(None),
+        Err(e) => Err(e.to_string()),
+    }
+}

@@ -1,0 +1,264 @@
+//! The standard COSY property suite, in ASL source form.
+
+use asl_core::check::CheckedSpec;
+use asl_core::parse_and_check;
+use asl_eval::COSY_DATA_MODEL;
+
+/// Which contexts a property is instantiated over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContextSelector {
+    /// Every region of the analyzed version, paired with the selected run.
+    AllRegions,
+    /// Call sites of the `barrier` runtime routine (§4.2: `LoadImbalance`
+    /// "is evaluated only for calls to the barrier routine").
+    BarrierCalls,
+    /// Every call site.
+    AllCalls,
+}
+
+/// Metadata for one property of the suite.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PropertyInfo {
+    /// Property name as declared in the ASL source.
+    pub name: &'static str,
+    /// Context enumeration rule.
+    pub contexts: ContextSelector,
+    /// True for the properties printed verbatim in the paper; false for
+    /// our documented extensions.
+    pub from_paper: bool,
+}
+
+/// The properties of the standard suite, in reporting order.
+pub const SUITE: &[PropertyInfo] = &[
+    PropertyInfo {
+        name: "SublinearSpeedup",
+        contexts: ContextSelector::AllRegions,
+        from_paper: true,
+    },
+    PropertyInfo {
+        name: "MeasuredCost",
+        contexts: ContextSelector::AllRegions,
+        from_paper: true,
+    },
+    PropertyInfo {
+        name: "UnmeasuredCost",
+        contexts: ContextSelector::AllRegions,
+        from_paper: true,
+    },
+    PropertyInfo {
+        name: "SyncCost",
+        contexts: ContextSelector::AllRegions,
+        from_paper: true,
+    },
+    PropertyInfo {
+        name: "LoadImbalance",
+        contexts: ContextSelector::BarrierCalls,
+        from_paper: true,
+    },
+    PropertyInfo {
+        name: "MessagePassingCost",
+        contexts: ContextSelector::AllRegions,
+        from_paper: false,
+    },
+    PropertyInfo {
+        name: "CollectiveCost",
+        contexts: ContextSelector::AllRegions,
+        from_paper: false,
+    },
+    PropertyInfo {
+        name: "OneSidedCost",
+        contexts: ContextSelector::AllRegions,
+        from_paper: false,
+    },
+    PropertyInfo {
+        name: "IoCost",
+        contexts: ContextSelector::AllRegions,
+        from_paper: false,
+    },
+    PropertyInfo {
+        name: "BufferCost",
+        contexts: ContextSelector::AllRegions,
+        from_paper: false,
+    },
+    PropertyInfo {
+        name: "RuntimeOverhead",
+        contexts: ContextSelector::AllRegions,
+        from_paper: false,
+    },
+    PropertyInfo {
+        name: "FrequentFineGrainCalls",
+        contexts: ContextSelector::AllCalls,
+        from_paper: false,
+    },
+];
+
+/// The property specifications. The first five are the paper's §4.2
+/// properties (`UnmeasuredCost` is described in prose as the counterpart of
+/// `MeasuredCost`); the rest are refinement properties per overhead family,
+/// marked as extensions in [`SUITE`].
+pub const SUITE_PROPERTIES: &str = r#"
+// Tool-defined thresholds (§4.2 references ImbalanceThreshold).
+float ImbalanceThreshold = 0.25;
+float FrequentCallThreshold = 100.0;
+float GranularityThreshold = 0.0001;
+
+// ---- §4.2 of the paper --------------------------------------------------
+
+Property SublinearSpeedup(Region r, TestRun t, Region Basis) {
+    LET TotalTiming MinPeSum = UNIQUE({sum IN r.TotTimes WITH sum.Run.NoPe ==
+            MIN(s.Run.NoPe WHERE s IN r.TotTimes)});
+        float TotalCost = Duration(r,t) - Duration(r,MinPeSum.Run)
+    IN
+    CONDITION: TotalCost>0; CONFIDENCE: 1;
+    SEVERITY: TotalCost/Duration(Basis,t);
+}
+
+Property MeasuredCost (Region r, TestRun t, Region Basis) {
+    LET float Cost = Summary(r,t).Ovhd;
+    IN CONDITION: Cost > 0; CONFIDENCE: 1;
+    SEVERITY: Cost / Duration(Basis,t);
+}
+
+Property UnmeasuredCost (Region r, TestRun t, Region Basis) {
+    LET TotalTiming MinPeSum = UNIQUE({sum IN r.TotTimes WITH sum.Run.NoPe ==
+            MIN(s.Run.NoPe WHERE s IN r.TotTimes)});
+        float TotalCost = Duration(r,t) - Duration(r,MinPeSum.Run);
+        float Unmeasured = TotalCost - Summary(r,t).Ovhd
+    IN CONDITION: Unmeasured > 0; CONFIDENCE: 1;
+    SEVERITY: Unmeasured / Duration(Basis,t);
+}
+
+Property SyncCost(Region r, TestRun t, Region Basis) {
+    LET float Barrier2 = SUM(tt.Time WHERE tt IN r.TypTimes AND tt.Run==t
+            AND tt.Type == Barrier)
+    IN CONDITION: Barrier2 > 0; CONFIDENCE: 1;
+    SEVERITY: Barrier2 / Duration(Basis,t);
+}
+
+Property LoadImbalance(FunctionCall Call, TestRun t, Region Basis) {
+    LET CallTiming ct = UNIQUE ({c IN Call.Sums WITH c.Run == t});
+        float Dev = ct.StdevTime;
+        float Mean = ct.MeanTime
+    IN CONDITION: Dev > ImbalanceThreshold * Mean; CONFIDENCE: 1;
+    SEVERITY: Mean / Duration(Basis,t);
+}
+
+// ---- refinement properties per overhead family (extensions) -------------
+
+Property MessagePassingCost(Region r, TestRun t, Region Basis) {
+    LET float Msg = SUM(tt.Time WHERE tt IN r.TypTimes AND tt.Run==t
+            AND (tt.Type == PtpSend OR tt.Type == PtpRecv OR tt.Type == PtpWait))
+    IN CONDITION: Msg > 0; CONFIDENCE: 1;
+    SEVERITY: Msg / Duration(Basis,t);
+}
+
+Property CollectiveCost(Region r, TestRun t, Region Basis) {
+    LET float Coll = SUM(tt.Time WHERE tt IN r.TypTimes AND tt.Run==t
+            AND (tt.Type == Broadcast OR tt.Type == Reduce OR tt.Type == AllReduce
+                 OR tt.Type == Gather OR tt.Type == Scatter OR tt.Type == AllToAll))
+    IN CONDITION: Coll > 0; CONFIDENCE: 1;
+    SEVERITY: Coll / Duration(Basis,t);
+}
+
+Property OneSidedCost(Region r, TestRun t, Region Basis) {
+    LET float Shm = SUM(tt.Time WHERE tt IN r.TypTimes AND tt.Run==t
+            AND (tt.Type == ShmemPut OR tt.Type == ShmemGet OR tt.Type == ShmemWait))
+    IN CONDITION: Shm > 0; CONFIDENCE: 1;
+    SEVERITY: Shm / Duration(Basis,t);
+}
+
+Property IoCost(Region r, TestRun t, Region Basis) {
+    LET float Io = SUM(tt.Time WHERE tt IN r.TypTimes AND tt.Run==t
+            AND (tt.Type == IoOpen OR tt.Type == IoClose OR tt.Type == IoRead
+                 OR tt.Type == IoWrite OR tt.Type == IoSeek))
+    IN CONDITION: Io > 0; CONFIDENCE: 1;
+    SEVERITY: Io / Duration(Basis,t);
+}
+
+Property BufferCost(Region r, TestRun t, Region Basis) {
+    LET float Buf = SUM(tt.Time WHERE tt IN r.TypTimes AND tt.Run==t
+            AND (tt.Type == BufferPack OR tt.Type == BufferUnpack))
+    IN CONDITION: Buf > 0; CONFIDENCE: 1;
+    SEVERITY: Buf / Duration(Basis,t);
+}
+
+Property RuntimeOverhead(Region r, TestRun t, Region Basis) {
+    LET float Rt = SUM(tt.Time WHERE tt IN r.TypTimes AND tt.Run==t
+            AND (tt.Type == Startup OR tt.Type == Shutdown OR tt.Type == Instrumentation))
+    IN CONDITION: Rt > 0; CONFIDENCE: 1;
+    SEVERITY: Rt / Duration(Basis,t);
+}
+
+// A Paradyn-inspired granularity check (cf. TooManySmallIOOps in §2):
+// a call site executed very often with tiny per-call time.
+Property FrequentFineGrainCalls(FunctionCall Call, TestRun t, Region Basis) {
+    LET CallTiming ct = UNIQUE({c IN Call.Sums WITH c.Run == t})
+    IN CONDITION: ct.MeanCount > FrequentCallThreshold
+                  AND ct.MeanTime / ct.MeanCount < GranularityThreshold;
+    CONFIDENCE: 0.8;
+    SEVERITY: ct.MeanTime / Duration(Basis,t);
+}
+"#;
+
+/// The full ASL source of the standard suite (data model + properties).
+pub fn standard_suite_source() -> String {
+    format!("{COSY_DATA_MODEL}\n{SUITE_PROPERTIES}")
+}
+
+/// Parse and type-check the standard suite.
+pub fn standard_suite() -> CheckedSpec {
+    let src = standard_suite_source();
+    parse_and_check(&src)
+        .unwrap_or_else(|d| panic!("standard suite must check:\n{}", d.render(&src)))
+}
+
+/// Metadata lookup by property name.
+pub fn property_info(name: &str) -> Option<&'static PropertyInfo> {
+    SUITE.iter().find(|p| p.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_parses_and_checks() {
+        let spec = standard_suite();
+        assert_eq!(spec.properties().len(), SUITE.len());
+    }
+
+    #[test]
+    fn suite_metadata_matches_declarations() {
+        let spec = standard_suite();
+        for info in SUITE {
+            let p = spec
+                .property(info.name)
+                .unwrap_or_else(|| panic!("{} not declared", info.name));
+            // Context selector must match the first parameter's type.
+            let first = p.params[0].ty.to_string();
+            match info.contexts {
+                ContextSelector::AllRegions => assert_eq!(first, "Region", "{}", info.name),
+                ContextSelector::BarrierCalls | ContextSelector::AllCalls => {
+                    assert_eq!(first, "FunctionCall", "{}", info.name)
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn five_paper_properties_flagged() {
+        assert_eq!(SUITE.iter().filter(|p| p.from_paper).count(), 5);
+        assert!(property_info("SublinearSpeedup").unwrap().from_paper);
+        assert!(!property_info("IoCost").unwrap().from_paper);
+    }
+
+    #[test]
+    fn paper_properties_take_region_run_basis() {
+        let spec = standard_suite();
+        for name in ["SublinearSpeedup", "MeasuredCost", "UnmeasuredCost", "SyncCost"] {
+            let p = spec.property(name).unwrap();
+            let tys: Vec<String> = p.params.iter().map(|x| x.ty.to_string()).collect();
+            assert_eq!(tys, ["Region", "TestRun", "Region"], "{name}");
+        }
+    }
+}

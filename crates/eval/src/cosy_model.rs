@@ -1,0 +1,437 @@
+//! The COSY data model (§4.1 of the paper) as ASL source, plus the
+//! [`ObjectModel`] binding onto a [`perfdata::Store`].
+
+use crate::error::{EvalError, EvalErrorKind, EvalResult};
+use crate::interp::ObjectModel;
+use crate::value::{ObjRef, Value};
+use perfdata::Store;
+
+/// The ASL data-model section used by COSY — the nine classes printed in
+/// §4.1 of the paper plus the `TimingType` enumeration (25 variants, see
+/// [`perfdata::TimingType`]) and the two shared helper functions `Summary`
+/// and `Duration` from §4.2.
+///
+/// Deviations from the paper's listing, all additive:
+/// * `SourceCode` is declared (the paper references it without declaring);
+/// * `Region` carries `Name` (used for reports);
+/// * `Function` carries `Name` as printed in the paper;
+/// * `CallTiming` spells out the statistics attributes the paper describes
+///   in prose ("the minimum, maximum, mean value, and standard deviation
+///   over a) the number of calls and b) the time spent in the function.
+///   For the four extremal values the processor … is memorized").
+pub const COSY_DATA_MODEL: &str = r#"
+enum TimingType {
+    Barrier, Lock, Unlock,
+    PtpSend, PtpRecv, PtpWait,
+    Broadcast, Reduce, AllReduce, Gather, Scatter, AllToAll,
+    ShmemPut, ShmemGet, ShmemWait,
+    IoOpen, IoClose, IoRead, IoWrite, IoSeek,
+    BufferPack, BufferUnpack,
+    Startup, Shutdown, Instrumentation
+}
+
+class Program {
+    String Name;
+    setof ProgVersion Versions;
+}
+
+class ProgVersion {
+    DateTime Compilation;
+    setof Function Functions;
+    setof TestRun Runs;
+    SourceCode Code;
+}
+
+class SourceCode {
+    String Text;
+}
+
+class TestRun {
+    DateTime Start;
+    int NoPe;
+    int Clockspeed;
+}
+
+class Function {
+    String Name;
+    setof FunctionCall Calls;
+    setof Region Regions;
+}
+
+class Region {
+    Region ParentRegion;
+    String Name;
+    setof TotalTiming TotTimes;
+    setof TypedTiming TypTimes;
+}
+
+class TotalTiming {
+    TestRun Run;
+    float Excl;
+    float Incl;
+    float Ovhd;
+}
+
+class TypedTiming {
+    TestRun Run;
+    TimingType Type;
+    float Time;
+}
+
+class FunctionCall {
+    Function Caller;
+    Region CallingReg;
+    setof CallTiming Sums;
+}
+
+class CallTiming {
+    TestRun Run;
+    float MinCount;
+    float MaxCount;
+    float MeanCount;
+    float StdevCount;
+    int MinCountPe;
+    int MaxCountPe;
+    float MinTime;
+    float MaxTime;
+    float MeanTime;
+    float StdevTime;
+    int MinTimePe;
+    int MaxTimePe;
+}
+
+TotalTiming Summary(Region r, TestRun t) = UNIQUE({s IN r.TotTimes WITH s.Run==t});
+float Duration(Region r, TestRun t) = Summary(r,t).Incl;
+"#;
+
+/// [`ObjectModel`] implementation over a [`perfdata::Store`], answering the
+/// attribute lookups of [`COSY_DATA_MODEL`].
+pub struct CosyData<'s> {
+    store: &'s Store,
+}
+
+impl<'s> CosyData<'s> {
+    /// Bind a store.
+    pub fn new(store: &'s Store) -> Self {
+        CosyData { store }
+    }
+
+    /// The bound store.
+    pub fn store(&self) -> &Store {
+        self.store
+    }
+
+    fn bad_attr(obj: &ObjRef, attr: &str) -> EvalError {
+        EvalError::new(
+            EvalErrorKind::Unknown,
+            format!("class `{}` has no attribute `{attr}` (object {obj})", obj.class),
+        )
+    }
+
+    fn check_index(obj: &ObjRef, len: usize) -> EvalResult<usize> {
+        let i = obj.index as usize;
+        if i < len {
+            Ok(i)
+        } else {
+            Err(EvalError::new(
+                EvalErrorKind::Other,
+                format!("dangling object reference {obj} (arena size {len})"),
+            ))
+        }
+    }
+}
+
+fn set_of<I: Into<u32> + Copy>(class: &str, ids: &[I]) -> Value {
+    Value::Set(
+        ids.iter()
+            .map(|id| Value::obj(class, (*id).into()))
+            .collect(),
+    )
+}
+
+impl ObjectModel for CosyData<'_> {
+    fn extent(&self, class: &str) -> Option<usize> {
+        let s = self.store;
+        Some(match class {
+            "Program" => s.programs.len(),
+            "ProgVersion" => s.versions.len(),
+            "SourceCode" => s.sources.len(),
+            "TestRun" => s.runs.len(),
+            "Function" => s.functions.len(),
+            "Region" => s.regions.len(),
+            "TotalTiming" => s.total_timings.len(),
+            "TypedTiming" => s.typed_timings.len(),
+            "FunctionCall" => s.calls.len(),
+            "CallTiming" => s.call_timings.len(),
+            _ => return None,
+        })
+    }
+
+    fn attr(&self, obj: &ObjRef, attr: &str) -> EvalResult<Value> {
+        let s = self.store;
+        match obj.class.as_str() {
+            "Program" => {
+                let i = Self::check_index(obj, s.programs.len())?;
+                let p = &s.programs[i];
+                match attr {
+                    "Name" => Ok(Value::Str(p.name.clone())),
+                    "Versions" => Ok(set_of("ProgVersion", &p.versions)),
+                    _ => Err(Self::bad_attr(obj, attr)),
+                }
+            }
+            "ProgVersion" => {
+                let i = Self::check_index(obj, s.versions.len())?;
+                let v = &s.versions[i];
+                match attr {
+                    "Compilation" => Ok(Value::DateTime(v.compilation.micros())),
+                    "Functions" => Ok(set_of("Function", &v.functions)),
+                    "Runs" => Ok(set_of("TestRun", &v.runs)),
+                    "Code" => Ok(Value::obj("SourceCode", v.code.0)),
+                    _ => Err(Self::bad_attr(obj, attr)),
+                }
+            }
+            "SourceCode" => {
+                let i = Self::check_index(obj, s.sources.len())?;
+                match attr {
+                    "Text" => Ok(Value::Str(s.sources[i].text.clone())),
+                    _ => Err(Self::bad_attr(obj, attr)),
+                }
+            }
+            "TestRun" => {
+                let i = Self::check_index(obj, s.runs.len())?;
+                let r = &s.runs[i];
+                match attr {
+                    "Start" => Ok(Value::DateTime(r.start.micros())),
+                    "NoPe" => Ok(Value::Int(r.no_pe as i64)),
+                    "Clockspeed" => Ok(Value::Int(r.clockspeed as i64)),
+                    _ => Err(Self::bad_attr(obj, attr)),
+                }
+            }
+            "Function" => {
+                let i = Self::check_index(obj, s.functions.len())?;
+                let f = &s.functions[i];
+                match attr {
+                    "Name" => Ok(Value::Str(f.name.clone())),
+                    "Calls" => Ok(set_of("FunctionCall", &f.calls)),
+                    "Regions" => Ok(set_of("Region", &f.regions)),
+                    _ => Err(Self::bad_attr(obj, attr)),
+                }
+            }
+            "Region" => {
+                let i = Self::check_index(obj, s.regions.len())?;
+                let r = &s.regions[i];
+                match attr {
+                    "ParentRegion" => Ok(match r.parent {
+                        Some(p) => Value::obj("Region", p.0),
+                        None => Value::Null,
+                    }),
+                    "Name" => Ok(Value::Str(r.name.clone())),
+                    "TotTimes" => Ok(set_of("TotalTiming", &r.tot_times)),
+                    "TypTimes" => Ok(set_of("TypedTiming", &r.typ_times)),
+                    _ => Err(Self::bad_attr(obj, attr)),
+                }
+            }
+            "TotalTiming" => {
+                let i = Self::check_index(obj, s.total_timings.len())?;
+                let t = &s.total_timings[i];
+                match attr {
+                    "Run" => Ok(Value::obj("TestRun", t.run.0)),
+                    "Excl" => Ok(Value::Float(t.excl)),
+                    "Incl" => Ok(Value::Float(t.incl)),
+                    "Ovhd" => Ok(Value::Float(t.ovhd)),
+                    _ => Err(Self::bad_attr(obj, attr)),
+                }
+            }
+            "TypedTiming" => {
+                let i = Self::check_index(obj, s.typed_timings.len())?;
+                let t = &s.typed_timings[i];
+                match attr {
+                    "Run" => Ok(Value::obj("TestRun", t.run.0)),
+                    "Type" => Ok(Value::Enum(
+                        "TimingType".to_string(),
+                        t.ty.name().to_string(),
+                    )),
+                    "Time" => Ok(Value::Float(t.time)),
+                    _ => Err(Self::bad_attr(obj, attr)),
+                }
+            }
+            "FunctionCall" => {
+                let i = Self::check_index(obj, s.calls.len())?;
+                let c = &s.calls[i];
+                match attr {
+                    "Caller" => Ok(Value::obj("Function", c.caller.0)),
+                    "CallingReg" => Ok(Value::obj("Region", c.calling_reg.0)),
+                    "Sums" => Ok(set_of("CallTiming", &c.sums)),
+                    _ => Err(Self::bad_attr(obj, attr)),
+                }
+            }
+            "CallTiming" => {
+                let i = Self::check_index(obj, s.call_timings.len())?;
+                let c = &s.call_timings[i];
+                match attr {
+                    "Run" => Ok(Value::obj("TestRun", c.run.0)),
+                    "MinCount" => Ok(Value::Float(c.min_count)),
+                    "MaxCount" => Ok(Value::Float(c.max_count)),
+                    "MeanCount" => Ok(Value::Float(c.mean_count)),
+                    "StdevCount" => Ok(Value::Float(c.stdev_count)),
+                    "MinCountPe" => Ok(Value::Int(c.min_count_pe as i64)),
+                    "MaxCountPe" => Ok(Value::Int(c.max_count_pe as i64)),
+                    "MinTime" => Ok(Value::Float(c.min_time)),
+                    "MaxTime" => Ok(Value::Float(c.max_time)),
+                    "MeanTime" => Ok(Value::Float(c.mean_time)),
+                    "StdevTime" => Ok(Value::Float(c.stdev_time)),
+                    "MinTimePe" => Ok(Value::Int(c.min_time_pe as i64)),
+                    "MaxTimePe" => Ok(Value::Int(c.max_time_pe as i64)),
+                    _ => Err(Self::bad_attr(obj, attr)),
+                }
+            }
+            other => Err(EvalError::new(
+                EvalErrorKind::Unknown,
+                format!("unknown class `{other}`"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Interpreter;
+    use apprentice_sim::{archetypes, simulate_program, MachineModel};
+    use asl_core::parse_and_check;
+
+    #[test]
+    fn data_model_parses_and_checks() {
+        let spec = parse_and_check(COSY_DATA_MODEL)
+            .unwrap_or_else(|d| panic!("{}", d.render(COSY_DATA_MODEL)));
+        assert_eq!(spec.spec.classes.len(), 10);
+        assert_eq!(spec.spec.enums.len(), 1);
+        assert_eq!(spec.spec.functions.len(), 2);
+    }
+
+    #[test]
+    fn enum_variants_match_perfdata_timing_types() {
+        let spec = parse_and_check(COSY_DATA_MODEL).unwrap();
+        let e = spec.spec.enum_decl("TimingType").unwrap();
+        let names: Vec<&str> = e.variants.iter().map(|v| v.name.as_str()).collect();
+        let expected: Vec<&str> = perfdata::TimingType::ALL.iter().map(|t| t.name()).collect();
+        assert_eq!(names, expected);
+    }
+
+    fn simulated() -> (Store, perfdata::VersionId) {
+        let mut store = Store::new();
+        let model = archetypes::particle_mc(11);
+        let machine = MachineModel::t3e_900();
+        let v = simulate_program(&mut store, &model, &machine, &[1, 4, 16]);
+        (store, v)
+    }
+
+    #[test]
+    fn duration_function_matches_store() {
+        let (store, v) = simulated();
+        let spec = parse_and_check(COSY_DATA_MODEL).unwrap();
+        let data = CosyData::new(&store);
+        let interp = Interpreter::new(&spec, &data).unwrap();
+        let main = store.main_region(v).unwrap();
+        for &run in &store.versions[v.index()].runs {
+            let d = interp
+                .call_function("Duration", &[Value::region(main), Value::run(run)])
+                .unwrap();
+            assert_eq!(d.as_f64().unwrap(), store.duration(main, run).unwrap());
+        }
+    }
+
+    #[test]
+    fn navigation_program_to_runs() {
+        let (store, _) = simulated();
+        let spec = parse_and_check(COSY_DATA_MODEL).unwrap();
+        let data = CosyData::new(&store);
+        let interp = Interpreter::new(&spec, &data).unwrap();
+        // COUNT of runs through two navigation steps.
+        let src = format!(
+            "{COSY_DATA_MODEL}\nint RunCount(Program p) = \
+             SUM(COUNT(v.Runs) WHERE v IN p.Versions);"
+        );
+        let spec2 = parse_and_check(&src).unwrap();
+        let interp2 = Interpreter::new(&spec2, &data).unwrap();
+        let v = interp2
+            .call_function("RunCount", &[Value::obj("Program", 0)])
+            .unwrap();
+        assert_eq!(v, Value::Int(3));
+        drop(interp);
+    }
+
+    #[test]
+    fn typed_timing_enum_comparison() {
+        let (store, v) = simulated();
+        let src = format!(
+            "{COSY_DATA_MODEL}\nfloat BarrierTime(Region r, TestRun t) = \
+             SUM(tt.Time WHERE tt IN r.TypTimes AND tt.Run==t AND tt.Type == Barrier);"
+        );
+        let spec = parse_and_check(&src).unwrap();
+        let data = CosyData::new(&store);
+        let interp = Interpreter::new(&spec, &data).unwrap();
+        // Find the particle-mc move loop, which has barrier time at 16 PEs.
+        let run16 = store.versions[v.index()].runs[2];
+        let mut best = 0.0f64;
+        for (i, _) in store.regions.iter().enumerate() {
+            let val = interp
+                .call_function(
+                    "BarrierTime",
+                    &[
+                        Value::obj("Region", i as u32),
+                        Value::run(run16),
+                    ],
+                )
+                .unwrap();
+            best = best.max(val.as_f64().unwrap());
+        }
+        assert!(best > 0.0, "some region must show barrier time");
+    }
+
+    #[test]
+    fn parent_region_of_root_is_null() {
+        let (store, v) = simulated();
+        let spec = parse_and_check(COSY_DATA_MODEL).unwrap();
+        let data = CosyData::new(&store);
+        let interp = Interpreter::new(&spec, &data).unwrap();
+        let main = store.main_region(v).unwrap();
+        let src_expr = asl_core::parser::parse_expr("r.ParentRegion").unwrap();
+        let val = interp
+            .eval_expr(&src_expr, &[("r", Value::region(main))])
+            .unwrap();
+        assert_eq!(val, Value::Null);
+    }
+
+    #[test]
+    fn unknown_attribute_is_error() {
+        let (store, _) = simulated();
+        let data = CosyData::new(&store);
+        let e = data
+            .attr(
+                &ObjRef {
+                    class: "Region".into(),
+                    index: 0,
+                },
+                "Bogus",
+            )
+            .unwrap_err();
+        assert_eq!(e.kind, EvalErrorKind::Unknown);
+    }
+
+    #[test]
+    fn dangling_reference_is_error() {
+        let (store, _) = simulated();
+        let data = CosyData::new(&store);
+        let e = data
+            .attr(
+                &ObjRef {
+                    class: "Region".into(),
+                    index: 999_999,
+                },
+                "Name",
+            )
+            .unwrap_err();
+        assert_eq!(e.kind, EvalErrorKind::Other);
+    }
+}

@@ -1,0 +1,59 @@
+//! Evaluation errors.
+
+use std::fmt;
+
+/// Why an evaluation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalErrorKind {
+    /// `UNIQUE` applied to an empty set — usually means the property is
+    /// not applicable in this context (e.g. no timing recorded for a run).
+    EmptySet,
+    /// `UNIQUE` applied to a set with more than one element.
+    Ambiguous,
+    /// Division by zero.
+    DivByZero,
+    /// Dynamic type mismatch (should be prevented by the checker).
+    Type,
+    /// Unknown name (should be prevented by the checker).
+    Unknown,
+    /// Call-depth limit exceeded.
+    Recursion,
+    /// Anything else.
+    Other,
+}
+
+/// An evaluation error with context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalError {
+    /// Machine-readable kind.
+    pub kind: EvalErrorKind,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl EvalError {
+    /// Construct an error.
+    pub fn new(kind: EvalErrorKind, message: impl Into<String>) -> Self {
+        EvalError {
+            kind,
+            message: message.into(),
+        }
+    }
+
+    /// True if this error means "property not applicable in this context"
+    /// rather than "specification bug" (COSY skips such contexts).
+    pub fn is_not_applicable(&self) -> bool {
+        matches!(self.kind, EvalErrorKind::EmptySet)
+    }
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}: {}", self.kind, self.message)
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Result alias.
+pub type EvalResult<T> = Result<T, EvalError>;

@@ -1,0 +1,54 @@
+//! # `asl-eval` — the ASL interpreter
+//!
+//! Direct evaluation of ASL performance properties over the performance
+//! database — the "fetch the data components and evaluate the expressions
+//! in the analysis tool" strategy of §5 of the paper (the alternative, full
+//! translation to SQL, lives in `asl-sql`; both must agree, which is
+//! enforced by cross-backend tests).
+//!
+//! The interpreter is generic over an [`ObjectModel`]: any data source that
+//! can answer attribute lookups for the classes of a checked specification.
+//! [`CosyData`] implements it for the [`perfdata::Store`], exposing exactly
+//! the class and attribute names of the paper's §4.1 data model
+//! ([`COSY_DATA_MODEL`]).
+//!
+//! ```
+//! use asl_eval::{CosyData, Interpreter, Value, COSY_DATA_MODEL};
+//! use asl_core::parse_and_check;
+//!
+//! let src = format!("{COSY_DATA_MODEL}\n
+//!     PROPERTY MeasuredCost(Region r, TestRun t, Region Basis) {{
+//!         LET float Cost = Summary(r,t).Ovhd;
+//!         IN CONDITION: Cost > 0; CONFIDENCE: 1;
+//!         SEVERITY: Cost / Duration(Basis,t);
+//!     }}");
+//! let spec = parse_and_check(&src).unwrap();
+//!
+//! let mut store = perfdata::Store::new();
+//! let model = apprentice_sim::archetypes::particle_mc(1);
+//! let machine = apprentice_sim::MachineModel::t3e_900();
+//! let v = apprentice_sim::simulate_program(&mut store, &model, &machine, &[1, 8]);
+//! let run = store.versions[v.index()].runs[1];
+//! let main = store.main_region(v).unwrap();
+//!
+//! let data = CosyData::new(&store);
+//! let interp = Interpreter::new(&spec, &data).unwrap();
+//! let outcome = interp.eval_property("MeasuredCost", &[
+//!     Value::region(main), Value::run(run), Value::region(main),
+//! ]).unwrap();
+//! assert!(outcome.holds);
+//! assert!(outcome.severity > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cosy_model;
+pub mod error;
+pub mod interp;
+pub mod value;
+
+pub use cosy_model::{CosyData, COSY_DATA_MODEL};
+pub use error::{EvalError, EvalErrorKind};
+pub use interp::{Interpreter, ObjectModel, PropertyOutcome};
+pub use value::{ObjRef, Value};

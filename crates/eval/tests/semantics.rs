@@ -1,0 +1,175 @@
+//! Black-box semantic tests of the interpreter against the COSY model:
+//! DateTime ordering, string equality, navigation chains, and the exact
+//! paper formulas recomputed by hand.
+
+use apprentice_sim::{archetypes, simulate_program, MachineModel};
+use asl_core::parse_and_check;
+use asl_eval::{CosyData, Interpreter, Value, COSY_DATA_MODEL};
+use perfdata::Store;
+
+fn fixture() -> (Store, perfdata::VersionId) {
+    let mut store = Store::new();
+    let machine = MachineModel::t3e_900();
+    let v = simulate_program(
+        &mut store,
+        &archetypes::particle_mc(77),
+        &machine,
+        &[1, 4, 16],
+    );
+    (store, v)
+}
+
+fn interp_with<'a>(
+    src: &str,
+    data: &'a CosyData<'a>,
+) -> (asl_core::check::CheckedSpec, ()) {
+    let full = format!("{COSY_DATA_MODEL}\n{src}");
+    let spec = parse_and_check(&full).unwrap_or_else(|d| panic!("{}", d.render(&full)));
+    let _ = data;
+    (spec, ())
+}
+
+#[test]
+fn datetime_ordering_on_run_start() {
+    let (store, v) = fixture();
+    let data = CosyData::new(&store);
+    let (spec, _) = interp_with(
+        "bool StartedBefore(TestRun a, TestRun b) = a.Start < b.Start;",
+        &data,
+    );
+    let interp = Interpreter::new(&spec, &data).unwrap();
+    let runs = &store.versions[v.index()].runs;
+    // Runs are simulated an hour apart in sweep order.
+    let early = Value::run(runs[0]);
+    let late = Value::run(runs[2]);
+    assert_eq!(
+        interp
+            .call_function("StartedBefore", &[early.clone(), late.clone()])
+            .unwrap(),
+        Value::Bool(true)
+    );
+    assert_eq!(
+        interp.call_function("StartedBefore", &[late, early]).unwrap(),
+        Value::Bool(false)
+    );
+}
+
+#[test]
+fn string_equality_on_names() {
+    let (store, _) = fixture();
+    let data = CosyData::new(&store);
+    let (spec, _) = interp_with(
+        "bool IsBarrier(Function f) = f.Name == \"barrier\";",
+        &data,
+    );
+    let interp = Interpreter::new(&spec, &data).unwrap();
+    let barrier_idx = store
+        .functions
+        .iter()
+        .position(|f| f.name == "barrier")
+        .unwrap() as u32;
+    assert_eq!(
+        interp
+            .call_function("IsBarrier", &[Value::obj("Function", barrier_idx)])
+            .unwrap(),
+        Value::Bool(true)
+    );
+    assert_eq!(
+        interp
+            .call_function("IsBarrier", &[Value::obj("Function", 0)])
+            .unwrap(),
+        Value::Bool(false)
+    );
+}
+
+#[test]
+fn deep_navigation_program_to_clockspeed() {
+    let (store, _) = fixture();
+    let data = CosyData::new(&store);
+    let (spec, _) = interp_with(
+        "int FirstClock(Program p) =
+             MIN(t.Clockspeed WHERE t IN UNIQUE({v IN p.Versions WITH TRUE}).Runs);",
+        &data,
+    );
+    let interp = Interpreter::new(&spec, &data).unwrap();
+    let got = interp
+        .call_function("FirstClock", &[Value::obj("Program", 0)])
+        .unwrap();
+    assert_eq!(got, Value::Int(450));
+}
+
+#[test]
+fn min_pe_formula_matches_store_helper() {
+    // The SublinearSpeedup reference-run selection, recomputed in ASL.
+    let (store, v) = fixture();
+    let data = CosyData::new(&store);
+    let (spec, _) = interp_with(
+        "int MinPe(Region r) = MIN(s.Run.NoPe WHERE s IN r.TotTimes);",
+        &data,
+    );
+    let interp = Interpreter::new(&spec, &data).unwrap();
+    let main = store.main_region(v).unwrap();
+    let got = interp
+        .call_function("MinPe", &[Value::region(main)])
+        .unwrap();
+    let reference = store.min_pe_run(v).unwrap();
+    assert_eq!(got, Value::Int(store.runs[reference.index()].no_pe as i64));
+}
+
+#[test]
+fn summed_typed_times_are_bounded_by_overhead() {
+    // Per region and run: SUM of typed times == the region's own measured
+    // overhead contribution, which is at most the stored (inclusive) Ovhd.
+    let (store, v) = fixture();
+    let data = CosyData::new(&store);
+    let (spec, _) = interp_with(
+        "float Typed(Region r, TestRun t) = SUM(tt.Time WHERE tt IN r.TypTimes AND tt.Run==t);
+         float Stored(Region r, TestRun t) = Summary(r,t).Ovhd;",
+        &data,
+    );
+    let interp = Interpreter::new(&spec, &data).unwrap();
+    for &run in &store.versions[v.index()].runs {
+        for i in 0..store.regions.len() {
+            let args = [Value::obj("Region", i as u32), Value::run(run)];
+            let typed = match interp.call_function("Typed", &args) {
+                Ok(val) => val.as_f64().unwrap(),
+                Err(_) => continue,
+            };
+            let stored = match interp.call_function("Stored", &args) {
+                Ok(val) => val.as_f64().unwrap(),
+                Err(_) => continue,
+            };
+            assert!(
+                typed <= stored * (1.0 + 1e-9) + 1e-12,
+                "region {i} run {run}: typed {typed} > stored {stored}"
+            );
+        }
+    }
+}
+
+#[test]
+fn forall_and_exists_against_real_data() {
+    let (store, v) = fixture();
+    let data = CosyData::new(&store);
+    let (spec, _) = interp_with(
+        "bool AllNonNegative(Region r) = FORALL(s IN r.TotTimes WITH s.Incl >= 0.0);
+         bool AnyOverhead(Region r, TestRun t) =
+             EXISTS(tt IN r.TypTimes WITH tt.Run == t AND tt.Time > 0.0);",
+        &data,
+    );
+    let interp = Interpreter::new(&spec, &data).unwrap();
+    let main = store.main_region(v).unwrap();
+    assert_eq!(
+        interp
+            .call_function("AllNonNegative", &[Value::region(main)])
+            .unwrap(),
+        Value::Bool(true)
+    );
+    let run16 = *store.versions[v.index()].runs.last().unwrap();
+    assert_eq!(
+        interp
+            .call_function("AnyOverhead", &[Value::region(main), Value::run(run16)])
+            .unwrap(),
+        Value::Bool(true)
+    );
+}

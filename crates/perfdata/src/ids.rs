@@ -1,0 +1,101 @@
+//! Typed arena identifiers, one per data-model class.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $short:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The raw index into the owning arena.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($short, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for u32 {
+            fn from(id: $name) -> u32 {
+                id.0
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a [`crate::Program`].
+    ProgramId,
+    "prog"
+);
+define_id!(
+    /// Identifier of a [`crate::ProgVersion`].
+    VersionId,
+    "ver"
+);
+define_id!(
+    /// Identifier of a [`crate::TestRun`].
+    TestRunId,
+    "run"
+);
+define_id!(
+    /// Identifier of a [`crate::Function`].
+    FunctionId,
+    "fn"
+);
+define_id!(
+    /// Identifier of a [`crate::Region`].
+    RegionId,
+    "reg"
+);
+define_id!(
+    /// Identifier of a [`crate::TotalTiming`].
+    TotalTimingId,
+    "tot"
+);
+define_id!(
+    /// Identifier of a [`crate::TypedTiming`].
+    TypedTimingId,
+    "typ"
+);
+define_id!(
+    /// Identifier of a [`crate::FunctionCall`].
+    CallId,
+    "call"
+);
+define_id!(
+    /// Identifier of a [`crate::CallTiming`].
+    CallTimingId,
+    "ct"
+);
+define_id!(
+    /// Identifier of a [`crate::SourceCode`].
+    SourceId,
+    "src"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display_with_prefix() {
+        assert_eq!(RegionId(4).to_string(), "reg4");
+        assert_eq!(TestRunId(0).to_string(), "run0");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(RegionId(1) < RegionId(2));
+        assert_eq!(RegionId(7).index(), 7);
+    }
+}

@@ -1,0 +1,253 @@
+//! The nine data-model classes of §4.1, as plain Rust structs.
+
+use crate::ids::*;
+use crate::timing_type::TimingType;
+use serde::{Deserialize, Serialize};
+
+/// A timestamp in microseconds since the Unix epoch (the ASL `DateTime`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct DateTime(pub i64);
+
+impl DateTime {
+    /// Construct from whole seconds since the epoch.
+    pub fn from_secs(s: i64) -> Self {
+        DateTime(s * 1_000_000)
+    }
+
+    /// Microseconds since the epoch.
+    pub fn micros(self) -> i64 {
+        self.0
+    }
+}
+
+/// What kind of source construct a [`Region`] is.
+///
+/// §3 of the paper: COSY "identifies program regions, i.e. subprograms,
+/// loops, if-blocks, subroutine calls, and arbitrary basic blocks".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RegionKind {
+    /// The body of a subprogram (function).
+    Subprogram,
+    /// A loop nest level.
+    Loop,
+    /// An if-block.
+    IfBlock,
+    /// A subroutine call site treated as a region.
+    CallSite,
+    /// An arbitrary basic block.
+    BasicBlock,
+}
+
+impl RegionKind {
+    /// Short lowercase name (used in reports and the database).
+    pub fn name(self) -> &'static str {
+        match self {
+            RegionKind::Subprogram => "subprogram",
+            RegionKind::Loop => "loop",
+            RegionKind::IfBlock => "if",
+            RegionKind::CallSite => "call",
+            RegionKind::BasicBlock => "block",
+        }
+    }
+
+    /// Parse the short name produced by [`RegionKind::name`].
+    pub fn from_name(s: &str) -> Option<Self> {
+        Some(match s {
+            "subprogram" => RegionKind::Subprogram,
+            "loop" => RegionKind::Loop,
+            "if" => RegionKind::IfBlock,
+            "call" => RegionKind::CallSite,
+            "block" => RegionKind::BasicBlock,
+            _ => return None,
+        })
+    }
+}
+
+/// ASL class `Program`: one application, identified by name.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    /// Application name.
+    pub name: String,
+    /// Program versions, oldest first.
+    pub versions: Vec<VersionId>,
+}
+
+/// ASL class `ProgVersion`: one compiled version of a program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProgVersion {
+    /// Owning program.
+    pub program: ProgramId,
+    /// Compilation timestamp.
+    pub compilation: DateTime,
+    /// Static function inventory.
+    pub functions: Vec<FunctionId>,
+    /// Executed test runs.
+    pub runs: Vec<TestRunId>,
+    /// Source code of this version.
+    pub code: SourceId,
+}
+
+/// ASL class `SourceCode` (referenced but not detailed in the paper).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SourceCode {
+    /// Full program text (synthetic programs store a structural sketch).
+    pub text: String,
+}
+
+/// ASL class `TestRun`: one execution with a fixed processor configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TestRun {
+    /// Owning program version.
+    pub version: VersionId,
+    /// Start timestamp.
+    pub start: DateTime,
+    /// Number of processing elements.
+    pub no_pe: u32,
+    /// Clock speed in MHz (the T3E at FZJ ran at 300/375/450 MHz).
+    pub clockspeed: u32,
+}
+
+/// ASL class `Function`: static information about one subprogram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Function {
+    /// Owning program version.
+    pub version: VersionId,
+    /// Function name.
+    pub name: String,
+    /// Call sites *of* this function (calls to it), per the paper's
+    /// `Function.Calls` attribute.
+    pub calls: Vec<CallId>,
+    /// Regions contained in this function (the subprogram region first).
+    pub regions: Vec<RegionId>,
+}
+
+/// ASL class `Region`: a program region with its performance data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Region {
+    /// The function this region belongs to.
+    pub function: FunctionId,
+    /// Enclosing region (`None` for the subprogram region itself).
+    pub parent: Option<RegionId>,
+    /// Construct kind.
+    pub kind: RegionKind,
+    /// Human-readable name (e.g. `solver:loop@12`).
+    pub name: String,
+    /// First source line of the region.
+    pub first_line: u32,
+    /// Last source line of the region.
+    pub last_line: u32,
+    /// Per-run total timings (at most one per test run).
+    pub tot_times: Vec<TotalTimingId>,
+    /// Per-run typed overhead timings (at most one per run and type).
+    pub typ_times: Vec<TypedTimingId>,
+}
+
+/// ASL class `TotalTiming`: summed-over-processes timing of a region in one
+/// test run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TotalTiming {
+    /// The region measured.
+    pub region: RegionId,
+    /// The test run the numbers belong to.
+    pub run: TestRunId,
+    /// Exclusive computing time in seconds (children excluded), summed over
+    /// all processes.
+    pub excl: f64,
+    /// Inclusive computing time in seconds, summed over all processes.
+    pub incl: f64,
+    /// Overhead measured by Apprentice (instrumentation + the known
+    /// overhead types), summed over all processes and **inclusive** of the
+    /// region's subtree, so the measured/unmeasured split of the enclosing
+    /// region accounts for everything it contains.
+    pub ovhd: f64,
+}
+
+/// ASL class `TypedTiming`: time spent in one overhead category by a region
+/// in one test run (summed over processes).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TypedTiming {
+    /// The region measured.
+    pub region: RegionId,
+    /// The test run.
+    pub run: TestRunId,
+    /// Which of the 25 overhead types.
+    pub ty: TimingType,
+    /// Seconds spent, summed over all processes.
+    pub time: f64,
+}
+
+/// ASL class `FunctionCall`: one call site of a function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FunctionCall {
+    /// The function containing the call (ASL attribute `Caller`).
+    pub caller: FunctionId,
+    /// The function being called (implicit in ASL via `Function.Calls`
+    /// membership; stored explicitly here for navigation).
+    pub callee: FunctionId,
+    /// The region containing the call site (ASL attribute `CallingReg`).
+    pub calling_reg: RegionId,
+    /// Per-run call statistics (ASL attribute `Sums`).
+    pub sums: Vec<CallTimingId>,
+}
+
+/// ASL class `CallTiming`: per-run, across-process statistics of one call
+/// site — min/max/mean/stddev over (a) the pass count and (b) the time
+/// spent, with the extremal processor memorized for each of the four
+/// extremal values (§4.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CallTiming {
+    /// The call site these statistics belong to.
+    pub call: CallId,
+    /// The test run.
+    pub run: TestRunId,
+    /// Minimum pass count over processes.
+    pub min_count: f64,
+    /// Maximum pass count over processes.
+    pub max_count: f64,
+    /// Mean pass count over processes.
+    pub mean_count: f64,
+    /// Standard deviation of the pass count.
+    pub stdev_count: f64,
+    /// Processor with the minimum pass count.
+    pub min_count_pe: u32,
+    /// Processor with the maximum pass count.
+    pub max_count_pe: u32,
+    /// Minimum time spent in the callee (seconds, per process).
+    pub min_time: f64,
+    /// Maximum time spent in the callee.
+    pub max_time: f64,
+    /// Mean time spent in the callee.
+    pub mean_time: f64,
+    /// Standard deviation of the time spent.
+    pub stdev_time: f64,
+    /// Processor with the minimum time.
+    pub min_time_pe: u32,
+    /// Processor with the maximum time.
+    pub max_time_pe: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datetime_conversion() {
+        assert_eq!(DateTime::from_secs(2).micros(), 2_000_000);
+    }
+
+    #[test]
+    fn region_kind_names_roundtrip() {
+        for k in [
+            RegionKind::Subprogram,
+            RegionKind::Loop,
+            RegionKind::IfBlock,
+            RegionKind::CallSite,
+            RegionKind::BasicBlock,
+        ] {
+            assert_eq!(RegionKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(RegionKind::from_name("nope"), None);
+    }
+}

@@ -1,0 +1,380 @@
+//! The typed arena store holding a full performance database.
+
+use crate::ids::*;
+use crate::model::*;
+use crate::timing_type::TimingType;
+use serde::{Deserialize, Serialize};
+
+/// A complete COSY performance database: multiple applications, multiple
+/// versions per application, multiple test runs per version (§3 of the
+/// paper), with static structure (functions, regions, call sites) and
+/// dynamic measurements (total/typed timings, call statistics).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Store {
+    /// All programs.
+    pub programs: Vec<Program>,
+    /// All program versions.
+    pub versions: Vec<ProgVersion>,
+    /// All test runs.
+    pub runs: Vec<TestRun>,
+    /// All functions.
+    pub functions: Vec<Function>,
+    /// All regions.
+    pub regions: Vec<Region>,
+    /// All total timings.
+    pub total_timings: Vec<TotalTiming>,
+    /// All typed timings.
+    pub typed_timings: Vec<TypedTiming>,
+    /// All function-call sites.
+    pub calls: Vec<FunctionCall>,
+    /// All call statistics.
+    pub call_timings: Vec<CallTiming>,
+    /// All source-code blobs.
+    pub sources: Vec<SourceCode>,
+}
+
+impl Store {
+    /// An empty store.
+    pub fn new() -> Self {
+        Store::default()
+    }
+
+    // ---- builders ---------------------------------------------------------
+
+    /// Add a program.
+    pub fn add_program(&mut self, name: impl Into<String>) -> ProgramId {
+        let id = ProgramId(self.programs.len() as u32);
+        self.programs.push(Program {
+            name: name.into(),
+            versions: Vec::new(),
+        });
+        id
+    }
+
+    /// Add a version to a program.
+    pub fn add_version(
+        &mut self,
+        program: ProgramId,
+        compilation: DateTime,
+        source_text: impl Into<String>,
+    ) -> VersionId {
+        let code = SourceId(self.sources.len() as u32);
+        self.sources.push(SourceCode {
+            text: source_text.into(),
+        });
+        let id = VersionId(self.versions.len() as u32);
+        self.versions.push(ProgVersion {
+            program,
+            compilation,
+            functions: Vec::new(),
+            runs: Vec::new(),
+            code,
+        });
+        self.programs[program.index()].versions.push(id);
+        id
+    }
+
+    /// Add a test run to a version.
+    pub fn add_run(
+        &mut self,
+        version: VersionId,
+        start: DateTime,
+        no_pe: u32,
+        clockspeed: u32,
+    ) -> TestRunId {
+        let id = TestRunId(self.runs.len() as u32);
+        self.runs.push(TestRun {
+            version,
+            start,
+            no_pe,
+            clockspeed,
+        });
+        self.versions[version.index()].runs.push(id);
+        id
+    }
+
+    /// Add a function to a version.
+    pub fn add_function(&mut self, version: VersionId, name: impl Into<String>) -> FunctionId {
+        let id = FunctionId(self.functions.len() as u32);
+        self.functions.push(Function {
+            version,
+            name: name.into(),
+            calls: Vec::new(),
+            regions: Vec::new(),
+        });
+        self.versions[version.index()].functions.push(id);
+        id
+    }
+
+    /// Add a region to a function.
+    pub fn add_region(
+        &mut self,
+        function: FunctionId,
+        parent: Option<RegionId>,
+        kind: RegionKind,
+        name: impl Into<String>,
+        lines: (u32, u32),
+    ) -> RegionId {
+        let id = RegionId(self.regions.len() as u32);
+        self.regions.push(Region {
+            function,
+            parent,
+            kind,
+            name: name.into(),
+            first_line: lines.0,
+            last_line: lines.1,
+            tot_times: Vec::new(),
+            typ_times: Vec::new(),
+        });
+        self.functions[function.index()].regions.push(id);
+        id
+    }
+
+    /// Record the total timing of a region in a run.
+    pub fn add_total_timing(
+        &mut self,
+        region: RegionId,
+        run: TestRunId,
+        excl: f64,
+        incl: f64,
+        ovhd: f64,
+    ) -> TotalTimingId {
+        let id = TotalTimingId(self.total_timings.len() as u32);
+        self.total_timings.push(TotalTiming {
+            region,
+            run,
+            excl,
+            incl,
+            ovhd,
+        });
+        self.regions[region.index()].tot_times.push(id);
+        id
+    }
+
+    /// Record a typed overhead timing of a region in a run.
+    pub fn add_typed_timing(
+        &mut self,
+        region: RegionId,
+        run: TestRunId,
+        ty: TimingType,
+        time: f64,
+    ) -> TypedTimingId {
+        let id = TypedTimingId(self.typed_timings.len() as u32);
+        self.typed_timings.push(TypedTiming {
+            region,
+            run,
+            ty,
+            time,
+        });
+        self.regions[region.index()].typ_times.push(id);
+        id
+    }
+
+    /// Add a call site. The call is registered on the **callee**'s `Calls`
+    /// set, matching the paper's `Function.Calls` attribute ("the call
+    /// sites" of the function).
+    pub fn add_call(
+        &mut self,
+        caller: FunctionId,
+        callee: FunctionId,
+        calling_reg: RegionId,
+    ) -> CallId {
+        let id = CallId(self.calls.len() as u32);
+        self.calls.push(FunctionCall {
+            caller,
+            callee,
+            calling_reg,
+            sums: Vec::new(),
+        });
+        self.functions[callee.index()].calls.push(id);
+        id
+    }
+
+    /// Record call statistics for a call site in a run.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_call_timing(&mut self, ct: CallTiming) -> CallTimingId {
+        let id = CallTimingId(self.call_timings.len() as u32);
+        let call = ct.call;
+        self.call_timings.push(ct);
+        self.calls[call.index()].sums.push(id);
+        id
+    }
+
+    // ---- navigation ---------------------------------------------------------
+
+    /// The program a version belongs to.
+    pub fn program_of(&self, v: VersionId) -> &Program {
+        &self.programs[self.versions[v.index()].program.index()]
+    }
+
+    /// Direct children of a region.
+    pub fn children(&self, r: RegionId) -> impl Iterator<Item = RegionId> + '_ {
+        self.regions
+            .iter()
+            .enumerate()
+            .filter(move |(_, reg)| reg.parent == Some(r))
+            .map(|(i, _)| RegionId(i as u32))
+    }
+
+    /// The unique total timing of a region in a run, if recorded.
+    pub fn total_timing(&self, r: RegionId, run: TestRunId) -> Option<&TotalTiming> {
+        self.regions[r.index()]
+            .tot_times
+            .iter()
+            .map(|id| &self.total_timings[id.index()])
+            .find(|t| t.run == run)
+    }
+
+    /// The typed timing of a region for a given run and type, if recorded.
+    pub fn typed_timing(&self, r: RegionId, run: TestRunId, ty: TimingType) -> Option<&TypedTiming> {
+        self.regions[r.index()]
+            .typ_times
+            .iter()
+            .map(|id| &self.typed_timings[id.index()])
+            .find(|t| t.run == run && t.ty == ty)
+    }
+
+    /// Inclusive duration of a region in a run (the paper's `Duration`
+    /// helper), or `None` when no timing was recorded.
+    pub fn duration(&self, r: RegionId, run: TestRunId) -> Option<f64> {
+        self.total_timing(r, run).map(|t| t.incl)
+    }
+
+    /// The test run of a version with the smallest processor count — the
+    /// reference run used by `SublinearSpeedup` (§4.2).
+    pub fn min_pe_run(&self, v: VersionId) -> Option<TestRunId> {
+        self.versions[v.index()]
+            .runs
+            .iter()
+            .copied()
+            .min_by_key(|r| self.runs[r.index()].no_pe)
+    }
+
+    /// The root (subprogram) region of a function, by convention the first
+    /// region added to it.
+    pub fn root_region(&self, f: FunctionId) -> Option<RegionId> {
+        self.functions[f.index()].regions.first().copied()
+    }
+
+    /// The main region of a version: the root region of the function named
+    /// `main`, or of the first function otherwise. This is the ranking
+    /// basis region COSY uses by default.
+    pub fn main_region(&self, v: VersionId) -> Option<RegionId> {
+        let funcs = &self.versions[v.index()].functions;
+        let main = funcs
+            .iter()
+            .copied()
+            .find(|f| self.functions[f.index()].name == "main")
+            .or_else(|| funcs.first().copied())?;
+        self.root_region(main)
+    }
+
+    /// Total number of objects across all arenas (used for sizing reports).
+    pub fn object_count(&self) -> usize {
+        self.programs.len()
+            + self.versions.len()
+            + self.runs.len()
+            + self.functions.len()
+            + self.regions.len()
+            + self.total_timings.len()
+            + self.typed_timings.len()
+            + self.calls.len()
+            + self.call_timings.len()
+            + self.sources.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build the small two-run database used across the store tests.
+    pub(crate) fn sample_store() -> (Store, VersionId, TestRunId, TestRunId, RegionId) {
+        let mut s = Store::new();
+        let p = s.add_program("fluid3d");
+        let v = s.add_version(p, DateTime::from_secs(10), "program fluid3d");
+        let r1 = s.add_run(v, DateTime::from_secs(20), 2, 450);
+        let r2 = s.add_run(v, DateTime::from_secs(30), 8, 450);
+        let f = s.add_function(v, "main");
+        let root = s.add_region(f, None, RegionKind::Subprogram, "main", (1, 100));
+        let lp = s.add_region(f, Some(root), RegionKind::Loop, "main:loop@10", (10, 40));
+        s.add_total_timing(root, r1, 1.0, 10.0, 0.5);
+        s.add_total_timing(root, r2, 1.5, 14.0, 1.0);
+        s.add_total_timing(lp, r1, 6.0, 9.0, 0.3);
+        s.add_total_timing(lp, r2, 8.0, 12.5, 0.9);
+        s.add_typed_timing(lp, r2, TimingType::Barrier, 2.5);
+        (s, v, r1, r2, lp)
+    }
+
+    #[test]
+    fn builders_maintain_backlinks() {
+        let (s, v, r1, r2, lp) = sample_store();
+        assert_eq!(s.versions[v.index()].runs, vec![r1, r2]);
+        assert_eq!(s.programs[0].versions.len(), 1);
+        assert_eq!(s.regions[lp.index()].tot_times.len(), 2);
+    }
+
+    #[test]
+    fn total_timing_lookup_is_per_run() {
+        let (s, _, r1, r2, lp) = sample_store();
+        assert_eq!(s.total_timing(lp, r1).unwrap().incl, 9.0);
+        assert_eq!(s.total_timing(lp, r2).unwrap().incl, 12.5);
+    }
+
+    #[test]
+    fn duration_matches_inclusive_time() {
+        let (s, _, r1, _, lp) = sample_store();
+        assert_eq!(s.duration(lp, r1), Some(9.0));
+    }
+
+    #[test]
+    fn min_pe_run_picks_smallest_configuration() {
+        let (s, v, r1, _, _) = sample_store();
+        assert_eq!(s.min_pe_run(v), Some(r1));
+    }
+
+    #[test]
+    fn children_navigation() {
+        let (s, _, _, _, lp) = sample_store();
+        let root = s.regions[lp.index()].parent.unwrap();
+        let kids: Vec<_> = s.children(root).collect();
+        assert_eq!(kids, vec![lp]);
+        assert_eq!(s.children(lp).count(), 0);
+    }
+
+    #[test]
+    fn main_region_prefers_function_named_main() {
+        let (s, v, _, _, _) = sample_store();
+        let main = s.main_region(v).unwrap();
+        assert_eq!(s.regions[main.index()].name, "main");
+    }
+
+    #[test]
+    fn typed_timing_lookup() {
+        let (s, _, r1, r2, lp) = sample_store();
+        assert!(s.typed_timing(lp, r2, TimingType::Barrier).is_some());
+        assert!(s.typed_timing(lp, r1, TimingType::Barrier).is_none());
+        assert!(s.typed_timing(lp, r2, TimingType::IoRead).is_none());
+    }
+
+    #[test]
+    fn calls_register_on_callee() {
+        let mut s = Store::new();
+        let p = s.add_program("x");
+        let v = s.add_version(p, DateTime::from_secs(0), "");
+        let f_main = s.add_function(v, "main");
+        let f_barrier = s.add_function(v, "barrier");
+        let root = s.add_region(f_main, None, RegionKind::Subprogram, "main", (1, 10));
+        let c = s.add_call(f_main, f_barrier, root);
+        assert_eq!(s.functions[f_barrier.index()].calls, vec![c]);
+        assert!(s.functions[f_main.index()].calls.is_empty());
+    }
+
+    #[test]
+    fn object_count_sums_arenas() {
+        let (s, ..) = sample_store();
+        // 1 program + 1 version + 2 runs + 1 function + 2 regions
+        // + 4 total timings + 1 typed timing + 1 source = 13
+        assert_eq!(s.object_count(), 13);
+    }
+}

@@ -1,0 +1,199 @@
+//! The `TimingType` enumeration of overhead categories.
+//!
+//! §4.1 of the paper: "The TypedTiming class determines the execution time
+//! for special types of overhead such as I/O, message passing and barrier
+//! synchronization — **Apprentice knows 25 such types**." The paper names
+//! only those three families; the remaining categories below are our
+//! documented Apprentice-equivalent set, chosen to cover the overhead
+//! sources a Cray T3E code exhibits (SHMEM one-sided traffic, collective
+//! operations, buffer packing, runtime startup, instrumentation). The exact
+//! names do not affect any reproduced result — properties aggregate over
+//! categories via [`OverheadCategory`].
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Families of overhead used by COSY's refinement properties.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OverheadCategory {
+    /// Synchronization (barrier, locks).
+    Synchronization,
+    /// Point-to-point message passing.
+    PointToPoint,
+    /// Collective communication.
+    Collective,
+    /// One-sided SHMEM communication.
+    OneSided,
+    /// File input/output.
+    Io,
+    /// Memory/buffer management overhead.
+    Memory,
+    /// Runtime system overhead (startup, shutdown, instrumentation).
+    Runtime,
+}
+
+impl fmt::Display for OverheadCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OverheadCategory::Synchronization => "synchronization",
+            OverheadCategory::PointToPoint => "point-to-point",
+            OverheadCategory::Collective => "collective",
+            OverheadCategory::OneSided => "one-sided",
+            OverheadCategory::Io => "I/O",
+            OverheadCategory::Memory => "memory",
+            OverheadCategory::Runtime => "runtime",
+        };
+        write!(f, "{s}")
+    }
+}
+
+macro_rules! timing_types {
+    ($( $(#[$doc:meta])* $name:ident => $cat:ident ),+ $(,)?) => {
+        /// One of the 25 overhead timing types recorded per region and run.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord,
+                 Serialize, Deserialize)]
+        #[allow(missing_docs)]
+        pub enum TimingType {
+            $( $(#[$doc])* $name, )+
+        }
+
+        impl TimingType {
+            /// All 25 timing types in declaration order.
+            pub const ALL: &'static [TimingType] = &[ $(TimingType::$name),+ ];
+
+            /// The overhead family this type belongs to.
+            pub fn category(self) -> OverheadCategory {
+                match self {
+                    $( TimingType::$name => OverheadCategory::$cat, )+
+                }
+            }
+
+            /// The ASL enum-variant name (also used in the database).
+            pub fn name(self) -> &'static str {
+                match self {
+                    $( TimingType::$name => stringify!($name), )+
+                }
+            }
+
+            /// Parse a variant name produced by [`TimingType::name`].
+            pub fn from_name(s: &str) -> Option<TimingType> {
+                match s {
+                    $( stringify!($name) => Some(TimingType::$name), )+
+                    _ => None,
+                }
+            }
+        }
+    };
+}
+
+timing_types! {
+    /// Barrier synchronization wait time (named in the paper).
+    Barrier => Synchronization,
+    /// Lock acquisition wait time.
+    Lock => Synchronization,
+    /// Lock release overhead.
+    Unlock => Synchronization,
+    /// Point-to-point send overhead (named family in the paper).
+    PtpSend => PointToPoint,
+    /// Point-to-point receive overhead.
+    PtpRecv => PointToPoint,
+    /// Waiting on outstanding point-to-point operations.
+    PtpWait => PointToPoint,
+    /// Broadcast collective.
+    Broadcast => Collective,
+    /// Reduction collective.
+    Reduce => Collective,
+    /// All-reduce collective.
+    AllReduce => Collective,
+    /// Gather collective.
+    Gather => Collective,
+    /// Scatter collective.
+    Scatter => Collective,
+    /// All-to-all collective.
+    AllToAll => Collective,
+    /// SHMEM put (one-sided write).
+    ShmemPut => OneSided,
+    /// SHMEM get (one-sided read).
+    ShmemGet => OneSided,
+    /// SHMEM completion wait.
+    ShmemWait => OneSided,
+    /// File open (I/O family named in the paper).
+    IoOpen => Io,
+    /// File close.
+    IoClose => Io,
+    /// File read.
+    IoRead => Io,
+    /// File write.
+    IoWrite => Io,
+    /// File seek.
+    IoSeek => Io,
+    /// Message-buffer packing.
+    BufferPack => Memory,
+    /// Message-buffer unpacking.
+    BufferUnpack => Memory,
+    /// Parallel runtime startup.
+    Startup => Runtime,
+    /// Parallel runtime shutdown.
+    Shutdown => Runtime,
+    /// Instrumentation (monitoring) overhead.
+    Instrumentation => Runtime,
+}
+
+impl fmt::Display for TimingType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+impl TimingType {
+    /// Stable small integer for database storage (declaration index).
+    pub fn code(self) -> u8 {
+        Self::ALL.iter().position(|t| *t == self).unwrap() as u8
+    }
+
+    /// Inverse of [`TimingType::code`].
+    pub fn from_code(c: u8) -> Option<TimingType> {
+        Self::ALL.get(c as usize).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_25_types_like_apprentice() {
+        assert_eq!(TimingType::ALL.len(), 25);
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for &t in TimingType::ALL {
+            assert_eq!(TimingType::from_name(t.name()), Some(t));
+        }
+        assert_eq!(TimingType::from_name("Nonsense"), None);
+    }
+
+    #[test]
+    fn codes_roundtrip() {
+        for &t in TimingType::ALL {
+            assert_eq!(TimingType::from_code(t.code()), Some(t));
+        }
+        assert_eq!(TimingType::from_code(25), None);
+    }
+
+    #[test]
+    fn paper_named_families_are_present() {
+        // The paper names I/O, message passing and barrier synchronization.
+        assert_eq!(TimingType::Barrier.category(), OverheadCategory::Synchronization);
+        assert_eq!(TimingType::PtpSend.category(), OverheadCategory::PointToPoint);
+        assert_eq!(TimingType::IoRead.category(), OverheadCategory::Io);
+    }
+
+    #[test]
+    fn every_category_is_inhabited() {
+        use std::collections::HashSet;
+        let cats: HashSet<_> = TimingType::ALL.iter().map(|t| t.category()).collect();
+        assert_eq!(cats.len(), 7);
+    }
+}

@@ -1,0 +1,37 @@
+//! Error type shared by the SQL front-end and the execution engine.
+
+use std::fmt;
+
+/// Any error produced by `reldb`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbError {
+    /// The SQL text could not be tokenized or parsed.
+    Parse(String),
+    /// A referenced table/column/index does not exist, or a name clashes.
+    Catalog(String),
+    /// The statement is well-formed but semantically invalid (type
+    /// mismatch, wrong arity, ambiguous column, …).
+    Semantic(String),
+    /// A constraint was violated at execution time (duplicate primary key,
+    /// NOT NULL violation, …).
+    Constraint(String),
+    /// Runtime evaluation error (division by zero, invalid cast, …).
+    Eval(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Parse(m) => write!(f, "parse error: {m}"),
+            DbError::Catalog(m) => write!(f, "catalog error: {m}"),
+            DbError::Semantic(m) => write!(f, "semantic error: {m}"),
+            DbError::Constraint(m) => write!(f, "constraint violation: {m}"),
+            DbError::Eval(m) => write!(f, "evaluation error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+/// Convenience alias.
+pub type DbResult<T> = Result<T, DbError>;

@@ -1,0 +1,55 @@
+//! A virtual clock measuring modeled (not wall-clock) seconds.
+
+/// Accumulates simulated seconds. All backend-profile costs are charged
+/// here; real compute time of the embedded engine is deliberately *not*
+/// included (the paper's numbers describe 1999 systems, not this host).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct VirtualClock {
+    seconds: f64,
+}
+
+impl VirtualClock {
+    /// A clock at zero.
+    pub fn new() -> Self {
+        VirtualClock::default()
+    }
+
+    /// Advance by `dt` seconds (negative advances are ignored).
+    pub fn advance(&mut self, dt: f64) {
+        if dt > 0.0 {
+            self.seconds += dt;
+        }
+    }
+
+    /// Total simulated seconds elapsed.
+    pub fn elapsed(&self) -> f64 {
+        self.seconds
+    }
+
+    /// Reset to zero.
+    pub fn reset(&mut self) {
+        self.seconds = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_and_resets() {
+        let mut c = VirtualClock::new();
+        c.advance(1.5);
+        c.advance(0.5);
+        assert_eq!(c.elapsed(), 2.0);
+        c.reset();
+        assert_eq!(c.elapsed(), 0.0);
+    }
+
+    #[test]
+    fn negative_advance_ignored() {
+        let mut c = VirtualClock::new();
+        c.advance(-1.0);
+        assert_eq!(c.elapsed(), 0.0);
+    }
+}

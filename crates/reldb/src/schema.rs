@@ -1,0 +1,178 @@
+//! Table schemas and the catalog.
+
+use crate::error::{DbError, DbResult};
+use crate::value::ColType;
+use serde::{Deserialize, Serialize};
+
+/// One column of a table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnDef {
+    /// Column name (case-preserved, matched case-insensitively).
+    pub name: String,
+    /// Data type.
+    pub ty: ColType,
+    /// Whether NULL is allowed.
+    pub nullable: bool,
+}
+
+impl ColumnDef {
+    /// A nullable column.
+    pub fn new(name: impl Into<String>, ty: ColType) -> Self {
+        ColumnDef {
+            name: name.into(),
+            ty,
+            nullable: true,
+        }
+    }
+
+    /// A NOT NULL column.
+    pub fn not_null(name: impl Into<String>, ty: ColType) -> Self {
+        ColumnDef {
+            name: name.into(),
+            ty,
+            nullable: false,
+        }
+    }
+}
+
+/// Schema of one table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableSchema {
+    /// Table name.
+    pub name: String,
+    /// Columns in declaration order.
+    pub columns: Vec<ColumnDef>,
+    /// Index of the PRIMARY KEY column, if declared.
+    pub primary_key: Option<usize>,
+}
+
+impl TableSchema {
+    /// Create a schema; validates duplicate column names.
+    pub fn new(
+        name: impl Into<String>,
+        columns: Vec<ColumnDef>,
+        primary_key: Option<usize>,
+    ) -> DbResult<Self> {
+        let name = name.into();
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i]
+                .iter()
+                .any(|o| o.name.eq_ignore_ascii_case(&c.name))
+            {
+                return Err(DbError::Catalog(format!(
+                    "duplicate column `{}` in table `{name}`",
+                    c.name
+                )));
+            }
+        }
+        if let Some(pk) = primary_key {
+            if pk >= columns.len() {
+                return Err(DbError::Catalog(format!(
+                    "primary key index {pk} out of range in `{name}`"
+                )));
+            }
+        }
+        Ok(TableSchema {
+            name,
+            columns,
+            primary_key,
+        })
+    }
+
+    /// Index of a column by (case-insensitive) name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Render as a `CREATE TABLE` statement. Identifiers that collide with
+    /// SQL keywords are quoted.
+    pub fn to_create_sql(&self) -> String {
+        let cols: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let mut s = format!(
+                    "{} {}",
+                    crate::sql::render::quote_ident(&c.name),
+                    c.ty.sql_name()
+                );
+                if self.primary_key == Some(i) {
+                    s.push_str(" PRIMARY KEY");
+                } else if !c.nullable {
+                    s.push_str(" NOT NULL");
+                }
+                s
+            })
+            .collect();
+        format!(
+            "CREATE TABLE {} ({})",
+            crate::sql::render::quote_ident(&self.name),
+            cols.join(", ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_columns_rejected() {
+        let err = TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("a", ColType::Integer),
+                ColumnDef::new("A", ColType::Text),
+            ],
+            None,
+        )
+        .unwrap_err();
+        assert!(matches!(err, DbError::Catalog(_)));
+    }
+
+    #[test]
+    fn column_lookup_is_case_insensitive() {
+        let s = TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("Id", ColType::Integer),
+                ColumnDef::new("Name", ColType::Text),
+            ],
+            Some(0),
+        )
+        .unwrap();
+        assert_eq!(s.column_index("id"), Some(0));
+        assert_eq!(s.column_index("NAME"), Some(1));
+        assert_eq!(s.column_index("zzz"), None);
+    }
+
+    #[test]
+    fn create_sql_roundtrips_visually() {
+        let s = TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("id", ColType::Integer),
+                ColumnDef::not_null("x", ColType::Real),
+            ],
+            Some(0),
+        )
+        .unwrap();
+        assert_eq!(
+            s.to_create_sql(),
+            "CREATE TABLE t (id INTEGER PRIMARY KEY, x REAL NOT NULL)"
+        );
+    }
+
+    #[test]
+    fn pk_out_of_range_rejected() {
+        assert!(TableSchema::new("t", vec![ColumnDef::new("a", ColType::Integer)], Some(3)).is_err());
+    }
+}

@@ -1,0 +1,352 @@
+//! SQL abstract syntax tree.
+
+use crate::value::{ColType, Value};
+
+/// A full SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `CREATE TABLE`.
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Column definitions: (name, type, not_null, primary_key).
+        columns: Vec<(String, ColType, bool, bool)>,
+    },
+    /// `CREATE INDEX name ON table (column)`.
+    CreateIndex {
+        /// Index name (informational).
+        name: String,
+        /// Table to index.
+        table: String,
+        /// Column to index.
+        column: String,
+    },
+    /// `INSERT INTO`.
+    Insert {
+        /// Target table.
+        table: String,
+        /// Optional explicit column list.
+        columns: Option<Vec<String>>,
+        /// One expression row per VALUES tuple.
+        values: Vec<Vec<SqlExpr>>,
+    },
+    /// `SELECT`.
+    Select(Box<SelectStmt>),
+    /// `UPDATE`.
+    Update {
+        /// Target table.
+        table: String,
+        /// `SET col = expr` assignments.
+        sets: Vec<(String, SqlExpr)>,
+        /// Optional filter.
+        where_: Option<SqlExpr>,
+    },
+    /// `DELETE FROM`.
+    Delete {
+        /// Target table.
+        table: String,
+        /// Optional filter.
+        where_: Option<SqlExpr>,
+    },
+    /// `DROP TABLE`.
+    DropTable {
+        /// Table to drop.
+        name: String,
+    },
+}
+
+/// A table reference with an optional alias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    /// Table name.
+    pub table: String,
+    /// Alias (defaults to the table name).
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name this table is visible as.
+    pub fn visible_name(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.table)
+    }
+}
+
+/// One `JOIN … ON …` clause (inner joins only).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Join {
+    /// The joined table.
+    pub table: TableRef,
+    /// The join predicate.
+    pub on: SqlExpr,
+}
+
+/// One item of the SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Star,
+    /// `expr [AS alias]`
+    Expr {
+        /// The expression.
+        expr: SqlExpr,
+        /// Output column name.
+        alias: Option<String>,
+    },
+}
+
+/// A SELECT statement.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SelectStmt {
+    /// `DISTINCT` flag.
+    pub distinct: bool,
+    /// Output items.
+    pub items: Vec<SelectItem>,
+    /// The first FROM table (`None` for table-less `SELECT 1`).
+    pub from: Option<TableRef>,
+    /// INNER JOIN clauses, in order.
+    pub joins: Vec<Join>,
+    /// WHERE predicate.
+    pub where_: Option<SqlExpr>,
+    /// GROUP BY expressions.
+    pub group_by: Vec<SqlExpr>,
+    /// HAVING predicate.
+    pub having: Option<SqlExpr>,
+    /// ORDER BY expressions with a descending flag.
+    pub order_by: Vec<(SqlExpr, bool)>,
+    /// LIMIT row count.
+    pub limit: Option<u64>,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SqlBinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `=`
+    Eq,
+    /// `<>`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COUNT`
+    Count,
+    /// `SUM`
+    Sum,
+    /// `MIN`
+    Min,
+    /// `MAX`
+    Max,
+    /// `AVG`
+    Avg,
+}
+
+impl AggFunc {
+    /// SQL name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+            AggFunc::Avg => "AVG",
+        }
+    }
+}
+
+/// A SQL expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlExpr {
+    /// Literal value.
+    Lit(Value),
+    /// Column reference, optionally qualified.
+    Col {
+        /// Table qualifier (alias).
+        table: Option<String>,
+        /// Column name.
+        column: String,
+    },
+    /// Unary minus.
+    Neg(Box<SqlExpr>),
+    /// `NOT`.
+    Not(Box<SqlExpr>),
+    /// Binary operation.
+    Binary(SqlBinOp, Box<SqlExpr>, Box<SqlExpr>),
+    /// `expr IS NULL` / `expr IS NOT NULL` (bool = negated).
+    IsNull(Box<SqlExpr>, bool),
+    /// `expr [NOT] IN (e1, e2, …)` (bool = negated).
+    InList(Box<SqlExpr>, Vec<SqlExpr>, bool),
+    /// Aggregate call. `arg == None` means `COUNT(*)`.
+    Agg {
+        /// Which aggregate.
+        func: AggFunc,
+        /// The aggregated expression.
+        arg: Option<Box<SqlExpr>>,
+        /// `DISTINCT` inside the call.
+        distinct: bool,
+    },
+    /// Scalar function call (ABS, COALESCE, LENGTH, UPPER, LOWER, ROUND).
+    Func {
+        /// Uppercased function name.
+        name: String,
+        /// Arguments.
+        args: Vec<SqlExpr>,
+    },
+    /// Scalar subquery `(SELECT …)`; must return at most one row/column.
+    Subquery(Box<SelectStmt>),
+    /// `EXISTS (SELECT …)`.
+    Exists(Box<SelectStmt>),
+}
+
+impl SqlExpr {
+    /// Column reference helper.
+    pub fn col(table: Option<&str>, column: &str) -> SqlExpr {
+        SqlExpr::Col {
+            table: table.map(str::to_string),
+            column: column.to_string(),
+        }
+    }
+
+    /// Does this expression contain an aggregate call (outside subqueries)?
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            SqlExpr::Agg { .. } => true,
+            SqlExpr::Lit(_) | SqlExpr::Col { .. } | SqlExpr::Subquery(_) | SqlExpr::Exists(_) => {
+                false
+            }
+            SqlExpr::Neg(e) | SqlExpr::Not(e) | SqlExpr::IsNull(e, _) => e.contains_aggregate(),
+            SqlExpr::Binary(_, a, b) => a.contains_aggregate() || b.contains_aggregate(),
+            SqlExpr::InList(e, list, _) => {
+                e.contains_aggregate() || list.iter().any(SqlExpr::contains_aggregate)
+            }
+            SqlExpr::Func { args, .. } => args.iter().any(SqlExpr::contains_aggregate),
+        }
+    }
+
+    /// Split a conjunction into its conjuncts.
+    pub fn conjuncts(self) -> Vec<SqlExpr> {
+        match self {
+            SqlExpr::Binary(SqlBinOp::And, a, b) => {
+                let mut out = a.conjuncts();
+                out.extend(b.conjuncts());
+                out
+            }
+            other => vec![other],
+        }
+    }
+
+    /// The set of table qualifiers that appear unmistakably in this
+    /// expression (used for pushdown decisions). Unqualified columns yield
+    /// `None` entries.
+    pub fn referenced_tables<'a>(&'a self, out: &mut Vec<Option<&'a str>>) {
+        match self {
+            SqlExpr::Col { table, .. } => out.push(table.as_deref()),
+            SqlExpr::Lit(_) => {}
+            SqlExpr::Neg(e) | SqlExpr::Not(e) | SqlExpr::IsNull(e, _) => {
+                e.referenced_tables(out)
+            }
+            SqlExpr::Binary(_, a, b) => {
+                a.referenced_tables(out);
+                b.referenced_tables(out);
+            }
+            SqlExpr::InList(e, list, _) => {
+                e.referenced_tables(out);
+                for l in list {
+                    l.referenced_tables(out);
+                }
+            }
+            SqlExpr::Agg { arg, .. } => {
+                if let Some(a) = arg {
+                    a.referenced_tables(out);
+                }
+            }
+            SqlExpr::Func { args, .. } => {
+                for a in args {
+                    a.referenced_tables(out);
+                }
+            }
+            // Subqueries reference their own scopes; correlated references
+            // are resolved at evaluation time, so treat them as opaque and
+            // *not* pushable.
+            SqlExpr::Subquery(_) | SqlExpr::Exists(_) => out.push(Some("\u{0}subquery")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conjuncts_flatten() {
+        let e = SqlExpr::Binary(
+            SqlBinOp::And,
+            Box::new(SqlExpr::Binary(
+                SqlBinOp::And,
+                Box::new(SqlExpr::Lit(Value::Bool(true))),
+                Box::new(SqlExpr::Lit(Value::Bool(false))),
+            )),
+            Box::new(SqlExpr::Lit(Value::Int(1))),
+        );
+        assert_eq!(e.conjuncts().len(), 3);
+    }
+
+    #[test]
+    fn contains_aggregate_stops_at_subquery() {
+        let sub = SelectStmt {
+            items: vec![SelectItem::Expr {
+                expr: SqlExpr::Agg {
+                    func: AggFunc::Count,
+                    arg: None,
+                    distinct: false,
+                },
+                alias: None,
+            }],
+            ..Default::default()
+        };
+        let e = SqlExpr::Subquery(Box::new(sub));
+        assert!(!e.contains_aggregate());
+        let direct = SqlExpr::Agg {
+            func: AggFunc::Sum,
+            arg: Some(Box::new(SqlExpr::col(None, "x"))),
+            distinct: false,
+        };
+        assert!(direct.contains_aggregate());
+    }
+
+    #[test]
+    fn visible_name_prefers_alias() {
+        let t = TableRef {
+            table: "Region".into(),
+            alias: Some("r".into()),
+        };
+        assert_eq!(t.visible_name(), "r");
+        let t2 = TableRef {
+            table: "Region".into(),
+            alias: None,
+        };
+        assert_eq!(t2.visible_name(), "Region");
+    }
+}

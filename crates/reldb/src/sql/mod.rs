@@ -1,0 +1,29 @@
+//! SQL front-end: lexer, AST and recursive-descent parser.
+//!
+//! The supported subset covers everything COSY's generated queries need
+//! (§5 of the paper: property conditions and severities translated into
+//! SQL):
+//!
+//! * `CREATE TABLE name (col TYPE [PRIMARY KEY|NOT NULL], …)`
+//! * `CREATE INDEX name ON table (column)`
+//! * `INSERT INTO t [(cols)] VALUES (…), (…)`
+//! * `SELECT [DISTINCT] items FROM t [alias] [JOIN u [alias] ON e]*
+//!    [WHERE e] [GROUP BY e, …] [HAVING e] [ORDER BY e [ASC|DESC], …]
+//!    [LIMIT n]`
+//! * `UPDATE t SET col = e, … [WHERE e]` / `DELETE FROM t [WHERE e]`
+//! * `DROP TABLE t`
+//!
+//! Expressions include scalar subqueries `(SELECT …)` (correlated allowed),
+//! `EXISTS (…)`, `IN (list)`, `IS [NOT] NULL`, the aggregates
+//! `COUNT/SUM/MIN/MAX/AVG` (plus `COUNT(*)` and `COUNT(DISTINCT e)`), and
+//! the scalar functions `ABS`, `COALESCE`, `LENGTH`, `UPPER`, `LOWER`,
+//! `ROUND`.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod render;
+
+pub use ast::*;
+pub use parser::parse_statement;
+pub use render::{render_expr, render_select, render_value};

@@ -1,0 +1,381 @@
+//! Row storage with hash indexes.
+
+use crate::error::{DbError, DbResult};
+use crate::schema::TableSchema;
+use crate::value::{Row, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A secondary (or primary) hash index over one column.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HashIndex {
+    /// Indexed column.
+    pub column: usize,
+    /// Enforce uniqueness (primary keys).
+    pub unique: bool,
+    /// Value → row indexes. Deleted rows are pruned eagerly.
+    map: HashMap<Value, Vec<usize>>,
+}
+
+impl HashIndex {
+    /// New empty index on a column.
+    pub fn new(column: usize, unique: bool) -> Self {
+        HashIndex {
+            column,
+            unique,
+            map: HashMap::new(),
+        }
+    }
+
+    fn insert(&mut self, key: Value, row: usize) -> DbResult<()> {
+        let display = if self.unique { key.to_string() } else { String::new() };
+        let slot = self.map.entry(key).or_default();
+        if self.unique && !slot.is_empty() {
+            return Err(DbError::Constraint(format!(
+                "duplicate key {display} for unique index"
+            )));
+        }
+        slot.push(row);
+        Ok(())
+    }
+
+    /// Row indexes matching `key`.
+    pub fn get(&self, key: &Value) -> &[usize] {
+        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// A table: schema, rows and indexes. Deletions use tombstones so row
+/// indexes remain stable; vacuuming rebuilds indexes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// The table schema.
+    pub schema: TableSchema,
+    rows: Vec<Option<Row>>,
+    live: usize,
+    indexes: Vec<HashIndex>,
+}
+
+impl Table {
+    /// Create an empty table; a unique index is created for the primary key.
+    pub fn new(schema: TableSchema) -> Self {
+        let mut indexes = Vec::new();
+        if let Some(pk) = schema.primary_key {
+            indexes.push(HashIndex::new(pk, true));
+        }
+        Table {
+            schema,
+            rows: Vec::new(),
+            live: 0,
+            indexes,
+        }
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if no live rows.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Add a secondary index on a column (backfills existing rows).
+    pub fn create_index(&mut self, column: usize) -> DbResult<()> {
+        if column >= self.schema.arity() {
+            return Err(DbError::Catalog(format!(
+                "index column {column} out of range for `{}`",
+                self.schema.name
+            )));
+        }
+        if self.indexes.iter().any(|ix| ix.column == column) {
+            return Ok(()); // idempotent
+        }
+        let mut ix = HashIndex::new(column, false);
+        for (i, row) in self.rows.iter().enumerate() {
+            if let Some(r) = row {
+                ix.insert(r[column].clone(), i)?;
+            }
+        }
+        self.indexes.push(ix);
+        Ok(())
+    }
+
+    /// Find an index on `column`.
+    pub fn index_on(&self, column: usize) -> Option<&HashIndex> {
+        self.indexes.iter().find(|ix| ix.column == column)
+    }
+
+    /// Validate and insert a row; returns its stable row id.
+    pub fn insert(&mut self, row: Row) -> DbResult<usize> {
+        if row.len() != self.schema.arity() {
+            return Err(DbError::Semantic(format!(
+                "table `{}` expects {} values, got {}",
+                self.schema.name,
+                self.schema.arity(),
+                row.len()
+            )));
+        }
+        let mut coerced = Vec::with_capacity(row.len());
+        for (v, c) in row.into_iter().zip(self.schema.columns.iter()) {
+            if v.is_null() && !c.nullable {
+                return Err(DbError::Constraint(format!(
+                    "column `{}` of `{}` is NOT NULL",
+                    c.name, self.schema.name
+                )));
+            }
+            coerced.push(v.coerce(c.ty)?);
+        }
+        if let Some(pk) = self.schema.primary_key {
+            if coerced[pk].is_null() {
+                return Err(DbError::Constraint(format!(
+                    "primary key of `{}` cannot be NULL",
+                    self.schema.name
+                )));
+            }
+            if let Some(ix) = self.index_on(pk) {
+                if !ix.get(&coerced[pk]).is_empty() {
+                    return Err(DbError::Constraint(format!(
+                        "duplicate primary key {} in `{}`",
+                        coerced[pk], self.schema.name
+                    )));
+                }
+            }
+        }
+        let id = self.rows.len();
+        for ix in &mut self.indexes {
+            ix.insert(coerced[ix.column].clone(), id)?;
+        }
+        self.rows.push(Some(coerced));
+        self.live += 1;
+        Ok(id)
+    }
+
+    /// Fetch a row by id (None if deleted).
+    pub fn get(&self, id: usize) -> Option<&Row> {
+        self.rows.get(id).and_then(|r| r.as_ref())
+    }
+
+    /// Iterate over `(row_id, row)` pairs of live rows.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &Row)> {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_ref().map(|row| (i, row)))
+    }
+
+    /// Delete a row by id; returns whether it was live.
+    pub fn delete(&mut self, id: usize) -> bool {
+        if let Some(slot) = self.rows.get_mut(id) {
+            if let Some(row) = slot.take() {
+                self.live -= 1;
+                for ix in &mut self.indexes {
+                    if let Some(v) = ix.map.get_mut(&row[ix.column]) {
+                        v.retain(|r| *r != id);
+                    }
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Replace a row in place (used by UPDATE); re-validates and re-indexes.
+    pub fn update(&mut self, id: usize, new_row: Row) -> DbResult<()> {
+        if self.get(id).is_none() {
+            return Err(DbError::Semantic(format!("row {id} does not exist")));
+        }
+        // Remove + insert preserves constraint checks; keep the same id by
+        // manual bookkeeping.
+        let old = self.rows[id].take().expect("checked live");
+        self.live -= 1;
+        for ix in &mut self.indexes {
+            if let Some(v) = ix.map.get_mut(&old[ix.column]) {
+                v.retain(|r| *r != id);
+            }
+        }
+        // Validate like insert but reuse slot `id`.
+        let result = (|| -> DbResult<Row> {
+            if new_row.len() != self.schema.arity() {
+                return Err(DbError::Semantic("arity mismatch in UPDATE".into()));
+            }
+            let mut coerced = Vec::with_capacity(new_row.len());
+            for (v, c) in new_row.into_iter().zip(self.schema.columns.iter()) {
+                if v.is_null() && !c.nullable {
+                    return Err(DbError::Constraint(format!(
+                        "column `{}` is NOT NULL",
+                        c.name
+                    )));
+                }
+                coerced.push(v.coerce(c.ty)?);
+            }
+            if let Some(pk) = self.schema.primary_key {
+                if let Some(ix) = self.index_on(pk) {
+                    if !ix.get(&coerced[pk]).is_empty() {
+                        return Err(DbError::Constraint(format!(
+                            "duplicate primary key {} in `{}`",
+                            coerced[pk], self.schema.name
+                        )));
+                    }
+                }
+            }
+            Ok(coerced)
+        })();
+        match result {
+            Ok(coerced) => {
+                for ix in &mut self.indexes {
+                    ix.insert(coerced[ix.column].clone(), id)?;
+                }
+                self.rows[id] = Some(coerced);
+                self.live += 1;
+                Ok(())
+            }
+            Err(e) => {
+                // Restore the old row on failure.
+                for ix in &mut self.indexes {
+                    ix.insert(old[ix.column].clone(), id).ok();
+                }
+                self.rows[id] = Some(old);
+                self.live += 1;
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+    use crate::value::ColType;
+
+    fn table() -> Table {
+        Table::new(
+            TableSchema::new(
+                "t",
+                vec![
+                    ColumnDef::not_null("id", ColType::Integer),
+                    ColumnDef::new("name", ColType::Text),
+                    ColumnDef::new("x", ColType::Real),
+                ],
+                Some(0),
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let mut t = table();
+        let id = t
+            .insert(vec![Value::Int(1), Value::Text("a".into()), Value::Int(3)])
+            .unwrap();
+        // Int widened to Float in a REAL column.
+        assert_eq!(t.get(id).unwrap()[2], Value::Float(3.0));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_pk_rejected() {
+        let mut t = table();
+        t.insert(vec![Value::Int(1), Value::Null, Value::Null]).unwrap();
+        let err = t
+            .insert(vec![Value::Int(1), Value::Null, Value::Null])
+            .unwrap_err();
+        assert!(matches!(err, DbError::Constraint(_)));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn not_null_enforced() {
+        let mut t = table();
+        let err = t
+            .insert(vec![Value::Null, Value::Null, Value::Null])
+            .unwrap_err();
+        assert!(matches!(err, DbError::Constraint(_)));
+    }
+
+    #[test]
+    fn arity_checked() {
+        let mut t = table();
+        assert!(t.insert(vec![Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn pk_index_lookup() {
+        let mut t = table();
+        for i in 0..100 {
+            t.insert(vec![Value::Int(i), Value::Null, Value::Null])
+                .unwrap();
+        }
+        let ix = t.index_on(0).unwrap();
+        assert_eq!(ix.get(&Value::Int(42)).len(), 1);
+        assert_eq!(ix.get(&Value::Int(1000)).len(), 0);
+        assert_eq!(ix.distinct_keys(), 100);
+    }
+
+    #[test]
+    fn secondary_index_backfills() {
+        let mut t = table();
+        t.insert(vec![Value::Int(1), Value::Text("a".into()), Value::Null])
+            .unwrap();
+        t.insert(vec![Value::Int(2), Value::Text("a".into()), Value::Null])
+            .unwrap();
+        t.create_index(1).unwrap();
+        assert_eq!(t.index_on(1).unwrap().get(&Value::Text("a".into())).len(), 2);
+    }
+
+    #[test]
+    fn delete_removes_from_index() {
+        let mut t = table();
+        let id = t
+            .insert(vec![Value::Int(5), Value::Null, Value::Null])
+            .unwrap();
+        assert!(t.delete(id));
+        assert!(!t.delete(id));
+        assert_eq!(t.len(), 0);
+        assert!(t.index_on(0).unwrap().get(&Value::Int(5)).is_empty());
+        // PK can be reused after deletion.
+        t.insert(vec![Value::Int(5), Value::Null, Value::Null])
+            .unwrap();
+    }
+
+    #[test]
+    fn update_revalidates() {
+        let mut t = table();
+        let a = t
+            .insert(vec![Value::Int(1), Value::Null, Value::Null])
+            .unwrap();
+        t.insert(vec![Value::Int(2), Value::Null, Value::Null])
+            .unwrap();
+        // Updating a's pk to 2 must fail and restore the old row.
+        let err = t.update(a, vec![Value::Int(2), Value::Null, Value::Null]);
+        assert!(err.is_err());
+        assert_eq!(t.get(a).unwrap()[0], Value::Int(1));
+        // A valid update succeeds.
+        t.update(a, vec![Value::Int(3), Value::Text("z".into()), Value::Null])
+            .unwrap();
+        assert_eq!(t.get(a).unwrap()[0], Value::Int(3));
+        assert_eq!(t.index_on(0).unwrap().get(&Value::Int(3)).len(), 1);
+        assert!(t.index_on(0).unwrap().get(&Value::Int(1)).is_empty());
+    }
+
+    #[test]
+    fn iter_skips_tombstones() {
+        let mut t = table();
+        let a = t
+            .insert(vec![Value::Int(1), Value::Null, Value::Null])
+            .unwrap();
+        t.insert(vec![Value::Int(2), Value::Null, Value::Null])
+            .unwrap();
+        t.delete(a);
+        let ids: Vec<usize> = t.iter().map(|(i, _)| i).collect();
+        assert_eq!(ids, vec![1]);
+    }
+}

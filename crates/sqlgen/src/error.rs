@@ -1,0 +1,42 @@
+//! Errors of the ASL→SQL pipeline.
+
+use std::fmt;
+
+/// Why schema generation, loading or compilation failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlGenError {
+    /// The construct has no relational mapping in this implementation
+    /// (e.g. a class that is a member of two different `setof` attributes).
+    Unsupported(String),
+    /// A name did not resolve (should be prevented by the ASL checker).
+    UnknownName(String),
+    /// The underlying database reported an error.
+    Db(reldb::DbError),
+    /// The data source reported an error during loading.
+    Data(String),
+    /// A compiled query produced an unexpected result shape.
+    Result(String),
+}
+
+impl fmt::Display for SqlGenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlGenError::Unsupported(m) => write!(f, "unsupported ASL construct: {m}"),
+            SqlGenError::UnknownName(m) => write!(f, "unknown name: {m}"),
+            SqlGenError::Db(e) => write!(f, "database error: {e}"),
+            SqlGenError::Data(m) => write!(f, "data source error: {m}"),
+            SqlGenError::Result(m) => write!(f, "unexpected query result: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlGenError {}
+
+impl From<reldb::DbError> for SqlGenError {
+    fn from(e: reldb::DbError) -> Self {
+        SqlGenError::Db(e)
+    }
+}
+
+/// Result alias.
+pub type SqlGenResult<T> = Result<T, SqlGenError>;

@@ -1,0 +1,76 @@
+//! # `asl-sql` — the ASL→SQL compiler
+//!
+//! §6 of the paper names, as future work, "the automatic generation of the
+//! database design from the performance property specification and the
+//! automatic translation of the property description into executable code".
+//! This crate implements that future work:
+//!
+//! * [`schema`] — derives a relational schema from the checked ASL data
+//!   model: one table per class (synthetic `id` primary key), scalar
+//!   attributes become columns, object-valued attributes become foreign-key
+//!   columns, and `setof` attributes become an owner foreign key on the
+//!   element class (with indexes on every foreign key);
+//! * [`loader`] — populates the schema from any
+//!   [`asl_eval::ObjectModel`], either directly (fast path) or as a stream
+//!   of `INSERT` statements replayed through a cost-charging
+//!   [`reldb::remote::Connection`] (the paper's §5 insertion experiment);
+//! * [`compile`] — translates ASL expressions into SQL expressions: set
+//!   comprehensions and `UNIQUE` become (correlated) scalar subqueries,
+//!   quantified aggregates become aggregate subqueries, attribute chains
+//!   become foreign-key navigations;
+//! * [`property`] — compiles a property instance (property + context
+//!   arguments) into a bundle of scalar `SELECT`s for its conditions and
+//!   confidence/severity arms, and evaluates such bundles against a
+//!   [`reldb::Database`] or a remote [`reldb::remote::Connection`],
+//!   producing the same [`asl_eval::PropertyOutcome`] the interpreter
+//!   yields — the equivalence is enforced by cross-backend tests.
+//!
+//! ```
+//! use asl_core::parse_and_check;
+//! use asl_eval::{CosyData, Value, COSY_DATA_MODEL};
+//! use asl_sql::{generate_schema, loader, property};
+//!
+//! let src = format!("{COSY_DATA_MODEL}\n
+//!     PROPERTY MeasuredCost(Region r, TestRun t, Region Basis) {{
+//!         LET float Cost = Summary(r,t).Ovhd;
+//!         IN CONDITION: Cost > 0; CONFIDENCE: 1;
+//!         SEVERITY: Cost / Duration(Basis,t);
+//!     }}");
+//! let spec = parse_and_check(&src).unwrap();
+//!
+//! // Simulate a program and load it into a generated schema.
+//! let mut store = perfdata::Store::new();
+//! let model = apprentice_sim::archetypes::particle_mc(1);
+//! let machine = apprentice_sim::MachineModel::t3e_900();
+//! let v = apprentice_sim::simulate_program(&mut store, &model, &machine, &[1, 8]);
+//! let data = CosyData::new(&store);
+//!
+//! let schema = generate_schema(&spec.model).unwrap();
+//! let mut db = reldb::Database::new();
+//! schema.create_all(&mut db).unwrap();
+//! loader::load_store(&mut db, &schema, &spec.model, &data).unwrap();
+//!
+//! // Evaluate the property entirely in SQL.
+//! let run = store.versions[v.index()].runs[1];
+//! let main = store.main_region(v).unwrap();
+//! let compiled = property::compile_property(&spec, &schema, "MeasuredCost",
+//!     &[Value::region(main), Value::run(run), Value::region(main)]).unwrap();
+//! let outcome = property::eval_compiled(&db, &compiled).unwrap();
+//! assert!(outcome.holds);
+//! assert!(outcome.severity > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod batch;
+pub mod compile;
+pub mod error;
+pub mod loader;
+pub mod property;
+pub mod schema;
+
+pub use batch::{compile_batch, eval_batch, eval_batch_conn, BatchCompiled};
+pub use error::SqlGenError;
+pub use property::{compile_property, eval_compiled, eval_compiled_conn, CompiledProperty};
+pub use schema::{generate_schema, AttrBinding, SchemaInfo};

@@ -1,0 +1,552 @@
+//! Property compilation and SQL-side evaluation.
+//!
+//! A property instance (property name + context arguments) compiles into a
+//! bundle of scalar `SELECT` statements — one per condition and one per
+//! confidence/severity arm. Evaluating the bundle runs entirely inside the
+//! database; only single scalar values cross the connection, which is the
+//! §5 insight ("It is a significant advantage to translate the conditions
+//! of performance properties entirely into SQL queries").
+
+use crate::compile::{CVal, ExprCompiler};
+use crate::error::{SqlGenError, SqlGenResult};
+use crate::schema::SchemaInfo;
+use asl_core::ast::{ArmSpec, PropertyDecl};
+use asl_core::check::CheckedSpec;
+use asl_eval::{PropertyOutcome, Value as EvalValue};
+use reldb::remote::Connection;
+use reldb::sql::ast::{SelectItem, SelectStmt, SqlExpr};
+use reldb::sql::render::render_select;
+use reldb::value::Value;
+use reldb::Database;
+use std::collections::HashMap;
+
+/// One compiled scalar query with an optional guard (condition id).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledScalar {
+    /// Guarding condition id (`None` = always applicable).
+    pub guard: Option<String>,
+    /// The scalar SELECT.
+    pub select: SelectStmt,
+}
+
+impl CompiledScalar {
+    /// Render as SQL text.
+    pub fn sql(&self) -> String {
+        render_select(&self.select)
+    }
+}
+
+/// A property compiled for one specific context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledProperty {
+    /// Property name.
+    pub name: String,
+    /// One query per condition, with its id.
+    pub conditions: Vec<CompiledScalar>,
+    /// Confidence arms.
+    pub confidence: Vec<CompiledScalar>,
+    /// Severity arms.
+    pub severity: Vec<CompiledScalar>,
+}
+
+impl CompiledProperty {
+    /// All SQL statements of the bundle (for inspection / logging).
+    pub fn all_sql(&self) -> Vec<String> {
+        self.conditions
+            .iter()
+            .chain(&self.confidence)
+            .chain(&self.severity)
+            .map(CompiledScalar::sql)
+            .collect()
+    }
+}
+
+fn bind_args(
+    prop: &PropertyDecl,
+    args: &[EvalValue],
+) -> SqlGenResult<HashMap<String, CVal>> {
+    if args.len() != prop.params.len() {
+        return Err(SqlGenError::Unsupported(format!(
+            "property `{}` expects {} arguments, got {}",
+            prop.name.name,
+            prop.params.len(),
+            args.len()
+        )));
+    }
+    let mut env = HashMap::new();
+    for (p, a) in prop.params.iter().zip(args) {
+        let cval = match a {
+            EvalValue::Obj(o) => CVal::Obj {
+                class: o.class.clone(),
+                expr: SqlExpr::Lit(Value::Int(o.index as i64)),
+            },
+            EvalValue::Int(v) => CVal::Scalar(SqlExpr::Lit(Value::Int(*v))),
+            EvalValue::Float(v) => CVal::Scalar(SqlExpr::Lit(Value::Float(*v))),
+            EvalValue::Bool(v) => CVal::Scalar(SqlExpr::Lit(Value::Bool(*v))),
+            EvalValue::Str(v) => CVal::Scalar(SqlExpr::Lit(Value::Text(v.clone()))),
+            EvalValue::DateTime(v) => CVal::Scalar(SqlExpr::Lit(Value::Int(*v))),
+            EvalValue::Enum(_, v) => CVal::Scalar(SqlExpr::Lit(Value::Text(v.clone()))),
+            other => {
+                return Err(SqlGenError::Unsupported(format!(
+                    "cannot bind {other} as a property argument"
+                )))
+            }
+        };
+        env.insert(p.name.name.clone(), cval);
+    }
+    Ok(env)
+}
+
+fn scalar_select(expr: SqlExpr) -> SelectStmt {
+    SelectStmt {
+        items: vec![SelectItem::Expr { expr, alias: None }],
+        ..Default::default()
+    }
+}
+
+fn compile_arms(
+    cx: &mut ExprCompiler<'_>,
+    spec: &ArmSpec,
+    env: &HashMap<String, CVal>,
+) -> SqlGenResult<Vec<CompiledScalar>> {
+    let mut out = Vec::with_capacity(spec.arms.len());
+    for arm in &spec.arms {
+        let v = cx.compile(&arm.expr, env, 0)?;
+        let CVal::Scalar(e) = v else {
+            return Err(SqlGenError::Unsupported(
+                "confidence/severity arm is not scalar".into(),
+            ));
+        };
+        out.push(CompiledScalar {
+            guard: arm.guard.as_ref().map(|g| g.name.clone()),
+            select: scalar_select(e),
+        });
+    }
+    Ok(out)
+}
+
+/// Compile a property for one context (`args` bound to its parameters, in
+/// order). `LET` definitions are bound as compiled values, user functions
+/// are inlined.
+pub fn compile_property(
+    spec: &CheckedSpec,
+    schema: &SchemaInfo,
+    name: &str,
+    args: &[EvalValue],
+) -> SqlGenResult<CompiledProperty> {
+    let prop = spec
+        .property(name)
+        .ok_or_else(|| SqlGenError::UnknownName(format!("property `{name}`")))?;
+    let mut cx = ExprCompiler::new(spec, schema);
+    let mut env = bind_args(prop, args)?;
+
+    for l in &prop.lets {
+        let v = cx.compile(&l.value, &env, 0)?;
+        env.insert(l.name.name.clone(), v);
+    }
+
+    let mut conditions = Vec::with_capacity(prop.conditions.len());
+    for c in &prop.conditions {
+        let v = cx.compile(&c.expr, &env, 0)?;
+        let CVal::Scalar(e) = v else {
+            return Err(SqlGenError::Unsupported("condition is not scalar".into()));
+        };
+        conditions.push(CompiledScalar {
+            guard: c.id.as_ref().map(|i| i.name.clone()),
+            select: scalar_select(e),
+        });
+    }
+
+    Ok(CompiledProperty {
+        name: name.to_string(),
+        conditions,
+        confidence: compile_arms(&mut cx, &prop.confidence, &env)?,
+        severity: compile_arms(&mut cx, &prop.severity, &env)?,
+    })
+}
+
+/// How a scalar query result maps to a boolean: NULL is false (the SQL
+/// dialect note in `reldb::exec`), matching "condition does not indicate
+/// the property".
+fn scalar_to_bool(v: &Value) -> bool {
+    match v {
+        Value::Bool(b) => *b,
+        Value::Null => false,
+        Value::Int(i) => *i != 0,
+        _ => false,
+    }
+}
+
+fn scalar_to_f64(v: &Value) -> Option<f64> {
+    v.as_f64()
+}
+
+/// Shared outcome assembly once each query has produced its scalar.
+pub(crate) fn assemble(
+    name: &str,
+    cond_vals: Vec<(Option<String>, Value)>,
+    conf_vals: Vec<(Option<String>, Value)>,
+    sev_vals: Vec<(Option<String>, Value)>,
+) -> PropertyOutcome {
+    let fired: Vec<(Option<String>, bool)> = cond_vals
+        .into_iter()
+        .map(|(id, v)| (id, scalar_to_bool(&v)))
+        .collect();
+    let holds = fired.iter().any(|(_, b)| *b);
+    if !holds {
+        return PropertyOutcome {
+            property: name.to_string(),
+            holds: false,
+            fired,
+            confidence: 0.0,
+            severity: 0.0,
+        };
+    }
+    let applicable = |guard: &Option<String>| match guard {
+        None => true,
+        Some(g) => fired
+            .iter()
+            .any(|(id, b)| *b && id.as_deref() == Some(g.as_str())),
+    };
+    let pick = |vals: &[(Option<String>, Value)]| -> f64 {
+        let mut best: Option<f64> = None;
+        for (guard, v) in vals {
+            if !applicable(guard) {
+                continue;
+            }
+            if let Some(x) = scalar_to_f64(v) {
+                best = Some(best.map_or(x, |b: f64| b.max(x)));
+            }
+        }
+        best.unwrap_or(0.0)
+    };
+    let confidence = pick(&conf_vals).clamp(0.0, 1.0);
+    let severity = pick(&sev_vals);
+    PropertyOutcome {
+        property: name.to_string(),
+        holds: true,
+        fired,
+        confidence,
+        severity,
+    }
+}
+
+fn run_scalar_db(db: &Database, cs: &CompiledScalar) -> SqlGenResult<Value> {
+    let r = db.query(&cs.sql())?;
+    match r.scalar() {
+        Some(v) => Ok(v.clone()),
+        None => Err(SqlGenError::Result(format!(
+            "query `{}` returned {} rows",
+            cs.sql(),
+            r.rows.len()
+        ))),
+    }
+}
+
+/// Evaluate a compiled property against an embedded database (no cost
+/// model) and produce the interpreter-compatible outcome.
+pub fn eval_compiled(db: &Database, cp: &CompiledProperty) -> SqlGenResult<PropertyOutcome> {
+    let mut cond_vals = Vec::with_capacity(cp.conditions.len());
+    for c in &cp.conditions {
+        cond_vals.push((c.guard.clone(), run_scalar_db(db, c)?));
+    }
+    let holds = cond_vals.iter().any(|(_, v)| scalar_to_bool(v));
+    // Arms are only run when the property holds (severity of a non-holding
+    // property is 0 by definition).
+    let (conf_vals, sev_vals) = if holds {
+        let mut cv = Vec::new();
+        for a in &cp.confidence {
+            cv.push((a.guard.clone(), run_scalar_db(db, a)?));
+        }
+        let mut sv = Vec::new();
+        for a in &cp.severity {
+            sv.push((a.guard.clone(), run_scalar_db(db, a)?));
+        }
+        (cv, sv)
+    } else {
+        (Vec::new(), Vec::new())
+    };
+    Ok(assemble(&cp.name, cond_vals, conf_vals, sev_vals))
+}
+
+/// Evaluate a compiled property through a cost-charging [`Connection`]
+/// (virtual network + server costs apply; used by the E4/E7 experiments).
+pub fn eval_compiled_conn(
+    conn: &mut Connection,
+    cp: &CompiledProperty,
+) -> SqlGenResult<PropertyOutcome> {
+    let mut run_scalar = |cs: &CompiledScalar| -> SqlGenResult<Value> {
+        let r = conn.execute(&cs.sql())?;
+        match r.scalar() {
+            Some(v) => Ok(v.clone()),
+            None => Err(SqlGenError::Result(format!(
+                "query `{}` returned {} rows",
+                cs.sql(),
+                r.rows.len()
+            ))),
+        }
+    };
+    let mut cond_vals = Vec::with_capacity(cp.conditions.len());
+    for c in &cp.conditions {
+        cond_vals.push((c.guard.clone(), run_scalar(c)?));
+    }
+    let holds = cond_vals.iter().any(|(_, v)| scalar_to_bool(v));
+    let (conf_vals, sev_vals) = if holds {
+        let mut cv = Vec::new();
+        for a in &cp.confidence {
+            cv.push((a.guard.clone(), run_scalar(a)?));
+        }
+        let mut sv = Vec::new();
+        for a in &cp.severity {
+            sv.push((a.guard.clone(), run_scalar(a)?));
+        }
+        (cv, sv)
+    } else {
+        (Vec::new(), Vec::new())
+    };
+    Ok(assemble(&cp.name, cond_vals, conf_vals, sev_vals))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loader;
+    use crate::schema::generate_schema;
+    use apprentice_sim::{archetypes, simulate_program, MachineModel};
+    use asl_core::parse_and_check;
+    use asl_eval::{CosyData, Interpreter, COSY_DATA_MODEL};
+    use perfdata::Store;
+
+    const PAPER_PROPERTIES: &str = r#"
+        float ImbalanceThreshold = 0.25;
+
+        Property SublinearSpeedup(Region r, TestRun t, Region Basis) {
+            LET TotalTiming MinPeSum = UNIQUE({sum IN r.TotTimes WITH sum.Run.NoPe ==
+                    MIN(s.Run.NoPe WHERE s IN r.TotTimes)});
+                float TotalCost = Duration(r,t) - Duration(r,MinPeSum.Run)
+            IN
+            CONDITION: TotalCost>0; CONFIDENCE: 1;
+            SEVERITY: TotalCost/Duration(Basis,t);
+        }
+
+        Property MeasuredCost (Region r, TestRun t, Region Basis) {
+            LET float Cost = Summary(r,t).Ovhd;
+            IN CONDITION: Cost > 0; CONFIDENCE: 1;
+            SEVERITY: Cost / Duration(Basis,t);
+        }
+
+        Property SyncCost(Region r, TestRun t, Region Basis) {
+            LET float Barrier2 = SUM(tt.Time WHERE tt IN r.TypTimes AND tt.Run==t
+                    AND tt.Type == Barrier);
+            IN CONDITION: Barrier2 > 0; CONFIDENCE: 1;
+            SEVERITY: Barrier2 / Duration(Basis,t);
+        }
+
+        Property LoadImbalance(FunctionCall Call, TestRun t, Region Basis) {
+            LET CallTiming ct = UNIQUE ({c IN Call.Sums WITH c.Run == t});
+                float Dev = ct.StdevTime;
+                float Mean = ct.MeanTime;
+            IN CONDITION: Dev > ImbalanceThreshold * Mean; CONFIDENCE: 1;
+            SEVERITY: Mean / Duration(Basis,t);
+        }
+    "#;
+
+    struct Fixture {
+        store: Store,
+        version: perfdata::VersionId,
+        spec: asl_core::check::CheckedSpec,
+        schema: SchemaInfo,
+        db: Database,
+    }
+
+    fn fixture() -> Fixture {
+        let mut store = Store::new();
+        let model = archetypes::particle_mc(17);
+        let machine = MachineModel::t3e_900();
+        let version = simulate_program(&mut store, &model, &machine, &[1, 4, 16]);
+        let src = format!("{COSY_DATA_MODEL}\n{PAPER_PROPERTIES}");
+        let spec = parse_and_check(&src).unwrap_or_else(|d| panic!("{}", d.render(&src)));
+        let schema = generate_schema(&spec.model).unwrap();
+        let mut db = Database::new();
+        schema.create_all(&mut db).unwrap();
+        let data = CosyData::new(&store);
+        loader::load_store(&mut db, &schema, &spec.model, &data).unwrap();
+        Fixture {
+            store,
+            version,
+            spec,
+            schema,
+            db,
+        }
+    }
+
+    #[test]
+    fn paper_properties_evaluate_in_sql() {
+        let f = fixture();
+        let runs = f.store.versions[f.version.index()].runs.clone();
+        let main = f.store.main_region(f.version).unwrap();
+        let big_run = runs[2];
+        let args = vec![
+            EvalValue::region(main),
+            EvalValue::run(big_run),
+            EvalValue::region(main),
+        ];
+        let cp =
+            compile_property(&f.spec, &f.schema, "SublinearSpeedup", &args).unwrap();
+        let o = eval_compiled(&f.db, &cp).unwrap();
+        assert!(o.holds, "main region must lose cycles at 16 PEs");
+        assert!(o.severity > 0.0);
+        assert_eq!(o.confidence, 1.0);
+    }
+
+    #[test]
+    fn sql_and_interpreter_agree_on_all_contexts() {
+        let f = fixture();
+        let data = CosyData::new(&f.store);
+        let interp = Interpreter::new(&f.spec, &data).unwrap();
+        let runs = f.store.versions[f.version.index()].runs.clone();
+        let main = f.store.main_region(f.version).unwrap();
+
+        let mut contexts = 0;
+        let mut holding = 0;
+        for prop in ["SublinearSpeedup", "MeasuredCost", "SyncCost"] {
+            for region_idx in 0..f.store.regions.len() {
+                for &run in &runs {
+                    let args = vec![
+                        EvalValue::obj("Region", region_idx as u32),
+                        EvalValue::run(run),
+                        EvalValue::region(main),
+                    ];
+                    let sql_outcome = compile_property(&f.spec, &f.schema, prop, &args)
+                        .and_then(|cp| eval_compiled(&f.db, &cp))
+                        .unwrap();
+                    match interp.eval_property(prop, &args) {
+                        Ok(int_outcome) => {
+                            contexts += 1;
+                            assert_eq!(
+                                int_outcome.holds, sql_outcome.holds,
+                                "{prop} region {region_idx} run {run}"
+                            );
+                            if int_outcome.holds {
+                                holding += 1;
+                                assert!(
+                                    (int_outcome.severity - sql_outcome.severity).abs()
+                                        < 1e-9 * int_outcome.severity.abs().max(1.0),
+                                    "{prop}: severities differ: {} vs {}",
+                                    int_outcome.severity,
+                                    sql_outcome.severity
+                                );
+                                assert_eq!(int_outcome.confidence, sql_outcome.confidence);
+                            }
+                        }
+                        Err(e) if e.is_not_applicable() => {
+                            // Interpreter: not applicable; SQL returns
+                            // holds=false (NULL comparisons). Both report no
+                            // problem.
+                            assert!(
+                                !sql_outcome.holds,
+                                "{prop}: SQL reported a problem on a not-applicable context"
+                            );
+                        }
+                        Err(e) => panic!("{prop}: interpreter error {e}"),
+                    }
+                }
+            }
+        }
+        assert!(contexts > 20, "cross-checked {contexts} contexts");
+        assert!(holding > 5, "some contexts must hold ({holding} did)");
+    }
+
+    #[test]
+    fn load_imbalance_agrees_on_barrier_calls() {
+        let f = fixture();
+        let data = CosyData::new(&f.store);
+        let interp = Interpreter::new(&f.spec, &data).unwrap();
+        let runs = f.store.versions[f.version.index()].runs.clone();
+        let main = f.store.main_region(f.version).unwrap();
+        let barrier_fn = f
+            .store
+            .functions
+            .iter()
+            .position(|fun| fun.name == "barrier")
+            .unwrap();
+        let calls = f.store.functions[barrier_fn].calls.clone();
+        assert!(!calls.is_empty());
+        let mut any_held = false;
+        for call in calls {
+            for &run in &runs {
+                let args = vec![
+                    EvalValue::call(call),
+                    EvalValue::run(run),
+                    EvalValue::region(main),
+                ];
+                let sql_outcome =
+                    compile_property(&f.spec, &f.schema, "LoadImbalance", &args)
+                        .and_then(|cp| eval_compiled(&f.db, &cp))
+                        .unwrap();
+                match interp.eval_property("LoadImbalance", &args) {
+                    Ok(o) => {
+                        assert_eq!(o.holds, sql_outcome.holds);
+                        any_held |= o.holds;
+                    }
+                    Err(e) if e.is_not_applicable() => assert!(!sql_outcome.holds),
+                    Err(e) => panic!("{e}"),
+                }
+            }
+        }
+        assert!(any_held, "particle_mc at 16 PEs must show load imbalance");
+    }
+
+    #[test]
+    fn compiled_sql_is_parseable_text() {
+        let f = fixture();
+        let main = f.store.main_region(f.version).unwrap();
+        let run = f.store.versions[f.version.index()].runs[1];
+        let cp = compile_property(
+            &f.spec,
+            &f.schema,
+            "SyncCost",
+            &[
+                EvalValue::region(main),
+                EvalValue::run(run),
+                EvalValue::region(main),
+            ],
+        )
+        .unwrap();
+        for sql in cp.all_sql() {
+            reldb::sql::parse_statement(&sql)
+                .unwrap_or_else(|e| panic!("generated SQL does not parse: {sql}\n{e}"));
+        }
+        assert_eq!(cp.conditions.len(), 1);
+        assert_eq!(cp.severity.len(), 1);
+    }
+
+    #[test]
+    fn severity_queries_skipped_when_not_holding() {
+        // A property that never holds: its severity query division by the
+        // possibly-zero denominator must never run.
+        let f = fixture();
+        let src = format!(
+            "{COSY_DATA_MODEL}\n
+            PROPERTY Never(Region r, TestRun t) {{
+                CONDITION: 1 > 2;
+                CONFIDENCE: 1;
+                SEVERITY: 1.0 / 0.0;
+            }}"
+        );
+        let spec = parse_and_check(&src).unwrap();
+        let schema = generate_schema(&spec.model).unwrap();
+        let main = f.store.main_region(f.version).unwrap();
+        let run = f.store.versions[f.version.index()].runs[0];
+        let cp = compile_property(
+            &spec,
+            &schema,
+            "Never",
+            &[EvalValue::region(main), EvalValue::run(run)],
+        )
+        .unwrap();
+        let o = eval_compiled(&f.db, &cp).unwrap();
+        assert!(!o.holds);
+        assert_eq!(o.severity, 0.0);
+    }
+}

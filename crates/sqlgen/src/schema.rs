@@ -1,0 +1,331 @@
+//! Automatic relational schema generation from an ASL data model.
+//!
+//! Mapping rules (single-table inheritance — a subclass's table carries the
+//! inherited attributes too):
+//!
+//! | ASL construct              | relational mapping                          |
+//! |----------------------------|---------------------------------------------|
+//! | `class C { … }`            | table `C` with `id INTEGER PRIMARY KEY`      |
+//! | `int/float/bool/String a;` | column `a` of the matching SQL type          |
+//! | `DateTime a;`              | column `a INTEGER` (µs since the epoch)      |
+//! | `EnumType a;`              | column `a TEXT` (variant name)               |
+//! | `OtherClass a;`            | column `a_id INTEGER` + index (foreign key)  |
+//! | `setof T a;`               | column `a_owner INTEGER` + index on table `T`|
+//!
+//! A class may be the element type of **at most one** `setof` attribute
+//! (true for the COSY model); richer sharing would need junction tables and
+//! is reported as [`SqlGenError::Unsupported`].
+
+use crate::error::{SqlGenError, SqlGenResult};
+use asl_core::types::{Model, Type};
+use reldb::schema::{ColumnDef, TableSchema};
+use reldb::value::ColType;
+use reldb::Database;
+use std::collections::HashMap;
+
+/// How one ASL attribute is represented relationally.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrBinding {
+    /// A plain column on the class's own table.
+    ScalarColumn {
+        /// Column name.
+        column: String,
+    },
+    /// An object-valued attribute: a foreign-key column on the own table.
+    ObjectFk {
+        /// Column name (`<attr>_id`).
+        column: String,
+        /// The referenced class/table.
+        target: String,
+    },
+    /// A `setof T` attribute: rows of `target` whose owner column equals
+    /// the owning object's id.
+    SetOwner {
+        /// The element class/table.
+        target: String,
+        /// Owner column name on the element table (`<attr>_owner`).
+        owner_column: String,
+    },
+}
+
+/// The generated schema plus the attribute→column mapping the compiler and
+/// loader share.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemaInfo {
+    /// One table per class, in sorted class order.
+    pub tables: Vec<TableSchema>,
+    /// Mapping `(class, attribute) → binding`. Inherited attributes are
+    /// present under the subclass name as well.
+    pub bindings: HashMap<(String, String), AttrBinding>,
+    /// Columns to index: `(table, column)` for every foreign key.
+    pub indexes: Vec<(String, String)>,
+}
+
+impl SchemaInfo {
+    /// The table schema of a class.
+    pub fn table(&self, class: &str) -> Option<&TableSchema> {
+        self.tables.iter().find(|t| t.name == class)
+    }
+
+    /// Look up an attribute binding.
+    pub fn binding(&self, class: &str, attr: &str) -> Option<&AttrBinding> {
+        self.bindings.get(&(class.to_string(), attr.to_string()))
+    }
+
+    /// The full DDL: `CREATE TABLE` + `CREATE INDEX` statements.
+    pub fn ddl(&self) -> Vec<String> {
+        let mut out: Vec<String> = self.tables.iter().map(|t| t.to_create_sql()).collect();
+        for (table, column) in &self.indexes {
+            out.push(format!(
+                "CREATE INDEX idx_{table}_{column} ON {} ({})",
+                reldb::sql::render::quote_ident(table),
+                reldb::sql::render::quote_ident(column)
+            ));
+        }
+        out
+    }
+
+    /// Create all tables and indexes in a database.
+    pub fn create_all(&self, db: &mut Database) -> SqlGenResult<()> {
+        for stmt in self.ddl() {
+            db.execute(&stmt)?;
+        }
+        Ok(())
+    }
+}
+
+fn col_type_of(ty: &Type) -> SqlGenResult<ColType> {
+    Ok(match ty {
+        Type::Int => ColType::Integer,
+        Type::Float => ColType::Real,
+        Type::Bool => ColType::Boolean,
+        Type::Str => ColType::Text,
+        Type::DateTime => ColType::Integer,
+        Type::Enum(_) => ColType::Text,
+        other => {
+            return Err(SqlGenError::Unsupported(format!(
+                "no scalar column type for `{other}`"
+            )))
+        }
+    })
+}
+
+/// Generate the relational schema for a checked data model.
+pub fn generate_schema(model: &Model) -> SqlGenResult<SchemaInfo> {
+    let mut class_names: Vec<&String> = model.classes.keys().collect();
+    class_names.sort();
+
+    // First pass: find the owner relationship of every `setof` target.
+    // owner_of[target] = (owner class, attr name).
+    let mut owner_of: HashMap<String, (String, String)> = HashMap::new();
+    for cname in &class_names {
+        for attr in model.all_attrs(cname) {
+            if let Type::Set(elem) = &attr.ty {
+                let Type::Class(target) = elem.as_ref() else {
+                    return Err(SqlGenError::Unsupported(format!(
+                        "`setof {}` of non-class elements in `{cname}`",
+                        elem
+                    )));
+                };
+                // Inherited setof attrs appear once per subclass; the
+                // declaring class is the canonical owner.
+                if attr.declared_in != ***cname {
+                    continue;
+                }
+                if let Some((prev_owner, prev_attr)) =
+                    owner_of.insert(target.clone(), ((**cname).clone(), attr.name.clone()))
+                {
+                    return Err(SqlGenError::Unsupported(format!(
+                        "class `{target}` is a member of two setof attributes \
+                         (`{prev_owner}.{prev_attr}` and `{cname}.{}`); junction tables \
+                         are not implemented",
+                        attr.name
+                    )));
+                }
+            }
+        }
+    }
+
+    let mut tables = Vec::new();
+    let mut bindings = HashMap::new();
+    let mut indexes = Vec::new();
+
+    for cname in &class_names {
+        let mut columns = vec![ColumnDef::not_null("id", ColType::Integer)];
+        for attr in model.all_attrs(cname) {
+            match &attr.ty {
+                Type::Set(elem) => {
+                    let Type::Class(target) = elem.as_ref() else {
+                        unreachable!("checked above");
+                    };
+                    bindings.insert(
+                        ((**cname).clone(), attr.name.clone()),
+                        AttrBinding::SetOwner {
+                            target: target.clone(),
+                            owner_column: format!("{}_owner", attr.name),
+                        },
+                    );
+                }
+                Type::Class(target) => {
+                    let column = format!("{}_id", attr.name);
+                    columns.push(ColumnDef::new(column.clone(), ColType::Integer));
+                    indexes.push(((**cname).clone(), column.clone()));
+                    bindings.insert(
+                        ((**cname).clone(), attr.name.clone()),
+                        AttrBinding::ObjectFk {
+                            column,
+                            target: target.clone(),
+                        },
+                    );
+                }
+                scalar => {
+                    let ct = col_type_of(scalar)?;
+                    columns.push(ColumnDef::new(attr.name.clone(), ct));
+                    bindings.insert(
+                        ((**cname).clone(), attr.name.clone()),
+                        AttrBinding::ScalarColumn {
+                            column: attr.name.clone(),
+                        },
+                    );
+                }
+            }
+        }
+        // Owner column if this class is a setof target.
+        if let Some((_, attr_name)) = owner_of.get(*cname) {
+            let column = format!("{attr_name}_owner");
+            if columns.iter().any(|c| c.name.eq_ignore_ascii_case(&column)) {
+                return Err(SqlGenError::Unsupported(format!(
+                    "owner column `{column}` collides with an attribute of `{cname}`"
+                )));
+            }
+            columns.push(ColumnDef::new(column.clone(), ColType::Integer));
+            indexes.push(((**cname).clone(), column));
+        }
+        tables.push(
+            TableSchema::new((**cname).clone(), columns, Some(0))
+                .map_err(SqlGenError::Db)?,
+        );
+    }
+
+    Ok(SchemaInfo {
+        tables,
+        bindings,
+        indexes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asl_core::parse_and_check;
+    use asl_eval::COSY_DATA_MODEL;
+
+    fn cosy_schema() -> SchemaInfo {
+        let spec = parse_and_check(COSY_DATA_MODEL).unwrap();
+        generate_schema(&spec.model).unwrap()
+    }
+
+    #[test]
+    fn generates_one_table_per_class() {
+        let s = cosy_schema();
+        assert_eq!(s.tables.len(), 10);
+        assert!(s.table("Region").is_some());
+        assert!(s.table("CallTiming").is_some());
+    }
+
+    #[test]
+    fn every_table_has_id_primary_key() {
+        for t in cosy_schema().tables {
+            assert_eq!(t.primary_key, Some(0));
+            assert_eq!(t.columns[0].name, "id");
+        }
+    }
+
+    #[test]
+    fn scalar_and_fk_columns() {
+        let s = cosy_schema();
+        let run = s.table("TestRun").unwrap();
+        assert!(run.column_index("NoPe").is_some());
+        assert!(run.column_index("Start").is_some()); // DateTime as INTEGER
+        let tt = s.table("TotalTiming").unwrap();
+        assert!(tt.column_index("Run_id").is_some());
+        assert!(tt.column_index("Incl").is_some());
+        assert!(matches!(
+            s.binding("TotalTiming", "Run"),
+            Some(AttrBinding::ObjectFk { target, .. }) if target == "TestRun"
+        ));
+    }
+
+    #[test]
+    fn setof_becomes_owner_column_on_target() {
+        let s = cosy_schema();
+        let tt = s.table("TotalTiming").unwrap();
+        assert!(tt.column_index("TotTimes_owner").is_some());
+        assert!(matches!(
+            s.binding("Region", "TotTimes"),
+            Some(AttrBinding::SetOwner { target, owner_column })
+                if target == "TotalTiming" && owner_column == "TotTimes_owner"
+        ));
+    }
+
+    #[test]
+    fn enum_attribute_is_text() {
+        let s = cosy_schema();
+        let typ = s.table("TypedTiming").unwrap();
+        let col = typ.column_index("Type").unwrap();
+        assert_eq!(typ.columns[col].ty, ColType::Text);
+    }
+
+    #[test]
+    fn fks_are_indexed() {
+        let s = cosy_schema();
+        assert!(s
+            .indexes
+            .contains(&("TotalTiming".to_string(), "Run_id".to_string())));
+        assert!(s
+            .indexes
+            .contains(&("TotalTiming".to_string(), "TotTimes_owner".to_string())));
+    }
+
+    #[test]
+    fn ddl_executes_cleanly() {
+        let s = cosy_schema();
+        let mut db = Database::new();
+        s.create_all(&mut db).unwrap();
+        assert_eq!(db.table_names().len(), 10);
+        // Indexes exist: point query on an owner column uses them.
+        let r = db
+            .query("SELECT COUNT(*) FROM TotalTiming WHERE TotTimes_owner = 0")
+            .unwrap();
+        assert_eq!(r.stats.rows_scanned, 0);
+    }
+
+    #[test]
+    fn double_membership_is_unsupported() {
+        let spec = parse_and_check(
+            "class A { setof C Items; } class B { setof C Others; } class C { int x; }",
+        )
+        .unwrap();
+        let err = generate_schema(&spec.model).unwrap_err();
+        assert!(matches!(err, SqlGenError::Unsupported(_)));
+    }
+
+    #[test]
+    fn inheritance_flattens_into_subclass_table() {
+        let spec = parse_and_check(
+            "class Base { int A; } class Sub extends Base { float B; }",
+        )
+        .unwrap();
+        let s = generate_schema(&spec.model).unwrap();
+        let sub = s.table("Sub").unwrap();
+        assert!(sub.column_index("A").is_some());
+        assert!(sub.column_index("B").is_some());
+        assert!(s.binding("Sub", "A").is_some());
+    }
+
+    #[test]
+    fn setof_of_builtin_is_unsupported() {
+        let spec = parse_and_check("class A { setof int Xs; }").unwrap();
+        assert!(generate_schema(&spec.model).is_err());
+    }
+}

@@ -1,0 +1,88 @@
+//! `aslc` — a small ASL specification checker/compiler CLI.
+//!
+//! ```sh
+//! cargo run --release --example aslc -- path/to/spec.asl           # check
+//! cargo run --release --example aslc -- --schema path/to/spec.asl  # + DDL
+//! cargo run --release --example aslc -- --pretty path/to/spec.asl  # format
+//! cargo run --release --example aslc                               # check the built-in COSY suite
+//! ```
+//!
+//! Exit code 0 when the specification checks; 1 with rendered diagnostics
+//! otherwise — usable as a CI gate for specification files.
+
+use kojak::asl_core::{parse_and_check, pretty};
+use kojak::asl_sql::generate_schema;
+use std::io::Read;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let want_schema = take_flag(&mut args, "--schema");
+    let want_pretty = take_flag(&mut args, "--pretty");
+
+    let (name, source) = match args.first().map(String::as_str) {
+        Some("-") => {
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .expect("read stdin");
+            ("<stdin>".to_string(), buf)
+        }
+        Some(path) => (
+            path.to_string(),
+            std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("aslc: cannot read {path}: {e}");
+                std::process::exit(2);
+            }),
+        ),
+        None => (
+            "<built-in COSY suite>".to_string(),
+            kojak::cosy::suite::standard_suite_source(),
+        ),
+    };
+
+    let spec = match parse_and_check(&source) {
+        Ok(spec) => spec,
+        Err(diags) => {
+            eprint!("{}", diags.render(&source));
+            eprintln!("aslc: {name}: specification has errors");
+            std::process::exit(1);
+        }
+    };
+
+    println!(
+        "{name}: OK — {} class(es), {} enum(s), {} constant(s), {} function(s), {} propert(y/ies)",
+        spec.spec.classes.len(),
+        spec.spec.enums.len(),
+        spec.spec.constants.len(),
+        spec.spec.functions.len(),
+        spec.properties().len(),
+    );
+
+    if want_pretty {
+        println!("\n{}", pretty::print_spec(&spec.spec));
+    }
+
+    if want_schema {
+        match generate_schema(&spec.model) {
+            Ok(schema) => {
+                println!("\n-- generated relational schema");
+                for ddl in schema.ddl() {
+                    println!("{ddl};");
+                }
+            }
+            Err(e) => {
+                eprintln!("aslc: schema generation failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        args.remove(i);
+        true
+    } else {
+        false
+    }
+}

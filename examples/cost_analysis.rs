@@ -1,0 +1,64 @@
+//! Cost scaling analysis: sweep the processor count for the three
+//! application archetypes and print, per run, the total cost (lost cycles
+//! relative to the reference run) and its breakdown into measured and
+//! unmeasured portions — the headline use case of the paper's §3.
+//!
+//! ```sh
+//! cargo run --release --example cost_analysis
+//! ```
+
+use kojak::apprentice_sim::{archetypes, simulate_program, MachineModel};
+use kojak::cosy::{Analyzer, Backend, ProblemThreshold};
+use kojak::perfdata::Store;
+
+fn main() {
+    let machine = MachineModel::t3e_900();
+    let pe_sweep = [1u32, 2, 4, 8, 16, 32, 64, 128];
+
+    for model in archetypes::all(7) {
+        let mut store = Store::new();
+        let version = simulate_program(&mut store, &model, &machine, &pe_sweep);
+        let analyzer = Analyzer::new(&store, version).expect("analyzer");
+
+        println!("=== {} ===", model.name);
+        println!(
+            "{:>6}  {:>12}  {:>11}  {:>11}  {:>11}  bottleneck",
+            "PEs", "duration[s]", "total cost", "measured", "unmeasured"
+        );
+        for &run in &store.versions[version.index()].runs {
+            let report = analyzer
+                .analyze(run, Backend::Interpreter, ProblemThreshold::default())
+                .expect("analysis");
+            let find = |prop: &str| {
+                report
+                    .entries
+                    .iter()
+                    .find(|e| {
+                        e.property == prop
+                            && e.context.region
+                                == report
+                                    .entries
+                                    .iter()
+                                    .find(|x| x.property == "SublinearSpeedup")
+                                    .and_then(|x| x.context.region)
+                    })
+                    .map(|e| e.severity)
+                    .unwrap_or(0.0)
+            };
+            let bottleneck = report
+                .bottleneck()
+                .map(|b| format!("{} @ {}", b.property, b.context.label))
+                .unwrap_or_else(|| "-".to_string());
+            println!(
+                "{:>6}  {:>12.3}  {:>10.1}%  {:>10.1}%  {:>10.1}%  {}",
+                report.no_pe,
+                report.basis_duration,
+                report.total_cost * 100.0,
+                find("MeasuredCost") * 100.0,
+                find("UnmeasuredCost") * 100.0,
+                bottleneck
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,38 @@
+//! Quickstart: simulate a parallel application, run the COSY analyzer, and
+//! print the ranked performance properties.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use kojak::apprentice_sim::{archetypes, simulate_program, MachineModel};
+use kojak::cosy::{report, Analyzer, Backend, ProblemThreshold};
+use kojak::perfdata::Store;
+
+fn main() {
+    // 1. A synthetic application (substitute for an instrumented T3E code):
+    //    a particle Monte-Carlo code with strong load imbalance.
+    let model = archetypes::particle_mc(42);
+    let machine = MachineModel::t3e_900();
+
+    // 2. "Apprentice" produces summary data for a PE sweep; the reference
+    //    run (fewest PEs) defines optimal speedup.
+    let mut store = Store::new();
+    let version = simulate_program(&mut store, &model, &machine, &[1, 4, 16, 64]);
+    println!(
+        "simulated {} regions x {} runs -> {} objects in the performance database\n",
+        store.regions.len(),
+        store.versions[version.index()].runs.len(),
+        store.object_count()
+    );
+
+    // 3. COSY: evaluate the ASL property suite for the 64-PE run, rank by
+    //    severity, report problems and the bottleneck.
+    let run64 = *store.versions[version.index()].runs.last().unwrap();
+    let analyzer = Analyzer::new(&store, version).expect("analyzer");
+    let analysis = analyzer
+        .analyze(run64, Backend::Interpreter, ProblemThreshold::default())
+        .expect("analysis");
+
+    println!("{}", report::render_text(&analysis));
+}

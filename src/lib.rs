@@ -1,0 +1,21 @@
+//! # kojak — workspace façade
+//!
+//! Re-exports the crates of the KOJAK/ASL reproduction so examples and
+//! integration tests can use a single dependency. See the individual crates
+//! for documentation:
+//!
+//! * [`asl_core`] — the APART Specification Language front-end
+//! * [`perfdata`] — the COSY performance-data model
+//! * [`apprentice_sim`] — synthetic performance-data supply tool
+//! * [`reldb`] — embedded relational database substrate
+//! * [`asl_eval`] — ASL interpreter
+//! * [`asl_sql`] — ASL→SQL compiler
+//! * [`cosy`] — the KOJAK Cost Analyzer
+
+pub use apprentice_sim;
+pub use asl_core;
+pub use asl_eval;
+pub use asl_sql;
+pub use cosy;
+pub use perfdata;
+pub use reldb;

@@ -1,0 +1,134 @@
+//! End-to-end pipeline tests: synthetic program → Apprentice summary →
+//! database → COSY analysis, for every archetype and both backends.
+
+use kojak::apprentice_sim::{archetypes, simulate_program, MachineModel};
+use kojak::cosy::{report, Analyzer, Backend, ProblemThreshold};
+use kojak::perfdata::{validate, Store};
+
+fn analyze(
+    model: &kojak::apprentice_sim::ProgramModel,
+    pes: &[u32],
+    backend: Backend,
+) -> kojak::cosy::AnalysisReport {
+    let machine = MachineModel::t3e_900();
+    let mut store = Store::new();
+    let version = simulate_program(&mut store, model, &machine, pes);
+    assert!(validate(&store).is_empty(), "store invariants");
+    let run = *store.versions[version.index()].runs.last().unwrap();
+    Analyzer::new(&store, version)
+        .unwrap()
+        .analyze(run, backend, ProblemThreshold::default())
+        .unwrap()
+}
+
+#[test]
+fn every_archetype_analyzes_on_both_backends() {
+    for model in archetypes::all(5) {
+        for backend in [Backend::Interpreter, Backend::Sql] {
+            let report = analyze(&model, &[1, 8, 32], backend);
+            assert!(
+                report.bottleneck().is_some(),
+                "{} ({backend:?}): no bottleneck",
+                model.name
+            );
+            assert!(report.total_cost > 0.0, "{}: no total cost", model.name);
+            let text = report::render_text(&report);
+            assert!(text.contains("bottleneck:"));
+        }
+    }
+}
+
+#[test]
+fn particle_mc_bottleneck_chain_is_synchronization() {
+    // The paper's refinement story: SublinearSpeedup explains the overall
+    // loss; SyncCost and LoadImbalance explain *why* for a barrier-bound
+    // imbalanced code.
+    let report = analyze(&archetypes::particle_mc(3), &[1, 32], Backend::Interpreter);
+    let names: Vec<&str> = report
+        .problems()
+        .map(|e| e.property.as_str())
+        .collect();
+    assert!(names.contains(&"SublinearSpeedup"));
+    assert!(
+        names.contains(&"SyncCost"),
+        "SyncCost must be a problem, got {names:?}"
+    );
+    let has_imbalance = report
+        .entries
+        .iter()
+        .any(|e| e.property == "LoadImbalance" && e.context.label.contains("barrier"));
+    assert!(has_imbalance, "LoadImbalance on a barrier call expected");
+}
+
+#[test]
+fn spectral_io_flags_io_cost() {
+    let report = analyze(&archetypes::spectral_io(3), &[1, 64], Backend::Interpreter);
+    assert!(
+        report.problems().any(|e| e.property == "IoCost"),
+        "IoCost must be a problem for the I/O-bound archetype"
+    );
+}
+
+#[test]
+fn stencil_at_low_pe_needs_no_tuning() {
+    // At 2 PEs the well-balanced stencil is below the default threshold.
+    let machine = MachineModel::t3e_900();
+    let mut store = Store::new();
+    let model = archetypes::stencil3d(3);
+    let version = simulate_program(&mut store, &model, &machine, &[1, 2]);
+    let run = store.versions[version.index()].runs[1];
+    let report = Analyzer::new(&store, version)
+        .unwrap()
+        .analyze(run, Backend::Interpreter, ProblemThreshold(0.10))
+        .unwrap();
+    assert!(
+        !report.needs_tuning(),
+        "2-PE stencil should be below a 10% threshold: {:?}",
+        report.bottleneck()
+    );
+}
+
+#[test]
+fn severity_ranking_matches_paper_semantics() {
+    // §4: severity of SublinearSpeedup = TotalCost / Duration(Basis, t).
+    let machine = MachineModel::t3e_900();
+    let mut store = Store::new();
+    let model = archetypes::particle_mc(11);
+    let version = simulate_program(&mut store, &model, &machine, &[1, 16]);
+    let run16 = store.versions[version.index()].runs[1];
+    let run1 = store.versions[version.index()].runs[0];
+    let main = store.main_region(version).unwrap();
+    let report = Analyzer::new(&store, version)
+        .unwrap()
+        .analyze(run16, Backend::Interpreter, ProblemThreshold::default())
+        .unwrap();
+    let d16 = store.duration(main, run16).unwrap();
+    let d1 = store.duration(main, run1).unwrap();
+    let expected = (d16 - d1) / d16;
+    assert!(
+        (report.total_cost - expected).abs() < 1e-12,
+        "total cost {} vs expected {expected}",
+        report.total_cost
+    );
+}
+
+#[test]
+fn multiple_versions_analyzed_independently() {
+    let machine = MachineModel::t3e_900();
+    let mut store = Store::new();
+    let v1 = simulate_program(&mut store, &archetypes::particle_mc(1), &machine, &[1, 8]);
+    let v2 = simulate_program(&mut store, &archetypes::stencil3d(1), &machine, &[1, 8]);
+    let r1 = *store.versions[v1.index()].runs.last().unwrap();
+    let r2 = *store.versions[v2.index()].runs.last().unwrap();
+    let a1 = Analyzer::new(&store, v1)
+        .unwrap()
+        .analyze(r1, Backend::Interpreter, ProblemThreshold::default())
+        .unwrap();
+    let a2 = Analyzer::new(&store, v2)
+        .unwrap()
+        .analyze(r2, Backend::Interpreter, ProblemThreshold::default())
+        .unwrap();
+    assert_eq!(a1.program, "particle_mc");
+    assert_eq!(a2.program, "stencil3d");
+    assert!(a1.total_cost > a2.total_cost, "particle loses more at 8 PEs");
+}

@@ -1,0 +1,128 @@
+//! Failure injection: the analyzer must degrade gracefully on incomplete
+//! or irregular databases (missing timings, runs without data, empty
+//! versions) — the situations a real tool meets when instrumentation is
+//! partial.
+
+use kojak::apprentice_sim::{archetypes, simulate_program, MachineModel};
+use kojak::cosy::{Analyzer, Backend, ProblemThreshold};
+use kojak::perfdata::{DateTime, RegionKind, Store};
+
+#[test]
+fn run_without_any_timings_is_all_skipped() {
+    let mut store = Store::new();
+    let p = store.add_program("sparse");
+    let v = store.add_version(p, DateTime::from_secs(0), "");
+    let _bare_run = store.add_run(v, DateTime::from_secs(1), 8, 450);
+    let f = store.add_function(v, "main");
+    store.add_region(f, None, RegionKind::Subprogram, "main", (1, 10));
+
+    let run = store.versions[v.index()].runs[0];
+    let report = Analyzer::new(&store, v)
+        .unwrap()
+        .analyze(run, Backend::Interpreter, ProblemThreshold::default())
+        .unwrap();
+    assert!(report.entries.is_empty());
+    assert!(!report.needs_tuning());
+    assert!(report.skipped > 0);
+}
+
+#[test]
+fn partially_instrumented_version_analyzes() {
+    // Simulate two runs, then strip every timing of one region (as if the
+    // compiler optimized its instrumentation away).
+    let machine = MachineModel::t3e_900();
+    let mut store = Store::new();
+    let v = simulate_program(&mut store, &archetypes::particle_mc(5), &machine, &[1, 8]);
+    let victim = store.versions[v.index()]
+        .functions
+        .iter()
+        .flat_map(|f| store.functions[f.index()].regions.iter().copied())
+        .nth(2)
+        .unwrap();
+    store.regions[victim.index()].tot_times.clear();
+    store.regions[victim.index()].typ_times.clear();
+
+    let run = store.versions[v.index()].runs[1];
+    for backend in [Backend::Interpreter, Backend::Sql, Backend::SqlBatched] {
+        let report = Analyzer::new(&store, v)
+            .unwrap()
+            .analyze(run, backend, ProblemThreshold::default())
+            .unwrap();
+        assert!(
+            report.entries.iter().all(|e| e.context.region != Some(victim.0)),
+            "{backend:?}: stripped region must not appear"
+        );
+        assert!(
+            !report.entries.is_empty(),
+            "{backend:?}: other regions still analyzed"
+        );
+    }
+}
+
+#[test]
+fn zero_duration_basis_is_not_a_crash() {
+    // A basis region with zero inclusive time: severity division by zero
+    // must surface as an error or a skip, never a panic.
+    let mut store = Store::new();
+    let p = store.add_program("zero");
+    let v = store.add_version(p, DateTime::from_secs(0), "");
+    let r1 = store.add_run(v, DateTime::from_secs(1), 1, 450);
+    let r2 = store.add_run(v, DateTime::from_secs(2), 4, 450);
+    let f = store.add_function(v, "main");
+    let root = store.add_region(f, None, RegionKind::Subprogram, "main", (1, 10));
+    store.add_total_timing(root, r1, 0.0, 0.0, 0.0);
+    store.add_total_timing(root, r2, 0.0, 0.0, 0.1);
+
+    let result = Analyzer::new(&store, v).unwrap().analyze(
+        r2,
+        Backend::Interpreter,
+        ProblemThreshold::default(),
+    );
+    // MeasuredCost holds (Ovhd > 0) but its severity divides by
+    // Duration(Basis) == 0 — the interpreter reports the evaluation error.
+    assert!(result.is_err(), "division by zero must be reported");
+}
+
+#[test]
+fn single_run_version_reports_no_speedup_loss() {
+    let machine = MachineModel::t3e_900();
+    let mut store = Store::new();
+    let v = simulate_program(&mut store, &archetypes::stencil3d(1), &machine, &[16]);
+    let run = store.versions[v.index()].runs[0];
+    let report = Analyzer::new(&store, v)
+        .unwrap()
+        .analyze(run, Backend::Interpreter, ProblemThreshold::default())
+        .unwrap();
+    // The only run is its own reference: no lost cycles.
+    assert_eq!(report.total_cost, 0.0);
+    assert!(report
+        .entries
+        .iter()
+        .all(|e| e.property != "SublinearSpeedup"));
+}
+
+#[test]
+fn duplicate_timing_is_caught_before_analysis() {
+    // A corrupted import (duplicate TotalTiming) violates the §4.1
+    // uniqueness invariant; validation reports it, and the interpreter's
+    // UNIQUE raises Ambiguous rather than silently picking one.
+    let machine = MachineModel::t3e_900();
+    let mut store = Store::new();
+    let v = simulate_program(&mut store, &archetypes::stencil3d(1), &machine, &[1, 4]);
+    let dup = store.total_timings[0].clone();
+    let region = dup.region;
+    store.total_timings.push(dup);
+    let id = kojak::perfdata::TotalTimingId((store.total_timings.len() - 1) as u32);
+    store.regions[region.index()].tot_times.push(id);
+
+    let violations = kojak::perfdata::validate(&store);
+    assert!(violations.iter().any(|x| x.rule == "unique-total-timing"));
+
+    let run = store.total_timings[0].run;
+    let result = Analyzer::new(&store, v).unwrap().analyze(
+        run,
+        Backend::Interpreter,
+        ProblemThreshold::default(),
+    );
+    assert!(result.is_err(), "ambiguous UNIQUE must surface as an error");
+}

@@ -1,0 +1,196 @@
+//! Fidelity tests against the paper's printed artifacts: the §4.1 data
+//! model and the §4.2 property listings must parse, check and evaluate.
+//!
+//! One deviation is corrected and documented: the paper's SublinearSpeedup
+//! declares `TotTimes MinPeSum` — `TotTimes` is the *attribute* name, the
+//! type is `TotalTiming` (an obvious typo in the preprint). We also
+//! terminate LET definitions with `;` uniformly.
+
+use kojak::apprentice_sim::{archetypes, simulate_program, MachineModel};
+use kojak::asl_core::parse_and_check;
+use kojak::asl_eval::{CosyData, Interpreter, Value, COSY_DATA_MODEL};
+use kojak::perfdata::Store;
+
+/// §4.1 of the paper, as printed (classes only; SourceCode added since the
+/// paper references it without declaring it).
+const PAPER_DATA_MODEL: &str = r#"
+class Program {
+    String Name;
+    setof ProgVersion Versions;
+}
+class ProgVersion {
+    DateTime Compilation;
+    setof Function Functions;
+    setof TestRun Runs;
+    SourceCode Code;
+}
+class SourceCode { String Text; }
+class TestRun {
+    DateTime Start;
+    int NoPe;
+    int Clockspeed;
+}
+class Function {
+    String Name;
+    setof FunctionCall Calls;
+    setof Region Regions;
+}
+class Region {
+    Region ParentRegion;
+    setof TotalTiming TotTimes;
+    setof TypedTiming TypTimes;
+}
+class TotalTiming {
+    TestRun Run;
+    float Excl;
+    float Incl;
+    float Ovhd;
+}
+enum TimingType { Barrier, IoRead, IoWrite, PtpSend, PtpRecv }
+class TypedTiming {
+    TestRun Run;
+    TimingType Type;
+    float Time;
+}
+class FunctionCall {
+    Function Caller;
+    Region CallingReg;
+    setof CallTiming Sums;
+}
+class CallTiming {
+    TestRun Run;
+    float MeanTime;
+    float StdevTime;
+    float MeanCount;
+    float StdevCount;
+}
+"#;
+
+/// The §4.2 helper functions, as printed.
+const PAPER_FUNCTIONS: &str = r#"
+TotalTiming Summary(Region r, TestRun t) = UNIQUE({s IN r.TotTimes
+    WITH s.Run==t});
+float Duration(Region r, TestRun t) = Summary(r,t).Incl;
+"#;
+
+/// The four §4.2 properties, as printed (modulo the documented typo fix).
+const PAPER_PROPERTIES: &str = r#"
+float ImbalanceThreshold = 0.25;
+
+Property SublinearSpeedup(Region r, TestRun t, Region Basis) {
+    LET TotalTiming MinPeSum = UNIQUE({sum IN r.TotTimes WITH sum.Run.NoPe ==
+        MIN(s.Run.NoPe WHERE s IN r.TotTimes)});
+    float TotalCost = Duration(r,t) - Duration(r,MinPeSum.Run)
+    IN
+    CONDITION: TotalCost>0; CONFIDENCE: 1;
+    SEVERITY: TotalCost/Duration(Basis,t);
+}
+
+Property MeasuredCost (Region r, TestRun t, Region Basis) {
+    LET float Cost = Summary(r,t).Ovhd;
+    IN CONDITION: Cost > 0; CONFIDENCE: 1;
+    SEVERITY: Cost / Duration(Basis,t);
+}
+
+Property SyncCost(Region r, TestRun t, Region Basis) {
+    LET float Barrier2 = SUM(tt.Time WHERE tt IN r.TypTimes AND tt.Run==t
+        AND tt.Type == Barrier);
+    IN CONDITION: Barrier2 > 0; CONFIDENCE: 1;
+    SEVERITY: Barrier2 / Duration(Basis,t);
+}
+
+Property LoadImbalance(FunctionCall Call, TestRun t, Region Basis) {
+    LET CallTiming ct = UNIQUE ({c IN Call.Sums WITH c.Run == t});
+    float Dev = ct.StdevTime;
+    float Mean = ct.MeanTime
+    IN CONDITION: Dev > ImbalanceThreshold * Mean; CONFIDENCE: 1;
+    SEVERITY: Mean / Duration(Basis,t);
+}
+"#;
+
+#[test]
+fn paper_data_model_checks() {
+    let src = format!("{PAPER_DATA_MODEL}\n{PAPER_FUNCTIONS}");
+    let spec = parse_and_check(&src).unwrap_or_else(|d| panic!("{}", d.render(&src)));
+    assert_eq!(spec.spec.classes.len(), 10);
+    assert_eq!(spec.model.functions["Duration"].ret, kojak::asl_core::types::Type::Float);
+}
+
+#[test]
+fn paper_properties_check_against_paper_model() {
+    let src = format!("{PAPER_DATA_MODEL}\n{PAPER_FUNCTIONS}\n{PAPER_PROPERTIES}");
+    let spec = parse_and_check(&src).unwrap_or_else(|d| panic!("{}", d.render(&src)));
+    assert_eq!(spec.properties().len(), 4);
+    for p in ["SublinearSpeedup", "MeasuredCost", "SyncCost", "LoadImbalance"] {
+        assert!(spec.property(p).is_some(), "{p} missing");
+    }
+}
+
+#[test]
+fn paper_properties_evaluate_on_simulated_data() {
+    // Evaluate the verbatim paper properties against the full COSY model
+    // (superset of the paper's printed CallTiming attributes).
+    let src = format!("{COSY_DATA_MODEL}\n{PAPER_PROPERTIES}");
+    let spec = parse_and_check(&src).unwrap_or_else(|d| panic!("{}", d.render(&src)));
+
+    let machine = MachineModel::t3e_900();
+    let mut store = Store::new();
+    let version = simulate_program(&mut store, &archetypes::particle_mc(1), &machine, &[1, 16]);
+    let run16 = store.versions[version.index()].runs[1];
+    let main = store.main_region(version).unwrap();
+    let data = CosyData::new(&store);
+    let interp = Interpreter::new(&spec, &data).unwrap();
+
+    // SublinearSpeedup on main at 16 PEs: holds with the documented
+    // severity formula.
+    let o = interp
+        .eval_property(
+            "SublinearSpeedup",
+            &[Value::region(main), Value::run(run16), Value::region(main)],
+        )
+        .unwrap();
+    assert!(o.holds);
+    let run1 = store.versions[version.index()].runs[0];
+    let expected = (store.duration(main, run16).unwrap() - store.duration(main, run1).unwrap())
+        / store.duration(main, run16).unwrap();
+    assert!((o.severity - expected).abs() < 1e-12);
+
+    // LoadImbalance on a barrier call: the paper's refinement fires for the
+    // imbalanced archetype.
+    let barrier_fn = store
+        .functions
+        .iter()
+        .position(|f| f.name == "barrier")
+        .unwrap();
+    let call = store.functions[barrier_fn].calls[0];
+    let o = interp
+        .eval_property(
+            "LoadImbalance",
+            &[Value::call(call), Value::run(run16), Value::region(main)],
+        )
+        .unwrap();
+    assert!(o.holds, "barrier call must show imbalance at 16 PEs");
+}
+
+#[test]
+fn figure1_grammar_shapes_parse() {
+    // Every syntactic form of Figure 1: named conditions, OR lists, MAX
+    // combiners with guards, `};` terminator.
+    let src = format!(
+        "{COSY_DATA_MODEL}\n{}",
+        r#"
+PROPERTY Fig1(Region r, TestRun t, Region Basis) {
+    LET float X = Duration(r, t);
+    IN
+    CONDITION: (a) X > 10.0 OR (b) X > 1.0;
+    CONFIDENCE: MAX((a) -> 1, (b) -> 0.5);
+    SEVERITY: MAX((a) -> X / Duration(Basis, t), (b) -> 0.1);
+};
+"#
+    );
+    let spec = parse_and_check(&src).unwrap_or_else(|d| panic!("{}", d.render(&src)));
+    let p = spec.property("Fig1").unwrap();
+    assert_eq!(p.conditions.len(), 2);
+    assert!(p.confidence.is_max);
+    assert_eq!(p.severity.arms.len(), 2);
+}
