@@ -32,7 +32,11 @@ pub fn unit(h: u64) -> f64 {
 /// Uniform value in `[-1, 1)` derived from `(seed, region, pe, stream)`.
 #[inline]
 pub fn signed_noise(seed: u64, region: u64, pe: u64, stream: u64) -> f64 {
-    2.0 * unit(hash3(seed ^ stream.wrapping_mul(0xA24B_AED4_963E_E407), region, pe)) - 1.0
+    2.0 * unit(hash3(
+        seed ^ stream.wrapping_mul(0xA24B_AED4_963E_E407),
+        region,
+        pe,
+    )) - 1.0
 }
 
 /// Approximately standard-normal value (sum of 4 uniforms, Irwin–Hall),
@@ -95,9 +99,6 @@ mod tests {
 
     #[test]
     fn streams_are_independent() {
-        assert_ne!(
-            signed_noise(1, 2, 3, 0),
-            signed_noise(1, 2, 3, 1),
-        );
+        assert_ne!(signed_noise(1, 2, 3, 0), signed_noise(1, 2, 3, 1),);
     }
 }

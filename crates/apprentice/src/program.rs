@@ -106,7 +106,14 @@ pub enum SkewPattern {
 /// The per-PE work multiplier for a region: deterministic in
 /// `(seed, region, pe)`, with mean exactly 1 over the PE set after
 /// normalization (done by the simulator).
-pub fn raw_skew(pattern: SkewPattern, imbalance: f64, seed: u64, region: u64, pe: u32, no_pe: u32) -> f64 {
+pub fn raw_skew(
+    pattern: SkewPattern,
+    imbalance: f64,
+    seed: u64,
+    region: u64,
+    pe: u32,
+    no_pe: u32,
+) -> f64 {
     if imbalance == 0.0 || no_pe <= 1 {
         return 1.0;
     }
@@ -158,7 +165,11 @@ pub struct RegionNode {
 impl RegionNode {
     /// Count of nodes in this subtree (including self).
     pub fn subtree_size(&self) -> usize {
-        1 + self.children.iter().map(RegionNode::subtree_size).sum::<usize>()
+        1 + self
+            .children
+            .iter()
+            .map(RegionNode::subtree_size)
+            .sum::<usize>()
     }
 
     /// Depth of this subtree (a leaf has depth 1).
@@ -344,7 +355,11 @@ impl ProgramGenerator {
             lines: (line0, line0 + 9),
             workload: Workload {
                 passes,
-                serial_work: if depth == 0 { self.base_work * 0.1 } else { 0.0 },
+                serial_work: if depth == 0 {
+                    self.base_work * 0.1
+                } else {
+                    0.0
+                },
                 parallel_work: self.base_work * (1.0 + noise::unit(h)),
                 imbalance,
                 skew: SkewPattern::Random,

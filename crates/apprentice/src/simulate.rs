@@ -120,9 +120,7 @@ pub fn simulate_region(
     let compute: Vec<f64> = raw
         .iter()
         .map(|r| {
-            passes
-                * (w.serial_work + w.parallel_work / p as f64 * (r / mean_raw))
-                * contention
+            passes * (w.serial_work + w.parallel_work / p as f64 * (r / mean_raw)) * contention
         })
         .collect();
     let max_compute = compute.iter().copied().fold(0.0, f64::max);
@@ -220,7 +218,10 @@ pub fn simulate_region(
     if is_main_root {
         let levels = 1.0 + 0.3 * crate::machine::log2_ceil(no_pe);
         add(TimingType::Startup, vec![machine.startup_base * levels; p]);
-        add(TimingType::Shutdown, vec![machine.shutdown_base * levels; p]);
+        add(
+            TimingType::Shutdown,
+            vec![machine.shutdown_base * levels; p],
+        );
     }
     if w.passes > 0 {
         add(

@@ -12,9 +12,7 @@
 use crate::machine::MachineModel;
 use crate::program::ProgramModel;
 use crate::simulate::simulate_run;
-use perfdata::{
-    CallId, CallTiming, DateTime, FunctionId, RegionId, Store, TestRunId, VersionId,
-};
+use perfdata::{CallId, CallTiming, DateTime, FunctionId, RegionId, Store, TestRunId, VersionId};
 
 /// Mapping from model order to store ids, produced by [`build_static`].
 #[derive(Debug, Clone)]
@@ -101,7 +99,15 @@ pub fn build_static(
             }
             call_ids.push(sites);
             for c in &node.children {
-                visit(store, function, c, Some(rid), find_callee, region_ids, call_ids);
+                visit(
+                    store,
+                    function,
+                    c,
+                    Some(rid),
+                    find_callee,
+                    region_ids,
+                    call_ids,
+                );
             }
         }
         let root_frame = stack.pop().expect("one frame");
@@ -338,10 +344,7 @@ mod tests {
         let model = archetypes::stencil3d(1);
         let mut store = Store::new();
         let (v, index) = build_static(&mut store, &model, DateTime::from_secs(0));
-        assert_eq!(
-            index.functions.len(),
-            model.functions.len()
-        );
+        assert_eq!(index.functions.len(), model.functions.len());
         let total_regions: usize = index.regions.iter().map(Vec::len).sum();
         assert_eq!(total_regions, model.region_count());
         // Runtime routines become functions too.

@@ -17,10 +17,10 @@ fn workload_strategy() -> impl Strategy<Value = Workload> {
             Just(SkewPattern::Linear),
             Just(SkewPattern::SingleHot)
         ],
-        0.0f64..3.0,   // barriers
-        0.0f64..8.0,   // ptp msgs
-        0.0f64..4.0,   // collectives
-        0.0f64..2.0,   // io ops
+        0.0f64..3.0, // barriers
+        0.0f64..8.0, // ptp msgs
+        0.0f64..4.0, // collectives
+        0.0f64..2.0, // io ops
     )
         .prop_map(
             |(passes, serial, parallel, imb, skew, barriers, ptp, coll, io)| Workload {

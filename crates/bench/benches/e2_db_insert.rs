@@ -12,8 +12,7 @@ fn bench_insert(c: &mut Criterion) {
     let spec = cosy::suite::standard_suite();
     let schema = asl_sql::generate_schema(&spec.model).unwrap();
     let cosy_data = asl_eval::CosyData::new(&store);
-    let stmts =
-        asl_sql::loader::insert_statements(&schema, &spec.model, &cosy_data).unwrap();
+    let stmts = asl_sql::loader::insert_statements(&schema, &spec.model, &cosy_data).unwrap();
 
     let mut g = c.benchmark_group("e2_db_insert");
     g.throughput(Throughput::Elements(stmts.len() as u64));
@@ -27,8 +26,7 @@ fn bench_insert(c: &mut Criterion) {
             |b, stmts| {
                 b.iter(|| {
                     let db = share(Database::new());
-                    let mut conn =
-                        Connection::connect(db, profile.clone(), binding.clone());
+                    let mut conn = Connection::connect(db, profile.clone(), binding.clone());
                     for ddl in schema.ddl() {
                         conn.execute(&ddl).unwrap();
                     }

@@ -21,7 +21,10 @@ fn bench_strategies(c: &mut Criterion) {
                 BackendProfile::oracle7(),
                 ApiBinding::jdbc(),
             );
-            client_side(&mut conn, &store, &spec, version, run).unwrap().held.len()
+            client_side(&mut conn, &store, &spec, version, run)
+                .unwrap()
+                .held
+                .len()
         })
     });
     g.bench_function("sql_per_context", |b| {

@@ -1,7 +1,7 @@
 //! E5 — wall-clock cost of a full COSY analysis, per backend.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cosy::{Analyzer, Backend, ProblemThreshold};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kojak_bench::data;
 
 fn bench_analysis(c: &mut Criterion) {

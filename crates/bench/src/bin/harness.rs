@@ -24,7 +24,9 @@ fn main() {
         let rows = e2_insert::run(2);
         println!("{}", e2_insert::render(&rows));
         report_claim(&mut failures, "E2", e2_insert::check_claims(&rows));
-        println!("paper: Oracle ~2x slower than MS SQL/Postgres; MS Access ~20x faster than Oracle\n");
+        println!(
+            "paper: Oracle ~2x slower than MS SQL/Postgres; MS Access ~20x faster than Oracle\n"
+        );
     }
 
     if want("--e3") {
@@ -40,11 +42,15 @@ fn main() {
         let rows = e4_client_vs_sql::run(&[2, 6, 12]);
         println!("{}", e4_client_vs_sql::render(&rows));
         report_claim(&mut failures, "E4", e4_client_vs_sql::check_claims(&rows));
-        println!("paper: \"significant advantage to translate the conditions ... entirely into SQL\"\n");
+        println!(
+            "paper: \"significant advantage to translate the conditions ... entirely into SQL\"\n"
+        );
     }
 
     if want("--e5") {
-        println!("== E5: COSY ranked analysis (§3/§4) ==========================================\n");
+        println!(
+            "== E5: COSY ranked analysis (§3/§4) ==========================================\n"
+        );
         let results = e5_analysis::run();
         for r in &results {
             println!("{}", r.report_text);
@@ -68,6 +74,14 @@ fn main() {
         println!("{}", e7_distribution::render(&rows));
         report_claim(&mut failures, "E7", e7_distribution::check_claims(&rows));
         println!();
+    }
+
+    if want("--e8") {
+        println!("== E8: online ingestion — incremental vs batch re-analysis ==================\n");
+        let result = e8_online::run(50);
+        println!("{}", e8_online::render(&result));
+        report_claim(&mut failures, "E8", e8_online::check_claims(&result));
+        println!("claim: single-run append ≥ 10x faster incrementally than full re-analysis\n");
     }
 
     if failures.is_empty() {

@@ -106,7 +106,10 @@ pub fn check_claims(rows: &[E3Row]) -> Result<(), String> {
     for r in rows {
         let ratio = r.ratio();
         if !(2.0..=4.0).contains(&ratio) {
-            return Err(format!("{}: JDBC/native {ratio:.2} outside 2-4x", r.backend));
+            return Err(format!(
+                "{}: JDBC/native {ratio:.2} outside 2-4x",
+                r.backend
+            ));
         }
     }
     Ok(())

@@ -55,17 +55,22 @@ pub fn run(scales: &[usize]) -> Vec<E4Row> {
         )
         .expect("naive client");
 
-        let mut conn =
-            Connection::connect(shared.clone(), BackendProfile::oracle7(), ApiBinding::jdbc());
+        let mut conn = Connection::connect(
+            shared.clone(),
+            BackendProfile::oracle7(),
+            ApiBinding::jdbc(),
+        );
         let client = client_side(&mut conn, &store, &spec, version, run).expect("client");
 
-        let mut conn =
-            Connection::connect(shared.clone(), BackendProfile::oracle7(), ApiBinding::jdbc());
+        let mut conn = Connection::connect(
+            shared.clone(),
+            BackendProfile::oracle7(),
+            ApiBinding::jdbc(),
+        );
         let per_ctx =
             sql_per_context(&mut conn, &store, &spec, &schema, version, run).expect("per-ctx");
 
-        let mut conn =
-            Connection::connect(shared, BackendProfile::oracle7(), ApiBinding::jdbc());
+        let mut conn = Connection::connect(shared, BackendProfile::oracle7(), ApiBinding::jdbc());
         let batched =
             sql_batched(&mut conn, &store, &spec, &schema, version, run).expect("batched");
 

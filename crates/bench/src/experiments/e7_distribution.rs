@@ -66,8 +66,8 @@ pub fn run(scales: &[usize]) -> Vec<E7Row> {
             let mut conn = Connection::connect(shared.clone(), profile.clone(), binding.clone());
             let client = client_side(&mut conn, &store, &spec, version, run).expect("client");
             let mut conn = Connection::connect(shared.clone(), profile.clone(), binding.clone());
-            let per_ctx = sql_per_context(&mut conn, &store, &spec, &schema, version, run)
-                .expect("per-ctx");
+            let per_ctx =
+                sql_per_context(&mut conn, &store, &spec, &schema, version, run).expect("per-ctx");
             let mut conn = Connection::connect(shared.clone(), profile.clone(), binding.clone());
             let batched =
                 sql_batched(&mut conn, &store, &spec, &schema, version, run).expect("batched");

@@ -7,4 +7,5 @@ pub mod e4_client_vs_sql;
 pub mod e5_analysis;
 pub mod e6_cost_scaling;
 pub mod e7_distribution;
+pub mod e8_online;
 pub mod strategies;

@@ -21,7 +21,9 @@
 
 use asl_core::check::CheckedSpec;
 use asl_eval::{CosyData, Interpreter, ObjRef, ObjectModel, Value};
-use asl_sql::{compile_batch, compile_property, eval_batch_conn, property::eval_compiled_conn, SchemaInfo};
+use asl_sql::{
+    compile_batch, compile_property, eval_batch_conn, property::eval_compiled_conn, SchemaInfo,
+};
 use cosy::suite::{ContextSelector, SUITE};
 use perfdata::{Store, TestRunId, VersionId};
 use reldb::remote::{ApiBinding, BackendProfile, Connection};
@@ -128,7 +130,11 @@ impl ObjectModel for CountingData<'_> {
             .borrow_mut()
             .insert((obj.class.clone(), obj.index))
         {
-            *self.fetches.borrow_mut().entry(obj.class.clone()).or_default() += 1;
+            *self
+                .fetches
+                .borrow_mut()
+                .entry(obj.class.clone())
+                .or_default() += 1;
         }
         self.inner.attr(obj, attr)
     }
@@ -307,10 +313,7 @@ pub fn sql_batched(
 ) -> Result<StrategyResult, String> {
     let t0 = conn.elapsed();
     let basis = store.main_region(version).ok_or("no main region")?;
-    let fixed = [
-        (1usize, Value::run(run)),
-        (2usize, Value::region(basis)),
-    ];
+    let fixed = [(1usize, Value::run(run)), (2usize, Value::region(basis))];
     let mut held = Vec::new();
     let mut statements = 0usize;
     let mut records = 0usize;
@@ -319,8 +322,8 @@ pub fn sql_batched(
             continue;
         }
         let _ = family_class(sel);
-        let bc = compile_batch(spec, schema, prop, 0, &fixed, Some(&ids))
-            .map_err(|e| e.to_string())?;
+        let bc =
+            compile_batch(spec, schema, prop, 0, &fixed, Some(&ids)).map_err(|e| e.to_string())?;
         statements += 1;
         let outcomes = eval_batch_conn(conn, &bc).map_err(|e| e.to_string())?;
         records += outcomes.len();

@@ -533,10 +533,8 @@ impl Checker {
                     }
                     Type::Error => Type::Error,
                     other => {
-                        self.diags.error(
-                            attr.span,
-                            format!("type `{other}` has no attributes"),
-                        );
+                        self.diags
+                            .error(attr.span, format!("type `{other}` has no attributes"));
                         Type::Error
                     }
                 }
@@ -547,8 +545,7 @@ impl Checker {
                 match op {
                     UnOp::Neg => {
                         if !t.is_numeric() {
-                            self.diags
-                                .error(inner.span, format!("cannot negate `{t}`"));
+                            self.diags.error(inner.span, format!("cannot negate `{t}`"));
                             Type::Error
                         } else {
                             t
@@ -661,7 +658,10 @@ impl Checker {
                         if !vt.is_ordered() {
                             self.diags.error(
                                 value.span,
-                                format!("{}/{} require an ordered value, found `{vt}`", "MIN", "MAX"),
+                                format!(
+                                    "{}/{} require an ordered value, found `{vt}`",
+                                    "MIN", "MAX"
+                                ),
                             );
                             Type::Error
                         } else {
@@ -703,10 +703,8 @@ impl Checker {
             ExprKind::CountSet(inner) => {
                 let t = self.infer(inner, scope);
                 if !matches!(t, Type::Set(_) | Type::Error) {
-                    self.diags.error(
-                        inner.span,
-                        format!("COUNT requires a set, found `{t}`"),
-                    );
+                    self.diags
+                        .error(inner.span, format!("COUNT requires a set, found `{t}`"));
                 }
                 Type::Int
             }
@@ -715,8 +713,10 @@ impl Checker {
 
     fn require_numeric(&mut self, span: Span, t: &Type, what: &str) {
         if !t.is_numeric() {
-            self.diags
-                .error(span, format!("{what} requires a numeric value, found `{t}`"));
+            self.diags.error(
+                span,
+                format!("{what} requires a numeric value, found `{t}`"),
+            );
         }
     }
 
@@ -724,8 +724,10 @@ impl Checker {
         // n-ary numeric builtins produced by the parser for MAX(a,b,...).
         if name.name == "MAX" || name.name == "MIN" {
             if args.is_empty() {
-                self.diags
-                    .error(span, format!("{} requires at least one argument", name.name));
+                self.diags.error(
+                    span,
+                    format!("{} requires at least one argument", name.name),
+                );
                 return Type::Error;
             }
             let mut out = Type::Int;
@@ -799,7 +801,10 @@ impl Checker {
                 } else {
                     self.diags.error(
                         span,
-                        format!("operator `{}` requires numeric operands, found `{lt}` and `{rt}`", op.symbol()),
+                        format!(
+                            "operator `{}` requires numeric operands, found `{lt}` and `{rt}`",
+                            op.symbol()
+                        ),
                     );
                     Type::Error
                 }
@@ -837,16 +842,13 @@ impl Checker {
                         _ => false,
                     };
                 if !ok {
-                    self.diags.error(
-                        span,
-                        format!("cannot compare `{lt}` with `{rt}`"),
-                    );
+                    self.diags
+                        .error(span, format!("cannot compare `{lt}` with `{rt}`"));
                 }
                 Type::Bool
             }
             Lt | Le | Gt | Ge => {
-                let ok = (lt.is_numeric() && rt.is_numeric())
-                    || (lt == rt && lt.is_ordered());
+                let ok = (lt.is_numeric() && rt.is_numeric()) || (lt == rt && lt.is_ordered());
                 if !ok {
                     self.diags.error(
                         span,
@@ -931,10 +933,7 @@ mod tests {
         let c = checked("");
         assert_eq!(c.model.classes.len(), 4);
         assert_eq!(c.model.enums.len(), 1);
-        assert_eq!(
-            c.model.attr("TotalTiming", "Incl").unwrap().ty,
-            Type::Float
-        );
+        assert_eq!(c.model.attr("TotalTiming", "Incl").unwrap().ty, Type::Float);
     }
 
     #[test]
@@ -946,10 +945,7 @@ mod tests {
             float Duration(Region r, TestRun t) = Summary(r, t).Incl;
             "#,
         );
-        assert_eq!(
-            c.model.functions["Duration"].ret,
-            Type::Float
-        );
+        assert_eq!(c.model.functions["Duration"].ret, Type::Float);
         assert_eq!(
             c.model.functions["Summary"].ret,
             Type::Class("TotalTiming".into())
@@ -999,17 +995,14 @@ mod tests {
 
     #[test]
     fn condition_must_be_bool() {
-        let d = check_err(
-            "Property P(Region r) { CONDITION: 1 + 2; CONFIDENCE: 1; SEVERITY: 1; }",
-        );
+        let d = check_err("Property P(Region r) { CONDITION: 1 + 2; CONFIDENCE: 1; SEVERITY: 1; }");
         assert!(d.to_string().contains("boolean"));
     }
 
     #[test]
     fn severity_must_be_numeric() {
-        let d = check_err(
-            "Property P(Region r) { CONDITION: TRUE; CONFIDENCE: 1; SEVERITY: TRUE; }",
-        );
+        let d =
+            check_err("Property P(Region r) { CONDITION: TRUE; CONFIDENCE: 1; SEVERITY: TRUE; }");
         assert!(d.to_string().contains("numeric"));
     }
 

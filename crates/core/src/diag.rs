@@ -53,7 +53,12 @@ impl Diagnostic {
 
     /// Render the diagnostic as `line:col: severity: message` using a map.
     pub fn render(&self, map: &SourceMap) -> String {
-        format!("{}: {}: {}", map.locate(self.span.start), self.severity, self.message)
+        format!(
+            "{}: {}: {}",
+            map.locate(self.span.start),
+            self.severity,
+            self.message
+        )
     }
 }
 

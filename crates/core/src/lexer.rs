@@ -194,7 +194,8 @@ impl<'s> Lexer<'s> {
             }
         }
         let at = self.pos as u32;
-        self.tokens.push(Token::new(TokenKind::Eof, Span::point(at)));
+        self.tokens
+            .push(Token::new(TokenKind::Eof, Span::point(at)));
     }
 
     fn block_comment(&mut self, start: usize) {
@@ -288,8 +289,8 @@ impl<'s> Lexer<'s> {
 
     fn string(&mut self, start: usize) {
         self.pos += 1; // opening quote
-        // Accumulate raw bytes so multi-byte UTF-8 sequences survive, then
-        // validate once at the end.
+                       // Accumulate raw bytes so multi-byte UTF-8 sequences survive, then
+                       // validate once at the end.
         let mut value: Vec<u8> = Vec::new();
         loop {
             match self.bump() {

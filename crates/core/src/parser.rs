@@ -143,8 +143,10 @@ impl Parser {
         } else {
             let span = self.span();
             let found = self.peek().describe();
-            self.diags
-                .push(Diagnostic::error(span, format!("expected identifier, found {found}")));
+            self.diags.push(Diagnostic::error(
+                span,
+                format!("expected identifier, found {found}"),
+            ));
             None
         }
     }
@@ -525,7 +527,10 @@ impl Parser {
             self.bump();
             let rhs = self.and_expr();
             let span = lhs.span.merge(rhs.span);
-            lhs = Expr::new(ExprKind::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs)), span);
+            lhs = Expr::new(
+                ExprKind::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs)),
+                span,
+            );
         }
         lhs
     }
@@ -621,7 +626,10 @@ impl Parser {
         while self.eat(&TokenKind::Or) {
             let rhs = self.and_expr();
             let span = lhs.span.merge(rhs.span);
-            lhs = Expr::new(ExprKind::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs)), span);
+            lhs = Expr::new(
+                ExprKind::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs)),
+                span,
+            );
         }
         lhs
     }
@@ -631,7 +639,10 @@ impl Parser {
         while self.eat(&TokenKind::And) {
             let rhs = self.not_expr();
             let span = lhs.span.merge(rhs.span);
-            lhs = Expr::new(ExprKind::Binary(BinOp::And, Box::new(lhs), Box::new(rhs)), span);
+            lhs = Expr::new(
+                ExprKind::Binary(BinOp::And, Box::new(lhs), Box::new(rhs)),
+                span,
+            );
         }
         lhs
     }
@@ -1286,8 +1297,9 @@ mod tests {
 
     #[test]
     fn missing_semicolon_in_property_is_error() {
-        assert!(parse("PROPERTY P(Region r) { CONDITION: TRUE CONFIDENCE: 1; SEVERITY: 1; }")
-            .is_err());
+        assert!(
+            parse("PROPERTY P(Region r) { CONDITION: TRUE CONFIDENCE: 1; SEVERITY: 1; }").is_err()
+        );
     }
 
     #[test]

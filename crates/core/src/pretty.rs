@@ -359,8 +359,8 @@ mod tests {
     fn roundtrip_expr(src: &str) {
         let mut e1 = parse_expr(src).expect("initial parse");
         let printed = print_expr(&e1);
-        let mut e2 = parse_expr(&printed)
-            .unwrap_or_else(|d| panic!("reparse of `{printed}` failed: {d}"));
+        let mut e2 =
+            parse_expr(&printed).unwrap_or_else(|d| panic!("reparse of `{printed}` failed: {d}"));
         normalize_expr(&mut e1);
         normalize_expr(&mut e2);
         assert_eq!(e1, e2, "round-trip changed `{src}` -> `{printed}`");
@@ -382,7 +382,9 @@ mod tests {
     #[test]
     fn roundtrip_paper_expressions() {
         roundtrip_expr("UNIQUE({s IN r.TotTimes WITH s.Run == t}).Incl");
-        roundtrip_expr("SUM(tt.Time WHERE tt IN r.TypTimes AND tt.Run == t AND tt.Type == Barrier)");
+        roundtrip_expr(
+            "SUM(tt.Time WHERE tt IN r.TypTimes AND tt.Run == t AND tt.Type == Barrier)",
+        );
         roundtrip_expr("MIN(s.Run.NoPe WHERE s IN r.TotTimes)");
         roundtrip_expr("Duration(r, t) - Duration(r, MinPeSum.Run)");
         roundtrip_expr("COUNT(r.TotTimes)");

@@ -216,10 +216,7 @@ impl Model {
             if cname == sup {
                 return true;
             }
-            cur = self
-                .classes
-                .get(cname)
-                .and_then(|ci| ci.base.as_deref());
+            cur = self.classes.get(cname).and_then(|ci| ci.base.as_deref());
         }
         false
     }

@@ -67,5 +67,6 @@ fn canonical_form_contains_expected_shapes() {
     assert!(printed.contains("PROPERTY SublinearSpeedup(Region r, TestRun t, Region Basis)"));
     assert!(printed.contains("float ImbalanceThreshold = 0.25;"));
     assert!(printed.contains("UNIQUE({s IN r.TotTimes WITH s.Run == t})"));
-    assert!(printed.contains("SUM(tt.Time WHERE tt IN r.TypTimes AND tt.Run == t AND tt.Type == Barrier)"));
+    assert!(printed
+        .contains("SUM(tt.Time WHERE tt IN r.TypTimes AND tt.Run == t AND tt.Type == Barrier)"));
 }

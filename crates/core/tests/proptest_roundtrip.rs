@@ -33,8 +33,7 @@ fn leaf() -> impl Strategy<Value = Expr> {
         // Non-negative finite floats: negatives print as unary minus.
         (0.0f64..1e6).prop_map(|v| Expr::new(ExprKind::FloatLit(v), Span::default())),
         any::<bool>().prop_map(|b| Expr::new(ExprKind::BoolLit(b), Span::default())),
-        "[ -~&&[^\"\\\\]]{0,12}"
-            .prop_map(|s| Expr::new(ExprKind::StrLit(s), Span::default())),
+        "[ -~&&[^\"\\\\]]{0,12}".prop_map(|s| Expr::new(ExprKind::StrLit(s), Span::default())),
         ident_pool().prop_map(|n| Expr::new(ExprKind::Var(n), Span::default())),
     ]
 }
@@ -78,21 +77,14 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
                 ExprKind::Binary(op, Box::new(a), Box::new(b)),
                 Span::default()
             )),
-            e.clone().prop_map(|a| Expr::new(
-                ExprKind::Unary(UnOp::Neg, Box::new(a)),
-                Span::default()
-            )),
-            e.clone().prop_map(|a| Expr::new(
-                ExprKind::Unary(UnOp::Not, Box::new(a)),
-                Span::default()
-            )),
-            (e.clone(), ident()).prop_map(|(a, id)| Expr::new(
-                ExprKind::Attr(Box::new(a), id),
-                Span::default()
-            )),
-            (ident(), prop::collection::vec(e.clone(), 0..3)).prop_map(|(id, args)| {
-                Expr::new(ExprKind::Call(id, args), Span::default())
-            }),
+            e.clone()
+                .prop_map(|a| Expr::new(ExprKind::Unary(UnOp::Neg, Box::new(a)), Span::default())),
+            e.clone()
+                .prop_map(|a| Expr::new(ExprKind::Unary(UnOp::Not, Box::new(a)), Span::default())),
+            (e.clone(), ident())
+                .prop_map(|(a, id)| Expr::new(ExprKind::Attr(Box::new(a), id), Span::default())),
+            (ident(), prop::collection::vec(e.clone(), 0..3))
+                .prop_map(|(id, args)| { Expr::new(ExprKind::Call(id, args), Span::default()) }),
             (ident(), e.clone(), e.clone()).prop_map(|(b, src, pred)| Expr::new(
                 ExprKind::SetComp {
                     binder: b,
@@ -101,12 +93,16 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
                 },
                 Span::default()
             )),
-            e.clone().prop_map(|a| Expr::new(
-                ExprKind::Unique(Box::new(a)),
-                Span::default()
-            )),
-            (aggop(), e.clone(), ident(), e.clone(), prop::option::of(e.clone())).prop_map(
-                |(op, value, binder, source, pred)| Expr::new(
+            e.clone()
+                .prop_map(|a| Expr::new(ExprKind::Unique(Box::new(a)), Span::default())),
+            (
+                aggop(),
+                e.clone(),
+                ident(),
+                e.clone(),
+                prop::option::of(e.clone())
+            )
+                .prop_map(|(op, value, binder, source, pred)| Expr::new(
                     ExprKind::Aggregate {
                         op,
                         value: Box::new(value),
@@ -115,8 +111,7 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
                         pred: pred.map(Box::new),
                     },
                     Span::default()
-                )
-            ),
+                )),
             (
                 prop_oneof![Just(Quant::Exists), Just(Quant::Forall)],
                 ident(),

@@ -8,6 +8,8 @@ use asl_eval::Value;
 use perfdata::{CallId, RegionId, Store, TestRunId, VersionId};
 use rayon::prelude::*;
 use serde::Serialize;
+use std::collections::HashSet;
+use std::sync::Arc;
 
 /// Severity threshold above which a property is a *performance problem*
 /// (§4: "A performance property is a performance problem, iff its severity
@@ -95,11 +97,73 @@ impl AnalysisReport {
     }
 }
 
+/// One property instance that held, before ranking. The shared currency of
+/// the batch analyzer and the incremental online engine (`cosy-online`):
+/// both produce `HeldEntry` values through the same evaluation path and
+/// feed them to [`Analyzer::assemble_report`].
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct HeldEntry {
+    /// Property name.
+    pub property: String,
+    /// Evaluation context.
+    pub context: ContextDesc,
+    /// Severity (fraction of the basis duration).
+    pub severity: f64,
+    /// Confidence in `[0, 1]`.
+    pub confidence: f64,
+}
+
+/// Which contexts of a run to enumerate: everything (batch analysis) or
+/// only a dirty subset (incremental re-analysis after a store delta).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum ContextScope {
+    /// All regions and call sites of the version.
+    #[default]
+    All,
+    /// Only the listed regions and call sites.
+    Dirty {
+        /// Region contexts to (re-)evaluate.
+        regions: HashSet<RegionId>,
+        /// Call-site contexts to (re-)evaluate.
+        calls: HashSet<CallId>,
+    },
+}
+
+impl ContextScope {
+    /// Does the scope include region `r`?
+    pub fn has_region(&self, r: RegionId) -> bool {
+        match self {
+            ContextScope::All => true,
+            ContextScope::Dirty { regions, .. } => regions.contains(&r),
+        }
+    }
+
+    /// Does the scope include call site `c`?
+    pub fn has_call(&self, c: CallId) -> bool {
+        match self {
+            ContextScope::All => true,
+            ContextScope::Dirty { calls, .. } => calls.contains(&c),
+        }
+    }
+
+    /// True when the scope selects nothing.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            ContextScope::All => false,
+            ContextScope::Dirty { regions, calls } => regions.is_empty() && calls.is_empty(),
+        }
+    }
+}
+
+/// One enumerated property instance: property name, argument vector and
+/// the human-facing context description.
+pub type Instance = (String, Vec<Value>, ContextDesc);
+
 /// The COSY analyzer bound to one program version in a store.
 pub struct Analyzer<'s> {
     store: &'s Store,
     version: VersionId,
-    spec: CheckedSpec,
+    spec: Arc<CheckedSpec>,
     basis: RegionId,
 }
 
@@ -107,20 +171,31 @@ impl<'s> Analyzer<'s> {
     /// Create an analyzer with the standard suite; the ranking basis is the
     /// main region of the version.
     pub fn new(store: &'s Store, version: VersionId) -> Result<Self, String> {
+        Self::with_spec(store, version, Arc::new(standard_suite()))
+    }
+
+    /// Create an analyzer with a pre-parsed shared suite. The online engine
+    /// re-binds analyzers on every flush; sharing the [`CheckedSpec`] via
+    /// `Arc` keeps that re-binding free of ASL re-parsing.
+    pub fn with_spec(
+        store: &'s Store,
+        version: VersionId,
+        spec: Arc<CheckedSpec>,
+    ) -> Result<Self, String> {
         let basis = store
             .main_region(version)
             .ok_or_else(|| "version has no main region".to_string())?;
         Ok(Analyzer {
             store,
             version,
-            spec: standard_suite(),
+            spec,
             basis,
         })
     }
 
     /// Use a custom checked suite (must be based on the COSY data model).
     pub fn with_suite(mut self, spec: CheckedSpec) -> Self {
-        self.spec = spec;
+        self.spec = Arc::new(spec);
         self
     }
 
@@ -133,6 +208,16 @@ impl<'s> Analyzer<'s> {
     /// The checked suite in use.
     pub fn spec(&self) -> &CheckedSpec {
         &self.spec
+    }
+
+    /// The checked suite as a shareable handle.
+    pub fn shared_spec(&self) -> Arc<CheckedSpec> {
+        Arc::clone(&self.spec)
+    }
+
+    /// The ranking basis region.
+    pub fn basis(&self) -> RegionId {
+        self.basis
     }
 
     /// Regions of the analyzed version (all functions).
@@ -160,7 +245,15 @@ impl<'s> Analyzer<'s> {
 
     /// Enumerate all (property, argument-vector, context) instances for one
     /// run. Properties not present in the suite spec are skipped.
-    pub fn instances(&self, run: TestRunId) -> Vec<(String, Vec<Value>, ContextDesc)> {
+    pub fn instances(&self, run: TestRunId) -> Vec<Instance> {
+        self.instances_scoped(run, &ContextScope::All)
+    }
+
+    /// Enumerate the property instances of one run restricted to a context
+    /// scope. `ContextScope::All` yields the full batch cross-product; a
+    /// dirty scope yields only the instances whose region/call context is
+    /// listed — the unit of work of incremental re-analysis.
+    pub fn instances_scoped(&self, run: TestRunId, scope: &ContextScope) -> Vec<Instance> {
         let mut out = Vec::new();
         let basis = Value::region(self.basis);
         for info in SUITE {
@@ -170,6 +263,9 @@ impl<'s> Analyzer<'s> {
             match info.contexts {
                 ContextSelector::AllRegions => {
                     for r in self.regions() {
+                        if !scope.has_region(r) {
+                            continue;
+                        }
                         out.push((
                             info.name.to_string(),
                             vec![Value::region(r), Value::run(run), basis.clone()],
@@ -184,6 +280,9 @@ impl<'s> Analyzer<'s> {
                 }
                 sel @ (ContextSelector::BarrierCalls | ContextSelector::AllCalls) => {
                     for c in self.calls(sel) {
+                        if !scope.has_call(c) {
+                            continue;
+                        }
                         let call = &self.store.calls[c.index()];
                         let callee = &self.store.functions[call.callee.index()].name;
                         let site = &self.store.regions[call.calling_reg.index()].name;
@@ -204,6 +303,109 @@ impl<'s> Analyzer<'s> {
         out
     }
 
+    /// Total number of property instances a full pass over one run would
+    /// enumerate (without building them). Lets the incremental engine keep
+    /// batch-identical `skipped` statistics at negligible cost.
+    pub fn instance_count(&self, _run: TestRunId) -> usize {
+        let regions = self.regions().len();
+        let mut count = 0;
+        for info in SUITE {
+            if self.spec.property(info.name).is_none() {
+                continue;
+            }
+            count += match info.contexts {
+                ContextSelector::AllRegions => regions,
+                sel @ (ContextSelector::BarrierCalls | ContextSelector::AllCalls) => {
+                    self.calls(sel).len()
+                }
+            };
+        }
+        count
+    }
+
+    /// Evaluate a set of enumerated instances on a prepared backend, in
+    /// parallel. The result is aligned with `instances`: `Some(entry)` for
+    /// an instance that held with positive severity, `None` for one that
+    /// did not hold or was not applicable. Both the batch [`Self::analyze`]
+    /// and the incremental engine go through this single code path.
+    pub fn evaluate_instances(
+        &self,
+        prepared: &PreparedBackend<'_>,
+        instances: &[Instance],
+    ) -> Result<Vec<Option<HeldEntry>>, String> {
+        let results: Vec<Result<Option<HeldEntry>, String>> = instances
+            .par_iter()
+            .map(|(prop, args, ctx)| match prepared.eval(prop, args)? {
+                Some(o) if o.holds && o.severity > 0.0 => Ok(Some(HeldEntry {
+                    property: prop.clone(),
+                    context: ctx.clone(),
+                    severity: o.severity,
+                    confidence: o.confidence,
+                })),
+                _ => Ok(None),
+            })
+            .collect();
+        results.into_iter().collect()
+    }
+
+    /// Rank held entries into a complete report. The ordering is total and
+    /// deterministic — severity descending, then property name, label and
+    /// context ids — so a report assembled incrementally from merged
+    /// entries is identical to one assembled from a full batch pass
+    /// (rank-stability of the online engine).
+    pub fn assemble_report(
+        &self,
+        run: TestRunId,
+        mut held: Vec<HeldEntry>,
+        threshold: ProblemThreshold,
+        skipped: usize,
+    ) -> AnalysisReport {
+        held.sort_by(|a, b| {
+            b.severity
+                .total_cmp(&a.severity)
+                .then_with(|| a.property.cmp(&b.property))
+                .then_with(|| a.context.label.cmp(&b.context.label))
+                .then_with(|| a.context.region.cmp(&b.context.region))
+                .then_with(|| a.context.call.cmp(&b.context.call))
+        });
+
+        let entries: Vec<RankedEntry> = held
+            .into_iter()
+            .enumerate()
+            .map(|(i, e)| RankedEntry {
+                rank: i + 1,
+                property: e.property,
+                context: e.context,
+                severity: e.severity,
+                confidence: e.confidence,
+                is_problem: e.severity > threshold.0,
+            })
+            .collect();
+
+        let basis_duration = self.store.duration(self.basis, run).unwrap_or(0.0);
+        let total_cost = entries
+            .iter()
+            .find(|e| e.property == "SublinearSpeedup" && e.context.region == Some(self.basis.0))
+            .map(|e| e.severity)
+            .unwrap_or(0.0);
+        let reference_pe = self
+            .store
+            .min_pe_run(self.version)
+            .map(|r| self.store.runs[r.index()].no_pe)
+            .unwrap_or(0);
+
+        AnalysisReport {
+            program: self.store.program_of(self.version).name.clone(),
+            no_pe: self.store.runs[run.index()].no_pe,
+            reference_pe,
+            basis_duration,
+            total_cost,
+            threshold,
+            entries,
+            skipped,
+        }
+    }
+
     /// Run the full analysis of one test run.
     pub fn analyze(
         &self,
@@ -213,82 +415,16 @@ impl<'s> Analyzer<'s> {
     ) -> Result<AnalysisReport, String> {
         let prepared = PreparedBackend::prepare(backend, &self.spec, self.store)?;
         let instances = self.instances(run);
-
-        // Evaluate in parallel; contexts are independent.
-        type Held = (String, ContextDesc, f64, f64);
-        let results: Vec<Result<Option<Held>, String>> = instances
-            .par_iter()
-            .map(|(prop, args, ctx)| {
-                match prepared.eval(prop, args)? {
-                    Some(o) if o.holds && o.severity > 0.0 => {
-                        Ok(Some((prop.clone(), ctx.clone(), o.severity, o.confidence)))
-                    }
-                    Some(_) => Ok(None),
-                    None => Ok(None),
-                }
-            })
-            .collect();
-
+        let outcomes = self.evaluate_instances(&prepared, &instances)?;
         let mut skipped = 0usize;
         let mut held = Vec::new();
-        for (r, (prop, args, _)) in results.into_iter().zip(instances.iter()) {
-            match r {
-                Ok(Some(entry)) => held.push(entry),
-                Ok(None) => {
-                    // Distinguish "not applicable" from "did not hold" only
-                    // for the statistic; re-query cheaply via the prepared
-                    // backend is wasteful, so count both as skipped-or-quiet.
-                    let _ = (prop, args);
-                    skipped += 1;
-                }
-                Err(e) => return Err(e),
+        for outcome in outcomes {
+            match outcome {
+                Some(entry) => held.push(entry),
+                None => skipped += 1,
             }
         }
-
-        // Deterministic ranking: severity desc, then name, then label.
-        held.sort_by(|a, b| {
-            b.2.total_cmp(&a.2)
-                .then_with(|| a.0.cmp(&b.0))
-                .then_with(|| a.1.label.cmp(&b.1.label))
-        });
-
-        let entries: Vec<RankedEntry> = held
-            .into_iter()
-            .enumerate()
-            .map(|(i, (property, context, severity, confidence))| RankedEntry {
-                rank: i + 1,
-                property,
-                context,
-                severity,
-                confidence,
-                is_problem: severity > threshold.0,
-            })
-            .collect();
-
-        let basis_duration = self.store.duration(self.basis, run).unwrap_or(0.0);
-        let total_cost = entries
-            .iter()
-            .find(|e| {
-                e.property == "SublinearSpeedup" && e.context.region == Some(self.basis.0)
-            })
-            .map(|e| e.severity)
-            .unwrap_or(0.0);
-        let reference_pe = self
-            .store
-            .min_pe_run(self.version)
-            .map(|r| self.store.runs[r.index()].no_pe)
-            .unwrap_or(0);
-
-        Ok(AnalysisReport {
-            program: self.store.program_of(self.version).name.clone(),
-            no_pe: self.store.runs[run.index()].no_pe,
-            reference_pe,
-            basis_duration,
-            total_cost,
-            threshold,
-            entries,
-            skipped,
-        })
+        Ok(self.assemble_report(run, held, threshold, skipped))
     }
 }
 

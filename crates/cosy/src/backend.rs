@@ -9,8 +9,7 @@
 use asl_core::check::CheckedSpec;
 use asl_eval::{CosyData, EvalError, Interpreter, PropertyOutcome, Value};
 use asl_sql::{
-    compile_batch, compile_property, eval_batch, eval_compiled, generate_schema, loader,
-    SchemaInfo,
+    compile_batch, compile_property, eval_batch, eval_compiled, generate_schema, loader, SchemaInfo,
 };
 use perfdata::Store;
 use reldb::Database;
@@ -126,10 +125,7 @@ impl<'a> PreparedBackend<'a> {
                 let key: BatchKey = (prop.to_string(), run, basis);
                 let mut cache = cache.lock().map_err(|e| e.to_string())?;
                 if !cache.contains_key(&key) {
-                    let fixed = [
-                        (1usize, args[1].clone()),
-                        (2usize, args[2].clone()),
-                    ];
+                    let fixed = [(1usize, args[1].clone()), (2usize, args[2].clone())];
                     let bc = compile_batch(spec, schema, prop, 0, &fixed, None)
                         .map_err(|e| e.to_string())?;
                     let outcomes = eval_batch(db, &bc).map_err(|e| e.to_string())?;

@@ -45,6 +45,9 @@ pub mod backend;
 pub mod report;
 pub mod suite;
 
-pub use analyzer::{AnalysisReport, Analyzer, ContextDesc, ProblemThreshold, RankedEntry};
+pub use analyzer::{
+    AnalysisReport, Analyzer, ContextDesc, ContextScope, HeldEntry, Instance, ProblemThreshold,
+    RankedEntry,
+};
 pub use backend::Backend;
 pub use suite::{standard_suite, standard_suite_source, ContextSelector, PropertyInfo};

@@ -27,9 +27,7 @@ pub fn render_text(report: &AnalysisReport) -> String {
     );
     out.push('\n');
 
-    let header = [
-        "rank", "property", "context", "severity", "conf", "problem",
-    ];
+    let header = ["rank", "property", "context", "severity", "conf", "problem"];
     let mut rows: Vec<[String; 6]> = Vec::with_capacity(report.entries.len());
     for e in &report.entries {
         rows.push([

@@ -255,7 +255,12 @@ mod tests {
     #[test]
     fn paper_properties_take_region_run_basis() {
         let spec = standard_suite();
-        for name in ["SublinearSpeedup", "MeasuredCost", "UnmeasuredCost", "SyncCost"] {
+        for name in [
+            "SublinearSpeedup",
+            "MeasuredCost",
+            "UnmeasuredCost",
+            "SyncCost",
+        ] {
             let p = spec.property(name).unwrap();
             let tys: Vec<String> = p.params.iter().map(|x| x.ty.to_string()).collect();
             assert_eq!(tys, ["Region", "TestRun", "Region"], "{name}");

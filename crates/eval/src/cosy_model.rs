@@ -124,7 +124,10 @@ impl<'s> CosyData<'s> {
     fn bad_attr(obj: &ObjRef, attr: &str) -> EvalError {
         EvalError::new(
             EvalErrorKind::Unknown,
-            format!("class `{}` has no attribute `{attr}` (object {obj})", obj.class),
+            format!(
+                "class `{}` has no attribute `{attr}` (object {obj})",
+                obj.class
+            ),
         )
     }
 
@@ -378,10 +381,7 @@ mod tests {
             let val = interp
                 .call_function(
                     "BarrierTime",
-                    &[
-                        Value::obj("Region", i as u32),
-                        Value::run(run16),
-                    ],
+                    &[Value::obj("Region", i as u32), Value::run(run16)],
                 )
                 .unwrap();
             best = best.max(val.as_f64().unwrap());

@@ -508,7 +508,10 @@ impl<'a, M: ObjectModel> Interpreter<'a, M> {
             }
             AggOp::Avg => {
                 if vals.is_empty() {
-                    return Err(EvalError::new(EvalErrorKind::EmptySet, "AVG of an empty set"));
+                    return Err(EvalError::new(
+                        EvalErrorKind::EmptySet,
+                        "AVG of an empty set",
+                    ));
                 }
                 let mut acc = 0.0;
                 for v in &vals {
@@ -586,11 +589,7 @@ impl<'a, M: ObjectModel> Interpreter<'a, M> {
                 let ord = l.asl_cmp(&r).ok_or_else(|| {
                     EvalError::new(
                         EvalErrorKind::Type,
-                        format!(
-                            "cannot order {} and {}",
-                            l.type_name(),
-                            r.type_name()
-                        ),
+                        format!("cannot order {} and {}", l.type_name(), r.type_name()),
                     )
                 })?;
                 let b = match op {
@@ -602,25 +601,23 @@ impl<'a, M: ObjectModel> Interpreter<'a, M> {
                 };
                 Ok(Value::Bool(b))
             }
-            BinOp::Add | BinOp::Sub | BinOp::Mul => {
-                match (&l, &r) {
-                    (Value::Int(a), Value::Int(b)) => Ok(Value::Int(match op {
+            BinOp::Add | BinOp::Sub | BinOp::Mul => match (&l, &r) {
+                (Value::Int(a), Value::Int(b)) => Ok(Value::Int(match op {
+                    BinOp::Add => a + b,
+                    BinOp::Sub => a - b,
+                    BinOp::Mul => a * b,
+                    _ => unreachable!(),
+                })),
+                _ => {
+                    let (a, b) = both_numbers(&l, &r, op.symbol())?;
+                    Ok(Value::Float(match op {
                         BinOp::Add => a + b,
                         BinOp::Sub => a - b,
                         BinOp::Mul => a * b,
                         _ => unreachable!(),
-                    })),
-                    _ => {
-                        let (a, b) = both_numbers(&l, &r, op.symbol())?;
-                        Ok(Value::Float(match op {
-                            BinOp::Add => a + b,
-                            BinOp::Sub => a - b,
-                            BinOp::Mul => a * b,
-                            _ => unreachable!(),
-                        }))
-                    }
+                    }))
                 }
-            }
+            },
             // `/` always yields float (see the checker's documented rule).
             BinOp::Div => {
                 let (a, b) = both_numbers(&l, &r, "/")?;
@@ -700,7 +697,7 @@ mod tests {
         class Point { float X; int Y; }
     "#;
 
-    fn interp_src(extra: &str) -> (CheckedSpec, ) {
+    fn interp_src(extra: &str) -> (CheckedSpec,) {
         let src = format!("{MODEL}\n{extra}");
         (parse_and_check(&src).unwrap_or_else(|d| panic!("{}", d.render(&src))),)
     }
@@ -719,17 +716,15 @@ mod tests {
 
     #[test]
     fn sum_with_predicate() {
-        let v =
-            eval_with_cloud("float F(Cloud c) = SUM(p.X WHERE p IN c.Points AND p.Y > 10);")
-                .unwrap();
+        let v = eval_with_cloud("float F(Cloud c) = SUM(p.X WHERE p IN c.Points AND p.Y > 10);")
+            .unwrap();
         assert_eq!(v, Value::Float(5.0));
     }
 
     #[test]
     fn empty_sum_is_zero() {
-        let v =
-            eval_with_cloud("float F(Cloud c) = SUM(p.X WHERE p IN c.Points AND p.Y > 99);")
-                .unwrap();
+        let v = eval_with_cloud("float F(Cloud c) = SUM(p.X WHERE p IN c.Points AND p.Y > 99);")
+            .unwrap();
         assert_eq!(v.as_f64().unwrap(), 0.0);
     }
 
@@ -750,10 +745,8 @@ mod tests {
 
     #[test]
     fn comprehension_and_unique() {
-        let v = eval_with_cloud(
-            "Point F(Cloud c) = UNIQUE({p IN c.Points WITH p.X == 2.0});",
-        )
-        .unwrap();
+        let v =
+            eval_with_cloud("Point F(Cloud c) = UNIQUE({p IN c.Points WITH p.X == 2.0});").unwrap();
         assert_eq!(v, Value::obj("Point", 1));
     }
 
@@ -778,11 +771,9 @@ mod tests {
         let v =
             eval_with_cloud("bool F(Cloud c) = EXISTS(p IN c.Points WITH p.X == 3.0);").unwrap();
         assert_eq!(v, Value::Bool(true));
-        let v =
-            eval_with_cloud("bool F(Cloud c) = FORALL(p IN c.Points WITH p.X > 0.0);").unwrap();
+        let v = eval_with_cloud("bool F(Cloud c) = FORALL(p IN c.Points WITH p.X > 0.0);").unwrap();
         assert_eq!(v, Value::Bool(true));
-        let v =
-            eval_with_cloud("bool F(Cloud c) = FORALL(p IN c.Points WITH p.X > 1.5);").unwrap();
+        let v = eval_with_cloud("bool F(Cloud c) = FORALL(p IN c.Points WITH p.X > 1.5);").unwrap();
         assert_eq!(v, Value::Bool(false));
     }
 
@@ -794,11 +785,11 @@ mod tests {
 
     #[test]
     fn constants_are_evaluated_once() {
-        let (spec,) = interp_src(
-            "float Threshold = 0.25;\nfloat F(Cloud c) = Threshold * 4.0;",
-        );
+        let (spec,) = interp_src("float Threshold = 0.25;\nfloat F(Cloud c) = Threshold * 4.0;");
         let interp = Interpreter::new(&spec, &Points).unwrap();
-        let v = interp.call_function("F", &[Value::obj("Cloud", 0)]).unwrap();
+        let v = interp
+            .call_function("F", &[Value::obj("Cloud", 0)])
+            .unwrap();
         assert_eq!(v, Value::Float(1.0));
     }
 
@@ -843,7 +834,9 @@ mod tests {
             "#,
         );
         let interp = Interpreter::new(&spec, &Points).unwrap();
-        let o = interp.eval_property("Never", &[Value::obj("Cloud", 0)]).unwrap();
+        let o = interp
+            .eval_property("Never", &[Value::obj("Cloud", 0)])
+            .unwrap();
         assert!(!o.holds);
         assert_eq!(o.severity, 0.0);
         assert_eq!(o.confidence, 0.0);
@@ -903,9 +896,8 @@ mod tests {
 
     #[test]
     fn wrong_arity_property_call() {
-        let (spec,) = interp_src(
-            "PROPERTY P(Cloud c) { CONDITION: TRUE; CONFIDENCE: 1; SEVERITY: 1; }",
-        );
+        let (spec,) =
+            interp_src("PROPERTY P(Cloud c) { CONDITION: TRUE; CONFIDENCE: 1; SEVERITY: 1; }");
         let interp = Interpreter::new(&spec, &Points).unwrap();
         let e = interp.eval_property("P", &[]).unwrap_err();
         assert_eq!(e.kind, EvalErrorKind::Type);

@@ -96,9 +96,7 @@ impl Value {
     /// `Null` equals only `Null`.
     pub fn asl_eq(&self, other: &Value) -> bool {
         match (self, other) {
-            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
-                *a as f64 == *b
-            }
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => *a as f64 == *b,
             (a, b) => a == b,
         }
     }

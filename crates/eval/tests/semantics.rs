@@ -19,10 +19,7 @@ fn fixture() -> (Store, perfdata::VersionId) {
     (store, v)
 }
 
-fn interp_with<'a>(
-    src: &str,
-    data: &'a CosyData<'a>,
-) -> (asl_core::check::CheckedSpec, ()) {
+fn interp_with<'a>(src: &str, data: &'a CosyData<'a>) -> (asl_core::check::CheckedSpec, ()) {
     let full = format!("{COSY_DATA_MODEL}\n{src}");
     let spec = parse_and_check(&full).unwrap_or_else(|d| panic!("{}", d.render(&full)));
     let _ = data;
@@ -49,7 +46,9 @@ fn datetime_ordering_on_run_start() {
         Value::Bool(true)
     );
     assert_eq!(
-        interp.call_function("StartedBefore", &[late, early]).unwrap(),
+        interp
+            .call_function("StartedBefore", &[late, early])
+            .unwrap(),
         Value::Bool(false)
     );
 }
@@ -58,10 +57,7 @@ fn datetime_ordering_on_run_start() {
 fn string_equality_on_names() {
     let (store, _) = fixture();
     let data = CosyData::new(&store);
-    let (spec, _) = interp_with(
-        "bool IsBarrier(Function f) = f.Name == \"barrier\";",
-        &data,
-    );
+    let (spec, _) = interp_with("bool IsBarrier(Function f) = f.Name == \"barrier\";", &data);
     let interp = Interpreter::new(&spec, &data).unwrap();
     let barrier_idx = store
         .functions

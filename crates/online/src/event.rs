@@ -1,0 +1,349 @@
+//! The streaming trace-event model.
+//!
+//! A measurement producer (an instrumented run, or a monitoring daemon
+//! forwarding Apprentice summaries) emits a stream of [`TraceEvent`]s. The
+//! model is *self-describing*: static structure (functions, regions, call
+//! sites) is introduced by the events that first mention it, keyed by
+//! stable names and source lines rather than database ids, so independent
+//! producers never need to coordinate id allocation. Only two producer-side
+//! identifiers exist: a [`RunKey`] unique per test run and a [`VersionTag`]
+//! unique per program build, both plain `u64`s minted by the producer.
+
+use perfdata::{DateTime, RegionKind, TimingType};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Producer-assigned identifier of one test run, unique within a session.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct RunKey(pub u64);
+
+impl fmt::Display for RunKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "runkey{}", self.0)
+    }
+}
+
+/// Producer-assigned identifier of one program build (version), unique
+/// within a session. Two runs of the same build share a tag.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct VersionTag(pub u64);
+
+impl fmt::Display for VersionTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vtag{}", self.0)
+    }
+}
+
+/// Stable identity of a region inside its function: name + first source
+/// line (names alone may repeat between loop nests).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RegionRef {
+    /// Region name (e.g. `solver:loop@12`).
+    pub name: String,
+    /// First source line.
+    pub first_line: u32,
+}
+
+impl RegionRef {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, first_line: u32) -> Self {
+        RegionRef {
+            name: name.into(),
+            first_line,
+        }
+    }
+}
+
+/// Full definition of a region, carried by [`TraceEvent::RegionEntered`]
+/// the first time the region is observed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionDef {
+    /// Region name.
+    pub name: String,
+    /// Enclosing region, `None` for the subprogram root. Must refer to a
+    /// region already introduced for the same function (streams describe
+    /// structure top-down).
+    pub parent: Option<RegionRef>,
+    /// Construct kind.
+    pub kind: RegionKind,
+    /// First source line.
+    pub first_line: u32,
+    /// Last source line.
+    pub last_line: u32,
+}
+
+/// Across-process statistics of one call site in one run — the streaming
+/// form of [`perfdata::CallTiming`] without database ids.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CallStats {
+    /// Minimum pass count over processes.
+    pub min_count: f64,
+    /// Maximum pass count over processes.
+    pub max_count: f64,
+    /// Mean pass count over processes.
+    pub mean_count: f64,
+    /// Standard deviation of the pass count.
+    pub stdev_count: f64,
+    /// Processor with the minimum pass count.
+    pub min_count_pe: u32,
+    /// Processor with the maximum pass count.
+    pub max_count_pe: u32,
+    /// Minimum time spent in the callee (seconds).
+    pub min_time: f64,
+    /// Maximum time spent in the callee.
+    pub max_time: f64,
+    /// Mean time spent in the callee.
+    pub mean_time: f64,
+    /// Standard deviation of the time spent.
+    pub stdev_time: f64,
+    /// Processor with the minimum time.
+    pub min_time_pe: u32,
+    /// Processor with the maximum time.
+    pub max_time_pe: u32,
+}
+
+/// One event of a measurement stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A test run began. Introduces the run, and — on first sight of the
+    /// version tag — the program version itself.
+    RunStarted {
+        /// Producer id of the run.
+        run: RunKey,
+        /// Producer id of the build.
+        version: VersionTag,
+        /// Application name.
+        program: String,
+        /// Compilation timestamp of the build.
+        compiled_at: DateTime,
+        /// Source text (or structural sketch) of the build; only consulted
+        /// the first time the version tag is seen.
+        source: String,
+        /// Run start timestamp.
+        start: DateTime,
+        /// Processor count of the run.
+        no_pe: u32,
+        /// Clock speed in MHz.
+        clockspeed: u32,
+    },
+    /// A region was entered for the first time in a run: carries the
+    /// region definition. Idempotent — re-announcing a known region is a
+    /// no-op, so every run can (and should) describe its full structure.
+    RegionEntered {
+        /// The announcing run.
+        run: RunKey,
+        /// Containing function name.
+        function: String,
+        /// The region definition.
+        region: RegionDef,
+    },
+    /// A region's summed-over-processes timing totals, emitted when the
+    /// region completed (or as a running refinement: later events for the
+    /// same region overwrite earlier totals).
+    RegionExited {
+        /// The measured run.
+        run: RunKey,
+        /// Containing function name.
+        function: String,
+        /// Which region.
+        region: RegionRef,
+        /// Exclusive computing time (seconds, summed over processes).
+        excl: f64,
+        /// Inclusive computing time.
+        incl: f64,
+        /// Measured overhead (inclusive of the subtree).
+        ovhd: f64,
+    },
+    /// Time spent in one overhead category by a region (summed over
+    /// processes). Later samples for the same (region, type) overwrite.
+    TypedSample {
+        /// The measured run.
+        run: RunKey,
+        /// Containing function name.
+        function: String,
+        /// Which region.
+        region: RegionRef,
+        /// Overhead category.
+        ty: TimingType,
+        /// Seconds, summed over all processes.
+        time: f64,
+    },
+    /// Call-site statistics for one run. Introduces the call site (and the
+    /// callee function) on first sight.
+    CallSiteStat {
+        /// The measured run.
+        run: RunKey,
+        /// Calling function name.
+        caller: String,
+        /// Called function name (e.g. the `barrier` runtime routine).
+        callee: String,
+        /// Region containing the call site.
+        site: RegionRef,
+        /// The statistics.
+        stats: CallStats,
+    },
+    /// The run completed; its report can be finalized.
+    RunFinished {
+        /// The finished run.
+        run: RunKey,
+    },
+}
+
+impl TraceEvent {
+    /// The run this event belongs to — the sharding key of the ingestion
+    /// pipeline.
+    pub fn run_key(&self) -> RunKey {
+        match self {
+            TraceEvent::RunStarted { run, .. }
+            | TraceEvent::RegionEntered { run, .. }
+            | TraceEvent::RegionExited { run, .. }
+            | TraceEvent::TypedSample { run, .. }
+            | TraceEvent::CallSiteStat { run, .. }
+            | TraceEvent::RunFinished { run } => *run,
+        }
+    }
+
+    /// The same event re-addressed to another run (producer-side retry and
+    /// replay tooling).
+    pub fn with_run(mut self, key: RunKey) -> TraceEvent {
+        match &mut self {
+            TraceEvent::RunStarted { run, .. }
+            | TraceEvent::RegionEntered { run, .. }
+            | TraceEvent::RegionExited { run, .. }
+            | TraceEvent::TypedSample { run, .. }
+            | TraceEvent::CallSiteStat { run, .. }
+            | TraceEvent::RunFinished { run } => *run = key,
+        }
+        self
+    }
+
+    /// Short event-kind name for diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::RunStarted { .. } => "run-started",
+            TraceEvent::RegionEntered { .. } => "region-entered",
+            TraceEvent::RegionExited { .. } => "region-exited",
+            TraceEvent::TypedSample { .. } => "typed-sample",
+            TraceEvent::CallSiteStat { .. } => "call-site-stat",
+            TraceEvent::RunFinished { .. } => "run-finished",
+        }
+    }
+}
+
+/// An ingestion failure. Events referring to structure that was never
+/// announced are rejected rather than guessed at.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IngestError {
+    /// An event referenced a run with no preceding `RunStarted`.
+    UnknownRun(RunKey),
+    /// A run key was reused by a second `RunStarted`.
+    DuplicateRun(RunKey),
+    /// An event referenced a function never introduced for its version.
+    UnknownFunction {
+        /// The offending run.
+        run: RunKey,
+        /// The unresolved function name.
+        function: String,
+    },
+    /// An event referenced a region never introduced.
+    UnknownRegion {
+        /// The offending run.
+        run: RunKey,
+        /// Containing function name.
+        function: String,
+        /// The unresolved region reference.
+        region: RegionRef,
+    },
+    /// A `RegionEntered` referenced an unknown parent region.
+    UnknownParent {
+        /// The offending run.
+        run: RunKey,
+        /// Containing function name.
+        function: String,
+        /// The unresolved parent reference.
+        parent: RegionRef,
+    },
+    /// The ingestion pipeline is shut down.
+    Closed,
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::UnknownRun(k) => write!(f, "unknown run {k}"),
+            IngestError::DuplicateRun(k) => write!(f, "duplicate RunStarted for {k}"),
+            IngestError::UnknownFunction { run, function } => {
+                write!(f, "unknown function `{function}` in {run}")
+            }
+            IngestError::UnknownRegion {
+                run,
+                function,
+                region,
+            } => write!(
+                f,
+                "unknown region `{}`@{} of `{function}` in {run}",
+                region.name, region.first_line
+            ),
+            IngestError::UnknownParent {
+                run,
+                function,
+                parent,
+            } => write!(
+                f,
+                "unknown parent region `{}`@{} of `{function}` in {run}",
+                parent.name, parent.first_line
+            ),
+            IngestError::Closed => write!(f, "ingestion pipeline is closed"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_key_extraction_covers_all_variants() {
+        let k = RunKey(7);
+        let events = [
+            TraceEvent::RunStarted {
+                run: k,
+                version: VersionTag(1),
+                program: "x".into(),
+                compiled_at: DateTime::from_secs(0),
+                source: String::new(),
+                start: DateTime::from_secs(1),
+                no_pe: 4,
+                clockspeed: 450,
+            },
+            TraceEvent::RunFinished { run: k },
+            TraceEvent::TypedSample {
+                run: k,
+                function: "main".into(),
+                region: RegionRef::new("main", 1),
+                ty: TimingType::Barrier,
+                time: 0.5,
+            },
+        ];
+        for e in &events {
+            assert_eq!(e.run_key(), k, "{}", e.kind());
+        }
+    }
+
+    #[test]
+    fn errors_render() {
+        let e = IngestError::UnknownRegion {
+            run: RunKey(3),
+            function: "main".into(),
+            region: RegionRef::new("loop", 10),
+        };
+        assert!(e.to_string().contains("loop"));
+        assert!(e.to_string().contains("runkey3"));
+    }
+}

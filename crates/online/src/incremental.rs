@@ -1,0 +1,319 @@
+//! Incremental re-evaluation of the COSY property suite over a changing
+//! store.
+//!
+//! The engine keeps, per test run, the set of property instances that
+//! currently *hold* (as [`HeldEntry`] values keyed by property name and
+//! context id). A [`StoreDelta`] names the contexts whose inputs changed;
+//! only those instances are re-evaluated — through exactly the same
+//! [`Analyzer::instances_scoped`] → [`Analyzer::evaluate_instances`] →
+//! [`Analyzer::assemble_report`] path the batch analyzer uses — and the
+//! results are merged into the held-set before the run's live
+//! [`AnalysisReport`] is re-assembled. Because the assembly step sorts with
+//! a total, deterministic order, an incrementally maintained report is
+//! bit-identical to a batch re-analysis of the same store (enforced by the
+//! equivalence proptest in `tests/`).
+
+use crate::builder::StoreDelta;
+use asl_core::check::CheckedSpec;
+use cosy::backend::{Backend, PreparedBackend};
+use cosy::{AnalysisReport, Analyzer, ContextScope, HeldEntry, ProblemThreshold};
+use perfdata::{CallId, RegionId, Store, TestRunId, VersionId};
+use rayon::prelude::*;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Counters describing the work the incremental engine actually did —
+/// the observable difference to batch re-analysis.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IncrementalStats {
+    /// Number of flushes processed.
+    pub flushes: u64,
+    /// Runs whose report was re-assembled.
+    pub runs_reevaluated: u64,
+    /// Runs that needed a full (all-context) evaluation.
+    pub full_reevaluations: u64,
+    /// Property instances evaluated (the dominant cost).
+    pub instances_evaluated: u64,
+}
+
+/// Identity of a held entry within one run: (property, region, call).
+type EntryKey = (String, Option<u32>, Option<u32>);
+
+#[derive(Debug, Default)]
+struct RunState {
+    entries: HashMap<EntryKey, HeldEntry>,
+    report: Option<AnalysisReport>,
+}
+
+/// The live incremental analyzer. Owns no store — it is driven with
+/// `(store, delta)` pairs by the session layer after each applied batch.
+pub struct IncrementalAnalyzer {
+    spec: Arc<CheckedSpec>,
+    backend: Backend,
+    threshold: ProblemThreshold,
+    states: HashMap<TestRunId, RunState>,
+    basis: HashMap<VersionId, RegionId>,
+    /// Runs whose version had no analyzable structure yet; retried on the
+    /// next flush.
+    pending_full: HashSet<TestRunId>,
+    /// Runs whose producer declared them finished (`RunFinished` seen).
+    finished: HashSet<TestRunId>,
+    stats: IncrementalStats,
+}
+
+impl IncrementalAnalyzer {
+    /// Engine with the standard suite and the interpreter backend.
+    pub fn new(threshold: ProblemThreshold) -> Self {
+        Self::with_spec(Arc::new(cosy::suite::standard_suite()), threshold)
+    }
+
+    /// Engine with a shared pre-checked suite.
+    pub fn with_spec(spec: Arc<CheckedSpec>, threshold: ProblemThreshold) -> Self {
+        IncrementalAnalyzer {
+            spec,
+            backend: Backend::Interpreter,
+            threshold,
+            states: HashMap::new(),
+            basis: HashMap::new(),
+            pending_full: HashSet::new(),
+            finished: HashSet::new(),
+            stats: IncrementalStats::default(),
+        }
+    }
+
+    /// Use a different evaluation backend. The interpreter is the natural
+    /// choice online (preparation is a cheap re-binding); the SQL backends
+    /// reload the database on every flush and only make sense for
+    /// validation.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The engine's work counters.
+    pub fn stats(&self) -> IncrementalStats {
+        self.stats
+    }
+
+    /// The shared suite.
+    pub fn spec(&self) -> Arc<CheckedSpec> {
+        Arc::clone(&self.spec)
+    }
+
+    /// The live report of a run, if any data arrived for it.
+    pub fn report(&self, run: TestRunId) -> Option<&AnalysisReport> {
+        self.states.get(&run).and_then(|s| s.report.as_ref())
+    }
+
+    /// True once the run's producer declared it finished (its report is
+    /// final unless a later run changes the version's reference
+    /// configuration).
+    pub fn is_finished(&self, run: TestRunId) -> bool {
+        self.finished.contains(&run)
+    }
+
+    /// Number of finished runs.
+    pub fn finished_count(&self) -> usize {
+        self.finished.len()
+    }
+
+    /// All live reports.
+    pub fn reports(&self) -> impl Iterator<Item = (TestRunId, &AnalysisReport)> {
+        self.states
+            .iter()
+            .filter_map(|(run, s)| s.report.as_ref().map(|r| (*run, r)))
+    }
+
+    /// Re-evaluate everything a delta invalidated and refresh the affected
+    /// reports. Returns the runs whose report changed, in ascending order.
+    pub fn flush(&mut self, store: &Store, delta: &StoreDelta) -> Result<Vec<TestRunId>, String> {
+        #[derive(Debug)]
+        enum Scope {
+            Full,
+            Partial {
+                regions: HashSet<RegionId>,
+                calls: HashSet<CallId>,
+            },
+        }
+
+        impl Scope {
+            fn add_region(&mut self, r: RegionId) {
+                if let Scope::Partial { regions, .. } = self {
+                    regions.insert(r);
+                }
+            }
+            fn add_calls(&mut self, cs: &HashSet<CallId>) {
+                if let Scope::Partial { calls, .. } = self {
+                    calls.extend(cs);
+                }
+            }
+        }
+
+        self.finished.extend(delta.finished_runs.iter().copied());
+
+        let version_of_run = |r: TestRunId| store.runs[r.index()].version;
+        let mut scopes: HashMap<VersionId, HashMap<TestRunId, Scope>> = HashMap::new();
+        let mark_full = |scopes: &mut HashMap<VersionId, HashMap<TestRunId, Scope>>,
+                         run: TestRunId| {
+            scopes
+                .entry(version_of_run(run))
+                .or_default()
+                .insert(run, Scope::Full);
+        };
+        let partial = || Scope::Partial {
+            regions: HashSet::new(),
+            calls: HashSet::new(),
+        };
+
+        for &run in delta.full_runs.iter().chain(self.pending_full.iter()) {
+            mark_full(&mut scopes, run);
+        }
+        self.pending_full.clear();
+        for &v in &delta.full_versions {
+            for &run in &store.versions[v.index()].runs {
+                mark_full(&mut scopes, run);
+            }
+        }
+        for &region in &delta.regions_all_runs {
+            let function = store.regions[region.index()].function;
+            let v = store.functions[function.index()].version;
+            for &run in &store.versions[v.index()].runs {
+                scopes
+                    .entry(v)
+                    .or_default()
+                    .entry(run)
+                    .or_insert_with(partial)
+                    .add_region(region);
+            }
+        }
+        for (&run, regions) in &delta.dirty_regions {
+            let scope = scopes
+                .entry(version_of_run(run))
+                .or_default()
+                .entry(run)
+                .or_insert_with(partial);
+            for &r in regions {
+                scope.add_region(r);
+            }
+        }
+        for (&run, calls) in &delta.dirty_calls {
+            scopes
+                .entry(version_of_run(run))
+                .or_default()
+                .entry(run)
+                .or_insert_with(partial)
+                .add_calls(calls);
+        }
+
+        // Ranking-basis audit: a changed basis identity re-bases every
+        // severity of the version.
+        let mut audit: HashSet<VersionId> = scopes.keys().copied().collect();
+        audit.extend(delta.touched_versions.iter().copied());
+        for v in audit {
+            match (self.basis.get(&v).copied(), store.main_region(v)) {
+                (_, None) => {
+                    // No structure yet: requeue any marked runs.
+                    if let Some(runs) = scopes.remove(&v) {
+                        self.pending_full.extend(runs.into_keys());
+                    }
+                }
+                (None, Some(b)) => {
+                    self.basis.insert(v, b);
+                }
+                (Some(old), Some(new)) if old != new => {
+                    self.basis.insert(v, new);
+                    let entry = scopes.entry(v).or_default();
+                    for &run in &store.versions[v.index()].runs {
+                        entry.insert(run, Scope::Full);
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        let spec = Arc::clone(&self.spec);
+        let mut updated = Vec::new();
+        let mut versions: Vec<VersionId> = scopes.keys().copied().collect();
+        versions.sort();
+
+        for v in versions {
+            let mut runs = scopes.remove(&v).expect("version scope exists");
+            let analyzer = match Analyzer::with_spec(store, v, Arc::clone(&spec)) {
+                Ok(a) => a,
+                Err(_) => {
+                    self.pending_full.extend(runs.into_keys());
+                    continue;
+                }
+            };
+            let prepared = PreparedBackend::prepare(self.backend, &spec, store)?;
+            let basis = analyzer.basis();
+
+            // A dirty basis region re-bases the whole run.
+            for scope in runs.values_mut() {
+                if let Scope::Partial { regions, .. } = scope {
+                    if regions.contains(&basis) {
+                        *scope = Scope::Full;
+                    }
+                }
+            }
+
+            let mut work: Vec<(TestRunId, ContextScope)> = runs
+                .into_iter()
+                .map(|(run, scope)| {
+                    let cs = match scope {
+                        Scope::Full => ContextScope::All,
+                        Scope::Partial { regions, calls } => ContextScope::Dirty { regions, calls },
+                    };
+                    (run, cs)
+                })
+                .collect();
+            work.sort_by_key(|(run, _)| *run);
+
+            type Updates = Vec<(EntryKey, Option<HeldEntry>)>;
+            let results: Vec<Result<(TestRunId, bool, usize, Updates), String>> = work
+                .par_iter()
+                .map(|(run, scope)| {
+                    let instances = analyzer.instances_scoped(*run, scope);
+                    let outcomes = analyzer.evaluate_instances(&prepared, &instances)?;
+                    let updates: Updates = instances
+                        .iter()
+                        .zip(outcomes)
+                        .map(|((prop, _, ctx), outcome)| {
+                            ((prop.clone(), ctx.region, ctx.call), outcome)
+                        })
+                        .collect();
+                    Ok((*run, *scope == ContextScope::All, instances.len(), updates))
+                })
+                .collect();
+
+            for result in results {
+                let (run, full, evaluated, updates) = result?;
+                let state = self.states.entry(run).or_default();
+                if full {
+                    state.entries.clear();
+                    self.stats.full_reevaluations += 1;
+                }
+                for (key, outcome) in updates {
+                    match outcome {
+                        Some(entry) => {
+                            state.entries.insert(key, entry);
+                        }
+                        None => {
+                            state.entries.remove(&key);
+                        }
+                    }
+                }
+                let skipped = analyzer.instance_count(run) - state.entries.len();
+                let held: Vec<HeldEntry> = state.entries.values().cloned().collect();
+                state.report = Some(analyzer.assemble_report(run, held, self.threshold, skipped));
+                self.stats.instances_evaluated += evaluated as u64;
+                self.stats.runs_reevaluated += 1;
+                updated.push(run);
+            }
+        }
+
+        self.stats.flushes += 1;
+        updated.sort();
+        Ok(updated)
+    }
+}

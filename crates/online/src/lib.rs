@@ -1,0 +1,99 @@
+//! # `cosy-online` — streaming trace ingestion + incremental analysis
+//!
+//! The paper's COSY workflow (§3–§4) is batch: build the complete
+//! performance database, then evaluate the ASL property suite over it.
+//! This crate turns that one-shot analyzer into an **always-on service
+//! core**: measurement events stream in from many concurrent test runs,
+//! the performance database grows live, and the ranked analysis reports
+//! stay continuously up to date — re-evaluating only what each change can
+//! actually affect.
+//!
+//! ## The event model
+//!
+//! A producer (instrumented run or monitoring daemon) emits
+//! [`TraceEvent`]s: `RunStarted`, `RegionEntered` (introducing structure),
+//! `RegionExited` (total timings), `TypedSample` (per-category overhead),
+//! `CallSiteStat` (per-call statistics) and `RunFinished`. Events are
+//! self-describing — structure is keyed by names and source lines, not
+//! database ids — so producers never coordinate id allocation; the only
+//! producer-side identifiers are a per-run [`RunKey`] and a per-build
+//! [`VersionTag`].
+//!
+//! ## Architecture
+//!
+//! ```text
+//!  producers ──▶ IngestPipeline ──▶ OnlineSession ──▶ live AnalysisReports
+//!               (sharded, bounded    (StoreBuilder      (rank-stable,
+//!                queues, per-run      + Incremental-     batch-identical)
+//!                batching)            Analyzer)
+//! ```
+//!
+//! * [`IngestPipeline`] hashes each event's run key to one of N shard
+//!   workers; shards buffer per-run batches and apply them to the session.
+//!   Queues are bounded (`std::sync::mpsc::sync_channel`), so overload
+//!   produces backpressure instead of unbounded memory growth.
+//! * [`StoreBuilder`] applies events to the live [`perfdata::Store`] via
+//!   its upsert hooks and records each change's analytical blast radius in
+//!   a [`StoreDelta`].
+//! * [`IncrementalAnalyzer`] maintains, per run, the set of property
+//!   instances that currently hold. A flush re-evaluates exactly the dirty
+//!   contexts — through the same `cosy` evaluation path the batch analyzer
+//!   uses — and re-assembles the affected reports.
+//!
+//! ## Dirty-context tracking
+//!
+//! A delta names dirty `(run, region)` and `(run, call)` contexts, plus
+//! three escalations derived from the data dependencies of the standard
+//! suite: a region whose **min-PE total** changed is dirty in every run
+//! (`SublinearSpeedup` compares all runs against it); a run at or below
+//! the version's smallest processor count dirties the **whole version**
+//! (the reference configuration changed); and a timing of the ranking
+//! **basis** region — or a change of basis identity as functions stream
+//! in — dirties whole runs, since every severity is a fraction of
+//! `Duration(Basis, t)`. These rules are what make incremental results
+//! *equal* to batch results (see `tests/equivalence.rs`), not just close.
+//!
+//! ## Example
+//!
+//! ```
+//! use online::{IngestPipeline, OnlineSession, PipelineConfig, SessionConfig, replay};
+//! use apprentice_sim::{archetypes, simulate_program, MachineModel};
+//! use std::sync::Arc;
+//!
+//! // A batch store stands in for a live producer via replay.
+//! let mut store = perfdata::Store::new();
+//! let version = simulate_program(
+//!     &mut store,
+//!     &archetypes::particle_mc(7),
+//!     &MachineModel::t3e_900(),
+//!     &[1, 4, 16],
+//! );
+//!
+//! let session = Arc::new(OnlineSession::new(SessionConfig::default()));
+//! let pipeline = IngestPipeline::new(Arc::clone(&session), PipelineConfig::default());
+//! for event in replay::replay_store(&store) {
+//!     pipeline.submit(event).unwrap();
+//! }
+//! let stats = pipeline.close().unwrap();
+//! assert!(stats.errors.is_empty());
+//!
+//! let run = store.versions[version.index()].runs[2];
+//! let report = session.report(online::replay::replay_run_key(run)).unwrap();
+//! assert!(report.bottleneck().is_some());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod builder;
+pub mod event;
+pub mod incremental;
+pub mod pipeline;
+pub mod replay;
+pub mod session;
+
+pub use builder::{StoreBuilder, StoreDelta};
+pub use event::{CallStats, IngestError, RegionDef, RegionRef, RunKey, TraceEvent, VersionTag};
+pub use incremental::{IncrementalAnalyzer, IncrementalStats};
+pub use pipeline::{IngestPipeline, PipelineConfig, PipelineStats};
+pub use session::{OnlineSession, SessionConfig, SessionStats};

@@ -1,0 +1,191 @@
+//! The sharded ingestion pipeline.
+//!
+//! Events are routed to one of `shards` worker threads by a hash of their
+//! [`RunKey`], so each run's stream is handled by exactly one worker (and
+//! stays ordered). Workers accumulate events into per-run batches and
+//! apply a batch to the shared [`OnlineSession`] when it reaches
+//! `batch_size`, when the run finishes, or on a flush barrier. Each shard's
+//! input queue is a **bounded** channel: when ingestion outruns
+//! application, [`IngestPipeline::submit`] blocks — backpressure flows to
+//! the producer instead of growing memory.
+
+use crate::event::{IngestError, RunKey, TraceEvent};
+use crate::session::OnlineSession;
+use std::collections::HashMap;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Number of shard workers (≥ 1).
+    pub shards: usize,
+    /// Events buffered per run before the batch is applied.
+    pub batch_size: usize,
+    /// Bounded capacity of each shard's input queue.
+    pub queue_capacity: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            shards: 4,
+            batch_size: 256,
+            queue_capacity: 1024,
+        }
+    }
+}
+
+/// Counters of one shard worker, aggregated in [`PipelineStats`].
+#[derive(Debug, Clone, Default)]
+struct ShardStats {
+    events: u64,
+    batches: u64,
+    errors: Vec<String>,
+}
+
+/// Aggregate pipeline outcome, returned by [`IngestPipeline::close`].
+#[derive(Debug, Clone, Default)]
+pub struct PipelineStats {
+    /// Events routed through the pipeline.
+    pub events: u64,
+    /// Batches applied to the session.
+    pub batches: u64,
+    /// Ingestion errors reported by the session (capped at 32 messages).
+    pub errors: Vec<String>,
+}
+
+enum ShardMsg {
+    Event(TraceEvent),
+    /// Apply all buffered batches, then ack.
+    Barrier(SyncSender<()>),
+}
+
+/// A running sharded ingestion front-end over an [`OnlineSession`].
+pub struct IngestPipeline {
+    session: Arc<OnlineSession>,
+    senders: Vec<SyncSender<ShardMsg>>,
+    workers: Vec<JoinHandle<ShardStats>>,
+}
+
+impl IngestPipeline {
+    /// Spawn the shard workers.
+    pub fn new(session: Arc<OnlineSession>, config: PipelineConfig) -> Self {
+        let shards = config.shards.max(1);
+        let batch_size = config.batch_size.max(1);
+        let capacity = config.queue_capacity.max(1);
+        let mut senders = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = sync_channel::<ShardMsg>(capacity);
+            let session = Arc::clone(&session);
+            senders.push(tx);
+            workers.push(std::thread::spawn(move || {
+                shard_worker(&session, rx, batch_size)
+            }));
+        }
+        IngestPipeline {
+            session,
+            senders,
+            workers,
+        }
+    }
+
+    /// The shared session this pipeline feeds.
+    pub fn session(&self) -> &Arc<OnlineSession> {
+        &self.session
+    }
+
+    fn shard_of(&self, key: RunKey) -> usize {
+        // splitmix64-style finalizer: adjacent producer keys spread evenly.
+        let mut h = key.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        (h % self.senders.len() as u64) as usize
+    }
+
+    /// Submit one event. Blocks when the target shard's queue is full
+    /// (bounded-channel backpressure).
+    pub fn submit(&self, event: TraceEvent) -> Result<(), IngestError> {
+        let shard = self.shard_of(event.run_key());
+        self.senders[shard]
+            .send(ShardMsg::Event(event))
+            .map_err(|_| IngestError::Closed)
+    }
+
+    /// Drain every shard's buffers into the session, then run one analysis
+    /// flush. Returns the runs whose report changed.
+    pub fn flush(&self) -> Result<Vec<RunKey>, String> {
+        let mut acks = Vec::new();
+        for tx in &self.senders {
+            let (ack_tx, ack_rx) = sync_channel::<()>(1);
+            tx.send(ShardMsg::Barrier(ack_tx))
+                .map_err(|_| "pipeline closed".to_string())?;
+            acks.push(ack_rx);
+        }
+        for ack in acks {
+            ack.recv().map_err(|_| "shard worker died".to_string())?;
+        }
+        self.session.flush()
+    }
+
+    /// Shut down: drain all buffers, join the workers, run a final flush,
+    /// and return the aggregate statistics.
+    pub fn close(self) -> Result<PipelineStats, String> {
+        drop(self.senders);
+        let mut stats = PipelineStats::default();
+        for worker in self.workers {
+            let shard = worker.join().map_err(|_| "shard worker panicked")?;
+            stats.events += shard.events;
+            stats.batches += shard.batches;
+            stats.errors.extend(shard.errors);
+            stats.errors.truncate(32);
+        }
+        self.session.flush()?;
+        Ok(stats)
+    }
+}
+
+fn shard_worker(session: &OnlineSession, rx: Receiver<ShardMsg>, batch_size: usize) -> ShardStats {
+    let mut stats = ShardStats::default();
+    let mut buffers: HashMap<RunKey, Vec<TraceEvent>> = HashMap::new();
+
+    let apply = |buf: &mut Vec<TraceEvent>, stats: &mut ShardStats| {
+        if buf.is_empty() {
+            return;
+        }
+        stats.batches += 1;
+        if let Err(e) = session.ingest_batch(buf) {
+            if stats.errors.len() < 32 {
+                stats.errors.push(e.to_string());
+            }
+        }
+        buf.clear();
+    };
+
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ShardMsg::Event(event) => {
+                stats.events += 1;
+                let run = event.run_key();
+                let finished = matches!(event, TraceEvent::RunFinished { .. });
+                let buf = buffers.entry(run).or_default();
+                buf.push(event);
+                if buf.len() >= batch_size || finished {
+                    apply(buf, &mut stats);
+                }
+            }
+            ShardMsg::Barrier(ack) => {
+                for buf in buffers.values_mut() {
+                    apply(buf, &mut stats);
+                }
+                let _ = ack.send(());
+            }
+        }
+    }
+    // Channel closed: drain what's left.
+    for buf in buffers.values_mut() {
+        apply(buf, &mut stats);
+    }
+    stats
+}

@@ -1,0 +1,205 @@
+//! The session layer: one always-on analysis service core multiplexing
+//! many concurrent measurement streams.
+//!
+//! [`OnlineSession`] is the shared, thread-safe object the ingestion
+//! pipeline's shard workers feed. It owns the [`StoreBuilder`] (live store
+//! and interning) and the [`IncrementalAnalyzer`] (live reports) behind one
+//! mutex; ingestion appends events and accumulates the pending
+//! [`StoreDelta`], and [`OnlineSession::flush`] turns the pending delta
+//! into refreshed reports (per-run evaluation fans out through rayon
+//! inside the incremental engine).
+
+use crate::builder::{StoreBuilder, StoreDelta};
+use crate::event::{IngestError, RunKey, TraceEvent};
+use crate::incremental::{IncrementalAnalyzer, IncrementalStats};
+use cosy::{AnalysisReport, ProblemThreshold};
+use perfdata::Store;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Session configuration.
+#[derive(Debug, Clone, Default)]
+pub struct SessionConfig {
+    /// Severity threshold above which a property is a performance problem.
+    pub threshold: ProblemThreshold,
+    /// Flush automatically once this many events are pending (0 disables
+    /// auto-flush; the pipeline and `flush()` remain the triggers).
+    pub auto_flush_events: usize,
+}
+
+/// Aggregate observability counters of a session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Events applied to the store.
+    pub events_applied: u64,
+    /// Events rejected with an [`IngestError`].
+    pub events_rejected: u64,
+    /// Analysis flushes performed.
+    pub flushes: u64,
+    /// Runs declared finished by their producer.
+    pub runs_finished: u64,
+    /// Incremental-engine counters.
+    pub incremental: IncrementalStats,
+}
+
+struct SessionInner {
+    builder: StoreBuilder,
+    analyzer: IncrementalAnalyzer,
+    pending: StoreDelta,
+    pending_events: usize,
+    rejected: u64,
+}
+
+/// A live, thread-safe online analysis session.
+pub struct OnlineSession {
+    inner: Mutex<SessionInner>,
+    config: SessionConfig,
+}
+
+impl OnlineSession {
+    /// Create a session with the standard suite.
+    pub fn new(config: SessionConfig) -> Self {
+        let analyzer = IncrementalAnalyzer::new(config.threshold);
+        OnlineSession {
+            inner: Mutex::new(SessionInner {
+                builder: StoreBuilder::new(),
+                analyzer,
+                pending: StoreDelta::new(),
+                pending_events: 0,
+                rejected: 0,
+            }),
+            config,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SessionInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Ingest one event. Structural/timing effects are applied to the live
+    /// store immediately; analysis is deferred to the next flush.
+    pub fn ingest(&self, event: &TraceEvent) -> Result<(), IngestError> {
+        self.ingest_batch(std::slice::from_ref(event)).map(|_| ())
+    }
+
+    /// Ingest a batch of events (the pipeline's unit of work). Events are
+    /// isolated: a rejected event is counted and skipped, the rest of the
+    /// batch still applies. Returns the number of applied events, or the
+    /// *first* rejection (after the whole batch was attempted).
+    pub fn ingest_batch(&self, events: &[TraceEvent]) -> Result<usize, IngestError> {
+        let mut inner = self.lock();
+        let mut applied = 0usize;
+        let mut failure = None;
+        for event in events {
+            let SessionInner {
+                builder, pending, ..
+            } = &mut *inner;
+            let outcome = builder.apply(event, pending);
+            match outcome {
+                Ok(()) => applied += 1,
+                Err(e) => {
+                    inner.rejected += 1;
+                    failure.get_or_insert(e);
+                }
+            }
+        }
+        inner.pending_events += applied;
+        let auto = self.config.auto_flush_events;
+        if auto > 0 && inner.pending_events >= auto {
+            // On failure the delta is re-queued (see `flush_inner`), so the
+            // error genuinely resurfaces on the next explicit flush.
+            let _ = Self::flush_inner(&mut inner);
+        }
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(applied),
+        }
+    }
+
+    fn flush_inner(inner: &mut SessionInner) -> Result<Vec<RunKey>, String> {
+        let delta = std::mem::take(&mut inner.pending);
+        inner.pending_events = 0;
+        if delta.is_empty() {
+            return Ok(Vec::new());
+        }
+        let SessionInner {
+            builder,
+            analyzer,
+            pending,
+            ..
+        } = inner;
+        match analyzer.flush(builder.store(), &delta) {
+            Ok(updated) => Ok(updated
+                .into_iter()
+                .filter_map(|run| builder.run_key_of(run))
+                .collect()),
+            Err(e) => {
+                // Nothing was invalidated-and-forgotten: re-queue the delta
+                // so the next flush retries the same work.
+                pending.merge(delta);
+                Err(e)
+            }
+        }
+    }
+
+    /// Analyze everything pending. Returns the producer keys of the runs
+    /// whose live report changed.
+    pub fn flush(&self) -> Result<Vec<RunKey>, String> {
+        Self::flush_inner(&mut self.lock())
+    }
+
+    /// True once the run's producer declared it finished and that event
+    /// has been flushed.
+    pub fn is_finished(&self, run: RunKey) -> bool {
+        let inner = self.lock();
+        inner
+            .builder
+            .run_id(run)
+            .is_some_and(|id| inner.analyzer.is_finished(id))
+    }
+
+    /// The live report of a run (as of the last flush).
+    pub fn report(&self, run: RunKey) -> Option<AnalysisReport> {
+        let inner = self.lock();
+        let id = inner.builder.run_id(run)?;
+        inner.analyzer.report(id).cloned()
+    }
+
+    /// All live reports keyed by producer run key.
+    pub fn reports(&self) -> HashMap<RunKey, AnalysisReport> {
+        let inner = self.lock();
+        inner
+            .analyzer
+            .reports()
+            .filter_map(|(id, r)| inner.builder.run_key_of(id).map(|k| (k, r.clone())))
+            .collect()
+    }
+
+    /// A snapshot of the live store (clone; the live store keeps moving).
+    pub fn store_snapshot(&self) -> Store {
+        self.lock().builder.store().clone()
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> SessionStats {
+        let inner = self.lock();
+        SessionStats {
+            events_applied: inner.builder.events_applied(),
+            events_rejected: inner.rejected,
+            flushes: inner.analyzer.stats().flushes,
+            runs_finished: inner.analyzer.finished_count() as u64,
+            incremental: inner.analyzer.stats(),
+        }
+    }
+
+    /// The configured problem threshold.
+    pub fn threshold(&self) -> ProblemThreshold {
+        self.config.threshold
+    }
+}
+
+impl Default for OnlineSession {
+    fn default() -> Self {
+        OnlineSession::new(SessionConfig::default())
+    }
+}

@@ -1,0 +1,243 @@
+//! Integration tests of the sharded ingestion pipeline: concurrent
+//! multi-run ingestion through bounded queues must produce the same live
+//! reports as direct sequential ingestion.
+
+use apprentice_sim::{archetypes, simulate_program, MachineModel};
+use cosy::{Analyzer, Backend, ProblemThreshold};
+use online::replay::{events_for_run, replay_run_key};
+use online::{IngestPipeline, OnlineSession, PipelineConfig, SessionConfig, TraceEvent};
+use perfdata::{Store, TestRunId};
+use std::sync::Arc;
+
+fn simulated_store(pe_counts: &[u32]) -> Store {
+    let mut store = Store::new();
+    simulate_program(
+        &mut store,
+        &archetypes::particle_mc(42),
+        &MachineModel::t3e_900(),
+        pe_counts,
+    );
+    store
+}
+
+/// Interleave the per-run event streams round-robin, as concurrent
+/// producers would.
+fn interleaved_events(store: &Store) -> Vec<TraceEvent> {
+    let mut streams: Vec<Vec<TraceEvent>> = (0..store.runs.len() as u32)
+        .map(|r| events_for_run(store, TestRunId(r)))
+        .collect();
+    let mut out = Vec::new();
+    let mut cursor = 0;
+    while streams.iter().any(|s| cursor < s.len()) {
+        for stream in &streams {
+            if let Some(e) = stream.get(cursor) {
+                out.push(e.clone());
+            }
+        }
+        cursor += 1;
+    }
+    let _ = &mut streams;
+    out
+}
+
+#[test]
+fn sharded_pipeline_matches_batch_analysis() {
+    let store = simulated_store(&[1, 4, 16]);
+    let session = Arc::new(OnlineSession::new(SessionConfig::default()));
+    let pipeline = IngestPipeline::new(
+        Arc::clone(&session),
+        PipelineConfig {
+            shards: 3,
+            batch_size: 16,
+            queue_capacity: 64,
+        },
+    );
+    for event in interleaved_events(&store) {
+        pipeline.submit(event).unwrap();
+    }
+    let stats = pipeline.close().unwrap();
+    assert!(stats.errors.is_empty(), "{:?}", stats.errors);
+    assert!(stats.events > 0);
+    assert!(stats.batches > 0);
+
+    let threshold = ProblemThreshold::default();
+    for run in 0..store.runs.len() as u32 {
+        let run = TestRunId(run);
+        let version = store.runs[run.index()].version;
+        let batch = Analyzer::new(&store, version)
+            .unwrap()
+            .analyze(run, Backend::Interpreter, threshold)
+            .unwrap();
+        let online = session.report(replay_run_key(run)).unwrap();
+        assert_eq!(batch.entries.len(), online.entries.len(), "{run}");
+        for (b, o) in batch.entries.iter().zip(&online.entries) {
+            assert_eq!(b.property, o.property, "{run}");
+            assert_eq!(b.context.label, o.context.label, "{run}");
+            assert!(
+                (b.severity - o.severity).abs() <= 1e-9 * b.severity.abs().max(1.0),
+                "{run} {}: {} vs {}",
+                b.property,
+                b.severity,
+                o.severity
+            );
+        }
+    }
+}
+
+#[test]
+fn concurrent_producers_through_one_pipeline() {
+    // Three producer threads each stream one run concurrently.
+    let store = simulated_store(&[1, 4, 16]);
+    let session = Arc::new(OnlineSession::new(SessionConfig::default()));
+    let pipeline = Arc::new(IngestPipeline::new(
+        Arc::clone(&session),
+        PipelineConfig {
+            shards: 2,
+            batch_size: 8,
+            queue_capacity: 16, // small queue: exercises backpressure
+        },
+    ));
+    std::thread::scope(|scope| {
+        for r in 0..store.runs.len() as u32 {
+            let events = events_for_run(&store, TestRunId(r));
+            let pipeline = Arc::clone(&pipeline);
+            scope.spawn(move || {
+                for event in events {
+                    pipeline.submit(event).unwrap();
+                }
+            });
+        }
+    });
+    let pipeline = Arc::into_inner(pipeline).expect("sole pipeline handle");
+    let stats = pipeline.close().unwrap();
+    assert!(stats.errors.is_empty(), "{:?}", stats.errors);
+
+    // Every run has a live report with the analysis invariants intact.
+    let reports = session.reports();
+    assert_eq!(reports.len(), store.runs.len());
+    for (key, report) in &reports {
+        for w in report.entries.windows(2) {
+            assert!(w[0].severity >= w[1].severity, "{key}: ranking order");
+        }
+        for (i, e) in report.entries.iter().enumerate() {
+            assert_eq!(e.rank, i + 1, "{key}: rank numbering");
+        }
+    }
+    // The 16-PE run must show problems for this archetype.
+    let run16 = reports
+        .values()
+        .find(|r| r.no_pe == 16)
+        .expect("16-PE report");
+    assert!(run16.needs_tuning());
+}
+
+#[test]
+fn mid_stream_flush_serves_partial_reports() {
+    let store = simulated_store(&[1, 8]);
+    let session = Arc::new(OnlineSession::new(SessionConfig::default()));
+    let pipeline = IngestPipeline::new(Arc::clone(&session), PipelineConfig::default());
+
+    let events = events_for_run(&store, TestRunId(1));
+    let reference_events = events_for_run(&store, TestRunId(0));
+    for e in reference_events {
+        pipeline.submit(e).unwrap();
+    }
+    // Stream only half of run 1, then flush: a live (partial) report must
+    // be available already.
+    let half = events.len() / 2;
+    for e in events[..half].iter().cloned() {
+        pipeline.submit(e).unwrap();
+    }
+    let updated = pipeline.flush().unwrap();
+    assert!(!updated.is_empty());
+    let partial = session.report(replay_run_key(TestRunId(1)));
+    assert!(partial.is_some(), "partial report must exist mid-stream");
+
+    for e in events[half..].iter().cloned() {
+        pipeline.submit(e).unwrap();
+    }
+    pipeline.close().unwrap();
+    let full = session.report(replay_run_key(TestRunId(1))).unwrap();
+    assert!(full.entries.len() >= partial.unwrap().entries.len());
+}
+
+#[test]
+fn bad_event_does_not_poison_the_rest_of_a_batch() {
+    let store = simulated_store(&[1, 8]);
+    let session = OnlineSession::new(SessionConfig::default());
+    let mut events = events_for_run(&store, TestRunId(0));
+    // Inject a malformed event (unknown function) mid-batch.
+    let bad = TraceEvent::TypedSample {
+        run: online::replay::replay_run_key(TestRunId(0)),
+        function: "no_such_function".into(),
+        region: online::RegionRef::new("nope", 1),
+        ty: perfdata::TimingType::Barrier,
+        time: 1.0,
+    };
+    events.insert(events.len() / 2, bad);
+    let err = session.ingest_batch(&events).unwrap_err();
+    assert!(matches!(err, online::IngestError::UnknownFunction { .. }));
+    session.flush().unwrap();
+    // Every valid event after the bad one still applied: the run is
+    // finished and its report matches the batch analyzer.
+    let key = online::replay::replay_run_key(TestRunId(0));
+    assert!(session.is_finished(key));
+    assert_eq!(session.stats().events_rejected, 1);
+    let report = session.report(key).unwrap();
+    let batch = Analyzer::new(&store, store.runs[0].version)
+        .unwrap()
+        .analyze(
+            TestRunId(0),
+            Backend::Interpreter,
+            ProblemThreshold::default(),
+        )
+        .unwrap();
+    assert_eq!(report.entries.len(), batch.entries.len());
+}
+
+#[test]
+fn run_finished_state_is_tracked() {
+    let store = simulated_store(&[1, 8]);
+    let session = OnlineSession::new(SessionConfig::default());
+    let events = events_for_run(&store, TestRunId(0));
+    let key = online::replay::replay_run_key(TestRunId(0));
+    // All but the RunFinished marker.
+    session.ingest_batch(&events[..events.len() - 1]).unwrap();
+    session.flush().unwrap();
+    assert!(!session.is_finished(key));
+    session.ingest_batch(&events[events.len() - 1..]).unwrap();
+    session.flush().unwrap();
+    assert!(session.is_finished(key));
+    assert_eq!(session.stats().runs_finished, 1);
+}
+
+#[test]
+fn incremental_engine_does_less_work_than_batch() {
+    // Appending one run to a store with many runs must evaluate far fewer
+    // instances than re-analyzing every run would.
+    let store = simulated_store(&[1, 2, 4, 8, 16, 32]);
+    let session = OnlineSession::new(SessionConfig::default());
+    for r in 0..store.runs.len() as u32 - 1 {
+        session
+            .ingest_batch(&events_for_run(&store, TestRunId(r)))
+            .unwrap();
+    }
+    session.flush().unwrap();
+    let before = session.stats().incremental.instances_evaluated;
+
+    session
+        .ingest_batch(&events_for_run(
+            &store,
+            TestRunId(store.runs.len() as u32 - 1),
+        ))
+        .unwrap();
+    session.flush().unwrap();
+    let appended = session.stats().incremental.instances_evaluated - before;
+
+    // The append touched one run out of six: it must cost at most ~1/5 of
+    // the instances evaluated so far (which covered five full runs).
+    assert!(
+        appended * 4 <= before,
+        "incremental append evaluated {appended} instances vs {before} for the initial five runs"
+    );
+}

@@ -200,6 +200,153 @@ impl Store {
         id
     }
 
+    // ---- streaming upserts ------------------------------------------------
+    //
+    // The online ingestion pipeline (`cosy-online`) receives measurement
+    // events continuously and may see refinements of a record it already
+    // applied (e.g. a region's running total). The upsert hooks keep the
+    // one-record-per-(region, run[, type]) invariant `validate` enforces
+    // while allowing in-place refinement, and report whether they inserted
+    // or updated so callers can maintain dirty-context deltas.
+
+    /// Insert or refresh the total timing of a region in a run. Returns the
+    /// timing id and `true` when a new record was inserted (`false` when an
+    /// existing record was updated in place).
+    pub fn upsert_total_timing(
+        &mut self,
+        region: RegionId,
+        run: TestRunId,
+        excl: f64,
+        incl: f64,
+        ovhd: f64,
+    ) -> (TotalTimingId, bool) {
+        let existing = self.regions[region.index()]
+            .tot_times
+            .iter()
+            .copied()
+            .find(|id| self.total_timings[id.index()].run == run);
+        match existing {
+            Some(id) => {
+                let t = &mut self.total_timings[id.index()];
+                t.excl = excl;
+                t.incl = incl;
+                t.ovhd = ovhd;
+                (id, false)
+            }
+            None => (self.add_total_timing(region, run, excl, incl, ovhd), true),
+        }
+    }
+
+    /// Insert or refresh a typed overhead timing. Returns the timing id and
+    /// `true` on insert (`false` on in-place update).
+    pub fn upsert_typed_timing(
+        &mut self,
+        region: RegionId,
+        run: TestRunId,
+        ty: TimingType,
+        time: f64,
+    ) -> (TypedTimingId, bool) {
+        let existing = self.regions[region.index()]
+            .typ_times
+            .iter()
+            .copied()
+            .find(|id| {
+                let t = &self.typed_timings[id.index()];
+                t.run == run && t.ty == ty
+            });
+        match existing {
+            Some(id) => {
+                self.typed_timings[id.index()].time = time;
+                (id, false)
+            }
+            None => (self.add_typed_timing(region, run, ty, time), true),
+        }
+    }
+
+    /// Insert or refresh the call statistics of a call site in a run.
+    /// Returns the record id and `true` on insert (`false` on update).
+    pub fn upsert_call_timing(&mut self, ct: CallTiming) -> (CallTimingId, bool) {
+        let existing = self.calls[ct.call.index()]
+            .sums
+            .iter()
+            .copied()
+            .find(|id| self.call_timings[id.index()].run == ct.run);
+        match existing {
+            Some(id) => {
+                self.call_timings[id.index()] = ct;
+                (id, false)
+            }
+            None => (self.add_call_timing(ct), true),
+        }
+    }
+
+    // ---- streaming lookups ------------------------------------------------
+
+    /// Find a program by name.
+    pub fn program_by_name(&self, name: &str) -> Option<ProgramId> {
+        self.programs
+            .iter()
+            .position(|p| p.name == name)
+            .map(|i| ProgramId(i as u32))
+    }
+
+    /// Find a function of a version by name.
+    pub fn function_by_name(&self, version: VersionId, name: &str) -> Option<FunctionId> {
+        self.versions[version.index()]
+            .functions
+            .iter()
+            .copied()
+            .find(|f| self.functions[f.index()].name == name)
+    }
+
+    /// Find a region of a function by name and first source line (the
+    /// stable identity a trace stream refers to regions by).
+    pub fn region_by_name(
+        &self,
+        function: FunctionId,
+        name: &str,
+        first_line: u32,
+    ) -> Option<RegionId> {
+        self.functions[function.index()]
+            .regions
+            .iter()
+            .copied()
+            .find(|r| {
+                let reg = &self.regions[r.index()];
+                reg.name == name && reg.first_line == first_line
+            })
+    }
+
+    /// Find the call site of `callee` from `caller` at region
+    /// `calling_reg`, if registered.
+    pub fn call_site(
+        &self,
+        caller: FunctionId,
+        callee: FunctionId,
+        calling_reg: RegionId,
+    ) -> Option<CallId> {
+        self.functions[callee.index()]
+            .calls
+            .iter()
+            .copied()
+            .find(|c| {
+                let call = &self.calls[c.index()];
+                call.caller == caller && call.calling_reg == calling_reg
+            })
+    }
+
+    /// The smallest processor count among the runs of a version, if any
+    /// run exists. Streaming ingestion uses this to detect when a new run
+    /// changes the reference configuration (which invalidates every
+    /// speedup-derived result of the version).
+    pub fn min_pe_of_version(&self, v: VersionId) -> Option<u32> {
+        self.versions[v.index()]
+            .runs
+            .iter()
+            .map(|r| self.runs[r.index()].no_pe)
+            .min()
+    }
+
     // ---- navigation ---------------------------------------------------------
 
     /// The program a version belongs to.
@@ -226,7 +373,12 @@ impl Store {
     }
 
     /// The typed timing of a region for a given run and type, if recorded.
-    pub fn typed_timing(&self, r: RegionId, run: TestRunId, ty: TimingType) -> Option<&TypedTiming> {
+    pub fn typed_timing(
+        &self,
+        r: RegionId,
+        run: TestRunId,
+        ty: TimingType,
+    ) -> Option<&TypedTiming> {
         self.regions[r.index()]
             .typ_times
             .iter()
@@ -368,6 +520,102 @@ mod tests {
         let c = s.add_call(f_main, f_barrier, root);
         assert_eq!(s.functions[f_barrier.index()].calls, vec![c]);
         assert!(s.functions[f_main.index()].calls.is_empty());
+    }
+
+    #[test]
+    fn upsert_total_timing_updates_in_place() {
+        let (mut s, _, r1, _, lp) = sample_store();
+        let before = s.total_timings.len();
+        let (id, inserted) = s.upsert_total_timing(lp, r1, 7.0, 9.5, 0.4);
+        assert!(!inserted);
+        assert_eq!(s.total_timings.len(), before);
+        assert_eq!(s.total_timings[id.index()].incl, 9.5);
+        assert_eq!(s.duration(lp, r1), Some(9.5));
+    }
+
+    #[test]
+    fn upsert_total_timing_inserts_new_record() {
+        let (mut s, v, _, _, _) = sample_store();
+        let r3 = s.add_run(v, DateTime::from_secs(40), 16, 450);
+        let root = s.main_region(v).unwrap();
+        let before = s.total_timings.len();
+        let (_, inserted) = s.upsert_total_timing(root, r3, 2.0, 20.0, 1.5);
+        assert!(inserted);
+        assert_eq!(s.total_timings.len(), before + 1);
+        assert_eq!(s.duration(root, r3), Some(20.0));
+    }
+
+    #[test]
+    fn upsert_typed_timing_roundtrip() {
+        let (mut s, _, _, r2, lp) = sample_store();
+        let (_, inserted) = s.upsert_typed_timing(lp, r2, TimingType::Barrier, 3.0);
+        assert!(!inserted);
+        assert_eq!(
+            s.typed_timing(lp, r2, TimingType::Barrier).unwrap().time,
+            3.0
+        );
+        let (_, inserted) = s.upsert_typed_timing(lp, r2, TimingType::IoRead, 0.5);
+        assert!(inserted);
+    }
+
+    #[test]
+    fn upsert_call_timing_replaces_per_run() {
+        let mut s = Store::new();
+        let p = s.add_program("x");
+        let v = s.add_version(p, DateTime::from_secs(0), "");
+        let f_main = s.add_function(v, "main");
+        let f_bar = s.add_function(v, "barrier");
+        let root = s.add_region(f_main, None, RegionKind::Subprogram, "main", (1, 10));
+        let run = s.add_run(v, DateTime::from_secs(1), 4, 450);
+        let c = s.add_call(f_main, f_bar, root);
+        let ct = |mean_time: f64| CallTiming {
+            call: c,
+            run,
+            min_count: 1.0,
+            max_count: 1.0,
+            mean_count: 1.0,
+            stdev_count: 0.0,
+            min_count_pe: 0,
+            max_count_pe: 0,
+            min_time: mean_time,
+            max_time: mean_time,
+            mean_time,
+            stdev_time: 0.0,
+            min_time_pe: 0,
+            max_time_pe: 0,
+        };
+        let (_, first) = s.upsert_call_timing(ct(1.0));
+        let (id, second) = s.upsert_call_timing(ct(2.0));
+        assert!(first);
+        assert!(!second);
+        assert_eq!(s.call_timings.len(), 1);
+        assert_eq!(s.call_timings[id.index()].mean_time, 2.0);
+    }
+
+    #[test]
+    fn streaming_lookups_find_existing_objects() {
+        let (s, v, _, _, lp) = sample_store();
+        assert_eq!(s.program_by_name("fluid3d"), Some(ProgramId(0)));
+        assert_eq!(s.program_by_name("nope"), None);
+        let f = s.function_by_name(v, "main").unwrap();
+        assert_eq!(s.functions[f.index()].name, "main");
+        let found = s.region_by_name(f, "main:loop@10", 10).unwrap();
+        assert_eq!(found, lp);
+        assert_eq!(s.region_by_name(f, "main:loop@10", 11), None);
+        assert_eq!(s.min_pe_of_version(v), Some(2));
+    }
+
+    #[test]
+    fn call_site_lookup() {
+        let mut s = Store::new();
+        let p = s.add_program("x");
+        let v = s.add_version(p, DateTime::from_secs(0), "");
+        let f_main = s.add_function(v, "main");
+        let f_bar = s.add_function(v, "barrier");
+        let root = s.add_region(f_main, None, RegionKind::Subprogram, "main", (1, 10));
+        let c = s.add_call(f_main, f_bar, root);
+        assert_eq!(s.call_site(f_main, f_bar, root), Some(c));
+        assert_eq!(s.call_site(f_bar, f_main, root), None);
     }
 
     #[test]

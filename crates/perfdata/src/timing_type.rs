@@ -185,8 +185,14 @@ mod tests {
     #[test]
     fn paper_named_families_are_present() {
         // The paper names I/O, message passing and barrier synchronization.
-        assert_eq!(TimingType::Barrier.category(), OverheadCategory::Synchronization);
-        assert_eq!(TimingType::PtpSend.category(), OverheadCategory::PointToPoint);
+        assert_eq!(
+            TimingType::Barrier.category(),
+            OverheadCategory::Synchronization
+        );
+        assert_eq!(
+            TimingType::PtpSend.category(),
+            OverheadCategory::PointToPoint
+        );
         assert_eq!(TimingType::IoRead.category(), OverheadCategory::Io);
     }
 

@@ -179,7 +179,8 @@ fn region_forest(store: &Store, out: &mut Vec<Violation>) {
 
 fn run_consistency(store: &Store, out: &mut Vec<Violation>) {
     for (i, t) in store.total_timings.iter().enumerate() {
-        let region_version = store.functions[store.regions[t.region.index()].function.index()].version;
+        let region_version =
+            store.functions[store.regions[t.region.index()].function.index()].version;
         let run_version = store.runs[t.run.index()].version;
         if region_version != run_version {
             out.push(Violation {
@@ -226,7 +227,9 @@ mod tests {
         s.total_timings.push(dup);
         s.regions[region.index()]
             .tot_times
-            .push(crate::ids::TotalTimingId((s.total_timings.len() - 1) as u32));
+            .push(crate::ids::TotalTimingId(
+                (s.total_timings.len() - 1) as u32,
+            ));
         let v = validate(&s);
         assert!(v.iter().any(|x| x.rule == "unique-total-timing"));
     }

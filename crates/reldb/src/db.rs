@@ -67,7 +67,10 @@ impl Database {
 
     /// Names of all tables, sorted.
     pub fn table_names(&self) -> Vec<&str> {
-        self.tables.values().map(|t| t.schema.name.as_str()).collect()
+        self.tables
+            .values()
+            .map(|t| t.schema.name.as_str())
+            .collect()
     }
 
     /// Create a table from a schema (programmatic API used by `asl-sql`).
@@ -227,12 +230,9 @@ impl Database {
                 let set_slots: Vec<(usize, SqlExpr)> = sets
                     .into_iter()
                     .map(|(c, e)| {
-                        t.schema
-                            .column_index(&c)
-                            .map(|i| (i, e))
-                            .ok_or_else(|| {
-                                DbError::Catalog(format!("unknown column `{c}` in `{table}`"))
-                            })
+                        t.schema.column_index(&c).map(|i| (i, e)).ok_or_else(|| {
+                            DbError::Catalog(format!("unknown column `{c}` in `{table}`"))
+                        })
                     })
                     .collect::<DbResult<_>>()?;
 
@@ -277,8 +277,7 @@ impl Database {
                     match &where_ {
                         None => doomed.push(id),
                         Some(w) => {
-                            let v =
-                                eval_expr(self, w, &layout, row, &Frames::new(), &mut stats)?;
+                            let v = eval_expr(self, w, &layout, row, &Frames::new(), &mut stats)?;
                             if v.as_bool().unwrap_or(false) {
                                 doomed.push(id);
                             }
@@ -602,7 +601,9 @@ mod tests {
     #[test]
     fn greatest_and_least() {
         let db = Database::new();
-        let r = db.query("SELECT GREATEST(1, 5, 3), LEAST(2.5, 2, 9)").unwrap();
+        let r = db
+            .query("SELECT GREATEST(1, 5, 3), LEAST(2.5, 2, 9)")
+            .unwrap();
         assert_eq!(r.rows[0][0], Value::Int(5));
         assert_eq!(r.rows[0][1], Value::Int(2));
         // NULL poisons the result (SQL GREATEST semantics).
@@ -631,22 +632,28 @@ mod tests {
     #[test]
     fn is_null_filters() {
         let mut db = Database::new();
-        db.execute("CREATE TABLE n (id INTEGER PRIMARY KEY, x INTEGER)").unwrap();
-        db.execute("INSERT INTO n (id, x) VALUES (1, 10), (2, NULL), (3, 30)").unwrap();
+        db.execute("CREATE TABLE n (id INTEGER PRIMARY KEY, x INTEGER)")
+            .unwrap();
+        db.execute("INSERT INTO n (id, x) VALUES (1, 10), (2, NULL), (3, 30)")
+            .unwrap();
         let r = db.query("SELECT id FROM n WHERE x IS NULL").unwrap();
         assert_eq!(r.rows.len(), 1);
         assert_eq!(r.rows[0][0], Value::Int(2));
         let r = db.query("SELECT COUNT(x) FROM n").unwrap();
         assert_eq!(r.rows[0][0], Value::Int(2)); // COUNT skips NULLs
-        // Comparisons with NULL are false in this dialect.
-        let r = db.query("SELECT id FROM n WHERE x > 0 ORDER BY id").unwrap();
+                                                 // Comparisons with NULL are false in this dialect.
+        let r = db
+            .query("SELECT id FROM n WHERE x > 0 ORDER BY id")
+            .unwrap();
         assert_eq!(r.rows.len(), 2);
     }
 
     #[test]
     fn count_distinct() {
         let db = setup();
-        let r = db.query("SELECT COUNT(DISTINCT region) FROM timing").unwrap();
+        let r = db
+            .query("SELECT COUNT(DISTINCT region) FROM timing")
+            .unwrap();
         assert_eq!(r.rows[0][0], Value::Int(2));
     }
 }

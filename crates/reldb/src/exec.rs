@@ -211,27 +211,25 @@ pub fn eval_expr(
 ) -> DbResult<Value> {
     match e {
         SqlExpr::Lit(v) => Ok(v.clone()),
-        SqlExpr::Col { table, column } => {
-            match layout.resolution(table.as_deref(), column) {
-                crate::plan::Resolution::Slot(slot) => Ok(row[slot].clone()),
-                crate::plan::Resolution::Ambiguous => Err(DbError::Semantic(format!(
-                    "ambiguous column `{column}`; qualify it"
-                ))),
-                crate::plan::Resolution::Absent => {
-                    if let Some(v) = frames.resolve(table.as_deref(), column) {
-                        Ok(v)
-                    } else {
-                        Err(DbError::Semantic(format!(
-                            "unknown column `{}{column}`",
-                            table
-                                .as_deref()
-                                .map(|t| format!("{t}."))
-                                .unwrap_or_default()
-                        )))
-                    }
+        SqlExpr::Col { table, column } => match layout.resolution(table.as_deref(), column) {
+            crate::plan::Resolution::Slot(slot) => Ok(row[slot].clone()),
+            crate::plan::Resolution::Ambiguous => Err(DbError::Semantic(format!(
+                "ambiguous column `{column}`; qualify it"
+            ))),
+            crate::plan::Resolution::Absent => {
+                if let Some(v) = frames.resolve(table.as_deref(), column) {
+                    Ok(v)
+                } else {
+                    Err(DbError::Semantic(format!(
+                        "unknown column `{}{column}`",
+                        table
+                            .as_deref()
+                            .map(|t| format!("{t}."))
+                            .unwrap_or_default()
+                    )))
                 }
             }
-        }
+        },
         SqlExpr::Neg(inner) => {
             let v = eval_expr(db, inner, layout, row, frames, stats)?;
             match v {
@@ -262,7 +260,11 @@ pub fn eval_expr(
                 let vb = eval_expr(db, b, layout, row, frames, stats)?;
                 Ok(Value::Bool(truthy(&vb)?))
             }
-            SqlBinOp::Eq | SqlBinOp::Neq | SqlBinOp::Lt | SqlBinOp::Le | SqlBinOp::Gt
+            SqlBinOp::Eq
+            | SqlBinOp::Neq
+            | SqlBinOp::Lt
+            | SqlBinOp::Le
+            | SqlBinOp::Gt
             | SqlBinOp::Ge => {
                 let va = eval_expr(db, a, layout, row, frames, stats)?;
                 let vb = eval_expr(db, b, layout, row, frames, stats)?;
@@ -326,9 +328,7 @@ pub fn eval_expr(
                         Ok(rows[0][0].clone())
                     }
                 }
-                n => Err(DbError::Eval(format!(
-                    "scalar subquery returned {n} rows"
-                ))),
+                n => Err(DbError::Eval(format!("scalar subquery returned {n} rows"))),
             }
         }
         SqlExpr::Exists(sub) => {
@@ -381,9 +381,9 @@ fn eval_group_expr(
                     } else {
                         let mut acc = 0.0;
                         for v in &vals {
-                            acc += v.as_f64().ok_or_else(|| {
-                                DbError::Eval(format!("SUM of non-numeric {v}"))
-                            })?;
+                            acc += v
+                                .as_f64()
+                                .ok_or_else(|| DbError::Eval(format!("SUM of non-numeric {v}")))?;
                         }
                         Ok(Value::Float(acc))
                     }
@@ -437,8 +437,14 @@ fn eval_group_expr(
             Ok(Value::Bool(!truthy(&v)?))
         }
         SqlExpr::Binary(op, a, b) => match op {
-            SqlBinOp::And | SqlBinOp::Or | SqlBinOp::Eq | SqlBinOp::Neq | SqlBinOp::Lt
-            | SqlBinOp::Le | SqlBinOp::Gt | SqlBinOp::Ge => {
+            SqlBinOp::And
+            | SqlBinOp::Or
+            | SqlBinOp::Eq
+            | SqlBinOp::Neq
+            | SqlBinOp::Lt
+            | SqlBinOp::Le
+            | SqlBinOp::Gt
+            | SqlBinOp::Ge => {
                 let va = eval_group_expr(db, a, layout, group, frames, stats)?;
                 let vb = eval_group_expr(db, b, layout, group, frames, stats)?;
                 match op {
@@ -708,15 +714,16 @@ pub fn run_select(
 
     let has_agg = !sel.group_by.is_empty()
         || out_items.iter().any(|(e, _)| e.contains_aggregate())
-        || sel
-            .having
-            .as_ref()
-            .is_some_and(SqlExpr::contains_aggregate);
+        || sel.having.as_ref().is_some_and(SqlExpr::contains_aggregate);
 
     // Resolve an ORDER BY expression: an alias of an output column wins,
     // otherwise the expression is evaluated in the row/group context.
     let order_slot = |e: &SqlExpr| -> Option<usize> {
-        if let SqlExpr::Col { table: None, column } = e {
+        if let SqlExpr::Col {
+            table: None,
+            column,
+        } = e
+        {
             columns.iter().position(|c| c.eq_ignore_ascii_case(column))
         } else {
             None

@@ -52,7 +52,11 @@ impl Layout {
             .table(&tr.table)
             .ok_or_else(|| DbError::Catalog(format!("unknown table `{}`", tr.table)))?;
         let visible = tr.visible_name().to_string();
-        if self.tables.iter().any(|(v, ..)| v.eq_ignore_ascii_case(&visible)) {
+        if self
+            .tables
+            .iter()
+            .any(|(v, ..)| v.eq_ignore_ascii_case(&visible))
+        {
             return Err(DbError::Semantic(format!(
                 "duplicate table name/alias `{visible}` in FROM"
             )));
@@ -140,9 +144,7 @@ impl Layout {
                 // Unknown here — may be an outer (correlated) reference.
                 Resolution::Absent => info.outer = true,
             },
-            SqlExpr::Neg(i) | SqlExpr::Not(i) | SqlExpr::IsNull(i, _) => {
-                self.analyze_into(i, info)
-            }
+            SqlExpr::Neg(i) | SqlExpr::Not(i) | SqlExpr::IsNull(i, _) => self.analyze_into(i, info),
             SqlExpr::Binary(_, a, b) => {
                 self.analyze_into(a, info);
                 self.analyze_into(b, info);
@@ -404,7 +406,8 @@ mod tests {
             .unwrap();
         db.execute("CREATE TABLE timing (id INTEGER PRIMARY KEY, region_id INTEGER, run_id INTEGER, incl REAL)")
             .unwrap();
-        db.execute("CREATE INDEX t_r ON timing (region_id)").unwrap();
+        db.execute("CREATE INDEX t_r ON timing (region_id)")
+            .unwrap();
         db
     }
 
@@ -485,10 +488,7 @@ mod tests {
     #[test]
     fn non_equality_join_is_predicate() {
         let db = db();
-        let p = plan(
-            &db,
-            "SELECT * FROM region r JOIN timing t ON t.incl > r.id",
-        );
+        let p = plan(&db, "SELECT * FROM region r JOIN timing t ON t.incl > r.id");
         assert!(p.joins[0].hash_key.is_none());
         assert_eq!(p.joins[0].predicates.len(), 1);
     }

@@ -159,7 +159,9 @@ impl ReadOnlyExec for Database {
                     stats,
                 })
             }
-            _ => Err(DbError::Semantic("read-only execution requires SELECT".into())),
+            _ => Err(DbError::Semantic(
+                "read-only execution requires SELECT".into(),
+            )),
         }
     }
 }
@@ -180,7 +182,11 @@ impl Cursor<'_> {
         let p = &self.conn.profile;
         let cost = p.network_rtt
             + p.row_fetch
-            + p.byte_transfer * row.iter().map(crate::value::Value::wire_size).sum::<usize>() as f64
+            + p.byte_transfer
+                * row
+                    .iter()
+                    .map(crate::value::Value::wire_size)
+                    .sum::<usize>() as f64
             + self.conn.binding.call_cost(row.len());
         self.conn.clock.advance(cost);
         Some(row)
@@ -199,8 +205,10 @@ mod tests {
 
     fn test_db() -> SharedDb {
         let mut db = Database::new();
-        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, a INTEGER, b REAL, c TEXT, d REAL, e REAL)")
-            .unwrap();
+        db.execute(
+            "CREATE TABLE t (id INTEGER PRIMARY KEY, a INTEGER, b REAL, c TEXT, d REAL, e REAL)",
+        )
+        .unwrap();
         for i in 0..200 {
             db.execute(&format!(
                 "INSERT INTO t (id, a, b, c, d, e) VALUES ({i}, {}, 1.5, 'x', 2.5, 3.5)",
@@ -218,10 +226,15 @@ mod tests {
             .execute("CREATE TABLE t (id INTEGER PRIMARY KEY, x REAL)")
             .unwrap();
         let mut conn = Connection::connect(db, BackendProfile::oracle7(), ApiBinding::jdbc());
-        conn.execute("INSERT INTO t (id, x) VALUES (1, 2.0)").unwrap();
+        conn.execute("INSERT INTO t (id, x) VALUES (1, 2.0)")
+            .unwrap();
         let one = conn.elapsed();
-        assert!(one > 1.5e-3, "oracle insert should cost > 1.5 ms, got {one}");
-        conn.execute("INSERT INTO t (id, x) VALUES (2, 2.0)").unwrap();
+        assert!(
+            one > 1.5e-3,
+            "oracle insert should cost > 1.5 ms, got {one}"
+        );
+        conn.execute("INSERT INTO t (id, x) VALUES (2, 2.0)")
+            .unwrap();
         assert!((conn.elapsed() - 2.0 * one).abs() < 1e-9);
     }
 
@@ -314,13 +327,10 @@ mod tests {
         // SQL-side: one aggregate query returning one row.
         let mut sqlside =
             Connection::connect(db.clone(), BackendProfile::oracle7(), ApiBinding::jdbc());
-        sqlside
-            .execute("SELECT SUM(b) FROM t WHERE a = 3")
-            .unwrap();
+        sqlside.execute("SELECT SUM(b) FROM t WHERE a = 3").unwrap();
         let sql_cost = sqlside.elapsed();
         // Client-side: fetch every row, evaluate locally.
-        let mut client =
-            Connection::connect(db, BackendProfile::oracle7(), ApiBinding::jdbc());
+        let mut client = Connection::connect(db, BackendProfile::oracle7(), ApiBinding::jdbc());
         let mut cur = client.open_cursor("SELECT a, b FROM t").unwrap();
         let mut sum = 0.0;
         while let Some(row) = cur.fetch() {

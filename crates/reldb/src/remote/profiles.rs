@@ -193,11 +193,19 @@ mod tests {
 
     #[test]
     fn jdbc_is_2_to_4x_slower_than_native() {
-        for p in [BackendProfile::oracle7(), BackendProfile::mssql7(), BackendProfile::postgres()] {
+        for p in [
+            BackendProfile::oracle7(),
+            BackendProfile::mssql7(),
+            BackendProfile::postgres(),
+        ] {
             let j = fetch_cost(&p, &ApiBinding::jdbc(), 6);
             let n = fetch_cost(&p, &ApiBinding::native_c(), 6);
             let ratio = j / n;
-            assert!((2.0..4.0).contains(&ratio), "{}: jdbc/native = {ratio}", p.name);
+            assert!(
+                (2.0..4.0).contains(&ratio),
+                "{}: jdbc/native = {ratio}",
+                p.name
+            );
         }
     }
 

@@ -173,6 +173,8 @@ mod tests {
 
     #[test]
     fn pk_out_of_range_rejected() {
-        assert!(TableSchema::new("t", vec![ColumnDef::new("a", ColType::Integer)], Some(3)).is_err());
+        assert!(
+            TableSchema::new("t", vec![ColumnDef::new("a", ColType::Integer)], Some(3)).is_err()
+        );
     }
 }

@@ -264,9 +264,7 @@ impl SqlExpr {
         match self {
             SqlExpr::Col { table, .. } => out.push(table.as_deref()),
             SqlExpr::Lit(_) => {}
-            SqlExpr::Neg(e) | SqlExpr::Not(e) | SqlExpr::IsNull(e, _) => {
-                e.referenced_tables(out)
-            }
+            SqlExpr::Neg(e) | SqlExpr::Not(e) | SqlExpr::IsNull(e, _) => e.referenced_tables(out),
             SqlExpr::Binary(_, a, b) => {
                 a.referenced_tables(out);
                 b.referenced_tables(out);

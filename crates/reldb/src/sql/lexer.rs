@@ -167,9 +167,7 @@ pub fn lex_sql(src: &str) -> DbResult<Vec<SqlToken>> {
                             s.push(ch as char);
                             i += 1;
                         }
-                        None => {
-                            return Err(DbError::Parse("unterminated string literal".into()))
-                        }
+                        None => return Err(DbError::Parse("unterminated string literal".into())),
                     }
                 }
                 out.push(SqlToken::Str(s));

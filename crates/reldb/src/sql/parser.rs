@@ -101,7 +101,9 @@ impl Parser {
             } else if self.eat_word("INDEX") {
                 self.create_index()
             } else {
-                Err(DbError::Parse("expected TABLE or INDEX after CREATE".into()))
+                Err(DbError::Parse(
+                    "expected TABLE or INDEX after CREATE".into(),
+                ))
             }
         } else if self.eat_word("INSERT") {
             self.insert()
@@ -113,7 +115,9 @@ impl Parser {
             self.delete()
         } else if self.eat_word("DROP") {
             self.expect_word("TABLE")?;
-            Ok(Stmt::DropTable { name: self.ident()? })
+            Ok(Stmt::DropTable {
+                name: self.ident()?,
+            })
         } else {
             Err(DbError::Parse(format!(
                 "expected a statement, found {:?}",
@@ -182,7 +186,11 @@ impl Parser {
         self.expect(&SqlToken::LParen)?;
         let column = self.ident()?;
         self.expect(&SqlToken::RParen)?;
-        Ok(Stmt::CreateIndex { name, table, column })
+        Ok(Stmt::CreateIndex {
+            name,
+            table,
+            column,
+        })
     }
 
     fn insert(&mut self) -> DbResult<Stmt> {
@@ -244,7 +252,11 @@ impl Parser {
         } else {
             None
         };
-        Ok(Stmt::Update { table, sets, where_ })
+        Ok(Stmt::Update {
+            table,
+            sets,
+            where_,
+        })
     }
 
     fn delete(&mut self) -> DbResult<Stmt> {
@@ -420,7 +432,8 @@ impl Parser {
             return Ok(SqlExpr::IsNull(Box::new(lhs), negated));
         }
         // [NOT] IN (list)
-        if self.at_word("IN") || (self.at_word("NOT") && matches!(self.peek_at(1), SqlToken::Word(w) if w == "IN"))
+        if self.at_word("IN")
+            || (self.at_word("NOT") && matches!(self.peek_at(1), SqlToken::Word(w) if w == "IN"))
         {
             let negated = self.eat_word("NOT");
             self.expect_word("IN")?;
@@ -647,9 +660,8 @@ mod tests {
 
     #[test]
     fn parse_create_table() {
-        let s = parse_ok(
-            "CREATE TABLE Region (id INTEGER PRIMARY KEY, name TEXT NOT NULL, x REAL)",
-        );
+        let s =
+            parse_ok("CREATE TABLE Region (id INTEGER PRIMARY KEY, name TEXT NOT NULL, x REAL)");
         match s {
             Stmt::CreateTable { name, columns } => {
                 assert_eq!(name, "Region");

@@ -43,7 +43,12 @@ fn prec(e: &SqlExpr) -> u8 {
         SqlExpr::Binary(SqlBinOp::And, _, _) => 2,
         SqlExpr::Not(_) => 3,
         SqlExpr::Binary(
-            SqlBinOp::Eq | SqlBinOp::Neq | SqlBinOp::Lt | SqlBinOp::Le | SqlBinOp::Gt | SqlBinOp::Ge,
+            SqlBinOp::Eq
+            | SqlBinOp::Neq
+            | SqlBinOp::Lt
+            | SqlBinOp::Le
+            | SqlBinOp::Gt
+            | SqlBinOp::Ge,
             _,
             _,
         ) => 4,

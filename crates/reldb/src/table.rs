@@ -28,7 +28,11 @@ impl HashIndex {
     }
 
     fn insert(&mut self, key: Value, row: usize) -> DbResult<()> {
-        let display = if self.unique { key.to_string() } else { String::new() };
+        let display = if self.unique {
+            key.to_string()
+        } else {
+            String::new()
+        };
         let slot = self.map.entry(key).or_default();
         if self.unique && !slot.is_empty() {
             return Err(DbError::Constraint(format!(
@@ -284,7 +288,8 @@ mod tests {
     #[test]
     fn duplicate_pk_rejected() {
         let mut t = table();
-        t.insert(vec![Value::Int(1), Value::Null, Value::Null]).unwrap();
+        t.insert(vec![Value::Int(1), Value::Null, Value::Null])
+            .unwrap();
         let err = t
             .insert(vec![Value::Int(1), Value::Null, Value::Null])
             .unwrap_err();
@@ -328,7 +333,10 @@ mod tests {
         t.insert(vec![Value::Int(2), Value::Text("a".into()), Value::Null])
             .unwrap();
         t.create_index(1).unwrap();
-        assert_eq!(t.index_on(1).unwrap().get(&Value::Text("a".into())).len(), 2);
+        assert_eq!(
+            t.index_on(1).unwrap().get(&Value::Text("a".into())).len(),
+            2
+        );
     }
 
     #[test]

@@ -135,8 +135,8 @@ pub fn compile_batch(
         alias: Some("ctx_id".to_string()),
     }];
     let push_scalar = |items: &mut Vec<SelectItem>,
-                           cx: &mut ExprCompiler<'_>,
-                           e: &asl_core::ast::Expr|
+                       cx: &mut ExprCompiler<'_>,
+                       e: &asl_core::ast::Expr|
      -> SqlGenResult<()> {
         let v = cx.compile(e, &env, 0)?;
         let CVal::Scalar(s) = v else {
@@ -246,7 +246,10 @@ fn decode_rows(bc: &BatchCompiled, rows: Vec<Vec<Value>>) -> Vec<(u32, PropertyO
             .cloned()
             .zip(row[1 + nc + nf..].iter().cloned())
             .collect();
-        out.push((id as u32, assemble(&bc.name, cond_vals, conf_vals, sev_vals)));
+        out.push((
+            id as u32,
+            assemble(&bc.name, cond_vals, conf_vals, sev_vals),
+        ));
     }
     out
 }
@@ -293,8 +296,13 @@ mod tests {
         }
     "#;
 
-    fn fixture() -> (Store, perfdata::VersionId, asl_core::check::CheckedSpec, SchemaInfo, Database)
-    {
+    fn fixture() -> (
+        Store,
+        perfdata::VersionId,
+        asl_core::check::CheckedSpec,
+        SchemaInfo,
+        Database,
+    ) {
         let mut store = Store::new();
         let model = archetypes::particle_mc(9);
         let machine = MachineModel::t3e_900();

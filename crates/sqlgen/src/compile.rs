@@ -305,7 +305,11 @@ impl<'a> ExprCompiler<'a> {
             }
             ExprKind::Call(name, args) => {
                 if name.name == "MAX" || name.name == "MIN" {
-                    let func = if name.name == "MAX" { "GREATEST" } else { "LEAST" };
+                    let func = if name.name == "MAX" {
+                        "GREATEST"
+                    } else {
+                        "LEAST"
+                    };
                     let mut compiled = Vec::with_capacity(args.len());
                     for a in args {
                         let v = self.compile(a, env, depth)?;
@@ -407,9 +411,9 @@ impl<'a> ExprCompiler<'a> {
                     })?);
                 }
                 let vv = self.compile(value, &inner, depth)?;
-                let item = vv.as_scalar().ok_or_else(|| {
-                    SqlGenError::Unsupported("non-scalar aggregate value".into())
-                })?;
+                let item = vv
+                    .as_scalar()
+                    .ok_or_else(|| SqlGenError::Unsupported("non-scalar aggregate value".into()))?;
                 let func = match op {
                     AggOp::Sum => AggFunc::Sum,
                     AggOp::Min => AggFunc::Min,
@@ -609,7 +613,10 @@ mod tests {
         // The inner attribute chain s.Run.NoPe becomes a correlated
         // subquery against TestRun keyed by s's FK.
         assert!(sql.contains("MIN((SELECT"), "{sql}");
-        assert!(sql.contains("t2.NoPe FROM TestRun t2 WHERE t2.id = t1.Run_id"), "{sql}");
+        assert!(
+            sql.contains("t2.NoPe FROM TestRun t2 WHERE t2.id = t1.Run_id"),
+            "{sql}"
+        );
     }
 
     #[test]
@@ -627,7 +634,10 @@ mod tests {
             "EXISTS(s IN r.TotTimes WITH s.Incl > 10.0)",
             &[("r", region_param(2))],
         );
-        assert!(sql.starts_with("EXISTS (SELECT 1 FROM TotalTiming"), "{sql}");
+        assert!(
+            sql.starts_with("EXISTS (SELECT 1 FROM TotalTiming"),
+            "{sql}"
+        );
         assert!(sql.contains("t1.Incl > 1e1"), "{sql}");
     }
 

@@ -262,9 +262,7 @@ mod tests {
     #[test]
     fn enum_values_stored_as_text() {
         let (store, db, _) = simulated_db();
-        let r = db
-            .query("SELECT DISTINCT Type FROM TypedTiming")
-            .unwrap();
+        let r = db.query("SELECT DISTINCT Type FROM TypedTiming").unwrap();
         assert!(!r.rows.is_empty());
         for row in &r.rows {
             let name = row[0].as_str().unwrap();

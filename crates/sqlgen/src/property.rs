@@ -61,10 +61,7 @@ impl CompiledProperty {
     }
 }
 
-fn bind_args(
-    prop: &PropertyDecl,
-    args: &[EvalValue],
-) -> SqlGenResult<HashMap<String, CVal>> {
+fn bind_args(prop: &PropertyDecl, args: &[EvalValue]) -> SqlGenResult<HashMap<String, CVal>> {
     if args.len() != prop.params.len() {
         return Err(SqlGenError::Unsupported(format!(
             "property `{}` expects {} arguments, got {}",
@@ -391,8 +388,7 @@ mod tests {
             EvalValue::run(big_run),
             EvalValue::region(main),
         ];
-        let cp =
-            compile_property(&f.spec, &f.schema, "SublinearSpeedup", &args).unwrap();
+        let cp = compile_property(&f.spec, &f.schema, "SublinearSpeedup", &args).unwrap();
         let o = eval_compiled(&f.db, &cp).unwrap();
         assert!(o.holds, "main region must lose cycles at 16 PEs");
         assert!(o.severity > 0.0);
@@ -480,10 +476,9 @@ mod tests {
                     EvalValue::run(run),
                     EvalValue::region(main),
                 ];
-                let sql_outcome =
-                    compile_property(&f.spec, &f.schema, "LoadImbalance", &args)
-                        .and_then(|cp| eval_compiled(&f.db, &cp))
-                        .unwrap();
+                let sql_outcome = compile_property(&f.spec, &f.schema, "LoadImbalance", &args)
+                    .and_then(|cp| eval_compiled(&f.db, &cp))
+                    .unwrap();
                 match interp.eval_property("LoadImbalance", &args) {
                     Ok(o) => {
                         assert_eq!(o.holds, sql_outcome.holds);

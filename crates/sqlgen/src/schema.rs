@@ -201,10 +201,8 @@ pub fn generate_schema(model: &Model) -> SqlGenResult<SchemaInfo> {
             columns.push(ColumnDef::new(column.clone(), ColType::Integer));
             indexes.push(((**cname).clone(), column));
         }
-        tables.push(
-            TableSchema::new((**cname).clone(), columns, Some(0))
-                .map_err(SqlGenError::Db)?,
-        );
+        tables
+            .push(TableSchema::new((**cname).clone(), columns, Some(0)).map_err(SqlGenError::Db)?);
     }
 
     Ok(SchemaInfo {
@@ -312,10 +310,8 @@ mod tests {
 
     #[test]
     fn inheritance_flattens_into_subclass_table() {
-        let spec = parse_and_check(
-            "class Base { int A; } class Sub extends Base { float B; }",
-        )
-        .unwrap();
+        let spec =
+            parse_and_check("class Base { int A; } class Sub extends Base { float B; }").unwrap();
         let s = generate_schema(&spec.model).unwrap();
         let sub = s.table("Sub").unwrap();
         assert!(sub.column_index("A").is_some());

@@ -1,0 +1,67 @@
+//! Online streaming: feed trace events from concurrently executing test
+//! runs through the sharded ingestion pipeline and watch the live,
+//! incrementally maintained analysis reports.
+//!
+//! ```sh
+//! cargo run --release --example online_stream
+//! ```
+
+use kojak::apprentice_sim::{archetypes, simulate_program, MachineModel};
+use kojak::cosy::report::render_text;
+use kojak::online::replay::{events_for_run, replay_run_key};
+use kojak::online::{IngestPipeline, OnlineSession, PipelineConfig, SessionConfig};
+use kojak::perfdata::{Store, TestRunId};
+use std::sync::Arc;
+
+fn main() {
+    // A simulated PE sweep stands in for live producers: its runs are
+    // decomposed into the event streams the instrumented runs would emit.
+    let model = archetypes::particle_mc(42);
+    let machine = MachineModel::t3e_900();
+    let mut store = Store::new();
+    simulate_program(&mut store, &model, &machine, &[1, 4, 16, 64]);
+
+    let session = Arc::new(OnlineSession::new(SessionConfig::default()));
+    let pipeline = Arc::new(IngestPipeline::new(
+        Arc::clone(&session),
+        PipelineConfig {
+            shards: 4,
+            batch_size: 32,
+            queue_capacity: 256,
+        },
+    ));
+
+    // One producer thread per run, all streaming concurrently.
+    std::thread::scope(|scope| {
+        for r in 0..store.runs.len() as u32 {
+            let events = events_for_run(&store, TestRunId(r));
+            let pipeline = Arc::clone(&pipeline);
+            scope.spawn(move || {
+                for event in events {
+                    pipeline.submit(event).expect("submit");
+                }
+            });
+        }
+    });
+
+    let pipeline = Arc::into_inner(pipeline).expect("all producers done");
+    let stats = pipeline.close().expect("close");
+    let session_stats = session.stats();
+    println!(
+        "ingested {} events in {} batches  ({} applied, {} rejected)",
+        stats.events, stats.batches, session_stats.events_applied, session_stats.events_rejected,
+    );
+    println!(
+        "incremental engine: {} flushes, {} run re-evaluations, {} property instances\n",
+        session_stats.incremental.flushes,
+        session_stats.incremental.runs_reevaluated,
+        session_stats.incremental.instances_evaluated,
+    );
+
+    // The live report of the largest configuration.
+    let run64 = TestRunId(store.runs.len() as u32 - 1);
+    let report = session
+        .report(replay_run_key(run64))
+        .expect("live report for the 64-PE run");
+    println!("{}", render_text(&report));
+}

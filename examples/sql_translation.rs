@@ -45,7 +45,10 @@ fn main() {
         Value::region(main),
     ];
     let cp = compile_property(&spec, &schema, "SyncCost", &args).expect("compile");
-    println!("\n=== SyncCost compiled for (region {loop_region}, run {}) ===\n", run16.0);
+    println!(
+        "\n=== SyncCost compiled for (region {loop_region}, run {}) ===\n",
+        run16.0
+    );
     for (what, queries) in [
         ("condition", &cp.conditions),
         ("confidence", &cp.confidence),
@@ -73,11 +76,8 @@ fn main() {
     let sql_cost = sql_conn.elapsed();
 
     // Strategy B: fetch the data components and evaluate in the tool.
-    let mut client_conn = Connection::connect(
-        shared,
-        BackendProfile::oracle7(),
-        ApiBinding::jdbc(),
-    );
+    let mut client_conn =
+        Connection::connect(shared, BackendProfile::oracle7(), ApiBinding::jdbc());
     let mut barrier_time = 0.0f64;
     let mut cur = client_conn
         .open_cursor("SELECT TypTimes_owner, Run_id, Type, Time FROM TypedTiming")
@@ -103,8 +103,12 @@ fn main() {
     let client_cost = client_conn.elapsed();
 
     println!("=== §5 work distribution (Oracle 7 over JDBC) ===\n");
-    println!("SQL-side evaluation : {:>8.1} ms  (holds={}, severity {:.2}%)",
-        sql_cost * 1e3, outcome.holds, outcome.severity * 100.0);
+    println!(
+        "SQL-side evaluation : {:>8.1} ms  (holds={}, severity {:.2}%)",
+        sql_cost * 1e3,
+        outcome.holds,
+        outcome.severity * 100.0
+    );
     println!(
         "client-side fetch   : {:>8.1} ms  ({} records at ~1 ms each; barrier sum {:.3}s)",
         client_cost * 1e3,

@@ -1,0 +1,291 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the measurement API surface this workspace's benches use
+//! (`Criterion`, benchmark groups, `BenchmarkId`, `Throughput`,
+//! `black_box`, `criterion_group!`/`criterion_main!`) backed by a simple
+//! median-of-samples wall-clock harness. No statistics, plots, or baseline
+//! comparisons — each benchmark prints one line:
+//! `group/name  median 12.345 µs/iter (11 samples)`.
+//!
+//! In test builds (`cargo test --benches`) each benchmark still executes,
+//! which keeps bench code compile- and run-checked.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock time per measurement sample.
+const TARGET_SAMPLE: Duration = Duration::from_millis(20);
+/// Hard cap on samples per benchmark (keeps `cargo bench` fast offline).
+const MAX_SAMPLES: usize = 15;
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// A parameterized id, printed as `function/parameter`.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// Bare id from a function name.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self) -> String {
+        match &self.parameter {
+            Some(p) if self.function.is_empty() => p.clone(),
+            Some(p) => format!("{}/{}", self.function, p),
+            None => self.function.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            function: s.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId {
+            function: s,
+            parameter: None,
+        }
+    }
+}
+
+/// Throughput annotation (accepted, echoed in the output line).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The timing driver passed to benchmark closures.
+pub struct Bencher {
+    /// (iterations, elapsed) per sample, filled by [`Bencher::iter`].
+    samples: Vec<(u64, Duration)>,
+    sample_count: usize,
+}
+
+impl Bencher {
+    /// Measure `f`, called repeatedly; the return value is black-boxed so
+    /// the computation is not optimized away.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Calibrate: how many iterations fit in one sample window?
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(50));
+        let iters = (TARGET_SAMPLE.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        for _ in 0..self.sample_count {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.samples.push((iters, t.elapsed()));
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.clamp(2, MAX_SAMPLES);
+        self
+    }
+
+    /// Record the work per iteration for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.render());
+        run_bench(&label, self.sample_size, self.throughput, |b| f(b));
+        self.criterion.ran += 1;
+        self
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.render());
+        run_bench(&label, self.sample_size, self.throughput, |b| f(b, input));
+        self.criterion.ran += 1;
+        self
+    }
+
+    /// End the group (printing is immediate; this is a no-op for layout).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {
+    ran: usize,
+}
+
+impl Criterion {
+    /// Accept and ignore command-line configuration (`--bench`, filters).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Run an ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_bench(&id.render(), 10, None, |b| f(b));
+        self.ran += 1;
+        self
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    label: &str,
+    samples: usize,
+    tp: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        sample_count: samples.clamp(2, MAX_SAMPLES),
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{label:<52} (no measurement)");
+        return;
+    }
+    let mut per_iter: Vec<f64> = bencher
+        .samples
+        .iter()
+        .map(|(iters, d)| d.as_secs_f64() / *iters as f64)
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[per_iter.len() / 2];
+    let rate = match tp {
+        Some(Throughput::Elements(n)) => format!("  {:>10.0} elem/s", n as f64 / median),
+        Some(Throughput::Bytes(n)) => format!("  {:>10.0} B/s", n as f64 / median),
+        None => String::new(),
+    };
+    println!(
+        "{label:<52} median {}{}  ({} samples)",
+        format_time(median),
+        rate,
+        per_iter.len()
+    );
+}
+
+fn format_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:8.2} ns/iter", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:8.2} µs/iter", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:8.2} ms/iter", secs * 1e3)
+    } else {
+        format!("{secs:8.3} s/iter")
+    }
+}
+
+/// Declare a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        let mut count = 0u64;
+        g.bench_function("noop", |b| {
+            b.iter(|| {
+                count = count.wrapping_add(1);
+                count
+            })
+        });
+        g.finish();
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn id_rendering() {
+        assert_eq!(BenchmarkId::new("f", 8).render(), "f/8");
+        assert_eq!(BenchmarkId::from("plain").render(), "plain");
+    }
+}

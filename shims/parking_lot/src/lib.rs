@@ -1,0 +1,73 @@
+//! Offline stand-in for `parking_lot`: thin wrappers over `std::sync`
+//! primitives exposing parking_lot's non-poisoning API (guards are returned
+//! directly, a poisoned lock panics — matching parking_lot's behavior of
+//! never poisoning).
+
+use std::sync;
+
+/// A reader-writer lock with parking_lot's infallible API.
+#[derive(Debug, Default)]
+pub struct RwLock<T>(sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Create a new lock.
+    pub fn new(value: T) -> Self {
+        RwLock(sync::RwLock::new(value))
+    }
+
+    /// Acquire a shared read guard.
+    pub fn read(&self) -> sync::RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquire an exclusive write guard.
+    pub fn write(&self) -> sync::RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A mutex with parking_lot's infallible API.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Create a new mutex.
+    pub fn new(value: T) -> Self {
+        Mutex(sync::Mutex::new(value))
+    }
+
+    /// Acquire the lock.
+    pub fn lock(&self) -> sync::MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rwlock_read_write() {
+        let l = RwLock::new(1);
+        assert_eq!(*l.read(), 1);
+        *l.write() += 1;
+        assert_eq!(*l.read(), 2);
+    }
+
+    #[test]
+    fn mutex_lock() {
+        let m = Mutex::new(Vec::new());
+        m.lock().push(1);
+        assert_eq!(m.into_inner(), vec![1]);
+    }
+}

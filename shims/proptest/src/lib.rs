@@ -1,0 +1,655 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the strategy-combinator surface this workspace uses:
+//! [`Strategy`] with `prop_map`/`prop_recursive`/`boxed`, ranges and tuples
+//! as strategies, [`Just`], [`any`], a small regex-character-class string
+//! strategy, `prop::collection::vec`, `prop::option::of`, and the
+//! [`proptest!`]/[`prop_oneof!`]/[`prop_assert!`] macro family.
+//!
+//! Differences from real proptest: generation is driven by a deterministic
+//! per-test splitmix64 stream (reproducible across runs and platforms) and
+//! there is **no shrinking** — a failing case panics with the standard
+//! assert message. `PROPTEST_CASES` overrides the default case count.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------- RNG ----
+
+/// Deterministic splitmix64 generator; one stream per (test, case).
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Stream for case `case` of test `name` (stable across runs).
+    pub fn for_case(name: &str, case: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(h ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform index in `[0, n)`; `n` must be nonzero.
+    pub fn index(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+// ----------------------------------------------------------- Strategy ----
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+
+    /// Build a recursive strategy: `self` is the leaf case, and `f` wraps a
+    /// strategy for subtrees into a strategy for larger trees. `depth`
+    /// bounds the nesting; the size hints are accepted for proptest
+    /// compatibility but unused.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            let recursive = f(current).boxed();
+            current = Union::new(vec![leaf.clone(), recursive]).boxed();
+        }
+        current
+    }
+}
+
+/// Object-safe generation, used behind [`BoxedStrategy`].
+trait DynStrategy<T> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Arc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice between type-erased alternatives ([`prop_oneof!`]).
+#[derive(Clone)]
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Choose uniformly between `arms` (must be non-empty).
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.index(self.arms.len());
+        self.arms[i].generate(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ------------------------------------------------- primitive strategies --
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+        )*
+    };
+}
+
+int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let u = rng.next_f64() as $t;
+                    self.start + u * (self.end - self.start)
+                }
+            }
+        )*
+    };
+}
+
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {
+        $(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*
+    };
+}
+
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9)
+}
+
+/// Types with a canonical "anything" strategy ([`any`]).
+pub trait Arbitrary: Sized {
+    /// Generate an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {
+        $(impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        })*
+    };
+}
+
+arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.next_f64() * 2e6 - 1e6
+    }
+}
+
+/// Strategy form of [`Arbitrary`].
+pub struct AnyStrategy<A>(std::marker::PhantomData<A>);
+
+impl<A> Clone for AnyStrategy<A> {
+    fn clone(&self) -> Self {
+        AnyStrategy(std::marker::PhantomData)
+    }
+}
+
+impl<A: Arbitrary> Strategy for AnyStrategy<A> {
+    type Value = A;
+    fn generate(&self, rng: &mut TestRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `A` (`any::<bool>()`, …).
+pub fn any<A: Arbitrary>() -> AnyStrategy<A> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+// --------------------------------------------------- string strategies ---
+
+/// `&'static str` regex patterns as string strategies. Supported subset:
+/// one character class with optional `&&[^…]` subtraction, followed by a
+/// `{min,max}` repetition — e.g. `"[ -~&&[^\"\\\\]]{0,12}"`. Anything else
+/// panics loudly so unsupported patterns are caught at test-writing time.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (alphabet, min, max) = parse_class_pattern(self)
+            .unwrap_or_else(|| panic!("proptest shim: unsupported string pattern {self:?}"));
+        let len = min + rng.index(max - min + 1);
+        (0..len)
+            .map(|_| alphabet[rng.index(alphabet.len())])
+            .collect()
+    }
+}
+
+/// Parse `[class]{min,max}` into (alphabet, min, max).
+fn parse_class_pattern(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pat.strip_prefix('[')?;
+    // Split the class body from the repetition suffix at the matching `]`.
+    // The body may contain a nested `[^…]` subtraction class.
+    let mut depth = 1;
+    let mut body = String::new();
+    let mut chars = rest.chars();
+    let mut escaped = false;
+    for c in chars.by_ref() {
+        if escaped {
+            body.push('\\');
+            body.push(c);
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' => escaped = true,
+            '[' => {
+                depth += 1;
+                body.push(c);
+            }
+            ']' => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+                body.push(c);
+            }
+            _ => body.push(c),
+        }
+    }
+    if depth != 0 {
+        return None;
+    }
+    let suffix: String = chars.collect();
+    let (min, max) = if suffix.is_empty() {
+        (1, 1)
+    } else {
+        let inner = suffix.strip_prefix('{')?.strip_suffix('}')?;
+        let (lo, hi) = inner.split_once(',')?;
+        (lo.trim().parse().ok()?, hi.trim().parse().ok()?)
+    };
+
+    // Optional subtraction: `base&&[^negated]`.
+    let (base, negated) = match body.split_once("&&[^") {
+        Some((b, n)) => (
+            b.to_string(),
+            Some(n.strip_suffix(']').unwrap_or(n).to_string()),
+        ),
+        None => (body, None),
+    };
+    let mut allowed = class_chars(&base)?;
+    if let Some(neg) = negated {
+        let banned = class_chars(&neg)?;
+        allowed.retain(|c| !banned.contains(c));
+    }
+    if allowed.is_empty() {
+        return None;
+    }
+    Some((allowed, min, max))
+}
+
+/// Expand a character-class body (`a-z`, literals, `\\`-escapes).
+fn class_chars(body: &str) -> Option<Vec<char>> {
+    let mut out = Vec::new();
+    let mut items: Vec<char> = Vec::new();
+    let mut iter = body.chars().peekable();
+    while let Some(c) = iter.next() {
+        let lit = if c == '\\' { iter.next()? } else { c };
+        items.push(lit);
+    }
+    let mut i = 0;
+    while i < items.len() {
+        if i + 2 < items.len() && items[i + 1] == '-' {
+            let (lo, hi) = (items[i], items[i + 2]);
+            for v in lo as u32..=hi as u32 {
+                out.push(char::from_u32(v)?);
+            }
+            i += 3;
+        } else {
+            out.push(items[i]);
+            i += 1;
+        }
+    }
+    Some(out)
+}
+
+// ------------------------------------------------------- prop:: module ---
+
+/// The `prop::` helper module re-exported by the prelude.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+        use std::ops::Range;
+
+        /// Strategy for `Vec<S::Value>` with length drawn from `len`.
+        #[derive(Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            len: Range<usize>,
+        }
+
+        /// Generate vectors of `element` values with length in `len`.
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            assert!(len.start < len.end, "empty vec length range");
+            VecStrategy { element, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let n = self.len.start + rng.index(self.len.end - self.len.start);
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// Option strategies.
+    pub mod option {
+        use crate::{Strategy, TestRng};
+
+        /// Strategy for `Option<S::Value>` (`None` one time in four).
+        #[derive(Clone)]
+        pub struct OptionStrategy<S>(S);
+
+        /// Generate `Some` values of `inner` three times out of four.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy(inner)
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                if rng.index(4) == 0 {
+                    None
+                } else {
+                    Some(self.0.generate(rng))
+                }
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------- config ----
+
+/// Per-test configuration (only the case count is meaningful here).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        ProptestConfig { cases }
+    }
+}
+
+/// Marker returned by [`prop_assume!`] on rejection (the case is skipped).
+#[derive(Debug)]
+pub struct TestCaseReject;
+
+// ------------------------------------------------------------- macros ----
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Assert inside a [`proptest!`] body (no shrinking: plain assert).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)+) => { assert!($($args)+) };
+}
+
+/// Equality assert inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)+) => { assert_eq!($($args)+) };
+}
+
+/// Inequality assert inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)+) => { assert_ne!($($args)+) };
+}
+
+/// Skip the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseReject);
+        }
+    };
+}
+
+/// Define property tests: each `fn name(pat in strategy, …) { body }`
+/// becomes a `#[test]` running `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($pat:pat in $strat:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                let __fname = concat!(module_path!(), "::", stringify!($name));
+                for __case in 0..__cfg.cases {
+                    let mut __rng = $crate::TestRng::for_case(__fname, __case);
+                    $(let $pat = $crate::Strategy::generate(&($strat), &mut __rng);)*
+                    let __outcome: ::core::result::Result<(), $crate::TestCaseReject> =
+                        (|| {
+                            $body
+                            ::core::result::Result::Ok(())
+                        })();
+                    let _ = __outcome; // Err = case rejected by prop_assume!
+                }
+            }
+        )*
+    };
+}
+
+/// The prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestRng, Union,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_case("ranges", 0);
+        for _ in 0..1000 {
+            let v = (3i64..17).generate(&mut rng);
+            assert!((3..17).contains(&v));
+            let f = (0.5f64..2.0).generate(&mut rng);
+            assert!((0.5..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn string_pattern_class() {
+        let mut rng = TestRng::for_case("strings", 1);
+        let strat = "[ -~&&[^\"\\\\]]{0,12}";
+        for _ in 0..500 {
+            let s = Strategy::generate(&strat, &mut rng);
+            assert!(s.len() <= 12);
+            assert!(s
+                .chars()
+                .all(|c| (' '..='~').contains(&c) && c != '"' && c != '\\'));
+        }
+    }
+
+    #[test]
+    fn oneof_and_map() {
+        let mut rng = TestRng::for_case("oneof", 2);
+        let strat = prop_oneof![Just(1u32), 5u32..7, Just(9u32)].prop_map(|v| v * 10);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!([10, 50, 60, 90].contains(&v));
+        }
+    }
+
+    #[test]
+    fn recursive_bounds_depth() {
+        #[derive(Clone, Debug)]
+        enum Tree {
+            Leaf,
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf => 0,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let strat = Just(Tree::Leaf).prop_recursive(3, 8, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+        });
+        let mut rng = TestRng::for_case("recursive", 3);
+        for _ in 0..200 {
+            assert!(depth(&strat.generate(&mut rng)) <= 3);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_form_works(x in 0u32..10, flip in any::<bool>()) {
+            prop_assume!(x != 3);
+            prop_assert!(x < 10);
+            if flip {
+                prop_assert_eq!(x.min(9), x);
+            }
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Implements the slice-parallelism surface this workspace uses —
+//! `par_iter()` followed by `map(...).collect()` or `for_each(...)` — on
+//! top of `std::thread::scope`. Work is split into one contiguous chunk per
+//! available core (sequential fallback on one core), and `collect()`
+//! preserves input order, matching rayon's indexed semantics. Swapping the
+//! real rayon back in is a manifest-only change.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads to use for a job of `len` items.
+fn workers_for(len: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    cores.min(len).max(1)
+}
+
+/// Apply `f` to every element of `items`, collecting outputs in input
+/// order across a scoped thread pool.
+fn parallel_map<'a, T, R, F>(items: &'a [T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = workers_for(n);
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let slots: Vec<(usize, &mut [Option<R>])> = {
+        let mut rest = out.as_mut_slice();
+        let mut slots = Vec::new();
+        let mut start = 0;
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            slots.push((start, head));
+            start += take;
+            rest = tail;
+        }
+        slots
+    };
+    std::thread::scope(|scope| {
+        for (start, slot) in slots {
+            let f = &f;
+            scope.spawn(move || {
+                for (k, cell) in slot.iter_mut().enumerate() {
+                    *cell = Some(f(&items[start + k]));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|v| v.expect("worker filled slot"))
+        .collect()
+}
+
+/// A "parallel" iterator over a borrowed slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+/// A mapped parallel iterator.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Apply `f` to every element.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Run `f` for every element.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        parallel_map(self.items, f);
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+impl<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync> ParMap<'a, T, F> {
+    /// Collect the mapped values, preserving input order.
+    pub fn collect<C: FromParallel<R>>(self) -> C {
+        C::from_vec(parallel_map(self.items, self.f))
+    }
+
+    /// Sum the mapped values.
+    pub fn sum<S: std::iter::Sum<R> + Send>(self) -> S {
+        let v: Vec<R> = self.collect();
+        v.into_iter().sum()
+    }
+}
+
+/// Conversion from an ordered `Vec` of results (rayon's
+/// `FromParallelIterator` analogue).
+pub trait FromParallel<R> {
+    /// Build the collection from results in input order.
+    fn from_vec(v: Vec<R>) -> Self;
+}
+
+impl<R> FromParallel<R> for Vec<R> {
+    fn from_vec(v: Vec<R>) -> Self {
+        v
+    }
+}
+
+impl<A, B> FromParallel<(A, B)> for (Vec<A>, Vec<B>) {
+    fn from_vec(v: Vec<(A, B)>) -> Self {
+        v.into_iter().unzip()
+    }
+}
+
+/// `par_iter()` on borrowed collections.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type.
+    type Item: 'a;
+    /// Create the parallel iterator.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// The prelude, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{FromParallel, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<i32> = (0..1000).collect();
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let v: Vec<i32> = Vec::new();
+        let out: Vec<i32> = v.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn borrows_from_outer_scope() {
+        let names = vec!["a".to_string(), "bb".to_string()];
+        let refs: Vec<&str> = names.par_iter().map(|s| s.as_str()).collect();
+        assert_eq!(refs, ["a", "bb"]);
+    }
+}

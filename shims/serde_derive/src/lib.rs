@@ -1,0 +1,82 @@
+//! No-op `Serialize`/`Deserialize` derive macros for the offline serde
+//! shim. Since the shim traits are empty markers, the derives only need to
+//! name the type being derived for; no `syn`/`quote` dependency is
+//! available offline, so the item header is parsed by hand.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract the type name and a rendered generics header from the item.
+///
+/// Returns `(name, impl_generics, ty_generics)`, e.g. for
+/// `struct Foo<T: Clone>` → `("Foo", "<T: Clone>", "<T>")`. Only plain type
+/// and lifetime parameters are supported, which covers every derive site in
+/// this workspace (all of them are non-generic today).
+fn parse_item_header(input: TokenStream) -> (String, String, String) {
+    let mut iter = input.into_iter().peekable();
+    // Skip attributes and visibility until the `struct`/`enum` keyword.
+    for tt in iter.by_ref() {
+        match &tt {
+            TokenTree::Ident(id) if *id.to_string() == *"struct" || *id.to_string() == *"enum" => {
+                break;
+            }
+            _ => continue,
+        }
+    }
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, got {other:?}"),
+    };
+    // Collect a raw `<...>` generics section if present.
+    let mut impl_generics = String::new();
+    let mut ty_generics = String::new();
+    if matches!(&iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        let mut depth = 0i32;
+        let mut raw = Vec::new();
+        for tt in iter.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    _ => {}
+                }
+            }
+            raw.push(tt.to_string());
+            if depth == 0 {
+                break;
+            }
+        }
+        impl_generics = raw.join(" ");
+        // Parameter names only (strip bounds) for the type position.
+        let inner = &impl_generics[1..impl_generics.len() - 2];
+        let names: Vec<String> = inner
+            .split(',')
+            .map(|p| p.split(':').next().unwrap_or("").trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        ty_generics = format!("<{}>", names.join(", "));
+    }
+    (name, impl_generics, ty_generics)
+}
+
+/// Derive the marker `serde::Serialize` impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, imp, ty) = parse_item_header(input);
+    format!("impl {imp} ::serde::Serialize for {name} {ty} {{}}")
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+/// Derive the marker `serde::Deserialize` impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, imp, ty) = parse_item_header(input);
+    let imp = if imp.is_empty() {
+        "<'de>".to_string()
+    } else {
+        format!("<'de, {}", &imp[1..])
+    };
+    format!("impl {imp} ::serde::Deserialize<'de> for {name} {ty} {{}}")
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}

@@ -11,11 +11,13 @@
 //! * [`asl_eval`] — ASL interpreter
 //! * [`asl_sql`] — ASL→SQL compiler
 //! * [`cosy`] — the KOJAK Cost Analyzer
+//! * [`online`] — streaming trace ingestion + incremental analysis
 
 pub use apprentice_sim;
 pub use asl_core;
 pub use asl_eval;
 pub use asl_sql;
 pub use cosy;
+pub use online;
 pub use perfdata;
 pub use reldb;

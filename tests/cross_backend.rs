@@ -58,11 +58,7 @@ fn cross_check(store: &Store, version: kojak::perfdata::VersionId) {
                     .into_iter()
                     .collect();
             for id in ids {
-                let args = vec![
-                    Value::obj(class, id),
-                    Value::run(run),
-                    Value::region(basis),
-                ];
+                let args = vec![Value::obj(class, id), Value::run(run), Value::region(basis)];
                 let sql = compile_property(&spec, &schema, info.name, &args)
                     .and_then(|cp| eval_compiled(&db, &cp))
                     .unwrap();

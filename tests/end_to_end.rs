@@ -44,10 +44,7 @@ fn particle_mc_bottleneck_chain_is_synchronization() {
     // loss; SyncCost and LoadImbalance explain *why* for a barrier-bound
     // imbalanced code.
     let report = analyze(&archetypes::particle_mc(3), &[1, 32], Backend::Interpreter);
-    let names: Vec<&str> = report
-        .problems()
-        .map(|e| e.property.as_str())
-        .collect();
+    let names: Vec<&str> = report.problems().map(|e| e.property.as_str()).collect();
     assert!(names.contains(&"SublinearSpeedup"));
     assert!(
         names.contains(&"SyncCost"),
@@ -130,5 +127,8 @@ fn multiple_versions_analyzed_independently() {
         .unwrap();
     assert_eq!(a1.program, "particle_mc");
     assert_eq!(a2.program, "stencil3d");
-    assert!(a1.total_cost > a2.total_cost, "particle loses more at 8 PEs");
+    assert!(
+        a1.total_cost > a2.total_cost,
+        "particle loses more at 8 PEs"
+    );
 }

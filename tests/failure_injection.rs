@@ -49,7 +49,10 @@ fn partially_instrumented_version_analyzes() {
             .analyze(run, backend, ProblemThreshold::default())
             .unwrap();
         assert!(
-            report.entries.iter().all(|e| e.context.region != Some(victim.0)),
+            report
+                .entries
+                .iter()
+                .all(|e| e.context.region != Some(victim.0)),
             "{backend:?}: stripped region must not appear"
         );
         assert!(

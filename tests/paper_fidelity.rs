@@ -113,7 +113,10 @@ fn paper_data_model_checks() {
     let src = format!("{PAPER_DATA_MODEL}\n{PAPER_FUNCTIONS}");
     let spec = parse_and_check(&src).unwrap_or_else(|d| panic!("{}", d.render(&src)));
     assert_eq!(spec.spec.classes.len(), 10);
-    assert_eq!(spec.model.functions["Duration"].ret, kojak::asl_core::types::Type::Float);
+    assert_eq!(
+        spec.model.functions["Duration"].ret,
+        kojak::asl_core::types::Type::Float
+    );
 }
 
 #[test]
@@ -121,7 +124,12 @@ fn paper_properties_check_against_paper_model() {
     let src = format!("{PAPER_DATA_MODEL}\n{PAPER_FUNCTIONS}\n{PAPER_PROPERTIES}");
     let spec = parse_and_check(&src).unwrap_or_else(|d| panic!("{}", d.render(&src)));
     assert_eq!(spec.properties().len(), 4);
-    for p in ["SublinearSpeedup", "MeasuredCost", "SyncCost", "LoadImbalance"] {
+    for p in [
+        "SublinearSpeedup",
+        "MeasuredCost",
+        "SyncCost",
+        "LoadImbalance",
+    ] {
         assert!(spec.property(p).is_some(), "{p} missing");
     }
 }

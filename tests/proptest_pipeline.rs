@@ -9,10 +9,10 @@ use proptest::prelude::*;
 
 fn machine_strategy() -> impl Strategy<Value = MachineModel> {
     (
-        1e-6f64..50e-6,  // ptp latency
-        0.0f64..0.01,    // contention
-        1e-6f64..20e-6,  // barrier base
-        50e6f64..500e6,  // io bandwidth
+        1e-6f64..50e-6, // ptp latency
+        0.0f64..0.01,   // contention
+        1e-6f64..20e-6, // barrier base
+        50e6f64..500e6, // io bandwidth
     )
         .prop_map(|(ptp, contention, barrier, io_bw)| MachineModel {
             ptp_latency: ptp,
