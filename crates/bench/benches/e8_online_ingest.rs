@@ -28,6 +28,7 @@ fn bench_online_ingest(c: &mut Criterion) {
     let session = OnlineSession::new(SessionConfig {
         threshold,
         auto_flush_events: 0,
+        ..SessionConfig::default()
     });
     for r in 0..BASE_RUNS as u32 {
         session
@@ -54,7 +55,7 @@ fn bench_online_ingest(c: &mut Criterion) {
             let mut entries = 0usize;
             for r in 0..store.runs.len() as u32 {
                 entries += analyzer
-                    .analyze(TestRunId(r), Backend::Interpreter, threshold)
+                    .analyze(TestRunId(r), Backend::Compiled, threshold)
                     .expect("analysis")
                     .entries
                     .len();

@@ -1,0 +1,45 @@
+//! E9 — wall-clock cost of property evaluation: the tree-walking
+//! interpreter vs the slot-indexed compiled IR, on the same analyzer and
+//! the same store (full E5-style analysis of the 64-PE particle-MC run).
+
+use cosy::{Analyzer, Backend, ProblemThreshold};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use kojak_bench::data;
+
+fn bench_compiled_eval(c: &mut Criterion) {
+    let threshold = ProblemThreshold::default();
+    let (store, version) = data::particle_store(&[1, 4, 16, 64]);
+    let run = *store.versions[version.index()].runs.last().unwrap();
+    let analyzer = Analyzer::new(&store, version).expect("analyzer");
+    let instances = analyzer.instances(run).len() as u64;
+    // Lower once outside the measurement loops (shared across analyses).
+    let _ = analyzer.compiled_spec();
+
+    let mut g = c.benchmark_group("e9_compiled_eval");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(instances));
+
+    g.bench_function("interpreter_full_analysis", |b| {
+        b.iter(|| {
+            analyzer
+                .analyze(run, Backend::Interpreter, threshold)
+                .expect("interpreter analysis")
+                .entries
+                .len()
+        })
+    });
+
+    g.bench_function("compiled_full_analysis", |b| {
+        b.iter(|| {
+            analyzer
+                .analyze(run, Backend::Compiled, threshold)
+                .expect("compiled analysis")
+                .entries
+                .len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_compiled_eval);
+criterion_main!(benches);

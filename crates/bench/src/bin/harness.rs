@@ -1,5 +1,7 @@
 //! The experiment harness: regenerates every table/figure/claim of the
-//! paper (E1–E7, see DESIGN.md §4) and prints paper-style tables.
+//! paper (E1–E9, see DESIGN.md §4) and prints paper-style tables. E9 also
+//! emits a machine-readable `BENCH_e9.json` (median ns + speedup ratios)
+//! so the evaluation-core perf trajectory is tracked across PRs.
 //!
 //! ```sh
 //! cargo run --release -p kojak-bench --bin harness            # all
@@ -82,6 +84,21 @@ fn main() {
         println!("{}", e8_online::render(&result));
         report_claim(&mut failures, "E8", e8_online::check_claims(&result));
         println!("claim: single-run append ≥ 10x faster incrementally than full re-analysis\n");
+    }
+
+    if want("--e9") {
+        println!(
+            "== E9: compiled-IR evaluation vs interpreter =================================\n"
+        );
+        let result = e9_compiled::run();
+        println!("{}", e9_compiled::render(&result));
+        report_claim(&mut failures, "E9", e9_compiled::check_claims(&result));
+        let json = e9_compiled::to_json(&result);
+        match std::fs::write("BENCH_e9.json", &json) {
+            Ok(()) => println!("wrote BENCH_e9.json"),
+            Err(e) => println!("could not write BENCH_e9.json: {e}"),
+        }
+        println!("claim: compiled path ≥ 2x faster than the interpreter on E5 and E8 shapes\n");
     }
 
     if failures.is_empty() {

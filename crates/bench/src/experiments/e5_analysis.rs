@@ -17,11 +17,14 @@ pub struct E5Result {
     pub bottleneck: Option<String>,
     /// Number of performance problems.
     pub problems: usize,
-    /// Whether the interpreter and SQL backends produced the same ranking.
+    /// Whether the compiled, interpreter and SQL backends produced the
+    /// same ranking.
     pub backends_agree: bool,
 }
 
-/// Run the full analysis for every archetype at 64 PEs.
+/// Run the full analysis for every archetype at 64 PEs. The compiled IR is
+/// the production engine; the interpreter oracle and the SQL translation
+/// are evaluated alongside and must agree.
 pub fn run() -> Vec<E5Result> {
     let machine = MachineModel::t3e_900();
     let mut out = Vec::new();
@@ -31,12 +34,17 @@ pub fn run() -> Vec<E5Result> {
         let run = *store.versions[version.index()].runs.last().unwrap();
         let analyzer = Analyzer::new(&store, version).expect("analyzer");
         let a = analyzer
+            .analyze(run, Backend::Compiled, ProblemThreshold::default())
+            .expect("compiled analysis");
+        let oracle = analyzer
             .analyze(run, Backend::Interpreter, ProblemThreshold::default())
             .expect("interpreter analysis");
         let b = analyzer
             .analyze(run, Backend::Sql, ProblemThreshold::default())
             .expect("sql analysis");
-        let agree = a.entries.len() == b.entries.len()
+        // Compiled vs interpreter: identical arithmetic, exact equality.
+        let agree = a == oracle
+            && a.entries.len() == b.entries.len()
             && a.entries.iter().zip(&b.entries).all(|(x, y)| {
                 x.property == y.property
                     && x.context.label == y.context.label

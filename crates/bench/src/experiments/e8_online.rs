@@ -50,6 +50,7 @@ pub fn run(base_runs: usize) -> E8Result {
     let session = OnlineSession::new(SessionConfig {
         threshold,
         auto_flush_events: 0,
+        ..SessionConfig::default()
     });
     for r in 0..base_runs as u32 {
         session
@@ -75,7 +76,7 @@ pub fn run(base_runs: usize) -> E8Result {
         let run = TestRunId(r);
         full_instances += analyzer.instance_count(run) as u64;
         analyzer
-            .analyze(run, Backend::Interpreter, threshold)
+            .analyze(run, Backend::Compiled, threshold)
             .expect("batch analysis");
     }
     let full_ms = t.elapsed().as_secs_f64() * 1e3;

@@ -1,4 +1,4 @@
-//! The experiments E1–E7 (see DESIGN.md §4 for the index).
+//! The experiments E1–E9 (see DESIGN.md §4 for the index).
 
 pub mod e1_parse;
 pub mod e2_insert;
@@ -8,4 +8,5 @@ pub mod e5_analysis;
 pub mod e6_cost_scaling;
 pub mod e7_distribution;
 pub mod e8_online;
+pub mod e9_compiled;
 pub mod strategies;

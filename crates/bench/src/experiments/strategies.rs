@@ -104,7 +104,7 @@ fn family_class(sel: ContextSelector) -> &'static str {
 /// per-evaluation cache.
 struct CountingData<'a> {
     inner: CosyData<'a>,
-    seen: RefCell<HashSet<(String, u32)>>,
+    seen: RefCell<HashSet<(asl_core::Symbol, u32)>>,
     fetches: RefCell<HashMap<String, u64>>,
 }
 
@@ -125,15 +125,11 @@ impl<'a> CountingData<'a> {
 
 impl ObjectModel for CountingData<'_> {
     fn attr(&self, obj: &ObjRef, attr: &str) -> asl_eval::error::EvalResult<Value> {
-        if self
-            .seen
-            .borrow_mut()
-            .insert((obj.class.clone(), obj.index))
-        {
+        if self.seen.borrow_mut().insert((obj.class, obj.index)) {
             *self
                 .fetches
                 .borrow_mut()
-                .entry(obj.class.clone())
+                .entry(obj.class.as_str().to_string())
                 .or_default() += 1;
         }
         self.inner.attr(obj, attr)

@@ -54,6 +54,7 @@
 pub mod ast;
 pub mod check;
 pub mod diag;
+pub mod intern;
 pub mod lexer;
 pub mod parser;
 pub mod pretty;
@@ -64,6 +65,7 @@ pub mod types;
 pub use ast::Specification;
 pub use check::{check, CheckedSpec};
 pub use diag::{Diagnostic, Diagnostics, Severity};
+pub use intern::Symbol;
 pub use parser::parse;
 pub use span::{SourceMap, Span};
 

@@ -4,12 +4,12 @@
 use crate::backend::{Backend, PreparedBackend};
 use crate::suite::{standard_suite, ContextSelector, SUITE};
 use asl_core::check::CheckedSpec;
-use asl_eval::Value;
+use asl_eval::{compile as compile_ir, CompiledSpec, Value};
 use perfdata::{CallId, RegionId, Store, TestRunId, VersionId};
 use rayon::prelude::*;
 use serde::Serialize;
 use std::collections::HashSet;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Severity threshold above which a property is a *performance problem*
 /// (§4: "A performance property is a performance problem, iff its severity
@@ -164,6 +164,9 @@ pub struct Analyzer<'s> {
     store: &'s Store,
     version: VersionId,
     spec: Arc<CheckedSpec>,
+    /// The suite lowered to the slot-indexed IR; compiled lazily on the
+    /// first `Backend::Compiled` analysis and shared from then on.
+    compiled: OnceLock<Arc<CompiledSpec>>,
     basis: RegionId,
 }
 
@@ -189,13 +192,30 @@ impl<'s> Analyzer<'s> {
             store,
             version,
             spec,
+            compiled: OnceLock::new(),
             basis,
         })
+    }
+
+    /// Create an analyzer sharing both a pre-checked suite and its
+    /// pre-lowered IR. The online engine compiles the suite once per
+    /// session and re-binds analyzers on every flush through this
+    /// constructor, so no per-flush lowering happens.
+    pub fn with_compiled(
+        store: &'s Store,
+        version: VersionId,
+        spec: Arc<CheckedSpec>,
+        compiled: Arc<CompiledSpec>,
+    ) -> Result<Self, String> {
+        let analyzer = Self::with_spec(store, version, spec)?;
+        let _ = analyzer.compiled.set(compiled);
+        Ok(analyzer)
     }
 
     /// Use a custom checked suite (must be based on the COSY data model).
     pub fn with_suite(mut self, spec: CheckedSpec) -> Self {
         self.spec = Arc::new(spec);
+        self.compiled = OnceLock::new();
         self
     }
 
@@ -213,6 +233,15 @@ impl<'s> Analyzer<'s> {
     /// The checked suite as a shareable handle.
     pub fn shared_spec(&self) -> Arc<CheckedSpec> {
         Arc::clone(&self.spec)
+    }
+
+    /// The suite lowered to the compiled IR (lowering happens once, on
+    /// first use, and is shared afterwards).
+    pub fn compiled_spec(&self) -> Arc<CompiledSpec> {
+        Arc::clone(
+            self.compiled
+                .get_or_init(|| Arc::new(compile_ir(&self.spec))),
+        )
     }
 
     /// The ranking basis region.
@@ -413,7 +442,12 @@ impl<'s> Analyzer<'s> {
         backend: Backend,
         threshold: ProblemThreshold,
     ) -> Result<AnalysisReport, String> {
-        let prepared = PreparedBackend::prepare(backend, &self.spec, self.store)?;
+        let prepared = match backend {
+            // Reuse the analyzer's cached lowering instead of re-compiling
+            // per analysis call.
+            Backend::Compiled => PreparedBackend::from_compiled(self.compiled_spec(), self.store)?,
+            other => PreparedBackend::prepare(other, &self.spec, self.store)?,
+        };
         let instances = self.instances(run);
         let outcomes = self.evaluate_instances(&prepared, &instances)?;
         let mut skipped = 0usize;
@@ -446,8 +480,17 @@ mod tests {
     }
 
     #[test]
+    fn compiled_report_is_identical_to_interpreter() {
+        // Exact equality, not tolerance: both engines execute the same
+        // arithmetic in the same order.
+        let a = analyzed(Backend::Interpreter);
+        let b = analyzed(Backend::Compiled);
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn particle_mc_analysis_finds_problems() {
-        let report = analyzed(Backend::Interpreter);
+        let report = analyzed(Backend::Compiled);
         assert!(!report.entries.is_empty());
         assert!(report.needs_tuning());
         assert!(report.total_cost > 0.0, "16-PE run must show total cost");
@@ -487,7 +530,7 @@ mod tests {
     #[test]
     fn backends_agree_on_the_ranking() {
         let a = analyzed(Backend::Interpreter);
-        for other in [Backend::Sql, Backend::SqlBatched] {
+        for other in [Backend::Compiled, Backend::Sql, Backend::SqlBatched] {
             let b = analyzed(other);
             assert_eq!(a.entries.len(), b.entries.len(), "{other:?}");
             for (x, y) in a.entries.iter().zip(&b.entries) {

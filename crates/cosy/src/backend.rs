@@ -7,18 +7,29 @@
 //! produce identical analyses (enforced by integration tests).
 
 use asl_core::check::CheckedSpec;
-use asl_eval::{CosyData, EvalError, Interpreter, PropertyOutcome, Value};
+use asl_eval::{
+    compile as compile_ir, CompiledEvaluator, CompiledSpec, CosyData, EvalError, Interpreter,
+    PropertyOutcome, Value,
+};
 use asl_sql::{
     compile_batch, compile_property, eval_batch, eval_compiled, generate_schema, loader, SchemaInfo,
 };
 use perfdata::Store;
 use reldb::Database;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Which evaluation strategy to use.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Backend {
-    /// Direct interpretation over the object store (client-side).
+    /// The slot-indexed compiled IR over the object store — the production
+    /// client-side engine (properties are lowered once, then every
+    /// instance executes with O(1) name resolution and indexed metric
+    /// loads).
+    #[default]
+    Compiled,
+    /// Direct AST interpretation over the object store. Kept as the
+    /// reference oracle the compiled engine is validated against.
     Interpreter,
     /// Compilation of every property instance into SQL, executed by the
     /// embedded relational engine.
@@ -34,6 +45,8 @@ type BatchKey = (String, u32, u32);
 /// A prepared evaluator for one backend. `None` outcomes mean the property
 /// is not applicable in that context (e.g. no timing recorded).
 pub enum PreparedBackend<'a> {
+    /// Compiled-IR state: the lowered spec bound to the store.
+    Compiled(CompiledEvaluator<CosyData<'a>>),
     /// Interpreter state.
     Interpreter(Interpreter<'a, CosyData<'a>>),
     /// SQL state: generated schema plus the loaded database.
@@ -67,6 +80,7 @@ impl<'a> PreparedBackend<'a> {
         store: &'a Store,
     ) -> Result<Self, String> {
         match backend {
+            Backend::Compiled => Self::from_compiled(Arc::new(compile_ir(spec)), store),
             Backend::Interpreter => {
                 let data = CosyData::new(store);
                 let interp = Interpreter::new(spec, data).map_err(|e| e.to_string())?;
@@ -93,10 +107,28 @@ impl<'a> PreparedBackend<'a> {
         }
     }
 
+    /// Bind an already-compiled spec to a store. This is the cheap
+    /// re-preparation path the online engine uses on every flush: the
+    /// expensive lowering happened once, binding only re-evaluates the
+    /// spec's global constants.
+    pub fn from_compiled(
+        compiled: Arc<CompiledSpec>,
+        store: &'a Store,
+    ) -> Result<PreparedBackend<'a>, String> {
+        let data = CosyData::new(store);
+        let eval = CompiledEvaluator::new(compiled, data).map_err(|e| e.to_string())?;
+        Ok(PreparedBackend::Compiled(eval))
+    }
+
     /// Evaluate one property instance. Returns `Ok(None)` when the property
     /// is not applicable in the context.
     pub fn eval(&self, prop: &str, args: &[Value]) -> Result<Option<PropertyOutcome>, String> {
         match self {
+            PreparedBackend::Compiled(eval) => match eval.eval_property(prop, args) {
+                Ok(o) => Ok(Some(o)),
+                Err(e) if e.is_not_applicable() => Ok(None),
+                Err(e) => Err(format!("{prop}: {e}")),
+            },
             PreparedBackend::Interpreter(interp) => match interp.eval_property(prop, args) {
                 Ok(o) => Ok(Some(o)),
                 Err(e) if e.is_not_applicable() => Ok(None),

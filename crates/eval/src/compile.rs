@@ -1,0 +1,1530 @@
+//! Compilation of checked ASL specifications to a slot-indexed IR.
+//!
+//! The tree-walking [`crate::Interpreter`] re-resolves every name on every
+//! property instance: variables through a stack of `String`-keyed hash
+//! maps, functions and constants through by-name lookups, enum variants
+//! through the model's variant table. That is fine as a reference
+//! semantics, but the analyzers evaluate the same dozen property bodies
+//! across thousands of `(context, run)` instances — all of that resolution
+//! work is loop-invariant.
+//!
+//! [`compile`] lowers each constant, helper function and property of a
+//! [`CheckedSpec`] **once** into a flat node pool ([`CompiledSpec`]):
+//!
+//! * every identifier is resolved at compile time — variables become
+//!   register-file **slots** (plain `Vec<Value>` indices; binders of nested
+//!   comprehensions reuse slots sibling-to-sibling), constants become
+//!   indices into an evaluated constant pool, user functions become
+//!   function ids, and enum variants become interned [`Symbol`] pairs;
+//! * attribute names are resolved to `&'static str` interned strings, so
+//!   the data source is called without any per-instance allocation;
+//! * `x IN obj.Set WITH x.Attr == key` filters (the shape of the paper's
+//!   `Summary`, `SyncCost`, `LoadImbalance`, …) are recognized and lowered
+//!   to an indexed [`Ir::FilterEq`] load, which the [`ObjectModel`] can
+//!   answer from a secondary index in O(matches) instead of scanning the
+//!   whole set (see [`ObjectModel::filter_eq`]).
+//!
+//! [`CompiledEvaluator`] then executes the IR against an [`ObjectModel`].
+//! It is a drop-in replacement for the interpreter: same outcomes, same
+//! severities, same error kinds and messages (enforced by the
+//! interpreter-equivalence proptest in `tests/compiled_equiv.rs`). All
+//! value-level semantics are shared with the interpreter through
+//! [`crate::ops`], so the two engines cannot drift.
+
+use crate::error::{EvalError, EvalErrorKind, EvalResult};
+use crate::interp::{ObjectModel, PropertyOutcome};
+use crate::ops;
+use crate::value::Value;
+use asl_core::ast::*;
+use asl_core::check::CheckedSpec;
+use asl_core::intern::Symbol;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Maximum user-function call depth (mirrors the interpreter).
+const MAX_CALL_DEPTH: usize = 64;
+
+/// Reference to a node in the [`CompiledSpec`] pool.
+type NodeRef = u32;
+
+/// Which syntactic construct a lowered set source belongs to — only used
+/// to reproduce the interpreter's exact error messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SourceCtx {
+    Comp,
+    Agg,
+}
+
+impl SourceCtx {
+    fn word(self) -> &'static str {
+        match self {
+            SourceCtx::Comp => "comprehension",
+            SourceCtx::Agg => "aggregate",
+        }
+    }
+}
+
+/// One IR node. References are indices into the owning spec's node pool;
+/// all names are resolved (slots, const indices, function ids, interned
+/// strings) — executing a node never hashes a string.
+#[derive(Debug, Clone)]
+enum Ir {
+    Int(i64),
+    Float(f64),
+    Bool(bool),
+    /// String literal (index into the spec's string pool).
+    Str(u32),
+    /// Read a register-file slot.
+    Load(u32),
+    /// Read an evaluated global constant.
+    Const(u32),
+    /// An enum variant value: (enum name, variant name).
+    EnumVal(Symbol, Symbol),
+    /// A name the checker could not have admitted; evaluates to the
+    /// interpreter's "unknown variable" error (kept for exact parity).
+    UnknownVar(u32),
+    /// `base.attr` — the attribute name is pre-interned.
+    Attr {
+        base: NodeRef,
+        attr: &'static str,
+    },
+    /// Call of a compiled helper function.
+    Call {
+        func: u32,
+        args: Box<[NodeRef]>,
+    },
+    /// Call of an undeclared function: evaluates the arguments, then fails
+    /// exactly like the interpreter.
+    CallUnknown {
+        name: u32,
+        args: Box<[NodeRef]>,
+    },
+    /// The n-ary `MAX(a, b, …)` / `MIN(a, b, …)` builtin.
+    MinMax {
+        is_max: bool,
+        args: Box<[NodeRef]>,
+    },
+    Unary(UnOp, NodeRef),
+    Binary(BinOp, NodeRef, NodeRef),
+    /// `{ binder IN source WITH pred }` (pred not fully absorbed by an
+    /// indexed filter). `resets` is the cache range invalidated on entry.
+    SetComp {
+        slot: u32,
+        source: NodeRef,
+        pred: NodeRef,
+        resets: (u32, u32),
+    },
+    Unique(NodeRef),
+    Aggregate {
+        op: AggOp,
+        slot: u32,
+        source: NodeRef,
+        value: NodeRef,
+        pred: Option<NodeRef>,
+        resets: (u32, u32),
+    },
+    Quantifier {
+        forall: bool,
+        slot: u32,
+        source: NodeRef,
+        pred: Option<NodeRef>,
+        resets: (u32, u32),
+    },
+    CountSet(NodeRef),
+    /// Loop-invariant subexpression hoisted out of a set construct:
+    /// evaluated lazily on first touch per construct entry, then reused
+    /// across the construct's iterations. Lazy evaluation keeps error
+    /// order and short-circuiting bit-identical to re-evaluating — the
+    /// first iteration that would have reached the expression still
+    /// evaluates it, and iterations that never reach it never pay for it.
+    Cached {
+        cache: u32,
+        expr: NodeRef,
+    },
+    /// Indexed set filter: the elements of `obj.set_attr` whose
+    /// `elem_attr` equals `key`. Served by [`ObjectModel::filter_eq`] when
+    /// the data source has an index, otherwise by a scan that reproduces
+    /// the generic `==` filter element-by-element.
+    FilterEq {
+        obj: NodeRef,
+        set_attr: &'static str,
+        elem_attr: &'static str,
+        key: NodeRef,
+        ctx: SourceCtx,
+    },
+}
+
+/// A confidence/severity arm with its guard resolved to a condition index.
+#[derive(Debug, Clone)]
+struct CompiledArm {
+    /// `None` = unguarded; `Some(i)` = applicable iff condition `i` fired.
+    guard: Option<usize>,
+    expr: NodeRef,
+}
+
+#[derive(Debug)]
+struct ConstBody {
+    name: String,
+    n_slots: usize,
+    n_caches: usize,
+    body: NodeRef,
+}
+
+#[derive(Debug)]
+struct FnBody {
+    name: String,
+    n_params: usize,
+    n_slots: usize,
+    n_caches: usize,
+    body: NodeRef,
+}
+
+#[derive(Debug)]
+struct PropBody {
+    n_params: usize,
+    n_slots: usize,
+    n_caches: usize,
+    /// `(slot, value)` in declaration order.
+    lets: Vec<(u32, NodeRef)>,
+    /// `(condition id, predicate)` in declaration order.
+    conditions: Vec<(Option<String>, NodeRef)>,
+    confidence: Vec<CompiledArm>,
+    severity: Vec<CompiledArm>,
+}
+
+/// A specification lowered to the slot-indexed IR. Compile once (pure,
+/// data-independent), share via `Arc`, and bind to any number of data
+/// sources with [`CompiledEvaluator::new`].
+#[derive(Debug)]
+pub struct CompiledSpec {
+    nodes: Vec<Ir>,
+    strings: Vec<String>,
+    consts: Vec<ConstBody>,
+    functions: Vec<FnBody>,
+    properties: Vec<PropBody>,
+    fn_ids: HashMap<String, usize>,
+    prop_ids: HashMap<String, usize>,
+}
+
+impl CompiledSpec {
+    /// Does the compiled spec declare this property?
+    pub fn has_property(&self, name: &str) -> bool {
+        self.prop_ids.contains_key(name)
+    }
+
+    /// Number of IR nodes (diagnostics/benchmarks).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// Lower a checked specification into the slot-indexed IR.
+///
+/// Compilation is total: name shapes the checker would reject are lowered
+/// to nodes that reproduce the interpreter's runtime errors, so a
+/// `CheckedSpec` always compiles and the two engines agree even on the
+/// error paths.
+pub fn compile(spec: &CheckedSpec) -> CompiledSpec {
+    Compiler::new(spec).run()
+}
+
+// ---------------------------------------------------------------------------
+// Compilation
+// ---------------------------------------------------------------------------
+
+struct Compiler<'s> {
+    spec: &'s CheckedSpec,
+    nodes: Vec<Ir>,
+    strings: Vec<String>,
+    /// Lexical scopes: innermost last; each frame maps name → slot.
+    scopes: Vec<Vec<(String, u32)>>,
+    next_slot: u32,
+    max_slots: u32,
+    /// Loop-invariant cache cells allocated in the current body.
+    n_caches: u32,
+    /// Constants visible so far (grows as constant bodies are compiled, so
+    /// forward references fall through to the interpreter-identical
+    /// "unknown variable" behavior).
+    const_ids: HashMap<String, u32>,
+    fn_ids: HashMap<String, usize>,
+}
+
+impl<'s> Compiler<'s> {
+    fn new(spec: &'s CheckedSpec) -> Self {
+        let fn_ids = spec
+            .spec
+            .functions
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.name.name.clone(), i))
+            .collect();
+        Compiler {
+            spec,
+            nodes: Vec::new(),
+            strings: Vec::new(),
+            scopes: Vec::new(),
+            next_slot: 0,
+            max_slots: 0,
+            n_caches: 0,
+            const_ids: HashMap::new(),
+            fn_ids,
+        }
+    }
+
+    fn run(mut self) -> CompiledSpec {
+        let mut consts = Vec::new();
+        for (i, c) in self.spec.spec.constants.iter().enumerate() {
+            self.begin_body();
+            let body = self.lower(&c.value);
+            consts.push(ConstBody {
+                name: c.name.name.clone(),
+                n_slots: self.max_slots as usize,
+                n_caches: self.n_caches as usize,
+                body,
+            });
+            self.const_ids.insert(c.name.name.clone(), i as u32);
+        }
+
+        let mut functions = Vec::new();
+        for f in &self.spec.spec.functions {
+            self.begin_body();
+            for p in &f.params {
+                self.bind(&p.name.name);
+            }
+            let body = self.lower(&f.body);
+            functions.push(FnBody {
+                name: f.name.name.clone(),
+                n_params: f.params.len(),
+                n_slots: self.max_slots as usize,
+                n_caches: self.n_caches as usize,
+                body,
+            });
+        }
+
+        let mut properties = Vec::new();
+        let mut prop_ids = HashMap::new();
+        for p in &self.spec.spec.properties {
+            prop_ids.insert(p.name.name.clone(), properties.len());
+            properties.push(self.lower_property(p));
+        }
+
+        CompiledSpec {
+            nodes: self.nodes,
+            strings: self.strings,
+            consts,
+            functions,
+            properties,
+            fn_ids: self.fn_ids,
+            prop_ids,
+        }
+    }
+
+    fn lower_property(&mut self, p: &PropertyDecl) -> PropBody {
+        self.begin_body();
+        for param in &p.params {
+            self.bind(&param.name.name);
+        }
+        let mut lets = Vec::new();
+        for l in &p.lets {
+            let value = self.lower(&l.value);
+            // The binding becomes visible only after its value expression
+            // (the interpreter binds after evaluating).
+            let slot = self.bind(&l.name.name);
+            lets.push((slot, value));
+        }
+        let mut conditions = Vec::new();
+        for c in &p.conditions {
+            let pred = self.lower(&c.expr);
+            conditions.push((c.id.as_ref().map(|i| i.name.clone()), pred));
+        }
+        let cond_index = |guard: &Option<Ident>| -> Option<usize> {
+            guard.as_ref().map(|g| {
+                conditions
+                    .iter()
+                    .position(|(id, _)| id.as_deref() == Some(g.name.as_str()))
+                    .expect("checker verified guard names a declared condition id")
+            })
+        };
+        let lower_arms = |this: &mut Self, spec: &ArmSpec| -> Vec<CompiledArm> {
+            spec.arms
+                .iter()
+                .map(|arm| CompiledArm {
+                    guard: cond_index(&arm.guard),
+                    expr: this.lower(&arm.expr),
+                })
+                .collect()
+        };
+        let confidence = lower_arms(&mut *self, &p.confidence);
+        let severity = lower_arms(&mut *self, &p.severity);
+        PropBody {
+            n_params: p.params.len(),
+            n_slots: self.max_slots as usize,
+            n_caches: self.n_caches as usize,
+            lets,
+            conditions,
+            confidence,
+            severity,
+        }
+    }
+
+    // ---- scope / pool helpers -------------------------------------------
+
+    fn begin_body(&mut self) {
+        self.scopes = vec![Vec::new()];
+        self.next_slot = 0;
+        self.max_slots = 0;
+        self.n_caches = 0;
+    }
+
+    fn open_scope(&mut self) {
+        self.scopes.push(Vec::new());
+    }
+
+    fn close_scope(&mut self) {
+        let frame = self.scopes.pop().expect("scope underflow");
+        // Slots of a closed scope are reused by sibling scopes.
+        self.next_slot -= frame.len() as u32;
+    }
+
+    fn bind(&mut self, name: &str) -> u32 {
+        let slot = self.next_slot;
+        self.next_slot += 1;
+        self.max_slots = self.max_slots.max(self.next_slot);
+        self.scopes
+            .last_mut()
+            .expect("scope stack non-empty")
+            .push((name.to_string(), slot));
+        slot
+    }
+
+    fn lookup(&self, name: &str) -> Option<u32> {
+        self.scopes
+            .iter()
+            .rev()
+            .find_map(|f| f.iter().rev().find(|(n, _)| n == name).map(|(_, s)| *s))
+    }
+
+    fn push(&mut self, ir: Ir) -> NodeRef {
+        self.nodes.push(ir);
+        (self.nodes.len() - 1) as NodeRef
+    }
+
+    fn pool_str(&mut self, s: &str) -> u32 {
+        if let Some(i) = self.strings.iter().position(|x| x == s) {
+            return i as u32;
+        }
+        self.strings.push(s.to_string());
+        (self.strings.len() - 1) as u32
+    }
+
+    // ---- expression lowering --------------------------------------------
+
+    fn lower(&mut self, e: &Expr) -> NodeRef {
+        match &e.kind {
+            ExprKind::IntLit(v) => self.push(Ir::Int(*v)),
+            ExprKind::FloatLit(v) => self.push(Ir::Float(*v)),
+            ExprKind::BoolLit(b) => self.push(Ir::Bool(*b)),
+            ExprKind::StrLit(s) => {
+                let i = self.pool_str(s);
+                self.push(Ir::Str(i))
+            }
+            ExprKind::Var(name) => self.lower_var(name),
+            ExprKind::Attr(base, attr) => {
+                let b = self.lower(base);
+                let a = Symbol::intern(&attr.name).as_str();
+                self.push(Ir::Attr { base: b, attr: a })
+            }
+            ExprKind::Call(name, args) => {
+                if name.name == "MAX" || name.name == "MIN" {
+                    let is_max = name.name == "MAX";
+                    let args: Box<[NodeRef]> = args.iter().map(|a| self.lower(a)).collect();
+                    return self.push(Ir::MinMax { is_max, args });
+                }
+                let lowered: Box<[NodeRef]> = args.iter().map(|a| self.lower(a)).collect();
+                match self.fn_ids.get(&name.name) {
+                    Some(&fid) => self.push(Ir::Call {
+                        func: fid as u32,
+                        args: lowered,
+                    }),
+                    None => {
+                        let n = self.pool_str(&name.name);
+                        self.push(Ir::CallUnknown {
+                            name: n,
+                            args: lowered,
+                        })
+                    }
+                }
+            }
+            ExprKind::Unary(op, inner) => {
+                let i = self.lower(inner);
+                self.push(Ir::Unary(*op, i))
+            }
+            ExprKind::Binary(op, lhs, rhs) => {
+                let l = self.lower(lhs);
+                let r = self.lower(rhs);
+                self.push(Ir::Binary(*op, l, r))
+            }
+            ExprKind::SetComp {
+                binder,
+                source,
+                pred,
+            } => {
+                let (src, plan) = self.lower_source(binder, source, Some(&**pred), SourceCtx::Comp);
+                self.open_scope();
+                let slot = self.bind(&binder.name);
+                let reset_start = self.n_caches;
+                let pred_ir = self.lower_residual(plan).map(|p| self.hoist(p, slot));
+                self.close_scope();
+                let resets = (reset_start, self.n_caches);
+                match pred_ir {
+                    Some(p) => self.push(Ir::SetComp {
+                        slot,
+                        source: src,
+                        pred: p,
+                        resets,
+                    }),
+                    // Fully absorbed by the indexed filter: the filter IS
+                    // the comprehension.
+                    None => src,
+                }
+            }
+            ExprKind::Unique(inner) => {
+                let i = self.lower(inner);
+                self.push(Ir::Unique(i))
+            }
+            ExprKind::Aggregate {
+                op,
+                value,
+                binder,
+                source,
+                pred,
+            } => {
+                let (src, plan) =
+                    self.lower_source(binder, source, pred.as_deref(), SourceCtx::Agg);
+                self.open_scope();
+                let slot = self.bind(&binder.name);
+                let reset_start = self.n_caches;
+                let pred_ir = self.lower_residual(plan).map(|p| self.hoist(p, slot));
+                let value_ir = self.lower(value);
+                let value_ir = self.hoist(value_ir, slot);
+                self.close_scope();
+                let resets = (reset_start, self.n_caches);
+                self.push(Ir::Aggregate {
+                    op: *op,
+                    slot,
+                    source: src,
+                    value: value_ir,
+                    pred: pred_ir,
+                    resets,
+                })
+            }
+            ExprKind::Quantifier {
+                q,
+                binder,
+                source,
+                pred,
+            } => {
+                // Quantifiers never use the indexed filter: `FORALL` must
+                // see elements the filter would drop (they falsify it),
+                // and `EXISTS` short-circuits at the first witness — a
+                // materializing filter would touch elements past it,
+                // surfacing attribute errors the interpreter never
+                // reaches (and doing more work) on unindexed models.
+                let (src, plan) = (self.lower(source), Some(Residual::Whole(pred)));
+                self.open_scope();
+                let slot = self.bind(&binder.name);
+                let reset_start = self.n_caches;
+                let pred_ir = self.lower_residual(plan).map(|p| self.hoist(p, slot));
+                self.close_scope();
+                let resets = (reset_start, self.n_caches);
+                self.push(Ir::Quantifier {
+                    forall: matches!(q, Quant::Forall),
+                    slot,
+                    source: src,
+                    pred: pred_ir,
+                    resets,
+                })
+            }
+            ExprKind::CountSet(inner) => {
+                let i = self.lower(inner);
+                self.push(Ir::CountSet(i))
+            }
+        }
+    }
+
+    fn lower_var(&mut self, name: &str) -> NodeRef {
+        if let Some(slot) = self.lookup(name) {
+            self.push(Ir::Load(slot))
+        } else if let Some(&cid) = self.const_ids.get(name) {
+            self.push(Ir::Const(cid))
+        } else if let Some(owner) = self.spec.model.variant_owner.get(name) {
+            self.push(Ir::EnumVal(Symbol::intern(owner), Symbol::intern(name)))
+        } else {
+            let n = self.pool_str(name);
+            self.push(Ir::UnknownVar(n))
+        }
+    }
+
+    /// Lower the source of a `binder IN source [pred]` construct,
+    /// extracting a leading `binder.Attr == key` conjunct into an indexed
+    /// [`Ir::FilterEq`] when it is safe: the source is an attribute access,
+    /// the conjunct is the **first** one evaluated (so skipped elements
+    /// never reached the rest of the predicate anyway), and the key is an
+    /// infallible, binder-free expression (so hoisting its evaluation out
+    /// of the loop cannot reorder errors).
+    fn lower_source<'e>(
+        &mut self,
+        binder: &Ident,
+        source: &'e Expr,
+        pred: Option<&'e Expr>,
+        ctx: SourceCtx,
+    ) -> (NodeRef, Option<Residual<'e>>) {
+        if let (ExprKind::Attr(base, set_attr), Some(p)) = (&source.kind, pred) {
+            let mut cj = Vec::new();
+            conjuncts(p, &mut cj);
+            if let Some((elem_attr, key_expr)) = match_eq_filter(cj[0], &binder.name) {
+                // Key compiled in the *outer* scope; it is binder-free by
+                // the `match_eq_filter` check, so resolution is identical.
+                let key = self.lower(key_expr);
+                if self.is_infallible(key) {
+                    let obj = self.lower(base);
+                    let set_attr = Symbol::intern(&set_attr.name).as_str();
+                    let elem_attr = Symbol::intern(elem_attr).as_str();
+                    let src = self.push(Ir::FilterEq {
+                        obj,
+                        set_attr,
+                        elem_attr,
+                        key,
+                        ctx,
+                    });
+                    return (src, Some(Residual::Conjuncts(cj[1..].to_vec())));
+                }
+            }
+        }
+        (self.lower(source), pred.map(Residual::Whole))
+    }
+
+    /// Lower the residual predicate of a set construct (inside the binder
+    /// scope). `None` means "no predicate left".
+    fn lower_residual(&mut self, plan: Option<Residual<'_>>) -> Option<NodeRef> {
+        match plan {
+            None => None,
+            Some(Residual::Whole(p)) => Some(self.lower(p)),
+            Some(Residual::Conjuncts(cs)) => {
+                let mut it = cs.into_iter();
+                let first = it.next()?;
+                let mut ir = self.lower(first);
+                for c in it {
+                    let r = self.lower(c);
+                    ir = self.push(Ir::Binary(BinOp::And, ir, r));
+                }
+                Some(ir)
+            }
+        }
+    }
+
+    /// Can evaluating this node neither fail nor observe evaluation order?
+    /// (Loads, constant reads and literals only.)
+    fn is_infallible(&self, node: NodeRef) -> bool {
+        matches!(
+            self.nodes[node as usize],
+            Ir::Load(_)
+                | Ir::Const(_)
+                | Ir::EnumVal(..)
+                | Ir::Int(_)
+                | Ir::Float(_)
+                | Ir::Bool(_)
+                | Ir::Str(_)
+        )
+    }
+
+    // ---- loop-invariant code motion --------------------------------------
+
+    /// Hoist maximal loop-invariant, expensive subtrees of a construct
+    /// body into lazy [`Ir::Cached`] cells. A subtree is invariant when it
+    /// loads no slot `>= binder_slot` — slots below are outer
+    /// params/lets/binders (stable across this construct's iterations),
+    /// slots at/above are this construct's binder or binders introduced
+    /// inside the subtree itself. Rewrites child references in place and
+    /// returns the (possibly wrapped) root.
+    fn hoist(&mut self, node: NodeRef, binder_slot: u32) -> NodeRef {
+        if !self.loads_free_slot_ge(node, binder_slot, &mut Vec::new()) {
+            if self.is_expensive(node) {
+                let cache = self.n_caches;
+                self.n_caches += 1;
+                return self.push(Ir::Cached { cache, expr: node });
+            }
+            return node;
+        }
+        // Depends on the loop — recurse into the children, rewriting the
+        // node's child references in place (parents stay valid).
+        let mut n = self.nodes[node as usize].clone();
+        match &mut n {
+            Ir::Attr { base, .. } => *base = self.hoist(*base, binder_slot),
+            Ir::Call { args, .. } | Ir::CallUnknown { args, .. } | Ir::MinMax { args, .. } => {
+                for a in args.iter_mut() {
+                    *a = self.hoist(*a, binder_slot);
+                }
+            }
+            Ir::Unary(_, i) | Ir::Unique(i) | Ir::CountSet(i) | Ir::Cached { expr: i, .. } => {
+                *i = self.hoist(*i, binder_slot);
+            }
+            Ir::Binary(_, l, r) => {
+                *l = self.hoist(*l, binder_slot);
+                *r = self.hoist(*r, binder_slot);
+            }
+            Ir::SetComp { source, pred, .. } => {
+                *source = self.hoist(*source, binder_slot);
+                *pred = self.hoist(*pred, binder_slot);
+            }
+            Ir::Aggregate {
+                source,
+                value,
+                pred,
+                ..
+            } => {
+                *source = self.hoist(*source, binder_slot);
+                *value = self.hoist(*value, binder_slot);
+                if let Some(p) = pred {
+                    *p = self.hoist(*p, binder_slot);
+                }
+            }
+            Ir::Quantifier { source, pred, .. } => {
+                *source = self.hoist(*source, binder_slot);
+                if let Some(p) = pred {
+                    *p = self.hoist(*p, binder_slot);
+                }
+            }
+            Ir::FilterEq { obj, key, .. } => {
+                *obj = self.hoist(*obj, binder_slot);
+                *key = self.hoist(*key, binder_slot);
+            }
+            Ir::Int(_)
+            | Ir::Float(_)
+            | Ir::Bool(_)
+            | Ir::Str(_)
+            | Ir::Load(_)
+            | Ir::Const(_)
+            | Ir::EnumVal(..)
+            | Ir::UnknownVar(_) => {}
+        }
+        self.nodes[node as usize] = n;
+        node
+    }
+
+    /// Does the subtree load any **free** slot `>= threshold`? Slots bound
+    /// by constructs *within* the subtree (`bound`, maintained as a stack
+    /// while walking) are the subtree's own binders — loading them does
+    /// not make it depend on the enclosing loop. Free loads below the
+    /// threshold are outer params/lets/binders, stable across the
+    /// enclosing construct's iterations.
+    fn loads_free_slot_ge(&self, node: NodeRef, threshold: u32, bound: &mut Vec<u32>) -> bool {
+        match &self.nodes[node as usize] {
+            Ir::Load(s) => *s >= threshold && !bound.contains(s),
+            Ir::Int(_)
+            | Ir::Float(_)
+            | Ir::Bool(_)
+            | Ir::Str(_)
+            | Ir::Const(_)
+            | Ir::EnumVal(..)
+            | Ir::UnknownVar(_) => false,
+            Ir::Attr { base, .. } => self.loads_free_slot_ge(*base, threshold, bound),
+            Ir::Call { args, .. } | Ir::CallUnknown { args, .. } | Ir::MinMax { args, .. } => args
+                .iter()
+                .any(|a| self.loads_free_slot_ge(*a, threshold, bound)),
+            Ir::Unary(_, i) | Ir::Unique(i) | Ir::CountSet(i) | Ir::Cached { expr: i, .. } => {
+                self.loads_free_slot_ge(*i, threshold, bound)
+            }
+            Ir::Binary(_, l, r) => {
+                self.loads_free_slot_ge(*l, threshold, bound)
+                    || self.loads_free_slot_ge(*r, threshold, bound)
+            }
+            Ir::SetComp {
+                slot, source, pred, ..
+            } => {
+                // The binder is in scope for the predicate, not the source.
+                if self.loads_free_slot_ge(*source, threshold, bound) {
+                    return true;
+                }
+                bound.push(*slot);
+                let dep = self.loads_free_slot_ge(*pred, threshold, bound);
+                bound.pop();
+                dep
+            }
+            Ir::Aggregate {
+                slot,
+                source,
+                value,
+                pred,
+                ..
+            } => {
+                if self.loads_free_slot_ge(*source, threshold, bound) {
+                    return true;
+                }
+                bound.push(*slot);
+                let dep = self.loads_free_slot_ge(*value, threshold, bound)
+                    || pred.is_some_and(|p| self.loads_free_slot_ge(p, threshold, bound));
+                bound.pop();
+                dep
+            }
+            Ir::Quantifier {
+                slot, source, pred, ..
+            } => {
+                if self.loads_free_slot_ge(*source, threshold, bound) {
+                    return true;
+                }
+                bound.push(*slot);
+                let dep = pred.is_some_and(|p| self.loads_free_slot_ge(p, threshold, bound));
+                bound.pop();
+                dep
+            }
+            Ir::FilterEq { obj, key, .. } => {
+                self.loads_free_slot_ge(*obj, threshold, bound)
+                    || self.loads_free_slot_ge(*key, threshold, bound)
+            }
+        }
+    }
+
+    /// Is the subtree worth caching? (Contains a nested loop, an indexed
+    /// filter, or a function call — anything whose re-evaluation per
+    /// iteration is more than a few machine ops.)
+    fn is_expensive(&self, node: NodeRef) -> bool {
+        match &self.nodes[node as usize] {
+            Ir::SetComp { .. }
+            | Ir::Aggregate { .. }
+            | Ir::Quantifier { .. }
+            | Ir::FilterEq { .. }
+            | Ir::Call { .. }
+            | Ir::CallUnknown { .. }
+            | Ir::Unique(_)
+            | Ir::CountSet(_) => true,
+            Ir::Int(_)
+            | Ir::Float(_)
+            | Ir::Bool(_)
+            | Ir::Str(_)
+            | Ir::Load(_)
+            | Ir::Const(_)
+            | Ir::EnumVal(..)
+            | Ir::UnknownVar(_) => false,
+            Ir::Attr { base, .. } => self.is_expensive(*base),
+            Ir::MinMax { args, .. } => args.iter().any(|a| self.is_expensive(*a)),
+            Ir::Unary(_, i) | Ir::Cached { expr: i, .. } => self.is_expensive(*i),
+            Ir::Binary(_, l, r) => self.is_expensive(*l) || self.is_expensive(*r),
+        }
+    }
+}
+
+/// What is left of a predicate after (possible) filter extraction.
+enum Residual<'e> {
+    /// The untouched original predicate.
+    Whole(&'e Expr),
+    /// The remaining conjuncts (possibly empty) after the first was
+    /// absorbed into an indexed filter.
+    Conjuncts(Vec<&'e Expr>),
+}
+
+/// Flatten an `AND` chain into its conjuncts in evaluation order.
+fn conjuncts<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) {
+    if let ExprKind::Binary(BinOp::And, l, r) = &e.kind {
+        conjuncts(l, out);
+        conjuncts(r, out);
+    } else {
+        out.push(e);
+    }
+}
+
+/// Match `binder.Attr == key` (either side), where `key` is a binder-free
+/// simple expression. Returns `(attr name, key expr)`.
+fn match_eq_filter<'e>(e: &'e Expr, binder: &str) -> Option<(&'e str, &'e Expr)> {
+    let ExprKind::Binary(BinOp::Eq, l, r) = &e.kind else {
+        return None;
+    };
+    let attr_of = |x: &'e Expr| -> Option<&'e str> {
+        if let ExprKind::Attr(base, attr) = &x.kind {
+            if matches!(&base.kind, ExprKind::Var(n) if n == binder) {
+                return Some(&attr.name);
+            }
+        }
+        None
+    };
+    if let Some(a) = attr_of(l) {
+        if simple_key(r, binder) {
+            return Some((a, r));
+        }
+    }
+    if let Some(a) = attr_of(r) {
+        if simple_key(l, binder) {
+            return Some((a, l));
+        }
+    }
+    None
+}
+
+/// A key expression that is cheap, binder-free and infallible: a variable
+/// other than the binder, or a literal.
+fn simple_key(e: &Expr, binder: &str) -> bool {
+    match &e.kind {
+        ExprKind::Var(n) => n != binder,
+        ExprKind::IntLit(_)
+        | ExprKind::FloatLit(_)
+        | ExprKind::BoolLit(_)
+        | ExprKind::StrLit(_) => true,
+        _ => false,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+/// Executes a [`CompiledSpec`] against an [`ObjectModel`]. Global constants
+/// are evaluated eagerly at construction (in declaration order, mirroring
+/// [`crate::Interpreter::new`]).
+///
+/// The evaluator is `Sync` whenever the data source is: the analyzers share
+/// one evaluator across rayon workers for parallel per-context evaluation.
+pub struct CompiledEvaluator<M: ObjectModel> {
+    spec: Arc<CompiledSpec>,
+    data: M,
+    consts: Vec<Value>,
+}
+
+impl<M: ObjectModel> CompiledEvaluator<M> {
+    /// Bind a compiled spec to a data source and evaluate its constants.
+    pub fn new(spec: Arc<CompiledSpec>, data: M) -> EvalResult<Self> {
+        let mut consts: Vec<Value> = Vec::with_capacity(spec.consts.len());
+        for i in 0..spec.consts.len() {
+            let v = {
+                let ctx = Ctx {
+                    cs: &spec,
+                    data: &data,
+                    consts: &consts,
+                };
+                let mut frame = vec![Value::Null; spec.consts[i].n_slots];
+                let mut caches = vec![None; spec.consts[i].n_caches];
+                ctx.exec(spec.consts[i].body, &mut frame, &mut caches, 0)?
+            };
+            consts.push(v);
+        }
+        Ok(CompiledEvaluator { spec, data, consts })
+    }
+
+    /// The compiled specification.
+    pub fn compiled(&self) -> &Arc<CompiledSpec> {
+        &self.spec
+    }
+
+    fn ctx(&self) -> Ctx<'_, M> {
+        Ctx {
+            cs: &self.spec,
+            data: &self.data,
+            consts: &self.consts,
+        }
+    }
+
+    /// Evaluate a property in the context given by `args` (one value per
+    /// declared parameter). Mirrors [`crate::Interpreter::eval_property`].
+    pub fn eval_property(&self, name: &str, args: &[Value]) -> EvalResult<PropertyOutcome> {
+        let &pid = self.spec.prop_ids.get(name).ok_or_else(|| {
+            EvalError::new(EvalErrorKind::Unknown, format!("unknown property `{name}`"))
+        })?;
+        let p = &self.spec.properties[pid];
+        if args.len() != p.n_params {
+            return Err(EvalError::new(
+                EvalErrorKind::Type,
+                format!(
+                    "property `{name}` expects {} arguments, got {}",
+                    p.n_params,
+                    args.len()
+                ),
+            ));
+        }
+        let ctx = self.ctx();
+        let mut frame: Vec<Value> = Vec::with_capacity(p.n_slots);
+        frame.extend(args.iter().cloned());
+        frame.resize(p.n_slots, Value::Null);
+        let mut caches: Vec<Option<Value>> = vec![None; p.n_caches];
+
+        for &(slot, value) in &p.lets {
+            let v = ctx.exec(value, &mut frame, &mut caches, 0)?;
+            frame[slot as usize] = v;
+        }
+
+        let mut fired = Vec::with_capacity(p.conditions.len());
+        let mut holds = false;
+        for (id, pred) in &p.conditions {
+            let v = ctx.exec(*pred, &mut frame, &mut caches, 0)?;
+            let b = v.as_bool().ok_or_else(|| {
+                EvalError::new(
+                    EvalErrorKind::Type,
+                    format!("condition evaluated to {}, expected bool", v.type_name()),
+                )
+            })?;
+            holds |= b;
+            fired.push((id.clone(), b));
+        }
+        if !holds {
+            return Ok(PropertyOutcome {
+                property: name.to_string(),
+                holds: false,
+                fired,
+                confidence: 0.0,
+                severity: 0.0,
+            });
+        }
+
+        let mut eval_arms = |arms: &[CompiledArm]| -> EvalResult<f64> {
+            let mut best: Option<f64> = None;
+            for arm in arms {
+                let applicable = match arm.guard {
+                    None => true,
+                    Some(i) => fired[i].1,
+                };
+                if !applicable {
+                    continue;
+                }
+                let v = ctx.exec(arm.expr, &mut frame, &mut caches, 0)?;
+                let x = v.as_f64().ok_or_else(|| {
+                    EvalError::new(
+                        EvalErrorKind::Type,
+                        format!("arm evaluated to {}, expected number", v.type_name()),
+                    )
+                })?;
+                best = Some(match best {
+                    None => x,
+                    Some(b) => b.max(x),
+                });
+            }
+            Ok(best.unwrap_or(0.0))
+        };
+
+        let confidence = eval_arms(&p.confidence)?.clamp(0.0, 1.0);
+        let severity = eval_arms(&p.severity)?;
+        Ok(PropertyOutcome {
+            property: name.to_string(),
+            holds: true,
+            fired,
+            confidence,
+            severity,
+        })
+    }
+
+    /// Call a compiled helper function by name.
+    pub fn call_function(&self, name: &str, args: &[Value]) -> EvalResult<Value> {
+        let &fid = self.spec.fn_ids.get(name).ok_or_else(|| {
+            EvalError::new(EvalErrorKind::Unknown, format!("unknown function `{name}`"))
+        })?;
+        self.ctx().call_fn(fid, args.to_vec(), 0)
+    }
+}
+
+/// Borrowed execution context (spec + data + evaluated constants); also
+/// used during constant initialization when the evaluator is half-built.
+struct Ctx<'c, M: ObjectModel> {
+    cs: &'c CompiledSpec,
+    data: &'c M,
+    consts: &'c [Value],
+}
+
+impl<M: ObjectModel> Ctx<'_, M> {
+    fn call_fn(&self, fid: usize, args: Vec<Value>, depth: usize) -> EvalResult<Value> {
+        let f = &self.cs.functions[fid];
+        if args.len() != f.n_params {
+            return Err(EvalError::new(
+                EvalErrorKind::Type,
+                format!(
+                    "function `{}` expects {} arguments, got {}",
+                    f.name,
+                    f.n_params,
+                    args.len()
+                ),
+            ));
+        }
+        if depth >= MAX_CALL_DEPTH {
+            return Err(EvalError::new(
+                EvalErrorKind::Recursion,
+                format!("call depth limit exceeded in `{}`", f.name),
+            ));
+        }
+        let mut frame = args;
+        frame.resize(f.n_slots, Value::Null);
+        let mut caches = vec![None; f.n_caches];
+        self.exec(f.body, &mut frame, &mut caches, depth + 1)
+    }
+
+    fn exec(
+        &self,
+        node: NodeRef,
+        frame: &mut Vec<Value>,
+        caches: &mut [Option<Value>],
+        depth: usize,
+    ) -> EvalResult<Value> {
+        match &self.cs.nodes[node as usize] {
+            Ir::Int(v) => Ok(Value::Int(*v)),
+            Ir::Float(v) => Ok(Value::Float(*v)),
+            Ir::Bool(b) => Ok(Value::Bool(*b)),
+            Ir::Str(i) => Ok(Value::Str(self.cs.strings[*i as usize].clone())),
+            Ir::Load(slot) => Ok(frame[*slot as usize].clone()),
+            Ir::Const(i) => match self.consts.get(*i as usize) {
+                Some(v) => Ok(v.clone()),
+                // Only reachable while constants are still initializing
+                // (a forward reference) — the interpreter fails the same
+                // way from `Interpreter::new`.
+                None => Err(EvalError::new(
+                    EvalErrorKind::Unknown,
+                    format!("unknown variable `{}`", self.cs.consts[*i as usize].name),
+                )),
+            },
+            Ir::EnumVal(owner, variant) => Ok(Value::Enum(*owner, *variant)),
+            Ir::UnknownVar(n) => Err(EvalError::new(
+                EvalErrorKind::Unknown,
+                format!("unknown variable `{}`", self.cs.strings[*n as usize]),
+            )),
+            Ir::Attr { base, attr } => {
+                let b = self.exec(*base, frame, caches, depth)?;
+                ops::attr_on(self.data, &b, attr)
+            }
+            Ir::Call { func, args } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args.iter() {
+                    vals.push(self.exec(*a, frame, caches, depth)?);
+                }
+                self.call_fn(*func as usize, vals, depth)
+            }
+            Ir::CallUnknown { name, args } => {
+                for a in args.iter() {
+                    self.exec(*a, frame, caches, depth)?;
+                }
+                Err(EvalError::new(
+                    EvalErrorKind::Unknown,
+                    format!("unknown function `{}`", self.cs.strings[*name as usize]),
+                ))
+            }
+            Ir::MinMax { is_max, args } => {
+                let mut best: Option<Value> = None;
+                for a in args.iter() {
+                    let v = self.exec(*a, frame, caches, depth)?;
+                    best = ops::fold_builtin_minmax(*is_max, best, v);
+                }
+                best.ok_or_else(|| {
+                    EvalError::new(
+                        EvalErrorKind::Type,
+                        format!(
+                            "{} requires at least one argument",
+                            if *is_max { "MAX" } else { "MIN" }
+                        ),
+                    )
+                })
+            }
+            Ir::Unary(op, inner) => {
+                let v = self.exec(*inner, frame, caches, depth)?;
+                ops::unary(*op, v)
+            }
+            Ir::Binary(op, lhs, rhs) => match op {
+                BinOp::And => {
+                    let l = self.exec(*lhs, frame, caches, depth)?;
+                    if !l.as_bool().ok_or_else(|| ops::type_err("AND", &l))? {
+                        return Ok(Value::Bool(false));
+                    }
+                    let r = self.exec(*rhs, frame, caches, depth)?;
+                    Ok(Value::Bool(
+                        r.as_bool().ok_or_else(|| ops::type_err("AND", &r))?,
+                    ))
+                }
+                BinOp::Or => {
+                    let l = self.exec(*lhs, frame, caches, depth)?;
+                    if l.as_bool().ok_or_else(|| ops::type_err("OR", &l))? {
+                        return Ok(Value::Bool(true));
+                    }
+                    let r = self.exec(*rhs, frame, caches, depth)?;
+                    Ok(Value::Bool(
+                        r.as_bool().ok_or_else(|| ops::type_err("OR", &r))?,
+                    ))
+                }
+                _ => {
+                    let l = self.exec(*lhs, frame, caches, depth)?;
+                    let r = self.exec(*rhs, frame, caches, depth)?;
+                    ops::binary_strict(*op, l, r)
+                }
+            },
+            Ir::SetComp {
+                slot,
+                source,
+                pred,
+                resets,
+            } => {
+                caches[resets.0 as usize..resets.1 as usize].fill(None);
+                let src = self.exec(*source, frame, caches, depth)?;
+                let Value::Set(items) = src else {
+                    return Err(EvalError::new(
+                        EvalErrorKind::Type,
+                        format!("comprehension source is {}", src.type_name()),
+                    ));
+                };
+                let mut out = Vec::new();
+                for item in items {
+                    frame[*slot as usize] = item.clone();
+                    let keep = self.exec(*pred, frame, caches, depth)?;
+                    match keep.as_bool() {
+                        Some(true) => out.push(item),
+                        Some(false) => {}
+                        None => {
+                            return Err(EvalError::new(
+                                EvalErrorKind::Type,
+                                "comprehension predicate is not boolean",
+                            ));
+                        }
+                    }
+                }
+                Ok(Value::Set(out))
+            }
+            Ir::Unique(inner) => {
+                let v = self.exec(*inner, frame, caches, depth)?;
+                let Value::Set(mut items) = v else {
+                    return Err(EvalError::new(
+                        EvalErrorKind::Type,
+                        format!("UNIQUE applied to {}", v.type_name()),
+                    ));
+                };
+                match items.len() {
+                    1 => Ok(items.pop().expect("len checked")),
+                    0 => Err(EvalError::new(
+                        EvalErrorKind::EmptySet,
+                        "UNIQUE of an empty set",
+                    )),
+                    n => Err(EvalError::new(
+                        EvalErrorKind::Ambiguous,
+                        format!("UNIQUE of a set with {n} elements"),
+                    )),
+                }
+            }
+            Ir::Aggregate {
+                op,
+                slot,
+                source,
+                value,
+                pred,
+                resets,
+            } => {
+                caches[resets.0 as usize..resets.1 as usize].fill(None);
+                let src = self.exec(*source, frame, caches, depth)?;
+                let Value::Set(items) = src else {
+                    return Err(EvalError::new(
+                        EvalErrorKind::Type,
+                        format!("aggregate source is {}", src.type_name()),
+                    ));
+                };
+                let mut vals = Vec::new();
+                for item in items {
+                    frame[*slot as usize] = item;
+                    if let Some(p) = pred {
+                        let keep = self.exec(*p, frame, caches, depth)?;
+                        if !keep.as_bool().unwrap_or(false) {
+                            continue;
+                        }
+                    }
+                    vals.push(self.exec(*value, frame, caches, depth)?);
+                }
+                ops::combine_aggregate(*op, vals)
+            }
+            Ir::Quantifier {
+                forall,
+                slot,
+                source,
+                pred,
+                resets,
+            } => {
+                caches[resets.0 as usize..resets.1 as usize].fill(None);
+                let src = self.exec(*source, frame, caches, depth)?;
+                let Value::Set(items) = src else {
+                    return Err(EvalError::new(
+                        EvalErrorKind::Type,
+                        format!("quantifier source is {}", src.type_name()),
+                    ));
+                };
+                let mut result = *forall;
+                for item in items {
+                    frame[*slot as usize] = item;
+                    let b = match pred {
+                        Some(p) => self
+                            .exec(*p, frame, caches, depth)?
+                            .as_bool()
+                            .unwrap_or(false),
+                        None => true,
+                    };
+                    if *forall {
+                        if !b {
+                            result = false;
+                            break;
+                        }
+                    } else if b {
+                        result = true;
+                        break;
+                    }
+                }
+                Ok(Value::Bool(result))
+            }
+            Ir::CountSet(inner) => {
+                let v = self.exec(*inner, frame, caches, depth)?;
+                let items = v.as_set().ok_or_else(|| {
+                    EvalError::new(
+                        EvalErrorKind::Type,
+                        format!("COUNT applied to {}", v.type_name()),
+                    )
+                })?;
+                Ok(Value::Int(items.len() as i64))
+            }
+            Ir::Cached { cache, expr } => {
+                if let Some(v) = &caches[*cache as usize] {
+                    return Ok(v.clone());
+                }
+                let v = self.exec(*expr, frame, caches, depth)?;
+                caches[*cache as usize] = Some(v.clone());
+                Ok(v)
+            }
+            Ir::FilterEq {
+                obj,
+                set_attr,
+                elem_attr,
+                key,
+                ctx,
+            } => {
+                let base = self.exec(*obj, frame, caches, depth)?;
+                let obj_ref = match &base {
+                    Value::Obj(o) => o,
+                    // Reproduce the attribute-access errors the generic
+                    // lowering would have raised on `base.set_attr`.
+                    _ => return ops::attr_on(self.data, &base, set_attr),
+                };
+                // Key evaluation is infallible by construction (see
+                // `Compiler::is_infallible`), so hoisting it before the
+                // set access cannot reorder observable errors.
+                let key_v = self.exec(*key, frame, caches, depth)?;
+                if let Some(indexed) = self.data.filter_eq(obj_ref, set_attr, elem_attr, &key_v) {
+                    return indexed.map(Value::Set);
+                }
+                // Generic fallback: scan the set, comparing element
+                // attributes exactly as the unextracted predicate would.
+                let set = self.data.attr(obj_ref, set_attr)?;
+                let Value::Set(items) = set else {
+                    return Err(EvalError::new(
+                        EvalErrorKind::Type,
+                        format!("{} source is {}", ctx.word(), set.type_name()),
+                    ));
+                };
+                let mut out = Vec::new();
+                for item in items {
+                    let attr_v = ops::attr_on(self.data, &item, elem_attr)?;
+                    if attr_v.asl_eq(&key_v) {
+                        out.push(item);
+                    }
+                }
+                Ok(Value::Set(out))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::EvalErrorKind;
+    use crate::interp::Interpreter;
+    use crate::value::ObjRef;
+    use asl_core::parse_and_check;
+
+    /// The interpreter's unit-test object model, reused verbatim.
+    struct Points;
+
+    impl ObjectModel for Points {
+        fn attr(&self, obj: &ObjRef, attr: &str) -> EvalResult<Value> {
+            match (obj.class.as_str(), obj.index, attr) {
+                ("Cloud", 0, "Points") => Ok(Value::Set(vec![
+                    Value::obj("Point", 0),
+                    Value::obj("Point", 1),
+                    Value::obj("Point", 2),
+                ])),
+                ("Point", i, "X") => Ok(Value::Float([1.0, 2.0, 3.0][i as usize])),
+                ("Point", i, "Y") => Ok(Value::Int([10, 20, 30][i as usize])),
+                _ => Err(EvalError::new(
+                    EvalErrorKind::Unknown,
+                    format!("no attribute {attr} on {obj}"),
+                )),
+            }
+        }
+    }
+
+    const MODEL: &str = r#"
+        class Cloud { setof Point Points; }
+        class Point { float X; int Y; }
+    "#;
+
+    fn both(extra: &str, call: &str, args: &[Value]) -> (EvalResult<Value>, EvalResult<Value>) {
+        let src = format!("{MODEL}\n{extra}");
+        let spec = parse_and_check(&src).unwrap_or_else(|d| panic!("{}", d.render(&src)));
+        let interp = Interpreter::new(&spec, &Points).unwrap();
+        let compiled = CompiledEvaluator::new(Arc::new(compile(&spec)), &Points).unwrap();
+        (
+            interp.call_function(call, args),
+            compiled.call_function(call, args),
+        )
+    }
+
+    fn assert_same(extra: &str) {
+        let (i, c) = both(extra, "F", &[Value::obj("Cloud", 0)]);
+        match (&i, &c) {
+            (Ok(a), Ok(b)) => assert_eq!(a, b, "{extra}"),
+            (Err(a), Err(b)) => {
+                assert_eq!(a.kind, b.kind, "{extra}");
+                assert_eq!(a.message, b.message, "{extra}");
+            }
+            _ => panic!("divergence on {extra}: interp={i:?} compiled={c:?}"),
+        }
+    }
+
+    #[test]
+    fn aggregates_match_interpreter() {
+        assert_same("float F(Cloud c) = SUM(p.X WHERE p IN c.Points);");
+        assert_same("float F(Cloud c) = SUM(p.X WHERE p IN c.Points AND p.Y > 10);");
+        assert_same("float F(Cloud c) = AVG(p.X WHERE p IN c.Points);");
+        assert_same("int F(Cloud c) = MIN(p.Y WHERE p IN c.Points);");
+        assert_same("float F(Cloud c) = MAX(p.X WHERE p IN c.Points AND p.Y > 99);");
+    }
+
+    #[test]
+    fn comprehension_unique_and_errors_match() {
+        assert_same("Point F(Cloud c) = UNIQUE({p IN c.Points WITH p.X == 2.0});");
+        assert_same("Point F(Cloud c) = UNIQUE({p IN c.Points WITH p.X > 0.0});");
+        assert_same("Point F(Cloud c) = UNIQUE({p IN c.Points WITH p.X > 9.0});");
+        assert_same("float F(Cloud c) = 1.0 / (COUNT(c.Points) - 3);");
+    }
+
+    #[test]
+    fn quantifiers_and_count_match() {
+        assert_same("bool F(Cloud c) = EXISTS(p IN c.Points WITH p.X == 3.0);");
+        assert_same("bool F(Cloud c) = FORALL(p IN c.Points WITH p.X > 1.5);");
+        assert_same("int F(Cloud c) = COUNT({p IN c.Points WITH p.Y >= 20});");
+    }
+
+    #[test]
+    fn indexed_filter_shape_matches_generic_scan() {
+        // `p.Y == <key>` extracts into FilterEq; Points has no index so the
+        // generic fallback runs — results must equal the interpreter scan.
+        assert_same("float F(Cloud c) = SUM(p.X WHERE p IN c.Points AND p.Y == 20);");
+        assert_same("int F(Cloud c) = COUNT({p IN c.Points WITH p.Y == 99});");
+        assert_same("Point F(Cloud c) = UNIQUE({p IN c.Points WITH p.Y == 30});");
+    }
+
+    #[test]
+    fn forall_never_uses_the_filter() {
+        // All elements with Y == 10 have X == 1.0, but FORALL quantifies
+        // over the whole set — a filtered FORALL would wrongly hold.
+        assert_same("bool F(Cloud c) = FORALL(p IN c.Points WITH p.Y == 10 AND p.X == 1.0);");
+    }
+
+    #[test]
+    fn constants_and_functions_match() {
+        let src = format!(
+            "{MODEL}\nfloat T = 0.25;\nfloat G(Point p) = p.X * T;\n\
+             float F(Cloud c) = SUM(G(p) WHERE p IN c.Points);"
+        );
+        let spec = parse_and_check(&src).unwrap();
+        let interp = Interpreter::new(&spec, &Points).unwrap();
+        let compiled = CompiledEvaluator::new(Arc::new(compile(&spec)), &Points).unwrap();
+        let args = [Value::obj("Cloud", 0)];
+        assert_eq!(
+            interp.call_function("F", &args).unwrap(),
+            compiled.call_function("F", &args).unwrap()
+        );
+    }
+
+    #[test]
+    fn recursion_limit_matches() {
+        let src = format!("{MODEL}\nfloat F(Cloud c) = F(c);");
+        let spec = parse_and_check(&src).unwrap();
+        let interp = Interpreter::new(&spec, &Points).unwrap();
+        let compiled = CompiledEvaluator::new(Arc::new(compile(&spec)), &Points).unwrap();
+        let args = [Value::obj("Cloud", 0)];
+        let a = interp.call_function("F", &args).unwrap_err();
+        let b = compiled.call_function("F", &args).unwrap_err();
+        assert_eq!(a.kind, EvalErrorKind::Recursion);
+        assert_eq!(a.kind, b.kind);
+    }
+
+    #[test]
+    fn property_outcomes_match() {
+        let src = format!(
+            "{MODEL}\n\
+            PROPERTY HotCloud(Cloud c) {{\n\
+                CONDITION: (big) COUNT(c.Points) > 2 OR (small) COUNT(c.Points) > 0;\n\
+                CONFIDENCE: MAX((big) -> 1, (small) -> 0.4);\n\
+                SEVERITY: MAX((big) -> SUM(p.X WHERE p IN c.Points), (small) -> 0.1);\n\
+            }}"
+        );
+        let spec = parse_and_check(&src).unwrap();
+        let interp = Interpreter::new(&spec, &Points).unwrap();
+        let compiled = CompiledEvaluator::new(Arc::new(compile(&spec)), &Points).unwrap();
+        let args = [Value::obj("Cloud", 0)];
+        assert_eq!(
+            interp.eval_property("HotCloud", &args).unwrap(),
+            compiled.eval_property("HotCloud", &args).unwrap()
+        );
+        // Arity errors too.
+        assert_eq!(
+            interp.eval_property("HotCloud", &[]).unwrap_err().kind,
+            compiled.eval_property("HotCloud", &[]).unwrap_err().kind
+        );
+    }
+
+    #[test]
+    fn loop_invariant_aggregate_is_hoisted_and_correct() {
+        // `MIN(q.Y WHERE q IN c.Points)` inside the pred is invariant wrt
+        // `p` — hoisting turns the O(n²) scan into O(n) with the same
+        // result as the interpreter's re-evaluating walk.
+        assert_same(
+            "float F(Cloud c) = SUM(p.X WHERE p IN c.Points \
+             AND p.Y == MIN(q.Y WHERE q IN c.Points));",
+        );
+        // The same shape as the suite's SublinearSpeedup reference-run
+        // lookup.
+        assert_same(
+            "Point F(Cloud c) = UNIQUE({p IN c.Points WITH p.Y == \
+             MIN(q.Y WHERE q IN c.Points)});",
+        );
+    }
+
+    #[test]
+    fn binder_dependent_inner_loops_are_not_cached() {
+        // The EXISTS depends on `p` through `q.Y == p.Y` — it must be
+        // re-evaluated per element, not cached across them.
+        assert_same(
+            "float F(Cloud c) = SUM(p.X WHERE p IN c.Points \
+             AND EXISTS(q IN c.Points WITH q.Y == p.Y + 10));",
+        );
+        // Inner-binder-only subtrees (here: the nested MAX over `q`) must
+        // not be cached at the outer level either — `q` changes per outer
+        // iteration of the middle construct.
+        assert_same(
+            "float F(Cloud c) = SUM(p.X WHERE p IN c.Points AND \
+             EXISTS(q IN c.Points WITH q.X == MAX(w.X WHERE w IN c.Points \
+             AND w.Y <= q.Y)));",
+        );
+    }
+
+    #[test]
+    fn sibling_scopes_reuse_slots() {
+        let src = format!(
+            "{MODEL}\nfloat F(Cloud c) = SUM(p.X WHERE p IN c.Points) \
+             + SUM(q.Y WHERE q IN c.Points);"
+        );
+        let spec = parse_and_check(&src).unwrap();
+        let cs = compile(&spec);
+        // One parameter slot + one (shared) binder slot.
+        assert_eq!(cs.functions[0].n_slots, 2);
+        let compiled = CompiledEvaluator::new(Arc::new(cs), &Points).unwrap();
+        let v = compiled
+            .call_function("F", &[Value::obj("Cloud", 0)])
+            .unwrap();
+        assert_eq!(v.as_f64().unwrap(), 6.0 + 60.0);
+    }
+}

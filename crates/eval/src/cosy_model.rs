@@ -4,7 +4,62 @@
 use crate::error::{EvalError, EvalErrorKind, EvalResult};
 use crate::interp::ObjectModel;
 use crate::value::{ObjRef, Value};
-use perfdata::Store;
+use asl_core::intern::Symbol;
+use perfdata::{CallId, RegionId, Store, TestRunId, TimingType};
+use std::sync::OnceLock;
+
+/// Pre-interned symbols of the COSY data model. Hot paths construct object
+/// references and dispatch attribute lookups with integer compares instead
+/// of re-hashing class names on every access.
+pub struct CosySyms {
+    /// `Program`.
+    pub program: Symbol,
+    /// `ProgVersion`.
+    pub prog_version: Symbol,
+    /// `SourceCode`.
+    pub source_code: Symbol,
+    /// `TestRun`.
+    pub test_run: Symbol,
+    /// `Function`.
+    pub function: Symbol,
+    /// `Region`.
+    pub region: Symbol,
+    /// `TotalTiming`.
+    pub total_timing: Symbol,
+    /// `TypedTiming`.
+    pub typed_timing: Symbol,
+    /// `FunctionCall`.
+    pub function_call: Symbol,
+    /// `CallTiming`.
+    pub call_timing: Symbol,
+    /// The `TimingType` enum name.
+    pub timing_type: Symbol,
+    /// `TimingType` variant symbols, indexed by `TimingType as usize`
+    /// (declaration order, matching [`TimingType::ALL`]).
+    pub timing_variants: Vec<Symbol>,
+}
+
+/// The process-wide [`CosySyms`] table.
+pub fn syms() -> &'static CosySyms {
+    static SYMS: OnceLock<CosySyms> = OnceLock::new();
+    SYMS.get_or_init(|| CosySyms {
+        program: Symbol::intern("Program"),
+        prog_version: Symbol::intern("ProgVersion"),
+        source_code: Symbol::intern("SourceCode"),
+        test_run: Symbol::intern("TestRun"),
+        function: Symbol::intern("Function"),
+        region: Symbol::intern("Region"),
+        total_timing: Symbol::intern("TotalTiming"),
+        typed_timing: Symbol::intern("TypedTiming"),
+        function_call: Symbol::intern("FunctionCall"),
+        call_timing: Symbol::intern("CallTiming"),
+        timing_type: Symbol::intern("TimingType"),
+        timing_variants: TimingType::ALL
+            .iter()
+            .map(|t| Symbol::intern(t.name()))
+            .collect(),
+    })
+}
 
 /// The ASL data-model section used by COSY — the nine classes printed in
 /// §4.1 of the paper plus the `TimingType` enumeration (25 variants, see
@@ -144,7 +199,7 @@ impl<'s> CosyData<'s> {
     }
 }
 
-fn set_of<I: Into<u32> + Copy>(class: &str, ids: &[I]) -> Value {
+fn set_of<I: Into<u32> + Copy>(class: Symbol, ids: &[I]) -> Value {
     Value::Set(
         ids.iter()
             .map(|id| Value::obj(class, (*id).into()))
@@ -152,7 +207,75 @@ fn set_of<I: Into<u32> + Copy>(class: &str, ids: &[I]) -> Value {
     )
 }
 
+impl CosyData<'_> {
+    /// Indexed `Run ==` filters over the three per-run measurement sets
+    /// (`Region.TotTimes`, `Region.TypTimes`, `FunctionCall.Sums`), served
+    /// from the store's secondary maps in O(matches). Any other shape
+    /// returns `None` so the caller falls back to the generic scan.
+    fn filter_by_run(
+        &self,
+        obj: &ObjRef,
+        set_attr: &str,
+        key: &Value,
+    ) -> Option<EvalResult<Vec<Value>>> {
+        let sy = syms();
+        let run = match key {
+            Value::Obj(o) if o.class == sy.test_run => TestRunId(o.index),
+            // A key that is not a TestRun compares unequal to every `Run`
+            // attribute; the generic scan handles it (yielding nothing).
+            _ => return None,
+        };
+        let s = self.store;
+        if obj.class == sy.region && (set_attr == "TotTimes" || set_attr == "TypTimes") {
+            let i = match Self::check_index(obj, s.regions.len()) {
+                Ok(i) => i,
+                Err(e) => return Some(Err(e)),
+            };
+            let region = RegionId(i as u32);
+            let out = if set_attr == "TotTimes" {
+                s.total_timing_ids(region, run)
+                    .iter()
+                    .map(|id| Value::obj(sy.total_timing, id.0))
+                    .collect()
+            } else {
+                s.typed_timing_ids(region, run)
+                    .iter()
+                    .map(|id| Value::obj(sy.typed_timing, id.0))
+                    .collect()
+            };
+            Some(Ok(out))
+        } else if obj.class == sy.function_call && set_attr == "Sums" {
+            let i = match Self::check_index(obj, s.calls.len()) {
+                Ok(i) => i,
+                Err(e) => return Some(Err(e)),
+            };
+            let out = s
+                .call_timing_ids(CallId(i as u32), run)
+                .iter()
+                .map(|id| Value::obj(sy.call_timing, id.0))
+                .collect();
+            Some(Ok(out))
+        } else {
+            None
+        }
+    }
+}
+
 impl ObjectModel for CosyData<'_> {
+    fn filter_eq(
+        &self,
+        obj: &ObjRef,
+        set_attr: &str,
+        elem_attr: &str,
+        key: &Value,
+    ) -> Option<EvalResult<Vec<Value>>> {
+        if elem_attr == "Run" {
+            self.filter_by_run(obj, set_attr, key)
+        } else {
+            None
+        }
+    }
+
     fn extent(&self, class: &str) -> Option<usize> {
         let s = self.store;
         Some(match class {
@@ -172,126 +295,120 @@ impl ObjectModel for CosyData<'_> {
 
     fn attr(&self, obj: &ObjRef, attr: &str) -> EvalResult<Value> {
         let s = self.store;
-        match obj.class.as_str() {
-            "Program" => {
-                let i = Self::check_index(obj, s.programs.len())?;
-                let p = &s.programs[i];
-                match attr {
-                    "Name" => Ok(Value::Str(p.name.clone())),
-                    "Versions" => Ok(set_of("ProgVersion", &p.versions)),
-                    _ => Err(Self::bad_attr(obj, attr)),
-                }
+        let sy = syms();
+        let c = obj.class;
+        // Dispatch on interned class symbols (integer compares), ordered by
+        // how hot each class is on the property-evaluation path.
+        if c == sy.total_timing {
+            let i = Self::check_index(obj, s.total_timings.len())?;
+            let t = &s.total_timings[i];
+            match attr {
+                "Run" => Ok(Value::obj(sy.test_run, t.run.0)),
+                "Excl" => Ok(Value::Float(t.excl)),
+                "Incl" => Ok(Value::Float(t.incl)),
+                "Ovhd" => Ok(Value::Float(t.ovhd)),
+                _ => Err(Self::bad_attr(obj, attr)),
             }
-            "ProgVersion" => {
-                let i = Self::check_index(obj, s.versions.len())?;
-                let v = &s.versions[i];
-                match attr {
-                    "Compilation" => Ok(Value::DateTime(v.compilation.micros())),
-                    "Functions" => Ok(set_of("Function", &v.functions)),
-                    "Runs" => Ok(set_of("TestRun", &v.runs)),
-                    "Code" => Ok(Value::obj("SourceCode", v.code.0)),
-                    _ => Err(Self::bad_attr(obj, attr)),
-                }
+        } else if c == sy.typed_timing {
+            let i = Self::check_index(obj, s.typed_timings.len())?;
+            let t = &s.typed_timings[i];
+            match attr {
+                "Run" => Ok(Value::obj(sy.test_run, t.run.0)),
+                "Type" => Ok(Value::Enum(
+                    sy.timing_type,
+                    sy.timing_variants[t.ty as usize],
+                )),
+                "Time" => Ok(Value::Float(t.time)),
+                _ => Err(Self::bad_attr(obj, attr)),
             }
-            "SourceCode" => {
-                let i = Self::check_index(obj, s.sources.len())?;
-                match attr {
-                    "Text" => Ok(Value::Str(s.sources[i].text.clone())),
-                    _ => Err(Self::bad_attr(obj, attr)),
-                }
+        } else if c == sy.region {
+            let i = Self::check_index(obj, s.regions.len())?;
+            let r = &s.regions[i];
+            match attr {
+                "ParentRegion" => Ok(match r.parent {
+                    Some(p) => Value::obj(sy.region, p.0),
+                    None => Value::Null,
+                }),
+                "Name" => Ok(Value::Str(r.name.clone())),
+                "TotTimes" => Ok(set_of(sy.total_timing, &r.tot_times)),
+                "TypTimes" => Ok(set_of(sy.typed_timing, &r.typ_times)),
+                _ => Err(Self::bad_attr(obj, attr)),
             }
-            "TestRun" => {
-                let i = Self::check_index(obj, s.runs.len())?;
-                let r = &s.runs[i];
-                match attr {
-                    "Start" => Ok(Value::DateTime(r.start.micros())),
-                    "NoPe" => Ok(Value::Int(r.no_pe as i64)),
-                    "Clockspeed" => Ok(Value::Int(r.clockspeed as i64)),
-                    _ => Err(Self::bad_attr(obj, attr)),
-                }
+        } else if c == sy.test_run {
+            let i = Self::check_index(obj, s.runs.len())?;
+            let r = &s.runs[i];
+            match attr {
+                "Start" => Ok(Value::DateTime(r.start.micros())),
+                "NoPe" => Ok(Value::Int(r.no_pe as i64)),
+                "Clockspeed" => Ok(Value::Int(r.clockspeed as i64)),
+                _ => Err(Self::bad_attr(obj, attr)),
             }
-            "Function" => {
-                let i = Self::check_index(obj, s.functions.len())?;
-                let f = &s.functions[i];
-                match attr {
-                    "Name" => Ok(Value::Str(f.name.clone())),
-                    "Calls" => Ok(set_of("FunctionCall", &f.calls)),
-                    "Regions" => Ok(set_of("Region", &f.regions)),
-                    _ => Err(Self::bad_attr(obj, attr)),
-                }
+        } else if c == sy.call_timing {
+            let i = Self::check_index(obj, s.call_timings.len())?;
+            let ct = &s.call_timings[i];
+            match attr {
+                "Run" => Ok(Value::obj(sy.test_run, ct.run.0)),
+                "MinCount" => Ok(Value::Float(ct.min_count)),
+                "MaxCount" => Ok(Value::Float(ct.max_count)),
+                "MeanCount" => Ok(Value::Float(ct.mean_count)),
+                "StdevCount" => Ok(Value::Float(ct.stdev_count)),
+                "MinCountPe" => Ok(Value::Int(ct.min_count_pe as i64)),
+                "MaxCountPe" => Ok(Value::Int(ct.max_count_pe as i64)),
+                "MinTime" => Ok(Value::Float(ct.min_time)),
+                "MaxTime" => Ok(Value::Float(ct.max_time)),
+                "MeanTime" => Ok(Value::Float(ct.mean_time)),
+                "StdevTime" => Ok(Value::Float(ct.stdev_time)),
+                "MinTimePe" => Ok(Value::Int(ct.min_time_pe as i64)),
+                "MaxTimePe" => Ok(Value::Int(ct.max_time_pe as i64)),
+                _ => Err(Self::bad_attr(obj, attr)),
             }
-            "Region" => {
-                let i = Self::check_index(obj, s.regions.len())?;
-                let r = &s.regions[i];
-                match attr {
-                    "ParentRegion" => Ok(match r.parent {
-                        Some(p) => Value::obj("Region", p.0),
-                        None => Value::Null,
-                    }),
-                    "Name" => Ok(Value::Str(r.name.clone())),
-                    "TotTimes" => Ok(set_of("TotalTiming", &r.tot_times)),
-                    "TypTimes" => Ok(set_of("TypedTiming", &r.typ_times)),
-                    _ => Err(Self::bad_attr(obj, attr)),
-                }
+        } else if c == sy.function_call {
+            let i = Self::check_index(obj, s.calls.len())?;
+            let fc = &s.calls[i];
+            match attr {
+                "Caller" => Ok(Value::obj(sy.function, fc.caller.0)),
+                "CallingReg" => Ok(Value::obj(sy.region, fc.calling_reg.0)),
+                "Sums" => Ok(set_of(sy.call_timing, &fc.sums)),
+                _ => Err(Self::bad_attr(obj, attr)),
             }
-            "TotalTiming" => {
-                let i = Self::check_index(obj, s.total_timings.len())?;
-                let t = &s.total_timings[i];
-                match attr {
-                    "Run" => Ok(Value::obj("TestRun", t.run.0)),
-                    "Excl" => Ok(Value::Float(t.excl)),
-                    "Incl" => Ok(Value::Float(t.incl)),
-                    "Ovhd" => Ok(Value::Float(t.ovhd)),
-                    _ => Err(Self::bad_attr(obj, attr)),
-                }
+        } else if c == sy.function {
+            let i = Self::check_index(obj, s.functions.len())?;
+            let f = &s.functions[i];
+            match attr {
+                "Name" => Ok(Value::Str(f.name.clone())),
+                "Calls" => Ok(set_of(sy.function_call, &f.calls)),
+                "Regions" => Ok(set_of(sy.region, &f.regions)),
+                _ => Err(Self::bad_attr(obj, attr)),
             }
-            "TypedTiming" => {
-                let i = Self::check_index(obj, s.typed_timings.len())?;
-                let t = &s.typed_timings[i];
-                match attr {
-                    "Run" => Ok(Value::obj("TestRun", t.run.0)),
-                    "Type" => Ok(Value::Enum(
-                        "TimingType".to_string(),
-                        t.ty.name().to_string(),
-                    )),
-                    "Time" => Ok(Value::Float(t.time)),
-                    _ => Err(Self::bad_attr(obj, attr)),
-                }
+        } else if c == sy.prog_version {
+            let i = Self::check_index(obj, s.versions.len())?;
+            let v = &s.versions[i];
+            match attr {
+                "Compilation" => Ok(Value::DateTime(v.compilation.micros())),
+                "Functions" => Ok(set_of(sy.function, &v.functions)),
+                "Runs" => Ok(set_of(sy.test_run, &v.runs)),
+                "Code" => Ok(Value::obj(sy.source_code, v.code.0)),
+                _ => Err(Self::bad_attr(obj, attr)),
             }
-            "FunctionCall" => {
-                let i = Self::check_index(obj, s.calls.len())?;
-                let c = &s.calls[i];
-                match attr {
-                    "Caller" => Ok(Value::obj("Function", c.caller.0)),
-                    "CallingReg" => Ok(Value::obj("Region", c.calling_reg.0)),
-                    "Sums" => Ok(set_of("CallTiming", &c.sums)),
-                    _ => Err(Self::bad_attr(obj, attr)),
-                }
+        } else if c == sy.program {
+            let i = Self::check_index(obj, s.programs.len())?;
+            let p = &s.programs[i];
+            match attr {
+                "Name" => Ok(Value::Str(p.name.clone())),
+                "Versions" => Ok(set_of(sy.prog_version, &p.versions)),
+                _ => Err(Self::bad_attr(obj, attr)),
             }
-            "CallTiming" => {
-                let i = Self::check_index(obj, s.call_timings.len())?;
-                let c = &s.call_timings[i];
-                match attr {
-                    "Run" => Ok(Value::obj("TestRun", c.run.0)),
-                    "MinCount" => Ok(Value::Float(c.min_count)),
-                    "MaxCount" => Ok(Value::Float(c.max_count)),
-                    "MeanCount" => Ok(Value::Float(c.mean_count)),
-                    "StdevCount" => Ok(Value::Float(c.stdev_count)),
-                    "MinCountPe" => Ok(Value::Int(c.min_count_pe as i64)),
-                    "MaxCountPe" => Ok(Value::Int(c.max_count_pe as i64)),
-                    "MinTime" => Ok(Value::Float(c.min_time)),
-                    "MaxTime" => Ok(Value::Float(c.max_time)),
-                    "MeanTime" => Ok(Value::Float(c.mean_time)),
-                    "StdevTime" => Ok(Value::Float(c.stdev_time)),
-                    "MinTimePe" => Ok(Value::Int(c.min_time_pe as i64)),
-                    "MaxTimePe" => Ok(Value::Int(c.max_time_pe as i64)),
-                    _ => Err(Self::bad_attr(obj, attr)),
-                }
+        } else if c == sy.source_code {
+            let i = Self::check_index(obj, s.sources.len())?;
+            match attr {
+                "Text" => Ok(Value::Str(s.sources[i].text.clone())),
+                _ => Err(Self::bad_attr(obj, attr)),
             }
-            other => Err(EvalError::new(
+        } else {
+            Err(EvalError::new(
                 EvalErrorKind::Unknown,
-                format!("unknown class `{other}`"),
-            )),
+                format!("unknown class `{c}`"),
+            ))
         }
     }
 }

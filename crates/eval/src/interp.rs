@@ -21,6 +21,23 @@ pub trait ObjectModel {
     fn extent(&self, _class: &str) -> Option<usize> {
         None
     }
+
+    /// Indexed filter: the elements of `obj.set_attr` whose `elem_attr`
+    /// equals `key`, **in set order**. Returning `Some` answers from a
+    /// secondary index in O(matches) instead of a full scan; `None` (the
+    /// default) makes the caller fall back to enumerating the set and
+    /// comparing element-by-element. An implementation must return exactly
+    /// what the scan would, including its errors — the compiled evaluator
+    /// relies on this for interpreter equivalence.
+    fn filter_eq(
+        &self,
+        _obj: &ObjRef,
+        _set_attr: &str,
+        _elem_attr: &str,
+        _key: &Value,
+    ) -> Option<EvalResult<Vec<Value>>> {
+        None
+    }
 }
 
 impl<T: ObjectModel + ?Sized> ObjectModel for &T {
@@ -30,6 +47,16 @@ impl<T: ObjectModel + ?Sized> ObjectModel for &T {
 
     fn extent(&self, class: &str) -> Option<usize> {
         (**self).extent(class)
+    }
+
+    fn filter_eq(
+        &self,
+        obj: &ObjRef,
+        set_attr: &str,
+        elem_attr: &str,
+        key: &Value,
+    ) -> Option<EvalResult<Vec<Value>>> {
+        (**self).filter_eq(obj, set_attr, elem_attr, key)
     }
 }
 
@@ -269,7 +296,10 @@ impl<'a, M: ObjectModel> Interpreter<'a, M> {
                 } else if let Some(v) = self.consts.get(name) {
                     Ok(v.clone())
                 } else if let Some(owner) = self.spec.model.variant_owner.get(name) {
-                    Ok(Value::Enum(owner.clone(), name.clone()))
+                    Ok(Value::Enum(
+                        asl_core::Symbol::intern(owner),
+                        asl_core::Symbol::intern(name),
+                    ))
                 } else {
                     Err(EvalError::new(
                         EvalErrorKind::Unknown,
@@ -279,42 +309,15 @@ impl<'a, M: ObjectModel> Interpreter<'a, M> {
             }
             ExprKind::Attr(base, attr) => {
                 let b = self.eval(base, env)?;
-                match b {
-                    Value::Obj(obj) => self.data.attr(&obj, &attr.name),
-                    Value::Null => Err(EvalError::new(
-                        EvalErrorKind::Type,
-                        format!("attribute `{}` accessed on a null reference", attr.name),
-                    )),
-                    other => Err(EvalError::new(
-                        EvalErrorKind::Type,
-                        format!(
-                            "attribute `{}` accessed on {} value",
-                            attr.name,
-                            other.type_name()
-                        ),
-                    )),
-                }
+                crate::ops::attr_on(&self.data, &b, &attr.name)
             }
             ExprKind::Call(name, args) => {
                 if name.name == "MAX" || name.name == "MIN" {
+                    let is_max = name.name == "MAX";
                     let mut best: Option<Value> = None;
                     for a in args {
                         let v = self.eval(a, env)?;
-                        best = Some(match best {
-                            None => v,
-                            Some(b) => {
-                                let keep_new = match v.asl_cmp(&b) {
-                                    Some(std::cmp::Ordering::Greater) => name.name == "MAX",
-                                    Some(std::cmp::Ordering::Less) => name.name == "MIN",
-                                    _ => false,
-                                };
-                                if keep_new {
-                                    v
-                                } else {
-                                    b
-                                }
-                            }
-                        });
+                        best = crate::ops::fold_builtin_minmax(is_max, best, v);
                     }
                     return best.ok_or_else(|| {
                         EvalError::new(
@@ -331,23 +334,7 @@ impl<'a, M: ObjectModel> Interpreter<'a, M> {
             }
             ExprKind::Unary(op, inner) => {
                 let v = self.eval(inner, env)?;
-                match op {
-                    UnOp::Neg => match v {
-                        Value::Int(x) => Ok(Value::Int(-x)),
-                        Value::Float(x) => Ok(Value::Float(-x)),
-                        other => Err(EvalError::new(
-                            EvalErrorKind::Type,
-                            format!("cannot negate {}", other.type_name()),
-                        )),
-                    },
-                    UnOp::Not => match v {
-                        Value::Bool(b) => Ok(Value::Bool(!b)),
-                        other => Err(EvalError::new(
-                            EvalErrorKind::Type,
-                            format!("NOT applied to {}", other.type_name()),
-                        )),
-                    },
-                }
+                crate::ops::unary(*op, v)
             }
             ExprKind::Binary(op, lhs, rhs) => self.eval_binary(*op, lhs, rhs, env),
             ExprKind::SetComp {
@@ -481,85 +468,11 @@ impl<'a, M: ObjectModel> Interpreter<'a, M> {
     }
 
     fn combine_aggregate(&self, op: AggOp, vals: Vec<Value>) -> EvalResult<Value> {
-        match op {
-            AggOp::Count => Ok(Value::Int(vals.len() as i64)),
-            AggOp::Sum => {
-                // Empty sums are zero — `SUM(tt.Time WHERE …)` over a region
-                // without matching typed timings must yield 0 so the
-                // condition `> 0` is simply false (paper's SyncCost).
-                if vals.iter().all(|v| matches!(v, Value::Int(_))) {
-                    let mut acc = 0i64;
-                    for v in &vals {
-                        acc += v.as_f64().unwrap() as i64;
-                    }
-                    Ok(Value::Int(acc))
-                } else {
-                    let mut acc = 0.0;
-                    for v in &vals {
-                        acc += v.as_f64().ok_or_else(|| {
-                            EvalError::new(
-                                EvalErrorKind::Type,
-                                format!("SUM over {} value", v.type_name()),
-                            )
-                        })?;
-                    }
-                    Ok(Value::Float(acc))
-                }
-            }
-            AggOp::Avg => {
-                if vals.is_empty() {
-                    return Err(EvalError::new(
-                        EvalErrorKind::EmptySet,
-                        "AVG of an empty set",
-                    ));
-                }
-                let mut acc = 0.0;
-                for v in &vals {
-                    acc += v.as_f64().ok_or_else(|| {
-                        EvalError::new(
-                            EvalErrorKind::Type,
-                            format!("AVG over {} value", v.type_name()),
-                        )
-                    })?;
-                }
-                Ok(Value::Float(acc / vals.len() as f64))
-            }
-            AggOp::Min | AggOp::Max => {
-                let mut best: Option<Value> = None;
-                for v in vals {
-                    best = Some(match best {
-                        None => v,
-                        Some(b) => {
-                            let ord = v.asl_cmp(&b).ok_or_else(|| {
-                                EvalError::new(
-                                    EvalErrorKind::Type,
-                                    "MIN/MAX over incomparable values",
-                                )
-                            })?;
-                            let keep_new = match ord {
-                                std::cmp::Ordering::Greater => op == AggOp::Max,
-                                std::cmp::Ordering::Less => op == AggOp::Min,
-                                std::cmp::Ordering::Equal => false,
-                            };
-                            if keep_new {
-                                v
-                            } else {
-                                b
-                            }
-                        }
-                    });
-                }
-                best.ok_or_else(|| {
-                    EvalError::new(
-                        EvalErrorKind::EmptySet,
-                        format!("{} of an empty set", op.keyword()),
-                    )
-                })
-            }
-        }
+        crate::ops::combine_aggregate(op, vals)
     }
 
     fn eval_binary(&self, op: BinOp, lhs: &Expr, rhs: &Expr, env: &mut Env) -> EvalResult<Value> {
+        use crate::ops::type_err;
         // Short-circuit logic first.
         match op {
             BinOp::And => {
@@ -568,7 +481,7 @@ impl<'a, M: ObjectModel> Interpreter<'a, M> {
                     return Ok(Value::Bool(false));
                 }
                 let r = self.eval(rhs, env)?;
-                return Ok(Value::Bool(r.as_bool().ok_or_else(|| type_err("AND", &r))?));
+                Ok(Value::Bool(r.as_bool().ok_or_else(|| type_err("AND", &r))?))
             }
             BinOp::Or => {
                 let l = self.eval(lhs, env)?;
@@ -576,92 +489,14 @@ impl<'a, M: ObjectModel> Interpreter<'a, M> {
                     return Ok(Value::Bool(true));
                 }
                 let r = self.eval(rhs, env)?;
-                return Ok(Value::Bool(r.as_bool().ok_or_else(|| type_err("OR", &r))?));
+                Ok(Value::Bool(r.as_bool().ok_or_else(|| type_err("OR", &r))?))
             }
-            _ => {}
+            _ => {
+                let l = self.eval(lhs, env)?;
+                let r = self.eval(rhs, env)?;
+                crate::ops::binary_strict(op, l, r)
+            }
         }
-        let l = self.eval(lhs, env)?;
-        let r = self.eval(rhs, env)?;
-        match op {
-            BinOp::Eq => Ok(Value::Bool(l.asl_eq(&r))),
-            BinOp::Ne => Ok(Value::Bool(!l.asl_eq(&r))),
-            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
-                let ord = l.asl_cmp(&r).ok_or_else(|| {
-                    EvalError::new(
-                        EvalErrorKind::Type,
-                        format!("cannot order {} and {}", l.type_name(), r.type_name()),
-                    )
-                })?;
-                let b = match op {
-                    BinOp::Lt => ord == std::cmp::Ordering::Less,
-                    BinOp::Le => ord != std::cmp::Ordering::Greater,
-                    BinOp::Gt => ord == std::cmp::Ordering::Greater,
-                    BinOp::Ge => ord != std::cmp::Ordering::Less,
-                    _ => unreachable!(),
-                };
-                Ok(Value::Bool(b))
-            }
-            BinOp::Add | BinOp::Sub | BinOp::Mul => match (&l, &r) {
-                (Value::Int(a), Value::Int(b)) => Ok(Value::Int(match op {
-                    BinOp::Add => a + b,
-                    BinOp::Sub => a - b,
-                    BinOp::Mul => a * b,
-                    _ => unreachable!(),
-                })),
-                _ => {
-                    let (a, b) = both_numbers(&l, &r, op.symbol())?;
-                    Ok(Value::Float(match op {
-                        BinOp::Add => a + b,
-                        BinOp::Sub => a - b,
-                        BinOp::Mul => a * b,
-                        _ => unreachable!(),
-                    }))
-                }
-            },
-            // `/` always yields float (see the checker's documented rule).
-            BinOp::Div => {
-                let (a, b) = both_numbers(&l, &r, "/")?;
-                if b == 0.0 {
-                    return Err(EvalError::new(EvalErrorKind::DivByZero, "division by zero"));
-                }
-                Ok(Value::Float(a / b))
-            }
-            BinOp::Mod => match (&l, &r) {
-                (Value::Int(a), Value::Int(b)) => {
-                    if *b == 0 {
-                        Err(EvalError::new(EvalErrorKind::DivByZero, "modulo by zero"))
-                    } else {
-                        Ok(Value::Int(a % b))
-                    }
-                }
-                _ => Err(EvalError::new(
-                    EvalErrorKind::Type,
-                    "`%` requires integer operands",
-                )),
-            },
-            BinOp::And | BinOp::Or => unreachable!("handled above"),
-        }
-    }
-}
-
-fn type_err(op: &str, v: &Value) -> EvalError {
-    EvalError::new(
-        EvalErrorKind::Type,
-        format!("{op} applied to {}", v.type_name()),
-    )
-}
-
-fn both_numbers(l: &Value, r: &Value, op: &str) -> EvalResult<(f64, f64)> {
-    match (l.as_f64(), r.as_f64()) {
-        (Some(a), Some(b)) => Ok((a, b)),
-        _ => Err(EvalError::new(
-            EvalErrorKind::Type,
-            format!(
-                "operator `{op}` requires numbers, found {} and {}",
-                l.type_name(),
-                r.type_name()
-            ),
-        )),
     }
 }
 

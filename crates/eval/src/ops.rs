@@ -1,0 +1,237 @@
+//! Shared ASL operator semantics.
+//!
+//! Both evaluation engines — the tree-walking [`crate::Interpreter`]
+//! (the reference oracle) and the compiled-IR executor in
+//! [`crate::compile`] — delegate every value-level operation here, so the
+//! two paths cannot drift apart: same numeric promotion rules, same
+//! error kinds, same messages.
+
+use crate::error::{EvalError, EvalErrorKind, EvalResult};
+use crate::interp::ObjectModel;
+use crate::value::Value;
+use asl_core::ast::{AggOp, BinOp, UnOp};
+
+/// "`op` applied to `<type>`" type error.
+pub fn type_err(op: &str, v: &Value) -> EvalError {
+    EvalError::new(
+        EvalErrorKind::Type,
+        format!("{op} applied to {}", v.type_name()),
+    )
+}
+
+/// Coerce both operands to numbers or fail with the operator's message.
+pub fn both_numbers(l: &Value, r: &Value, op: &str) -> EvalResult<(f64, f64)> {
+    match (l.as_f64(), r.as_f64()) {
+        (Some(a), Some(b)) => Ok((a, b)),
+        _ => Err(EvalError::new(
+            EvalErrorKind::Type,
+            format!(
+                "operator `{op}` requires numbers, found {} and {}",
+                l.type_name(),
+                r.type_name()
+            ),
+        )),
+    }
+}
+
+/// Unary operator semantics.
+pub fn unary(op: UnOp, v: Value) -> EvalResult<Value> {
+    match op {
+        UnOp::Neg => match v {
+            Value::Int(x) => Ok(Value::Int(-x)),
+            Value::Float(x) => Ok(Value::Float(-x)),
+            other => Err(EvalError::new(
+                EvalErrorKind::Type,
+                format!("cannot negate {}", other.type_name()),
+            )),
+        },
+        UnOp::Not => match v {
+            Value::Bool(b) => Ok(Value::Bool(!b)),
+            other => Err(EvalError::new(
+                EvalErrorKind::Type,
+                format!("NOT applied to {}", other.type_name()),
+            )),
+        },
+    }
+}
+
+/// Strict (non-short-circuit) binary operator semantics: comparisons,
+/// arithmetic, `%`. `AND`/`OR` must be handled by the caller (they
+/// short-circuit and must not evaluate both operands first).
+pub fn binary_strict(op: BinOp, l: Value, r: Value) -> EvalResult<Value> {
+    match op {
+        BinOp::Eq => Ok(Value::Bool(l.asl_eq(&r))),
+        BinOp::Ne => Ok(Value::Bool(!l.asl_eq(&r))),
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            let ord = l.asl_cmp(&r).ok_or_else(|| {
+                EvalError::new(
+                    EvalErrorKind::Type,
+                    format!("cannot order {} and {}", l.type_name(), r.type_name()),
+                )
+            })?;
+            let b = match op {
+                BinOp::Lt => ord == std::cmp::Ordering::Less,
+                BinOp::Le => ord != std::cmp::Ordering::Greater,
+                BinOp::Gt => ord == std::cmp::Ordering::Greater,
+                BinOp::Ge => ord != std::cmp::Ordering::Less,
+                _ => unreachable!(),
+            };
+            Ok(Value::Bool(b))
+        }
+        BinOp::Add | BinOp::Sub | BinOp::Mul => match (&l, &r) {
+            (Value::Int(a), Value::Int(b)) => Ok(Value::Int(match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                _ => unreachable!(),
+            })),
+            _ => {
+                let (a, b) = both_numbers(&l, &r, op.symbol())?;
+                Ok(Value::Float(match op {
+                    BinOp::Add => a + b,
+                    BinOp::Sub => a - b,
+                    BinOp::Mul => a * b,
+                    _ => unreachable!(),
+                }))
+            }
+        },
+        // `/` always yields float (see the checker's documented rule).
+        BinOp::Div => {
+            let (a, b) = both_numbers(&l, &r, "/")?;
+            if b == 0.0 {
+                return Err(EvalError::new(EvalErrorKind::DivByZero, "division by zero"));
+            }
+            Ok(Value::Float(a / b))
+        }
+        BinOp::Mod => match (&l, &r) {
+            (Value::Int(a), Value::Int(b)) => {
+                if *b == 0 {
+                    Err(EvalError::new(EvalErrorKind::DivByZero, "modulo by zero"))
+                } else {
+                    Ok(Value::Int(a % b))
+                }
+            }
+            _ => Err(EvalError::new(
+                EvalErrorKind::Type,
+                "`%` requires integer operands",
+            )),
+        },
+        BinOp::And | BinOp::Or => unreachable!("logical operators short-circuit in the caller"),
+    }
+}
+
+/// Fold one more argument into the n-ary `MAX(a, b, …)`/`MIN(a, b, …)`
+/// builtin: incomparable values keep the current best (matching the
+/// interpreter's historical behavior — the checker rules them out anyway).
+pub fn fold_builtin_minmax(is_max: bool, best: Option<Value>, v: Value) -> Option<Value> {
+    Some(match best {
+        None => v,
+        Some(b) => {
+            let keep_new = match v.asl_cmp(&b) {
+                Some(std::cmp::Ordering::Greater) => is_max,
+                Some(std::cmp::Ordering::Less) => !is_max,
+                _ => false,
+            };
+            if keep_new {
+                v
+            } else {
+                b
+            }
+        }
+    })
+}
+
+/// Combine the collected values of a quantified aggregate.
+pub fn combine_aggregate(op: AggOp, vals: Vec<Value>) -> EvalResult<Value> {
+    match op {
+        AggOp::Count => Ok(Value::Int(vals.len() as i64)),
+        AggOp::Sum => {
+            // Empty sums are zero — `SUM(tt.Time WHERE …)` over a region
+            // without matching typed timings must yield 0 so the
+            // condition `> 0` is simply false (paper's SyncCost).
+            if vals.iter().all(|v| matches!(v, Value::Int(_))) {
+                let mut acc = 0i64;
+                for v in &vals {
+                    if let Value::Int(x) = v {
+                        acc = acc.wrapping_add(*x);
+                    }
+                }
+                Ok(Value::Int(acc))
+            } else {
+                let mut acc = 0.0;
+                for v in &vals {
+                    acc += v.as_f64().ok_or_else(|| {
+                        EvalError::new(
+                            EvalErrorKind::Type,
+                            format!("SUM over {} value", v.type_name()),
+                        )
+                    })?;
+                }
+                Ok(Value::Float(acc))
+            }
+        }
+        AggOp::Avg => {
+            if vals.is_empty() {
+                return Err(EvalError::new(
+                    EvalErrorKind::EmptySet,
+                    "AVG of an empty set",
+                ));
+            }
+            let mut acc = 0.0;
+            for v in &vals {
+                acc += v.as_f64().ok_or_else(|| {
+                    EvalError::new(
+                        EvalErrorKind::Type,
+                        format!("AVG over {} value", v.type_name()),
+                    )
+                })?;
+            }
+            Ok(Value::Float(acc / vals.len() as f64))
+        }
+        AggOp::Min | AggOp::Max => {
+            let mut best: Option<Value> = None;
+            for v in vals {
+                best = Some(match best {
+                    None => v,
+                    Some(b) => {
+                        let ord = v.asl_cmp(&b).ok_or_else(|| {
+                            EvalError::new(EvalErrorKind::Type, "MIN/MAX over incomparable values")
+                        })?;
+                        let keep_new = match ord {
+                            std::cmp::Ordering::Greater => op == AggOp::Max,
+                            std::cmp::Ordering::Less => op == AggOp::Min,
+                            std::cmp::Ordering::Equal => false,
+                        };
+                        if keep_new {
+                            v
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            best.ok_or_else(|| {
+                EvalError::new(
+                    EvalErrorKind::EmptySet,
+                    format!("{} of an empty set", op.keyword()),
+                )
+            })
+        }
+    }
+}
+
+/// Attribute access on an arbitrary value: objects delegate to the data
+/// source, everything else reproduces the interpreter's error messages.
+pub fn attr_on<M: ObjectModel>(data: &M, v: &Value, attr: &str) -> EvalResult<Value> {
+    match v {
+        Value::Obj(obj) => data.attr(obj, attr),
+        Value::Null => Err(EvalError::new(
+            EvalErrorKind::Type,
+            format!("attribute `{attr}` accessed on a null reference"),
+        )),
+        other => Err(EvalError::new(
+            EvalErrorKind::Type,
+            format!("attribute `{attr}` accessed on {} value", other.type_name()),
+        )),
+    }
+}

@@ -1,13 +1,16 @@
 //! Runtime values of the ASL interpreter.
 
+use asl_core::intern::Symbol;
 use std::cmp::Ordering;
 use std::fmt;
 
-/// A reference to a data-model object: class name plus arena index.
+/// A reference to a data-model object: interned class name plus arena
+/// index. `ObjRef` is 8 bytes and `Copy`-cheap to clone; comparing two
+/// references is two integer compares (no string traffic on the hot path).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ObjRef {
-    /// The object's class (as named in the ASL data model).
-    pub class: String,
+    /// The object's class (as named in the ASL data model), interned.
+    pub class: Symbol,
     /// Arena index within that class.
     pub index: u32,
 }
@@ -31,8 +34,9 @@ pub enum Value {
     Str(String),
     /// `DateTime` (microseconds since the epoch).
     DateTime(i64),
-    /// Enum variant: (enum name, variant name).
-    Enum(String, String),
+    /// Enum variant: (enum name, variant name), both interned — comparing
+    /// enum tags is an integer compare.
+    Enum(Symbol, Symbol),
     /// Object reference.
     Obj(ObjRef),
     /// A set of values (objects in practice).
@@ -44,8 +48,9 @@ pub enum Value {
 }
 
 impl Value {
-    /// Object helper.
-    pub fn obj(class: impl Into<String>, index: u32) -> Value {
+    /// Object helper. Accepts a pre-interned [`Symbol`] (free) or a string
+    /// (interned on the spot).
+    pub fn obj(class: impl Into<Symbol>, index: u32) -> Value {
         Value::Obj(ObjRef {
             class: class.into(),
             index,
@@ -54,17 +59,17 @@ impl Value {
 
     /// A `Region` reference from a perfdata id.
     pub fn region(id: perfdata::RegionId) -> Value {
-        Value::obj("Region", id.0)
+        Value::obj(crate::cosy_model::syms().region, id.0)
     }
 
     /// A `TestRun` reference from a perfdata id.
     pub fn run(id: perfdata::TestRunId) -> Value {
-        Value::obj("TestRun", id.0)
+        Value::obj(crate::cosy_model::syms().test_run, id.0)
     }
 
     /// A `FunctionCall` reference from a perfdata id.
     pub fn call(id: perfdata::CallId) -> Value {
-        Value::obj("FunctionCall", id.0)
+        Value::obj(crate::cosy_model::syms().function_call, id.0)
     }
 
     /// Numeric view (int widens to float).

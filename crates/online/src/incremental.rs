@@ -15,6 +15,7 @@
 
 use crate::builder::StoreDelta;
 use asl_core::check::CheckedSpec;
+use asl_eval::{compile as compile_ir, CompiledSpec};
 use cosy::backend::{Backend, PreparedBackend};
 use cosy::{AnalysisReport, Analyzer, ContextScope, HeldEntry, ProblemThreshold};
 use perfdata::{CallId, RegionId, Store, TestRunId, VersionId};
@@ -49,6 +50,9 @@ struct RunState {
 /// `(store, delta)` pairs by the session layer after each applied batch.
 pub struct IncrementalAnalyzer {
     spec: Arc<CheckedSpec>,
+    /// The suite lowered once to the slot-indexed IR; every flush re-binds
+    /// this shared lowering instead of re-walking the AST.
+    compiled: Arc<CompiledSpec>,
     backend: Backend,
     threshold: ProblemThreshold,
     states: HashMap<TestRunId, RunState>,
@@ -62,16 +66,19 @@ pub struct IncrementalAnalyzer {
 }
 
 impl IncrementalAnalyzer {
-    /// Engine with the standard suite and the interpreter backend.
+    /// Engine with the standard suite and the default (compiled) backend.
     pub fn new(threshold: ProblemThreshold) -> Self {
         Self::with_spec(Arc::new(cosy::suite::standard_suite()), threshold)
     }
 
-    /// Engine with a shared pre-checked suite.
+    /// Engine with a shared pre-checked suite. The suite is lowered to the
+    /// compiled IR once, here.
     pub fn with_spec(spec: Arc<CheckedSpec>, threshold: ProblemThreshold) -> Self {
+        let compiled = Arc::new(compile_ir(&spec));
         IncrementalAnalyzer {
             spec,
-            backend: Backend::Interpreter,
+            compiled,
+            backend: Backend::default(),
             threshold,
             states: HashMap::new(),
             basis: HashMap::new(),
@@ -81,10 +88,10 @@ impl IncrementalAnalyzer {
         }
     }
 
-    /// Use a different evaluation backend. The interpreter is the natural
-    /// choice online (preparation is a cheap re-binding); the SQL backends
-    /// reload the database on every flush and only make sense for
-    /// validation.
+    /// Use a different evaluation backend. The compiled IR is the default
+    /// (preparation re-binds a shared lowering); the interpreter serves as
+    /// a validation oracle, and the SQL backends reload the database on
+    /// every flush so they only make sense for cross-checking.
     pub fn with_backend(mut self, backend: Backend) -> Self {
         self.backend = backend;
         self
@@ -238,14 +245,24 @@ impl IncrementalAnalyzer {
 
         for v in versions {
             let mut runs = scopes.remove(&v).expect("version scope exists");
-            let analyzer = match Analyzer::with_spec(store, v, Arc::clone(&spec)) {
+            let analyzer = match Analyzer::with_compiled(
+                store,
+                v,
+                Arc::clone(&spec),
+                Arc::clone(&self.compiled),
+            ) {
                 Ok(a) => a,
                 Err(_) => {
                     self.pending_full.extend(runs.into_keys());
                     continue;
                 }
             };
-            let prepared = PreparedBackend::prepare(self.backend, &spec, store)?;
+            let prepared = match self.backend {
+                Backend::Compiled => {
+                    PreparedBackend::from_compiled(Arc::clone(&self.compiled), store)?
+                }
+                other => PreparedBackend::prepare(other, &spec, store)?,
+            };
             let basis = analyzer.basis();
 
             // A dirty basis region re-bases the whole run.

@@ -12,7 +12,7 @@
 use crate::builder::{StoreBuilder, StoreDelta};
 use crate::event::{IngestError, RunKey, TraceEvent};
 use crate::incremental::{IncrementalAnalyzer, IncrementalStats};
-use cosy::{AnalysisReport, ProblemThreshold};
+use cosy::{AnalysisReport, Backend, ProblemThreshold};
 use perfdata::Store;
 use std::collections::HashMap;
 use std::sync::Mutex;
@@ -25,6 +25,10 @@ pub struct SessionConfig {
     /// Flush automatically once this many events are pending (0 disables
     /// auto-flush; the pipeline and `flush()` remain the triggers).
     pub auto_flush_events: usize,
+    /// Evaluation backend for the incremental engine. Defaults to the
+    /// compiled IR; the interpreter remains available as a reference
+    /// oracle for validation and baselining.
+    pub backend: Backend,
 }
 
 /// Aggregate observability counters of a session.
@@ -59,7 +63,7 @@ pub struct OnlineSession {
 impl OnlineSession {
     /// Create a session with the standard suite.
     pub fn new(config: SessionConfig) -> Self {
-        let analyzer = IncrementalAnalyzer::new(config.threshold);
+        let analyzer = IncrementalAnalyzer::new(config.threshold).with_backend(config.backend);
         OnlineSession {
             inner: Mutex::new(SessionInner {
                 builder: StoreBuilder::new(),

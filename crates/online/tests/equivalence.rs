@@ -198,6 +198,7 @@ fn check_equivalence(store: &Store, chunk: usize, what: &str) {
     let session = OnlineSession::new(SessionConfig {
         threshold,
         auto_flush_events: 0,
+        ..SessionConfig::default()
     });
     for run in 0..store.runs.len() as u32 {
         let events = events_for_run(store, TestRunId(run));

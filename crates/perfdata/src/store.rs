@@ -4,11 +4,22 @@ use crate::ids::*;
 use crate::model::*;
 use crate::timing_type::TimingType;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 /// A complete COSY performance database: multiple applications, multiple
 /// versions per application, multiple test runs per version (§3 of the
 /// paper), with static structure (functions, regions, call sites) and
 /// dynamic measurements (total/typed timings, call statistics).
+///
+/// Besides the primary arenas, the store maintains **secondary indexes**
+/// (`(region, run) → timing`, `region → children`, `version → reference
+/// run`) so the analyzer's hot metric loads are O(1) hash lookups instead
+/// of arena scans. The indexes are derived data kept consistent by every
+/// builder/upsert method; they are private, and while the arenas remain
+/// `pub` for read access, **mutation must go through the builder/upsert
+/// methods** — pushing into an arena directly leaves the indexes stale
+/// and the indexed lookups (and the compiled evaluator's filtered loads)
+/// answering from the past.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Store {
     /// All programs.
@@ -31,6 +42,25 @@ pub struct Store {
     pub call_timings: Vec<CallTiming>,
     /// All source-code blobs.
     pub sources: Vec<SourceCode>,
+
+    // ---- secondary indexes (derived; see the struct docs) ---------------
+    /// `(region, run)` → total timings in arena order. Well-formed data has
+    /// exactly one entry, but the index must mirror the arena faithfully —
+    /// a duplicate record still surfaces as an ambiguous `Summary`.
+    total_idx: HashMap<(RegionId, TestRunId), Vec<TotalTimingId>>,
+    /// `(region, run, type)` → its typed timing (first recorded wins,
+    /// matching the arena-scan order the lookups historically used).
+    typed_idx: HashMap<(RegionId, TestRunId, TimingType), TypedTimingId>,
+    /// `(region, run)` → all typed timings of that run, in arena order.
+    typed_by_run: HashMap<(RegionId, TestRunId), Vec<TypedTimingId>>,
+    /// `(call, run)` → call-statistics records in arena order (one entry
+    /// when well-formed; see `total_idx`).
+    call_idx: HashMap<(CallId, TestRunId), Vec<CallTimingId>>,
+    /// Region → direct children, in arena order.
+    children_idx: HashMap<RegionId, Vec<RegionId>>,
+    /// Version → its run with the smallest processor count (earliest run
+    /// wins ties, matching `min_by_key` over the version's run list).
+    min_pe_idx: HashMap<VersionId, TestRunId>,
 }
 
 impl Store {
@@ -90,6 +120,14 @@ impl Store {
             clockspeed,
         });
         self.versions[version.index()].runs.push(id);
+        match self.min_pe_idx.get(&version) {
+            // Strictly-smaller only: the earliest run keeps the reference
+            // slot on ties, matching `min_by_key` over the run list.
+            Some(&cur) if self.runs[cur.index()].no_pe <= no_pe => {}
+            _ => {
+                self.min_pe_idx.insert(version, id);
+            }
+        }
         id
     }
 
@@ -127,6 +165,9 @@ impl Store {
             typ_times: Vec::new(),
         });
         self.functions[function.index()].regions.push(id);
+        if let Some(p) = parent {
+            self.children_idx.entry(p).or_default().push(id);
+        }
         id
     }
 
@@ -148,6 +189,7 @@ impl Store {
             ovhd,
         });
         self.regions[region.index()].tot_times.push(id);
+        self.total_idx.entry((region, run)).or_default().push(id);
         id
     }
 
@@ -167,6 +209,8 @@ impl Store {
             time,
         });
         self.regions[region.index()].typ_times.push(id);
+        self.typed_idx.entry((region, run, ty)).or_insert(id);
+        self.typed_by_run.entry((region, run)).or_default().push(id);
         id
     }
 
@@ -195,8 +239,10 @@ impl Store {
     pub fn add_call_timing(&mut self, ct: CallTiming) -> CallTimingId {
         let id = CallTimingId(self.call_timings.len() as u32);
         let call = ct.call;
+        let run = ct.run;
         self.call_timings.push(ct);
         self.calls[call.index()].sums.push(id);
+        self.call_idx.entry((call, run)).or_default().push(id);
         id
     }
 
@@ -220,11 +266,7 @@ impl Store {
         incl: f64,
         ovhd: f64,
     ) -> (TotalTimingId, bool) {
-        let existing = self.regions[region.index()]
-            .tot_times
-            .iter()
-            .copied()
-            .find(|id| self.total_timings[id.index()].run == run);
+        let existing = self.total_timing_id(region, run);
         match existing {
             Some(id) => {
                 let t = &mut self.total_timings[id.index()];
@@ -246,14 +288,7 @@ impl Store {
         ty: TimingType,
         time: f64,
     ) -> (TypedTimingId, bool) {
-        let existing = self.regions[region.index()]
-            .typ_times
-            .iter()
-            .copied()
-            .find(|id| {
-                let t = &self.typed_timings[id.index()];
-                t.run == run && t.ty == ty
-            });
+        let existing = self.typed_idx.get(&(region, run, ty)).copied();
         match existing {
             Some(id) => {
                 self.typed_timings[id.index()].time = time;
@@ -266,11 +301,7 @@ impl Store {
     /// Insert or refresh the call statistics of a call site in a run.
     /// Returns the record id and `true` on insert (`false` on update).
     pub fn upsert_call_timing(&mut self, ct: CallTiming) -> (CallTimingId, bool) {
-        let existing = self.calls[ct.call.index()]
-            .sums
-            .iter()
-            .copied()
-            .find(|id| self.call_timings[id.index()].run == ct.run);
+        let existing = self.call_timing_id(ct.call, ct.run);
         match existing {
             Some(id) => {
                 self.call_timings[id.index()] = ct;
@@ -338,13 +369,10 @@ impl Store {
     /// The smallest processor count among the runs of a version, if any
     /// run exists. Streaming ingestion uses this to detect when a new run
     /// changes the reference configuration (which invalidates every
-    /// speedup-derived result of the version).
+    /// speedup-derived result of the version). O(1) via the reference-run
+    /// index.
     pub fn min_pe_of_version(&self, v: VersionId) -> Option<u32> {
-        self.versions[v.index()]
-            .runs
-            .iter()
-            .map(|r| self.runs[r.index()].no_pe)
-            .min()
+        self.min_pe_idx.get(&v).map(|r| self.runs[r.index()].no_pe)
     }
 
     // ---- navigation ---------------------------------------------------------
@@ -354,52 +382,86 @@ impl Store {
         &self.programs[self.versions[v.index()].program.index()]
     }
 
-    /// Direct children of a region.
+    /// Direct children of a region. O(children) via the children index.
     pub fn children(&self, r: RegionId) -> impl Iterator<Item = RegionId> + '_ {
-        self.regions
-            .iter()
-            .enumerate()
-            .filter(move |(_, reg)| reg.parent == Some(r))
-            .map(|(i, _)| RegionId(i as u32))
+        self.children_idx
+            .get(&r)
+            .into_iter()
+            .flat_map(|kids| kids.iter().copied())
     }
 
-    /// The unique total timing of a region in a run, if recorded.
+    /// The id of the (first) total timing of a region in a run. O(1).
+    pub fn total_timing_id(&self, r: RegionId, run: TestRunId) -> Option<TotalTimingId> {
+        self.total_idx
+            .get(&(r, run))
+            .and_then(|ids| ids.first().copied())
+    }
+
+    /// All total-timing records of a region in a run, in arena order —
+    /// exactly one when the store is well-formed. O(1).
+    pub fn total_timing_ids(&self, r: RegionId, run: TestRunId) -> &[TotalTimingId] {
+        self.total_idx
+            .get(&(r, run))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The unique total timing of a region in a run, if recorded. O(1).
     pub fn total_timing(&self, r: RegionId, run: TestRunId) -> Option<&TotalTiming> {
-        self.regions[r.index()]
-            .tot_times
-            .iter()
+        self.total_timing_id(r, run)
             .map(|id| &self.total_timings[id.index()])
-            .find(|t| t.run == run)
+    }
+
+    /// All typed timings of a region in one run, in recording order. O(1)
+    /// to locate; the slice covers every overhead type of the run.
+    pub fn typed_timing_ids(&self, r: RegionId, run: TestRunId) -> &[TypedTimingId] {
+        self.typed_by_run
+            .get(&(r, run))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// The typed timing of a region for a given run and type, if recorded.
+    /// O(1).
     pub fn typed_timing(
         &self,
         r: RegionId,
         run: TestRunId,
         ty: TimingType,
     ) -> Option<&TypedTiming> {
-        self.regions[r.index()]
-            .typ_times
-            .iter()
+        self.typed_idx
+            .get(&(r, run, ty))
             .map(|id| &self.typed_timings[id.index()])
-            .find(|t| t.run == run && t.ty == ty)
+    }
+
+    /// The id of the (first) call-statistics record of a call site in a
+    /// run. O(1).
+    pub fn call_timing_id(&self, c: CallId, run: TestRunId) -> Option<CallTimingId> {
+        self.call_idx
+            .get(&(c, run))
+            .and_then(|ids| ids.first().copied())
+    }
+
+    /// All call-statistics records of a call site in a run, in arena order
+    /// — exactly one when the store is well-formed. O(1).
+    pub fn call_timing_ids(&self, c: CallId, run: TestRunId) -> &[CallTimingId] {
+        self.call_idx
+            .get(&(c, run))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Inclusive duration of a region in a run (the paper's `Duration`
-    /// helper), or `None` when no timing was recorded.
+    /// helper), or `None` when no timing was recorded. O(1).
     pub fn duration(&self, r: RegionId, run: TestRunId) -> Option<f64> {
         self.total_timing(r, run).map(|t| t.incl)
     }
 
     /// The test run of a version with the smallest processor count — the
-    /// reference run used by `SublinearSpeedup` (§4.2).
+    /// reference run used by `SublinearSpeedup` (§4.2). O(1) via the
+    /// reference-run index.
     pub fn min_pe_run(&self, v: VersionId) -> Option<TestRunId> {
-        self.versions[v.index()]
-            .runs
-            .iter()
-            .copied()
-            .min_by_key(|r| self.runs[r.index()].no_pe)
+        self.min_pe_idx.get(&v).copied()
     }
 
     /// The root (subprogram) region of a function, by convention the first
@@ -616,6 +678,78 @@ mod tests {
         let c = s.add_call(f_main, f_bar, root);
         assert_eq!(s.call_site(f_main, f_bar, root), Some(c));
         assert_eq!(s.call_site(f_bar, f_main, root), None);
+    }
+
+    #[test]
+    fn indexes_agree_with_arena_scans() {
+        let (s, v, r1, r2, lp) = sample_store();
+        // total_idx vs scan over tot_times.
+        for region in [RegionId(0), lp] {
+            for run in [r1, r2] {
+                let scanned = s.regions[region.index()]
+                    .tot_times
+                    .iter()
+                    .copied()
+                    .find(|id| s.total_timings[id.index()].run == run);
+                assert_eq!(s.total_timing_id(region, run), scanned);
+            }
+        }
+        // typed indexes vs scan over typ_times.
+        let scanned: Vec<_> = s.regions[lp.index()]
+            .typ_times
+            .iter()
+            .copied()
+            .filter(|id| s.typed_timings[id.index()].run == r2)
+            .collect();
+        assert_eq!(s.typed_timing_ids(lp, r2), scanned.as_slice());
+        assert!(s.typed_timing_ids(lp, r1).is_empty());
+        // children index vs full-arena scan.
+        let root = s.regions[lp.index()].parent.unwrap();
+        let scanned: Vec<_> = s
+            .regions
+            .iter()
+            .enumerate()
+            .filter(|(_, reg)| reg.parent == Some(root))
+            .map(|(i, _)| RegionId(i as u32))
+            .collect();
+        assert_eq!(s.children(root).collect::<Vec<_>>(), scanned);
+        // reference-run index vs min_by_key scan.
+        let scanned = s.versions[v.index()]
+            .runs
+            .iter()
+            .copied()
+            .min_by_key(|r| s.runs[r.index()].no_pe);
+        assert_eq!(s.min_pe_run(v), scanned);
+    }
+
+    #[test]
+    fn min_pe_index_keeps_earliest_on_ties_and_tracks_new_minimum() {
+        let (mut s, v, r1, _, _) = sample_store();
+        // A tie on no_pe keeps the earlier run.
+        s.add_run(v, DateTime::from_secs(40), 2, 450);
+        assert_eq!(s.min_pe_run(v), Some(r1));
+        // A strictly smaller configuration takes over.
+        let r4 = s.add_run(v, DateTime::from_secs(50), 1, 450);
+        assert_eq!(s.min_pe_run(v), Some(r4));
+        assert_eq!(s.min_pe_of_version(v), Some(1));
+    }
+
+    #[test]
+    fn upserts_keep_indexes_consistent() {
+        let (mut s, v, r1, _, lp) = sample_store();
+        let (id, _) = s.upsert_total_timing(lp, r1, 7.0, 9.5, 0.4);
+        assert_eq!(s.total_timing_id(lp, r1), Some(id));
+        let r3 = s.add_run(v, DateTime::from_secs(40), 16, 450);
+        let (id3, inserted) = s.upsert_total_timing(lp, r3, 1.0, 2.0, 0.1);
+        assert!(inserted);
+        assert_eq!(s.total_timing_id(lp, r3), Some(id3));
+        let (tid, inserted) = s.upsert_typed_timing(lp, r3, TimingType::IoRead, 0.5);
+        assert!(inserted);
+        assert_eq!(s.typed_timing_ids(lp, r3), &[tid]);
+        assert_eq!(
+            s.typed_timing(lp, r3, TimingType::IoRead).map(|t| t.time),
+            Some(0.5)
+        );
     }
 
     #[test]

@@ -221,15 +221,11 @@ mod tests {
 
     #[test]
     fn duplicate_total_timing_detected() {
+        // Built through the builder so the secondary indexes stay
+        // consistent with the (deliberately malformed) arenas.
         let mut s = valid_store();
         let dup = s.total_timings[0].clone();
-        let region = dup.region;
-        s.total_timings.push(dup);
-        s.regions[region.index()]
-            .tot_times
-            .push(crate::ids::TotalTimingId(
-                (s.total_timings.len() - 1) as u32,
-            ));
+        s.add_total_timing(dup.region, dup.run, dup.excl, dup.incl, dup.ovhd);
         let v = validate(&s);
         assert!(v.iter().any(|x| x.rule == "unique-total-timing"));
     }
@@ -238,7 +234,7 @@ mod tests {
     fn duplicate_typed_timing_detected() {
         let mut s = valid_store();
         let dup = s.typed_timings[0].clone();
-        s.typed_timings.push(dup);
+        s.add_typed_timing(dup.region, dup.run, dup.ty, dup.time);
         let v = validate(&s);
         assert!(v.iter().any(|x| x.rule == "unique-typed-timing"));
     }

@@ -29,7 +29,7 @@ fn to_sql_value(v: &EvalValue) -> SqlGenResult<Value> {
         EvalValue::Bool(b) => Value::Bool(*b),
         EvalValue::Str(s) => Value::Text(s.clone()),
         EvalValue::DateTime(t) => Value::Int(*t),
-        EvalValue::Enum(_, variant) => Value::Text(variant.clone()),
+        EvalValue::Enum(_, variant) => Value::Text(variant.as_str().to_string()),
         EvalValue::Obj(o) => Value::Int(o.index as i64),
         EvalValue::Null => Value::Null,
         EvalValue::Set(_) => {
@@ -58,10 +58,11 @@ pub fn build_rows<M: ObjectModel>(
         let n = data.extent(class).ok_or_else(|| {
             SqlGenError::Data(format!("data source cannot enumerate class `{class}`"))
         })?;
+        let class_sym: asl_core::Symbol = class.as_str().into();
         let mut rows = Vec::with_capacity(n);
         for id in 0..n {
             let obj = ObjRef {
-                class: class.clone(),
+                class: class_sym,
                 index: id as u32,
             };
             let mut row = vec![Value::Null; ts.arity()];
@@ -93,6 +94,7 @@ pub fn build_rows<M: ObjectModel>(
     // Pass 2: owner columns from `setof` attributes.
     for ts in &schema.tables {
         let class = &ts.name;
+        let class_sym: asl_core::Symbol = class.as_str().into();
         for attr in model.all_attrs(class) {
             let Type::Set(_) = attr.ty else { continue };
             let Some(AttrBinding::SetOwner {
@@ -109,7 +111,7 @@ pub fn build_rows<M: ObjectModel>(
             let n = data.extent(class).expect("extent checked in pass 1");
             for id in 0..n {
                 let obj = ObjRef {
-                    class: class.clone(),
+                    class: class_sym,
                     index: id as u32,
                 };
                 let members = data

@@ -74,15 +74,17 @@ fn bind_args(prop: &PropertyDecl, args: &[EvalValue]) -> SqlGenResult<HashMap<St
     for (p, a) in prop.params.iter().zip(args) {
         let cval = match a {
             EvalValue::Obj(o) => CVal::Obj {
-                class: o.class.clone(),
+                class: o.class.as_str().to_string(),
                 expr: SqlExpr::Lit(Value::Int(o.index as i64)),
             },
             EvalValue::Int(v) => CVal::Scalar(SqlExpr::Lit(Value::Int(*v))),
             EvalValue::Float(v) => CVal::Scalar(SqlExpr::Lit(Value::Float(*v))),
             EvalValue::Bool(v) => CVal::Scalar(SqlExpr::Lit(Value::Bool(*v))),
-            EvalValue::Str(v) => CVal::Scalar(SqlExpr::Lit(Value::Text(v.clone()))),
+            EvalValue::Str(v) => CVal::Scalar(SqlExpr::Lit(Value::Text(v.as_str().to_string()))),
             EvalValue::DateTime(v) => CVal::Scalar(SqlExpr::Lit(Value::Int(*v))),
-            EvalValue::Enum(_, v) => CVal::Scalar(SqlExpr::Lit(Value::Text(v.clone()))),
+            EvalValue::Enum(_, v) => {
+                CVal::Scalar(SqlExpr::Lit(Value::Text(v.as_str().to_string())))
+            }
             other => {
                 return Err(SqlGenError::Unsupported(format!(
                     "cannot bind {other} as a property argument"
