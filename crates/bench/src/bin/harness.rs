@@ -1,7 +1,8 @@
 //! The experiment harness: regenerates every table/figure/claim of the
-//! paper (E1–E9, see DESIGN.md §4) and prints paper-style tables. E9 also
-//! emits a machine-readable `BENCH_e9.json` (median ns + speedup ratios)
-//! so the evaluation-core perf trajectory is tracked across PRs.
+//! paper (E1–E10, see DESIGN.md §4) and prints paper-style tables. E9 and
+//! E10 also emit machine-readable JSON (`BENCH_e9.json`, `BENCH_e10.json`;
+//! best-of-N ns + speedup ratios) so the evaluation-core and durability
+//! perf trajectories are tracked across PRs.
 //!
 //! ```sh
 //! cargo run --release -p kojak-bench --bin harness            # all
@@ -99,6 +100,21 @@ fn main() {
             Err(e) => println!("could not write BENCH_e9.json: {e}"),
         }
         println!("claim: compiled path ≥ 2x faster than the interpreter on E5 and E8 shapes\n");
+    }
+
+    if want("--e10") {
+        println!("== E10: durable sessions — WAL append overhead & recovery time ==============\n");
+        let result = e10_durability::run();
+        println!("{}", e10_durability::render(&result));
+        report_claim(&mut failures, "E10", e10_durability::check_claims(&result));
+        let json = e10_durability::to_json(&result);
+        match std::fs::write("BENCH_e10.json", &json) {
+            Ok(()) => println!("wrote BENCH_e10.json"),
+            Err(e) => println!("could not write BENCH_e10.json: {e}"),
+        }
+        println!(
+            "claim: snapshot recovery ≥ 1.5x faster than full WAL replay, reports identical\n"
+        );
     }
 
     if failures.is_empty() {

@@ -1,5 +1,6 @@
-//! The experiments E1–E9 (see DESIGN.md §4 for the index).
+//! The experiments E1–E10 (see DESIGN.md §4 for the index).
 
+pub mod e10_durability;
 pub mod e1_parse;
 pub mod e2_insert;
 pub mod e3_fetch;

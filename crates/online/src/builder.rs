@@ -149,6 +149,37 @@ impl StoreBuilder {
         self.runs.iter().map(|(k, r)| (*k, *r, self.run_version[r]))
     }
 
+    /// All known (producer tag, store id) version pairs.
+    pub fn version_tags(&self) -> impl Iterator<Item = (VersionTag, VersionId)> + '_ {
+        self.versions.iter().map(|(t, v)| (*t, *v))
+    }
+
+    /// Rebuild a builder from snapshot parts: the reconstructed store, the
+    /// producer key maps, and the lifetime applied-event counter. The
+    /// derived maps (reverse run keys, run→version) are recomputed from
+    /// the store, so a round-tripped builder is indistinguishable from the
+    /// one that was snapshotted.
+    pub(crate) fn from_parts(
+        store: Store,
+        versions: HashMap<VersionTag, VersionId>,
+        runs: HashMap<RunKey, TestRunId>,
+        events_applied: u64,
+    ) -> StoreBuilder {
+        let run_keys = runs.iter().map(|(k, r)| (*r, *k)).collect();
+        let run_version = runs
+            .values()
+            .map(|r| (*r, store.runs[r.index()].version))
+            .collect();
+        StoreBuilder {
+            store,
+            versions,
+            runs,
+            run_keys,
+            run_version,
+            events_applied,
+        }
+    }
+
     fn resolve_run(&self, key: RunKey) -> Result<(TestRunId, VersionId), IngestError> {
         let run = self.run_id(key).ok_or(IngestError::UnknownRun(key))?;
         Ok((run, self.run_version[&run]))

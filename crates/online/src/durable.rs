@@ -1,0 +1,402 @@
+//! Durable online sessions: write-ahead logging, snapshotting, recovery.
+//!
+//! ```text
+//!            ingest                       flush (+every N: checkpoint)
+//!  producer ───────▶ wal.log ──▶ store ──▶ live reports
+//!                      │           │
+//!                      │      snapshot.bin (atomic tmp+rename;
+//!                      │◀──── truncates the log behind it)
+//!                      ▼
+//!    recover = load snapshot ▸ replay log tail ▸ one full flush
+//! ```
+//!
+//! [`DurableSession`] wraps an [`OnlineSession`] with a [`WalWriter`]:
+//! every event batch is framed to disk *before* it is applied
+//! (write-ahead), and a checkpoint — taken automatically every
+//! `snapshot_every_flushes` flushes or explicitly via
+//! [`DurableSession::checkpoint`] — serializes the builder state and
+//! finished-run set, then truncates the log. [`OnlineSession::recover`]
+//! inverts the process: load the latest valid snapshot, replay the log
+//! tail through the ordinary `StoreBuilder::apply` path, and run one full
+//! flush, after which the live reports are **bit-identical** to what an
+//! uninterrupted session over the same events would show (the
+//! crash-recovery proptest in `tests/crash_recovery.rs` enforces this).
+//!
+//! A torn or corrupt log tail is recovered up to the last consistent
+//! frame and reported as a typed [`WalCorruption`]; a corrupt snapshot is
+//! a hard [`RecoveryError`] (its history is not reconstructible from a
+//! truncated log). Neither ever panics.
+
+use crate::event::{IngestError, RunKey, TraceEvent};
+use crate::session::{OnlineSession, SessionConfig, SessionStats};
+use crate::snapshot::{encode_snapshot, read_snapshot, write_snapshot_bytes, SnapshotError};
+use crate::wal::{read_wal, FsyncPolicy, WalCorruption, WalWriter};
+use cosy::AnalysisReport;
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// File name of the write-ahead log inside a session directory.
+pub const WAL_FILE: &str = "wal.log";
+/// File name of the snapshot inside a session directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.bin";
+
+/// Configuration of a durable session.
+#[derive(Debug, Clone)]
+pub struct DurableConfig {
+    /// The wrapped analysis session's configuration.
+    pub session: SessionConfig,
+    /// When WAL appends reach stable storage.
+    pub fsync: FsyncPolicy,
+    /// Write a snapshot (and truncate the log) every this many successful
+    /// [`DurableSession::flush`]es; `0` disables automatic checkpoints
+    /// (use [`DurableSession::checkpoint`]).
+    pub snapshot_every_flushes: u32,
+}
+
+impl Default for DurableConfig {
+    fn default() -> Self {
+        DurableConfig {
+            session: SessionConfig::default(),
+            fsync: FsyncPolicy::default(),
+            snapshot_every_flushes: 32,
+        }
+    }
+}
+
+/// Why a session directory could not be recovered.
+#[derive(Debug)]
+pub enum RecoveryError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// The snapshot file exists but cannot be trusted. Unlike a torn WAL
+    /// tail this is fatal: the log was truncated when the snapshot was
+    /// written, so the snapshot's history exists nowhere else.
+    CorruptSnapshot {
+        /// The snapshot file.
+        path: PathBuf,
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// The durable state was written by an incompatible (newer or
+    /// foreign) build, or its snapshot/log epochs disagree in a way that
+    /// means history is missing — e.g. checksum-valid WAL frames from a
+    /// newer wire format after a binary downgrade, or a log whose epoch
+    /// says a snapshot once existed but the snapshot file is gone.
+    /// Recovery refuses rather than silently truncating data another
+    /// build could still read.
+    Incompatible {
+        /// The offending file.
+        path: PathBuf,
+        /// What is incompatible.
+        detail: String,
+    },
+    /// The recovery flush failed (property evaluation error).
+    Analysis(String),
+}
+
+impl std::fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryError::Io(e) => write!(f, "recovery I/O: {e}"),
+            RecoveryError::CorruptSnapshot { path, detail } => {
+                write!(f, "corrupt snapshot {}: {detail}", path.display())
+            }
+            RecoveryError::Incompatible { path, detail } => {
+                write!(f, "incompatible durable state {}: {detail}", path.display())
+            }
+            RecoveryError::Analysis(e) => write!(f, "recovery flush failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+impl From<io::Error> for RecoveryError {
+    fn from(e: io::Error) -> Self {
+        RecoveryError::Io(e)
+    }
+}
+
+/// What recovery found and did.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryStats {
+    /// Was a snapshot loaded?
+    pub used_snapshot: bool,
+    /// Lifetime applied-event count restored from the snapshot (0 without
+    /// one).
+    pub snapshot_events: u64,
+    /// WAL-tail events replayed through the ingestion path.
+    pub wal_events_replayed: u64,
+    /// WAL-tail events the replay rejected (deterministically the same
+    /// rejections the original session counted).
+    pub wal_events_rejected: u64,
+    /// Byte length of the consistent WAL prefix (where appending resumes;
+    /// 0 when the log must be restarted on the snapshot's epoch).
+    pub wal_valid_len: u64,
+    /// The checkpoint epoch appends continue under.
+    pub epoch: u64,
+    /// True when the log predates the snapshot (the crash hit the window
+    /// between the snapshot rename and the log truncation): its events
+    /// are already covered by the snapshot and were skipped, and the log
+    /// is restarted on the snapshot's epoch.
+    pub wal_stale: bool,
+    /// The skip report for a torn/corrupt WAL tail, if one was found.
+    pub wal_corruption: Option<WalCorruption>,
+    /// Runs with a live report after the recovery flush.
+    pub runs_recovered: usize,
+}
+
+impl OnlineSession {
+    /// Recover a session from the durable state in `dir` (missing files
+    /// mean a fresh, empty session): load the snapshot, replay the WAL
+    /// tail, flush once. The returned session's live reports are
+    /// bit-identical to an uninterrupted session over the same recovered
+    /// event history.
+    pub fn recover(
+        dir: &Path,
+        config: SessionConfig,
+    ) -> Result<(OnlineSession, RecoveryStats), RecoveryError> {
+        let snapshot_path = dir.join(SNAPSHOT_FILE);
+        let wal_path = dir.join(WAL_FILE);
+        let mut stats = RecoveryStats::default();
+        let snapshot = match read_snapshot(&snapshot_path) {
+            Ok(data) => data,
+            Err(SnapshotError::Io(e)) => return Err(RecoveryError::Io(e)),
+            Err(SnapshotError::Corrupt(detail)) => {
+                return Err(RecoveryError::CorruptSnapshot {
+                    path: snapshot_path,
+                    detail,
+                })
+            }
+        };
+        let wal = read_wal(&wal_path)?;
+        // An unreadable-by-design log (foreign header, frames from a newer
+        // wire format) must not be "recovered" by truncating it away.
+        if let Some(c) = &wal.corruption {
+            if c.kind.is_incompatibility() {
+                return Err(RecoveryError::Incompatible {
+                    path: wal_path,
+                    detail: c.to_string(),
+                });
+            }
+        }
+
+        // Reconcile the checkpoint epochs. The log's epoch can lag the
+        // snapshot's by exactly one crash window (snapshot renamed, log
+        // not yet truncated): those frames are already covered by the
+        // snapshot and replaying them would double-count history.
+        let snapshot_epoch = snapshot.as_ref().map(|s| s.wal_epoch).unwrap_or(0);
+        match &snapshot {
+            Some(_) if wal.epoch > snapshot_epoch => {
+                return Err(RecoveryError::Incompatible {
+                    path: snapshot_path,
+                    detail: format!(
+                        "snapshot epoch {snapshot_epoch} older than log epoch {} — \
+                         the snapshot covering the truncated history is missing",
+                        wal.epoch
+                    ),
+                })
+            }
+            None if wal.epoch > 0 => {
+                return Err(RecoveryError::Incompatible {
+                    path: snapshot_path,
+                    detail: format!(
+                        "log epoch {} says a snapshot truncated it, but no snapshot exists",
+                        wal.epoch
+                    ),
+                })
+            }
+            _ => {}
+        }
+        stats.wal_stale = snapshot.is_some() && wal.epoch < snapshot_epoch;
+        stats.epoch = snapshot_epoch.max(wal.epoch);
+        stats.wal_valid_len = if stats.wal_stale { 0 } else { wal.valid_len };
+        stats.wal_corruption = wal.corruption;
+
+        let session = match snapshot {
+            Some(data) => {
+                stats.used_snapshot = true;
+                stats.snapshot_events = data.events_applied;
+                OnlineSession::from_recovered(
+                    config,
+                    data.builder,
+                    data.finished,
+                    data.events_rejected,
+                )
+            }
+            None => OnlineSession::new(config),
+        };
+
+        if !stats.wal_stale && !wal.events.is_empty() {
+            stats.wal_events_replayed = wal.events.len() as u64;
+            let before = session.stats().events_rejected;
+            // Rejected events are counted and skipped exactly as they were
+            // live; the first error is not fatal to the rest of the tail.
+            let _ = session.ingest_batch(&wal.events);
+            stats.wal_events_rejected = session.stats().events_rejected - before;
+        }
+        session.note_replayed(stats.snapshot_events + stats.wal_events_replayed);
+        session.flush().map_err(RecoveryError::Analysis)?;
+        stats.runs_recovered = session.reports().len();
+        Ok((session, stats))
+    }
+}
+
+struct DurableInner {
+    wal: WalWriter,
+    flushes_since_snapshot: u32,
+    /// Current checkpoint epoch (== the WAL header's epoch; the next
+    /// snapshot records `epoch + 1` and the log restarts under it).
+    epoch: u64,
+}
+
+/// An [`OnlineSession`] whose state survives a process kill.
+///
+/// All mutation must go through this wrapper (the write-ahead invariant
+/// is: no event reaches the store unless its frame is on disk first);
+/// [`DurableSession::session`] hands out the inner session for reads.
+pub struct DurableSession {
+    session: Arc<OnlineSession>,
+    inner: Mutex<DurableInner>,
+    dir: PathBuf,
+    snapshot_every_flushes: u32,
+    recovery: RecoveryStats,
+}
+
+impl DurableSession {
+    /// Open (or create) the durable session stored in `dir`, recovering
+    /// any existing state. A torn WAL tail found by recovery is truncated
+    /// so appending resumes on a frame boundary.
+    pub fn open(dir: impl Into<PathBuf>, config: DurableConfig) -> Result<Self, RecoveryError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let (session, recovery) = OnlineSession::recover(&dir, config.session)?;
+        // A stale log (crash between snapshot rename and truncation) has
+        // wal_valid_len == 0: opening at that length completes the
+        // interrupted checkpoint by restarting the log on the snapshot's
+        // epoch.
+        let wal = WalWriter::open(
+            &dir.join(WAL_FILE),
+            recovery.wal_valid_len,
+            recovery.epoch,
+            config.fsync,
+        )?;
+        Ok(DurableSession {
+            session: Arc::new(session),
+            inner: Mutex::new(DurableInner {
+                wal,
+                flushes_since_snapshot: 0,
+                epoch: recovery.epoch,
+            }),
+            dir,
+            snapshot_every_flushes: config.snapshot_every_flushes,
+            recovery,
+        })
+    }
+
+    fn lock(&self) -> MutexGuard<'_, DurableInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The session directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// What recovery found when this session was opened.
+    pub fn recovery(&self) -> &RecoveryStats {
+        &self.recovery
+    }
+
+    /// The wrapped live session (shared for concurrent readers).
+    pub fn session(&self) -> &Arc<OnlineSession> {
+        &self.session
+    }
+
+    /// Current WAL length in bytes (events logged since the last
+    /// checkpoint).
+    pub fn wal_len(&self) -> u64 {
+        self.lock().wal.len()
+    }
+
+    /// Ingest one event durably.
+    pub fn ingest(&self, event: &TraceEvent) -> Result<(), IngestError> {
+        self.ingest_batch(std::slice::from_ref(event)).map(|_| ())
+    }
+
+    /// Ingest a batch durably: the frames hit the log (and, per policy,
+    /// the disk) before any event is applied. Rejected events stay in the
+    /// log — replay re-rejects them deterministically, keeping recovered
+    /// counters truthful.
+    pub fn ingest_batch(&self, events: &[TraceEvent]) -> Result<usize, IngestError> {
+        let mut inner = self.lock();
+        inner
+            .wal
+            .append_batch(events)
+            .map_err(|e| IngestError::Wal(e.to_string()))?;
+        self.session.ingest_batch(events)
+    }
+
+    /// Analyze everything pending (see [`OnlineSession::flush`]); every
+    /// `snapshot_every_flushes` successful flushes, also checkpoint.
+    pub fn flush(&self) -> Result<Vec<RunKey>, String> {
+        let mut inner = self.lock();
+        let updated = self.session.flush()?;
+        inner.flushes_since_snapshot += 1;
+        if self.snapshot_every_flushes > 0
+            && inner.flushes_since_snapshot >= self.snapshot_every_flushes
+        {
+            self.checkpoint_locked(&mut inner)?;
+        }
+        Ok(updated)
+    }
+
+    /// Flush, then write a snapshot and truncate the log behind it.
+    pub fn checkpoint(&self) -> Result<(), String> {
+        let mut inner = self.lock();
+        self.session.flush()?;
+        self.checkpoint_locked(&mut inner)
+    }
+
+    fn checkpoint_locked(&self, inner: &mut DurableInner) -> Result<(), String> {
+        let path = self.dir.join(SNAPSHOT_FILE);
+        let next_epoch = inner.epoch + 1;
+        // Encode under the session lock (consistent read), but do the
+        // file write + fsyncs after releasing it so concurrent report()
+        // readers never wait on the disk. The durable lock (held by our
+        // caller) still serializes writers.
+        let bytes = self.session.snapshot_state(|builder, finished, rejected| {
+            encode_snapshot(builder, finished, rejected, next_epoch)
+        });
+        write_snapshot_bytes(&path, &bytes).map_err(|e| format!("snapshot write failed: {e}"))?;
+        inner
+            .wal
+            .reset(next_epoch)
+            .map_err(|e| format!("wal truncate failed: {e}"))?;
+        inner.epoch = next_epoch;
+        inner.flushes_since_snapshot = 0;
+        Ok(())
+    }
+
+    /// Force logged frames to stable storage regardless of fsync policy.
+    pub fn sync(&self) -> io::Result<()> {
+        self.lock().wal.sync()
+    }
+
+    /// The live report of a run (as of the last flush).
+    pub fn report(&self, run: RunKey) -> Option<AnalysisReport> {
+        self.session.report(run)
+    }
+
+    /// All live reports keyed by producer run key.
+    pub fn reports(&self) -> HashMap<RunKey, AnalysisReport> {
+        self.session.reports()
+    }
+
+    /// Aggregate counters of the wrapped session.
+    pub fn stats(&self) -> SessionStats {
+        self.session.stats()
+    }
+}

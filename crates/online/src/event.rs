@@ -9,9 +9,15 @@
 //! identifiers exist: a [`RunKey`] unique per test run and a [`VersionTag`]
 //! unique per program build, both plain `u64`s minted by the producer.
 
+use crate::wire::{self, Reader, WireError};
 use perfdata::{DateTime, RegionKind, TimingType};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// Version byte leading every wire-encoded event. Bump on any layout
+/// change; decoders reject unknown versions with a typed error instead of
+/// misreading bytes (the WAL and snapshot formats both embed it).
+pub const WIRE_VERSION: u8 = 1;
 
 /// Producer-assigned identifier of one test run, unique within a session.
 #[derive(
@@ -221,6 +227,241 @@ impl TraceEvent {
         self
     }
 
+    /// Append the stable wire encoding of this event to `buf`: a
+    /// [`WIRE_VERSION`] byte, a variant tag, then the fields in declaration
+    /// order (little-endian integers, `f64` bit patterns, length-prefixed
+    /// UTF-8 strings — see [`crate::wire`]).
+    pub fn encode_wire(&self, buf: &mut Vec<u8>) {
+        wire::put_u8(buf, WIRE_VERSION);
+        match self {
+            TraceEvent::RunStarted {
+                run,
+                version,
+                program,
+                compiled_at,
+                source,
+                start,
+                no_pe,
+                clockspeed,
+            } => {
+                wire::put_u8(buf, 0);
+                wire::put_u64(buf, run.0);
+                wire::put_u64(buf, version.0);
+                wire::put_str(buf, program);
+                wire::put_i64(buf, compiled_at.micros());
+                wire::put_str(buf, source);
+                wire::put_i64(buf, start.micros());
+                wire::put_u32(buf, *no_pe);
+                wire::put_u32(buf, *clockspeed);
+            }
+            TraceEvent::RegionEntered {
+                run,
+                function,
+                region,
+            } => {
+                wire::put_u8(buf, 1);
+                wire::put_u64(buf, run.0);
+                wire::put_str(buf, function);
+                wire::put_str(buf, &region.name);
+                match &region.parent {
+                    None => wire::put_u8(buf, 0),
+                    Some(p) => {
+                        wire::put_u8(buf, 1);
+                        wire::put_str(buf, &p.name);
+                        wire::put_u32(buf, p.first_line);
+                    }
+                }
+                wire::put_u8(buf, wire::region_kind_code(region.kind));
+                wire::put_u32(buf, region.first_line);
+                wire::put_u32(buf, region.last_line);
+            }
+            TraceEvent::RegionExited {
+                run,
+                function,
+                region,
+                excl,
+                incl,
+                ovhd,
+            } => {
+                wire::put_u8(buf, 2);
+                wire::put_u64(buf, run.0);
+                wire::put_str(buf, function);
+                wire::put_str(buf, &region.name);
+                wire::put_u32(buf, region.first_line);
+                wire::put_f64(buf, *excl);
+                wire::put_f64(buf, *incl);
+                wire::put_f64(buf, *ovhd);
+            }
+            TraceEvent::TypedSample {
+                run,
+                function,
+                region,
+                ty,
+                time,
+            } => {
+                wire::put_u8(buf, 3);
+                wire::put_u64(buf, run.0);
+                wire::put_str(buf, function);
+                wire::put_str(buf, &region.name);
+                wire::put_u32(buf, region.first_line);
+                wire::put_u8(buf, ty.code());
+                wire::put_f64(buf, *time);
+            }
+            TraceEvent::CallSiteStat {
+                run,
+                caller,
+                callee,
+                site,
+                stats,
+            } => {
+                wire::put_u8(buf, 4);
+                wire::put_u64(buf, run.0);
+                wire::put_str(buf, caller);
+                wire::put_str(buf, callee);
+                wire::put_str(buf, &site.name);
+                wire::put_u32(buf, site.first_line);
+                wire::put_f64(buf, stats.min_count);
+                wire::put_f64(buf, stats.max_count);
+                wire::put_f64(buf, stats.mean_count);
+                wire::put_f64(buf, stats.stdev_count);
+                wire::put_u32(buf, stats.min_count_pe);
+                wire::put_u32(buf, stats.max_count_pe);
+                wire::put_f64(buf, stats.min_time);
+                wire::put_f64(buf, stats.max_time);
+                wire::put_f64(buf, stats.mean_time);
+                wire::put_f64(buf, stats.stdev_time);
+                wire::put_u32(buf, stats.min_time_pe);
+                wire::put_u32(buf, stats.max_time_pe);
+            }
+            TraceEvent::RunFinished { run } => {
+                wire::put_u8(buf, 5);
+                wire::put_u64(buf, run.0);
+            }
+        }
+    }
+
+    /// Decode one event from its wire encoding. The whole of `bytes` must
+    /// be consumed; partial or trailing input is a [`WireError`].
+    pub fn decode_wire(bytes: &[u8]) -> Result<TraceEvent, WireError> {
+        let mut r = Reader::new(bytes);
+        let version = r.get_u8("wire version")?;
+        if version != WIRE_VERSION {
+            return Err(WireError::UnsupportedVersion(version));
+        }
+        let tag = r.get_u8("event tag")?;
+        let event = match tag {
+            0 => TraceEvent::RunStarted {
+                run: RunKey(r.get_u64("run key")?),
+                version: VersionTag(r.get_u64("version tag")?),
+                program: r.get_str("program")?,
+                compiled_at: DateTime(r.get_i64("compiled_at")?),
+                source: r.get_str("source")?,
+                start: DateTime(r.get_i64("start")?),
+                no_pe: r.get_u32("no_pe")?,
+                clockspeed: r.get_u32("clockspeed")?,
+            },
+            1 => {
+                let run = RunKey(r.get_u64("run key")?);
+                let function = r.get_str("function")?;
+                let name = r.get_str("region name")?;
+                let parent = match r.get_u8("parent flag")? {
+                    0 => None,
+                    1 => Some(RegionRef {
+                        name: r.get_str("parent name")?,
+                        first_line: r.get_u32("parent line")?,
+                    }),
+                    code => {
+                        return Err(WireError::BadEnum {
+                            what: "parent flag",
+                            code,
+                        })
+                    }
+                };
+                let kind_code = r.get_u8("region kind")?;
+                let kind = wire::region_kind_from_code(kind_code).ok_or(WireError::BadEnum {
+                    what: "region kind",
+                    code: kind_code,
+                })?;
+                TraceEvent::RegionEntered {
+                    run,
+                    function,
+                    region: RegionDef {
+                        name,
+                        parent,
+                        kind,
+                        first_line: r.get_u32("first_line")?,
+                        last_line: r.get_u32("last_line")?,
+                    },
+                }
+            }
+            2 => TraceEvent::RegionExited {
+                run: RunKey(r.get_u64("run key")?),
+                function: r.get_str("function")?,
+                region: RegionRef {
+                    name: r.get_str("region name")?,
+                    first_line: r.get_u32("region line")?,
+                },
+                excl: r.get_f64("excl")?,
+                incl: r.get_f64("incl")?,
+                ovhd: r.get_f64("ovhd")?,
+            },
+            3 => {
+                let run = RunKey(r.get_u64("run key")?);
+                let function = r.get_str("function")?;
+                let region = RegionRef {
+                    name: r.get_str("region name")?,
+                    first_line: r.get_u32("region line")?,
+                };
+                let ty_code = r.get_u8("timing type")?;
+                let ty = TimingType::from_code(ty_code).ok_or(WireError::BadEnum {
+                    what: "timing type",
+                    code: ty_code,
+                })?;
+                TraceEvent::TypedSample {
+                    run,
+                    function,
+                    region,
+                    ty,
+                    time: r.get_f64("time")?,
+                }
+            }
+            4 => TraceEvent::CallSiteStat {
+                run: RunKey(r.get_u64("run key")?),
+                caller: r.get_str("caller")?,
+                callee: r.get_str("callee")?,
+                site: RegionRef {
+                    name: r.get_str("site name")?,
+                    first_line: r.get_u32("site line")?,
+                },
+                stats: CallStats {
+                    min_count: r.get_f64("min_count")?,
+                    max_count: r.get_f64("max_count")?,
+                    mean_count: r.get_f64("mean_count")?,
+                    stdev_count: r.get_f64("stdev_count")?,
+                    min_count_pe: r.get_u32("min_count_pe")?,
+                    max_count_pe: r.get_u32("max_count_pe")?,
+                    min_time: r.get_f64("min_time")?,
+                    max_time: r.get_f64("max_time")?,
+                    mean_time: r.get_f64("mean_time")?,
+                    stdev_time: r.get_f64("stdev_time")?,
+                    min_time_pe: r.get_u32("min_time_pe")?,
+                    max_time_pe: r.get_u32("max_time_pe")?,
+                },
+            },
+            5 => TraceEvent::RunFinished {
+                run: RunKey(r.get_u64("run key")?),
+            },
+            code => {
+                return Err(WireError::BadEnum {
+                    what: "event tag",
+                    code,
+                })
+            }
+        };
+        r.finish()?;
+        Ok(event)
+    }
+
     /// Short event-kind name for diagnostics.
     pub fn kind(&self) -> &'static str {
         match self {
@@ -269,6 +510,10 @@ pub enum IngestError {
     },
     /// The ingestion pipeline is shut down.
     Closed,
+    /// The durable session could not append to its write-ahead log (the
+    /// event was **not** applied: write-ahead means no event reaches the
+    /// store unless it is on disk first).
+    Wal(String),
 }
 
 impl fmt::Display for IngestError {
@@ -298,6 +543,7 @@ impl fmt::Display for IngestError {
                 parent.name, parent.first_line
             ),
             IngestError::Closed => write!(f, "ingestion pipeline is closed"),
+            IngestError::Wal(e) => write!(f, "write-ahead log append failed: {e}"),
         }
     }
 }
@@ -334,6 +580,123 @@ mod tests {
         for e in &events {
             assert_eq!(e.run_key(), k, "{}", e.kind());
         }
+    }
+
+    #[test]
+    fn wire_roundtrip_covers_all_variants() {
+        let events = [
+            TraceEvent::RunStarted {
+                run: RunKey(u64::MAX),
+                version: VersionTag(3),
+                program: "app".into(),
+                compiled_at: DateTime::from_secs(-7),
+                source: "program app\n".into(),
+                start: DateTime::from_secs(99),
+                no_pe: 64,
+                clockspeed: 450,
+            },
+            TraceEvent::RegionEntered {
+                run: RunKey(1),
+                function: "main".into(),
+                region: RegionDef {
+                    name: "main:loop@5".into(),
+                    parent: Some(RegionRef::new("main", 1)),
+                    kind: RegionKind::Loop,
+                    first_line: 5,
+                    last_line: 50,
+                },
+            },
+            TraceEvent::RegionEntered {
+                run: RunKey(1),
+                function: "main".into(),
+                region: RegionDef {
+                    name: "main".into(),
+                    parent: None,
+                    kind: RegionKind::Subprogram,
+                    first_line: 1,
+                    last_line: 90,
+                },
+            },
+            TraceEvent::RegionExited {
+                run: RunKey(2),
+                function: "main".into(),
+                region: RegionRef::new("main", 1),
+                excl: -0.0,
+                incl: 1.5e-300,
+                ovhd: f64::INFINITY,
+            },
+            TraceEvent::TypedSample {
+                run: RunKey(2),
+                function: "main".into(),
+                region: RegionRef::new("main", 1),
+                ty: TimingType::Instrumentation,
+                time: 0.25,
+            },
+            TraceEvent::CallSiteStat {
+                run: RunKey(2),
+                caller: "main".into(),
+                callee: "barrier".into(),
+                site: RegionRef::new("main", 1),
+                stats: CallStats {
+                    min_count: 1.0,
+                    max_count: 2.0,
+                    mean_count: 1.5,
+                    stdev_count: 0.5,
+                    min_count_pe: 0,
+                    max_count_pe: 3,
+                    min_time: 0.1,
+                    max_time: 0.4,
+                    mean_time: 0.2,
+                    stdev_time: 0.1,
+                    min_time_pe: 1,
+                    max_time_pe: 2,
+                },
+            },
+            TraceEvent::RunFinished { run: RunKey(2) },
+        ];
+        for event in &events {
+            let mut buf = Vec::new();
+            event.encode_wire(&mut buf);
+            let back =
+                TraceEvent::decode_wire(&buf).unwrap_or_else(|e| panic!("{}: {e}", event.kind()));
+            assert_eq!(&back, event, "{}", event.kind());
+        }
+    }
+
+    #[test]
+    fn wire_decode_rejects_bad_input() {
+        use crate::wire::WireError;
+        let mut buf = Vec::new();
+        TraceEvent::RunFinished { run: RunKey(9) }.encode_wire(&mut buf);
+        // Unknown version byte.
+        let mut bad = buf.clone();
+        bad[0] = 99;
+        assert_eq!(
+            TraceEvent::decode_wire(&bad),
+            Err(WireError::UnsupportedVersion(99))
+        );
+        // Unknown variant tag.
+        let mut bad = buf.clone();
+        bad[1] = 200;
+        assert!(matches!(
+            TraceEvent::decode_wire(&bad),
+            Err(WireError::BadEnum {
+                what: "event tag",
+                ..
+            })
+        ));
+        // Truncated payload.
+        assert!(matches!(
+            TraceEvent::decode_wire(&buf[..buf.len() - 1]),
+            Err(WireError::UnexpectedEof { .. })
+        ));
+        // Trailing garbage.
+        let mut bad = buf.clone();
+        bad.push(0);
+        assert!(matches!(
+            TraceEvent::decode_wire(&bad),
+            Err(WireError::TrailingBytes { remaining: 1 })
+        ));
     }
 
     #[test]

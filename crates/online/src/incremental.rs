@@ -124,6 +124,16 @@ impl IncrementalAnalyzer {
         self.finished.len()
     }
 
+    /// The finished runs (unordered).
+    pub fn finished_runs(&self) -> impl Iterator<Item = TestRunId> + '_ {
+        self.finished.iter().copied()
+    }
+
+    /// Restore the finished-run set from a snapshot (recovery path).
+    pub(crate) fn restore_finished(&mut self, runs: impl IntoIterator<Item = TestRunId>) {
+        self.finished.extend(runs);
+    }
+
     /// All live reports.
     pub fn reports(&self) -> impl Iterator<Item = (TestRunId, &AnalysisReport)> {
         self.states

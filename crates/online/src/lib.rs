@@ -39,6 +39,12 @@
 //!   instances that currently hold. A flush re-evaluates exactly the dirty
 //!   contexts — through the same `cosy` evaluation path the batch analyzer
 //!   uses — and re-assembles the affected reports.
+//! * [`DurableSession`] makes the session survive a process kill: events
+//!   are framed into a checksummed write-ahead log *before* they are
+//!   applied, snapshots of the builder state truncate the log at
+//!   checkpoint boundaries, and [`OnlineSession::recover`] resumes with
+//!   live reports bit-identical to an uninterrupted session (see
+//!   [`crate::wal`], [`crate::snapshot`], [`crate::durable`]).
 //!
 //! ## Dirty-context tracking
 //!
@@ -86,14 +92,23 @@
 #![forbid(unsafe_code)]
 
 pub mod builder;
+pub mod durable;
 pub mod event;
 pub mod incremental;
 pub mod pipeline;
 pub mod replay;
 pub mod session;
+pub mod snapshot;
+pub mod wal;
+pub mod wire;
 
 pub use builder::{StoreBuilder, StoreDelta};
-pub use event::{CallStats, IngestError, RegionDef, RegionRef, RunKey, TraceEvent, VersionTag};
+pub use durable::{DurableConfig, DurableSession, RecoveryError, RecoveryStats};
+pub use event::{
+    CallStats, IngestError, RegionDef, RegionRef, RunKey, TraceEvent, VersionTag, WIRE_VERSION,
+};
 pub use incremental::{IncrementalAnalyzer, IncrementalStats};
 pub use pipeline::{IngestPipeline, PipelineConfig, PipelineStats};
 pub use session::{OnlineSession, SessionConfig, SessionStats};
+pub use wal::{FsyncPolicy, WalCorruption, WalCorruptionKind};
+pub use wire::WireError;

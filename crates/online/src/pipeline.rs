@@ -50,6 +50,10 @@ struct ShardStats {
 pub struct PipelineStats {
     /// Events routed through the pipeline.
     pub events: u64,
+    /// Events the underlying session had already restored via the
+    /// recovery path when this pipeline started — a pipeline over a
+    /// recovered session reports its inherited history instead of zeros.
+    pub replayed_events: u64,
     /// Batches applied to the session.
     pub batches: u64,
     /// Ingestion errors reported by the session (capped at 32 messages).
@@ -133,7 +137,10 @@ impl IngestPipeline {
     /// and return the aggregate statistics.
     pub fn close(self) -> Result<PipelineStats, String> {
         drop(self.senders);
-        let mut stats = PipelineStats::default();
+        let mut stats = PipelineStats {
+            replayed_events: self.session.stats().events_replayed,
+            ..PipelineStats::default()
+        };
         for worker in self.workers {
             let shard = worker.join().map_err(|_| "shard worker panicked")?;
             stats.events += shard.events;

@@ -32,12 +32,22 @@ pub struct SessionConfig {
 }
 
 /// Aggregate observability counters of a session.
+///
+/// `events_applied`/`events_rejected`/`runs_finished` are **lifetime**
+/// counters: a recovered session restores them from the snapshot and
+/// continues counting through the replayed WAL tail, so a restart reports
+/// its true history instead of zeros. `flushes` and the incremental
+/// counters describe work done by *this* process (recovery's replay flush
+/// included).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SessionStats {
     /// Events applied to the store.
     pub events_applied: u64,
     /// Events rejected with an [`IngestError`].
     pub events_rejected: u64,
+    /// Events restored at startup by the recovery path (snapshot events
+    /// plus replayed WAL-tail events); 0 for a session born empty.
+    pub events_replayed: u64,
     /// Analysis flushes performed.
     pub flushes: u64,
     /// Runs declared finished by their producer.
@@ -52,6 +62,7 @@ struct SessionInner {
     pending: StoreDelta,
     pending_events: usize,
     rejected: u64,
+    replayed: u64,
 }
 
 /// A live, thread-safe online analysis session.
@@ -71,9 +82,71 @@ impl OnlineSession {
                 pending: StoreDelta::new(),
                 pending_events: 0,
                 rejected: 0,
+                replayed: 0,
             }),
             config,
         }
+    }
+
+    /// Rebuild a session from recovered state: the snapshotted builder,
+    /// the finished-run set, and the restored lifetime counters. The
+    /// pending delta is seeded with a full re-evaluation of every known
+    /// run, so the first flush recomputes every live report from the
+    /// recovered store (deterministically identical to the reports the
+    /// crashed session would have shown after its own next flush).
+    pub(crate) fn from_recovered(
+        config: SessionConfig,
+        builder: StoreBuilder,
+        finished: Vec<perfdata::TestRunId>,
+        rejected: u64,
+    ) -> Self {
+        let mut analyzer = IncrementalAnalyzer::new(config.threshold).with_backend(config.backend);
+        analyzer.restore_finished(finished.iter().copied());
+        let mut pending = StoreDelta::new();
+        for (_, run, version) in builder.runs() {
+            pending.full_runs.insert(run);
+            pending.touched_versions.insert(version);
+        }
+        pending.finished_runs.extend(finished);
+        OnlineSession {
+            inner: Mutex::new(SessionInner {
+                builder,
+                analyzer,
+                pending,
+                pending_events: 0,
+                rejected,
+                replayed: 0,
+            }),
+            config,
+        }
+    }
+
+    /// Record how many events the recovery path restored (for
+    /// [`SessionStats::events_replayed`]).
+    pub(crate) fn note_replayed(&self, n: u64) {
+        self.lock().replayed += n;
+    }
+
+    /// Run `f` over the session's persistent state — builder, finished
+    /// runs, rejected counter — under the session lock (the snapshot
+    /// writer's consistent read).
+    pub(crate) fn snapshot_state<R>(
+        &self,
+        f: impl FnOnce(&StoreBuilder, &[perfdata::TestRunId], u64) -> R,
+    ) -> R {
+        let inner = self.lock();
+        let finished: Vec<perfdata::TestRunId> = inner.analyzer.finished_runs().collect();
+        f(&inner.builder, &finished, inner.rejected)
+    }
+
+    /// Producer keys of the runs declared finished (and flushed).
+    pub fn finished_run_keys(&self) -> Vec<RunKey> {
+        let inner = self.lock();
+        inner
+            .analyzer
+            .finished_runs()
+            .filter_map(|id| inner.builder.run_key_of(id))
+            .collect()
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, SessionInner> {
@@ -190,6 +263,7 @@ impl OnlineSession {
         SessionStats {
             events_applied: inner.builder.events_applied(),
             events_rejected: inner.rejected,
+            events_replayed: inner.replayed,
             flushes: inner.analyzer.stats().flushes,
             runs_finished: inner.analyzer.finished_count() as u64,
             incremental: inner.analyzer.stats(),

@@ -1,0 +1,524 @@
+//! The write-ahead event log.
+//!
+//! Every event a [`crate::DurableSession`] accepts is appended here
+//! *before* it touches the live store, as one self-checking frame:
+//!
+//! ```text
+//! ┌────────────┬─────────────┬──────────────────────────────┐
+//! │ len: u32 LE│ crc32: u32  │ payload (wire-encoded event, │
+//! │ of payload │ of payload  │ leading WIRE_VERSION byte)   │
+//! └────────────┴─────────────┴──────────────────────────────┘
+//! ```
+//!
+//! The file opens with a 13-byte header — magic, format version, and the
+//! **checkpoint epoch** — and a truncation (after a snapshot superseded
+//! the log) writes a fresh header with the epoch advanced. The snapshot
+//! records the epoch it truncated to, which lets recovery tell a log tail
+//! that *follows* the snapshot (same epoch: replay it) from a stale log
+//! the snapshot already covers (older epoch: a crash hit the window
+//! between the snapshot rename and the truncation — skip it, or counters
+//! would double-count the whole log).
+//!
+//! Appends go straight to the file descriptor (no userspace buffering), so
+//! an abandoned session — our crash model — loses nothing that `append`
+//! returned `Ok` for, up to the configured [`FsyncPolicy`]. The reader
+//! walks frames until the first torn or corrupt one and reports it as a
+//! typed [`WalCorruption`] instead of trusting anything beyond it: a frame
+//! after a bad checksum has an untrustworthy length prefix, so the log is
+//! only ever recovered as a consistent prefix. Frames from a *newer wire
+//! format* (or a foreign/damaged header) are classified separately from
+//! torn-tail corruption, so the recovery layer can refuse them instead of
+//! destructively truncating data a newer binary could still read.
+
+use crate::event::TraceEvent;
+use crate::wire::{self, WireError};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic prefix of a WAL file.
+pub const WAL_MAGIC: &[u8; 4] = b"KJWL";
+/// WAL container-format version (frame payloads carry their own
+/// [`crate::event::WIRE_VERSION`] byte).
+pub const WAL_FORMAT_VERSION: u8 = 1;
+/// Byte length of the file header (magic + format version + epoch).
+pub const WAL_HEADER_LEN: u64 = 13;
+
+/// Render a WAL file header for `epoch` (also used by benches/tests that
+/// build log images in memory).
+pub fn wal_header(epoch: u64) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(WAL_HEADER_LEN as usize);
+    buf.extend_from_slice(WAL_MAGIC);
+    wire::put_u8(&mut buf, WAL_FORMAT_VERSION);
+    wire::put_u64(&mut buf, epoch);
+    buf
+}
+
+/// When the log file is flushed to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Never fsync; durability up to the OS page cache only (a machine
+    /// crash may lose the tail, a process crash loses nothing).
+    Never,
+    /// Fsync once every `n` appended events (and on explicit [`WalWriter::sync`]).
+    EveryN(u32),
+    /// Fsync after every append batch — full durability, highest latency.
+    Always,
+}
+
+impl Default for FsyncPolicy {
+    fn default() -> Self {
+        // One sync per default pipeline batch: bounded loss window without
+        // paying a disk round-trip per event.
+        FsyncPolicy::EveryN(256)
+    }
+}
+
+/// Why reading the log stopped early.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalCorruptionKind {
+    /// The file header is missing, foreign, or of an unknown container
+    /// version — the whole log is untrusted. Recovery refuses to proceed
+    /// (and, crucially, to truncate) on this kind.
+    BadHeader,
+    /// The file ended inside a frame header.
+    TruncatedHeader,
+    /// The file ended inside a frame payload (torn final write).
+    TruncatedFrame {
+        /// Bytes the header promised.
+        expected: u32,
+        /// Bytes actually present.
+        present: u32,
+    },
+    /// The payload does not match its checksum (bit rot or a torn
+    /// overwrite).
+    ChecksumMismatch,
+    /// A checksum-valid frame written by a **newer wire format**. Not
+    /// damage: a newer binary can read it, so recovery must refuse rather
+    /// than truncate it away (binary-downgrade protection).
+    UnsupportedFrameVersion(u8),
+    /// The payload checksummed correctly but did not decode.
+    Malformed(WireError),
+}
+
+impl std::fmt::Display for WalCorruptionKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalCorruptionKind::BadHeader => write!(f, "missing or foreign file header"),
+            WalCorruptionKind::TruncatedHeader => write!(f, "truncated frame header"),
+            WalCorruptionKind::TruncatedFrame { expected, present } => {
+                write!(f, "truncated frame payload ({present}/{expected} bytes)")
+            }
+            WalCorruptionKind::ChecksumMismatch => write!(f, "frame checksum mismatch"),
+            WalCorruptionKind::UnsupportedFrameVersion(v) => {
+                write!(f, "frame written by newer wire format v{v}")
+            }
+            WalCorruptionKind::Malformed(e) => write!(f, "frame payload malformed: {e}"),
+        }
+    }
+}
+
+impl WalCorruptionKind {
+    /// True for the kinds that mean "this build cannot read data a newer
+    /// (or different) build wrote" rather than "the tail was torn" —
+    /// recovery must hard-stop instead of recovering a prefix.
+    pub fn is_incompatibility(&self) -> bool {
+        matches!(
+            self,
+            WalCorruptionKind::BadHeader | WalCorruptionKind::UnsupportedFrameVersion(_)
+        )
+    }
+}
+
+/// A typed skip report: where the readable prefix of the log ends and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalCorruption {
+    /// Index of the first unreadable frame.
+    pub frame: usize,
+    /// Byte offset of that frame's header.
+    pub offset: u64,
+    /// What was wrong with it.
+    pub kind: WalCorruptionKind,
+}
+
+impl std::fmt::Display for WalCorruption {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "wal frame {} at byte {}: {}",
+            self.frame, self.offset, self.kind
+        )
+    }
+}
+
+/// Result of reading a log: the checkpoint epoch, the consistent event
+/// prefix, the byte length of that prefix, and the corruption (if any)
+/// that ended it.
+#[derive(Debug, Default)]
+pub struct WalContents {
+    /// Checkpoint epoch from the file header (0 for a missing/empty log).
+    pub epoch: u64,
+    /// Events of the consistent prefix, in append order.
+    pub events: Vec<TraceEvent>,
+    /// Byte length of the consistent prefix (header included) — the
+    /// truncation point for a writer that wants to resume appending after
+    /// recovery.
+    pub valid_len: u64,
+    /// Why reading stopped early, if it did.
+    pub corruption: Option<WalCorruption>,
+}
+
+/// Parse a log image (header + frames) into the longest consistent frame
+/// prefix. An empty image is a fresh epoch-0 log.
+pub fn parse_frames(bytes: &[u8]) -> WalContents {
+    let mut out = WalContents::default();
+    if bytes.is_empty() {
+        return out;
+    }
+    if bytes.len() < WAL_HEADER_LEN as usize
+        || &bytes[..4] != WAL_MAGIC
+        || bytes[4] != WAL_FORMAT_VERSION
+    {
+        out.corruption = Some(WalCorruption {
+            frame: 0,
+            offset: 0,
+            kind: WalCorruptionKind::BadHeader,
+        });
+        return out;
+    }
+    out.epoch = u64::from_le_bytes(bytes[5..13].try_into().unwrap());
+    out.valid_len = WAL_HEADER_LEN;
+    let mut pos = WAL_HEADER_LEN as usize;
+    let mut frame = 0usize;
+    loop {
+        let stop = |kind: WalCorruptionKind| {
+            Some(WalCorruption {
+                frame,
+                offset: pos as u64,
+                kind,
+            })
+        };
+        if pos == bytes.len() {
+            break;
+        }
+        if bytes.len() - pos < 8 {
+            out.corruption = stop(WalCorruptionKind::TruncatedHeader);
+            break;
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        let body_start = pos + 8;
+        if bytes.len() - body_start < len as usize {
+            out.corruption = stop(WalCorruptionKind::TruncatedFrame {
+                expected: len,
+                present: (bytes.len() - body_start) as u32,
+            });
+            break;
+        }
+        let payload = &bytes[body_start..body_start + len as usize];
+        if wire::crc32(payload) != crc {
+            out.corruption = stop(WalCorruptionKind::ChecksumMismatch);
+            break;
+        }
+        match TraceEvent::decode_wire(payload) {
+            Ok(event) => out.events.push(event),
+            Err(WireError::UnsupportedVersion(v)) => {
+                out.corruption = stop(WalCorruptionKind::UnsupportedFrameVersion(v));
+                break;
+            }
+            Err(e) => {
+                out.corruption = stop(WalCorruptionKind::Malformed(e));
+                break;
+            }
+        }
+        pos = body_start + len as usize;
+        out.valid_len = pos as u64;
+        frame += 1;
+    }
+    out
+}
+
+/// Read a whole log file. A missing file is an empty log (fresh session),
+/// not an error; any other I/O failure is.
+pub fn read_wal(path: &Path) -> io::Result<WalContents> {
+    let mut file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(WalContents::default()),
+        Err(e) => return Err(e),
+    };
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes)?;
+    Ok(parse_frames(&bytes))
+}
+
+/// Append one framed event to `buf` (shared by the WAL writer and tests).
+pub fn frame_event(buf: &mut Vec<u8>, event: &TraceEvent) {
+    let mut payload = Vec::with_capacity(64);
+    event.encode_wire(&mut payload);
+    wire::put_u32(buf, payload.len() as u32);
+    wire::put_u32(buf, wire::crc32(&payload));
+    buf.extend_from_slice(&payload);
+}
+
+/// An append-only frame writer over one log file.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: File,
+    path: PathBuf,
+    policy: FsyncPolicy,
+    epoch: u64,
+    len: u64,
+    appended_since_sync: u64,
+    scratch: Vec<u8>,
+}
+
+impl WalWriter {
+    /// Open (creating if missing) the log at `path` and resume appending
+    /// at `valid_len` — bytes beyond it (a torn tail found by recovery)
+    /// are truncated away so new frames start on a frame boundary. When
+    /// `valid_len` leaves no header (fresh file, or a stale log a
+    /// snapshot already covers), the file restarts with a header carrying
+    /// `epoch`.
+    pub fn open(
+        path: &Path,
+        valid_len: u64,
+        epoch: u64,
+        policy: FsyncPolicy,
+    ) -> io::Result<WalWriter> {
+        let file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .write(true)
+            .truncate(false)
+            .open(path)?;
+        let mut w = WalWriter {
+            file,
+            path: path.to_path_buf(),
+            policy,
+            epoch,
+            len: valid_len,
+            appended_since_sync: 0,
+            scratch: Vec::new(),
+        };
+        use std::io::Seek;
+        if valid_len < WAL_HEADER_LEN {
+            w.file.set_len(0)?;
+            w.file.seek(io::SeekFrom::Start(0))?;
+            w.file.write_all(&wal_header(epoch))?;
+            w.len = WAL_HEADER_LEN;
+        } else {
+            w.file.set_len(valid_len)?;
+            w.file.seek(io::SeekFrom::Start(valid_len))?;
+        }
+        Ok(w)
+    }
+
+    /// The log file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The checkpoint epoch the log is currently on.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Current log length in bytes.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when the log holds no frames.
+    pub fn is_empty(&self) -> bool {
+        self.len <= WAL_HEADER_LEN
+    }
+
+    /// Append a batch of events as consecutive frames with one `write`
+    /// call, then apply the fsync policy. On `Ok`, every event is at least
+    /// in the OS page cache (crash-of-this-process durable).
+    pub fn append_batch(&mut self, events: &[TraceEvent]) -> io::Result<()> {
+        if events.is_empty() {
+            return Ok(());
+        }
+        self.scratch.clear();
+        for event in events {
+            frame_event(&mut self.scratch, event);
+        }
+        self.file.write_all(&self.scratch)?;
+        self.len += self.scratch.len() as u64;
+        self.appended_since_sync += events.len() as u64;
+        match self.policy {
+            FsyncPolicy::Never => {}
+            FsyncPolicy::Always => self.sync()?,
+            FsyncPolicy::EveryN(n) => {
+                if self.appended_since_sync >= n.max(1) as u64 {
+                    self.sync()?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Force the log to stable storage.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()?;
+        self.appended_since_sync = 0;
+        Ok(())
+    }
+
+    /// Drop every frame and advance to `epoch`: the snapshot that was
+    /// just written (recording the same epoch) now covers them. Syncs, so
+    /// the truncation cannot be reordered after a crash into "snapshot
+    /// missing *and* log empty".
+    pub fn reset(&mut self, epoch: u64) -> io::Result<()> {
+        use std::io::Seek;
+        self.file.set_len(0)?;
+        self.file.seek(io::SeekFrom::Start(0))?;
+        self.file.write_all(&wal_header(epoch))?;
+        self.file.sync_data()?;
+        self.epoch = epoch;
+        self.len = WAL_HEADER_LEN;
+        self.appended_since_sync = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{RunKey, TraceEvent};
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("kojak-wal-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("wal.log")
+    }
+
+    fn finished(n: u64) -> Vec<TraceEvent> {
+        (0..n)
+            .map(|i| TraceEvent::RunFinished { run: RunKey(i) })
+            .collect()
+    }
+
+    #[test]
+    fn append_read_roundtrip_and_resume() {
+        let path = tmp("roundtrip");
+        let events = finished(5);
+        {
+            let mut w = WalWriter::open(&path, 0, 7, FsyncPolicy::Always).unwrap();
+            w.append_batch(&events[..3]).unwrap();
+            w.append_batch(&events[3..]).unwrap();
+        }
+        let contents = read_wal(&path).unwrap();
+        assert_eq!(contents.events, events);
+        assert_eq!(contents.epoch, 7);
+        assert!(contents.corruption.is_none());
+        // Resume appending at the valid length (header + epoch preserved).
+        {
+            let mut w = WalWriter::open(
+                &path,
+                contents.valid_len,
+                contents.epoch,
+                FsyncPolicy::Never,
+            )
+            .unwrap();
+            w.append_batch(&finished(1)).unwrap();
+        }
+        let resumed = read_wal(&path).unwrap();
+        assert_eq!(resumed.events.len(), 6);
+        assert_eq!(resumed.epoch, 7);
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn missing_file_is_an_empty_log() {
+        let path = tmp("missing");
+        let contents = read_wal(&path.with_file_name("nope.log")).unwrap();
+        assert!(contents.events.is_empty());
+        assert!(contents.corruption.is_none());
+        assert_eq!(contents.valid_len, 0);
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn torn_tail_is_reported_and_prefix_kept() {
+        let mut bytes = wal_header(0);
+        for e in finished(3) {
+            frame_event(&mut bytes, &e);
+        }
+        let header = WAL_HEADER_LEN as usize;
+        let frame_len = (bytes.len() - header) / 3;
+        bytes.truncate(bytes.len() - 3);
+        let contents = parse_frames(&bytes);
+        assert_eq!(contents.events.len(), 2);
+        let c = contents.corruption.expect("tail reported");
+        assert!(matches!(c.kind, WalCorruptionKind::TruncatedFrame { .. }));
+        assert_eq!(c.frame, 2);
+        assert_eq!(contents.valid_len as usize, header + frame_len * 2);
+    }
+
+    #[test]
+    fn flipped_byte_stops_at_checksum() {
+        let mut bytes = wal_header(0);
+        for e in finished(3) {
+            frame_event(&mut bytes, &e);
+        }
+        // Flip one payload byte of the middle frame.
+        let header = WAL_HEADER_LEN as usize;
+        let frame_len = (bytes.len() - header) / 3;
+        bytes[header + frame_len + 10] ^= 0xff;
+        let contents = parse_frames(&bytes);
+        assert_eq!(contents.events.len(), 1);
+        let c = contents.corruption.expect("corruption reported");
+        assert_eq!(c.kind, WalCorruptionKind::ChecksumMismatch);
+        assert_eq!(c.frame, 1);
+        assert_eq!(contents.valid_len as usize, header + frame_len);
+    }
+
+    #[test]
+    fn bad_header_and_newer_frames_are_incompatibilities_not_torn_tails() {
+        // Foreign header: whole log untrusted.
+        let contents = parse_frames(b"NOPE_not_a_wal_file");
+        let c = contents.corruption.expect("bad header reported");
+        assert_eq!(c.kind, WalCorruptionKind::BadHeader);
+        assert!(c.kind.is_incompatibility());
+        assert_eq!(contents.valid_len, 0);
+
+        // A checksum-valid frame from a future wire version.
+        let mut bytes = wal_header(0);
+        frame_event(&mut bytes, &TraceEvent::RunFinished { run: RunKey(1) });
+        let mut payload = Vec::new();
+        TraceEvent::RunFinished { run: RunKey(2) }.encode_wire(&mut payload);
+        payload[0] = 9; // future WIRE_VERSION, re-checksummed below
+        wire::put_u32(&mut bytes, payload.len() as u32);
+        wire::put_u32(&mut bytes, wire::crc32(&payload));
+        bytes.extend_from_slice(&payload);
+        let contents = parse_frames(&bytes);
+        assert_eq!(contents.events.len(), 1);
+        let c = contents.corruption.expect("newer frame reported");
+        assert_eq!(c.kind, WalCorruptionKind::UnsupportedFrameVersion(9));
+        assert!(c.kind.is_incompatibility());
+        // Torn tails, by contrast, are recoverable.
+        assert!(!WalCorruptionKind::TruncatedHeader.is_incompatibility());
+        assert!(!WalCorruptionKind::ChecksumMismatch.is_incompatibility());
+    }
+
+    #[test]
+    fn reset_empties_the_log_and_advances_the_epoch() {
+        let path = tmp("reset");
+        let mut w = WalWriter::open(&path, 0, 0, FsyncPolicy::Never).unwrap();
+        w.append_batch(&finished(4)).unwrap();
+        assert!(!w.is_empty());
+        w.reset(1).unwrap();
+        assert!(w.is_empty());
+        assert_eq!(w.epoch(), 1);
+        let contents = read_wal(&path).unwrap();
+        assert!(contents.events.is_empty());
+        assert_eq!(contents.epoch, 1);
+        // Appending after a reset works.
+        w.append_batch(&finished(2)).unwrap();
+        assert_eq!(read_wal(&path).unwrap().events.len(), 2);
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+}

@@ -4,16 +4,113 @@
 //!
 //! ```sh
 //! cargo run --release --example online_stream
+//! cargo run --release --example online_stream -- --kill-resume
 //! ```
+//!
+//! The `--kill-resume` mode demonstrates the durable session: half the
+//! stream goes into a `DurableSession` that is then dropped without any
+//! shutdown (a process kill), recovered from its write-ahead log +
+//! snapshot, and fed the remaining half — ending with the same reports an
+//! uninterrupted session would show.
 
 use kojak::apprentice_sim::{archetypes, simulate_program, MachineModel};
 use kojak::cosy::report::render_text;
-use kojak::online::replay::{events_for_run, replay_run_key};
-use kojak::online::{IngestPipeline, OnlineSession, PipelineConfig, SessionConfig};
+use kojak::online::replay::{events_for_run, replay_run_key, replay_store};
+use kojak::online::{
+    DurableConfig, DurableSession, FsyncPolicy, IngestPipeline, OnlineSession, PipelineConfig,
+    SessionConfig,
+};
 use kojak::perfdata::{Store, TestRunId};
 use std::sync::Arc;
 
 fn main() {
+    if std::env::args().any(|a| a == "--kill-resume") {
+        kill_resume_demo();
+        return;
+    }
+    streaming_demo();
+}
+
+fn kill_resume_demo() {
+    let model = archetypes::particle_mc(42);
+    let machine = MachineModel::t3e_900();
+    let mut store = Store::new();
+    simulate_program(&mut store, &model, &machine, &[1, 4, 16, 64]);
+    let events = replay_store(&store);
+    let cut = events.len() / 2;
+
+    let dir = std::env::temp_dir().join(format!("kojak-online-stream-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = || DurableConfig {
+        session: SessionConfig::default(),
+        fsync: FsyncPolicy::EveryN(256),
+        snapshot_every_flushes: 4,
+    };
+
+    // Phase 1: stream half the events durably, then "kill" the process.
+    let session = DurableSession::open(&dir, config()).expect("open durable session");
+    for batch in events[..cut].chunks(64) {
+        session.ingest_batch(batch).expect("ingest");
+        session.flush().expect("flush");
+    }
+    let before = session.stats();
+    println!(
+        "phase 1: {} events ingested durably ({} on the WAL after the last checkpoint), \
+         then the process dies\n",
+        before.events_applied,
+        session.wal_len(),
+    );
+    drop(session); // no checkpoint, no graceful shutdown: this is the kill
+
+    // Phase 2: recover and resume.
+    let session = DurableSession::open(&dir, config()).expect("recover durable session");
+    let r = session.recovery();
+    println!(
+        "phase 2: recovered {} snapshot events + {} WAL-tail events -> {} live reports{}",
+        r.snapshot_events,
+        r.wal_events_replayed,
+        r.runs_recovered,
+        match &r.wal_corruption {
+            Some(c) => format!("  (skipped torn tail: {c})"),
+            None => String::new(),
+        }
+    );
+    for batch in events[cut..].chunks(64) {
+        session.ingest_batch(batch).expect("ingest");
+        session.flush().expect("flush");
+    }
+    let stats = session.stats();
+    let mut finished = session.session().finished_run_keys();
+    finished.sort();
+    println!(
+        "resumed to {} applied events ({} replayed at recovery); finished runs: {}\n",
+        stats.events_applied,
+        stats.events_replayed,
+        finished
+            .iter()
+            .map(|k| k.to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+
+    // The resumed session ends exactly where an uninterrupted one would.
+    let uninterrupted = OnlineSession::new(SessionConfig::default());
+    uninterrupted.ingest_batch(&events).expect("ingest");
+    uninterrupted.flush().expect("flush");
+    let run64 = TestRunId(store.runs.len() as u32 - 1);
+    let resumed_report = session
+        .report(replay_run_key(run64))
+        .expect("live report for the 64-PE run");
+    assert_eq!(
+        Some(&resumed_report),
+        uninterrupted.report(replay_run_key(run64)).as_ref(),
+        "kill-and-resume must converge to the uninterrupted reports"
+    );
+    println!("{}", render_text(&resumed_report));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn streaming_demo() {
     // A simulated PE sweep stands in for live producers: its runs are
     // decomposed into the event streams the instrumented runs would emit.
     let model = archetypes::particle_mc(42);
