@@ -1,8 +1,9 @@
 //! The experiment harness: regenerates every table/figure/claim of the
-//! paper (E1–E10, see DESIGN.md §4) and prints paper-style tables. E9 and
-//! E10 also emit machine-readable JSON (`BENCH_e9.json`, `BENCH_e10.json`;
-//! best-of-N ns + speedup ratios) so the evaluation-core and durability
-//! perf trajectories are tracked across PRs.
+//! paper (E1–E11, see DESIGN.md §4) and prints paper-style tables. E9,
+//! E10 and E11 also emit machine-readable JSON (`BENCH_e9.json`,
+//! `BENCH_e10.json`, `BENCH_e11.json`; best-of-N ns + speedup ratios) so
+//! the evaluation-core, durability and sharding perf trajectories are
+//! tracked across PRs.
 //!
 //! ```sh
 //! cargo run --release -p kojak-bench --bin harness            # all
@@ -114,6 +115,22 @@ fn main() {
         }
         println!(
             "claim: snapshot recovery ≥ 1.5x faster than full WAL replay, reports identical\n"
+        );
+    }
+
+    if want("--e11") {
+        println!("== E11: sharded engine — shard-per-WAL ingest throughput ====================\n");
+        let result = e11_sharding::run();
+        println!("{}", e11_sharding::render(&result));
+        report_claim(&mut failures, "E11", e11_sharding::check_claims(&result));
+        let json = e11_sharding::to_json(&result);
+        match std::fs::write("BENCH_e11.json", &json) {
+            Ok(()) => println!("wrote BENCH_e11.json"),
+            Err(e) => println!("could not write BENCH_e11.json: {e}"),
+        }
+        println!(
+            "claim: reports identical at every shard count; multi-shard throughput >= 1x \
+             single-shard on multicore hosts\n"
         );
     }
 

@@ -74,7 +74,7 @@ pub fn run(base_runs: usize) -> E8Result {
     let mut full_instances = 0u64;
     for r in 0..store.runs.len() as u32 {
         let run = TestRunId(r);
-        full_instances += analyzer.instance_count(run) as u64;
+        full_instances += analyzer.instance_universe() as u64;
         analyzer
             .analyze(run, Backend::Compiled, threshold)
             .expect("batch analysis");

@@ -80,6 +80,7 @@ fn append_best(backend: Backend) -> (u64, cosy::AnalysisReport) {
         threshold: ProblemThreshold::default(),
         auto_flush_events: 0,
         backend,
+        ..SessionConfig::default()
     });
     for r in 0..APPEND_BASE_RUNS as u32 {
         session

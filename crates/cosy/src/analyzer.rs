@@ -2,6 +2,7 @@
 //! bottleneck detection.
 
 use crate::backend::{Backend, PreparedBackend};
+use crate::error::{AnalysisError, SpecError};
 use crate::suite::{standard_suite, ContextSelector, SUITE};
 use asl_core::check::CheckedSpec;
 use asl_eval::{compile as compile_ir, CompiledSpec, Value};
@@ -173,7 +174,7 @@ pub struct Analyzer<'s> {
 impl<'s> Analyzer<'s> {
     /// Create an analyzer with the standard suite; the ranking basis is the
     /// main region of the version.
-    pub fn new(store: &'s Store, version: VersionId) -> Result<Self, String> {
+    pub fn new(store: &'s Store, version: VersionId) -> Result<Self, SpecError> {
         Self::with_spec(store, version, Arc::new(standard_suite()))
     }
 
@@ -184,10 +185,8 @@ impl<'s> Analyzer<'s> {
         store: &'s Store,
         version: VersionId,
         spec: Arc<CheckedSpec>,
-    ) -> Result<Self, String> {
-        let basis = store
-            .main_region(version)
-            .ok_or_else(|| "version has no main region".to_string())?;
+    ) -> Result<Self, SpecError> {
+        let basis = store.main_region(version).ok_or(SpecError::NoMainRegion)?;
         Ok(Analyzer {
             store,
             version,
@@ -206,7 +205,7 @@ impl<'s> Analyzer<'s> {
         version: VersionId,
         spec: Arc<CheckedSpec>,
         compiled: Arc<CompiledSpec>,
-    ) -> Result<Self, String> {
+    ) -> Result<Self, SpecError> {
         let analyzer = Self::with_spec(store, version, spec)?;
         let _ = analyzer.compiled.set(compiled);
         Ok(analyzer)
@@ -332,10 +331,12 @@ impl<'s> Analyzer<'s> {
         out
     }
 
-    /// Total number of property instances a full pass over one run would
-    /// enumerate (without building them). Lets the incremental engine keep
-    /// batch-identical `skipped` statistics at negligible cost.
-    pub fn instance_count(&self, _run: TestRunId) -> usize {
+    /// Total number of property instances a full pass over any one run of
+    /// the version would enumerate (without building them) — a property of
+    /// the version's structure, identical for every run. Lets the
+    /// incremental engine keep batch-identical `skipped` statistics at
+    /// negligible cost.
+    pub fn instance_universe(&self) -> usize {
         let regions = self.regions().len();
         let mut count = 0;
         for info in SUITE {
@@ -361,8 +362,8 @@ impl<'s> Analyzer<'s> {
         &self,
         prepared: &PreparedBackend<'_>,
         instances: &[Instance],
-    ) -> Result<Vec<Option<HeldEntry>>, String> {
-        let results: Vec<Result<Option<HeldEntry>, String>> = instances
+    ) -> Result<Vec<Option<HeldEntry>>, AnalysisError> {
+        let results: Vec<Result<Option<HeldEntry>, AnalysisError>> = instances
             .par_iter()
             .map(|(prop, args, ctx)| match prepared.eval(prop, args)? {
                 Some(o) if o.holds && o.severity > 0.0 => Ok(Some(HeldEntry {
@@ -441,7 +442,7 @@ impl<'s> Analyzer<'s> {
         run: TestRunId,
         backend: Backend,
         threshold: ProblemThreshold,
-    ) -> Result<AnalysisReport, String> {
+    ) -> Result<AnalysisReport, AnalysisError> {
         let prepared = match backend {
             // Reuse the analyzer's cached lowering instead of re-compiling
             // per analysis call.

@@ -6,10 +6,11 @@
 //! conditions entirely into SQL queries. Both are first-class here and must
 //! produce identical analyses (enforced by integration tests).
 
+use crate::error::{AnalysisError, SpecError};
 use asl_core::check::CheckedSpec;
 use asl_eval::{
-    compile as compile_ir, CompiledEvaluator, CompiledSpec, CosyData, EvalError, Interpreter,
-    PropertyOutcome, Value,
+    compile as compile_ir, CompiledEvaluator, CompiledSpec, CosyData, Interpreter, PropertyOutcome,
+    Value,
 };
 use asl_sql::{
     compile_batch, compile_property, eval_batch, eval_compiled, generate_schema, loader, SchemaInfo,
@@ -78,21 +79,22 @@ impl<'a> PreparedBackend<'a> {
         backend: Backend,
         spec: &'a CheckedSpec,
         store: &'a Store,
-    ) -> Result<Self, String> {
+    ) -> Result<Self, SpecError> {
+        let sql = |source| SpecError::Sql { backend, source };
         match backend {
             Backend::Compiled => Self::from_compiled(Arc::new(compile_ir(spec)), store),
             Backend::Interpreter => {
                 let data = CosyData::new(store);
-                let interp = Interpreter::new(spec, data).map_err(|e| e.to_string())?;
+                let interp = Interpreter::new(spec, data)
+                    .map_err(|source| SpecError::Bind { backend, source })?;
                 Ok(PreparedBackend::Interpreter(interp))
             }
             Backend::Sql | Backend::SqlBatched => {
-                let schema = generate_schema(&spec.model).map_err(|e| e.to_string())?;
+                let schema = generate_schema(&spec.model).map_err(sql)?;
                 let mut db = Database::new();
-                schema.create_all(&mut db).map_err(|e| e.to_string())?;
+                schema.create_all(&mut db).map_err(sql)?;
                 let data = CosyData::new(store);
-                loader::load_store(&mut db, &schema, &spec.model, &data)
-                    .map_err(|e| e.to_string())?;
+                loader::load_store(&mut db, &schema, &spec.model, &data).map_err(sql)?;
                 if backend == Backend::Sql {
                     Ok(PreparedBackend::Sql { spec, schema, db })
                 } else {
@@ -114,29 +116,44 @@ impl<'a> PreparedBackend<'a> {
     pub fn from_compiled(
         compiled: Arc<CompiledSpec>,
         store: &'a Store,
-    ) -> Result<PreparedBackend<'a>, String> {
+    ) -> Result<PreparedBackend<'a>, SpecError> {
         let data = CosyData::new(store);
-        let eval = CompiledEvaluator::new(compiled, data).map_err(|e| e.to_string())?;
+        let eval = CompiledEvaluator::new(compiled, data).map_err(|source| SpecError::Bind {
+            backend: Backend::Compiled,
+            source,
+        })?;
         Ok(PreparedBackend::Compiled(eval))
     }
 
     /// Evaluate one property instance. Returns `Ok(None)` when the property
     /// is not applicable in the context.
-    pub fn eval(&self, prop: &str, args: &[Value]) -> Result<Option<PropertyOutcome>, String> {
+    pub fn eval(
+        &self,
+        prop: &str,
+        args: &[Value],
+    ) -> Result<Option<PropertyOutcome>, AnalysisError> {
+        let property = |source| AnalysisError::Property {
+            property: prop.to_string(),
+            source,
+        };
+        let sql = |source| AnalysisError::Sql {
+            property: prop.to_string(),
+            source,
+        };
         match self {
             PreparedBackend::Compiled(eval) => match eval.eval_property(prop, args) {
                 Ok(o) => Ok(Some(o)),
                 Err(e) if e.is_not_applicable() => Ok(None),
-                Err(e) => Err(format!("{prop}: {e}")),
+                Err(e) => Err(property(e)),
             },
             PreparedBackend::Interpreter(interp) => match interp.eval_property(prop, args) {
                 Ok(o) => Ok(Some(o)),
                 Err(e) if e.is_not_applicable() => Ok(None),
-                Err(e) => Err(format!("{prop}: {e}")),
+                Err(e) => Err(property(e)),
             },
             PreparedBackend::Sql { spec, schema, db } => {
-                let cp = compile_property(spec, schema, prop, args).map_err(|e| e.to_string())?;
-                let o = eval_compiled(db, &cp).map_err(|e| e.to_string())?;
+                let cp = compile_property(spec, schema, prop, args).map_err(sql)?;
+                let o = eval_compiled(db, &cp).map_err(sql)?;
                 Ok(Some(o))
             }
             PreparedBackend::SqlBatched {
@@ -148,19 +165,28 @@ impl<'a> PreparedBackend<'a> {
                 // Expect the COSY signature (subject, run, basis).
                 let subject = match args.first() {
                     Some(Value::Obj(o)) => o.clone(),
-                    other => return Err(format!("{prop}: non-object subject {other:?}")),
+                    other => {
+                        return Err(AnalysisError::BadInstance {
+                            property: prop.to_string(),
+                            detail: format!("non-object subject {other:?}"),
+                        })
+                    }
                 };
                 let (run, basis) = match (args.get(1), args.get(2)) {
                     (Some(Value::Obj(r)), Some(Value::Obj(b))) => (r.index, b.index),
-                    other => return Err(format!("{prop}: unexpected context {other:?}")),
+                    other => {
+                        return Err(AnalysisError::BadInstance {
+                            property: prop.to_string(),
+                            detail: format!("unexpected context {other:?}"),
+                        })
+                    }
                 };
                 let key: BatchKey = (prop.to_string(), run, basis);
-                let mut cache = cache.lock().map_err(|e| e.to_string())?;
+                let mut cache = cache.lock().unwrap_or_else(|e| e.into_inner());
                 if !cache.contains_key(&key) {
                     let fixed = [(1usize, args[1].clone()), (2usize, args[2].clone())];
-                    let bc = compile_batch(spec, schema, prop, 0, &fixed, None)
-                        .map_err(|e| e.to_string())?;
-                    let outcomes = eval_batch(db, &bc).map_err(|e| e.to_string())?;
+                    let bc = compile_batch(spec, schema, prop, 0, &fixed, None).map_err(sql)?;
+                    let outcomes = eval_batch(db, &bc).map_err(sql)?;
                     cache.insert(key.clone(), outcomes.into_iter().collect());
                 }
                 let by_id = &cache[&key];
@@ -177,17 +203,5 @@ impl<'a> PreparedBackend<'a> {
                 )))
             }
         }
-    }
-}
-
-/// Convert an eval error into an optional outcome (shared helper for
-/// callers that talk to the interpreter directly).
-pub fn outcome_or_skip(
-    r: Result<PropertyOutcome, EvalError>,
-) -> Result<Option<PropertyOutcome>, String> {
-    match r {
-        Ok(o) => Ok(Some(o)),
-        Err(e) if e.is_not_applicable() => Ok(None),
-        Err(e) => Err(e.to_string()),
     }
 }

@@ -1,0 +1,136 @@
+//! Typed analysis errors.
+//!
+//! The two failure families of the batch analyzer, kept separate because
+//! they happen at different times and demand different reactions:
+//!
+//! * [`SpecError`] — *construction* failed: the suite could not be bound
+//!   to the store (no ranking basis yet, constant evaluation failed, SQL
+//!   schema/load failed). Callers typically wait for more data or fix the
+//!   spec.
+//! * [`AnalysisError`] — *evaluation* failed mid-pass: one property
+//!   instance raised a genuine error (division by zero, ambiguous
+//!   `UNIQUE`, a SQL execution failure). Callers surface the property and
+//!   context; the online engine re-queues the invalidated delta so the
+//!   same work is retried on the next flush.
+//!
+//! Both wrap the precise source error (`asl_eval::EvalError`,
+//! `asl_sql::SqlGenError`) instead of flattening it to a string, so
+//! callers can match on the machine-readable kind (the online engine's
+//! typed `FlushError` and the `kojak::engine::EngineError` hierarchy build
+//! on these).
+
+use crate::backend::Backend;
+use asl_eval::EvalError;
+use asl_sql::SqlGenError;
+use std::fmt;
+
+/// Why an [`crate::Analyzer`] or [`crate::backend::PreparedBackend`] could
+/// not be constructed from a spec and a store.
+#[derive(Debug)]
+pub enum SpecError {
+    /// The analyzed version has no `main` region to serve as the ranking
+    /// basis (§4: every severity is a fraction of `Duration(Basis, t)`).
+    /// Online, this simply means the structure has not streamed in yet.
+    NoMainRegion,
+    /// Binding the spec to the store failed in the client-side engine
+    /// (global-constant evaluation during interpreter/compiled-IR
+    /// preparation).
+    Bind {
+        /// The backend being prepared.
+        backend: Backend,
+        /// The evaluation error.
+        source: EvalError,
+    },
+    /// SQL schema generation, table creation, or store loading failed
+    /// while preparing a database backend.
+    Sql {
+        /// The backend being prepared.
+        backend: Backend,
+        /// The SQL-side error.
+        source: SqlGenError,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::NoMainRegion => write!(f, "version has no main region"),
+            SpecError::Bind { backend, source } => {
+                write!(f, "binding spec to store for {backend:?} failed: {source}")
+            }
+            SpecError::Sql { backend, source } => {
+                write!(f, "preparing {backend:?} database failed: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SpecError::NoMainRegion => None,
+            SpecError::Bind { source, .. } => Some(source),
+            SpecError::Sql { source, .. } => Some(source),
+        }
+    }
+}
+
+/// Why a property-evaluation pass failed. `Ok(None)`-style skips
+/// ("property not applicable in this context") never become errors — these
+/// are genuine specification or data problems.
+#[derive(Debug)]
+pub enum AnalysisError {
+    /// Preparing the evaluation backend failed (the pass never started).
+    Spec(SpecError),
+    /// A property instance failed to evaluate on a client-side engine.
+    Property {
+        /// The failing property.
+        property: String,
+        /// The evaluation error (kind + message).
+        source: EvalError,
+    },
+    /// The SQL backend failed to compile or execute a property instance.
+    Sql {
+        /// The failing property.
+        property: String,
+        /// The SQL-side error.
+        source: SqlGenError,
+    },
+    /// A property instance had an argument shape the backend cannot
+    /// handle (e.g. a non-object subject passed to the batched SQL
+    /// translation).
+    BadInstance {
+        /// The failing property.
+        property: String,
+        /// What was wrong with the instance.
+        detail: String,
+    },
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::Spec(e) => write!(f, "backend preparation failed: {e}"),
+            AnalysisError::Property { property, source } => write!(f, "{property}: {source}"),
+            AnalysisError::Sql { property, source } => write!(f, "{property}: {source}"),
+            AnalysisError::BadInstance { property, detail } => write!(f, "{property}: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AnalysisError::Spec(e) => Some(e),
+            AnalysisError::Property { source, .. } => Some(source),
+            AnalysisError::Sql { source, .. } => Some(source),
+            AnalysisError::BadInstance { .. } => None,
+        }
+    }
+}
+
+impl From<SpecError> for AnalysisError {
+    fn from(e: SpecError) -> Self {
+        AnalysisError::Spec(e)
+    }
+}

@@ -42,6 +42,7 @@
 
 pub mod analyzer;
 pub mod backend;
+pub mod error;
 pub mod report;
 pub mod suite;
 
@@ -50,4 +51,5 @@ pub use analyzer::{
     RankedEntry,
 };
 pub use backend::Backend;
+pub use error::{AnalysisError, SpecError};
 pub use suite::{standard_suite, standard_suite_source, ContextSelector, PropertyInfo};

@@ -1,0 +1,284 @@
+//! The one construction path: spec → backend → durability → sharding.
+//!
+//! ```
+//! use engine::{AnalysisEngine, EngineBuilder};
+//!
+//! // In-memory incremental session (the default):
+//! let session = EngineBuilder::new().build_online();
+//!
+//! // Sharded durable deployment — one WAL + snapshot pair per shard:
+//! let dir = std::env::temp_dir().join(format!("kojak-doc-{}", std::process::id()));
+//! let engine = EngineBuilder::new()
+//!     .durable(&dir)
+//!     .shards(4)
+//!     .snapshot_every_flushes(8)
+//!     .build()
+//!     .unwrap();
+//! assert!(!engine.recoverable_state().is_ephemeral());
+//! # drop(engine);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+use crate::batch::BatchEngine;
+use crate::error::EngineError;
+use crate::sharded::{ShardedConfig, ShardedSession};
+use crate::{AnalysisEngine, RecoverableState};
+use asl_core::check::CheckedSpec;
+use cosy::{AnalysisReport, Backend, ProblemThreshold};
+use online::{
+    DurableConfig, DurableSession, FsyncPolicy, OnlineSession, RecoveryStats, RunKey,
+    SessionConfig, SessionStats, TraceEvent,
+};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Fluent configuration of any [`AnalysisEngine`].
+///
+/// The stages mirror the decisions an operator makes, in order: *what* to
+/// evaluate ([`spec`](EngineBuilder::spec),
+/// [`threshold`](EngineBuilder::threshold)), *how*
+/// ([`backend`](EngineBuilder::backend), [`batch`](EngineBuilder::batch)
+/// vs incremental), *what survives a kill*
+/// ([`durable`](EngineBuilder::durable),
+/// [`fsync`](EngineBuilder::fsync),
+/// [`snapshot_every_flushes`](EngineBuilder::snapshot_every_flushes)),
+/// and *how wide* ([`shards`](EngineBuilder::shards)).
+#[derive(Debug, Clone, Default)]
+pub struct EngineBuilder {
+    spec: Option<Arc<CheckedSpec>>,
+    threshold: ProblemThreshold,
+    backend: Backend,
+    auto_flush_events: usize,
+    batch: bool,
+    durable_dir: Option<PathBuf>,
+    fsync: FsyncPolicy,
+    snapshot_every_flushes: Option<u32>,
+    shards: usize,
+}
+
+impl EngineBuilder {
+    /// Start from the defaults: standard suite, compiled backend, 5%
+    /// problem threshold, incremental evaluation, in-memory, unsharded.
+    pub fn new() -> Self {
+        EngineBuilder::default()
+    }
+
+    /// Evaluate a custom pre-checked suite instead of the standard one.
+    pub fn spec(mut self, spec: Arc<CheckedSpec>) -> Self {
+        self.spec = Some(spec);
+        self
+    }
+
+    /// Severity threshold above which a property is a performance problem.
+    pub fn threshold(mut self, threshold: ProblemThreshold) -> Self {
+        self.threshold = threshold;
+        self
+    }
+
+    /// Evaluation backend (compiled IR by default; the interpreter and the
+    /// SQL translations remain available as cross-checking oracles).
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Flush automatically once this many events are pending (0 — the
+    /// default — leaves flushing to the caller/pipeline).
+    pub fn auto_flush_events(mut self, events: usize) -> Self {
+        self.auto_flush_events = events;
+        self
+    }
+
+    /// Use the batch engine: every flush re-runs the full analyzer pass
+    /// instead of incremental re-evaluation. Incompatible with
+    /// [`durable`](EngineBuilder::durable) and
+    /// [`shards`](EngineBuilder::shards).
+    pub fn batch(mut self) -> Self {
+        self.batch = true;
+        self
+    }
+
+    /// Persist the engine in `dir`: write-ahead log + snapshots, recovered
+    /// on reopen. With [`shards`](EngineBuilder::shards), each shard gets
+    /// its own WAL + snapshot pair under `dir/shard-00i`.
+    pub fn durable(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.durable_dir = Some(dir.into());
+        self
+    }
+
+    /// When WAL appends reach stable storage (durable engines only).
+    pub fn fsync(mut self, fsync: FsyncPolicy) -> Self {
+        self.fsync = fsync;
+        self
+    }
+
+    /// Checkpoint cadence: write a snapshot (truncating the log) every
+    /// this many successful flushes; 0 disables automatic checkpoints
+    /// (durable engines only).
+    pub fn snapshot_every_flushes(mut self, flushes: u32) -> Self {
+        self.snapshot_every_flushes = Some(flushes);
+        self
+    }
+
+    /// Spread the engine over `n` independent shards routed by the
+    /// run-key/version hash; `reports()` merges the per-shard maps.
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n;
+        self
+    }
+
+    fn session_config(&self) -> SessionConfig {
+        SessionConfig {
+            threshold: self.threshold,
+            auto_flush_events: self.auto_flush_events,
+            backend: self.backend,
+            spec: self.spec.clone(),
+        }
+    }
+
+    fn durable_config(&self) -> DurableConfig {
+        let defaults = DurableConfig::default();
+        DurableConfig {
+            session: self.session_config(),
+            fsync: self.fsync,
+            snapshot_every_flushes: self
+                .snapshot_every_flushes
+                .unwrap_or(defaults.snapshot_every_flushes),
+        }
+    }
+
+    /// Shortcut for the common case: an in-memory incremental session.
+    pub fn build_online(&self) -> OnlineSession {
+        OnlineSession::new(self.session_config())
+    }
+
+    /// Build the configured engine.
+    pub fn build(self) -> Result<Engine, EngineError> {
+        let config = |detail: &str| EngineError::Config {
+            detail: detail.to_string(),
+        };
+        if self.batch {
+            if self.durable_dir.is_some() {
+                return Err(config(
+                    "the batch engine cannot be durable (it rebuilds \
+                                   its analysis from the store; stream into a durable \
+                                   incremental engine instead)",
+                ));
+            }
+            if self.shards > 1 {
+                return Err(config("the batch engine cannot be sharded"));
+            }
+            let spec = self
+                .spec
+                .unwrap_or_else(|| Arc::new(cosy::suite::standard_suite()));
+            return Ok(Engine::Batch(BatchEngine::with_config(
+                spec,
+                self.backend,
+                self.threshold,
+            )));
+        }
+        match (self.durable_dir.clone(), self.shards > 1) {
+            (None, false) => Ok(Engine::Online(self.build_online())),
+            (None, true) => Ok(Engine::ShardedOnline(ShardedSession::in_memory(
+                self.shards,
+                self.session_config(),
+            ))),
+            (Some(dir), false) => {
+                // The mirror of `ShardedSession::open`'s layout check:
+                // opening sharded state unsharded would silently ignore
+                // every shard's history.
+                if crate::sharded::shard_dir(&dir, 0).exists() {
+                    return Err(EngineError::Recovery(online::RecoveryError::Incompatible {
+                        path: dir,
+                        detail: "directory holds a sharded durable session — \
+                                 reopen it with .shards(n) matching its layout"
+                            .to_string(),
+                    }));
+                }
+                Ok(Engine::Durable(DurableSession::open(
+                    dir,
+                    self.durable_config(),
+                )?))
+            }
+            (Some(dir), true) => {
+                let (session, _recovery) = ShardedSession::open(
+                    dir,
+                    ShardedConfig {
+                        shards: self.shards,
+                        durable: self.durable_config(),
+                    },
+                )?;
+                Ok(Engine::ShardedDurable(session))
+            }
+        }
+    }
+}
+
+/// An engine built by [`EngineBuilder::build`]: one concrete type per
+/// configuration corner, all behind the same [`AnalysisEngine`] surface.
+pub enum Engine {
+    /// Full re-analysis per flush.
+    Batch(BatchEngine),
+    /// In-memory incremental session.
+    Online(OnlineSession),
+    /// Incremental session with one WAL + snapshot pair.
+    Durable(DurableSession),
+    /// N in-memory shards.
+    ShardedOnline(ShardedSession<OnlineSession>),
+    /// N durable shards, one WAL + snapshot pair each.
+    ShardedDurable(ShardedSession<DurableSession>),
+}
+
+impl Engine {
+    fn as_engine(&self) -> &dyn AnalysisEngine {
+        match self {
+            Engine::Batch(e) => e,
+            Engine::Online(e) => e,
+            Engine::Durable(e) => e,
+            Engine::ShardedOnline(e) => e,
+            Engine::ShardedDurable(e) => e,
+        }
+    }
+
+    /// Per-shard recovery statistics, when this engine recovered durable
+    /// state at open (`None` for ephemeral engines; one entry per shard,
+    /// a single entry for an unsharded durable session).
+    pub fn recovery(&self) -> Option<Vec<&RecoveryStats>> {
+        match self {
+            Engine::Durable(e) => Some(vec![e.recovery()]),
+            Engine::ShardedDurable(e) => Some(e.shards().iter().map(|s| s.recovery()).collect()),
+            _ => None,
+        }
+    }
+}
+
+impl AnalysisEngine for Engine {
+    fn ingest_batch(&self, events: &[TraceEvent]) -> Result<usize, EngineError> {
+        self.as_engine().ingest_batch(events)
+    }
+
+    fn flush(&self) -> Result<Vec<RunKey>, EngineError> {
+        self.as_engine().flush()
+    }
+
+    fn report(&self, run: RunKey) -> Option<AnalysisReport> {
+        self.as_engine().report(run)
+    }
+
+    fn reports(&self) -> HashMap<RunKey, AnalysisReport> {
+        self.as_engine().reports()
+    }
+
+    fn stats(&self) -> SessionStats {
+        self.as_engine().stats()
+    }
+
+    fn recoverable_state(&self) -> RecoverableState {
+        self.as_engine().recoverable_state()
+    }
+
+    fn checkpoint(&self) -> Result<(), EngineError> {
+        self.as_engine().checkpoint()
+    }
+}

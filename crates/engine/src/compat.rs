@@ -1,0 +1,58 @@
+//! Deprecated construction shims — one PR of grace.
+//!
+//! Before the engine API redesign each entry point had its own
+//! construction dance and stringly-typed failures. The old constructors
+//! live on here, `#[deprecated]`, with their original `Result<_, String>`
+//! shapes, so downstreams migrate on their own schedule within this
+//! release; they are removed in the next PR (see the API-stability note
+//! in `ROADMAP.md`). New code goes through [`crate::EngineBuilder`] and
+//! the typed [`crate::EngineError`] hierarchy.
+
+#![allow(deprecated)]
+
+use cosy::{AnalysisReport, Backend, ProblemThreshold};
+use online::{DurableConfig, DurableSession, OnlineSession, RecoveryError, SessionConfig};
+use perfdata::{Store, TestRunId, VersionId};
+use std::path::PathBuf;
+
+/// The pre-redesign direct session constructor.
+#[deprecated(
+    since = "0.1.0",
+    note = "construct through engine::EngineBuilder::new().build_online()"
+)]
+pub fn online_session(config: SessionConfig) -> OnlineSession {
+    OnlineSession::new(config)
+}
+
+/// The pre-redesign durable-session constructor.
+#[deprecated(
+    since = "0.1.0",
+    note = "construct through engine::EngineBuilder::new().durable(dir).build()"
+)]
+pub fn durable_session(
+    dir: impl Into<PathBuf>,
+    config: DurableConfig,
+) -> Result<DurableSession, RecoveryError> {
+    DurableSession::open(dir, config)
+}
+
+/// The pre-redesign one-shot batch analysis with its stringly-typed
+/// failure shape (`cosy::Analyzer` now reports typed
+/// [`cosy::SpecError`]/[`cosy::AnalysisError`]).
+#[deprecated(
+    since = "0.1.0",
+    note = "use cosy::Analyzer with the typed errors, or stream into \
+            engine::EngineBuilder::new().batch().build()"
+)]
+pub fn analyze_run(
+    store: &Store,
+    version: VersionId,
+    run: TestRunId,
+    backend: Backend,
+    threshold: ProblemThreshold,
+) -> Result<AnalysisReport, String> {
+    let analyzer = cosy::Analyzer::new(store, version).map_err(|e| e.to_string())?;
+    analyzer
+        .analyze(run, backend, threshold)
+        .map_err(|e| e.to_string())
+}

@@ -1,0 +1,86 @@
+//! The unified engine error hierarchy.
+//!
+//! Every [`crate::AnalysisEngine`] operation fails with one
+//! [`EngineError`], whose variants wrap the precise typed error of the
+//! layer that failed — construction ([`SpecError`]), ingestion
+//! ([`IngestError`]), evaluation/checkpointing ([`FlushError`]) or
+//! restart ([`RecoveryError`]). `From` impls exist for all four, so code
+//! written against one concrete engine lifts to the trait with `?` alone.
+
+use cosy::{AnalysisError, SpecError};
+use online::{FlushError, IngestError, RecoveryError};
+use std::fmt;
+
+/// Any failure of an [`crate::AnalysisEngine`].
+#[derive(Debug)]
+pub enum EngineError {
+    /// The [`crate::EngineBuilder`] was asked for an impossible
+    /// configuration (e.g. a durable batch engine).
+    Config {
+        /// What was wrong with the requested configuration.
+        detail: String,
+    },
+    /// Constructing the engine (or binding its suite to a store) failed.
+    Spec(SpecError),
+    /// An event was rejected at ingestion.
+    Ingest(IngestError),
+    /// A flush — property evaluation, pipeline drain, or the checkpoint
+    /// riding on it — failed.
+    Flush(FlushError),
+    /// Recovering durable state at open failed.
+    Recovery(RecoveryError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Config { detail } => write!(f, "invalid engine configuration: {detail}"),
+            EngineError::Spec(e) => write!(f, "spec error: {e}"),
+            EngineError::Ingest(e) => write!(f, "ingest error: {e}"),
+            EngineError::Flush(e) => write!(f, "flush error: {e}"),
+            EngineError::Recovery(e) => write!(f, "recovery error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Config { .. } => None,
+            EngineError::Spec(e) => Some(e),
+            EngineError::Ingest(e) => Some(e),
+            EngineError::Flush(e) => Some(e),
+            EngineError::Recovery(e) => Some(e),
+        }
+    }
+}
+
+impl From<SpecError> for EngineError {
+    fn from(e: SpecError) -> Self {
+        EngineError::Spec(e)
+    }
+}
+
+impl From<AnalysisError> for EngineError {
+    fn from(e: AnalysisError) -> Self {
+        EngineError::Flush(FlushError::from(e))
+    }
+}
+
+impl From<IngestError> for EngineError {
+    fn from(e: IngestError) -> Self {
+        EngineError::Ingest(e)
+    }
+}
+
+impl From<FlushError> for EngineError {
+    fn from(e: FlushError) -> Self {
+        EngineError::Flush(e)
+    }
+}
+
+impl From<RecoveryError> for EngineError {
+    fn from(e: RecoveryError) -> Self {
+        EngineError::Recovery(e)
+    }
+}

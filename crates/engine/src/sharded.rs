@@ -1,0 +1,417 @@
+//! The sharded session: N independent engine shards, one WAL + snapshot
+//! pair per shard.
+//!
+//! ```text
+//!                      ┌─ shard-000 ─ engine ─ wal.log + snapshot.bin
+//!  events ─▶ router ───┼─ shard-001 ─ engine ─ wal.log + snapshot.bin
+//!            (affine   ├─ …
+//!             by run)  └─ shard-N-1 ─ engine ─ wal.log + snapshot.bin
+//!                             │
+//!                 reports() = merge of per-shard maps
+//! ```
+//!
+//! ## Routing: run affinity, version locality
+//!
+//! Every event is routed by its [`RunKey`] — a run's whole stream lands in
+//! exactly one shard, so per-shard WALs need no cross-shard ordering and
+//! recover independently. The *shard choice* for a new run hashes its
+//! [`online::VersionTag`] with the same splitmix64 finalizer the in-process
+//! [`online::IngestPipeline`] uses ([`online::pipeline::shard_of`]): all
+//! runs of one program version co-locate. That version affinity is what
+//! makes shard-local analysis **globally exact** — the §4.2 data
+//! dependencies of the standard suite (min-PE reference run, ranking
+//! basis, `SublinearSpeedup`'s cross-run comparison) never cross a version
+//! boundary, so each shard's reports are bit-identical to what an
+//! unsharded session over the same events would produce (enforced by the
+//! equivalence proptest in `tests/sharded.rs`).
+//!
+//! ## Recovery
+//!
+//! Opening a sharded durable session recovers every shard **in parallel**
+//! from its own WAL + snapshot pair, then rebuilds the run→shard affinity
+//! map from the recovered shard stores. A torn tail in one shard's log is
+//! that shard's problem alone: the other shards recover their full
+//! history untouched.
+
+use crate::error::EngineError;
+use crate::{AnalysisEngine, RecoverableState};
+use cosy::AnalysisReport;
+use online::pipeline::shard_of;
+use online::{
+    DurableConfig, DurableSession, IncrementalStats, OnlineSession, RecoveryError, RecoveryStats,
+    RunKey, SessionConfig, SessionStats, TraceEvent,
+};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Configuration of a sharded durable session.
+#[derive(Debug, Clone)]
+pub struct ShardedConfig {
+    /// Number of independent shards (≥ 1), each with its own WAL +
+    /// snapshot pair.
+    pub shards: usize,
+    /// The per-shard durable configuration (session, fsync policy,
+    /// checkpoint cadence).
+    pub durable: DurableConfig,
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        ShardedConfig {
+            shards: 4,
+            durable: DurableConfig::default(),
+        }
+    }
+}
+
+/// The directory of shard `index` inside a sharded session directory.
+pub fn shard_dir(dir: &Path, index: usize) -> PathBuf {
+    dir.join(format!("shard-{index:03}"))
+}
+
+/// N independent engine shards behind one [`AnalysisEngine`] surface.
+///
+/// Generic over the shard engine: `ShardedSession<DurableSession>` is the
+/// shard-per-WAL deployment shape; `ShardedSession<OnlineSession>` shards
+/// a purely in-memory session (useful for scaling ingest on one node
+/// without durability).
+pub struct ShardedSession<E> {
+    shards: Vec<E>,
+    /// Run → shard affinity. The shard of a run is *chosen* by hashing its
+    /// version tag at `RunStarted` (version locality, see module docs) and
+    /// is *sticky* for the run's remaining events. Rebuilt from the shard
+    /// stores on recovery.
+    routes: Mutex<HashMap<RunKey, usize>>,
+}
+
+impl<E> ShardedSession<E> {
+    /// Assemble a sharded session from pre-built shards (the builder and
+    /// the `open_*` constructors are the usual entry points).
+    pub fn from_shards(shards: Vec<E>) -> Self {
+        assert!(!shards.is_empty(), "a sharded session needs >= 1 shard");
+        ShardedSession {
+            shards,
+            routes: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The shard engines, in shard order.
+    pub fn shards(&self) -> &[E] {
+        &self.shards
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard the run's events are (or would be) handled by.
+    pub fn shard_of_run(&self, run: RunKey) -> Option<usize> {
+        self.routes
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&run)
+            .copied()
+    }
+
+    /// Partition a batch into per-shard sub-batches, preserving relative
+    /// order, updating run affinity as `RunStarted` events appear.
+    fn partition(&self, events: &[TraceEvent]) -> Vec<Vec<TraceEvent>> {
+        let mut routes = self.routes.lock().unwrap_or_else(|e| e.into_inner());
+        let n = self.shards.len();
+        let mut groups: Vec<Vec<TraceEvent>> = vec![Vec::new(); n];
+        for event in events {
+            let run = event.run_key();
+            let shard = match routes.get(&run) {
+                Some(s) => *s,
+                None => {
+                    let s = match event {
+                        // Version affinity: all runs of one version land
+                        // on one shard, keeping shard-local analysis
+                        // globally exact.
+                        TraceEvent::RunStarted { version, .. } => shard_of(version.0, n),
+                        // An event for a run nobody started: route by the
+                        // run key — the shard rejects it (UnknownRun)
+                        // exactly like an unsharded session would.
+                        _ => shard_of(run.0, n),
+                    };
+                    if matches!(event, TraceEvent::RunStarted { .. }) {
+                        routes.insert(run, s);
+                    }
+                    s
+                }
+            };
+            groups[shard].push(event.clone());
+        }
+        groups
+    }
+
+    /// Run `f` for each listed shard index — the one fan-out/fan-in used
+    /// by ingest, flush and checkpoint. A single listed index runs inline
+    /// (no thread spawn); more fan out over scoped threads. Unlisted
+    /// shards get `None`.
+    fn par_map_at<T, F>(&self, indices: &[usize], f: F) -> Vec<Option<T>>
+    where
+        E: Sync,
+        T: Send,
+        F: Fn(usize, &E) -> T + Sync,
+    {
+        let mut results: Vec<Option<T>> = (0..self.shards.len()).map(|_| None).collect();
+        match indices {
+            [] => {}
+            &[i] => results[i] = Some(f(i, &self.shards[i])),
+            _ => {
+                std::thread::scope(|scope| {
+                    for (i, slot) in results.iter_mut().enumerate() {
+                        if !indices.contains(&i) {
+                            continue;
+                        }
+                        let f = &f;
+                        let shard = &self.shards[i];
+                        scope.spawn(move || *slot = Some(f(i, shard)));
+                    }
+                });
+            }
+        }
+        results
+    }
+
+    /// [`Self::par_map_at`] over every shard.
+    fn par_map<T, F>(&self, f: F) -> Vec<T>
+    where
+        E: Sync,
+        T: Send,
+        F: Fn(usize, &E) -> T + Sync,
+    {
+        let all: Vec<usize> = (0..self.shards.len()).collect();
+        self.par_map_at(&all, f)
+            .into_iter()
+            .map(|slot| slot.expect("shard task ran"))
+            .collect()
+    }
+}
+
+impl ShardedSession<OnlineSession> {
+    /// A purely in-memory sharded session: N [`OnlineSession`]s sharing
+    /// one configuration.
+    pub fn in_memory(shards: usize, config: SessionConfig) -> Self {
+        let shards = (0..shards.max(1))
+            .map(|_| OnlineSession::new(config.clone()))
+            .collect();
+        ShardedSession::from_shards(shards)
+    }
+}
+
+impl ShardedSession<DurableSession> {
+    /// Open (or create) a sharded durable session under `dir`: shard `i`
+    /// lives in `dir/shard-00i` with its own WAL + snapshot pair. Every
+    /// shard recovers **in parallel**; the per-shard [`RecoveryStats`] are
+    /// returned in shard order.
+    ///
+    /// The shard layout is part of the session's identity: reopening an
+    /// existing directory with a different shard count — or a directory
+    /// holding *unsharded* durable state — would strand runs on shards
+    /// the router no longer picks, so both are refused as
+    /// [`RecoveryError::Incompatible`].
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        config: ShardedConfig,
+    ) -> Result<(Self, Vec<RecoveryStats>), RecoveryError> {
+        let dir = dir.into();
+        let shards = config.shards.max(1);
+        std::fs::create_dir_all(&dir)?;
+        // Refuse a layout change on existing state: an unsharded session's
+        // files directly in `dir`, or a different shard count.
+        if dir.join(online::durable::WAL_FILE).exists()
+            || dir.join(online::durable::SNAPSHOT_FILE).exists()
+        {
+            return Err(RecoveryError::Incompatible {
+                path: dir,
+                detail: "directory holds an unsharded durable session — \
+                         opening it sharded would ignore its history"
+                    .to_string(),
+            });
+        }
+        let existing: Vec<PathBuf> = (0..)
+            .map(|i| shard_dir(&dir, i))
+            .take_while(|d| d.exists())
+            .collect();
+        if !existing.is_empty() && existing.len() != shards {
+            return Err(RecoveryError::Incompatible {
+                path: dir,
+                detail: format!(
+                    "directory holds {} shard(s) but {} were requested — \
+                     resharding an existing session is not supported",
+                    existing.len(),
+                    shards
+                ),
+            });
+        }
+
+        // Recover every shard in parallel: each reads only its own WAL +
+        // snapshot pair, so there is nothing to coordinate.
+        let mut slots: Vec<Option<Result<(DurableSession, RecoveryStats), RecoveryError>>> =
+            (0..shards).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                let shard_path = shard_dir(&dir, i);
+                let config = config.durable.clone();
+                scope.spawn(move || {
+                    *slot = Some(DurableSession::open(shard_path, config).map(|s| {
+                        let recovery = s.recovery().clone();
+                        (s, recovery)
+                    }));
+                });
+            }
+        });
+
+        let mut engines = Vec::with_capacity(shards);
+        let mut stats = Vec::with_capacity(shards);
+        for slot in slots {
+            let (engine, recovery) = slot.expect("shard recovery ran")?;
+            engines.push(engine);
+            stats.push(recovery);
+        }
+
+        let session = ShardedSession::from_shards(engines);
+        // Rebuild run affinity from the recovered shard stores; new runs
+        // of already-known versions re-derive the same shard from the
+        // deterministic version hash.
+        {
+            let mut routes = session.routes.lock().unwrap_or_else(|e| e.into_inner());
+            for (i, shard) in session.shards.iter().enumerate() {
+                for key in shard.session().run_keys() {
+                    routes.insert(key, i);
+                }
+            }
+        }
+        Ok((session, stats))
+    }
+
+    /// Sum of the per-shard WAL lengths (bytes since the last checkpoint).
+    pub fn wal_len(&self) -> u64 {
+        self.shards.iter().map(|s| s.wal_len()).sum()
+    }
+}
+
+impl<E: AnalysisEngine> AnalysisEngine for ShardedSession<E> {
+    /// Partition the batch by run affinity and apply every non-empty
+    /// sub-batch **in parallel** (per-shard WAL appends and store updates
+    /// proceed concurrently); a batch that lands on one shard runs inline
+    /// with no thread spawn.
+    ///
+    /// Contract nuance vs an unsharded session: on multiple rejections
+    /// the error returned is the first failing shard's first rejection
+    /// *in shard order* — which rejection that is can differ from the
+    /// unsharded session's stream-order pick. The rejected-event *count*
+    /// (`stats().events_rejected`) is identical either way.
+    fn ingest_batch(&self, events: &[TraceEvent]) -> Result<usize, EngineError> {
+        let groups = self.partition(events);
+        let active: Vec<usize> = groups
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| !g.is_empty())
+            .map(|(i, _)| i)
+            .collect();
+        let results = self.par_map_at(&active, |i, shard| shard.ingest_batch(&groups[i]));
+        let mut applied = 0usize;
+        let mut failure = None;
+        for result in results.into_iter().flatten() {
+            match result {
+                Ok(n) => applied += n,
+                Err(e) => {
+                    failure.get_or_insert(e);
+                }
+            }
+        }
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(applied),
+        }
+    }
+
+    /// Flush every shard in parallel; the merged update set is sorted by
+    /// run key.
+    fn flush(&self) -> Result<Vec<RunKey>, EngineError> {
+        let mut updated = Vec::new();
+        for result in self.par_map(|_, shard| shard.flush()) {
+            updated.extend(result?);
+        }
+        updated.sort();
+        Ok(updated)
+    }
+
+    fn report(&self, run: RunKey) -> Option<AnalysisReport> {
+        match self.shard_of_run(run) {
+            Some(i) => self.shards[i].report(run),
+            None => self.shards.iter().find_map(|s| s.report(run)),
+        }
+    }
+
+    fn reports(&self) -> HashMap<RunKey, AnalysisReport> {
+        // Run keys are disjoint across shards (affine routing): a plain
+        // merge is exact.
+        let mut out = HashMap::new();
+        for shard in &self.shards {
+            out.extend(shard.reports());
+        }
+        out
+    }
+
+    fn stats(&self) -> SessionStats {
+        let mut total = SessionStats::default();
+        for shard in &self.shards {
+            // Exhaustive destructuring (no `..`): adding a counter to
+            // either stats struct must fail to compile here rather than
+            // silently report 0 for sharded engines.
+            let SessionStats {
+                events_applied,
+                events_rejected,
+                events_replayed,
+                flushes,
+                runs_finished,
+                incremental:
+                    IncrementalStats {
+                        flushes: incremental_flushes,
+                        runs_reevaluated,
+                        full_reevaluations,
+                        instances_evaluated,
+                    },
+            } = shard.stats();
+            total.events_applied += events_applied;
+            total.events_rejected += events_rejected;
+            total.events_replayed += events_replayed;
+            total.flushes += flushes;
+            total.runs_finished += runs_finished;
+            total.incremental.flushes += incremental_flushes;
+            total.incremental.runs_reevaluated += runs_reevaluated;
+            total.incremental.full_reevaluations += full_reevaluations;
+            total.incremental.instances_evaluated += instances_evaluated;
+        }
+        total
+    }
+
+    fn recoverable_state(&self) -> RecoverableState {
+        let mut dirs = Vec::new();
+        for shard in &self.shards {
+            match shard.recoverable_state() {
+                RecoverableState::Durable { dir } => dirs.push(dir),
+                RecoverableState::Sharded { mut shard_dirs } => dirs.append(&mut shard_dirs),
+                RecoverableState::Ephemeral => {}
+            }
+        }
+        if dirs.is_empty() {
+            RecoverableState::Ephemeral
+        } else {
+            RecoverableState::Sharded { shard_dirs: dirs }
+        }
+    }
+
+    fn checkpoint(&self) -> Result<(), EngineError> {
+        for result in self.par_map(|_, shard| shard.checkpoint()) {
+            result?;
+        }
+        Ok(())
+    }
+}

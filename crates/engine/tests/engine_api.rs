@@ -1,0 +1,180 @@
+//! The unified engine surface: every engine the builder can produce
+//! answers the same trait identically for the same stream, errors are
+//! typed end to end, and the deprecated shims still work for one PR.
+
+use apprentice_sim::{archetypes, simulate_program, MachineModel};
+use engine::{AnalysisEngine, Engine, EngineBuilder, EngineError, RecoverableState};
+use online::replay::{replay_run_key, replay_store};
+use online::TraceEvent;
+use perfdata::{Store, TestRunId};
+use std::path::PathBuf;
+
+struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    fn new(name: &str) -> ScratchDir {
+        let dir = std::env::temp_dir().join(format!("kojak-engapi-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ScratchDir(dir)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn sim() -> (Store, TestRunId) {
+    let mut store = Store::new();
+    let version = simulate_program(
+        &mut store,
+        &archetypes::particle_mc(42),
+        &MachineModel::t3e_900(),
+        &[1, 4, 16],
+    );
+    let run = store.versions[version.index()].runs[2];
+    (store, run)
+}
+
+/// One stream, five engines, identical reports (bit for bit: every engine
+/// builds the same store arena from the same event order).
+#[test]
+fn every_engine_shape_agrees_on_the_same_stream() {
+    let (store, run) = sim();
+    let events = replay_store(&store);
+    let durable_dir = ScratchDir::new("agree-durable");
+    let sharded_dir = ScratchDir::new("agree-sharded");
+
+    let engines: Vec<(&str, Engine)> = vec![
+        ("batch", EngineBuilder::new().batch().build().unwrap()),
+        ("online", EngineBuilder::new().build().unwrap()),
+        (
+            "durable",
+            EngineBuilder::new()
+                .durable(&durable_dir.0)
+                .build()
+                .unwrap(),
+        ),
+        (
+            "sharded-online",
+            EngineBuilder::new().shards(3).build().unwrap(),
+        ),
+        (
+            "sharded-durable",
+            EngineBuilder::new()
+                .durable(&sharded_dir.0)
+                .shards(3)
+                .build()
+                .unwrap(),
+        ),
+    ];
+
+    let mut reports = Vec::new();
+    for (name, engine) in &engines {
+        let applied = engine
+            .ingest_batch(&events)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(applied, events.len(), "{name}");
+        engine.flush().unwrap_or_else(|e| panic!("{name}: {e}"));
+        let report = engine
+            .report(replay_run_key(run))
+            .unwrap_or_else(|| panic!("{name}: missing report"));
+        assert!(report.bottleneck().is_some(), "{name}");
+        assert_eq!(engine.stats().events_applied, events.len() as u64, "{name}");
+        reports.push((name, engine.reports()));
+    }
+    let (first_name, first) = &reports[0];
+    for (name, other) in &reports[1..] {
+        assert_eq!(first, other, "{first_name} vs {name}");
+    }
+
+    // Recoverable-state shapes match the configuration.
+    assert!(engines[0].1.recoverable_state().is_ephemeral());
+    assert!(engines[1].1.recoverable_state().is_ephemeral());
+    assert!(matches!(
+        engines[2].1.recoverable_state(),
+        RecoverableState::Durable { .. }
+    ));
+    assert!(engines[3].1.recoverable_state().is_ephemeral());
+    assert!(matches!(
+        engines[4].1.recoverable_state(),
+        RecoverableState::Sharded { ref shard_dirs } if shard_dirs.len() == 3
+    ));
+    assert!(engines[2].1.recovery().is_some());
+    assert_eq!(engines[4].1.recovery().map(|r| r.len()), Some(3));
+}
+
+/// The trait is object-safe: heterogeneous engines behind one `dyn`.
+#[test]
+fn engines_work_as_trait_objects() {
+    let (store, run) = sim();
+    let events = replay_store(&store);
+    let engines: Vec<Box<dyn AnalysisEngine>> = vec![
+        Box::new(engine::BatchEngine::new()),
+        Box::new(EngineBuilder::new().build_online()),
+        Box::new(engine::ShardedSession::in_memory(2, Default::default())),
+    ];
+    for engine in &engines {
+        engine.ingest_batch(&events).expect("ingest");
+        engine.flush().expect("flush");
+        assert!(engine.report(replay_run_key(run)).is_some());
+    }
+}
+
+/// Impossible builder configurations fail typed, not stringly.
+#[test]
+fn impossible_configurations_are_typed_config_errors() {
+    let dir = ScratchDir::new("cfg");
+    match EngineBuilder::new().batch().durable(&dir.0).build() {
+        Err(EngineError::Config { detail }) => assert!(detail.contains("durable")),
+        other => panic!("expected Config error, got {:?}", other.err()),
+    }
+    match EngineBuilder::new().batch().shards(4).build() {
+        Err(EngineError::Config { detail }) => assert!(detail.contains("sharded")),
+        other => panic!("expected Config error, got {:?}", other.err()),
+    }
+}
+
+/// Ingestion rejections surface as `EngineError::Ingest` with the precise
+/// cause, uniformly across engines.
+#[test]
+fn rejections_are_typed_uniformly() {
+    let orphan = TraceEvent::RunFinished {
+        run: online::RunKey(404),
+    };
+    let engines: Vec<Box<dyn AnalysisEngine>> = vec![
+        Box::new(engine::BatchEngine::new()),
+        Box::new(EngineBuilder::new().build_online()),
+        Box::new(engine::ShardedSession::in_memory(2, Default::default())),
+    ];
+    for engine in &engines {
+        match engine.ingest(&orphan) {
+            Err(EngineError::Ingest(online::IngestError::UnknownRun(k))) => {
+                assert_eq!(k, online::RunKey(404))
+            }
+            other => panic!("expected typed UnknownRun, got {other:?}"),
+        }
+        assert_eq!(engine.stats().events_rejected, 1);
+    }
+}
+
+/// The deprecated constructors still work (one PR of grace; see the
+/// API-stability note in ROADMAP.md).
+#[test]
+#[allow(deprecated)]
+fn deprecated_shims_still_function() {
+    let (store, run) = sim();
+    let session = engine::compat::online_session(Default::default());
+    session.ingest_batch(&replay_store(&store)).unwrap();
+    session.flush().unwrap();
+    let version = store.runs[run.index()].version;
+    let old_style =
+        engine::compat::analyze_run(&store, version, run, Default::default(), Default::default())
+            .expect("stringly batch analysis");
+    assert_eq!(
+        Some(&old_style),
+        session.report(replay_run_key(run)).as_ref(),
+        "the shim and the new path agree"
+    );
+}

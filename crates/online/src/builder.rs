@@ -215,6 +215,29 @@ impl StoreBuilder {
             })
     }
 
+    /// Apply a batch with per-event isolation — the shared contract of
+    /// every engine's `ingest_batch`: a rejected event is skipped (store
+    /// and delta untouched by it), the rest of the batch still applies.
+    /// Returns the number of applied events and the *first* rejection
+    /// (after the whole batch was attempted).
+    pub fn apply_batch(
+        &mut self,
+        events: &[TraceEvent],
+        delta: &mut StoreDelta,
+    ) -> (usize, Option<IngestError>) {
+        let mut applied = 0usize;
+        let mut failure = None;
+        for event in events {
+            match self.apply(event, delta) {
+                Ok(()) => applied += 1,
+                Err(e) => {
+                    failure.get_or_insert(e);
+                }
+            }
+        }
+        (applied, failure)
+    }
+
     /// Apply one event, accumulating its blast radius into `delta`.
     /// Rejected events leave both the store and the delta untouched.
     pub fn apply(&mut self, event: &TraceEvent, delta: &mut StoreDelta) -> Result<(), IngestError> {
@@ -380,10 +403,17 @@ impl StoreBuilder {
                         self.store.add_function(vid, callee.clone())
                     }
                 };
-                let call = self
-                    .store
-                    .call_site(caller_id, callee_id, site_id)
-                    .unwrap_or_else(|| self.store.add_call(caller_id, callee_id, site_id));
+                let call = match self.store.call_site(caller_id, callee_id, site_id) {
+                    Some(c) => c,
+                    // A new call site enlarges the instance universe of
+                    // every run of the version (its `skipped` counts), so
+                    // the structure growth must be visible to the
+                    // analyzer even when the callee already existed.
+                    None => {
+                        delta.touched_versions.insert(vid);
+                        self.store.add_call(caller_id, callee_id, site_id)
+                    }
+                };
                 self.store
                     .upsert_call_timing(to_call_timing(call, rid, stats));
                 delta.dirty_call(rid, call);

@@ -27,6 +27,7 @@
 //! a hard [`RecoveryError`] (its history is not reconstructible from a
 //! truncated log). Neither ever panics.
 
+use crate::error::FlushError;
 use crate::event::{IngestError, RunKey, TraceEvent};
 use crate::session::{OnlineSession, SessionConfig, SessionStats};
 use crate::snapshot::{encode_snapshot, read_snapshot, write_snapshot_bytes, SnapshotError};
@@ -93,7 +94,7 @@ pub enum RecoveryError {
         detail: String,
     },
     /// The recovery flush failed (property evaluation error).
-    Analysis(String),
+    Analysis(FlushError),
 }
 
 impl std::fmt::Display for RecoveryError {
@@ -111,7 +112,15 @@ impl std::fmt::Display for RecoveryError {
     }
 }
 
-impl std::error::Error for RecoveryError {}
+impl std::error::Error for RecoveryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RecoveryError::Io(e) => Some(e),
+            RecoveryError::Analysis(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<io::Error> for RecoveryError {
     fn from(e: io::Error) -> Self {
@@ -341,26 +350,36 @@ impl DurableSession {
 
     /// Analyze everything pending (see [`OnlineSession::flush`]); every
     /// `snapshot_every_flushes` successful flushes, also checkpoint.
-    pub fn flush(&self) -> Result<Vec<RunKey>, String> {
+    ///
+    /// If the analysis flush succeeds but the checkpoint riding on it
+    /// fails, the returned [`FlushError::Snapshot`]/
+    /// [`FlushError::WalTruncate`] carries the flush's changed-run set in
+    /// its `updated` field — the pending delta was consumed, so those
+    /// keys are not observable from a retried flush. The checkpoint
+    /// itself retries on the next flush (the cadence counter is not
+    /// reset), and the WAL still holds the full history.
+    pub fn flush(&self) -> Result<Vec<RunKey>, FlushError> {
         let mut inner = self.lock();
         let updated = self.session.flush()?;
         inner.flushes_since_snapshot += 1;
         if self.snapshot_every_flushes > 0
             && inner.flushes_since_snapshot >= self.snapshot_every_flushes
         {
-            self.checkpoint_locked(&mut inner)?;
+            if let Err(e) = self.checkpoint_locked(&mut inner) {
+                return Err(e.with_updated(updated));
+            }
         }
         Ok(updated)
     }
 
     /// Flush, then write a snapshot and truncate the log behind it.
-    pub fn checkpoint(&self) -> Result<(), String> {
+    pub fn checkpoint(&self) -> Result<(), FlushError> {
         let mut inner = self.lock();
         self.session.flush()?;
         self.checkpoint_locked(&mut inner)
     }
 
-    fn checkpoint_locked(&self, inner: &mut DurableInner) -> Result<(), String> {
+    fn checkpoint_locked(&self, inner: &mut DurableInner) -> Result<(), FlushError> {
         let path = self.dir.join(SNAPSHOT_FILE);
         let next_epoch = inner.epoch + 1;
         // Encode under the session lock (consistent read), but do the
@@ -370,11 +389,19 @@ impl DurableSession {
         let bytes = self.session.snapshot_state(|builder, finished, rejected| {
             encode_snapshot(builder, finished, rejected, next_epoch)
         });
-        write_snapshot_bytes(&path, &bytes).map_err(|e| format!("snapshot write failed: {e}"))?;
+        write_snapshot_bytes(&path, &bytes).map_err(|source| FlushError::Snapshot {
+            path: path.clone(),
+            source,
+            updated: Vec::new(),
+        })?;
         inner
             .wal
             .reset(next_epoch)
-            .map_err(|e| format!("wal truncate failed: {e}"))?;
+            .map_err(|source| FlushError::WalTruncate {
+                path: inner.wal.path().to_path_buf(),
+                source,
+                updated: Vec::new(),
+            })?;
         inner.epoch = next_epoch;
         inner.flushes_since_snapshot = 0;
         Ok(())

@@ -14,6 +14,7 @@
 //! equivalence proptest in `tests/`).
 
 use crate::builder::StoreDelta;
+use crate::error::FlushError;
 use asl_core::check::CheckedSpec;
 use asl_eval::{compile as compile_ir, CompiledSpec};
 use cosy::backend::{Backend, PreparedBackend};
@@ -44,6 +45,12 @@ type EntryKey = (String, Option<u32>, Option<u32>);
 struct RunState {
     entries: HashMap<EntryKey, HeldEntry>,
     report: Option<AnalysisReport>,
+    /// The version's instance-universe size when `report` was assembled.
+    /// Structure growth (a sibling run announcing a new call site) changes
+    /// the universe — and therefore the report's `skipped` count — without
+    /// dirtying this run's contexts; the flush re-assembles such reports
+    /// so they stay bit-identical to a batch pass over the current store.
+    instance_total: usize,
 }
 
 /// The live incremental analyzer. Owns no store — it is driven with
@@ -143,7 +150,11 @@ impl IncrementalAnalyzer {
 
     /// Re-evaluate everything a delta invalidated and refresh the affected
     /// reports. Returns the runs whose report changed, in ascending order.
-    pub fn flush(&mut self, store: &Store, delta: &StoreDelta) -> Result<Vec<TestRunId>, String> {
+    pub fn flush(
+        &mut self,
+        store: &Store,
+        delta: &StoreDelta,
+    ) -> Result<Vec<TestRunId>, FlushError> {
         #[derive(Debug)]
         enum Scope {
             Full,
@@ -186,6 +197,12 @@ impl IncrementalAnalyzer {
             mark_full(&mut scopes, run);
         }
         self.pending_full.clear();
+        // Versions whose static structure grew take part in the flush even
+        // with no dirty context: the basis identity is re-audited and any
+        // report whose instance universe drifted is re-assembled below.
+        for &v in &delta.touched_versions {
+            scopes.entry(v).or_default();
+        }
         for &v in &delta.full_versions {
             for &run in &store.versions[v.index()].runs {
                 mark_full(&mut scopes, run);
@@ -267,12 +284,6 @@ impl IncrementalAnalyzer {
                     continue;
                 }
             };
-            let prepared = match self.backend {
-                Backend::Compiled => {
-                    PreparedBackend::from_compiled(Arc::clone(&self.compiled), store)?
-                }
-                other => PreparedBackend::prepare(other, &spec, store)?,
-            };
             let basis = analyzer.basis();
 
             // A dirty basis region re-bases the whole run.
@@ -296,46 +307,88 @@ impl IncrementalAnalyzer {
                 .collect();
             work.sort_by_key(|(run, _)| *run);
 
-            type Updates = Vec<(EntryKey, Option<HeldEntry>)>;
-            let results: Vec<Result<(TestRunId, bool, usize, Updates), String>> = work
-                .par_iter()
-                .map(|(run, scope)| {
-                    let instances = analyzer.instances_scoped(*run, scope);
-                    let outcomes = analyzer.evaluate_instances(&prepared, &instances)?;
-                    let updates: Updates = instances
-                        .iter()
-                        .zip(outcomes)
-                        .map(|((prop, _, ctx), outcome)| {
-                            ((prop.clone(), ctx.region, ctx.call), outcome)
-                        })
-                        .collect();
-                    Ok((*run, *scope == ContextScope::All, instances.len(), updates))
-                })
-                .collect();
+            // The instance universe is a property of the version's
+            // structure, identical for every run: count it once per flush.
+            let instance_total = analyzer.instance_universe();
+            let mut touched_runs: HashSet<TestRunId> = HashSet::new();
+            if !work.is_empty() {
+                let prepared = match self.backend {
+                    Backend::Compiled => {
+                        PreparedBackend::from_compiled(Arc::clone(&self.compiled), store)?
+                    }
+                    other => PreparedBackend::prepare(other, &spec, store)?,
+                };
 
-            for result in results {
-                let (run, full, evaluated, updates) = result?;
-                let state = self.states.entry(run).or_default();
-                if full {
-                    state.entries.clear();
-                    self.stats.full_reevaluations += 1;
-                }
-                for (key, outcome) in updates {
-                    match outcome {
-                        Some(entry) => {
-                            state.entries.insert(key, entry);
-                        }
-                        None => {
-                            state.entries.remove(&key);
+                type Updates = Vec<(EntryKey, Option<HeldEntry>)>;
+                let results: Vec<Result<(TestRunId, bool, usize, Updates), FlushError>> = work
+                    .par_iter()
+                    .map(|(run, scope)| {
+                        let instances = analyzer.instances_scoped(*run, scope);
+                        let outcomes = analyzer.evaluate_instances(&prepared, &instances)?;
+                        let updates: Updates = instances
+                            .iter()
+                            .zip(outcomes)
+                            .map(|((prop, _, ctx), outcome)| {
+                                ((prop.clone(), ctx.region, ctx.call), outcome)
+                            })
+                            .collect();
+                        Ok((*run, *scope == ContextScope::All, instances.len(), updates))
+                    })
+                    .collect();
+
+                for result in results {
+                    let (run, full, evaluated, updates) = result?;
+                    let state = self.states.entry(run).or_default();
+                    if full {
+                        state.entries.clear();
+                        self.stats.full_reevaluations += 1;
+                    }
+                    for (key, outcome) in updates {
+                        match outcome {
+                            Some(entry) => {
+                                state.entries.insert(key, entry);
+                            }
+                            None => {
+                                state.entries.remove(&key);
+                            }
                         }
                     }
+                    let skipped = instance_total - state.entries.len();
+                    let held: Vec<HeldEntry> = state.entries.values().cloned().collect();
+                    state.report =
+                        Some(analyzer.assemble_report(run, held, self.threshold, skipped));
+                    state.instance_total = instance_total;
+                    self.stats.instances_evaluated += evaluated as u64;
+                    self.stats.runs_reevaluated += 1;
+                    touched_runs.insert(run);
+                    updated.push(run);
                 }
-                let skipped = analyzer.instance_count(run) - state.entries.len();
-                let held: Vec<HeldEntry> = state.entries.values().cloned().collect();
-                state.report = Some(analyzer.assemble_report(run, held, self.threshold, skipped));
-                self.stats.instances_evaluated += evaluated as u64;
-                self.stats.runs_reevaluated += 1;
-                updated.push(run);
+            }
+
+            // Structure growth re-sizes the instance universe of every run
+            // of the version: re-assemble (without re-evaluating) any live
+            // report whose cached universe size drifted, so `skipped`
+            // counts stay bit-identical to a batch pass over the current
+            // store. No held entry can change here — a brand-new context
+            // has no data for untouched runs, so nothing new can hold.
+            for &run in &store.versions[v.index()].runs {
+                if touched_runs.contains(&run) {
+                    continue;
+                }
+                let Some(state) = self.states.get_mut(&run) else {
+                    continue;
+                };
+                if state.report.is_none() {
+                    continue;
+                }
+                if state.instance_total != instance_total {
+                    let skipped = instance_total - state.entries.len();
+                    let held: Vec<HeldEntry> = state.entries.values().cloned().collect();
+                    state.report =
+                        Some(analyzer.assemble_report(run, held, self.threshold, skipped));
+                    state.instance_total = instance_total;
+                    updated.push(run);
+                }
             }
         }
 

@@ -93,6 +93,7 @@
 
 pub mod builder;
 pub mod durable;
+pub mod error;
 pub mod event;
 pub mod incremental;
 pub mod pipeline;
@@ -104,6 +105,7 @@ pub mod wire;
 
 pub use builder::{StoreBuilder, StoreDelta};
 pub use durable::{DurableConfig, DurableSession, RecoveryError, RecoveryStats};
+pub use error::FlushError;
 pub use event::{
     CallStats, IngestError, RegionDef, RegionRef, RunKey, TraceEvent, VersionTag, WIRE_VERSION,
 };

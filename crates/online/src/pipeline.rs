@@ -9,12 +9,24 @@
 //! application, [`IngestPipeline::submit`] blocks — backpressure flows to
 //! the producer instead of growing memory.
 
+use crate::error::FlushError;
 use crate::event::{IngestError, RunKey, TraceEvent};
 use crate::session::OnlineSession;
 use std::collections::HashMap;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+
+/// The run-key shard router: a splitmix64-style finalizer over the raw
+/// key, reduced modulo `shards`. Adjacent producer keys spread evenly.
+/// Shared by the in-process [`IngestPipeline`] and the multi-WAL
+/// `ShardedSession` of the engine facade, so both layers agree on where a
+/// key lands.
+pub fn shard_of(key: u64, shards: usize) -> usize {
+    let mut h = key.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    (h % shards.max(1) as u64) as usize
+}
 
 /// Pipeline configuration.
 #[derive(Debug, Clone)]
@@ -102,10 +114,7 @@ impl IngestPipeline {
     }
 
     fn shard_of(&self, key: RunKey) -> usize {
-        // splitmix64-style finalizer: adjacent producer keys spread evenly.
-        let mut h = key.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        (h % self.senders.len() as u64) as usize
+        shard_of(key.0, self.senders.len())
     }
 
     /// Submit one event. Blocks when the target shard's queue is full
@@ -119,30 +128,30 @@ impl IngestPipeline {
 
     /// Drain every shard's buffers into the session, then run one analysis
     /// flush. Returns the runs whose report changed.
-    pub fn flush(&self) -> Result<Vec<RunKey>, String> {
+    pub fn flush(&self) -> Result<Vec<RunKey>, FlushError> {
         let mut acks = Vec::new();
         for tx in &self.senders {
             let (ack_tx, ack_rx) = sync_channel::<()>(1);
             tx.send(ShardMsg::Barrier(ack_tx))
-                .map_err(|_| "pipeline closed".to_string())?;
+                .map_err(|_| FlushError::Closed)?;
             acks.push(ack_rx);
         }
         for ack in acks {
-            ack.recv().map_err(|_| "shard worker died".to_string())?;
+            ack.recv().map_err(|_| FlushError::WorkerLost)?;
         }
         self.session.flush()
     }
 
     /// Shut down: drain all buffers, join the workers, run a final flush,
     /// and return the aggregate statistics.
-    pub fn close(self) -> Result<PipelineStats, String> {
+    pub fn close(self) -> Result<PipelineStats, FlushError> {
         drop(self.senders);
         let mut stats = PipelineStats {
             replayed_events: self.session.stats().events_replayed,
             ..PipelineStats::default()
         };
         for worker in self.workers {
-            let shard = worker.join().map_err(|_| "shard worker panicked")?;
+            let shard = worker.join().map_err(|_| FlushError::WorkerLost)?;
             stats.events += shard.events;
             stats.batches += shard.batches;
             stats.errors.extend(shard.errors);

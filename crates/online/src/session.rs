@@ -10,12 +10,14 @@
 //! inside the incremental engine).
 
 use crate::builder::{StoreBuilder, StoreDelta};
+use crate::error::FlushError;
 use crate::event::{IngestError, RunKey, TraceEvent};
 use crate::incremental::{IncrementalAnalyzer, IncrementalStats};
+use asl_core::check::CheckedSpec;
 use cosy::{AnalysisReport, Backend, ProblemThreshold};
 use perfdata::Store;
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Session configuration.
 #[derive(Debug, Clone, Default)]
@@ -29,6 +31,10 @@ pub struct SessionConfig {
     /// compiled IR; the interpreter remains available as a reference
     /// oracle for validation and baselining.
     pub backend: Backend,
+    /// The property suite to evaluate. `None` means the standard suite;
+    /// a custom pre-checked suite is shared (and lowered to the compiled
+    /// IR once) across the session's whole life, recovery included.
+    pub spec: Option<Arc<CheckedSpec>>,
 }
 
 /// Aggregate observability counters of a session.
@@ -72,9 +78,18 @@ pub struct OnlineSession {
 }
 
 impl OnlineSession {
-    /// Create a session with the standard suite.
+    fn analyzer_for(config: &SessionConfig) -> IncrementalAnalyzer {
+        let analyzer = match &config.spec {
+            Some(spec) => IncrementalAnalyzer::with_spec(Arc::clone(spec), config.threshold),
+            None => IncrementalAnalyzer::new(config.threshold),
+        };
+        analyzer.with_backend(config.backend)
+    }
+
+    /// Create a session with the configured suite (the standard one unless
+    /// [`SessionConfig::spec`] overrides it).
     pub fn new(config: SessionConfig) -> Self {
-        let analyzer = IncrementalAnalyzer::new(config.threshold).with_backend(config.backend);
+        let analyzer = Self::analyzer_for(&config);
         OnlineSession {
             inner: Mutex::new(SessionInner {
                 builder: StoreBuilder::new(),
@@ -100,7 +115,7 @@ impl OnlineSession {
         finished: Vec<perfdata::TestRunId>,
         rejected: u64,
     ) -> Self {
-        let mut analyzer = IncrementalAnalyzer::new(config.threshold).with_backend(config.backend);
+        let mut analyzer = Self::analyzer_for(&config);
         analyzer.restore_finished(finished.iter().copied());
         let mut pending = StoreDelta::new();
         for (_, run, version) in builder.runs() {
@@ -139,6 +154,13 @@ impl OnlineSession {
         f(&inner.builder, &finished, inner.rejected)
     }
 
+    /// Producer keys of every run the session knows about (unordered).
+    /// The sharded engine rebuilds its run→shard affinity map from this
+    /// after recovery.
+    pub fn run_keys(&self) -> Vec<RunKey> {
+        self.lock().builder.runs().map(|(k, _, _)| k).collect()
+    }
+
     /// Producer keys of the runs declared finished (and flushed).
     pub fn finished_run_keys(&self) -> Vec<RunKey> {
         let inner = self.lock();
@@ -165,21 +187,11 @@ impl OnlineSession {
     /// *first* rejection (after the whole batch was attempted).
     pub fn ingest_batch(&self, events: &[TraceEvent]) -> Result<usize, IngestError> {
         let mut inner = self.lock();
-        let mut applied = 0usize;
-        let mut failure = None;
-        for event in events {
-            let SessionInner {
-                builder, pending, ..
-            } = &mut *inner;
-            let outcome = builder.apply(event, pending);
-            match outcome {
-                Ok(()) => applied += 1,
-                Err(e) => {
-                    inner.rejected += 1;
-                    failure.get_or_insert(e);
-                }
-            }
-        }
+        let SessionInner {
+            builder, pending, ..
+        } = &mut *inner;
+        let (applied, failure) = builder.apply_batch(events, pending);
+        inner.rejected += (events.len() - applied) as u64;
         inner.pending_events += applied;
         let auto = self.config.auto_flush_events;
         if auto > 0 && inner.pending_events >= auto {
@@ -193,7 +205,7 @@ impl OnlineSession {
         }
     }
 
-    fn flush_inner(inner: &mut SessionInner) -> Result<Vec<RunKey>, String> {
+    fn flush_inner(inner: &mut SessionInner) -> Result<Vec<RunKey>, FlushError> {
         let delta = std::mem::take(&mut inner.pending);
         inner.pending_events = 0;
         if delta.is_empty() {
@@ -220,8 +232,10 @@ impl OnlineSession {
     }
 
     /// Analyze everything pending. Returns the producer keys of the runs
-    /// whose live report changed.
-    pub fn flush(&self) -> Result<Vec<RunKey>, String> {
+    /// whose live report changed. On failure the invalidated delta is
+    /// re-queued, so the same [`FlushError`] resurfaces (and the same work
+    /// retries) on the next flush.
+    pub fn flush(&self) -> Result<Vec<RunKey>, FlushError> {
         Self::flush_inner(&mut self.lock())
     }
 

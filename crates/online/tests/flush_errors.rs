@@ -1,0 +1,146 @@
+//! Regression: a spec-evaluation failure during a flush must surface as a
+//! typed [`FlushError`] variant — wrapping the machine-readable
+//! [`cosy::AnalysisError`] / [`asl_eval::EvalError`] — not as a formatted
+//! string. The failing delta is re-queued, so the same typed error
+//! resurfaces on the next flush, and supplying the missing data afterwards
+//! heals the session.
+
+use asl_eval::EvalErrorKind;
+use cosy::AnalysisError;
+use online::{
+    FlushError, OnlineSession, RegionDef, RegionRef, RunKey, SessionConfig, TraceEvent, VersionTag,
+};
+use perfdata::{DateTime, RegionKind};
+
+fn run_started(key: u64, no_pe: u32) -> TraceEvent {
+    TraceEvent::RunStarted {
+        run: RunKey(key),
+        version: VersionTag(1),
+        program: "zero".into(),
+        compiled_at: DateTime::from_secs(0),
+        source: String::new(),
+        start: DateTime::from_secs(key as i64),
+        no_pe,
+        clockspeed: 450,
+    }
+}
+
+fn main_region(key: u64) -> TraceEvent {
+    TraceEvent::RegionEntered {
+        run: RunKey(key),
+        function: "main".into(),
+        region: RegionDef {
+            name: "main".into(),
+            parent: None,
+            kind: RegionKind::Subprogram,
+            first_line: 1,
+            last_line: 10,
+        },
+    }
+}
+
+fn region_exited(key: u64, incl: f64, ovhd: f64) -> TraceEvent {
+    TraceEvent::RegionExited {
+        run: RunKey(key),
+        function: "main".into(),
+        region: RegionRef::new("main", 1),
+        excl: incl,
+        incl,
+        ovhd,
+    }
+}
+
+/// A zero-duration ranking basis with measured overhead: `MeasuredCost`
+/// holds but its severity divides by `Duration(Basis, t) == 0` — a genuine
+/// evaluation error, not a skip.
+#[test]
+fn spec_evaluation_failure_is_a_typed_flush_error() {
+    let session = OnlineSession::new(SessionConfig::default());
+    session
+        .ingest_batch(&[
+            run_started(1, 1),
+            run_started(2, 4),
+            main_region(1),
+            region_exited(1, 0.0, 0.0),
+            region_exited(2, 0.0, 0.1),
+        ])
+        .expect("ingest");
+
+    let err = session.flush().expect_err("division by zero must surface");
+    match &err {
+        FlushError::Analysis(AnalysisError::Property { property, source }) => {
+            assert_eq!(source.kind, EvalErrorKind::DivByZero, "{source}");
+            assert!(
+                !property.is_empty(),
+                "the failing property must be identified"
+            );
+        }
+        other => panic!("expected FlushError::Analysis(Property), got {other:?}"),
+    }
+    // The typed error still renders for humans.
+    assert!(err.to_string().contains("analysis flush failed"));
+
+    // The invalidated delta was re-queued: the *same* typed failure
+    // resurfaces on an immediate retry (nothing invalidated-and-forgotten).
+    let again = session.flush().expect_err("re-queued delta must re-fail");
+    assert!(
+        matches!(
+            again,
+            FlushError::Analysis(AnalysisError::Property { ref source, .. })
+                if source.kind == EvalErrorKind::DivByZero
+        ),
+        "got {again:?}"
+    );
+
+    // Refining the basis durations to nonzero values heals the session
+    // (the severity denominator is `Duration(Basis, t)` of each analyzed
+    // run, so both runs need a real timing).
+    session
+        .ingest_batch(&[region_exited(1, 10.0, 0.0), region_exited(2, 12.0, 0.1)])
+        .expect("refinement");
+    let updated = session.flush().expect("healed flush");
+    assert!(!updated.is_empty());
+    assert!(session.report(RunKey(2)).is_some());
+}
+
+/// The recovery path carries the same typed error: recovering a durable
+/// session whose WAL replays into a failing evaluation reports
+/// `RecoveryError::Analysis(FlushError::Analysis(..))`, not a string.
+#[test]
+fn recovery_flush_failure_is_typed_too() {
+    use online::{DurableConfig, DurableSession, FsyncPolicy, RecoveryError};
+
+    let dir = std::env::temp_dir().join(format!("kojak-flusherr-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let durable = DurableSession::open(
+        &dir,
+        DurableConfig {
+            session: SessionConfig::default(),
+            fsync: FsyncPolicy::Never,
+            snapshot_every_flushes: 0,
+        },
+    )
+    .expect("open");
+    durable
+        .ingest_batch(&[
+            run_started(1, 1),
+            run_started(2, 4),
+            main_region(1),
+            region_exited(1, 0.0, 0.0),
+            region_exited(2, 0.0, 0.1),
+        ])
+        .expect("ingest");
+    drop(durable); // killed before any flush
+
+    match OnlineSession::recover(&dir, SessionConfig::default()) {
+        Err(RecoveryError::Analysis(FlushError::Analysis(AnalysisError::Property {
+            source,
+            ..
+        }))) => assert_eq!(source.kind, EvalErrorKind::DivByZero),
+        other => panic!(
+            "expected typed Analysis recovery error, got {:?}",
+            other.map(|_| ())
+        ),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

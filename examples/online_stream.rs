@@ -4,34 +4,45 @@
 //!
 //! ```sh
 //! cargo run --release --example online_stream
+//! cargo run --release --example online_stream -- --shards 4
 //! cargo run --release --example online_stream -- --kill-resume
+//! cargo run --release --example online_stream -- --kill-resume --shards 4
 //! ```
 //!
-//! The `--kill-resume` mode demonstrates the durable session: half the
-//! stream goes into a `DurableSession` that is then dropped without any
-//! shutdown (a process kill), recovered from its write-ahead log +
-//! snapshot, and fed the remaining half — ending with the same reports an
-//! uninterrupted session would show.
+//! `--shards N` builds the engine as N independent shards — with
+//! durability, one WAL + snapshot pair per shard. The `--kill-resume`
+//! mode demonstrates the durable engine: half the stream goes into a
+//! durable engine that is then dropped without any shutdown (a process
+//! kill), recovered from its write-ahead log(s) + snapshot(s), and fed
+//! the remaining half — ending with the same reports an uninterrupted
+//! session would show.
 
 use kojak::apprentice_sim::{archetypes, simulate_program, MachineModel};
 use kojak::cosy::report::render_text;
+use kojak::engine::{AnalysisEngine, Engine, EngineBuilder};
 use kojak::online::replay::{events_for_run, replay_run_key, replay_store};
-use kojak::online::{
-    DurableConfig, DurableSession, FsyncPolicy, IngestPipeline, OnlineSession, PipelineConfig,
-    SessionConfig,
-};
+use kojak::online::{FsyncPolicy, IngestPipeline, PipelineConfig};
 use kojak::perfdata::{Store, TestRunId};
 use std::sync::Arc;
 
-fn main() {
-    if std::env::args().any(|a| a == "--kill-resume") {
-        kill_resume_demo();
-        return;
-    }
-    streaming_demo();
+fn shards_arg() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--shards")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|n| n.parse().ok())
+        .unwrap_or(1)
 }
 
-fn kill_resume_demo() {
+fn main() {
+    if std::env::args().any(|a| a == "--kill-resume") {
+        kill_resume_demo(shards_arg());
+        return;
+    }
+    streaming_demo(shards_arg());
+}
+
+fn kill_resume_demo(shards: usize) {
     let model = archetypes::particle_mc(42);
     let machine = MachineModel::t3e_900();
     let mut store = Store::new();
@@ -41,60 +52,54 @@ fn kill_resume_demo() {
 
     let dir = std::env::temp_dir().join(format!("kojak-online-stream-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    let config = || DurableConfig {
-        session: SessionConfig::default(),
-        fsync: FsyncPolicy::EveryN(256),
-        snapshot_every_flushes: 4,
+    let engine = || -> Engine {
+        EngineBuilder::new()
+            .durable(&dir)
+            .shards(shards)
+            .fsync(FsyncPolicy::EveryN(256))
+            .snapshot_every_flushes(4)
+            .build()
+            .expect("open durable engine")
     };
 
     // Phase 1: stream half the events durably, then "kill" the process.
-    let session = DurableSession::open(&dir, config()).expect("open durable session");
+    let session = engine();
     for batch in events[..cut].chunks(64) {
         session.ingest_batch(batch).expect("ingest");
         session.flush().expect("flush");
     }
-    let before = session.stats();
     println!(
-        "phase 1: {} events ingested durably ({} on the WAL after the last checkpoint), \
-         then the process dies\n",
-        before.events_applied,
-        session.wal_len(),
+        "phase 1: {} events ingested durably across {} shard(s), then the process dies\n",
+        session.stats().events_applied,
+        shards.max(1),
     );
     drop(session); // no checkpoint, no graceful shutdown: this is the kill
 
     // Phase 2: recover and resume.
-    let session = DurableSession::open(&dir, config()).expect("recover durable session");
-    let r = session.recovery();
-    println!(
-        "phase 2: recovered {} snapshot events + {} WAL-tail events -> {} live reports{}",
-        r.snapshot_events,
-        r.wal_events_replayed,
-        r.runs_recovered,
-        match &r.wal_corruption {
-            Some(c) => format!("  (skipped torn tail: {c})"),
-            None => String::new(),
-        }
-    );
+    let session = engine();
+    for r in session.recovery().expect("durable engines report recovery") {
+        println!(
+            "phase 2: recovered {} snapshot events + {} WAL-tail events{}",
+            r.snapshot_events,
+            r.wal_events_replayed,
+            match &r.wal_corruption {
+                Some(c) => format!("  (skipped torn tail: {c})"),
+                None => String::new(),
+            }
+        );
+    }
     for batch in events[cut..].chunks(64) {
         session.ingest_batch(batch).expect("ingest");
         session.flush().expect("flush");
     }
     let stats = session.stats();
-    let mut finished = session.session().finished_run_keys();
-    finished.sort();
     println!(
-        "resumed to {} applied events ({} replayed at recovery); finished runs: {}\n",
-        stats.events_applied,
-        stats.events_replayed,
-        finished
-            .iter()
-            .map(|k| k.to_string())
-            .collect::<Vec<_>>()
-            .join(", "),
+        "resumed to {} applied events ({} replayed at recovery); {} runs finished\n",
+        stats.events_applied, stats.events_replayed, stats.runs_finished,
     );
 
-    // The resumed session ends exactly where an uninterrupted one would.
-    let uninterrupted = OnlineSession::new(SessionConfig::default());
+    // The resumed engine ends exactly where an uninterrupted one would.
+    let uninterrupted = EngineBuilder::new().build_online();
     uninterrupted.ingest_batch(&events).expect("ingest");
     uninterrupted.flush().expect("flush");
     let run64 = TestRunId(store.runs.len() as u32 - 1);
@@ -110,7 +115,7 @@ fn kill_resume_demo() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
-fn streaming_demo() {
+fn streaming_demo(shards: usize) {
     // A simulated PE sweep stands in for live producers: its runs are
     // decomposed into the event streams the instrumented runs would emit.
     let model = archetypes::particle_mc(42);
@@ -118,46 +123,78 @@ fn streaming_demo() {
     let mut store = Store::new();
     simulate_program(&mut store, &model, &machine, &[1, 4, 16, 64]);
 
-    let session = Arc::new(OnlineSession::new(SessionConfig::default()));
-    let pipeline = Arc::new(IngestPipeline::new(
-        Arc::clone(&session),
-        PipelineConfig {
-            shards: 4,
-            batch_size: 32,
-            queue_capacity: 256,
-        },
-    ));
+    // One producer thread per run, all streaming concurrently. With the
+    // default single shard, the in-process pipeline (thread sharding,
+    // per-run batching, bounded queues) demonstrates the producer side;
+    // with `--shards N`, the engine's own ingest_batch fans out over N
+    // independent shards behind the same AnalysisEngine surface.
+    if shards <= 1 {
+        let session = Arc::new(EngineBuilder::new().build_online());
+        let pipeline = Arc::new(IngestPipeline::new(
+            Arc::clone(&session),
+            PipelineConfig {
+                shards: 4,
+                batch_size: 32,
+                queue_capacity: 256,
+            },
+        ));
+        std::thread::scope(|scope| {
+            for r in 0..store.runs.len() as u32 {
+                let events = events_for_run(&store, TestRunId(r));
+                let pipeline = Arc::clone(&pipeline);
+                scope.spawn(move || {
+                    for event in events {
+                        pipeline.submit(event).expect("submit");
+                    }
+                });
+            }
+        });
+        let pipeline = Arc::into_inner(pipeline).expect("all producers done");
+        let stats = pipeline.close().expect("close");
+        println!(
+            "pipeline: {} events in {} batches across 4 worker shards",
+            stats.events, stats.batches
+        );
+        report_outcome(session.as_ref() as &dyn AnalysisEngine, &store);
+    } else {
+        let engine = Arc::new(
+            EngineBuilder::new()
+                .shards(shards)
+                .build()
+                .expect("in-memory sharded engine"),
+        );
+        std::thread::scope(|scope| {
+            for r in 0..store.runs.len() as u32 {
+                let events = events_for_run(&store, TestRunId(r));
+                let engine = Arc::clone(&engine);
+                scope.spawn(move || {
+                    for batch in events.chunks(32) {
+                        engine.ingest_batch(batch).expect("ingest");
+                    }
+                });
+            }
+        });
+        engine.flush().expect("flush");
+        println!("sharded engine: {} shard(s)", shards);
+        report_outcome(engine.as_ref(), &store);
+    }
+}
 
-    // One producer thread per run, all streaming concurrently.
-    std::thread::scope(|scope| {
-        for r in 0..store.runs.len() as u32 {
-            let events = events_for_run(&store, TestRunId(r));
-            let pipeline = Arc::clone(&pipeline);
-            scope.spawn(move || {
-                for event in events {
-                    pipeline.submit(event).expect("submit");
-                }
-            });
-        }
-    });
-
-    let pipeline = Arc::into_inner(pipeline).expect("all producers done");
-    let stats = pipeline.close().expect("close");
-    let session_stats = session.stats();
+fn report_outcome(engine: &dyn AnalysisEngine, store: &Store) {
+    let stats = engine.stats();
     println!(
-        "ingested {} events in {} batches  ({} applied, {} rejected)",
-        stats.events, stats.batches, session_stats.events_applied, session_stats.events_rejected,
-    );
-    println!(
-        "incremental engine: {} flushes, {} run re-evaluations, {} property instances\n",
-        session_stats.incremental.flushes,
-        session_stats.incremental.runs_reevaluated,
-        session_stats.incremental.instances_evaluated,
+        "ingested {} events ({} rejected); incremental engine: {} flushes, {} run \
+         re-evaluations, {} property instances\n",
+        stats.events_applied,
+        stats.events_rejected,
+        stats.incremental.flushes,
+        stats.incremental.runs_reevaluated,
+        stats.incremental.instances_evaluated,
     );
 
     // The live report of the largest configuration.
     let run64 = TestRunId(store.runs.len() as u32 - 1);
-    let report = session
+    let report = engine
         .report(replay_run_key(run64))
         .expect("live report for the 64-PE run");
     println!("{}", render_text(&report));

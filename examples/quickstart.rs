@@ -1,12 +1,14 @@
-//! Quickstart: simulate a parallel application, run the COSY analyzer, and
-//! print the ranked performance properties.
+//! Quickstart: simulate a parallel application, stream it through the
+//! engine API, and print the ranked performance properties.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
 use kojak::apprentice_sim::{archetypes, simulate_program, MachineModel};
-use kojak::cosy::{report, Analyzer, Backend, ProblemThreshold};
+use kojak::cosy::report;
+use kojak::engine::{AnalysisEngine, EngineBuilder};
+use kojak::online::replay::{replay_run_key, replay_store};
 use kojak::perfdata::Store;
 
 fn main() {
@@ -26,13 +28,20 @@ fn main() {
         store.object_count()
     );
 
-    // 3. COSY: evaluate the ASL property suite for the 64-PE run, rank by
-    //    severity, report problems and the bottleneck.
-    let run64 = *store.versions[version.index()].runs.last().unwrap();
-    let analyzer = Analyzer::new(&store, version).expect("analyzer");
-    let analysis = analyzer
-        .analyze(run64, Backend::Interpreter, ProblemThreshold::default())
-        .expect("analysis");
+    // 3. One engine API for every analysis shape. `.batch()` is the
+    //    paper's one-shot COSY workflow; drop it for the incremental
+    //    online engine, add `.durable(dir)`/`.shards(n)` to scale out —
+    //    the code below stays the same.
+    let engine = EngineBuilder::new().batch().build().expect("engine");
+    engine
+        .ingest_batch(&replay_store(&store))
+        .expect("ingest the simulated trace stream");
+    engine.flush().expect("analysis");
 
+    // 4. The ranked report of the 64-PE run: problems and the bottleneck.
+    let run64 = *store.versions[version.index()].runs.last().unwrap();
+    let analysis = engine
+        .report(replay_run_key(run64))
+        .expect("report for the 64-PE run");
     println!("{}", report::render_text(&analysis));
 }

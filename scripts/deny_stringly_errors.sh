@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# Deny-new-`Result<_, String>` gate for the typed engine error hierarchy.
+#
+# The PR-4 API redesign replaced every stringly-typed failure on the
+# public `cosy`/`online` surface with SpecError/AnalysisError/IngestError/
+# FlushError/RecoveryError (unified as engine::EngineError). This check
+# keeps them out: any `Result<…, String>` anywhere in those two crates'
+# sources — public or private, signatures or locals — fails CI. The
+# deliberately stringly `#[deprecated]` compat shims live in
+# `crates/engine/src/compat.rs`, outside the scanned surface, and are
+# deleted next PR (see ROADMAP.md).
+set -eu
+cd "$(dirname "$0")/.."
+
+# Match any `, String>` tail rather than `Result<[^>]*, String>`: the
+# latter cannot see through a generic Ok type (`Result<Vec<RunKey>,
+# String>` — the exact shape this PR removed). The broader net also
+# catches stringly map/tuple error payloads, which we don't want either.
+matches=$(grep -rn --include='*.rs' ',[[:space:]]*String[[:space:]]*>' \
+    crates/cosy/src crates/online/src || true)
+if [ -n "$matches" ]; then
+    echo "stringly-typed Result<_, String> found in crates/{cosy,online} — use the typed"
+    echo "error hierarchy (cosy::SpecError/AnalysisError, online::FlushError, …):"
+    echo "$matches"
+    exit 1
+fi
+echo "ok: no Result<_, String> in crates/{cosy,online}"

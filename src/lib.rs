@@ -12,12 +12,24 @@
 //! * [`asl_sql`] — ASL→SQL compiler
 //! * [`cosy`] — the KOJAK Cost Analyzer
 //! * [`online`] — streaming trace ingestion + incremental analysis
+//! * [`engine`] — **the documented way in**: the [`engine::AnalysisEngine`]
+//!   trait over batch/online/durable/sharded engines, the
+//!   [`engine::EngineBuilder`] construction path, and the typed
+//!   [`engine::EngineError`] hierarchy
+//!
+//! ```
+//! use kojak::engine::{AnalysisEngine, EngineBuilder};
+//!
+//! let session = EngineBuilder::new().build_online();
+//! assert!(session.reports().is_empty());
+//! ```
 
 pub use apprentice_sim;
 pub use asl_core;
 pub use asl_eval;
 pub use asl_sql;
 pub use cosy;
+pub use engine;
 pub use online;
 pub use perfdata;
 pub use reldb;
