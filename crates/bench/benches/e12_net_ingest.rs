@@ -1,0 +1,87 @@
+//! E12 — wall-clock cost of the wire protocol: message encode/decode of
+//! the whole stream (no I/O), and loopback TCP ingestion vs in-process.
+//! The sweep with claim checks lives in the harness experiment (`--e12`);
+//! these benches track the raw per-operation costs across PRs.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use engine::{AnalysisEngine, EngineBuilder};
+use kojak_bench::experiments::e11_sharding::multi_version_stream;
+use net::{proto, EngineServer, ProducerConfig, ServerConfig, TraceProducer};
+use std::sync::Arc;
+
+fn bench_net(c: &mut Criterion) {
+    let (_store, events) = multi_version_stream();
+
+    let mut g = c.benchmark_group("e12_net");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(events.len() as u64));
+
+    // Frame + message codec over the whole stream, no sockets.
+    g.bench_function("message_encode_decode", |b| {
+        b.iter(|| {
+            let mut decoded = 0usize;
+            for batch in events.chunks(256) {
+                let mut payload = Vec::new();
+                proto::encode_message(
+                    &mut payload,
+                    &net::Message::EventBatch {
+                        first_seq: 1,
+                        events: batch.to_vec(),
+                    },
+                );
+                match proto::decode_message(&payload).expect("decode") {
+                    net::Message::EventBatch { events, .. } => decoded += events.len(),
+                    _ => unreachable!(),
+                }
+            }
+            assert_eq!(decoded, events.len());
+            decoded
+        })
+    });
+
+    // In-process baseline.
+    g.bench_function("ingest_in_process", |b| {
+        b.iter(|| {
+            let engine = EngineBuilder::new().shards(4).build().expect("engine");
+            for batch in events.chunks(256) {
+                engine.ingest_batch(batch).expect("ingest");
+            }
+            engine.stats().events_applied
+        })
+    });
+
+    // One producer over loopback TCP into the same engine shape.
+    g.bench_function("ingest_loopback_tcp", |b| {
+        b.iter(|| {
+            let engine = Arc::new(EngineBuilder::new().shards(4).build().expect("engine"));
+            let server = EngineServer::bind(
+                "127.0.0.1:0",
+                Arc::clone(&engine) as Arc<dyn AnalysisEngine>,
+                ServerConfig::default(),
+            )
+            .expect("bind");
+            let mut producer = TraceProducer::connect(
+                server.local_addr().to_string(),
+                ProducerConfig {
+                    producer_id: 1,
+                    batch_events: 256,
+                    ..ProducerConfig::default()
+                },
+            )
+            .expect("connect");
+            for event in &events {
+                producer.send(event).expect("send");
+            }
+            producer.close().expect("close");
+            let applied = engine.stats().events_applied;
+            server.shutdown();
+            assert_eq!(applied, events.len() as u64);
+            applied
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_net);
+criterion_main!(benches);

@@ -1,9 +1,9 @@
 //! The experiment harness: regenerates every table/figure/claim of the
-//! paper (E1–E11, see DESIGN.md §4) and prints paper-style tables. E9,
-//! E10 and E11 also emit machine-readable JSON (`BENCH_e9.json`,
-//! `BENCH_e10.json`, `BENCH_e11.json`; best-of-N ns + speedup ratios) so
-//! the evaluation-core, durability and sharding perf trajectories are
-//! tracked across PRs.
+//! paper (E1–E12, see DESIGN.md §4) and prints paper-style tables. E9
+//! through E12 also emit machine-readable JSON (`BENCH_e9.json` …
+//! `BENCH_e12.json`; best-of-N ns + speedup ratios) so the
+//! evaluation-core, durability, sharding and wire-protocol perf
+//! trajectories are tracked across PRs.
 //!
 //! ```sh
 //! cargo run --release -p kojak-bench --bin harness            # all
@@ -131,6 +131,22 @@ fn main() {
         println!(
             "claim: reports identical at every shard count; multi-shard throughput >= 1x \
              single-shard on multicore hosts\n"
+        );
+    }
+
+    if want("--e12") {
+        println!("== E12: wire protocol — loopback TCP ingest vs in-process ===================\n");
+        let result = e12_net::run();
+        println!("{}", e12_net::render(&result));
+        report_claim(&mut failures, "E12", e12_net::check_claims(&result));
+        let json = e12_net::to_json(&result);
+        match std::fs::write("BENCH_e12.json", &json) {
+            Ok(()) => println!("wrote BENCH_e12.json"),
+            Err(e) => println!("could not write BENCH_e12.json: {e}"),
+        }
+        println!(
+            "claim: reports identical over the wire; loopback throughput within a reported \
+             factor of in-process ingest\n"
         );
     }
 

@@ -111,8 +111,8 @@ pub fn multi_version_stream() -> (Store, Vec<TraceEvent>) {
 }
 
 /// Id-free report projection (shard-local stores allocate their own arena
-/// ids).
-fn canonical(reports: &HashMap<RunKey, AnalysisReport>) -> Vec<String> {
+/// ids). Shared with E12, which compares across producer interleavings.
+pub(crate) fn canonical(reports: &HashMap<RunKey, AnalysisReport>) -> Vec<String> {
     let mut out: Vec<String> = reports
         .iter()
         .map(|(key, r)| {

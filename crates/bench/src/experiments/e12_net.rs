@@ -1,0 +1,272 @@
+//! E12 — wire protocol: loopback TCP ingest throughput vs in-process.
+//!
+//! The ROADMAP's wire-protocol item, measured end to end: the E11
+//! multi-version event stream is ingested into the same in-memory
+//! sharded engine (4 shards) four ways — directly in-process, and over
+//! loopback TCP from 1, 2 and 4 concurrent [`net::TraceProducer`]s
+//! feeding one [`net::EngineServer`] (length-prefixed crc32-checksummed
+//! frames, batch acks with backpressure, per-producer sequence
+//! tracking).
+//!
+//! Claims checked:
+//! * the final reports are canonically identical on every path (the
+//!   protocol never changes an analysis result);
+//! * loopback throughput stays within a sane factor of in-process ingest
+//!   (frames, checksums and acks are overhead, not collapse), and is
+//!   *reported* so the trajectory is tracked across PRs.
+
+use super::e11_sharding::{canonical, multi_version_stream};
+use crate::table::Table;
+use engine::{AnalysisEngine, EngineBuilder};
+use net::{EngineServer, ProducerConfig, ServerConfig, TraceProducer};
+use online::TraceEvent;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Producer counts swept over loopback.
+pub const PRODUCER_COUNTS: [usize; 3] = [1, 2, 4];
+/// Shards of the engine under test (constant across rows — E12 measures
+/// the wire, E11 measured the shards).
+const SHARDS: usize = 4;
+/// Events per producer batch frame (the pipeline's default unit).
+const BATCH: usize = 256;
+/// Timing iterations (best-of).
+const ITERS: usize = 3;
+
+/// One row of the sweep.
+#[derive(Debug, Clone)]
+pub struct E12Row {
+    /// Producer connections ("0" encodes the in-process baseline).
+    pub producers: usize,
+    /// Best ns/event for ingest + final flush.
+    pub ns_per_event: u64,
+    /// Derived events/second.
+    pub events_per_sec: u64,
+    /// Throughput relative to the in-process baseline (1.0 = parity).
+    pub factor_of_in_process: f64,
+}
+
+/// Measured outcome of the wire-protocol experiment.
+#[derive(Debug, Clone)]
+pub struct E12Result {
+    /// Events in the stream.
+    pub events: u64,
+    /// Program versions in the stream.
+    pub versions: usize,
+    /// Host parallelism the measurement ran under.
+    pub cores: usize,
+    /// The in-process baseline plus one row per producer count.
+    pub rows: Vec<E12Row>,
+    /// Best loopback throughput as a factor of in-process.
+    pub best_factor: f64,
+    /// Are the reports canonically identical on every path?
+    pub reports_identical: bool,
+}
+
+fn engine() -> Arc<engine::Engine> {
+    Arc::new(
+        EngineBuilder::new()
+            .shards(SHARDS)
+            .build()
+            .expect("in-memory sharded engine"),
+    )
+}
+
+/// In-process baseline: direct `ingest_batch` into the engine.
+fn ingest_in_process(events: &[TraceEvent]) -> (u64, Vec<String>) {
+    let engine = engine();
+    let t = Instant::now();
+    for batch in events.chunks(BATCH) {
+        engine.ingest_batch(batch).expect("ingest");
+    }
+    engine.flush().expect("flush");
+    let elapsed = t.elapsed().as_nanos() as u64;
+    (elapsed, canonical(&engine.reports()))
+}
+
+/// Loopback: `producers` concurrent connections, runs partitioned round-
+/// robin (complete runs per producer, as real monitors would stream).
+fn ingest_loopback(events: &[TraceEvent], producers: usize) -> (u64, Vec<String>) {
+    let engine = engine();
+    let server = EngineServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&engine) as Arc<dyn AnalysisEngine>,
+        ServerConfig::default(),
+    )
+    .expect("bind");
+    let addr = server.local_addr().to_string();
+
+    let mut parts: Vec<Vec<TraceEvent>> = vec![Vec::new(); producers];
+    for event in events {
+        parts[(event.run_key().0 as usize) % producers].push(event.clone());
+    }
+
+    let t = Instant::now();
+    std::thread::scope(|scope| {
+        for (i, part) in parts.iter().enumerate() {
+            let addr = addr.clone();
+            scope.spawn(move || {
+                let mut producer = TraceProducer::connect(
+                    &addr,
+                    ProducerConfig {
+                        producer_id: i as u64 + 1,
+                        batch_events: BATCH,
+                        ..ProducerConfig::default()
+                    },
+                )
+                .expect("connect");
+                for event in part {
+                    producer.send(event).expect("send");
+                }
+                producer.close().expect("close");
+            });
+        }
+    });
+    engine.flush().expect("flush");
+    let elapsed = t.elapsed().as_nanos() as u64;
+    let reports = canonical(&engine.reports());
+    server.shutdown();
+    (elapsed, reports)
+}
+
+/// Run the experiment.
+pub fn run() -> E12Result {
+    let (store, events) = multi_version_stream();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut rows = Vec::new();
+    let mut baseline_reports: Option<Vec<String>> = None;
+    let mut reports_identical = true;
+    let mut in_process_ns = 0u64;
+
+    let mut record = |producers: usize, best: u64, reports: Vec<String>| {
+        match &baseline_reports {
+            None => baseline_reports = Some(reports),
+            Some(base) => reports_identical &= &reports == base,
+        }
+        let ns_per_event = best / events.len() as u64;
+        if producers == 0 {
+            in_process_ns = ns_per_event;
+        }
+        rows.push(E12Row {
+            producers,
+            ns_per_event,
+            events_per_sec: 1_000_000_000 / ns_per_event.max(1),
+            factor_of_in_process: in_process_ns as f64 / ns_per_event.max(1) as f64,
+        });
+    };
+
+    let mut best = u64::MAX;
+    let mut reports = Vec::new();
+    for _ in 0..ITERS {
+        let (elapsed, r) = ingest_in_process(&events);
+        best = best.min(elapsed);
+        reports = r;
+    }
+    record(0, best, reports);
+
+    for &producers in &PRODUCER_COUNTS {
+        let mut best = u64::MAX;
+        let mut reports = Vec::new();
+        for _ in 0..ITERS {
+            let (elapsed, r) = ingest_loopback(&events, producers);
+            best = best.min(elapsed);
+            reports = r;
+        }
+        record(producers, best, reports);
+    }
+
+    let best_factor = rows
+        .iter()
+        .filter(|r| r.producers > 0)
+        .map(|r| r.factor_of_in_process)
+        .fold(0.0, f64::max);
+
+    E12Result {
+        events: events.len() as u64,
+        versions: store.versions.len(),
+        cores,
+        rows,
+        best_factor,
+        reports_identical,
+    }
+}
+
+/// Render the E12 table.
+pub fn render(r: &E12Result) -> String {
+    let mut table = Table::new(&["path", "ns/event", "events/s", "factor of in-process"]);
+    for row in &r.rows {
+        table.row(vec![
+            if row.producers == 0 {
+                "in-process".to_string()
+            } else {
+                format!("loopback x{}", row.producers)
+            },
+            row.ns_per_event.to_string(),
+            row.events_per_sec.to_string(),
+            format!("{:.2}x", row.factor_of_in_process),
+        ]);
+    }
+    format!(
+        "{}\n{} events over {} program versions into a {SHARDS}-shard engine, {} host \
+         core(s); reports identical on every path: {}\n",
+        table.render(),
+        r.events,
+        r.versions,
+        r.cores,
+        if r.reports_identical { "yes" } else { "NO" }
+    )
+}
+
+/// Machine-readable JSON for `BENCH_e12.json`.
+pub fn to_json(r: &E12Result) -> String {
+    let rows: Vec<String> = r
+        .rows
+        .iter()
+        .map(|row| {
+            format!(
+                "{{ \"producers\": {}, \"ns_per_event\": {}, \"events_per_sec\": {}, \
+                 \"factor_of_in_process\": {:.4} }}",
+                row.producers, row.ns_per_event, row.events_per_sec, row.factor_of_in_process
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"experiment\": \"e12_net\",\n  \
+         \"events\": {},\n  \
+         \"versions\": {},\n  \
+         \"cores\": {},\n  \
+         \"shards\": {SHARDS},\n  \
+         \"sweep\": [ {} ],\n  \
+         \"best_loopback_factor\": {:.4},\n  \
+         \"reports_identical\": {},\n  \
+         \"regenerate\": \"cargo run --release -p kojak-bench --bin harness -- --e12\"\n}}\n",
+        r.events,
+        r.versions,
+        r.cores,
+        rows.join(", "),
+        r.best_factor,
+        r.reports_identical
+    )
+}
+
+/// The PR-level claims: the wire protocol never changes an analysis
+/// result, and loopback ingest stays within a sane factor of in-process
+/// (the exact factor is *reported* in BENCH_e12.json; the floor here only
+/// catches collapse — a protocol stall, an accidental per-event ack
+/// round-trip — not honest framing overhead).
+pub fn check_claims(r: &E12Result) -> Result<(), String> {
+    if !r.reports_identical {
+        return Err("reports differ between in-process and loopback ingestion".into());
+    }
+    const FLOOR: f64 = 0.05;
+    if r.best_factor < FLOOR {
+        return Err(format!(
+            "best loopback throughput is only {:.3}x of in-process (floor {FLOOR}x)",
+            r.best_factor
+        ));
+    }
+    Ok(())
+}

@@ -16,8 +16,8 @@
 //! [`EngineBuilder`] is the one construction path (spec → backend →
 //! durability → sharding), and [`EngineError`] the one failure hierarchy
 //! ([`cosy::SpecError`] / [`online::IngestError`] / [`online::FlushError`]
-//! / [`online::RecoveryError`]) — no `Result<_, String>` anywhere on the
-//! public surface.
+//! / [`online::RecoveryError`]) — no stringly-typed result anywhere on
+//! the public surface (CI-enforced by `scripts/deny_stringly_errors.sh`).
 //!
 //! ```
 //! use engine::{AnalysisEngine, EngineBuilder};
@@ -46,7 +46,6 @@
 
 pub mod batch;
 pub mod builder;
-pub mod compat;
 pub mod error;
 pub mod sharded;
 

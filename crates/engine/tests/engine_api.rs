@@ -1,6 +1,6 @@
 //! The unified engine surface: every engine the builder can produce
-//! answers the same trait identically for the same stream, errors are
-//! typed end to end, and the deprecated shims still work for one PR.
+//! answers the same trait identically for the same stream, and errors
+//! are typed end to end.
 
 use apprentice_sim::{archetypes, simulate_program, MachineModel};
 use engine::{AnalysisEngine, Engine, EngineBuilder, EngineError, RecoverableState};
@@ -157,24 +157,4 @@ fn rejections_are_typed_uniformly() {
         }
         assert_eq!(engine.stats().events_rejected, 1);
     }
-}
-
-/// The deprecated constructors still work (one PR of grace; see the
-/// API-stability note in ROADMAP.md).
-#[test]
-#[allow(deprecated)]
-fn deprecated_shims_still_function() {
-    let (store, run) = sim();
-    let session = engine::compat::online_session(Default::default());
-    session.ingest_batch(&replay_store(&store)).unwrap();
-    session.flush().unwrap();
-    let version = store.runs[run.index()].version;
-    let old_style =
-        engine::compat::analyze_run(&store, version, run, Default::default(), Default::default())
-            .expect("stringly batch analysis");
-    assert_eq!(
-        Some(&old_style),
-        session.report(replay_run_key(run)).as_ref(),
-        "the shim and the new path agree"
-    );
 }

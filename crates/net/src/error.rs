@@ -1,0 +1,148 @@
+//! The typed failure hierarchy of the network layer.
+
+use online::WireError;
+use std::fmt;
+use std::io;
+
+/// Any failure of the framed TCP protocol — connecting, handshaking,
+/// framing, or decoding. Everything a socket can feed us is attacker-ish
+/// bytes, so every malformed input maps to a variant here; nothing panics.
+#[derive(Debug)]
+pub enum NetError {
+    /// An underlying socket operation failed.
+    Io(io::Error),
+    /// A frame payload (or the handshake) did not decode.
+    Wire(WireError),
+    /// A frame's payload does not match its CRC-32 checksum.
+    Checksum {
+        /// Checksum the frame header declared.
+        expected: u32,
+        /// Checksum of the bytes actually received.
+        actual: u32,
+    },
+    /// A frame header declared a length beyond the configured cap — the
+    /// frame is refused *before* any allocation, so a corrupt or hostile
+    /// length prefix cannot balloon memory.
+    FrameTooLarge {
+        /// Declared payload length.
+        len: u32,
+        /// Configured maximum.
+        max: u32,
+    },
+    /// The peer did not open with the protocol magic — not a kojak
+    /// endpoint (or a desynchronized stream).
+    BadMagic([u8; 4]),
+    /// The peer speaks a protocol version this build does not.
+    UnsupportedProtocol(u8),
+    /// The server evaluates a different property suite than the producer
+    /// was built against; analysis results would not mean what the
+    /// producer thinks, so the connection is refused at handshake.
+    SpecMismatch {
+        /// The producer's spec hash.
+        client: u64,
+        /// The server's spec hash.
+        server: u64,
+    },
+    /// The server refused the handshake with a status code this build
+    /// does not recognize.
+    Refused(u8),
+    /// The peer sent a message kind that is invalid in the current
+    /// protocol state (e.g. an ack flowing producer→server).
+    UnexpectedMessage {
+        /// What the state machine could accept.
+        expected: &'static str,
+        /// What arrived.
+        got: &'static str,
+    },
+    /// The engine behind the server refused a whole batch (e.g. a WAL
+    /// append failure on a durable engine): nothing from the failing
+    /// event on was applied, so the batch was **not** acknowledged and
+    /// the connection is dropped — the producer's reconnect resends it.
+    Engine(engine::EngineError),
+    /// The connection (or server) is closed.
+    Closed,
+    /// Reconnecting gave up after the configured number of attempts.
+    ReconnectFailed {
+        /// Attempts made.
+        attempts: u32,
+        /// The failure of the final attempt.
+        last: Box<NetError>,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "socket error: {e}"),
+            NetError::Wire(e) => write!(f, "frame payload malformed: {e}"),
+            NetError::Checksum { expected, actual } => {
+                write!(
+                    f,
+                    "frame checksum mismatch: declared {expected:#010x}, computed {actual:#010x}"
+                )
+            }
+            NetError::FrameTooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte cap")
+            }
+            NetError::BadMagic(m) => write!(
+                f,
+                "peer is not speaking the kojak protocol (opened with {m:02x?})"
+            ),
+            NetError::UnsupportedProtocol(v) => write!(f, "unsupported protocol version {v}"),
+            NetError::SpecMismatch { client, server } => write!(
+                f,
+                "property-suite mismatch: producer spec {client:#018x}, server spec {server:#018x}"
+            ),
+            NetError::Refused(code) => {
+                write!(f, "server refused the handshake with unknown status {code}")
+            }
+            NetError::UnexpectedMessage { expected, got } => {
+                write!(f, "unexpected {got} message (expected {expected})")
+            }
+            NetError::Engine(e) => write!(f, "engine refused the batch un-applied: {e}"),
+            NetError::Closed => write!(f, "connection is closed"),
+            NetError::ReconnectFailed { attempts, last } => {
+                write!(
+                    f,
+                    "gave up reconnecting after {attempts} attempt(s): {last}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            NetError::Wire(e) => Some(e),
+            NetError::Engine(e) => Some(e),
+            NetError::ReconnectFailed { last, .. } => Some(last.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> Self {
+        NetError::Wire(e)
+    }
+}
+
+impl NetError {
+    /// True for failures a reconnect could plausibly heal (socket-level
+    /// trouble), false for protocol-level refusals that would recur on
+    /// every attempt (spec mismatch, version skew, malformed peer).
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            NetError::Io(_) | NetError::Closed | NetError::Checksum { .. }
+        )
+    }
+}

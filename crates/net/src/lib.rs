@@ -1,0 +1,48 @@
+//! # `kojak-net` — the framed TCP wire protocol
+//!
+//! The paper's premise is that COSY/ASL-specified analysis runs against
+//! trace data produced by **real monitors**: instrumented processes on
+//! other machines, not in-process fixtures. This crate is that seam — a
+//! length-prefixed, CRC-32-checksummed, versioned frame protocol over
+//! TCP carrying [`online::TraceEvent`]s, promoting the codec the
+//! write-ahead log already trusts ([`online::wire`]) from a durability
+//! detail to a network protocol.
+//!
+//! ```text
+//!  TraceProducer ──TCP──▶ ┐
+//!  TraceProducer ──TCP──▶ ├─ EngineServer ──▶ any AnalysisEngine
+//!  TraceProducer ──TCP──▶ ┘   (seq dedup,      (batch / online /
+//!    (windowed,                ack+headroom)    durable / sharded)
+//!     reconnecting)
+//! ```
+//!
+//! * [`EngineServer`] accepts N producer connections and routes decoded
+//!   events into any [`engine::AnalysisEngine`] — one binary fronts every
+//!   deployment shape [`engine::EngineBuilder`] can produce, including
+//!   the shard-per-WAL [`engine::ShardedSession`].
+//! * [`TraceProducer`] is the client: batched sends, a bounded in-flight
+//!   window throttled by the server's ack headroom (backpressure instead
+//!   of unbounded buffering), and reconnect-with-resume — the handshake
+//!   returns the last acknowledged sequence number, so a producer restart
+//!   never duplicates or drops an event (the server additionally
+//!   deduplicates by sequence number under the producer's lock).
+//! * The handshake exchanges a **spec hash** ([`proto::spec_hash`]): a
+//!   producer built against a different property suite is refused with a
+//!   typed [`NetError::SpecMismatch`] instead of silently feeding a
+//!   server that would analyze its events differently.
+//!
+//! Frame layout, handshake bytes, and message formats are documented in
+//! [`proto`]; every failure mode is a typed [`NetError`].
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod error;
+pub mod proto;
+pub mod server;
+
+pub use client::{NetStats, ProducerConfig, TraceProducer};
+pub use error::NetError;
+pub use proto::{spec_hash, standard_spec_hash, Ack, Message, PROTO_VERSION};
+pub use server::{EngineServer, ServerConfig, ServerStats};

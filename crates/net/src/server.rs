@@ -1,0 +1,458 @@
+//! The server side: accept N producer connections, route decoded events
+//! into any [`AnalysisEngine`].
+//!
+//! One [`EngineServer`] fronts one engine — batch, online, durable, or
+//! sharded, anything [`engine::EngineBuilder`] can produce — so the whole
+//! deployment matrix of PR 4 is reachable from remote producers through
+//! one binary. Each accepted connection is handled by its own thread;
+//! per-producer state (the last acknowledged sequence number) lives in a
+//! registry shared across connections, which is what makes
+//! reconnect-and-resume exact: a batch arriving twice (the producer never
+//! saw the ack) is deduplicated by sequence number *under the producer's
+//! lock*, so not even a race between a dying connection and its
+//! replacement can apply an event twice.
+
+use crate::error::NetError;
+use crate::proto::{self, Ack, HelloAck, Message};
+use engine::{AnalysisEngine, EngineError};
+use online::IngestError;
+use std::collections::HashMap;
+use std::io::Read;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Hash of the suite this server's engine evaluates (see
+    /// [`proto::spec_hash`]); producers with a different hash are refused
+    /// at handshake. Defaults to the standard suite.
+    pub spec_hash: u64,
+    /// Maximum events a producer should keep in flight; advertised at
+    /// handshake and re-advertised (minus current queue depth) as the
+    /// headroom of every ack.
+    pub window: u32,
+    /// Flush the engine once this many events have been applied since
+    /// the last flush (0: flush only on goodbye/disconnect). The gap
+    /// between applied and flushed events is the "queue" the ack headroom
+    /// reports.
+    pub flush_every_events: u64,
+    /// Cap on a frame's payload length.
+    pub max_frame_len: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            spec_hash: proto::standard_spec_hash(),
+            window: 4096,
+            flush_every_events: 2048,
+            max_frame_len: proto::DEFAULT_MAX_FRAME_LEN,
+        }
+    }
+}
+
+/// Net-layer counters of a server (engine-level counters — applied,
+/// rejected, flushes — live in the engine's own
+/// [`online::SessionStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted (handshake completed successfully).
+    pub connections_accepted: u64,
+    /// Handshakes refused (bad magic, version skew, spec mismatch).
+    pub handshakes_refused: u64,
+    /// Event batches received.
+    pub batches_received: u64,
+    /// Events received over all batches.
+    pub events_received: u64,
+    /// Events dropped as duplicates of an already-acknowledged sequence
+    /// number (producer resend after a lost ack).
+    pub events_deduplicated: u64,
+    /// Connections dropped for malformed frames/messages.
+    pub protocol_errors: u64,
+    /// Connections dropped because the engine refused a whole batch
+    /// (e.g. a WAL append failure on a durable engine) — the batch was
+    /// **not** acknowledged, so the producer's reconnect resends it.
+    pub ingest_failures: u64,
+    /// Producers that ended their stream with a goodbye.
+    pub goodbyes: u64,
+}
+
+/// Per-producer resume state, shared by every connection that producer
+/// (re)opens.
+#[derive(Debug, Default)]
+struct ProducerSlot {
+    /// Highest sequence number applied and acknowledged.
+    last_acked: u64,
+}
+
+struct ServerInner {
+    engine: Arc<dyn AnalysisEngine>,
+    config: ServerConfig,
+    producers: Mutex<HashMap<u64, Arc<Mutex<ProducerSlot>>>>,
+    /// Events applied since the engine was last flushed — the "queue"
+    /// behind the ack headroom.
+    pending_events: AtomicU64,
+    /// Serializes engine flushes (concurrent handlers skip rather than
+    /// stack up behind one).
+    flush_gate: Mutex<()>,
+    stats: Mutex<ServerStats>,
+    shutdown: AtomicBool,
+    /// Live accepted sockets keyed by connection id, so shutdown (and
+    /// [`EngineServer::sever_connections`]) can unblock their readers.
+    /// Each handler removes its own entry on exit — a long-running
+    /// server does not leak one fd per reconnect.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn_id: AtomicU64,
+}
+
+impl ServerInner {
+    fn slot(&self, producer_id: u64) -> Arc<Mutex<ProducerSlot>> {
+        let mut producers = self.producers.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(producers.entry(producer_id).or_default())
+    }
+
+    fn stats(&self) -> std::sync::MutexGuard<'_, ServerStats> {
+        self.stats.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn headroom(&self) -> u32 {
+        let pending = self.pending_events.load(Ordering::Relaxed);
+        self.config
+            .window
+            .saturating_sub(pending.min(u32::MAX as u64) as u32)
+    }
+
+    /// Flush the engine if the applied-but-unflushed queue crossed the
+    /// configured threshold (or unconditionally, at stream end).
+    fn maybe_flush(&self, force: bool) {
+        let threshold = self.config.flush_every_events;
+        let due =
+            force || (threshold > 0 && self.pending_events.load(Ordering::Relaxed) >= threshold);
+        if !due {
+            return;
+        }
+        let gate = if force {
+            Some(self.flush_gate.lock().unwrap_or_else(|e| e.into_inner()))
+        } else {
+            self.flush_gate.try_lock().ok()
+        };
+        if gate.is_some() {
+            // A failed flush re-queues its delta inside the engine and
+            // resurfaces typed on the next flush; the server keeps
+            // serving (and the headroom stays shrunk, throttling
+            // producers while the engine is wedged). Subtract the
+            // snapshot taken *before* the flush rather than zeroing:
+            // events a concurrent handler applies mid-flush must keep
+            // their claim on the next threshold flush.
+            let covered = self.pending_events.load(Ordering::Relaxed);
+            if self.engine.flush().is_ok() {
+                self.pending_events.fetch_sub(covered, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// A TCP front-end feeding one [`AnalysisEngine`].
+pub struct EngineServer {
+    inner: Arc<ServerInner>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<Vec<JoinHandle<()>>>>,
+}
+
+impl EngineServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
+    /// accepting producer connections into `engine`.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        engine: Arc<dyn AnalysisEngine>,
+        config: ServerConfig,
+    ) -> Result<EngineServer, NetError> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let inner = Arc::new(ServerInner {
+            engine,
+            config,
+            producers: Mutex::new(HashMap::new()),
+            pending_events: AtomicU64::new(0),
+            flush_gate: Mutex::new(()),
+            stats: Mutex::new(ServerStats::default()),
+            shutdown: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+            next_conn_id: AtomicU64::new(0),
+        });
+        let accept_inner = Arc::clone(&inner);
+        let accept = std::thread::spawn(move || accept_loop(listener, accept_inner));
+        Ok(EngineServer {
+            inner,
+            addr,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (with the concrete port for `:0` binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The engine this server feeds.
+    pub fn engine(&self) -> &Arc<dyn AnalysisEngine> {
+        &self.inner.engine
+    }
+
+    /// Net-layer counters.
+    pub fn stats(&self) -> ServerStats {
+        *self.inner.stats()
+    }
+
+    /// The last sequence number acknowledged to `producer_id` (0 for an
+    /// unknown producer).
+    pub fn last_acked(&self, producer_id: u64) -> u64 {
+        self.inner
+            .producers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&producer_id)
+            .map(|slot| slot.lock().unwrap_or_else(|e| e.into_inner()).last_acked)
+            .unwrap_or(0)
+    }
+
+    /// Forcibly shut down every accepted producer connection (a fault
+    /// lever for tests and operators). Producers observe a socket error
+    /// and go through reconnect-with-resume; nothing is lost. Returns
+    /// how many sockets were severed.
+    pub fn sever_connections(&self) -> usize {
+        let mut conns = self.inner.conns.lock().unwrap_or_else(|e| e.into_inner());
+        for conn in conns.values() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        let severed = conns.len();
+        conns.clear();
+        severed
+    }
+
+    /// Stop accepting, unblock and join every connection handler, flush
+    /// the engine one final time.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        let Some(accept) = self.accept.take() else {
+            return;
+        };
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection, and every
+        // handler blocked in a read with a socket shutdown.
+        let _ = TcpStream::connect(self.addr);
+        for conn in self
+            .inner
+            .conns
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+        {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        if let Ok(handlers) = accept.join() {
+            for h in handlers {
+                let _ = h.join();
+            }
+        }
+        self.inner.maybe_flush(true);
+    }
+}
+
+impl Drop for EngineServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn accept_loop(listener: TcpListener, inner: Arc<ServerInner>) -> Vec<JoinHandle<()>> {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        // Bound growth across reconnect churn: handlers whose
+        // connection ended are detached (their conn-map entry is gone
+        // already — each handler removes its own on exit).
+        handlers.retain(|h| !h.is_finished());
+        let Ok(stream) = stream else { continue };
+        let _ = stream.set_nodelay(true);
+        let conn_id = inner.next_conn_id.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            inner
+                .conns
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .insert(conn_id, clone);
+        }
+        let conn_inner = Arc::clone(&inner);
+        handlers.push(std::thread::spawn(move || {
+            let _ = handle_connection(stream, &conn_inner);
+            conn_inner
+                .conns
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .remove(&conn_id);
+        }));
+    }
+    handlers
+}
+
+/// True when an ingest error means the batch (from the failing event on)
+/// did not reach the engine at all — retrying it later could succeed, so
+/// it must not be acknowledged. Per-event rejections, by contrast, are
+/// final: the engine counted and skipped them, the rest of the batch
+/// applied, and a resend would only reject again.
+fn ingest_failed_wholesale(e: &EngineError) -> bool {
+    !matches!(
+        e,
+        EngineError::Ingest(
+            IngestError::UnknownRun(_)
+                | IngestError::DuplicateRun(_)
+                | IngestError::UnknownFunction { .. }
+                | IngestError::UnknownRegion { .. }
+                | IngestError::UnknownParent { .. }
+        )
+    )
+}
+
+/// Handshake, then the frame loop, for one producer connection. Any
+/// [`NetError`] terminates the connection (counted in
+/// [`ServerStats::protocol_errors`] when the peer misbehaved).
+fn handle_connection(mut stream: TcpStream, inner: &ServerInner) -> Result<(), NetError> {
+    // --- handshake ------------------------------------------------------
+    let mut hello_bytes = [0u8; proto::HELLO_LEN];
+    if stream.read_exact(&mut hello_bytes).is_err() {
+        // The shutdown poke (or a port scanner) — not a protocol error.
+        return Err(NetError::Closed);
+    }
+    let (version, hello) = match proto::decode_hello(&hello_bytes) {
+        Ok(decoded) => decoded,
+        Err(e) => {
+            inner.stats().handshakes_refused += 1;
+            return Err(e);
+        }
+    };
+    let refusal = if version != proto::PROTO_VERSION {
+        Some(proto::status::UNSUPPORTED_PROTOCOL)
+    } else if hello.spec_hash != inner.config.spec_hash {
+        Some(proto::status::SPEC_MISMATCH)
+    } else {
+        None
+    };
+    let slot = inner.slot(hello.producer_id);
+    let last_acked = slot.lock().unwrap_or_else(|e| e.into_inner()).last_acked;
+    let reply = HelloAck {
+        status: refusal.unwrap_or(proto::status::ACCEPTED),
+        spec_hash: inner.config.spec_hash,
+        last_acked,
+        window: inner.config.window,
+    };
+    // Count before replying: the peer acts on the reply the instant it
+    // lands, and may query server counters right after.
+    {
+        let mut stats = inner.stats();
+        match refusal {
+            Some(_) => stats.handshakes_refused += 1,
+            None => stats.connections_accepted += 1,
+        }
+    }
+    std::io::Write::write_all(&mut stream, &proto::encode_hello_ack(&reply))?;
+    if let Some(code) = refusal {
+        return Err(NetError::Refused(code));
+    }
+
+    // --- frame loop -----------------------------------------------------
+    loop {
+        let message = match proto::read_message(&mut stream, inner.config.max_frame_len) {
+            Ok(m) => m,
+            Err(NetError::Io(_)) | Err(NetError::Closed) => {
+                // Producer died (or was killed): flush what it sent so
+                // live reports reflect everything acknowledged.
+                inner.maybe_flush(true);
+                return Ok(());
+            }
+            Err(e) => {
+                inner.stats().protocol_errors += 1;
+                return Err(e);
+            }
+        };
+        match message {
+            Message::EventBatch { first_seq, events } => {
+                let count = events.len() as u64;
+                {
+                    let mut stats = inner.stats();
+                    stats.batches_received += 1;
+                    stats.events_received += count;
+                }
+                // Dedup + apply + ack bookkeeping under the producer's
+                // lock: a resend racing the original connection cannot
+                // apply twice.
+                let mut slot = slot.lock().unwrap_or_else(|e| e.into_inner());
+                let last_seq = first_seq.saturating_add(count).saturating_sub(1);
+                let fresh_from = slot.last_acked.saturating_add(1).max(first_seq);
+                let skip = (fresh_from - first_seq) as usize;
+                if skip > 0 {
+                    let dup = skip.min(events.len()) as u64;
+                    inner.stats().events_deduplicated += dup;
+                }
+                let fresh = &events[skip.min(events.len())..];
+                if !fresh.is_empty() {
+                    // Per-event rejections (unknown run/region, duplicate
+                    // RunStarted) are isolated inside the engine: counted,
+                    // the rest of the batch applies, and resending would
+                    // only reject again — so the sequence still advances.
+                    // A *batch-level* failure (a WAL append error on a
+                    // durable engine applied nothing) must NOT be
+                    // acknowledged: drop the connection instead, so the
+                    // producer's reconnect resends the batch once the
+                    // engine recovers. (For a sharded engine one shard may
+                    // have applied its sub-batch; the resend converges —
+                    // timing refinements are overwrite-idempotent and
+                    // duplicate RunStarted events are rejected-and-counted,
+                    // never applied twice.)
+                    if let Err(e) = inner.engine.ingest_batch(fresh) {
+                        if ingest_failed_wholesale(&e) {
+                            inner.stats().ingest_failures += 1;
+                            return Err(NetError::Engine(e));
+                        }
+                    }
+                    inner
+                        .pending_events
+                        .fetch_add(fresh.len() as u64, Ordering::Relaxed);
+                }
+                slot.last_acked = slot.last_acked.max(last_seq);
+                let ack = Message::Ack(Ack {
+                    high_water: slot.last_acked,
+                    headroom: inner.headroom(),
+                });
+                drop(slot);
+                inner.maybe_flush(false);
+                proto::write_message(&mut stream, &ack)?;
+            }
+            Message::Goodbye => {
+                inner.stats().goodbyes += 1;
+                inner.maybe_flush(true);
+                // Socket-level shutdown (the accept loop holds a clone of
+                // this fd, so a plain drop would not signal EOF): the
+                // producer's graceful close waits for this as its barrier
+                // that the goodbye — flush included — was processed.
+                let _ = stream.shutdown(Shutdown::Both);
+                return Ok(());
+            }
+            Message::Ack(_) => {
+                inner.stats().protocol_errors += 1;
+                return Err(NetError::UnexpectedMessage {
+                    expected: "event-batch or goodbye",
+                    got: "ack",
+                });
+            }
+        }
+    }
+}

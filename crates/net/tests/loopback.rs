@@ -1,0 +1,456 @@
+//! Loopback equivalence: a producer process streaming events over TCP
+//! into an [`EngineServer`] must leave the engine with reports
+//! **bit-identical** to in-process ingestion of the same stream — through
+//! handshake refusals, a mid-stream producer kill, and
+//! reconnect-with-resume.
+
+use apprentice_sim::{archetypes, simulate_program, MachineModel, ProgramGenerator};
+use engine::{AnalysisEngine, EngineBuilder};
+use net::{EngineServer, NetError, ProducerConfig, ServerConfig, TraceProducer};
+use online::replay::replay_store;
+use online::TraceEvent;
+use perfdata::Store;
+use std::sync::Arc;
+
+fn sim_events(seed: u64) -> Vec<TraceEvent> {
+    let gen = ProgramGenerator {
+        seed,
+        functions: 2,
+        max_depth: 3,
+        max_fanout: 3,
+        base_work: 0.01,
+        comm_probability: 0.6,
+    };
+    let mut store = Store::new();
+    simulate_program(
+        &mut store,
+        &gen.generate(),
+        &MachineModel::t3e_900(),
+        &[1, 4, 16],
+    );
+    replay_store(&store)
+}
+
+/// In-process control: the same engine shape fed directly.
+fn control_reports(
+    events: &[TraceEvent],
+) -> std::collections::HashMap<online::RunKey, cosy::AnalysisReport> {
+    let control = EngineBuilder::new()
+        .shards(3)
+        .build()
+        .expect("control engine");
+    control.ingest_batch(events).expect("control ingest");
+    control.flush().expect("control flush");
+    control.reports()
+}
+
+fn sharded_server(window: u32) -> EngineServer {
+    let engine = Arc::new(
+        EngineBuilder::new()
+            .shards(3)
+            .build()
+            .expect("sharded engine"),
+    );
+    EngineServer::bind(
+        "127.0.0.1:0",
+        engine,
+        ServerConfig {
+            window,
+            flush_every_events: 512,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind server")
+}
+
+/// The acceptance-criteria test: stream over TCP into a `ShardedSession`
+/// server; the resulting reports are bit-identical to in-process
+/// ingestion of the same stream.
+#[test]
+fn tcp_stream_into_sharded_server_matches_in_process() {
+    let events = sim_events(11);
+    let server = sharded_server(4096);
+    let addr = server.local_addr().to_string();
+
+    let mut producer = TraceProducer::connect(
+        &addr,
+        ProducerConfig {
+            producer_id: 1,
+            batch_events: 64,
+            ..ProducerConfig::default()
+        },
+    )
+    .expect("connect");
+    for event in &events {
+        producer.send(event).expect("send");
+    }
+    let stats = producer.close().expect("close");
+    assert_eq!(stats.events_sent, events.len() as u64);
+    assert_eq!(stats.events_acked, events.len() as u64);
+    assert_eq!(stats.events_inflight, 0);
+
+    server.engine().flush().expect("final flush");
+    assert_eq!(
+        server.engine().stats().events_applied,
+        events.len() as u64,
+        "every event applied exactly once"
+    );
+    assert_eq!(server.engine().reports(), control_reports(&events));
+
+    let server_stats = server.stats();
+    assert_eq!(server_stats.connections_accepted, 1);
+    assert_eq!(server_stats.events_received, events.len() as u64);
+    assert_eq!(server_stats.events_deduplicated, 0);
+    assert_eq!(server_stats.goodbyes, 1);
+    server.shutdown();
+}
+
+/// Mid-stream producer kill + restart: the restarted producer re-offers
+/// the whole stream, resumes from the server's last-acked sequence
+/// number, and the engine ends with no duplicate and no lost events.
+#[test]
+fn producer_kill_and_resume_loses_and_duplicates_nothing() {
+    let events = sim_events(12);
+    let server = sharded_server(4096);
+    let addr = server.local_addr().to_string();
+    let cut = events.len() / 2;
+
+    // Phase 1: stream half with small batches, then die without goodbye
+    // (drop without close) — in-flight batches may be unacked.
+    let mut first = TraceProducer::connect(
+        &addr,
+        ProducerConfig {
+            producer_id: 7,
+            batch_events: 16,
+            ..ProducerConfig::default()
+        },
+    )
+    .expect("connect");
+    for event in &events[..cut] {
+        first.send(event).expect("send");
+    }
+    let acked_at_kill = first.stats().events_acked;
+    drop(first); // the kill: no flush, no goodbye
+
+    // Phase 2: a restarted producer re-offers the stream from the start.
+    let mut second = TraceProducer::connect(
+        &addr,
+        ProducerConfig {
+            producer_id: 7,
+            batch_events: 16,
+            ..ProducerConfig::default()
+        },
+    )
+    .expect("reconnect");
+    let resume = second.resume_from();
+    assert!(
+        resume >= acked_at_kill,
+        "server remembered at least what the dead producer saw acked \
+         ({resume} >= {acked_at_kill})"
+    );
+    assert!(
+        resume <= cut as u64,
+        "server never acked events that were not sent"
+    );
+    for event in &events {
+        second.send(event).expect("resend");
+    }
+    let stats = second.close().expect("close");
+    assert_eq!(stats.events_skipped_resume, resume);
+    assert_eq!(stats.events_offered, events.len() as u64);
+
+    server.engine().flush().expect("final flush");
+    // No loss, no duplication: the engine applied the stream exactly once
+    // (a duplicated RunStarted would be *rejected*, a duplicated timing
+    // would silently skew events_applied).
+    assert_eq!(server.engine().stats().events_applied, events.len() as u64);
+    assert_eq!(server.engine().stats().events_rejected, 0);
+    assert_eq!(server.engine().reports(), control_reports(&events));
+    server.shutdown();
+}
+
+/// Id-free projection of a report map: producer keys, labels, ranks and
+/// severity bit patterns — everything except the arena ids, which depend
+/// on the order runs reached a shard's store. Used where producers race
+/// (their interleaving is nondeterministic); the single-producer tests
+/// above compare full reports bit-for-bit.
+fn canonical(
+    reports: &std::collections::HashMap<online::RunKey, cosy::AnalysisReport>,
+) -> Vec<String> {
+    let mut out: Vec<String> = reports
+        .iter()
+        .map(|(key, r)| {
+            let entries: Vec<String> = r
+                .entries
+                .iter()
+                .map(|e| {
+                    format!(
+                        "{}:{}@{}={:x}",
+                        e.rank,
+                        e.property,
+                        e.context.label,
+                        e.severity.to_bits()
+                    )
+                })
+                .collect();
+            format!(
+                "{key} {} pe{} cost{:x} [{}]",
+                r.program,
+                r.no_pe,
+                r.total_cost.to_bits(),
+                entries.join(";")
+            )
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// Several concurrent producers, distinct run sets, one server: the
+/// merged reports match in-process ingestion of the union stream.
+#[test]
+fn concurrent_producers_fan_in() {
+    let mut store = Store::new();
+    let machine = MachineModel::t3e_900();
+    simulate_program(&mut store, &archetypes::particle_mc(5), &machine, &[1, 8]);
+    simulate_program(&mut store, &archetypes::stencil3d(6), &machine, &[1, 8]);
+    let events = replay_store(&store);
+    // Partition by run so each producer owns complete runs.
+    let mut parts: Vec<Vec<TraceEvent>> = vec![Vec::new(), Vec::new(), Vec::new()];
+    for event in &events {
+        parts[(event.run_key().0 % 3) as usize].push(event.clone());
+    }
+
+    let server = sharded_server(4096);
+    let addr = server.local_addr().to_string();
+    std::thread::scope(|scope| {
+        for (i, part) in parts.iter().enumerate() {
+            let addr = addr.clone();
+            scope.spawn(move || {
+                let mut producer = TraceProducer::connect(
+                    &addr,
+                    ProducerConfig {
+                        producer_id: 100 + i as u64,
+                        batch_events: 32,
+                        ..ProducerConfig::default()
+                    },
+                )
+                .expect("connect");
+                for event in part {
+                    producer.send(event).expect("send");
+                }
+                producer.close().expect("close");
+            });
+        }
+    });
+    server.engine().flush().expect("final flush");
+    assert_eq!(server.engine().stats().events_applied, events.len() as u64);
+    assert_eq!(
+        canonical(&server.engine().reports()),
+        canonical(&control_reports(&events)),
+        "fan-in reports equal the union stream's (id-free: producer \
+         interleaving is nondeterministic)"
+    );
+    assert_eq!(server.stats().connections_accepted, 3);
+    server.shutdown();
+}
+
+/// A producer built against a different property suite is refused at
+/// handshake with the typed mismatch — both hashes reported.
+#[test]
+fn spec_mismatch_is_refused_at_handshake() {
+    let server = sharded_server(4096);
+    let addr = server.local_addr().to_string();
+    let result = TraceProducer::connect(
+        &addr,
+        ProducerConfig {
+            producer_id: 9,
+            spec_hash: 0x0bad_5bec,
+            ..ProducerConfig::default()
+        },
+    );
+    match result {
+        Err(NetError::SpecMismatch { client, server: s }) => {
+            assert_eq!(client, 0x0bad_5bec);
+            assert_eq!(s, net::standard_spec_hash());
+        }
+        Err(other) => panic!("expected SpecMismatch, got {other:?}"),
+        Ok(_) => panic!("expected SpecMismatch, got an accepted connection"),
+    }
+    assert_eq!(server.stats().handshakes_refused, 1);
+    assert_eq!(server.stats().connections_accepted, 0);
+    server.shutdown();
+}
+
+/// NaN / −0.0 / infinity payloads cross the socket bit-exactly: the
+/// frame codec moves `f64`s as IEEE-754 bit patterns, never through
+/// value semantics (where NaN != NaN and −0.0 == 0.0 would corrupt a
+/// re-encoded checksum).
+#[test]
+fn nan_payloads_cross_the_socket_bit_exactly() {
+    use engine::{EngineError, RecoverableState};
+    use online::SessionStats;
+    use std::sync::Mutex;
+
+    /// Records every ingested event verbatim.
+    struct CapturingEngine(Mutex<Vec<TraceEvent>>);
+
+    impl AnalysisEngine for CapturingEngine {
+        fn ingest_batch(&self, events: &[TraceEvent]) -> Result<usize, EngineError> {
+            self.0.lock().unwrap().extend_from_slice(events);
+            Ok(events.len())
+        }
+        fn flush(&self) -> Result<Vec<online::RunKey>, EngineError> {
+            Ok(Vec::new())
+        }
+        fn report(&self, _run: online::RunKey) -> Option<cosy::AnalysisReport> {
+            None
+        }
+        fn reports(&self) -> std::collections::HashMap<online::RunKey, cosy::AnalysisReport> {
+            std::collections::HashMap::new()
+        }
+        fn stats(&self) -> SessionStats {
+            SessionStats::default()
+        }
+        fn recoverable_state(&self) -> RecoverableState {
+            RecoverableState::Ephemeral
+        }
+        fn checkpoint(&self) -> Result<(), EngineError> {
+            Ok(())
+        }
+    }
+
+    let specials = [
+        f64::NAN.to_bits(),
+        0x7ff0_0000_0000_2026u64, // NaN with payload bits
+        (-0.0f64).to_bits(),
+        f64::INFINITY.to_bits(),
+        f64::NEG_INFINITY.to_bits(),
+        0x0000_0000_0000_0001u64, // smallest subnormal
+    ];
+    let events: Vec<TraceEvent> = specials
+        .iter()
+        .enumerate()
+        .map(|(i, &bits)| TraceEvent::RegionExited {
+            run: online::RunKey(i as u64),
+            function: "main".into(),
+            region: online::RegionRef::new("main", 1),
+            excl: f64::from_bits(bits),
+            incl: f64::from_bits(bits ^ (1 << 63)),
+            ovhd: 0.5,
+        })
+        .collect();
+
+    let capture = Arc::new(CapturingEngine(Mutex::new(Vec::new())));
+    let server = EngineServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&capture) as Arc<dyn AnalysisEngine>,
+        ServerConfig::default(),
+    )
+    .expect("bind");
+    let mut producer = TraceProducer::connect(
+        server.local_addr().to_string(),
+        ProducerConfig {
+            producer_id: 5,
+            batch_events: 2,
+            ..ProducerConfig::default()
+        },
+    )
+    .expect("connect");
+    for event in &events {
+        producer.send(event).expect("send");
+    }
+    producer.close().expect("close");
+
+    let received = capture.0.lock().unwrap();
+    assert_eq!(received.len(), events.len());
+    for (got, sent) in received.iter().zip(&events) {
+        let (
+            TraceEvent::RegionExited {
+                excl: a, incl: b, ..
+            },
+            TraceEvent::RegionExited {
+                excl: x, incl: y, ..
+            },
+        ) = (got, sent)
+        else {
+            panic!("variant changed on the wire");
+        };
+        assert_eq!(a.to_bits(), x.to_bits(), "excl bit pattern preserved");
+        assert_eq!(b.to_bits(), y.to_bits(), "incl bit pattern preserved");
+    }
+    drop(received);
+    server.shutdown();
+}
+
+/// The server also fronts a *durable* engine: events streamed over TCP
+/// survive a server-process kill via the engine's WAL.
+#[test]
+fn tcp_into_durable_engine_survives_engine_kill() {
+    let events = sim_events(13);
+    let dir = std::env::temp_dir().join(format!("kojak-net-durable-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cut = events.len() / 2;
+
+    {
+        let engine = Arc::new(
+            EngineBuilder::new()
+                .durable(&dir)
+                .build()
+                .expect("durable engine"),
+        );
+        let server =
+            EngineServer::bind("127.0.0.1:0", engine, ServerConfig::default()).expect("bind");
+        let mut producer = TraceProducer::connect(
+            server.local_addr().to_string(),
+            ProducerConfig {
+                producer_id: 3,
+                batch_events: 32,
+                ..ProducerConfig::default()
+            },
+        )
+        .expect("connect");
+        for event in &events[..cut] {
+            producer.send(event).expect("send");
+        }
+        producer.flush().expect("flush");
+        drop(producer);
+        server.shutdown();
+        // Engine dropped without checkpoint: the WAL is the survivor.
+    }
+
+    let engine = Arc::new(
+        EngineBuilder::new()
+            .durable(&dir)
+            .build()
+            .expect("recovered engine"),
+    );
+    let server = EngineServer::bind("127.0.0.1:0", engine, ServerConfig::default()).expect("bind");
+    let mut producer = TraceProducer::connect(
+        server.local_addr().to_string(),
+        ProducerConfig {
+            producer_id: 3,
+            batch_events: 32,
+            ..ProducerConfig::default()
+        },
+    )
+    .expect("connect");
+    // The *server* restarted, so its ack registry is fresh — but the
+    // recovered engine holds the applied prefix. Resending it is safe:
+    // WAL-recovered state plus idempotent refinements converge, and
+    // RunStarted duplicates are rejected-and-counted, not applied twice.
+    // The clean path for a producer is to resume from its own position;
+    // here we deliberately resend only the un-applied tail.
+    for event in &events[cut..] {
+        producer.send(event).expect("send");
+    }
+    producer.close().expect("close");
+    server.engine().flush().expect("final flush");
+
+    let control = EngineBuilder::new().build_online();
+    control.ingest_batch(&events).expect("control ingest");
+    control.flush().expect("control flush");
+    assert_eq!(server.engine().reports(), control.reports());
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -82,7 +82,16 @@ pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
 }
 
 /// Append a length-prefixed UTF-8 string.
+///
+/// The prefix is a `u32`: a string of 4 GiB or more cannot be framed (the
+/// truncated prefix would desynchronize every later field), so it is
+/// rejected loudly here instead of producing a corrupt encoding.
 pub fn put_str(buf: &mut Vec<u8>, s: &str) {
+    assert!(
+        u32::try_from(s.len()).is_ok(),
+        "string of {} bytes exceeds the u32 length prefix",
+        s.len()
+    );
     put_u32(buf, s.len() as u32);
     buf.extend_from_slice(s.as_bytes());
 }
@@ -170,6 +179,14 @@ impl<'a> Reader<'a> {
     /// Read an `f64` bit pattern.
     pub fn get_f64(&mut self, what: &'static str) -> Result<f64, WireError> {
         Ok(f64::from_bits(self.get_u64(what)?))
+    }
+
+    /// Read `n` raw bytes (a nested length-prefixed payload, e.g. one
+    /// wire-encoded event inside a network frame). Bounds-checked like
+    /// every other read: a declared length exceeding the remaining buffer
+    /// is a typed [`WireError::UnexpectedEof`], never an over-read.
+    pub fn get_bytes(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
+        self.take(n, what)
     }
 
     /// Read a length-prefixed UTF-8 string.

@@ -1,0 +1,206 @@
+//! The `online_stream` demo split into real producer/server processes:
+//! instrumented runs stream [`TraceEvent`]s over TCP into an
+//! [`EngineServer`] fronting any engine shape `EngineBuilder` can make.
+//!
+//! ```sh
+//! # One terminal: the analysis server (any engine shape).
+//! cargo run --release --example net_stream -- --serve 127.0.0.1:7457
+//! cargo run --release --example net_stream -- --serve 127.0.0.1:7457 --shards 4
+//! cargo run --release --example net_stream -- --serve 127.0.0.1:7457 --durable /tmp/kojak-net
+//!
+//! # Other terminals: one producer per monitored program.
+//! cargo run --release --example net_stream -- --produce 127.0.0.1:7457 --producer-id 1
+//! cargo run --release --example net_stream -- --produce 127.0.0.1:7457 --producer-id 2 --seed 9
+//!
+//! # Or everything at once over real loopback sockets:
+//! cargo run --release --example net_stream
+//! ```
+//!
+//! A producer killed mid-stream (ctrl-C) can simply be re-run with the
+//! same `--producer-id`: the handshake returns the server's last
+//! acknowledged sequence number and the already-applied prefix of the
+//! re-offered stream is skipped — no duplicates, no losses.
+
+use kojak::apprentice_sim::{archetypes, simulate_program, MachineModel};
+use kojak::cosy::report::render_text;
+use kojak::engine::EngineBuilder;
+use kojak::net::{EngineServer, ProducerConfig, ServerConfig, TraceProducer};
+use kojak::online::replay::{events_for_run, replay_run_key};
+use kojak::perfdata::{Store, TestRunId};
+use std::sync::Arc;
+
+fn arg_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn shards_arg() -> usize {
+    arg_value("--shards")
+        .and_then(|n| n.parse().ok())
+        .unwrap_or(1)
+}
+
+fn main() {
+    if let Some(addr) = arg_value("--serve") {
+        serve(&addr, shards_arg(), arg_value("--durable"));
+    } else if let Some(addr) = arg_value("--produce") {
+        let id = arg_value("--producer-id")
+            .and_then(|n| n.parse().ok())
+            .unwrap_or(1);
+        let seed = arg_value("--seed")
+            .and_then(|n| n.parse().ok())
+            .unwrap_or(42);
+        produce(&addr, id, seed);
+    } else {
+        demo(shards_arg());
+    }
+}
+
+/// The server process: one engine, N remote producers, live reports on
+/// demand (Enter prints the current report of every finished run).
+fn serve(addr: &str, shards: usize, durable: Option<String>) {
+    let mut builder = EngineBuilder::new().shards(shards);
+    if let Some(dir) = &durable {
+        builder = builder.durable(dir);
+    }
+    let engine = Arc::new(builder.build().expect("build engine"));
+    let server = EngineServer::bind(addr, engine, ServerConfig::default()).expect("bind");
+    println!(
+        "serving {} engine on {} (spec {:#018x}) — Enter for a report, ctrl-C to stop",
+        match (shards > 1, durable.is_some()) {
+            (true, true) => "sharded durable",
+            (true, false) => "sharded in-memory",
+            (false, true) => "durable",
+            (false, false) => "in-memory",
+        },
+        server.local_addr(),
+        kojak::net::standard_spec_hash(),
+    );
+    let mut line = String::new();
+    while std::io::stdin().read_line(&mut line).is_ok() {
+        server.engine().flush().expect("flush");
+        let stats = server.engine().stats();
+        let net = server.stats();
+        println!(
+            "{} events applied ({} rejected) from {} connection(s), {} batch(es), \
+             {} deduplicated; {} runs finished",
+            stats.events_applied,
+            stats.events_rejected,
+            net.connections_accepted,
+            net.batches_received,
+            net.events_deduplicated,
+            stats.runs_finished,
+        );
+        for (key, report) in server.engine().reports() {
+            println!("--- {key}\n{}", render_text(&report));
+        }
+        line.clear();
+    }
+}
+
+/// A producer process: simulate one program's PE sweep and stream every
+/// run's events to the server.
+fn produce(addr: &str, producer_id: u64, seed: u64) {
+    let mut store = Store::new();
+    simulate_program(
+        &mut store,
+        &archetypes::particle_mc(seed),
+        &MachineModel::t3e_900(),
+        &[1, 4, 16, 64],
+    );
+    let mut producer = TraceProducer::connect(
+        addr,
+        ProducerConfig {
+            // Distinct run keys per producer id so independent producers
+            // never collide on the shared server.
+            producer_id,
+            ..ProducerConfig::default()
+        },
+    )
+    .expect("connect (is the server running?)");
+    if producer.resume_from() > 0 {
+        println!(
+            "server already acknowledged {} events — resuming after them",
+            producer.resume_from()
+        );
+    }
+    for r in 0..store.runs.len() as u32 {
+        for event in events_for_run(&store, TestRunId(r)) {
+            let key = kojak::online::RunKey(producer_id * 1_000 + event.run_key().0);
+            producer.send(&event.with_run(key)).expect("send");
+        }
+    }
+    let stats = producer.close().expect("close");
+    println!(
+        "streamed {} events ({} skipped as already-acked, {} resent over {} reconnect(s))",
+        stats.events_sent, stats.events_skipped_resume, stats.events_resent, stats.reconnects,
+    );
+}
+
+/// Both roles in one process, over real loopback sockets: a server
+/// fronting the configured engine, two concurrent producers.
+fn demo(shards: usize) {
+    let engine = Arc::new(
+        EngineBuilder::new()
+            .shards(shards)
+            .build()
+            .expect("build engine"),
+    );
+    let server = EngineServer::bind("127.0.0.1:0", engine, ServerConfig::default()).expect("bind");
+    let addr = server.local_addr().to_string();
+    println!("server on {addr} ({shards} shard(s)); starting 2 producers\n");
+
+    let mut store = Store::new();
+    simulate_program(
+        &mut store,
+        &archetypes::particle_mc(42),
+        &MachineModel::t3e_900(),
+        &[1, 4, 16, 64],
+    );
+    let runs: Vec<TestRunId> = (0..store.runs.len() as u32).map(TestRunId).collect();
+    std::thread::scope(|scope| {
+        for (i, part) in runs.chunks(runs.len().div_ceil(2)).enumerate() {
+            let addr = addr.clone();
+            let store = &store;
+            scope.spawn(move || {
+                let mut producer = TraceProducer::connect(
+                    &addr,
+                    ProducerConfig {
+                        producer_id: i as u64 + 1,
+                        ..ProducerConfig::default()
+                    },
+                )
+                .expect("connect");
+                for &run in part {
+                    for event in events_for_run(store, run) {
+                        producer.send(&event).expect("send");
+                    }
+                }
+                let stats = producer.close().expect("close");
+                println!(
+                    "producer {}: {} events sent, {} acked",
+                    i + 1,
+                    stats.events_sent,
+                    stats.events_acked
+                );
+            });
+        }
+    });
+
+    server.engine().flush().expect("flush");
+    let stats = server.engine().stats();
+    println!(
+        "\nserver applied {} events ({} rejected); {} runs finished",
+        stats.events_applied, stats.events_rejected, stats.runs_finished
+    );
+    let run64 = TestRunId(store.runs.len() as u32 - 1);
+    let report = server
+        .engine()
+        .report(replay_run_key(run64))
+        .expect("live report for the 64-PE run");
+    println!("{}", render_text(&report));
+    server.shutdown();
+}

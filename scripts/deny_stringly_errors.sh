@@ -3,25 +3,25 @@
 #
 # The PR-4 API redesign replaced every stringly-typed failure on the
 # public `cosy`/`online` surface with SpecError/AnalysisError/IngestError/
-# FlushError/RecoveryError (unified as engine::EngineError). This check
-# keeps them out: any `Result<…, String>` anywhere in those two crates'
-# sources — public or private, signatures or locals — fails CI. The
-# deliberately stringly `#[deprecated]` compat shims live in
-# `crates/engine/src/compat.rs`, outside the scanned surface, and are
-# deleted next PR (see ROADMAP.md).
+# FlushError/RecoveryError (unified as engine::EngineError), and PR 5
+# deleted the last `#[deprecated]` stringly shims (`engine::compat`) and
+# added the typed `net::NetError` hierarchy. This check keeps stringly
+# failures out: any `Result<…, String>` anywhere in those crates' sources
+# — public or private, signatures or locals — fails CI.
 set -eu
 cd "$(dirname "$0")/.."
 
 # Match any `, String>` tail rather than `Result<[^>]*, String>`: the
 # latter cannot see through a generic Ok type (`Result<Vec<RunKey>,
-# String>` — the exact shape this PR removed). The broader net also
+# String>` — the exact shape PR 4 removed). The broader net also
 # catches stringly map/tuple error payloads, which we don't want either.
 matches=$(grep -rn --include='*.rs' ',[[:space:]]*String[[:space:]]*>' \
-    crates/cosy/src crates/online/src || true)
+    crates/cosy/src crates/online/src crates/engine/src crates/net/src || true)
 if [ -n "$matches" ]; then
-    echo "stringly-typed Result<_, String> found in crates/{cosy,online} — use the typed"
-    echo "error hierarchy (cosy::SpecError/AnalysisError, online::FlushError, …):"
+    echo "stringly-typed Result<_, String> found in crates/{cosy,online,engine,net} — use the"
+    echo "typed error hierarchy (cosy::SpecError/AnalysisError, online::FlushError,"
+    echo "engine::EngineError, net::NetError, …):"
     echo "$matches"
     exit 1
 fi
-echo "ok: no Result<_, String> in crates/{cosy,online}"
+echo "ok: no Result<_, String> in crates/{cosy,online,engine,net}"

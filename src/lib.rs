@@ -16,6 +16,9 @@
 //!   trait over batch/online/durable/sharded engines, the
 //!   [`engine::EngineBuilder`] construction path, and the typed
 //!   [`engine::EngineError`] hierarchy
+//! * [`net`] — the framed TCP wire protocol: [`net::EngineServer`]
+//!   fronting any engine, [`net::TraceProducer`] streaming events from
+//!   remote monitors with backpressure and reconnect-with-resume
 //!
 //! ```
 //! use kojak::engine::{AnalysisEngine, EngineBuilder};
@@ -30,6 +33,7 @@ pub use asl_eval;
 pub use asl_sql;
 pub use cosy;
 pub use engine;
+pub use net;
 pub use online;
 pub use perfdata;
 pub use reldb;
