@@ -1,9 +1,9 @@
 //! The experiment harness: regenerates every table/figure/claim of the
-//! paper (E1–E12, see DESIGN.md §4) and prints paper-style tables. E9
-//! through E12 also emit machine-readable JSON (`BENCH_e9.json` …
-//! `BENCH_e12.json`; best-of-N ns + speedup ratios) so the
-//! evaluation-core, durability, sharding and wire-protocol perf
-//! trajectories are tracked across PRs.
+//! paper (E1–E13, see DESIGN.md §4) and prints paper-style tables. E9
+//! through E13 also emit machine-readable JSON (`BENCH_e9.json` …
+//! `BENCH_e13.json`; best-of-N ns + speedup ratios) so the
+//! evaluation-core, durability, sharding, wire-protocol and
+//! observability perf trajectories are tracked across PRs.
 //!
 //! ```sh
 //! cargo run --release -p kojak-bench --bin harness            # all
@@ -147,6 +147,22 @@ fn main() {
         println!(
             "claim: reports identical over the wire; loopback throughput within a reported \
              factor of in-process ingest\n"
+        );
+    }
+
+    if want("--e13") {
+        println!("== E13: observability — stage latency breakdown + overhead gate =============\n");
+        let result = e13_obs::run();
+        println!("{}", e13_obs::render(&result));
+        report_claim(&mut failures, "E13", e13_obs::check_claims(&result));
+        let json = e13_obs::to_json(&result);
+        match std::fs::write("BENCH_e13.json", &json) {
+            Ok(()) => println!("wrote BENCH_e13.json"),
+            Err(e) => println!("could not write BENCH_e13.json: {e}"),
+        }
+        println!(
+            "claim: every hot stage histogram is live at 1 and 4 shards; always-on \
+             instrumentation costs <= 3% ingest throughput\n"
         );
     }
 

@@ -1,0 +1,273 @@
+//! E13 — observability: stage-latency breakdown + instrumentation cost.
+//!
+//! PR 6's self-instrumentation layer (`kojak-obs`) times every pipeline
+//! stage of the event lifecycle with lock-free histograms. This
+//! experiment (a) reports the per-stage latency breakdown (p50/p99/max)
+//! for the E11 multi-version ingest workload on a durable sharded engine
+//! at 1 and 4 shards — the first measured answer to the ROADMAP's "where
+//! does an ingested event's time go?" question — and (b) gates the cost
+//! of the always-on instrumentation itself: ingest throughput with the
+//! registry live vs. disabled through the runtime kill switch
+//! ([`obs::set_enabled`]) must differ by at most a few percent.
+//!
+//! Claims checked:
+//! * every hot stage histogram (apply, flush, WAL append) is live at
+//!   both shard counts — the breakdown cannot silently go dark;
+//! * instrumentation overhead ≤ 3% (best-of-N, alternating arms).
+
+use crate::experiments::e11_sharding::multi_version_stream;
+use engine::{AnalysisEngine, ShardedConfig, ShardedSession};
+use obs::MetricsSnapshot;
+use online::{DurableConfig, FsyncPolicy, RunKey, SessionConfig, TraceEvent};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Shard counts for the stage breakdown.
+pub const SHARD_COUNTS: [usize; 2] = [1, 4];
+/// Ingestion batch size (matches E11).
+const BATCH: usize = 256;
+/// Timing iterations per overhead arm (best-of).
+const ITERS: usize = 3;
+/// The overhead gate: enabled vs. disabled throughput within this.
+pub const MAX_OVERHEAD_PCT: f64 = 3.0;
+
+/// The stage histograms reported in the breakdown, in lifecycle order.
+const STAGES: [&str; 5] = [
+    "kojak_online_apply_ns",
+    "kojak_online_flush_ns",
+    "kojak_wal_append_ns",
+    "kojak_wal_fsync_ns",
+    "kojak_snapshot_write_ns",
+];
+
+/// One stage of the breakdown at one shard count.
+#[derive(Debug, Clone)]
+pub struct E13Stage {
+    /// Shard count this row was measured at.
+    pub shards: usize,
+    /// Histogram name (`kojak_<layer>_<stage>_ns`).
+    pub stage: &'static str,
+    /// Recorded samples (merged over shards).
+    pub count: u64,
+    /// Median latency, ns (log-bucket upper bound, capped at the max).
+    pub p50_ns: u64,
+    /// 99th-percentile latency, ns.
+    pub p99_ns: u64,
+    /// Largest recorded sample, ns.
+    pub max_ns: u64,
+}
+
+/// Measured outcome of the observability experiment.
+#[derive(Debug, Clone)]
+pub struct E13Result {
+    /// Events in the stream.
+    pub events: u64,
+    /// Host parallelism the measurement ran under.
+    pub cores: usize,
+    /// Per-stage breakdown rows (both shard counts).
+    pub stages: Vec<E13Stage>,
+    /// Best ns/event with the registry live.
+    pub enabled_ns_per_event: u64,
+    /// Best ns/event with recording disabled via the kill switch.
+    pub disabled_ns_per_event: u64,
+    /// Throughput cost of instrumentation, percent (floored at 0 —
+    /// measurement noise can make the enabled arm *faster*).
+    pub overhead_pct: f64,
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("kojak-e13-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The E11 workload replicated `reps` times under remapped run keys
+/// *and* version tags (each replica is a distinct program version —
+/// reusing a version would put several runs at the same PE count into
+/// one version and break the suite's unique-reference-run assumption):
+/// long enough that per-pass fixed costs (engine open, final snapshot)
+/// do not drown the per-event signal the overhead gate measures.
+fn amplified_stream(reps: u64) -> Vec<TraceEvent> {
+    use online::{TraceEvent as E, VersionTag};
+    let (_store, events) = multi_version_stream();
+    let mut out = Vec::with_capacity(events.len() * reps as usize);
+    for rep in 0..reps {
+        for event in &events {
+            let mut event = event
+                .clone()
+                .with_run(RunKey(rep * 1_000_000 + event.run_key().0));
+            if let E::RunStarted { version, .. } = &mut event {
+                *version = VersionTag(rep * 1_000_000 + version.0);
+            }
+            out.push(event);
+        }
+    }
+    out
+}
+
+/// One durable sharded ingest pass; returns (elapsed ns, merged metrics).
+/// The timer covers ingest + flush; the checkpoint that exercises the
+/// snapshot-write stage for the breakdown runs *outside* it (a multi-ms
+/// snapshot write would swamp a per-event overhead measurement).
+fn ingest_once(events: &[TraceEvent], shards: usize, tag: &str) -> (u64, MetricsSnapshot) {
+    let dir = scratch(&format!("s{shards}-{tag}"));
+    let config = ShardedConfig {
+        shards,
+        durable: DurableConfig {
+            session: SessionConfig::default(),
+            fsync: FsyncPolicy::Never,
+            snapshot_every_flushes: 0,
+        },
+    };
+    let (engine, _) = ShardedSession::open(&dir, config).expect("open sharded engine");
+    let t = Instant::now();
+    for batch in events.chunks(BATCH) {
+        engine.ingest_batch(batch).expect("ingest");
+    }
+    engine.flush().expect("flush");
+    let elapsed = t.elapsed().as_nanos() as u64;
+    engine.checkpoint().expect("checkpoint");
+    let metrics = engine.metrics();
+    drop(engine);
+    let _ = std::fs::remove_dir_all(&dir);
+    (elapsed, metrics)
+}
+
+/// Run the experiment.
+pub fn run() -> E13Result {
+    let events = amplified_stream(8);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    // (a) Stage breakdown at each shard count.
+    let mut stages = Vec::new();
+    for &shards in &SHARD_COUNTS {
+        let (_, metrics) = ingest_once(&events, shards, "breakdown");
+        for stage in STAGES {
+            let Some(h) = metrics.histogram(stage) else {
+                continue;
+            };
+            stages.push(E13Stage {
+                shards,
+                stage,
+                count: h.count,
+                p50_ns: h.p50(),
+                p99_ns: h.p99(),
+                max_ns: h.max,
+            });
+        }
+    }
+
+    // (b) Instrumentation overhead: alternate the arms (best-of-N each)
+    // so drift hits both equally. The kill switch mutes every primitive
+    // at runtime — same binary, same engine, only recording differs.
+    let mut best_on = u64::MAX;
+    let mut best_off = u64::MAX;
+    for iter in 0..ITERS {
+        obs::set_enabled(true);
+        best_on = best_on.min(ingest_once(&events, 1, &format!("on{iter}")).0);
+        obs::set_enabled(false);
+        best_off = best_off.min(ingest_once(&events, 1, &format!("off{iter}")).0);
+    }
+    obs::set_enabled(true);
+    let enabled_ns_per_event = best_on / events.len() as u64;
+    let disabled_ns_per_event = best_off / events.len() as u64;
+    let overhead_pct = ((best_on as f64 - best_off as f64) / best_off as f64 * 100.0).max(0.0);
+
+    E13Result {
+        events: events.len() as u64,
+        cores,
+        stages,
+        enabled_ns_per_event,
+        disabled_ns_per_event,
+        overhead_pct,
+    }
+}
+
+/// Render the E13 tables.
+pub fn render(r: &E13Result) -> String {
+    let mut table =
+        crate::table::Table::new(&["shards", "stage", "samples", "p50 ns", "p99 ns", "max ns"]);
+    for s in &r.stages {
+        table.row(vec![
+            s.shards.to_string(),
+            s.stage.to_string(),
+            s.count.to_string(),
+            s.p50_ns.to_string(),
+            s.p99_ns.to_string(),
+            s.max_ns.to_string(),
+        ]);
+    }
+    format!(
+        "{}\n{} events, {} host core(s); ingest {} ns/event instrumented vs {} ns/event \
+         with the kill switch off — overhead {:.2}% (gate: ≤ {:.1}%)\n",
+        table.render(),
+        r.events,
+        r.cores,
+        r.enabled_ns_per_event,
+        r.disabled_ns_per_event,
+        r.overhead_pct,
+        MAX_OVERHEAD_PCT
+    )
+}
+
+/// Machine-readable JSON for `BENCH_e13.json`.
+pub fn to_json(r: &E13Result) -> String {
+    let stages: Vec<String> = r
+        .stages
+        .iter()
+        .map(|s| {
+            format!(
+                "{{ \"shards\": {}, \"stage\": \"{}\", \"count\": {}, \"p50_ns\": {}, \
+                 \"p99_ns\": {}, \"max_ns\": {} }}",
+                s.shards, s.stage, s.count, s.p50_ns, s.p99_ns, s.max_ns
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"experiment\": \"e13_obs\",\n  \
+         \"events\": {},\n  \
+         \"cores\": {},\n  \
+         \"stages\": [\n    {}\n  ],\n  \
+         \"enabled_ns_per_event\": {},\n  \
+         \"disabled_ns_per_event\": {},\n  \
+         \"overhead_pct\": {:.3},\n  \
+         \"max_overhead_pct\": {:.1},\n  \
+         \"regenerate\": \"cargo run --release -p kojak-bench --bin harness -- --e13\"\n}}\n",
+        r.events,
+        r.cores,
+        stages.join(",\n    "),
+        r.enabled_ns_per_event,
+        r.disabled_ns_per_event,
+        r.overhead_pct,
+        MAX_OVERHEAD_PCT
+    )
+}
+
+/// The PR-level claims: the breakdown is live, and always-on
+/// instrumentation costs at most [`MAX_OVERHEAD_PCT`] percent.
+pub fn check_claims(r: &E13Result) -> Result<(), String> {
+    for &shards in &SHARD_COUNTS {
+        for hot in [
+            "kojak_online_apply_ns",
+            "kojak_online_flush_ns",
+            "kojak_wal_append_ns",
+        ] {
+            let live = r
+                .stages
+                .iter()
+                .any(|s| s.shards == shards && s.stage == hot && s.count > 0);
+            if !live {
+                return Err(format!("stage {hot} recorded nothing at {shards} shard(s)"));
+            }
+        }
+    }
+    if r.overhead_pct > MAX_OVERHEAD_PCT {
+        return Err(format!(
+            "instrumentation overhead {:.2}% exceeds the {:.1}% gate",
+            r.overhead_pct, MAX_OVERHEAD_PCT
+        ));
+    }
+    Ok(())
+}

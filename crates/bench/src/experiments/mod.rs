@@ -1,8 +1,9 @@
-//! The experiments E1–E12 (see DESIGN.md §4 for the index).
+//! The experiments E1–E13 (see DESIGN.md §4 for the index).
 
 pub mod e10_durability;
 pub mod e11_sharding;
 pub mod e12_net;
+pub mod e13_obs;
 pub mod e1_parse;
 pub mod e2_insert;
 pub mod e3_fetch;

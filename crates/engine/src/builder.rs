@@ -274,6 +274,10 @@ impl AnalysisEngine for Engine {
         self.as_engine().stats()
     }
 
+    fn metrics(&self) -> obs::MetricsSnapshot {
+        self.as_engine().metrics()
+    }
+
     fn recoverable_state(&self) -> RecoverableState {
         self.as_engine().recoverable_state()
     }

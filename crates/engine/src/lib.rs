@@ -123,6 +123,17 @@ pub trait AnalysisEngine: Send + Sync {
     /// engine).
     fn stats(&self) -> SessionStats;
 
+    /// One composable metric snapshot: the [`stats`](AnalysisEngine::stats)
+    /// counters plus whatever stage histograms the engine records
+    /// (merged over shards for a sharded engine). The default is the
+    /// stats-only view; engines with a live registry override it.
+    /// Process-global metrics (the compiled-eval cache) are excluded —
+    /// aggregators add them exactly once via `online::eval_cache_metrics`.
+    fn metrics(&self) -> obs::MetricsSnapshot {
+        use obs::MetricsSource;
+        self.stats().metrics()
+    }
+
     /// Where this engine's state would come back from after a kill.
     fn recoverable_state(&self) -> RecoverableState;
 
@@ -156,6 +167,10 @@ impl AnalysisEngine for OnlineSession {
         OnlineSession::stats(self)
     }
 
+    fn metrics(&self) -> obs::MetricsSnapshot {
+        OnlineSession::metrics(self)
+    }
+
     fn recoverable_state(&self) -> RecoverableState {
         RecoverableState::Ephemeral
     }
@@ -187,6 +202,10 @@ impl AnalysisEngine for DurableSession {
 
     fn stats(&self) -> SessionStats {
         DurableSession::stats(self)
+    }
+
+    fn metrics(&self) -> obs::MetricsSnapshot {
+        DurableSession::metrics(self)
     }
 
     fn recoverable_state(&self) -> RecoverableState {

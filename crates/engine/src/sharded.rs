@@ -392,6 +392,18 @@ impl<E: AnalysisEngine> AnalysisEngine for ShardedSession<E> {
         total
     }
 
+    /// Merge every shard's snapshot (counters and histogram buckets add,
+    /// associatively — see `obs::MetricsSnapshot::merge`) and record the
+    /// fan-in width as `kojak_engine_shards`.
+    fn metrics(&self) -> obs::MetricsSnapshot {
+        let mut out = obs::MetricsSnapshot::default();
+        for shard in &self.shards {
+            out.merge(&shard.metrics());
+        }
+        out.push_gauge("kojak_engine_shards", self.shards.len() as u64);
+        out
+    }
+
     fn recoverable_state(&self) -> RecoverableState {
         let mut dirs = Vec::new();
         for shard in &self.shards {

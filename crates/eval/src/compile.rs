@@ -44,6 +44,21 @@ use std::sync::Arc;
 /// Maximum user-function call depth (mirrors the interpreter).
 const MAX_CALL_DEPTH: usize = 64;
 
+/// Process-wide hit counter of the per-instance memoization cache
+/// ([`Ir::Cached`] nodes). `const`-constructed — no registration, no
+/// startup cost; the observability layer reads it via [`cache_counters`].
+static CACHE_HITS: obs::Counter = obs::Counter::new();
+/// Process-wide miss counter of the memoization cache.
+static CACHE_MISSES: obs::Counter = obs::Counter::new();
+
+/// Lifetime `(hits, misses)` of the compiled evaluator's memoization
+/// cache, summed over every evaluator in the process (the statics are
+/// process-global: a sharded engine's shards all bump the same pair, so
+/// add these to a merged snapshot exactly once, at the top level).
+pub fn cache_counters() -> (u64, u64) {
+    (CACHE_HITS.get(), CACHE_MISSES.get())
+}
+
 /// Reference to a node in the [`CompiledSpec`] pool.
 type NodeRef = u32;
 
@@ -1276,8 +1291,10 @@ impl<M: ObjectModel> Ctx<'_, M> {
             }
             Ir::Cached { cache, expr } => {
                 if let Some(v) = &caches[*cache as usize] {
+                    CACHE_HITS.inc();
                     return Ok(v.clone());
                 }
+                CACHE_MISSES.inc();
                 let v = self.exec(*expr, frame, caches, depth)?;
                 caches[*cache as usize] = Some(v.clone());
                 Ok(v)

@@ -80,7 +80,7 @@ pub mod interp;
 pub mod ops;
 pub mod value;
 
-pub use compile::{compile, CompiledEvaluator, CompiledSpec};
+pub use compile::{cache_counters, compile, CompiledEvaluator, CompiledSpec};
 pub use cosy_model::{CosyData, COSY_DATA_MODEL};
 pub use error::{EvalError, EvalErrorKind};
 pub use interp::{Interpreter, ObjectModel, PropertyOutcome};

@@ -20,6 +20,7 @@
 
 use crate::error::NetError;
 use crate::proto::{self, Hello, Message};
+use obs::{MetricsSnapshot, MetricsSource};
 use online::TraceEvent;
 use std::collections::VecDeque;
 use std::net::TcpStream;
@@ -49,6 +50,10 @@ pub struct ProducerConfig {
     /// resume path instead of hanging `send`/`flush` forever.
     /// `Duration::ZERO` disables timeouts.
     pub io_timeout: Duration,
+    /// Optional message sets to offer at handshake (see
+    /// [`proto::feature`]); the server masks this down to what it
+    /// supports. Defaults to everything this build speaks.
+    pub features: u8,
 }
 
 impl Default for ProducerConfig {
@@ -61,6 +66,7 @@ impl Default for ProducerConfig {
             reconnect_backoff: Duration::from_millis(25),
             max_frame_len: proto::DEFAULT_MAX_FRAME_LEN,
             io_timeout: Duration::from_secs(30),
+            features: proto::FEATURES_SUPPORTED,
         }
     }
 }
@@ -89,6 +95,38 @@ pub struct NetStats {
     pub events_resent: u64,
     /// The server's most recent advertised headroom.
     pub server_headroom: u32,
+}
+
+impl MetricsSource for NetStats {
+    fn collect_into(&self, out: &mut MetricsSnapshot) {
+        // Exhaustive destructure: adding a NetStats field without
+        // deciding its metric name breaks this build.
+        let NetStats {
+            events_offered,
+            events_skipped_resume,
+            events_sent,
+            events_acked,
+            events_inflight,
+            batches_sent,
+            acks_received,
+            reconnects,
+            events_resent,
+            server_headroom,
+        } = *self;
+        out.push_counter("kojak_net_events_offered_total", events_offered);
+        out.push_counter(
+            "kojak_net_events_skipped_resume_total",
+            events_skipped_resume,
+        );
+        out.push_counter("kojak_net_events_sent_total", events_sent);
+        out.push_counter("kojak_net_events_acked_total", events_acked);
+        out.push_counter("kojak_net_batches_sent_total", batches_sent);
+        out.push_counter("kojak_net_acks_received_total", acks_received);
+        out.push_counter("kojak_net_reconnects_total", reconnects);
+        out.push_counter("kojak_net_events_resent_total", events_resent);
+        out.push_gauge("kojak_net_events_inflight", events_inflight);
+        out.push_gauge("kojak_net_server_headroom", u64::from(server_headroom));
+    }
 }
 
 /// A batch written to the socket and awaiting its ack. Events are
@@ -147,6 +185,8 @@ pub struct TraceProducer {
     window: u32,
     /// Headroom from the latest ack.
     headroom: u32,
+    /// Feature set negotiated at the latest handshake.
+    features: u8,
     /// Entry offsets into `pending_body` — the unsent tail of the
     /// stream, already wire-encoded (see [`SentBatch`]).
     pending_offsets: Vec<usize>,
@@ -170,6 +210,7 @@ impl TraceProducer {
             acked: ack.last_acked,
             window: ack.window,
             headroom: ack.window,
+            features: ack.features,
             pending_offsets: Vec::new(),
             pending_body: Vec::new(),
             unacked: VecDeque::new(),
@@ -192,6 +233,55 @@ impl TraceProducer {
         stats.events_inflight = self.inflight_events() as u64;
         stats.server_headroom = self.headroom;
         stats
+    }
+
+    /// The feature set negotiated at the latest handshake (see
+    /// [`proto::feature`]).
+    pub fn features(&self) -> u8 {
+        self.features
+    }
+
+    /// Poll the server's live metric registry over the connection: the
+    /// engine's merged metrics, the process-global eval-cache counters,
+    /// and the server's own net-layer counters and stage histograms —
+    /// exactly what [`crate::EngineServer::metrics`] returns locally.
+    ///
+    /// Requires [`proto::feature::INTROSPECT`] to have been negotiated
+    /// ([`NetError::FeatureUnavailable`] otherwise). The pending batch is
+    /// shipped first so the poll observes everything offered so far;
+    /// acks arriving ahead of the report are processed normally. Socket
+    /// failures surface directly — a poll is cheap to retry, so it does
+    /// not go through reconnect-with-resume.
+    pub fn introspect(&mut self) -> Result<MetricsSnapshot, NetError> {
+        if self.features & proto::feature::INTROSPECT == 0 {
+            return Err(NetError::FeatureUnavailable("introspect"));
+        }
+        self.ship_pending()?;
+        let Some(stream) = self.stream.as_mut() else {
+            return Err(NetError::Closed);
+        };
+        proto::write_message(stream, &Message::Introspect)?;
+        loop {
+            let Some(stream) = self.stream.as_mut() else {
+                return Err(NetError::Closed);
+            };
+            match proto::read_message(stream, self.config.max_frame_len)? {
+                Message::Ack(ack) => {
+                    self.stats.acks_received += 1;
+                    self.headroom = ack.headroom;
+                    self.retire_acked(ack.high_water);
+                }
+                Message::MetricsReport(bytes) => {
+                    return MetricsSnapshot::decode(&bytes).map_err(NetError::Snapshot)
+                }
+                other => {
+                    return Err(NetError::UnexpectedMessage {
+                        expected: "ack or metrics-report",
+                        got: other.kind(),
+                    })
+                }
+            }
+        }
     }
 
     fn inflight_events(&self) -> usize {
@@ -355,6 +445,7 @@ impl TraceProducer {
                 Ok((mut stream, hello_ack)) => {
                     self.window = hello_ack.window;
                     self.headroom = hello_ack.window;
+                    self.features = hello_ack.features;
                     self.retire_acked(hello_ack.last_acked);
                     match resend_all(&mut stream, &self.unacked) {
                         Ok(resent) => {
@@ -436,6 +527,7 @@ fn handshake(
     stream.write_all(&proto::encode_hello(&Hello {
         producer_id: config.producer_id,
         spec_hash: config.spec_hash,
+        features: config.features,
     }))?;
     let mut reply = [0u8; proto::HELLO_ACK_LEN];
     stream.read_exact(&mut reply)?;

@@ -59,6 +59,13 @@ pub enum NetError {
     /// event on was applied, so the batch was **not** acknowledged and
     /// the connection is dropped — the producer's reconnect resends it.
     Engine(engine::EngineError),
+    /// An optional message set was used without having been negotiated
+    /// at handshake (e.g. an introspect poll against a peer that masked
+    /// the [`crate::proto::feature::INTROSPECT`] bit off).
+    FeatureUnavailable(&'static str),
+    /// A metrics report's payload did not decode as an
+    /// [`obs::MetricsSnapshot`].
+    Snapshot(obs::SnapshotDecodeError),
     /// The connection (or server) is closed.
     Closed,
     /// Reconnecting gave up after the configured number of attempts.
@@ -100,6 +107,10 @@ impl fmt::Display for NetError {
                 write!(f, "unexpected {got} message (expected {expected})")
             }
             NetError::Engine(e) => write!(f, "engine refused the batch un-applied: {e}"),
+            NetError::FeatureUnavailable(what) => {
+                write!(f, "the {what} feature was not negotiated at handshake")
+            }
+            NetError::Snapshot(e) => write!(f, "metrics report malformed: {e}"),
             NetError::Closed => write!(f, "connection is closed"),
             NetError::ReconnectFailed { attempts, last } => {
                 write!(
@@ -117,6 +128,7 @@ impl std::error::Error for NetError {
             NetError::Io(e) => Some(e),
             NetError::Wire(e) => Some(e),
             NetError::Engine(e) => Some(e),
+            NetError::Snapshot(e) => Some(e),
             NetError::ReconnectFailed { last, .. } => Some(last.as_ref()),
             _ => None,
         }

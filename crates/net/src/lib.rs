@@ -30,6 +30,11 @@
 //!   producer built against a different property suite is refused with a
 //!   typed [`NetError::SpecMismatch`] instead of silently feeding a
 //!   server that would analyze its events differently.
+//! * The handshake also negotiates **optional message sets** as a
+//!   feature bitmask ([`proto::feature`]) — unknown bits are masked, not
+//!   refused, so additions like the [`proto::Message::Introspect`] poll
+//!   (answered with the server's live [`obs::MetricsSnapshot`], see
+//!   [`TraceProducer::introspect`]) never force a hard version mismatch.
 //!
 //! Frame layout, handshake bytes, and message formats are documented in
 //! [`proto`]; every failure mode is a typed [`NetError`].
@@ -44,5 +49,7 @@ pub mod server;
 
 pub use client::{NetStats, ProducerConfig, TraceProducer};
 pub use error::NetError;
-pub use proto::{spec_hash, standard_spec_hash, Ack, Message, PROTO_VERSION};
+pub use proto::{
+    feature, spec_hash, standard_spec_hash, Ack, Message, FEATURES_SUPPORTED, PROTO_VERSION,
+};
 pub use server::{EngineServer, ServerConfig, ServerStats};

@@ -11,24 +11,39 @@
 //! A producer opens the connection with a fixed-size hello:
 //!
 //! ```text
-//! ┌───────────┬──────────┬────────────────┬───────────────┐
-//! │ "KJNP"    │ proto: u8│ producer_id: u64│ spec_hash: u64│
-//! └───────────┴──────────┴────────────────┴───────────────┘
+//! ┌───────────┬──────────┬────────────────┬───────────────┬────────────┐
+//! │ "KJNP"    │ proto: u8│ producer_id: u64│ spec_hash: u64│ features: u8│
+//! └───────────┴──────────┴────────────────┴───────────────┴────────────┘
 //! ```
 //!
 //! and the server answers with a fixed-size reply carrying its own spec
 //! hash, the producer's **last acknowledged sequence number** (the resume
-//! point after a producer restart) and the in-flight **window**:
+//! point after a producer restart), the in-flight **window**, and the
+//! negotiated feature set:
 //!
 //! ```text
-//! ┌────────┬──────────┬───────────┬──────────────┬───────────────┬────────────┐
-//! │ "KJNP" │ proto: u8│ status: u8│ spec_hash: u64│ last_acked: u64│ window: u32│
-//! └────────┴──────────┴───────────┴──────────────┴───────────────┴────────────┘
+//! ┌────────┬──────────┬───────────┬──────────────┬───────────────┬────────────┬────────────┐
+//! │ "KJNP" │ proto: u8│ status: u8│ spec_hash: u64│ last_acked: u64│ window: u32│ features: u8│
+//! └────────┴──────────┴───────────┴──────────────┴───────────────┴────────────┴────────────┘
 //! ```
 //!
 //! A spec-hash mismatch is refused at this point with a typed
 //! [`NetError::SpecMismatch`]: a producer built against one property
 //! suite must not silently feed a server evaluating another.
+//!
+//! ## Feature negotiation
+//!
+//! The trailing byte of each hello direction is a **feature bitmask**
+//! (see [`feature`]): the producer offers the optional message sets it
+//! can speak, the server echoes the intersection with what it supports
+//! ([`FEATURES_SUPPORTED`]). Unknown bits are *masked, not refused* — a
+//! newer peer degrades gracefully instead of tripping a hard version
+//! mismatch. Only a change to the **core** message set (handshake,
+//! event batches, acks) bumps [`PROTO_VERSION`]; optional additions like
+//! [`Message::Introspect`] ride on a feature bit. The server reads the
+//! version-bearing 21-byte prefix first ([`HELLO_PREFIX_LEN`]) and only
+//! consumes the features byte from a version-2 peer, so a v1 producer is
+//! refused promptly instead of deadlocking on a byte it never sends.
 //!
 //! ## Frames
 //!
@@ -61,15 +76,39 @@ use std::io::{Read, Write};
 
 /// Magic prefix opening both handshake directions.
 pub const NET_MAGIC: &[u8; 4] = b"KJNP";
-/// Protocol version. Bump on any handshake/frame/message layout change;
-/// both ends refuse unknown versions with a typed error.
-pub const PROTO_VERSION: u8 = 1;
+/// Protocol version. Bump on any **core** handshake/frame/message layout
+/// change; both ends refuse unknown versions with a typed error. Optional
+/// message sets are negotiated via [`feature`] bits instead. Version 2
+/// appended the feature byte to both hello directions.
+pub const PROTO_VERSION: u8 = 2;
 /// Byte length of the producer hello.
-pub const HELLO_LEN: usize = 21;
+pub const HELLO_LEN: usize = 22;
+/// Byte length of the version-bearing hello prefix (everything before
+/// the v2 feature byte — exactly the v1 hello). The server reads this
+/// much first, so a v1 producer gets a prompt refusal instead of a stall
+/// waiting for a feature byte it never sends.
+pub const HELLO_PREFIX_LEN: usize = 21;
 /// Byte length of the server hello reply.
-pub const HELLO_ACK_LEN: usize = 26;
+pub const HELLO_ACK_LEN: usize = 27;
 /// Default cap on a frame's payload length.
 pub const DEFAULT_MAX_FRAME_LEN: u32 = 1 << 20;
+
+/// Optional message-set bits exchanged (and intersected) at handshake.
+///
+/// A peer sets a bit to offer the message set; the server's reply
+/// carries the negotiated intersection. Unknown bits are masked off, not
+/// refused, so future additions stay backward compatible.
+pub mod feature {
+    /// The observability message set: [`super::Message::Introspect`]
+    /// (producer → server poll) answered by
+    /// [`super::Message::MetricsReport`] (an encoded
+    /// [`obs::MetricsSnapshot`]).
+    pub const INTROSPECT: u8 = 1;
+}
+
+/// Every feature bit this build understands — the server masks a
+/// producer's offer down to this set.
+pub const FEATURES_SUPPORTED: u8 = feature::INTROSPECT;
 
 /// Handshake status codes (byte 6 of the server reply).
 pub mod status {
@@ -117,6 +156,8 @@ pub struct Hello {
     pub producer_id: u64,
     /// Hash of the suite the producer was built against.
     pub spec_hash: u64,
+    /// Optional message sets the producer offers (see [`feature`]).
+    pub features: u8,
 }
 
 /// Encode a producer hello.
@@ -126,13 +167,16 @@ pub fn encode_hello(hello: &Hello) -> Vec<u8> {
     wire::put_u8(&mut buf, PROTO_VERSION);
     wire::put_u64(&mut buf, hello.producer_id);
     wire::put_u64(&mut buf, hello.spec_hash);
+    wire::put_u8(&mut buf, hello.features);
     buf
 }
 
-/// Decode a producer hello. The protocol version is returned alongside so
-/// the server can refuse politely (with a reply) rather than drop the
-/// connection.
-pub fn decode_hello(bytes: &[u8; HELLO_LEN]) -> Result<(u8, Hello), NetError> {
+/// Decode the version-bearing prefix of a producer hello — everything
+/// **except** the trailing v2 feature byte, which the server reads (and
+/// fills in) only after seeing a version that has one. The protocol
+/// version is returned alongside so the server can refuse politely (with
+/// a reply) rather than drop the connection.
+pub fn decode_hello_prefix(bytes: &[u8; HELLO_PREFIX_LEN]) -> Result<(u8, Hello), NetError> {
     if &bytes[..4] != NET_MAGIC {
         return Err(NetError::BadMagic(bytes[..4].try_into().unwrap()));
     }
@@ -141,7 +185,16 @@ pub fn decode_hello(bytes: &[u8; HELLO_LEN]) -> Result<(u8, Hello), NetError> {
     let hello = Hello {
         producer_id: r.get_u64("producer id").map_err(NetError::Wire)?,
         spec_hash: r.get_u64("spec hash").map_err(NetError::Wire)?,
+        features: 0,
     };
+    Ok((version, hello))
+}
+
+/// Decode a complete v2 producer hello (prefix + feature byte).
+pub fn decode_hello(bytes: &[u8; HELLO_LEN]) -> Result<(u8, Hello), NetError> {
+    let prefix: &[u8; HELLO_PREFIX_LEN] = bytes[..HELLO_PREFIX_LEN].try_into().unwrap();
+    let (version, mut hello) = decode_hello_prefix(prefix)?;
+    hello.features = bytes[HELLO_PREFIX_LEN];
     Ok((version, hello))
 }
 
@@ -157,6 +210,9 @@ pub struct HelloAck {
     pub last_acked: u64,
     /// Maximum events the producer should keep in flight (unacked).
     pub window: u32,
+    /// Negotiated feature set: the producer's offer intersected with
+    /// [`FEATURES_SUPPORTED`].
+    pub features: u8,
 }
 
 /// Encode a server hello reply.
@@ -168,6 +224,7 @@ pub fn encode_hello_ack(ack: &HelloAck) -> Vec<u8> {
     wire::put_u64(&mut buf, ack.spec_hash);
     wire::put_u64(&mut buf, ack.last_acked);
     wire::put_u32(&mut buf, ack.window);
+    wire::put_u8(&mut buf, ack.features);
     buf
 }
 
@@ -186,6 +243,7 @@ pub fn decode_hello_ack(bytes: &[u8; HELLO_ACK_LEN]) -> Result<HelloAck, NetErro
         spec_hash: r.get_u64("spec hash").map_err(NetError::Wire)?,
         last_acked: r.get_u64("last acked").map_err(NetError::Wire)?,
         window: r.get_u32("window").map_err(NetError::Wire)?,
+        features: r.get_u8("negotiated features").map_err(NetError::Wire)?,
     })
 }
 
@@ -219,11 +277,23 @@ pub enum Message {
     Ack(Ack),
     /// Producer → server: graceful end of stream.
     Goodbye,
+    /// Producer → server: poll the server's live metric registry. Only
+    /// valid when [`feature::INTROSPECT`] was negotiated; answered with a
+    /// [`Message::MetricsReport`].
+    Introspect,
+    /// Server → producer: an encoded [`obs::MetricsSnapshot`] (the bytes
+    /// of [`obs::MetricsSnapshot::encode`]; kept opaque at this layer so
+    /// the frame codec does not depend on the snapshot codec's failure
+    /// modes — the client decodes, mapping errors to
+    /// [`NetError::Snapshot`]).
+    MetricsReport(Vec<u8>),
 }
 
 const KIND_EVENT_BATCH: u8 = 1;
 const KIND_ACK: u8 = 2;
 const KIND_GOODBYE: u8 = 3;
+const KIND_INTROSPECT: u8 = 4;
+const KIND_METRICS_REPORT: u8 = 5;
 
 impl Message {
     /// Short message-kind name for diagnostics.
@@ -232,6 +302,8 @@ impl Message {
             Message::EventBatch { .. } => "event-batch",
             Message::Ack(_) => "ack",
             Message::Goodbye => "goodbye",
+            Message::Introspect => "introspect",
+            Message::MetricsReport(_) => "metrics-report",
         }
     }
 }
@@ -276,6 +348,12 @@ pub fn encode_message(buf: &mut Vec<u8>, message: &Message) {
             wire::put_u32(buf, ack.headroom);
         }
         Message::Goodbye => wire::put_u8(buf, KIND_GOODBYE),
+        Message::Introspect => wire::put_u8(buf, KIND_INTROSPECT),
+        Message::MetricsReport(bytes) => {
+            wire::put_u8(buf, KIND_METRICS_REPORT);
+            wire::put_u32(buf, bytes.len() as u32);
+            buf.extend_from_slice(bytes);
+        }
     }
 }
 
@@ -304,6 +382,11 @@ pub fn decode_message(payload: &[u8]) -> Result<Message, WireError> {
             headroom: r.get_u32("ack headroom")?,
         }),
         KIND_GOODBYE => Message::Goodbye,
+        KIND_INTROSPECT => Message::Introspect,
+        KIND_METRICS_REPORT => {
+            let len = r.get_u32("metrics report length")? as usize;
+            Message::MetricsReport(r.get_bytes(len, "metrics report payload")?.to_vec())
+        }
         code => {
             return Err(WireError::BadEnum {
                 what: "message kind",
@@ -372,6 +455,7 @@ mod tests {
         let hello = Hello {
             producer_id: 7,
             spec_hash: 0xdead_beef_cafe_f00d,
+            features: feature::INTROSPECT,
         };
         let bytes = encode_hello(&hello);
         assert_eq!(bytes.len(), HELLO_LEN);
@@ -388,12 +472,32 @@ mod tests {
     }
 
     #[test]
+    fn hello_prefix_is_exactly_the_v1_hello() {
+        // The prefix decode sees everything but the feature byte — the
+        // bytes a v1 producer sends. The server relies on this to refuse
+        // v1 hellos without waiting for a 22nd byte.
+        let hello = Hello {
+            producer_id: 9,
+            spec_hash: 77,
+            features: feature::INTROSPECT,
+        };
+        let bytes = encode_hello(&hello);
+        let prefix: [u8; HELLO_PREFIX_LEN] = bytes[..HELLO_PREFIX_LEN].try_into().unwrap();
+        let (version, decoded) = decode_hello_prefix(&prefix).unwrap();
+        assert_eq!(version, PROTO_VERSION);
+        assert_eq!(decoded.producer_id, 9);
+        assert_eq!(decoded.spec_hash, 77);
+        assert_eq!(decoded.features, 0, "prefix carries no features");
+    }
+
+    #[test]
     fn hello_ack_roundtrip() {
         let ack = HelloAck {
             status: status::ACCEPTED,
             spec_hash: 42,
             last_acked: 1000,
             window: 4096,
+            features: feature::INTROSPECT,
         };
         let bytes = encode_hello_ack(&ack);
         assert_eq!(bytes.len(), HELLO_ACK_LEN);
@@ -422,6 +526,8 @@ mod tests {
                 headroom: 512,
             }),
             Message::Goodbye,
+            Message::Introspect,
+            Message::MetricsReport(vec![0xab; 37]),
         ];
         for message in &messages {
             let mut buf = Vec::new();

@@ -15,6 +15,7 @@
 use crate::error::NetError;
 use crate::proto::{self, Ack, HelloAck, Message};
 use engine::{AnalysisEngine, EngineError};
+use obs::{MetricsRegistry, MetricsSnapshot, MetricsSource};
 use online::IngestError;
 use std::collections::HashMap;
 use std::io::Read;
@@ -80,6 +81,31 @@ pub struct ServerStats {
     pub goodbyes: u64,
 }
 
+impl MetricsSource for ServerStats {
+    fn collect_into(&self, out: &mut MetricsSnapshot) {
+        // Exhaustive destructure: adding a ServerStats field without
+        // deciding its metric name breaks this build.
+        let ServerStats {
+            connections_accepted,
+            handshakes_refused,
+            batches_received,
+            events_received,
+            events_deduplicated,
+            protocol_errors,
+            ingest_failures,
+            goodbyes,
+        } = *self;
+        out.push_counter("kojak_net_connections_accepted_total", connections_accepted);
+        out.push_counter("kojak_net_handshakes_refused_total", handshakes_refused);
+        out.push_counter("kojak_net_batches_received_total", batches_received);
+        out.push_counter("kojak_net_events_received_total", events_received);
+        out.push_counter("kojak_net_events_deduplicated_total", events_deduplicated);
+        out.push_counter("kojak_net_protocol_errors_total", protocol_errors);
+        out.push_counter("kojak_net_ingest_failures_total", ingest_failures);
+        out.push_counter("kojak_net_goodbyes_total", goodbyes);
+    }
+}
+
 /// Per-producer resume state, shared by every connection that producer
 /// (re)opens.
 #[derive(Debug, Default)]
@@ -106,6 +132,10 @@ struct ServerInner {
     /// server does not leak one fd per reconnect.
     conns: Mutex<HashMap<u64, TcpStream>>,
     next_conn_id: AtomicU64,
+    /// Net-layer stage histograms (frame decode, message handling).
+    registry: MetricsRegistry,
+    decode_ns: Arc<obs::Histogram>,
+    handle_ns: Arc<obs::Histogram>,
 }
 
 impl ServerInner {
@@ -153,6 +183,23 @@ impl ServerInner {
             }
         }
     }
+
+    /// The whole stack's metric snapshot, assembled top-down: the
+    /// engine's per-shard-merged metrics, the process-global compiled-eval
+    /// cache counters (added exactly once, **here** — see
+    /// [`online::eval_cache_metrics`]), the net-layer counters, and the
+    /// net-layer stage histograms.
+    fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut out = self.engine.metrics();
+        out.merge(&online::eval_cache_metrics());
+        self.stats().collect_into(&mut out);
+        self.registry.collect_into(&mut out);
+        out.push_gauge(
+            "kojak_net_pending_flush_events",
+            self.pending_events.load(Ordering::Relaxed),
+        );
+        out
+    }
 }
 
 /// A TCP front-end feeding one [`AnalysisEngine`].
@@ -172,6 +219,9 @@ impl EngineServer {
     ) -> Result<EngineServer, NetError> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        let registry = MetricsRegistry::default();
+        let decode_ns = registry.histogram("kojak_net_decode_ns");
+        let handle_ns = registry.histogram("kojak_net_handle_ns");
         let inner = Arc::new(ServerInner {
             engine,
             config,
@@ -182,6 +232,9 @@ impl EngineServer {
             shutdown: AtomicBool::new(false),
             conns: Mutex::new(HashMap::new()),
             next_conn_id: AtomicU64::new(0),
+            registry,
+            decode_ns,
+            handle_ns,
         });
         let accept_inner = Arc::clone(&inner);
         let accept = std::thread::spawn(move || accept_loop(listener, accept_inner));
@@ -205,6 +258,15 @@ impl EngineServer {
     /// Net-layer counters.
     pub fn stats(&self) -> ServerStats {
         *self.inner.stats()
+    }
+
+    /// The whole stack's metric snapshot — exactly what an
+    /// [`crate::proto::Message::Introspect`] poll over the wire returns:
+    /// engine metrics (merged over shards), the process-global
+    /// compiled-eval cache counters (added exactly once here), net-layer
+    /// counters, and net-layer stage histograms.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.inner.metrics_snapshot()
     }
 
     /// The last sequence number acknowledged to `producer_id` (0 for an
@@ -327,18 +389,32 @@ fn ingest_failed_wholesale(e: &EngineError) -> bool {
 /// [`ServerStats::protocol_errors`] when the peer misbehaved).
 fn handle_connection(mut stream: TcpStream, inner: &ServerInner) -> Result<(), NetError> {
     // --- handshake ------------------------------------------------------
-    let mut hello_bytes = [0u8; proto::HELLO_LEN];
-    if stream.read_exact(&mut hello_bytes).is_err() {
+    // Read the version-bearing prefix first: a v1 producer's hello is
+    // exactly this long, so waiting for a full v2 hello would deadlock
+    // against it. The feature byte is consumed only from a peer whose
+    // version says it sent one.
+    let mut prefix_bytes = [0u8; proto::HELLO_PREFIX_LEN];
+    if stream.read_exact(&mut prefix_bytes).is_err() {
         // The shutdown poke (or a port scanner) — not a protocol error.
         return Err(NetError::Closed);
     }
-    let (version, hello) = match proto::decode_hello(&hello_bytes) {
+    let (version, mut hello) = match proto::decode_hello_prefix(&prefix_bytes) {
         Ok(decoded) => decoded,
         Err(e) => {
             inner.stats().handshakes_refused += 1;
             return Err(e);
         }
     };
+    if version == proto::PROTO_VERSION {
+        let mut features_byte = [0u8; 1];
+        if stream.read_exact(&mut features_byte).is_err() {
+            return Err(NetError::Closed);
+        }
+        hello.features = features_byte[0];
+    }
+    // Unknown feature bits are masked, not refused: an older server
+    // simply answers with fewer features and a newer producer degrades.
+    let features = hello.features & proto::FEATURES_SUPPORTED;
     let refusal = if version != proto::PROTO_VERSION {
         Some(proto::status::UNSUPPORTED_PROTOCOL)
     } else if hello.spec_hash != inner.config.spec_hash {
@@ -353,6 +429,7 @@ fn handle_connection(mut stream: TcpStream, inner: &ServerInner) -> Result<(), N
         spec_hash: inner.config.spec_hash,
         last_acked,
         window: inner.config.window,
+        features,
     };
     // Count before replying: the peer acts on the reply the instant it
     // lands, and may query server counters right after.
@@ -370,8 +447,10 @@ fn handle_connection(mut stream: TcpStream, inner: &ServerInner) -> Result<(), N
 
     // --- frame loop -----------------------------------------------------
     loop {
-        let message = match proto::read_message(&mut stream, inner.config.max_frame_len) {
-            Ok(m) => m,
+        // The blocking socket read stays outside the decode timer — it
+        // measures producer idle time, not decode work.
+        let payload = match proto::read_frame(&mut stream, inner.config.max_frame_len) {
+            Ok(p) => p,
             Err(NetError::Io(_)) | Err(NetError::Closed) => {
                 // Producer died (or was killed): flush what it sent so
                 // live reports reflect everything acknowledged.
@@ -383,6 +462,18 @@ fn handle_connection(mut stream: TcpStream, inner: &ServerInner) -> Result<(), N
                 return Err(e);
             }
         };
+        let decoded = {
+            let _stage = inner.decode_ns.start_timer();
+            proto::decode_message(&payload)
+        };
+        let message = match decoded {
+            Ok(m) => m,
+            Err(e) => {
+                inner.stats().protocol_errors += 1;
+                return Err(NetError::Wire(e));
+            }
+        };
+        let _handle_stage = inner.handle_ns.start_timer();
         match message {
             Message::EventBatch { first_seq, events } => {
                 let count = events.len() as u64;
@@ -446,11 +537,19 @@ fn handle_connection(mut stream: TcpStream, inner: &ServerInner) -> Result<(), N
                 let _ = stream.shutdown(Shutdown::Both);
                 return Ok(());
             }
-            Message::Ack(_) => {
+            Message::Introspect => {
+                if features & proto::feature::INTROSPECT == 0 {
+                    inner.stats().protocol_errors += 1;
+                    return Err(NetError::FeatureUnavailable("introspect"));
+                }
+                let report = Message::MetricsReport(inner.metrics_snapshot().encode());
+                proto::write_message(&mut stream, &report)?;
+            }
+            other @ (Message::Ack(_) | Message::MetricsReport(_)) => {
                 inner.stats().protocol_errors += 1;
                 return Err(NetError::UnexpectedMessage {
-                    expected: "event-batch or goodbye",
-                    got: "ack",
+                    expected: "event-batch, introspect or goodbye",
+                    got: other.kind(),
                 });
             }
         }

@@ -454,3 +454,189 @@ fn tcp_into_durable_engine_survives_engine_kill() {
     server.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Feature negotiation pins (PR 6): unknown feature bits in the hello
+/// are masked down to what the server supports — never a hard refusal —
+/// so a newer producer degrades gracefully.
+#[test]
+fn unknown_feature_bits_are_masked_not_refused() {
+    let server = sharded_server(4096);
+    let mut producer = TraceProducer::connect(
+        server.local_addr().to_string(),
+        ProducerConfig {
+            producer_id: 31,
+            features: 0xff, // every bit, known and unknown
+            ..ProducerConfig::default()
+        },
+    )
+    .expect("a hello full of unknown feature bits still connects");
+    assert_eq!(
+        producer.features(),
+        net::FEATURES_SUPPORTED,
+        "negotiated set is the intersection, unknown bits masked off"
+    );
+    // The negotiated features actually work.
+    producer.send(&sim_events(15)[0]).expect("send");
+    producer.flush().expect("flush");
+    let snapshot = producer.introspect().expect("introspect");
+    assert!(!snapshot.is_empty());
+    producer.close().expect("close");
+    server.shutdown();
+}
+
+/// A v1 producer — 21 hello bytes, no feature byte — must get a prompt
+/// `UNSUPPORTED_PROTOCOL` reply. The server reads only the version-
+/// bearing prefix before deciding, so it cannot stall waiting for a
+/// feature byte a v1 peer never sends.
+#[test]
+fn v1_hello_is_refused_promptly_not_deadlocked() {
+    use std::io::{Read, Write};
+    let server = sharded_server(4096);
+    let mut raw = std::net::TcpStream::connect(server.local_addr()).expect("raw connect");
+    raw.set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .unwrap();
+
+    // Hand-crafted v1 hello: magic | version=1 | producer id | spec hash.
+    let mut hello = Vec::new();
+    hello.extend_from_slice(b"KJNP");
+    hello.push(1);
+    hello.extend_from_slice(&7u64.to_le_bytes());
+    hello.extend_from_slice(&net::standard_spec_hash().to_le_bytes());
+    assert_eq!(hello.len(), net::proto::HELLO_PREFIX_LEN);
+    raw.write_all(&hello).expect("write v1 hello");
+
+    // The refusal arrives without the test writing another byte. (A real
+    // v1 client would read its 26-byte ack, see version 2 at byte 4, and
+    // refuse client-side with a typed UnsupportedProtocol.)
+    let mut reply = [0u8; net::proto::HELLO_ACK_LEN];
+    raw.read_exact(&mut reply).expect("prompt refusal reply");
+    assert_eq!(&reply[..4], b"KJNP");
+    assert_eq!(reply[4], net::PROTO_VERSION);
+    assert_eq!(reply[5], net::proto::status::UNSUPPORTED_PROTOCOL);
+    assert_eq!(server.stats().handshakes_refused, 1);
+    assert_eq!(server.stats().connections_accepted, 0);
+    server.shutdown();
+}
+
+/// A producer that offered no features gets the poll refused client-side
+/// with the typed error — nothing touches the wire.
+#[test]
+fn introspect_without_negotiation_is_a_typed_refusal() {
+    let server = sharded_server(4096);
+    let mut producer = TraceProducer::connect(
+        server.local_addr().to_string(),
+        ProducerConfig {
+            producer_id: 33,
+            features: 0,
+            ..ProducerConfig::default()
+        },
+    )
+    .expect("connect");
+    assert_eq!(producer.features(), 0);
+    assert!(matches!(
+        producer.introspect(),
+        Err(NetError::FeatureUnavailable("introspect"))
+    ));
+    producer.close().expect("close");
+    server.shutdown();
+}
+
+/// The acceptance-criteria test for the Introspect RPC: the snapshot
+/// polled over loopback TCP reconciles **exactly** with
+/// [`AnalysisEngine::stats`] for the same run — mid-stream, and again
+/// after a forced server-side disconnect and reconnect-with-resume.
+#[test]
+fn introspect_reconciles_with_engine_stats_across_reconnect() {
+    let events = sim_events(14);
+    let server = sharded_server(4096);
+    let mut producer = TraceProducer::connect(
+        server.local_addr().to_string(),
+        ProducerConfig {
+            producer_id: 21,
+            batch_events: 32,
+            ..ProducerConfig::default()
+        },
+    )
+    .expect("connect");
+    assert_eq!(
+        producer.features() & net::feature::INTROSPECT,
+        net::feature::INTROSPECT
+    );
+
+    let cut = events.len() / 2;
+    for event in &events[..cut] {
+        producer.send(event).expect("send");
+    }
+    producer.flush().expect("flush");
+
+    // Mid-stream poll: every counter equals the engine's own view (the
+    // flush() barrier guarantees everything offered has been applied).
+    let snapshot = producer.introspect().expect("introspect");
+    let stats = server.engine().stats();
+    assert_eq!(
+        snapshot.counter("kojak_online_events_applied_total"),
+        stats.events_applied
+    );
+    assert_eq!(
+        snapshot.counter("kojak_net_events_received_total"),
+        server.stats().events_received
+    );
+    assert_eq!(snapshot.gauge("kojak_engine_shards"), Some(3));
+
+    // Fault lever: kill the connection server-side. The producer's next
+    // traffic goes through reconnect-with-resume.
+    assert_eq!(server.sever_connections(), 1);
+    for event in &events[cut..] {
+        producer.send(event).expect("send after sever");
+    }
+    producer.flush().expect("flush after sever");
+    server.engine().flush().expect("engine flush");
+
+    let snapshot = producer.introspect().expect("introspect after reconnect");
+    let stats = server.engine().stats();
+    assert_eq!(stats.events_applied, events.len() as u64, "no loss");
+    assert_eq!(stats.events_rejected, 0, "no duplication");
+    assert_eq!(
+        snapshot.counter("kojak_online_events_applied_total"),
+        stats.events_applied
+    );
+    assert_eq!(
+        snapshot.counter("kojak_online_events_rejected_total"),
+        stats.events_rejected
+    );
+    assert_eq!(
+        snapshot.counter("kojak_online_flushes_total"),
+        stats.flushes
+    );
+    assert_eq!(
+        snapshot.counter("kojak_online_runs_finished_total"),
+        stats.runs_finished
+    );
+    // The producer's ack ledger closes against the server's applied
+    // count: everything acked was applied, nothing applied went unacked.
+    assert_eq!(producer.stats().events_acked, stats.events_applied);
+    assert!(
+        producer.stats().reconnects >= 1,
+        "the sever forced a reconnect"
+    );
+
+    // The wire-polled snapshot is the same assembly the server offers
+    // locally (modulo counters still moving: quiesced here).
+    let local = server.metrics();
+    assert_eq!(
+        snapshot.counter("kojak_online_events_applied_total"),
+        local.counter("kojak_online_events_applied_total")
+    );
+
+    // Stage histograms are live and render as Prometheus-style text.
+    let apply = snapshot
+        .histogram("kojak_online_apply_ns")
+        .expect("apply-stage histogram present");
+    assert!(apply.count > 0, "the apply stage timed every batch");
+    assert!(snapshot
+        .render_text()
+        .contains("kojak_net_events_received_total"));
+
+    producer.close().expect("close");
+    server.shutdown();
+}

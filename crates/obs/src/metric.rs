@@ -1,0 +1,288 @@
+//! The atomic primitives: counters, gauges, log-bucketed histograms and
+//! the scoped stage timer. Everything here is relaxed atomics — safe to
+//! share across shard threads, never a lock on the recording path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Number of histogram buckets: one per power of two of a `u64` value
+/// (bucket 0 holds exactly 0; bucket `i` holds `[2^(i-1), 2^i - 1]`),
+/// plus a final overflow bucket for values ≥ 2^63.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Map a value to its histogram bucket: 0 → 0, values in
+/// `[2^(i-1), 2^i - 1]` → `i`, values ≥ 2^63 → 64 (the overflow bucket).
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// The largest value a bucket can hold — what [`HistogramSnapshot::quantile`]
+/// reports for a quantile landing in that bucket (a conservative upper
+/// bound, never an underestimate). The overflow bucket reports `u64::MAX`.
+#[inline]
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        i if i >= HISTOGRAM_BUCKETS - 1 => u64::MAX,
+        i => (1u64 << i) - 1,
+    }
+}
+
+/// A monotonic counter. `const`-constructible so crates can declare
+/// module-level counters (`static HITS: Counter = Counter::new();`) with
+/// no registration ceremony; registry-owned counters are the same type
+/// behind an `Arc`.
+#[derive(Debug)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter starting at zero.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Add one (a no-op while instrumentation is disabled).
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n` (a no-op while instrumentation is disabled).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Counter::new()
+    }
+}
+
+/// A last-written value (queue depth, window headroom, shard count).
+/// Unlike [`Counter`] it can move down as well as up.
+#[derive(Debug)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A gauge starting at zero.
+    pub const fn new() -> Self {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Overwrite the value (a no-op while instrumentation is disabled).
+    #[inline]
+    pub fn set(&self, v: u64) {
+        if crate::enabled() {
+            self.0.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge::new()
+    }
+}
+
+/// A log₂-bucketed distribution of `u64` samples (nanoseconds, by this
+/// workspace's convention — names end in `_ns`). Recording is a handful
+/// of relaxed atomic ops; quantiles come from [`Histogram::snapshot`].
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+        }
+    }
+
+    /// Record one sample (a no-op while instrumentation is disabled).
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Start a scoped timer that records its elapsed nanoseconds into this
+    /// histogram when dropped. Returns an inert guard (no clock read)
+    /// while instrumentation is disabled.
+    #[inline]
+    pub fn start_timer(&self) -> StageTimer<'_> {
+        StageTimer::maybe(Some(self))
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy for quantile math, merging and serialization.
+    /// Concurrent recording makes the copy approximate (count/sum/buckets
+    /// are read independently), which is fine for telemetry; quiesce
+    /// writers first when exact reconciliation matters.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (out, b) in buckets.iter_mut().zip(&self.buckets) {
+            *out = b.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// A plain-data copy of a [`Histogram`]: what snapshots carry, merge and
+/// serialize. Merging is associative and commutative, so per-shard
+/// histograms fan into one whole-engine distribution in any order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total number of samples.
+    pub count: u64,
+    /// Sum of all samples (mean = `sum / count`).
+    pub sum: u64,
+    /// Largest single sample.
+    pub max: u64,
+    /// Per-bucket sample counts; see [`bucket_index`] for the layout.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            max: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Fold another snapshot in (shard fan-in). `max` takes the larger,
+    /// everything else adds — associative, so merge order never matters.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+
+    /// The upper bound of the bucket containing the `q`-quantile sample
+    /// (`0.0 ..= 1.0`), i.e. a value ≥ the true quantile but within 2× of
+    /// it. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Never report a bound above the observed maximum: the
+                // top occupied bucket's range can overshoot it wildly.
+                return bucket_upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median upper bound.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile upper bound.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile upper bound.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Mean sample value (0 for an empty histogram).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// A scoped stage timer: holds a start [`Instant`] and records the
+/// elapsed nanoseconds into its [`Histogram`] on drop. Construct via
+/// [`Histogram::start_timer`] (or [`StageTimer::maybe`] when the
+/// histogram handle itself is optional). While instrumentation is
+/// disabled the guard is inert — no clock read on either end.
+#[must_use = "a StageTimer records on drop; binding it to _ discards the measurement immediately"]
+#[derive(Debug)]
+pub struct StageTimer<'a>(Option<(&'a Histogram, Instant)>);
+
+impl<'a> StageTimer<'a> {
+    /// A timer over an optional histogram handle: inert when the handle
+    /// is `None` or instrumentation is disabled.
+    #[inline]
+    pub fn maybe(histogram: Option<&'a Histogram>) -> Self {
+        match histogram {
+            Some(h) if crate::enabled() => StageTimer(Some((h, Instant::now()))),
+            _ => StageTimer(None),
+        }
+    }
+
+    /// An always-inert timer (what disabled paths get).
+    #[inline]
+    pub fn disarmed() -> Self {
+        StageTimer(None)
+    }
+}
+
+impl Drop for StageTimer<'_> {
+    fn drop(&mut self) {
+        if let Some((histogram, start)) = self.0.take() {
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            histogram.record(ns);
+        }
+    }
+}

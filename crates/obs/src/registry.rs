@@ -1,0 +1,70 @@
+//! The named-metric registry. Lookup is get-or-create behind a mutex —
+//! the cold path, done once when a component wires itself up; the
+//! returned `Arc` handles are then pure relaxed atomics on the hot path.
+
+use crate::metric::{Counter, Gauge, Histogram};
+use crate::snapshot::{MetricsSnapshot, MetricsSource};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// A set of named counters, gauges and histograms. Each engine layer
+/// that needs dynamic (per-session, per-shard) metrics owns or shares
+/// one; `ShardedSession` merges its shards' registries into one
+/// [`MetricsSnapshot`] at read time.
+///
+/// Names follow `kojak_<layer>_<stage>_<unit>`; the three kinds share
+/// one namespace by convention but live in separate maps, so a name
+/// means one kind only — registering `foo` as both a counter and a
+/// gauge is a caller bug that shows up as two exposition lines.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+/// Poisoning is impossible to act on here (a panicked recorder leaves
+/// the maps structurally intact), so treat a poisoned lock as live.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Get or create the counter named `name`. Hold the returned handle;
+    /// re-looking it up per event would put this lock on the hot path.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = lock(&self.counters);
+        Arc::clone(map.entry(name.to_owned()).or_default())
+    }
+
+    /// Get or create the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = lock(&self.gauges);
+        Arc::clone(map.entry(name.to_owned()).or_default())
+    }
+
+    /// Get or create the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = lock(&self.histograms);
+        Arc::clone(map.entry(name.to_owned()).or_default())
+    }
+}
+
+impl MetricsSource for MetricsRegistry {
+    fn collect_into(&self, out: &mut MetricsSnapshot) {
+        for (name, c) in lock(&self.counters).iter() {
+            out.push_counter(name, c.get());
+        }
+        for (name, g) in lock(&self.gauges).iter() {
+            out.push_gauge(name, g.get());
+        }
+        for (name, h) in lock(&self.histograms).iter() {
+            out.push_histogram(name, h.snapshot());
+        }
+    }
+}

@@ -31,7 +31,7 @@ use crate::error::FlushError;
 use crate::event::{IngestError, RunKey, TraceEvent};
 use crate::session::{OnlineSession, SessionConfig, SessionStats};
 use crate::snapshot::{encode_snapshot, read_snapshot, write_snapshot_bytes, SnapshotError};
-use crate::wal::{read_wal, FsyncPolicy, WalCorruption, WalWriter};
+use crate::wal::{read_wal, FsyncPolicy, WalCorruption, WalMetrics, WalWriter};
 use cosy::AnalysisReport;
 use std::collections::HashMap;
 use std::io;
@@ -272,6 +272,8 @@ pub struct DurableSession {
     dir: PathBuf,
     snapshot_every_flushes: u32,
     recovery: RecoveryStats,
+    snapshot_write_ns: Arc<obs::Histogram>,
+    snapshot_writes: Arc<obs::Counter>,
 }
 
 impl DurableSession {
@@ -286,12 +288,23 @@ impl DurableSession {
         // wal_valid_len == 0: opening at that length completes the
         // interrupted checkpoint by restarting the log on the snapshot's
         // epoch.
-        let wal = WalWriter::open(
+        let mut wal = WalWriter::open(
             &dir.join(WAL_FILE),
             recovery.wal_valid_len,
             recovery.epoch,
             config.fsync,
         )?;
+        // The WAL records into the wrapped session's registry, so one
+        // snapshot covers the whole durable stack.
+        let registry = session.metrics_registry();
+        wal.set_metrics(WalMetrics {
+            append_ns: Some(registry.histogram("kojak_wal_append_ns")),
+            fsync_ns: Some(registry.histogram("kojak_wal_fsync_ns")),
+            frames: Some(registry.counter("kojak_wal_appended_frames_total")),
+            fsyncs: Some(registry.counter("kojak_wal_fsyncs_total")),
+        });
+        let snapshot_write_ns = registry.histogram("kojak_snapshot_write_ns");
+        let snapshot_writes = registry.counter("kojak_snapshot_writes_total");
         Ok(DurableSession {
             session: Arc::new(session),
             inner: Mutex::new(DurableInner {
@@ -302,6 +315,8 @@ impl DurableSession {
             dir,
             snapshot_every_flushes: config.snapshot_every_flushes,
             recovery,
+            snapshot_write_ns,
+            snapshot_writes,
         })
     }
 
@@ -389,11 +404,15 @@ impl DurableSession {
         let bytes = self.session.snapshot_state(|builder, finished, rejected| {
             encode_snapshot(builder, finished, rejected, next_epoch)
         });
-        write_snapshot_bytes(&path, &bytes).map_err(|source| FlushError::Snapshot {
-            path: path.clone(),
-            source,
-            updated: Vec::new(),
-        })?;
+        {
+            let _stage = self.snapshot_write_ns.start_timer();
+            write_snapshot_bytes(&path, &bytes).map_err(|source| FlushError::Snapshot {
+                path: path.clone(),
+                source,
+                updated: Vec::new(),
+            })?;
+        }
+        self.snapshot_writes.inc();
         inner
             .wal
             .reset(next_epoch)
@@ -425,5 +444,12 @@ impl DurableSession {
     /// Aggregate counters of the wrapped session.
     pub fn stats(&self) -> SessionStats {
         self.session.stats()
+    }
+
+    /// The wrapped session's metric snapshot. The WAL and snapshot stages
+    /// record into the same registry, so this is the whole durable
+    /// stack's view (see [`OnlineSession::metrics`]).
+    pub fn metrics(&self) -> obs::MetricsSnapshot {
+        self.session.metrics()
     }
 }

@@ -19,6 +19,7 @@ use asl_core::check::CheckedSpec;
 use asl_eval::{compile as compile_ir, CompiledSpec};
 use cosy::backend::{Backend, PreparedBackend};
 use cosy::{AnalysisReport, Analyzer, ContextScope, HeldEntry, ProblemThreshold};
+use obs::{MetricsRegistry, MetricsSnapshot, MetricsSource};
 use perfdata::{CallId, RegionId, Store, TestRunId, VersionId};
 use rayon::prelude::*;
 use std::collections::{HashMap, HashSet};
@@ -36,6 +37,21 @@ pub struct IncrementalStats {
     pub full_reevaluations: u64,
     /// Property instances evaluated (the dominant cost).
     pub instances_evaluated: u64,
+}
+
+impl MetricsSource for IncrementalStats {
+    fn collect_into(&self, out: &mut MetricsSnapshot) {
+        let IncrementalStats {
+            flushes,
+            runs_reevaluated,
+            full_reevaluations,
+            instances_evaluated,
+        } = self;
+        out.push_counter("kojak_eval_flushes_total", *flushes);
+        out.push_counter("kojak_eval_runs_reevaluated_total", *runs_reevaluated);
+        out.push_counter("kojak_eval_full_reevaluations_total", *full_reevaluations);
+        out.push_counter("kojak_eval_instances_evaluated_total", *instances_evaluated);
+    }
 }
 
 /// Identity of a held entry within one run: (property, region, call).
@@ -70,6 +86,9 @@ pub struct IncrementalAnalyzer {
     /// Runs whose producer declared them finished (`RunFinished` seen).
     finished: HashSet<TestRunId>,
     stats: IncrementalStats,
+    /// Optional metric sink for per-property evaluation counters
+    /// (`kojak_eval_property_evaluations_total{property="…"}`).
+    registry: Option<Arc<MetricsRegistry>>,
 }
 
 impl IncrementalAnalyzer {
@@ -92,6 +111,7 @@ impl IncrementalAnalyzer {
             pending_full: HashSet::new(),
             finished: HashSet::new(),
             stats: IncrementalStats::default(),
+            registry: None,
         }
     }
 
@@ -101,6 +121,13 @@ impl IncrementalAnalyzer {
     /// every flush so they only make sense for cross-checking.
     pub fn with_backend(mut self, backend: Backend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Record per-property evaluation counts into `registry` on every
+    /// flush (one labelled counter per property of the suite).
+    pub fn with_registry(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.registry = Some(registry);
         self
     }
 
@@ -267,6 +294,11 @@ impl IncrementalAnalyzer {
 
         let spec = Arc::clone(&self.spec);
         let mut updated = Vec::new();
+        // Per-property evaluation counts of this flush, applied to the
+        // registry once at the end (never inside the merge loop — counter
+        // lookup takes a lock).
+        let mut property_counts: HashMap<String, u64> = HashMap::new();
+        let count_properties = self.registry.is_some() && obs::enabled();
         let mut versions: Vec<VersionId> = scopes.keys().copied().collect();
         versions.sort();
 
@@ -344,6 +376,17 @@ impl IncrementalAnalyzer {
                         self.stats.full_reevaluations += 1;
                     }
                     for (key, outcome) in updates {
+                        if count_properties {
+                            // get-then-insert instead of `entry(clone)`:
+                            // one String clone per *distinct* property,
+                            // not one per evaluated instance.
+                            match property_counts.get_mut(&key.0) {
+                                Some(n) => *n += 1,
+                                None => {
+                                    property_counts.insert(key.0.clone(), 1);
+                                }
+                            }
+                        }
                         match outcome {
                             Some(entry) => {
                                 state.entries.insert(key, entry);
@@ -392,6 +435,15 @@ impl IncrementalAnalyzer {
             }
         }
 
+        if let Some(registry) = &self.registry {
+            for (property, n) in property_counts {
+                registry
+                    .counter(&format!(
+                        "kojak_eval_property_evaluations_total{{property=\"{property}\"}}"
+                    ))
+                    .add(n);
+            }
+        }
         self.stats.flushes += 1;
         updated.sort();
         Ok(updated)

@@ -104,6 +104,23 @@ pub mod wal;
 pub mod wire;
 
 pub use builder::{StoreBuilder, StoreDelta};
+
+/// The compiled evaluator's process-global memoization-cache counters as
+/// a metric snapshot (`kojak_eval_cache_{hits,misses}_total`).
+///
+/// These counters are **process-wide** — every evaluator of every shard
+/// bumps the same pair — so they are deliberately excluded from
+/// [`OnlineSession::metrics`] (a sharded engine merges per-shard
+/// snapshots, and a global added per shard would multiply). Add this
+/// snapshot exactly once at the top of whatever aggregation you ship:
+/// the net-layer server does so in its `Introspect` reply.
+pub fn eval_cache_metrics() -> obs::MetricsSnapshot {
+    let (hits, misses) = asl_eval::cache_counters();
+    let mut out = obs::MetricsSnapshot::default();
+    out.push_counter("kojak_eval_cache_hits_total", hits);
+    out.push_counter("kojak_eval_cache_misses_total", misses);
+    out
+}
 pub use durable::{DurableConfig, DurableSession, RecoveryError, RecoveryStats};
 pub use error::FlushError;
 pub use event::{

@@ -12,8 +12,9 @@
 use crate::error::FlushError;
 use crate::event::{IngestError, RunKey, TraceEvent};
 use crate::session::OnlineSession;
+use obs::{MetricsSnapshot, MetricsSource};
 use std::collections::HashMap;
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -65,11 +66,28 @@ pub struct PipelineStats {
     /// Events the underlying session had already restored via the
     /// recovery path when this pipeline started — a pipeline over a
     /// recovered session reports its inherited history instead of zeros.
-    pub replayed_events: u64,
+    /// (Named like [`crate::SessionStats::events_replayed`]; the two
+    /// report the same quantity from different vantage points.)
+    pub events_replayed: u64,
     /// Batches applied to the session.
     pub batches: u64,
     /// Ingestion errors reported by the session (capped at 32 messages).
     pub errors: Vec<String>,
+}
+
+impl MetricsSource for PipelineStats {
+    fn collect_into(&self, out: &mut MetricsSnapshot) {
+        let PipelineStats {
+            events,
+            events_replayed,
+            batches,
+            errors,
+        } = self;
+        out.push_counter("kojak_pipeline_events_total", *events);
+        out.push_counter("kojak_pipeline_events_replayed_total", *events_replayed);
+        out.push_counter("kojak_pipeline_batches_total", *batches);
+        out.push_counter("kojak_pipeline_errors_total", errors.len() as u64);
+    }
 }
 
 enum ShardMsg {
@@ -83,6 +101,10 @@ pub struct IngestPipeline {
     session: Arc<OnlineSession>,
     senders: Vec<SyncSender<ShardMsg>>,
     workers: Vec<JoinHandle<ShardStats>>,
+    /// Time a `submit` spent blocked on a full shard queue — the
+    /// backpressure stage of the event lifecycle. Only actual waits are
+    /// recorded; the uncontended `try_send` fast path never reads a clock.
+    channel_wait_ns: Arc<obs::Histogram>,
 }
 
 impl IngestPipeline {
@@ -101,10 +123,14 @@ impl IngestPipeline {
                 shard_worker(&session, rx, batch_size)
             }));
         }
+        let channel_wait_ns = session
+            .metrics_registry()
+            .histogram("kojak_pipeline_channel_wait_ns");
         IngestPipeline {
             session,
             senders,
             workers,
+            channel_wait_ns,
         }
     }
 
@@ -121,9 +147,18 @@ impl IngestPipeline {
     /// (bounded-channel backpressure).
     pub fn submit(&self, event: TraceEvent) -> Result<(), IngestError> {
         let shard = self.shard_of(event.run_key());
-        self.senders[shard]
-            .send(ShardMsg::Event(event))
-            .map_err(|_| IngestError::Closed)
+        match self.senders[shard].try_send(ShardMsg::Event(event)) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Disconnected(_)) => Err(IngestError::Closed),
+            Err(TrySendError::Full(msg)) => {
+                // The queue is full: this submit genuinely waits, and only
+                // the wait is timed.
+                let _stage = self.channel_wait_ns.start_timer();
+                self.senders[shard]
+                    .send(msg)
+                    .map_err(|_| IngestError::Closed)
+            }
+        }
     }
 
     /// Drain every shard's buffers into the session, then run one analysis
@@ -147,7 +182,7 @@ impl IngestPipeline {
     pub fn close(self) -> Result<PipelineStats, FlushError> {
         drop(self.senders);
         let mut stats = PipelineStats {
-            replayed_events: self.session.stats().events_replayed,
+            events_replayed: self.session.stats().events_replayed,
             ..PipelineStats::default()
         };
         for worker in self.workers {

@@ -15,6 +15,7 @@ use crate::event::{IngestError, RunKey, TraceEvent};
 use crate::incremental::{IncrementalAnalyzer, IncrementalStats};
 use asl_core::check::CheckedSpec;
 use cosy::{AnalysisReport, Backend, ProblemThreshold};
+use obs::{MetricsRegistry, MetricsSnapshot, MetricsSource};
 use perfdata::Store;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -62,6 +63,25 @@ pub struct SessionStats {
     pub incremental: IncrementalStats,
 }
 
+impl MetricsSource for SessionStats {
+    fn collect_into(&self, out: &mut MetricsSnapshot) {
+        let SessionStats {
+            events_applied,
+            events_rejected,
+            events_replayed,
+            flushes,
+            runs_finished,
+            incremental,
+        } = self;
+        out.push_counter("kojak_online_events_applied_total", *events_applied);
+        out.push_counter("kojak_online_events_rejected_total", *events_rejected);
+        out.push_counter("kojak_online_events_replayed_total", *events_replayed);
+        out.push_counter("kojak_online_flushes_total", *flushes);
+        out.push_counter("kojak_online_runs_finished_total", *runs_finished);
+        incremental.collect_into(out);
+    }
+}
+
 struct SessionInner {
     builder: StoreBuilder,
     analyzer: IncrementalAnalyzer,
@@ -75,32 +95,62 @@ struct SessionInner {
 pub struct OnlineSession {
     inner: Mutex<SessionInner>,
     config: SessionConfig,
+    /// Per-session metric set (shared with the durable wrapper, the WAL
+    /// writer and the pipeline; merged across shards by the engine layer).
+    registry: Arc<MetricsRegistry>,
+    /// Pre-created stage handles — the hot path never takes the registry
+    /// lock.
+    apply_ns: Arc<obs::Histogram>,
+    flush_ns: Arc<obs::Histogram>,
 }
 
 impl OnlineSession {
-    fn analyzer_for(config: &SessionConfig) -> IncrementalAnalyzer {
+    fn analyzer_for(
+        config: &SessionConfig,
+        registry: &Arc<MetricsRegistry>,
+    ) -> IncrementalAnalyzer {
         let analyzer = match &config.spec {
             Some(spec) => IncrementalAnalyzer::with_spec(Arc::clone(spec), config.threshold),
             None => IncrementalAnalyzer::new(config.threshold),
         };
-        analyzer.with_backend(config.backend)
+        analyzer
+            .with_backend(config.backend)
+            .with_registry(Arc::clone(registry))
+    }
+
+    fn assemble(
+        config: SessionConfig,
+        inner: SessionInner,
+        registry: Arc<MetricsRegistry>,
+    ) -> Self {
+        let apply_ns = registry.histogram("kojak_online_apply_ns");
+        let flush_ns = registry.histogram("kojak_online_flush_ns");
+        OnlineSession {
+            inner: Mutex::new(inner),
+            config,
+            registry,
+            apply_ns,
+            flush_ns,
+        }
     }
 
     /// Create a session with the configured suite (the standard one unless
     /// [`SessionConfig::spec`] overrides it).
     pub fn new(config: SessionConfig) -> Self {
-        let analyzer = Self::analyzer_for(&config);
-        OnlineSession {
-            inner: Mutex::new(SessionInner {
+        let registry = Arc::new(MetricsRegistry::new());
+        let analyzer = Self::analyzer_for(&config, &registry);
+        Self::assemble(
+            config,
+            SessionInner {
                 builder: StoreBuilder::new(),
                 analyzer,
                 pending: StoreDelta::new(),
                 pending_events: 0,
                 rejected: 0,
                 replayed: 0,
-            }),
-            config,
-        }
+            },
+            registry,
+        )
     }
 
     /// Rebuild a session from recovered state: the snapshotted builder,
@@ -115,7 +165,8 @@ impl OnlineSession {
         finished: Vec<perfdata::TestRunId>,
         rejected: u64,
     ) -> Self {
-        let mut analyzer = Self::analyzer_for(&config);
+        let registry = Arc::new(MetricsRegistry::new());
+        let mut analyzer = Self::analyzer_for(&config, &registry);
         analyzer.restore_finished(finished.iter().copied());
         let mut pending = StoreDelta::new();
         for (_, run, version) in builder.runs() {
@@ -123,17 +174,18 @@ impl OnlineSession {
             pending.touched_versions.insert(version);
         }
         pending.finished_runs.extend(finished);
-        OnlineSession {
-            inner: Mutex::new(SessionInner {
+        Self::assemble(
+            config,
+            SessionInner {
                 builder,
                 analyzer,
                 pending,
                 pending_events: 0,
                 rejected,
                 replayed: 0,
-            }),
-            config,
-        }
+            },
+            registry,
+        )
     }
 
     /// Record how many events the recovery path restored (for
@@ -190,14 +242,17 @@ impl OnlineSession {
         let SessionInner {
             builder, pending, ..
         } = &mut *inner;
-        let (applied, failure) = builder.apply_batch(events, pending);
+        let (applied, failure) = {
+            let _stage = self.apply_ns.start_timer();
+            builder.apply_batch(events, pending)
+        };
         inner.rejected += (events.len() - applied) as u64;
         inner.pending_events += applied;
         let auto = self.config.auto_flush_events;
         if auto > 0 && inner.pending_events >= auto {
             // On failure the delta is re-queued (see `flush_inner`), so the
             // error genuinely resurfaces on the next explicit flush.
-            let _ = Self::flush_inner(&mut inner);
+            let _ = self.flush_inner(&mut inner);
         }
         match failure {
             Some(e) => Err(e),
@@ -205,12 +260,13 @@ impl OnlineSession {
         }
     }
 
-    fn flush_inner(inner: &mut SessionInner) -> Result<Vec<RunKey>, FlushError> {
+    fn flush_inner(&self, inner: &mut SessionInner) -> Result<Vec<RunKey>, FlushError> {
         let delta = std::mem::take(&mut inner.pending);
         inner.pending_events = 0;
         if delta.is_empty() {
             return Ok(Vec::new());
         }
+        let _stage = self.flush_ns.start_timer();
         let SessionInner {
             builder,
             analyzer,
@@ -236,7 +292,7 @@ impl OnlineSession {
     /// re-queued, so the same [`FlushError`] resurfaces (and the same work
     /// retries) on the next flush.
     pub fn flush(&self) -> Result<Vec<RunKey>, FlushError> {
-        Self::flush_inner(&mut self.lock())
+        self.flush_inner(&mut self.lock())
     }
 
     /// True once the run's producer declared it finished and that event
@@ -282,6 +338,26 @@ impl OnlineSession {
             runs_finished: inner.analyzer.finished_count() as u64,
             incremental: inner.analyzer.stats(),
         }
+    }
+
+    /// The session's metric registry: the stage histograms this session
+    /// records into, shared with its durable wrapper, WAL writer and any
+    /// pipeline feeding it. Hold handles from it rather than re-looking
+    /// names up per event.
+    pub fn metrics_registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// One composable snapshot of everything this session knows about
+    /// itself: the [`SessionStats`] counters plus the registry's stage
+    /// histograms. Process-global metrics (the compiled-eval cache) are
+    /// deliberately *not* included — a sharded engine merges many of
+    /// these snapshots, and globals must be added exactly once at the top
+    /// (see `eval_cache_metrics` in the crate root).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut out = self.stats().metrics();
+        self.registry.collect_into(&mut out);
+        out
     }
 
     /// The configured problem threshold.

@@ -260,6 +260,21 @@ pub fn frame_event(buf: &mut Vec<u8>, event: &TraceEvent) {
     buf.extend_from_slice(&payload);
 }
 
+/// Metric handles a [`WalWriter`] records into when its owner wires them
+/// up (see [`WalWriter::set_metrics`]); all-`None` by default, so the
+/// writer stays usable without any observability plumbing.
+#[derive(Debug, Default)]
+pub struct WalMetrics {
+    /// Wall time of each `write` call appending a frame batch.
+    pub append_ns: Option<std::sync::Arc<obs::Histogram>>,
+    /// Wall time of each fsync (policy-driven or explicit).
+    pub fsync_ns: Option<std::sync::Arc<obs::Histogram>>,
+    /// Frames appended (one per logged event).
+    pub frames: Option<std::sync::Arc<obs::Counter>>,
+    /// Fsyncs performed.
+    pub fsyncs: Option<std::sync::Arc<obs::Counter>>,
+}
+
 /// An append-only frame writer over one log file.
 #[derive(Debug)]
 pub struct WalWriter {
@@ -270,6 +285,7 @@ pub struct WalWriter {
     len: u64,
     appended_since_sync: u64,
     scratch: Vec<u8>,
+    metrics: WalMetrics,
 }
 
 impl WalWriter {
@@ -299,6 +315,7 @@ impl WalWriter {
             len: valid_len,
             appended_since_sync: 0,
             scratch: Vec::new(),
+            metrics: WalMetrics::default(),
         };
         use std::io::Seek;
         if valid_len < WAL_HEADER_LEN {
@@ -311,6 +328,12 @@ impl WalWriter {
             w.file.seek(io::SeekFrom::Start(valid_len))?;
         }
         Ok(w)
+    }
+
+    /// Record append/fsync timings and frame counts into the given metric
+    /// handles from now on (typically a durable session's registry).
+    pub fn set_metrics(&mut self, metrics: WalMetrics) {
+        self.metrics = metrics;
     }
 
     /// The log file path.
@@ -344,7 +367,13 @@ impl WalWriter {
         for event in events {
             frame_event(&mut self.scratch, event);
         }
-        self.file.write_all(&self.scratch)?;
+        {
+            let _stage = obs::StageTimer::maybe(self.metrics.append_ns.as_deref());
+            self.file.write_all(&self.scratch)?;
+        }
+        if let Some(frames) = &self.metrics.frames {
+            frames.add(events.len() as u64);
+        }
         self.len += self.scratch.len() as u64;
         self.appended_since_sync += events.len() as u64;
         match self.policy {
@@ -361,7 +390,13 @@ impl WalWriter {
 
     /// Force the log to stable storage.
     pub fn sync(&mut self) -> io::Result<()> {
-        self.file.sync_data()?;
+        {
+            let _stage = obs::StageTimer::maybe(self.metrics.fsync_ns.as_deref());
+            self.file.sync_data()?;
+        }
+        if let Some(fsyncs) = &self.metrics.fsyncs {
+            fsyncs.inc();
+        }
         self.appended_since_sync = 0;
         Ok(())
     }

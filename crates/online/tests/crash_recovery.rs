@@ -266,7 +266,7 @@ fn recovered_session_stats_report_replayed_counts() {
     );
     let pstats = pipeline.close().expect("close");
     assert_eq!(pstats.events, 0);
-    assert_eq!(pstats.replayed_events, events.len() as u64);
+    assert_eq!(pstats.events_replayed, events.len() as u64);
 }
 
 #[test]

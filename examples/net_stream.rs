@@ -14,6 +14,9 @@
 //!
 //! # Or everything at once over real loopback sockets:
 //! cargo run --release --example net_stream
+//!
+//! # Poll a live server's metrics over the wire (Prometheus-style text):
+//! cargo run --release --example net_stream -- --introspect 127.0.0.1:7457
 //! ```
 //!
 //! A producer killed mid-stream (ctrl-C) can simply be re-run with the
@@ -46,6 +49,8 @@ fn shards_arg() -> usize {
 fn main() {
     if let Some(addr) = arg_value("--serve") {
         serve(&addr, shards_arg(), arg_value("--durable"));
+    } else if let Some(addr) = arg_value("--introspect") {
+        introspect(&addr);
     } else if let Some(addr) = arg_value("--produce") {
         let id = arg_value("--producer-id")
             .and_then(|n| n.parse().ok())
@@ -99,6 +104,25 @@ fn serve(addr: &str, shards: usize, durable: Option<String>) {
         }
         line.clear();
     }
+}
+
+/// Poll a running server's live metric registry over the wire (the
+/// `Introspect` RPC, negotiated as a feature bit at handshake) and print
+/// it Prometheus-style: every engine stage histogram (p50/p90/p99), the
+/// per-layer counters, and the eval-cache hit rate.
+fn introspect(addr: &str) {
+    let mut probe = TraceProducer::connect(
+        addr,
+        ProducerConfig {
+            // A probe identity well away from real producers: it streams
+            // nothing, so it never advances an ack ledger anyone shares.
+            producer_id: u64::MAX,
+            ..ProducerConfig::default()
+        },
+    )
+    .expect("connect (is the server running?)");
+    let snapshot = probe.introspect().expect("introspect");
+    print!("{}", snapshot.render_text());
 }
 
 /// A producer process: simulate one program's PE sweep and stream every

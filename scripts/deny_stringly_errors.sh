@@ -5,9 +5,11 @@
 # public `cosy`/`online` surface with SpecError/AnalysisError/IngestError/
 # FlushError/RecoveryError (unified as engine::EngineError), and PR 5
 # deleted the last `#[deprecated]` stringly shims (`engine::compat`) and
-# added the typed `net::NetError` hierarchy. This check keeps stringly
-# failures out: any `Result<…, String>` anywhere in those crates' sources
-# — public or private, signatures or locals — fails CI.
+# added the typed `net::NetError` hierarchy; PR 6's `kojak-obs` joins the
+# gate from birth (its codec fails with `obs::SnapshotDecodeError`). This
+# check keeps stringly failures out: any `Result<…, String>` anywhere in
+# those crates' sources — public or private, signatures or locals — fails
+# CI.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -16,12 +18,13 @@ cd "$(dirname "$0")/.."
 # String>` — the exact shape PR 4 removed). The broader net also
 # catches stringly map/tuple error payloads, which we don't want either.
 matches=$(grep -rn --include='*.rs' ',[[:space:]]*String[[:space:]]*>' \
-    crates/cosy/src crates/online/src crates/engine/src crates/net/src || true)
+    crates/cosy/src crates/online/src crates/engine/src crates/net/src \
+    crates/obs/src || true)
 if [ -n "$matches" ]; then
-    echo "stringly-typed Result<_, String> found in crates/{cosy,online,engine,net} — use the"
+    echo "stringly-typed Result<_, String> found in crates/{cosy,online,engine,net,obs} — use the"
     echo "typed error hierarchy (cosy::SpecError/AnalysisError, online::FlushError,"
-    echo "engine::EngineError, net::NetError, …):"
+    echo "engine::EngineError, net::NetError, obs::SnapshotDecodeError, …):"
     echo "$matches"
     exit 1
 fi
-echo "ok: no Result<_, String> in crates/{cosy,online,engine,net}"
+echo "ok: no Result<_, String> in crates/{cosy,online,engine,net,obs}"

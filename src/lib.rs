@@ -19,6 +19,9 @@
 //! * [`net`] — the framed TCP wire protocol: [`net::EngineServer`]
 //!   fronting any engine, [`net::TraceProducer`] streaming events from
 //!   remote monitors with backpressure and reconnect-with-resume
+//! * [`obs`] — self-instrumentation: the [`obs::MetricsRegistry`],
+//!   scoped [`obs::StageTimer`]s on every pipeline stage, and the
+//!   [`obs::MetricsSnapshot`] the `Introspect` RPC ships
 //!
 //! ```
 //! use kojak::engine::{AnalysisEngine, EngineBuilder};
@@ -34,6 +37,7 @@ pub use asl_sql;
 pub use cosy;
 pub use engine;
 pub use net;
+pub use obs;
 pub use online;
 pub use perfdata;
 pub use reldb;
