@@ -61,6 +61,7 @@ fn bench_durability(c: &mut Criterion) {
                     session: SessionConfig::default(),
                     fsync: FsyncPolicy::Never,
                     snapshot_every_flushes: 0,
+                    faults: Default::default(),
                 },
             )
             .expect("open");
@@ -84,6 +85,7 @@ fn bench_durability(c: &mut Criterion) {
                 session: SessionConfig::default(),
                 fsync: FsyncPolicy::Never,
                 snapshot_every_flushes: 0,
+                faults: Default::default(),
             },
         )
         .expect("open");

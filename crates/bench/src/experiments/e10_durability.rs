@@ -158,6 +158,7 @@ fn ingest_ns(events: &[TraceEvent], durable: Option<FsyncPolicy>) -> u64 {
                         session: SessionConfig::default(),
                         fsync,
                         snapshot_every_flushes: 0,
+                        faults: Default::default(),
                     },
                 )
                 .expect("open");
@@ -193,6 +194,7 @@ pub fn run() -> E10Result {
         session: SessionConfig::default(),
         fsync: FsyncPolicy::Never,
         snapshot_every_flushes: snapshot_every,
+        faults: Default::default(),
     };
     let live = DurableSession::open(&wal_dir, config(0)).expect("open wal dir");
     for batch in events.chunks(BATCH) {

@@ -152,6 +152,7 @@ fn ingest_once(events: &[TraceEvent], shards: usize, iter: usize) -> (u64, Vec<S
             session: SessionConfig::default(),
             fsync: FsyncPolicy::Never,
             snapshot_every_flushes: 0,
+            faults: Default::default(),
         },
     };
     let (engine, _) = ShardedSession::open(&dir, config).expect("open sharded engine");

@@ -117,6 +117,7 @@ fn ingest_once(events: &[TraceEvent], shards: usize, tag: &str) -> (u64, Metrics
             session: SessionConfig::default(),
             fsync: FsyncPolicy::Never,
             snapshot_every_flushes: 0,
+            faults: Default::default(),
         },
     };
     let (engine, _) = ShardedSession::open(&dir, config).expect("open sharded engine");

@@ -55,6 +55,7 @@ pub struct EngineBuilder {
     fsync: FsyncPolicy,
     snapshot_every_flushes: Option<u32>,
     shards: usize,
+    faults: faults::Faults,
 }
 
 impl EngineBuilder {
@@ -128,6 +129,14 @@ impl EngineBuilder {
         self
     }
 
+    /// Gate every file operation of the built engine through a fault
+    /// seam (durable engines only). The default handle is inert; chaos
+    /// tests pass one built from a seeded [`faults::FaultPlan`].
+    pub fn fault_seam(mut self, faults: faults::Faults) -> Self {
+        self.faults = faults;
+        self
+    }
+
     fn session_config(&self) -> SessionConfig {
         SessionConfig {
             threshold: self.threshold,
@@ -145,6 +154,7 @@ impl EngineBuilder {
             snapshot_every_flushes: self
                 .snapshot_every_flushes
                 .unwrap_or(defaults.snapshot_every_flushes),
+            faults: self.faults.clone(),
         }
     }
 
@@ -243,11 +253,13 @@ impl Engine {
 
     /// Per-shard recovery statistics, when this engine recovered durable
     /// state at open (`None` for ephemeral engines; one entry per shard,
-    /// a single entry for an unsharded durable session).
-    pub fn recovery(&self) -> Option<Vec<&RecoveryStats>> {
+    /// a single entry for an unsharded durable session). A shard
+    /// quarantined at open reports empty stats — see
+    /// [`ShardedSession::degraded_state`].
+    pub fn recovery(&self) -> Option<Vec<RecoveryStats>> {
         match self {
-            Engine::Durable(e) => Some(vec![e.recovery()]),
-            Engine::ShardedDurable(e) => Some(e.shards().iter().map(|s| s.recovery()).collect()),
+            Engine::Durable(e) => Some(vec![e.recovery().clone()]),
+            Engine::ShardedDurable(e) => Some(e.shard_recoveries()),
             _ => None,
         }
     }

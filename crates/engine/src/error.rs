@@ -31,6 +31,28 @@ pub enum EngineError {
     Recovery(RecoveryError),
 }
 
+impl EngineError {
+    /// True when an ingest error means the batch (from the failing event
+    /// on) did not reach the engine at all — retrying it later could
+    /// succeed, so it must not be acknowledged or dropped. Per-event
+    /// rejections, by contrast, are final: the engine counted and skipped
+    /// them, the rest of the batch applied, and a resend would only
+    /// reject again. The sharded session quarantines a shard on a
+    /// wholesale failure; the net server refuses to acknowledge one.
+    pub fn failed_wholesale(&self) -> bool {
+        !matches!(
+            self,
+            EngineError::Ingest(
+                IngestError::UnknownRun(_)
+                    | IngestError::DuplicateRun(_)
+                    | IngestError::UnknownFunction { .. }
+                    | IngestError::UnknownRegion { .. }
+                    | IngestError::UnknownParent { .. }
+            )
+        )
+    }
+}
+
 impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

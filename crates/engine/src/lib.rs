@@ -57,7 +57,9 @@ use std::path::PathBuf;
 pub use batch::BatchEngine;
 pub use builder::{Engine, EngineBuilder};
 pub use error::EngineError;
-pub use sharded::{ShardedConfig, ShardedSession};
+pub use sharded::{
+    DegradedState, QuarantineReason, QuarantinedShard, ShardedConfig, ShardedSession,
+};
 
 /// Where an engine's state would come back from after a process kill.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -32,6 +32,30 @@
 //! map from the recovered shard stores. A torn tail in one shard's log is
 //! that shard's problem alone: the other shards recover their full
 //! history untouched.
+//!
+//! ## Quarantine: graceful degradation instead of poisoning
+//!
+//! A shard whose recovery, ingest or flush fails **wholesale** does not
+//! poison the session. It is *quarantined* with a typed
+//! [`QuarantineReason`]; events routed to it while quarantined are
+//! *parked* in arrival order (accepted, held in memory, volatile until
+//! reintegration), and the merged `reports()`/`stats()`/`metrics()`
+//! surfaces return the healthy shards' partial results —
+//! [`ShardedSession::degraded_state`] says exactly which shards are out,
+//! why, and how many events are parked.
+//!
+//! [`ShardedSession::reintegrate`] drives a quarantined shard back to
+//! consistency: reopen from its WAL + snapshot if the engine was lost at
+//! recovery, replay the parked backlog, flush, and restore the shard's
+//! run routes. Exactly-once across the quarantine boundary rests on the
+//! WAL's append atomicity (a failed `append_batch` leaves *no frame* of
+//! the batch in the log), so a parked batch can always be replayed
+//! without double-logging.
+//!
+//! Two recovery failures stay **hard errors** at open, never quarantine:
+//! [`RecoveryError::CorruptSnapshot`] (the snapshot's history exists
+//! nowhere else) and [`RecoveryError::Incompatible`] (layout or format
+//! refusal — resharding and binary downgrades must stay loud).
 
 use crate::error::EngineError;
 use crate::{AnalysisEngine, RecoverableState};
@@ -42,8 +66,9 @@ use online::{
     RunKey, SessionConfig, SessionStats, TraceEvent,
 };
 use std::collections::HashMap;
+use std::fmt;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Configuration of a sharded durable session.
 #[derive(Debug, Clone)]
@@ -70,6 +95,117 @@ pub fn shard_dir(dir: &Path, index: usize) -> PathBuf {
     dir.join(format!("shard-{index:03}"))
 }
 
+/// Why a shard is quarantined (cheap to clone: the underlying typed
+/// errors are shared, not copied).
+#[derive(Debug, Clone)]
+pub enum QuarantineReason {
+    /// The shard's recovery at open failed (I/O or recovery-flush error);
+    /// the shard has no engine until [`ShardedSession::reintegrate`]
+    /// reopens it from disk.
+    Recovery(Arc<RecoveryError>),
+    /// An ingest into the shard failed wholesale (e.g. a WAL append
+    /// error): nothing of the failing batch reached the shard, and the
+    /// batch was parked instead.
+    Ingest(Arc<EngineError>),
+    /// The shard's flush or checkpoint failed.
+    Flush(Arc<EngineError>),
+}
+
+impl fmt::Display for QuarantineReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuarantineReason::Recovery(e) => write!(f, "recovery failed: {e}"),
+            QuarantineReason::Ingest(e) => write!(f, "wholesale ingest failure: {e}"),
+            QuarantineReason::Flush(e) => write!(f, "flush failed: {e}"),
+        }
+    }
+}
+
+/// One quarantined shard, as reported by
+/// [`ShardedSession::degraded_state`].
+#[derive(Debug, Clone)]
+pub struct QuarantinedShard {
+    /// The shard index.
+    pub shard: usize,
+    /// Why it was quarantined.
+    pub reason: QuarantineReason,
+    /// Events parked for this shard since quarantine (volatile — held in
+    /// memory until reintegration replays them).
+    pub parked_events: usize,
+}
+
+/// Which shards are quarantined, why, and how much is parked — the tag
+/// qualifying every partial `reports()`/`stats()`/`metrics()` answer.
+/// Empty means the session is whole.
+#[derive(Debug, Clone, Default)]
+pub struct DegradedState {
+    /// The quarantined shards, in shard order.
+    pub quarantined: Vec<QuarantinedShard>,
+}
+
+impl DegradedState {
+    /// True when at least one shard is quarantined.
+    pub fn is_degraded(&self) -> bool {
+        !self.quarantined.is_empty()
+    }
+
+    /// Total events parked across all quarantined shards.
+    pub fn parked_events(&self) -> usize {
+        self.quarantined.iter().map(|q| q.parked_events).sum()
+    }
+}
+
+impl fmt::Display for DegradedState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.quarantined.is_empty() {
+            return write!(f, "healthy");
+        }
+        write!(f, "degraded:")?;
+        for q in &self.quarantined {
+            write!(
+                f,
+                " [shard {} — {} ({} parked)]",
+                q.shard, q.reason, q.parked_events
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// A quarantined shard's book-keeping.
+struct Quarantine<E> {
+    /// The shard engine, when it survived quarantine (ingest/flush
+    /// failures keep it; a failed recovery never produced one).
+    engine: Option<E>,
+    reason: QuarantineReason,
+    /// Events routed here since quarantine, in arrival order.
+    parked: Vec<TraceEvent>,
+}
+
+enum ShardState<E> {
+    Healthy(E),
+    Quarantined(Quarantine<E>),
+}
+
+/// Swap a healthy shard into quarantine, keeping its engine.
+fn quarantine_in_place<E>(
+    state: &mut ShardState<E>,
+    reason: QuarantineReason,
+    parked: Vec<TraceEvent>,
+) {
+    let prev = std::mem::replace(
+        state,
+        ShardState::Quarantined(Quarantine {
+            engine: None,
+            reason,
+            parked,
+        }),
+    );
+    if let (ShardState::Healthy(engine), ShardState::Quarantined(q)) = (prev, &mut *state) {
+        q.engine = Some(engine);
+    }
+}
+
 /// N independent engine shards behind one [`AnalysisEngine`] surface.
 ///
 /// Generic over the shard engine: `ShardedSession<DurableSession>` is the
@@ -77,12 +213,16 @@ pub fn shard_dir(dir: &Path, index: usize) -> PathBuf {
 /// a purely in-memory session (useful for scaling ingest on one node
 /// without durability).
 pub struct ShardedSession<E> {
-    shards: Vec<E>,
+    shards: Vec<Mutex<ShardState<E>>>,
     /// Run → shard affinity. The shard of a run is *chosen* by hashing its
     /// version tag at `RunStarted` (version locality, see module docs) and
     /// is *sticky* for the run's remaining events. Rebuilt from the shard
     /// stores on recovery.
     routes: Mutex<HashMap<RunKey, usize>>,
+    /// Where and how the shards were opened — what
+    /// [`ShardedSession::reintegrate`] needs to reopen a shard whose
+    /// recovery failed. `None` for in-memory and `from_shards` sessions.
+    durable_ctx: Option<(PathBuf, DurableConfig)>,
 }
 
 impl<E> ShardedSession<E> {
@@ -91,14 +231,33 @@ impl<E> ShardedSession<E> {
     pub fn from_shards(shards: Vec<E>) -> Self {
         assert!(!shards.is_empty(), "a sharded session needs >= 1 shard");
         ShardedSession {
-            shards,
+            shards: shards
+                .into_iter()
+                .map(|e| Mutex::new(ShardState::Healthy(e)))
+                .collect(),
             routes: Mutex::new(HashMap::new()),
+            durable_ctx: None,
         }
     }
 
-    /// The shard engines, in shard order.
-    pub fn shards(&self) -> &[E] {
-        &self.shards
+    fn state(&self, index: usize) -> MutexGuard<'_, ShardState<E>> {
+        self.shards[index].lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Run `f` against shard `index`'s engine. `None` when the index is
+    /// out of range or the shard is quarantined (its engine, if any, is
+    /// behind on parked events — partial answers come from healthy shards
+    /// only).
+    pub fn with_shard<T>(&self, index: usize, f: impl FnOnce(&E) -> T) -> Option<T> {
+        let guard = self
+            .shards
+            .get(index)?
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        match &*guard {
+            ShardState::Healthy(engine) => Some(f(engine)),
+            ShardState::Quarantined(_) => None,
+        }
     }
 
     /// Number of shards.
@@ -113,6 +272,22 @@ impl<E> ShardedSession<E> {
             .unwrap_or_else(|e| e.into_inner())
             .get(&run)
             .copied()
+    }
+
+    /// Which shards are quarantined, why, and how many events each has
+    /// parked. Empty (`!is_degraded()`) when the session is whole.
+    pub fn degraded_state(&self) -> DegradedState {
+        let mut out = DegradedState::default();
+        for i in 0..self.shards.len() {
+            if let ShardState::Quarantined(q) = &*self.state(i) {
+                out.quarantined.push(QuarantinedShard {
+                    shard: i,
+                    reason: q.reason.clone(),
+                    parked_events: q.parked.len(),
+                });
+            }
+        }
+        out
     }
 
     /// Partition a batch into per-shard sub-batches, preserving relative
@@ -151,16 +326,16 @@ impl<E> ShardedSession<E> {
     /// by ingest, flush and checkpoint. A single listed index runs inline
     /// (no thread spawn); more fan out over scoped threads. Unlisted
     /// shards get `None`.
-    fn par_map_at<T, F>(&self, indices: &[usize], f: F) -> Vec<Option<T>>
+    fn fan_out<T, F>(&self, indices: &[usize], f: F) -> Vec<Option<T>>
     where
-        E: Sync,
         T: Send,
-        F: Fn(usize, &E) -> T + Sync,
+        F: Fn(usize) -> T + Sync,
+        E: Send,
     {
         let mut results: Vec<Option<T>> = (0..self.shards.len()).map(|_| None).collect();
         match indices {
             [] => {}
-            &[i] => results[i] = Some(f(i, &self.shards[i])),
+            &[i] => results[i] = Some(f(i)),
             _ => {
                 std::thread::scope(|scope| {
                     for (i, slot) in results.iter_mut().enumerate() {
@@ -168,27 +343,12 @@ impl<E> ShardedSession<E> {
                             continue;
                         }
                         let f = &f;
-                        let shard = &self.shards[i];
-                        scope.spawn(move || *slot = Some(f(i, shard)));
+                        scope.spawn(move || *slot = Some(f(i)));
                     }
                 });
             }
         }
         results
-    }
-
-    /// [`Self::par_map_at`] over every shard.
-    fn par_map<T, F>(&self, f: F) -> Vec<T>
-    where
-        E: Sync,
-        T: Send,
-        F: Fn(usize, &E) -> T + Sync,
-    {
-        let all: Vec<usize> = (0..self.shards.len()).collect();
-        self.par_map_at(&all, f)
-            .into_iter()
-            .map(|slot| slot.expect("shard task ran"))
-            .collect()
     }
 }
 
@@ -213,7 +373,14 @@ impl ShardedSession<DurableSession> {
     /// existing directory with a different shard count — or a directory
     /// holding *unsharded* durable state — would strand runs on shards
     /// the router no longer picks, so both are refused as
-    /// [`RecoveryError::Incompatible`].
+    /// [`RecoveryError::Incompatible`]. A shard whose snapshot is corrupt
+    /// refuses too ([`RecoveryError::CorruptSnapshot`] — its history
+    /// exists nowhere else). Any *other* per-shard recovery failure
+    /// (I/O, recovery flush) **quarantines that shard** instead of
+    /// failing the open: the session comes up degraded (its
+    /// [`RecoveryStats`] entry is empty, check
+    /// [`ShardedSession::degraded_state`]) and
+    /// [`ShardedSession::reintegrate`] retries the recovery later.
     pub fn open(
         dir: impl Into<PathBuf>,
         config: ShardedConfig,
@@ -266,23 +433,51 @@ impl ShardedSession<DurableSession> {
             }
         });
 
-        let mut engines = Vec::with_capacity(shards);
+        let mut states = Vec::with_capacity(shards);
         let mut stats = Vec::with_capacity(shards);
         for slot in slots {
-            let (engine, recovery) = slot.expect("shard recovery ran")?;
-            engines.push(engine);
-            stats.push(recovery);
+            match slot.expect("shard recovery ran") {
+                Ok((engine, recovery)) => {
+                    states.push(ShardState::Healthy(engine));
+                    stats.push(recovery);
+                }
+                // The two refusals stay hard: a corrupt snapshot's history
+                // exists nowhere else, and incompatible state means a
+                // layout/format decision the operator must make.
+                Err(e @ RecoveryError::CorruptSnapshot { .. })
+                | Err(e @ RecoveryError::Incompatible { .. }) => return Err(e),
+                // Everything else (I/O, recovery flush) degrades: the
+                // shard opens quarantined and `reintegrate` retries.
+                Err(e) => {
+                    states.push(ShardState::Quarantined(Quarantine {
+                        engine: None,
+                        reason: QuarantineReason::Recovery(Arc::new(e)),
+                        parked: Vec::new(),
+                    }));
+                    stats.push(RecoveryStats::default());
+                }
+            }
         }
 
-        let session = ShardedSession::from_shards(engines);
+        let session = ShardedSession {
+            shards: states.into_iter().map(Mutex::new).collect(),
+            routes: Mutex::new(HashMap::new()),
+            durable_ctx: Some((dir, config.durable)),
+        };
         // Rebuild run affinity from the recovered shard stores; new runs
         // of already-known versions re-derive the same shard from the
-        // deterministic version hash.
+        // deterministic version hash. A quarantined shard contributes no
+        // routes until it reintegrates — its *new* runs still reach it
+        // (the version hash is deterministic) and are parked, but
+        // continuation events of its pre-crash runs are unroutable and
+        // reject as `UnknownRun` until reintegration restores the routes.
         {
             let mut routes = session.routes.lock().unwrap_or_else(|e| e.into_inner());
-            for (i, shard) in session.shards.iter().enumerate() {
-                for key in shard.session().run_keys() {
-                    routes.insert(key, i);
+            for i in 0..session.shards.len() {
+                if let ShardState::Healthy(shard) = &*session.state(i) {
+                    for key in shard.session().run_keys() {
+                        routes.insert(key, i);
+                    }
                 }
             }
         }
@@ -290,8 +485,152 @@ impl ShardedSession<DurableSession> {
     }
 
     /// Sum of the per-shard WAL lengths (bytes since the last checkpoint).
+    /// Quarantined shards whose engine survived are included; a shard
+    /// lost at recovery contributes 0.
     pub fn wal_len(&self) -> u64 {
-        self.shards.iter().map(|s| s.wal_len()).sum()
+        (0..self.shards.len())
+            .map(|i| match &*self.state(i) {
+                ShardState::Healthy(e) => e.wal_len(),
+                ShardState::Quarantined(q) => q.engine.as_ref().map_or(0, |e| e.wal_len()),
+            })
+            .sum()
+    }
+
+    /// Per-shard recovery statistics, in shard order. A shard quarantined
+    /// at open (recovery failed) reports the empty stats; after a
+    /// successful [`Self::reintegrate`] its entry reflects the reopened
+    /// recovery.
+    pub fn shard_recoveries(&self) -> Vec<RecoveryStats> {
+        (0..self.shards.len())
+            .map(|i| match &*self.state(i) {
+                ShardState::Healthy(e) => e.recovery().clone(),
+                ShardState::Quarantined(q) => q
+                    .engine
+                    .as_ref()
+                    .map(|e| e.recovery().clone())
+                    .unwrap_or_default(),
+            })
+            .collect()
+    }
+
+    /// Drive a quarantined shard back to consistency; healthy shards are
+    /// a no-op (`Ok(0)`). Returns the number of parked events replayed.
+    ///
+    /// The shard's WAL is the source of truth: if the engine was lost at
+    /// open, the shard is reopened from its WAL + snapshot pair first
+    /// (replaying everything it had durably accepted). The parked backlog
+    /// is then ingested in arrival order — exactly-once, because a
+    /// wholesale ingest failure is only ever raised after the WAL rolled
+    /// the failed batch out of the log, so nothing parked was ever
+    /// applied. A final flush folds the replay into live reports and the
+    /// shard's run routes are restored.
+    ///
+    /// On error the shard **stays quarantined** with its original reason
+    /// and nothing is lost: a failed reopen keeps the backlog parked, a
+    /// wholesale replay failure re-parks the backlog, and a failed final
+    /// flush leaves the (already WAL-durable) replayed events awaiting the
+    /// next attempt. `reintegrate` may simply be called again.
+    pub fn reintegrate(&self, shard: usize) -> Result<usize, EngineError> {
+        if shard >= self.shards.len() {
+            return Err(EngineError::Config {
+                detail: format!("shard {shard} out of range ({} shards)", self.shards.len()),
+            });
+        }
+        let mut state = self.state(shard);
+        let q = match &mut *state {
+            ShardState::Healthy(_) => return Ok(0),
+            ShardState::Quarantined(q) => q,
+        };
+
+        if q.engine.is_none() {
+            let (dir, config) = self
+                .durable_ctx
+                .as_ref()
+                .ok_or_else(|| EngineError::Config {
+                    detail: format!(
+                        "shard {shard} has no engine and the session was not \
+                     opened from a directory — cannot reopen it"
+                    ),
+                })?;
+            match DurableSession::open(shard_dir(dir, shard), config.clone()) {
+                Ok(engine) => q.engine = Some(engine),
+                Err(e) => return Err(EngineError::Recovery(e)),
+            }
+        }
+        let engine = q.engine.as_ref().expect("engine ensured above");
+
+        let parked = std::mem::take(&mut q.parked);
+        let drained = parked.len();
+        if !parked.is_empty() {
+            match AnalysisEngine::ingest_batch(engine, &parked) {
+                Ok(_) => {}
+                Err(e) if e.failed_wholesale() => {
+                    // Nothing of the backlog reached the shard (WAL append
+                    // atomicity): re-park it and stay quarantined.
+                    q.parked = parked;
+                    return Err(e);
+                }
+                // Per-event rejections are final and deterministic — the
+                // rest of the backlog applied, exactly as it would have
+                // without the quarantine detour.
+                Err(_) => {}
+            }
+        }
+        AnalysisEngine::flush(engine)?;
+
+        let engine = q.engine.take().expect("engine ensured above");
+        let keys = engine.session().run_keys();
+        *state = ShardState::Healthy(engine);
+        drop(state);
+
+        let mut routes = self.routes.lock().unwrap_or_else(|e| e.into_inner());
+        for key in keys {
+            routes.insert(key, shard);
+        }
+        Ok(drained)
+    }
+
+    /// [`Self::reintegrate`] every quarantined shard, stopping at the
+    /// first failure. Returns the total parked events replayed.
+    pub fn reintegrate_all(&self) -> Result<usize, EngineError> {
+        let mut drained = 0;
+        for i in 0..self.shards.len() {
+            drained += self.reintegrate(i)?;
+        }
+        Ok(drained)
+    }
+}
+
+impl<E: AnalysisEngine> ShardedSession<E> {
+    /// Ingest one shard's sub-batch under its lock, parking on (or
+    /// entering) quarantine. `Ok` counts events the shard took
+    /// responsibility for — applied, or parked for reintegration.
+    fn ingest_shard(&self, index: usize, group: &[TraceEvent]) -> Result<usize, EngineError> {
+        let mut state = self.state(index);
+        let result = match &mut *state {
+            ShardState::Quarantined(q) => {
+                q.parked.extend_from_slice(group);
+                return Ok(group.len());
+            }
+            ShardState::Healthy(engine) => engine.ingest_batch(group),
+        };
+        match result {
+            Ok(n) => Ok(n),
+            Err(e) if e.failed_wholesale() => {
+                // The shard applied nothing of this group (a failed WAL
+                // append rolls the whole batch out of the log), so parking
+                // the group and degrading keeps exactly-once intact.
+                quarantine_in_place(
+                    &mut state,
+                    QuarantineReason::Ingest(Arc::new(e)),
+                    group.to_vec(),
+                );
+                Ok(group.len())
+            }
+            // A per-event rejection is final: the engine counted and
+            // skipped it, the rest of the group applied.
+            Err(e) => Err(e),
+        }
     }
 }
 
@@ -306,6 +645,11 @@ impl<E: AnalysisEngine> AnalysisEngine for ShardedSession<E> {
     /// *in shard order* — which rejection that is can differ from the
     /// unsharded session's stream-order pick. The rejected-event *count*
     /// (`stats().events_rejected`) is identical either way.
+    ///
+    /// Degradation nuance: a sub-batch whose shard fails **wholesale** is
+    /// parked (the shard quarantines, see module docs) and counts as
+    /// accepted here — the error surfaces through
+    /// [`ShardedSession::degraded_state`] instead of poisoning the batch.
     fn ingest_batch(&self, events: &[TraceEvent]) -> Result<usize, EngineError> {
         let groups = self.partition(events);
         let active: Vec<usize> = groups
@@ -314,12 +658,12 @@ impl<E: AnalysisEngine> AnalysisEngine for ShardedSession<E> {
             .filter(|(_, g)| !g.is_empty())
             .map(|(i, _)| i)
             .collect();
-        let results = self.par_map_at(&active, |i, shard| shard.ingest_batch(&groups[i]));
-        let mut applied = 0usize;
+        let results = self.fan_out(&active, |i| self.ingest_shard(i, &groups[i]));
+        let mut accepted = 0usize;
         let mut failure = None;
         for result in results.into_iter().flatten() {
             match result {
-                Ok(n) => applied += n,
+                Ok(n) => accepted += n,
                 Err(e) => {
                     failure.get_or_insert(e);
                 }
@@ -327,16 +671,38 @@ impl<E: AnalysisEngine> AnalysisEngine for ShardedSession<E> {
         }
         match failure {
             Some(e) => Err(e),
-            None => Ok(applied),
+            None => Ok(accepted),
         }
     }
 
     /// Flush every shard in parallel; the merged update set is sorted by
-    /// run key.
+    /// run key. A shard whose flush fails is **quarantined** (typed
+    /// reason, see [`ShardedSession::degraded_state`]) rather than
+    /// failing the whole flush — the healthy shards' updates are still
+    /// returned.
     fn flush(&self) -> Result<Vec<RunKey>, EngineError> {
+        let all: Vec<usize> = (0..self.shards.len()).collect();
+        let results = self.fan_out(&all, |i| {
+            let mut state = self.state(i);
+            let result = match &mut *state {
+                ShardState::Quarantined(_) => return Vec::new(),
+                ShardState::Healthy(engine) => engine.flush(),
+            };
+            match result {
+                Ok(updated) => updated,
+                Err(e) => {
+                    quarantine_in_place(
+                        &mut state,
+                        QuarantineReason::Flush(Arc::new(e)),
+                        Vec::new(),
+                    );
+                    Vec::new()
+                }
+            }
+        });
         let mut updated = Vec::new();
-        for result in self.par_map(|_, shard| shard.flush()) {
-            updated.extend(result?);
+        for result in results.into_iter().flatten() {
+            updated.extend(result);
         }
         updated.sort();
         Ok(updated)
@@ -344,24 +710,35 @@ impl<E: AnalysisEngine> AnalysisEngine for ShardedSession<E> {
 
     fn report(&self, run: RunKey) -> Option<AnalysisReport> {
         match self.shard_of_run(run) {
-            Some(i) => self.shards[i].report(run),
-            None => self.shards.iter().find_map(|s| s.report(run)),
+            Some(i) => self.with_shard(i, |s| s.report(run)).flatten(),
+            None => {
+                (0..self.shards.len()).find_map(|i| self.with_shard(i, |s| s.report(run)).flatten())
+            }
         }
     }
 
+    /// Merged reports of the **healthy** shards (run keys are disjoint
+    /// across shards, so the merge is exact). When shards are
+    /// quarantined this is a partial answer — tag it with
+    /// [`ShardedSession::degraded_state`].
     fn reports(&self) -> HashMap<RunKey, AnalysisReport> {
-        // Run keys are disjoint across shards (affine routing): a plain
-        // merge is exact.
         let mut out = HashMap::new();
-        for shard in &self.shards {
-            out.extend(shard.reports());
+        for i in 0..self.shards.len() {
+            if let Some(shard_reports) = self.with_shard(i, |s| s.reports()) {
+                out.extend(shard_reports);
+            }
         }
         out
     }
 
+    /// Summed stats of the **healthy** shards (partial while degraded —
+    /// see [`ShardedSession::degraded_state`]).
     fn stats(&self) -> SessionStats {
         let mut total = SessionStats::default();
-        for shard in &self.shards {
+        for i in 0..self.shards.len() {
+            let Some(stats) = self.with_shard(i, |s| s.stats()) else {
+                continue;
+            };
             // Exhaustive destructuring (no `..`): adding a counter to
             // either stats struct must fail to compile here rather than
             // silently report 0 for sharded engines.
@@ -378,7 +755,7 @@ impl<E: AnalysisEngine> AnalysisEngine for ShardedSession<E> {
                         full_reevaluations,
                         instances_evaluated,
                     },
-            } = shard.stats();
+            } = stats;
             total.events_applied += events_applied;
             total.events_rejected += events_rejected;
             total.events_replayed += events_replayed;
@@ -392,25 +769,52 @@ impl<E: AnalysisEngine> AnalysisEngine for ShardedSession<E> {
         total
     }
 
-    /// Merge every shard's snapshot (counters and histogram buckets add,
-    /// associatively — see `obs::MetricsSnapshot::merge`) and record the
-    /// fan-in width as `kojak_engine_shards`.
+    /// Merge every healthy shard's snapshot (counters and histogram
+    /// buckets add, associatively — see `obs::MetricsSnapshot::merge`)
+    /// and record the fan-in width as `kojak_engine_shards`, plus the
+    /// degradation gauges `kojak_engine_shards_quarantined` and
+    /// `kojak_engine_events_parked` (both 0 when whole).
     fn metrics(&self) -> obs::MetricsSnapshot {
         let mut out = obs::MetricsSnapshot::default();
-        for shard in &self.shards {
-            out.merge(&shard.metrics());
+        for i in 0..self.shards.len() {
+            if let Some(snapshot) = self.with_shard(i, |s| s.metrics()) {
+                out.merge(&snapshot);
+            }
         }
+        let degraded = self.degraded_state();
         out.push_gauge("kojak_engine_shards", self.shards.len() as u64);
+        out.push_gauge(
+            "kojak_engine_shards_quarantined",
+            degraded.quarantined.len() as u64,
+        );
+        out.push_gauge(
+            "kojak_engine_events_parked",
+            degraded.parked_events() as u64,
+        );
         out
     }
 
     fn recoverable_state(&self) -> RecoverableState {
         let mut dirs = Vec::new();
-        for shard in &self.shards {
-            match shard.recoverable_state() {
-                RecoverableState::Durable { dir } => dirs.push(dir),
-                RecoverableState::Sharded { mut shard_dirs } => dirs.append(&mut shard_dirs),
-                RecoverableState::Ephemeral => {}
+        for i in 0..self.shards.len() {
+            let state = match &*self.state(i) {
+                ShardState::Healthy(e) => Some(e.recoverable_state()),
+                ShardState::Quarantined(q) => match &q.engine {
+                    Some(e) => Some(e.recoverable_state()),
+                    // The engine was lost at recovery, but its durable
+                    // state is still on disk where we opened it.
+                    None => self
+                        .durable_ctx
+                        .as_ref()
+                        .map(|(dir, _)| RecoverableState::Durable {
+                            dir: shard_dir(dir, i),
+                        }),
+                },
+            };
+            match state {
+                Some(RecoverableState::Durable { dir }) => dirs.push(dir),
+                Some(RecoverableState::Sharded { mut shard_dirs }) => dirs.append(&mut shard_dirs),
+                Some(RecoverableState::Ephemeral) | None => {}
             }
         }
         if dirs.is_empty() {
@@ -420,10 +824,20 @@ impl<E: AnalysisEngine> AnalysisEngine for ShardedSession<E> {
         }
     }
 
+    /// Checkpoint every shard in parallel; like [`Self::flush`], a shard
+    /// whose checkpoint fails quarantines instead of failing the call.
     fn checkpoint(&self) -> Result<(), EngineError> {
-        for result in self.par_map(|_, shard| shard.checkpoint()) {
-            result?;
-        }
+        let all: Vec<usize> = (0..self.shards.len()).collect();
+        self.fan_out(&all, |i| {
+            let mut state = self.state(i);
+            let result = match &mut *state {
+                ShardState::Quarantined(_) => return,
+                ShardState::Healthy(engine) => engine.checkpoint(),
+            };
+            if let Err(e) = result {
+                quarantine_in_place(&mut state, QuarantineReason::Flush(Arc::new(e)), Vec::new());
+            }
+        });
         Ok(())
     }
 }

@@ -249,12 +249,16 @@ fn multi_version_shards_partition_exactly() {
     for (i, subsequence) in expected_partition(&events, SHARDS).into_iter().enumerate() {
         let control = control_session(&subsequence);
         assert_eq!(
-            sharded.shards()[i].reports(),
+            sharded
+                .with_shard(i, |s| s.reports())
+                .expect("healthy shard"),
             control.reports(),
             "shard {i} diverged from its own subsequence"
         );
         assert_eq!(
-            sharded.shards()[i].store_snapshot(),
+            sharded
+                .with_shard(i, |s| s.store_snapshot())
+                .expect("healthy shard"),
             control.store_snapshot(),
             "shard {i} store diverged"
         );
@@ -283,6 +287,7 @@ fn sharded_config(snapshot_every_flushes: u32) -> ShardedConfig {
             session: SessionConfig::default(),
             fsync: FsyncPolicy::Never,
             snapshot_every_flushes,
+            faults: Default::default(),
         },
     }
 }
@@ -396,10 +401,211 @@ fn torn_wal_in_one_shard_is_isolated() {
         let survived = &partition[i][..expected as usize];
         let control = control_session(survived);
         assert_eq!(
-            recovered.shards()[i].reports(),
+            recovered
+                .with_shard(i, |s| s.reports())
+                .expect("healthy shard"),
             control.reports(),
             "shard {i} reports after torn-tail recovery"
         );
+    }
+}
+
+/// A shard whose recovery fails at open is **quarantined**, not fatal:
+/// the session opens degraded, events routed to the quarantined shard
+/// park in memory (and count as accepted), partial answers are tagged
+/// with a [`engine::DegradedState`], and `reintegrate` replays the
+/// parked backlog once the operator repairs the shard — converging to
+/// the exact state of a never-degraded session.
+#[test]
+fn recovery_failure_quarantines_and_reintegrate_converges() {
+    use engine::QuarantineReason;
+    const SHARDS: usize = 3;
+    let store = multi_version_store();
+    let events = interleave(per_run_streams(&store), 31);
+    let partition = expected_partition(&events, SHARDS);
+    let victim = (0..SHARDS)
+        .max_by_key(|&i| partition[i].len())
+        .expect("shards exist");
+    assert!(
+        !partition[victim].is_empty(),
+        "fixture must load the victim"
+    );
+
+    // Create the (empty) layout, then break the victim's WAL: a
+    // directory where the log file belongs fails every read with EISDIR.
+    let dir = ScratchDir::new("quarantine");
+    let config = ShardedConfig {
+        shards: SHARDS,
+        ..sharded_config(0)
+    };
+    let (fresh, _) = ShardedSession::open(&dir.0, config.clone()).expect("open fresh");
+    drop(fresh);
+    let wal_path = shard_dir(&dir.0, victim).join(online::durable::WAL_FILE);
+    let _ = std::fs::remove_file(&wal_path);
+    std::fs::create_dir(&wal_path).expect("plant bogus wal directory");
+
+    // Open succeeds *degraded* instead of failing wholesale.
+    let (degraded, stats) = ShardedSession::open(&dir.0, config.clone()).expect("open degraded");
+    assert_eq!(stats.len(), SHARDS);
+    let state = degraded.degraded_state();
+    assert!(state.is_degraded());
+    assert_eq!(state.quarantined.len(), 1);
+    assert_eq!(state.quarantined[0].shard, victim);
+    assert!(
+        matches!(state.quarantined[0].reason, QuarantineReason::Recovery(_)),
+        "reason must be typed as a recovery failure: {}",
+        state.quarantined[0].reason
+    );
+    assert_eq!(state.parked_events(), 0);
+    assert!(degraded.with_shard(victim, |_| ()).is_none());
+
+    // The full stream is accepted: healthy shards apply their share,
+    // the victim's share parks (exactly-once — nothing is dropped).
+    let accepted = AnalysisEngine::ingest_batch(&degraded, &events).expect("degraded ingest");
+    assert_eq!(accepted, events.len(), "parked events count as accepted");
+    AnalysisEngine::flush(&degraded).expect("degraded flush");
+    assert_eq!(
+        degraded.degraded_state().parked_events(),
+        partition[victim].len()
+    );
+
+    // Partial answers cover exactly the healthy shards, and the metrics
+    // stream carries the degradation (satellite: quarantine gauges).
+    let partial = AnalysisEngine::reports(&degraded);
+    let mut expected_partial = HashMap::new();
+    for (i, subsequence) in partition.iter().enumerate() {
+        if i != victim {
+            expected_partial.extend(control_session(subsequence).reports());
+        }
+    }
+    assert_eq!(partial.len(), expected_partial.len());
+    let metrics = AnalysisEngine::metrics(&degraded);
+    assert_eq!(metrics.gauge("kojak_engine_shards_quarantined"), Some(1));
+    assert_eq!(
+        metrics.gauge("kojak_engine_events_parked"),
+        Some(partition[victim].len() as u64)
+    );
+
+    // Reintegration is retryable: with the fault still present it fails
+    // typed, keeps the quarantine, and loses nothing.
+    assert!(degraded.reintegrate(victim).is_err());
+    assert_eq!(
+        degraded.degraded_state().parked_events(),
+        partition[victim].len()
+    );
+
+    // Repair the shard, reintegrate: the backlog replays and the session
+    // converges to a never-degraded sharded session over the same stream.
+    std::fs::remove_dir(&wal_path).expect("remove bogus wal directory");
+    let replayed = degraded.reintegrate_all().expect("reintegrate");
+    assert_eq!(replayed, partition[victim].len());
+    assert!(!degraded.degraded_state().is_degraded());
+    let metrics = AnalysisEngine::metrics(&degraded);
+    assert_eq!(metrics.gauge("kojak_engine_shards_quarantined"), Some(0));
+    assert_eq!(metrics.gauge("kojak_engine_events_parked"), Some(0));
+
+    let control_dir = ScratchDir::new("quarantine-control");
+    let (control, _) = ShardedSession::open(&control_dir.0, config).expect("open control");
+    AnalysisEngine::ingest_batch(&control, &events).expect("control ingest");
+    AnalysisEngine::flush(&control).expect("control flush");
+    assert_eq!(
+        AnalysisEngine::reports(&degraded),
+        AnalysisEngine::reports(&control),
+        "reintegrated session must match a never-degraded one"
+    );
+    assert_eq!(
+        AnalysisEngine::stats(&degraded).events_applied,
+        AnalysisEngine::stats(&control).events_applied
+    );
+
+    // Reintegrating a healthy shard is a no-op; out-of-range is typed.
+    assert_eq!(degraded.reintegrate(victim).expect("healthy no-op"), 0);
+    assert!(degraded.reintegrate(SHARDS + 7).is_err());
+}
+
+/// A checkpoint failure quarantines the failing shard (preserving its
+/// live engine) instead of poisoning the session; reintegration promotes
+/// it back without replaying anything.
+#[test]
+fn checkpoint_failure_quarantines_with_engine_preserved() {
+    use engine::QuarantineReason;
+    const SHARDS: usize = 3;
+    let store = multi_version_store();
+    let events = interleave(per_run_streams(&store), 57);
+    let partition = expected_partition(&events, SHARDS);
+    let victim = (0..SHARDS)
+        .max_by_key(|&i| partition[i].len())
+        .expect("shards exist");
+
+    let dir = ScratchDir::new("checkpoint-quarantine");
+    let config = ShardedConfig {
+        shards: SHARDS,
+        ..sharded_config(0)
+    };
+    let (durable, _) = ShardedSession::open(&dir.0, config).expect("open");
+    AnalysisEngine::ingest_batch(&durable, &events).expect("ingest");
+    AnalysisEngine::flush(&durable).expect("flush");
+    let whole_reports = AnalysisEngine::reports(&durable);
+
+    // A directory squatting on `snapshot.tmp` makes the victim's next
+    // checkpoint fail (File::create → EISDIR) — running as any user.
+    let tmp_path = shard_dir(&dir.0, victim).join("snapshot.tmp");
+    std::fs::create_dir(&tmp_path).expect("plant bogus snapshot.tmp");
+
+    // checkpoint() degrades instead of erroring: healthy shards
+    // checkpointed, the victim is quarantined with its engine intact.
+    durable
+        .checkpoint()
+        .expect("checkpoint always degrades, never fails");
+    let state = durable.degraded_state();
+    assert_eq!(state.quarantined.len(), 1);
+    assert_eq!(state.quarantined[0].shard, victim);
+    assert!(matches!(
+        state.quarantined[0].reason,
+        QuarantineReason::Flush(_)
+    ));
+    assert_eq!(state.parked_events(), 0);
+
+    // Repair and reintegrate: no parked backlog, the preserved engine is
+    // promoted in place, and nothing was lost along the way.
+    std::fs::remove_dir(&tmp_path).expect("remove bogus snapshot.tmp");
+    assert_eq!(durable.reintegrate(victim).expect("reintegrate"), 0);
+    assert!(!durable.degraded_state().is_degraded());
+    assert_eq!(AnalysisEngine::reports(&durable), whole_reports);
+    durable.checkpoint().expect("repaired checkpoint");
+    assert!(!durable.degraded_state().is_degraded());
+}
+
+/// A corrupt snapshot stays a **hard** open error (the truncated history
+/// exists nowhere else — quarantining it would quietly serve wrong
+/// answers), exactly like the unsharded session.
+#[test]
+fn corrupt_snapshot_is_still_a_hard_open_error() {
+    const SHARDS: usize = 3;
+    let store = multi_version_store();
+    let events = interleave(per_run_streams(&store), 83);
+    let partition = expected_partition(&events, SHARDS);
+    let victim = (0..SHARDS)
+        .max_by_key(|&i| partition[i].len())
+        .expect("shards exist");
+
+    let dir = ScratchDir::new("corrupt-snapshot");
+    // snapshot_every_flushes = 1: the flush below writes snapshots.
+    let (durable, _) = ShardedSession::open(&dir.0, sharded_config(1)).expect("open");
+    AnalysisEngine::ingest_batch(&durable, &events).expect("ingest");
+    AnalysisEngine::flush(&durable).expect("flush");
+    drop(durable);
+
+    let snapshot_path = shard_dir(&dir.0, victim).join(online::durable::SNAPSHOT_FILE);
+    assert!(snapshot_path.exists(), "checkpoint must have written one");
+    std::fs::write(&snapshot_path, b"KJSN garbage, not a snapshot").expect("corrupt");
+
+    match ShardedSession::open(&dir.0, sharded_config(1)) {
+        Err(online::RecoveryError::CorruptSnapshot { .. }) => {}
+        other => panic!(
+            "expected CorruptSnapshot, got {:?}",
+            other.map(|_| ()).err()
+        ),
     }
 }
 

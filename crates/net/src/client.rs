@@ -20,11 +20,16 @@
 
 use crate::error::NetError;
 use crate::proto::{self, Hello, Message};
+use faults::{FaultStream, Faults};
 use obs::{MetricsSnapshot, MetricsSource};
 use online::TraceEvent;
 use std::collections::VecDeque;
 use std::net::TcpStream;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// The producer's socket, routed through the fault seam (an inert seam
+/// is a zero-cost passthrough).
+type ProducerStream = FaultStream<TcpStream>;
 
 /// Producer configuration.
 #[derive(Debug, Clone)]
@@ -39,9 +44,22 @@ pub struct ProducerConfig {
     pub batch_events: usize,
     /// Reconnect attempts before giving up.
     pub reconnect_attempts: u32,
-    /// Backoff before the first reconnect attempt (doubled per attempt,
-    /// capped at one second).
+    /// Base backoff before the first reconnect attempt. Subsequent waits
+    /// use decorrelated jitter — each wait is drawn (deterministically,
+    /// seeded by `producer_id`) from `[base, 3 × previous wait]`, capped
+    /// at [`ProducerConfig::reconnect_backoff_cap`] — so a fleet of
+    /// producers knocked over by one server restart does not stampede
+    /// back in lockstep.
     pub reconnect_backoff: Duration,
+    /// Ceiling on any single reconnect wait. `Duration::ZERO` means the
+    /// default of one second.
+    pub reconnect_backoff_cap: Duration,
+    /// Wall-clock budget for one reconnect episode (sleeps included):
+    /// once exceeded, the episode fails typed
+    /// ([`NetError::ReconnectFailed`] with the elapsed time) even if
+    /// attempts remain. `Duration::ZERO` disables the time budget —
+    /// only [`ProducerConfig::reconnect_attempts`] bounds the episode.
+    pub reconnect_max_elapsed: Duration,
     /// Cap on a received frame's payload length.
     pub max_frame_len: u32,
     /// Connect/read/write timeout. A dead peer that never sends a
@@ -54,6 +72,10 @@ pub struct ProducerConfig {
     /// [`proto::feature`]); the server masks this down to what it
     /// supports. Defaults to everything this build speaks.
     pub features: u8,
+    /// Fault-injection seam for the producer's socket I/O. Inert by
+    /// default; tests hand in a seeded [`faults::FaultPlan`]'s handle to
+    /// exercise connection resets and partial writes deterministically.
+    pub faults: Faults,
 }
 
 impl Default for ProducerConfig {
@@ -64,9 +86,12 @@ impl Default for ProducerConfig {
             batch_events: 256,
             reconnect_attempts: 5,
             reconnect_backoff: Duration::from_millis(25),
+            reconnect_backoff_cap: Duration::from_secs(1),
+            reconnect_max_elapsed: Duration::ZERO,
             max_frame_len: proto::DEFAULT_MAX_FRAME_LEN,
             io_timeout: Duration::from_secs(30),
             features: proto::FEATURES_SUPPORTED,
+            faults: Faults::none(),
         }
     }
 }
@@ -176,7 +201,7 @@ impl SentBatch {
 pub struct TraceProducer {
     addr: String,
     config: ProducerConfig,
-    stream: Option<TcpStream>,
+    stream: Option<ProducerStream>,
     /// 1-based position of the last offered event == its sequence number.
     position: u64,
     /// High-water mark of acknowledged sequence numbers.
@@ -193,6 +218,9 @@ pub struct TraceProducer {
     pending_body: Vec<u8>,
     /// Shipped, unacknowledged batches, oldest first.
     unacked: VecDeque<SentBatch>,
+    /// Monotone draw counter for the deterministic reconnect jitter:
+    /// successive reconnect episodes draw fresh waits.
+    backoff_draws: u64,
     stats: NetStats,
 }
 
@@ -214,6 +242,7 @@ impl TraceProducer {
             pending_offsets: Vec::new(),
             pending_body: Vec::new(),
             unacked: VecDeque::new(),
+            backoff_draws: 0,
             stats: NetStats::default(),
             stream: Some(stream),
             config,
@@ -432,15 +461,39 @@ impl TraceProducer {
         }
     }
 
-    /// Reconnect with backoff; on success, retire what the server's
+    /// The next reconnect wait (see [`decorrelated_backoff`]): the
+    /// monotone draw counter makes the schedule deterministic per
+    /// producer while staying decorrelated across producers.
+    fn next_backoff(&mut self, previous: Duration) -> Duration {
+        self.backoff_draws += 1;
+        decorrelated_backoff(
+            self.config.producer_id,
+            self.backoff_draws,
+            previous,
+            self.config.reconnect_backoff,
+            self.config.reconnect_backoff_cap,
+        )
+    }
+
+    /// Reconnect with jittered backoff under the configured attempt and
+    /// elapsed-time budgets; on success, retire what the server's
     /// handshake says it already applied and resend the rest.
     fn reconnect(&mut self, first_failure: NetError) -> Result<(), NetError> {
         self.stream = None;
+        let start = Instant::now();
+        let budget = self.config.reconnect_max_elapsed;
         let mut last = first_failure;
         let mut backoff = self.config.reconnect_backoff;
-        for _ in 0..self.config.reconnect_attempts {
+        let mut attempts = 0u32;
+        while attempts < self.config.reconnect_attempts {
+            if !budget.is_zero() && start.elapsed() + backoff > budget {
+                // Sleeping through the next wait would blow the time
+                // budget: fail typed now rather than overshoot.
+                break;
+            }
             std::thread::sleep(backoff);
-            backoff = (backoff * 2).min(Duration::from_secs(1));
+            backoff = self.next_backoff(backoff);
+            attempts += 1;
             match handshake(&self.addr, &self.config) {
                 Ok((mut stream, hello_ack)) => {
                     self.window = hello_ack.window;
@@ -461,23 +514,57 @@ impl TraceProducer {
                         Err(e) => last = NetError::Io(e),
                     }
                 }
-                // A refusal (spec mismatch, version skew) recurs on every
-                // attempt: surface it immediately.
+                // A refusal (spec mismatch, version skew, quarantine)
+                // recurs on every attempt: surface it immediately.
                 Err(e) if !e.is_transient() => return Err(e),
                 Err(e) => last = e,
             }
         }
         Err(NetError::ReconnectFailed {
-            attempts: self.config.reconnect_attempts,
+            attempts,
+            elapsed: start.elapsed(),
             last: Box::new(last),
         })
     }
 }
 
+/// One step of the decorrelated-jitter reconnect backoff:
+/// `min(cap, base + draw % (3 × previous − base))`, where `draw` is a
+/// pure splitmix64 function of `(producer_id, draw_index)`.
+///
+/// Deterministic per producer (a failure schedule reproduces exactly
+/// from the producer id), decorrelated across producers (no reconnect
+/// stampede when a server restart cuts a fleet at once). A zero `cap`
+/// means the 1 s default.
+pub fn decorrelated_backoff(
+    producer_id: u64,
+    draw_index: u64,
+    previous: Duration,
+    base: Duration,
+    cap: Duration,
+) -> Duration {
+    let cap = if cap.is_zero() {
+        Duration::from_secs(1)
+    } else {
+        cap
+    };
+    let draw = faults::splitmix64(
+        producer_id
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add(draw_index),
+    );
+    let base_ns = base.as_nanos().min(u64::MAX as u128) as u64;
+    let span_ns = (previous.as_nanos().min(u64::MAX as u128) as u64)
+        .saturating_mul(3)
+        .saturating_sub(base_ns);
+    let wait_ns = base_ns.saturating_add(if span_ns == 0 { 0 } else { draw % span_ns });
+    Duration::from_nanos(wait_ns).min(cap)
+}
+
 /// Rewrite every retained batch on a fresh connection (cached bytes, no
 /// re-serialization); returns (events, batches) resent.
 fn resend_all(
-    stream: &mut TcpStream,
+    stream: &mut ProducerStream,
     unacked: &VecDeque<SentBatch>,
 ) -> std::io::Result<(u64, u64)> {
     let mut events = 0u64;
@@ -490,7 +577,7 @@ fn resend_all(
     Ok((events, batches))
 }
 
-fn write_raw(stream: &mut TcpStream, payload: &[u8]) -> std::io::Result<()> {
+fn write_raw(stream: &mut ProducerStream, payload: &[u8]) -> std::io::Result<()> {
     proto::write_frame(stream, payload)
 }
 
@@ -516,14 +603,15 @@ fn connect_stream(addr: &str, timeout: Duration) -> std::io::Result<TcpStream> {
 fn handshake(
     addr: &str,
     config: &ProducerConfig,
-) -> Result<(TcpStream, proto::HelloAck), NetError> {
+) -> Result<(ProducerStream, proto::HelloAck), NetError> {
     use std::io::{Read, Write};
-    let mut stream = connect_stream(addr, config.io_timeout)?;
+    let stream = connect_stream(addr, config.io_timeout)?;
     let _ = stream.set_nodelay(true);
     if !config.io_timeout.is_zero() {
         stream.set_read_timeout(Some(config.io_timeout))?;
         stream.set_write_timeout(Some(config.io_timeout))?;
     }
+    let mut stream = FaultStream::new(stream, &config.faults);
     stream.write_all(&proto::encode_hello(&Hello {
         producer_id: config.producer_id,
         spec_hash: config.spec_hash,
@@ -541,6 +629,7 @@ fn handshake(
         proto::status::UNSUPPORTED_PROTOCOL => {
             Err(NetError::UnsupportedProtocol(proto::PROTO_VERSION))
         }
+        proto::status::QUARANTINED => Err(NetError::Quarantined),
         code => Err(NetError::Refused(code)),
     }
 }

@@ -68,10 +68,17 @@ pub enum NetError {
     Snapshot(obs::SnapshotDecodeError),
     /// The connection (or server) is closed.
     Closed,
-    /// Reconnecting gave up after the configured number of attempts.
+    /// The server quarantined this producer (too many protocol errors on
+    /// its connections) and refuses its handshakes. Reconnecting will not
+    /// help; the operator must clear the quarantine server-side.
+    Quarantined,
+    /// Reconnecting gave up — the configured attempt or elapsed-time
+    /// budget ran out.
     ReconnectFailed {
         /// Attempts made.
         attempts: u32,
+        /// Wall-clock time spent reconnecting (including backoff sleeps).
+        elapsed: std::time::Duration,
         /// The failure of the final attempt.
         last: Box<NetError>,
     },
@@ -112,10 +119,17 @@ impl fmt::Display for NetError {
             }
             NetError::Snapshot(e) => write!(f, "metrics report malformed: {e}"),
             NetError::Closed => write!(f, "connection is closed"),
-            NetError::ReconnectFailed { attempts, last } => {
+            NetError::Quarantined => {
+                write!(f, "server has quarantined this producer")
+            }
+            NetError::ReconnectFailed {
+                attempts,
+                elapsed,
+                last,
+            } => {
                 write!(
                     f,
-                    "gave up reconnecting after {attempts} attempt(s): {last}"
+                    "gave up reconnecting after {attempts} attempt(s) over {elapsed:?}: {last}"
                 )
             }
         }

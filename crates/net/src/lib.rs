@@ -47,7 +47,7 @@ pub mod error;
 pub mod proto;
 pub mod server;
 
-pub use client::{NetStats, ProducerConfig, TraceProducer};
+pub use client::{decorrelated_backoff, NetStats, ProducerConfig, TraceProducer};
 pub use error::NetError;
 pub use proto::{
     feature, spec_hash, standard_spec_hash, Ack, Message, FEATURES_SUPPORTED, PROTO_VERSION,

@@ -118,6 +118,10 @@ pub mod status {
     pub const SPEC_MISMATCH: u8 = 1;
     /// The producer's protocol version is not supported.
     pub const UNSUPPORTED_PROTOCOL: u8 = 2;
+    /// The producer is quarantined (too many protocol errors on its
+    /// previous connections); its handshakes are refused until the
+    /// operator clears it server-side.
+    pub const QUARANTINED: u8 = 3;
 }
 
 // ---------------------------------------------------------- spec hash ----

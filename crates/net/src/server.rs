@@ -14,9 +14,8 @@
 
 use crate::error::NetError;
 use crate::proto::{self, Ack, HelloAck, Message};
-use engine::{AnalysisEngine, EngineError};
+use engine::AnalysisEngine;
 use obs::{MetricsRegistry, MetricsSnapshot, MetricsSource};
-use online::IngestError;
 use std::collections::HashMap;
 use std::io::Read;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -42,6 +41,26 @@ pub struct ServerConfig {
     pub flush_every_events: u64,
     /// Cap on a frame's payload length.
     pub max_frame_len: u32,
+    /// Deadline for a connection to complete its handshake. A peer that
+    /// connects and then trickles (or never sends) its hello — the
+    /// slowloris shape — is dropped when it expires instead of pinning a
+    /// handler thread forever. `Duration::ZERO` disables the deadline.
+    pub handshake_timeout: std::time::Duration,
+    /// Reap a connection that has sent nothing for this long (counted in
+    /// [`ServerStats::connections_reaped_idle`]; the producer's resume
+    /// state is kept, so a live producer simply reconnects). A timeout
+    /// that expires *mid-frame* also reaps — a peer dribbling one byte
+    /// per frame period is indistinguishable from a dead one.
+    /// `Duration::ZERO` disables reaping.
+    pub idle_timeout: std::time::Duration,
+    /// Quarantine a producer after this many protocol errors
+    /// (undecodable frames, checksum mismatches, state-machine
+    /// violations) across its connections: subsequent handshakes are
+    /// refused with [`proto::status::QUARANTINED`] until
+    /// [`crate::EngineServer::clear_quarantine`]. 0 disables quarantine.
+    pub max_producer_protocol_errors: u32,
+    /// Fault-injection seam for accepted sockets' I/O. Inert by default.
+    pub faults: faults::Faults,
 }
 
 impl Default for ServerConfig {
@@ -51,6 +70,10 @@ impl Default for ServerConfig {
             window: 4096,
             flush_every_events: 2048,
             max_frame_len: proto::DEFAULT_MAX_FRAME_LEN,
+            handshake_timeout: std::time::Duration::from_secs(10),
+            idle_timeout: std::time::Duration::ZERO,
+            max_producer_protocol_errors: 8,
+            faults: faults::Faults::none(),
         }
     }
 }
@@ -79,6 +102,11 @@ pub struct ServerStats {
     pub ingest_failures: u64,
     /// Producers that ended their stream with a goodbye.
     pub goodbyes: u64,
+    /// Connections reaped for silence: the handshake deadline or idle
+    /// timeout expired (see [`ServerConfig`]).
+    pub connections_reaped_idle: u64,
+    /// Producers quarantined for repeated protocol errors.
+    pub producers_quarantined: u64,
 }
 
 impl MetricsSource for ServerStats {
@@ -94,6 +122,8 @@ impl MetricsSource for ServerStats {
             protocol_errors,
             ingest_failures,
             goodbyes,
+            connections_reaped_idle,
+            producers_quarantined,
         } = *self;
         out.push_counter("kojak_net_connections_accepted_total", connections_accepted);
         out.push_counter("kojak_net_handshakes_refused_total", handshakes_refused);
@@ -103,6 +133,14 @@ impl MetricsSource for ServerStats {
         out.push_counter("kojak_net_protocol_errors_total", protocol_errors);
         out.push_counter("kojak_net_ingest_failures_total", ingest_failures);
         out.push_counter("kojak_net_goodbyes_total", goodbyes);
+        out.push_counter(
+            "kojak_net_connections_reaped_idle_total",
+            connections_reaped_idle,
+        );
+        out.push_counter(
+            "kojak_net_producers_quarantined_total",
+            producers_quarantined,
+        );
     }
 }
 
@@ -112,6 +150,12 @@ impl MetricsSource for ServerStats {
 struct ProducerSlot {
     /// Highest sequence number applied and acknowledged.
     last_acked: u64,
+    /// Protocol errors attributed to this producer across all of its
+    /// connections.
+    protocol_errors: u64,
+    /// Refuses this producer's handshakes once set (see
+    /// [`ServerConfig::max_producer_protocol_errors`]).
+    quarantined: bool,
 }
 
 struct ServerInner {
@@ -146,6 +190,22 @@ impl ServerInner {
 
     fn stats(&self) -> std::sync::MutexGuard<'_, ServerStats> {
         self.stats.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Record a protocol error against a producer, quarantining it once
+    /// the configured threshold is crossed.
+    fn note_protocol_error(&self, slot: &Arc<Mutex<ProducerSlot>>) {
+        self.stats().protocol_errors += 1;
+        let max = self.config.max_producer_protocol_errors;
+        if max == 0 {
+            return;
+        }
+        let mut producer = slot.lock().unwrap_or_else(|e| e.into_inner());
+        producer.protocol_errors += 1;
+        if !producer.quarantined && producer.protocol_errors >= u64::from(max) {
+            producer.quarantined = true;
+            self.stats().producers_quarantined += 1;
+        }
     }
 
     fn headroom(&self) -> u32 {
@@ -281,6 +341,42 @@ impl EngineServer {
             .unwrap_or(0)
     }
 
+    /// Producer ids currently quarantined for repeated protocol errors
+    /// (their handshakes are refused with
+    /// [`proto::status::QUARANTINED`]).
+    pub fn quarantined_producers(&self) -> Vec<u64> {
+        let producers = self
+            .inner
+            .producers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let mut out: Vec<u64> = producers
+            .iter()
+            .filter(|(_, slot)| slot.lock().unwrap_or_else(|e| e.into_inner()).quarantined)
+            .map(|(id, _)| *id)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Lift a producer's quarantine (its protocol-error count restarts
+    /// from zero). Returns whether the producer was quarantined.
+    pub fn clear_quarantine(&self, producer_id: u64) -> bool {
+        let producers = self
+            .inner
+            .producers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let Some(slot) = producers.get(&producer_id) else {
+            return false;
+        };
+        let mut slot = slot.lock().unwrap_or_else(|e| e.into_inner());
+        let was = slot.quarantined;
+        slot.quarantined = false;
+        slot.protocol_errors = 0;
+        was
+    }
+
     /// Forcibly shut down every accepted producer connection (a fault
     /// lever for tests and operators). Producers observe a socket error
     /// and go through reconnect-with-resume; nothing is lost. Returns
@@ -366,36 +462,36 @@ fn accept_loop(listener: TcpListener, inner: Arc<ServerInner>) -> Vec<JoinHandle
     handlers
 }
 
-/// True when an ingest error means the batch (from the failing event on)
-/// did not reach the engine at all — retrying it later could succeed, so
-/// it must not be acknowledged. Per-event rejections, by contrast, are
-/// final: the engine counted and skipped them, the rest of the batch
-/// applied, and a resend would only reject again.
-fn ingest_failed_wholesale(e: &EngineError) -> bool {
-    !matches!(
-        e,
-        EngineError::Ingest(
-            IngestError::UnknownRun(_)
-                | IngestError::DuplicateRun(_)
-                | IngestError::UnknownFunction { .. }
-                | IngestError::UnknownRegion { .. }
-                | IngestError::UnknownParent { .. }
-        )
+/// True for the socket errors a `SO_RCVTIMEO` expiry surfaces as.
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
     )
 }
 
 /// Handshake, then the frame loop, for one producer connection. Any
 /// [`NetError`] terminates the connection (counted in
 /// [`ServerStats::protocol_errors`] when the peer misbehaved).
-fn handle_connection(mut stream: TcpStream, inner: &ServerInner) -> Result<(), NetError> {
+fn handle_connection(stream: TcpStream, inner: &ServerInner) -> Result<(), NetError> {
     // --- handshake ------------------------------------------------------
+    // Slowloris guard: the hello must arrive within its deadline — a
+    // peer that connects and goes silent must not pin a handler thread.
+    if !inner.config.handshake_timeout.is_zero() {
+        let _ = stream.set_read_timeout(Some(inner.config.handshake_timeout));
+    }
+    let mut stream = faults::FaultStream::new(stream, &inner.config.faults);
     // Read the version-bearing prefix first: a v1 producer's hello is
     // exactly this long, so waiting for a full v2 hello would deadlock
     // against it. The feature byte is consumed only from a peer whose
     // version says it sent one.
     let mut prefix_bytes = [0u8; proto::HELLO_PREFIX_LEN];
-    if stream.read_exact(&mut prefix_bytes).is_err() {
-        // The shutdown poke (or a port scanner) — not a protocol error.
+    if let Err(e) = stream.read_exact(&mut prefix_bytes) {
+        // The shutdown poke (or a port scanner) — not a protocol error;
+        // an expired handshake deadline is counted as a reap.
+        if is_timeout(&e) {
+            inner.stats().connections_reaped_idle += 1;
+        }
         return Err(NetError::Closed);
     }
     let (version, mut hello) = match proto::decode_hello_prefix(&prefix_bytes) {
@@ -415,15 +511,20 @@ fn handle_connection(mut stream: TcpStream, inner: &ServerInner) -> Result<(), N
     // Unknown feature bits are masked, not refused: an older server
     // simply answers with fewer features and a newer producer degrades.
     let features = hello.features & proto::FEATURES_SUPPORTED;
+    let slot = inner.slot(hello.producer_id);
+    let (last_acked, quarantined) = {
+        let producer = slot.lock().unwrap_or_else(|e| e.into_inner());
+        (producer.last_acked, producer.quarantined)
+    };
     let refusal = if version != proto::PROTO_VERSION {
         Some(proto::status::UNSUPPORTED_PROTOCOL)
     } else if hello.spec_hash != inner.config.spec_hash {
         Some(proto::status::SPEC_MISMATCH)
+    } else if quarantined {
+        Some(proto::status::QUARANTINED)
     } else {
         None
     };
-    let slot = inner.slot(hello.producer_id);
-    let last_acked = slot.lock().unwrap_or_else(|e| e.into_inner()).last_acked;
     let reply = HelloAck {
         status: refusal.unwrap_or(proto::status::ACCEPTED),
         spec_hash: inner.config.spec_hash,
@@ -444,6 +545,11 @@ fn handle_connection(mut stream: TcpStream, inner: &ServerInner) -> Result<(), N
     if let Some(code) = refusal {
         return Err(NetError::Refused(code));
     }
+    // Handshake done: switch the socket to the idle-reaping regime.
+    let idle = inner.config.idle_timeout;
+    let _ = stream
+        .get_ref()
+        .set_read_timeout(if idle.is_zero() { None } else { Some(idle) });
 
     // --- frame loop -----------------------------------------------------
     loop {
@@ -451,6 +557,14 @@ fn handle_connection(mut stream: TcpStream, inner: &ServerInner) -> Result<(), N
         // measures producer idle time, not decode work.
         let payload = match proto::read_frame(&mut stream, inner.config.max_frame_len) {
             Ok(p) => p,
+            Err(NetError::Io(e)) if is_timeout(&e) && !idle.is_zero() => {
+                // Idle (or dribbling) producer: reap the connection. Its
+                // resume state is kept — a live producer reconnects and
+                // resumes exactly.
+                inner.stats().connections_reaped_idle += 1;
+                inner.maybe_flush(true);
+                return Ok(());
+            }
             Err(NetError::Io(_)) | Err(NetError::Closed) => {
                 // Producer died (or was killed): flush what it sent so
                 // live reports reflect everything acknowledged.
@@ -458,7 +572,7 @@ fn handle_connection(mut stream: TcpStream, inner: &ServerInner) -> Result<(), N
                 return Ok(());
             }
             Err(e) => {
-                inner.stats().protocol_errors += 1;
+                inner.note_protocol_error(&slot);
                 return Err(e);
             }
         };
@@ -469,7 +583,7 @@ fn handle_connection(mut stream: TcpStream, inner: &ServerInner) -> Result<(), N
         let message = match decoded {
             Ok(m) => m,
             Err(e) => {
-                inner.stats().protocol_errors += 1;
+                inner.note_protocol_error(&slot);
                 return Err(NetError::Wire(e));
             }
         };
@@ -509,7 +623,7 @@ fn handle_connection(mut stream: TcpStream, inner: &ServerInner) -> Result<(), N
                     // duplicate RunStarted events are rejected-and-counted,
                     // never applied twice.)
                     if let Err(e) = inner.engine.ingest_batch(fresh) {
-                        if ingest_failed_wholesale(&e) {
+                        if e.failed_wholesale() {
                             inner.stats().ingest_failures += 1;
                             return Err(NetError::Engine(e));
                         }
@@ -534,19 +648,19 @@ fn handle_connection(mut stream: TcpStream, inner: &ServerInner) -> Result<(), N
                 // this fd, so a plain drop would not signal EOF): the
                 // producer's graceful close waits for this as its barrier
                 // that the goodbye — flush included — was processed.
-                let _ = stream.shutdown(Shutdown::Both);
+                let _ = stream.get_ref().shutdown(Shutdown::Both);
                 return Ok(());
             }
             Message::Introspect => {
                 if features & proto::feature::INTROSPECT == 0 {
-                    inner.stats().protocol_errors += 1;
+                    inner.note_protocol_error(&slot);
                     return Err(NetError::FeatureUnavailable("introspect"));
                 }
                 let report = Message::MetricsReport(inner.metrics_snapshot().encode());
                 proto::write_message(&mut stream, &report)?;
             }
             other @ (Message::Ack(_) | Message::MetricsReport(_)) => {
-                inner.stats().protocol_errors += 1;
+                inner.note_protocol_error(&slot);
                 return Err(NetError::UnexpectedMessage {
                     expected: "event-batch, introspect or goodbye",
                     got: other.kind(),

@@ -96,9 +96,11 @@ fn wholesale_ingest_failure_is_not_acked_and_resends() {
                 .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
                 .is_ok()
             {
-                return Err(EngineError::Ingest(IngestError::Wal(
-                    "injected append failure".to_string(),
-                )));
+                return Err(EngineError::Ingest(IngestError::Wal {
+                    op: online::WalOp::Append,
+                    kind: std::io::ErrorKind::Other,
+                    detail: "injected append failure".to_string(),
+                }));
             }
             self.inner.ingest_batch(events)
         }

@@ -30,9 +30,12 @@
 use crate::error::FlushError;
 use crate::event::{IngestError, RunKey, TraceEvent};
 use crate::session::{OnlineSession, SessionConfig, SessionStats};
-use crate::snapshot::{encode_snapshot, read_snapshot, write_snapshot_bytes, SnapshotError};
-use crate::wal::{read_wal, FsyncPolicy, WalCorruption, WalMetrics, WalWriter};
+use crate::snapshot::{
+    encode_snapshot, read_snapshot_with, write_snapshot_bytes_with, SnapshotError, SnapshotOp,
+};
+use crate::wal::{read_wal_with, FsyncPolicy, WalCorruption, WalIoError, WalMetrics, WalWriter};
 use cosy::AnalysisReport;
+use faults::Faults;
 use std::collections::HashMap;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -54,6 +57,10 @@ pub struct DurableConfig {
     /// [`DurableSession::flush`]es; `0` disables automatic checkpoints
     /// (use [`DurableSession::checkpoint`]).
     pub snapshot_every_flushes: u32,
+    /// Fault seam every file operation of this session (WAL and
+    /// snapshot, recovery included) is gated through. The default is
+    /// inert; chaos tests pass a seeded [`faults::FaultPlan`] handle.
+    pub faults: Faults,
 }
 
 impl Default for DurableConfig {
@@ -62,6 +69,7 @@ impl Default for DurableConfig {
             session: SessionConfig::default(),
             fsync: FsyncPolicy::default(),
             snapshot_every_flushes: 32,
+            faults: Faults::none(),
         }
     }
 }
@@ -128,6 +136,14 @@ impl From<io::Error> for RecoveryError {
     }
 }
 
+impl From<WalIoError> for RecoveryError {
+    fn from(e: WalIoError) -> Self {
+        // Preserve the OS classification on the outside and the typed
+        // WalIoError (op + source chain) as the payload.
+        RecoveryError::Io(io::Error::new(e.source.kind(), e))
+    }
+}
+
 /// What recovery found and did.
 #[derive(Debug, Clone, Default)]
 pub struct RecoveryStats {
@@ -167,10 +183,21 @@ impl OnlineSession {
         dir: &Path,
         config: SessionConfig,
     ) -> Result<(OnlineSession, RecoveryStats), RecoveryError> {
+        OnlineSession::recover_with(dir, config, &Faults::none())
+    }
+
+    /// [`OnlineSession::recover`] through a fault seam: the snapshot and
+    /// WAL reads are gated on `faults` (chaos tests inject read errors
+    /// into recovery itself).
+    pub fn recover_with(
+        dir: &Path,
+        config: SessionConfig,
+        faults: &Faults,
+    ) -> Result<(OnlineSession, RecoveryStats), RecoveryError> {
         let snapshot_path = dir.join(SNAPSHOT_FILE);
         let wal_path = dir.join(WAL_FILE);
         let mut stats = RecoveryStats::default();
-        let snapshot = match read_snapshot(&snapshot_path) {
+        let snapshot = match read_snapshot_with(&snapshot_path, faults) {
             Ok(data) => data,
             Err(SnapshotError::Io(e)) => return Err(RecoveryError::Io(e)),
             Err(SnapshotError::Corrupt(detail)) => {
@@ -180,7 +207,7 @@ impl OnlineSession {
                 })
             }
         };
-        let wal = read_wal(&wal_path)?;
+        let wal = read_wal_with(&wal_path, faults)?;
         // An unreadable-by-design log (foreign header, frames from a newer
         // wire format) must not be "recovered" by truncating it away.
         if let Some(c) = &wal.corruption {
@@ -272,6 +299,7 @@ pub struct DurableSession {
     dir: PathBuf,
     snapshot_every_flushes: u32,
     recovery: RecoveryStats,
+    faults: Faults,
     snapshot_write_ns: Arc<obs::Histogram>,
     snapshot_writes: Arc<obs::Counter>,
 }
@@ -283,16 +311,18 @@ impl DurableSession {
     pub fn open(dir: impl Into<PathBuf>, config: DurableConfig) -> Result<Self, RecoveryError> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
-        let (session, recovery) = OnlineSession::recover(&dir, config.session)?;
+        let (session, recovery) =
+            OnlineSession::recover_with(&dir, config.session, &config.faults)?;
         // A stale log (crash between snapshot rename and truncation) has
         // wal_valid_len == 0: opening at that length completes the
         // interrupted checkpoint by restarting the log on the snapshot's
         // epoch.
-        let mut wal = WalWriter::open(
+        let mut wal = WalWriter::open_with(
             &dir.join(WAL_FILE),
             recovery.wal_valid_len,
             recovery.epoch,
             config.fsync,
+            &config.faults,
         )?;
         // The WAL records into the wrapped session's registry, so one
         // snapshot covers the whole durable stack.
@@ -315,6 +345,7 @@ impl DurableSession {
             dir,
             snapshot_every_flushes: config.snapshot_every_flushes,
             recovery,
+            faults: config.faults,
             snapshot_write_ns,
             snapshot_writes,
         })
@@ -356,10 +387,7 @@ impl DurableSession {
     /// counters truthful.
     pub fn ingest_batch(&self, events: &[TraceEvent]) -> Result<usize, IngestError> {
         let mut inner = self.lock();
-        inner
-            .wal
-            .append_batch(events)
-            .map_err(|e| IngestError::Wal(e.to_string()))?;
+        inner.wal.append_batch(events).map_err(IngestError::from)?;
         self.session.ingest_batch(events)
     }
 
@@ -404,30 +432,60 @@ impl DurableSession {
         let bytes = self.session.snapshot_state(|builder, finished, rejected| {
             encode_snapshot(builder, finished, rejected, next_epoch)
         });
-        {
+        let write_result = {
             let _stage = self.snapshot_write_ns.start_timer();
-            write_snapshot_bytes(&path, &bytes).map_err(|source| FlushError::Snapshot {
-                path: path.clone(),
-                source,
+            write_snapshot_bytes_with(&path, &bytes, &self.faults)
+        };
+        if let Err(e) = write_result {
+            // Every step up to the rename leaves the previous snapshot
+            // and the log authoritative — bail with the epoch untouched.
+            // The directory sync is *after* the commit point: the new
+            // snapshot IS live, so the log must still move onto the new
+            // epoch below, or every future append would land in a file
+            // recovery skips as stale (silent loss of acknowledged
+            // events). Only the rename's machine-crash durability is in
+            // doubt; the caller still sees the typed failure.
+            if e.op != SnapshotOp::DirSync {
+                return Err(FlushError::Snapshot {
+                    path,
+                    op: e.op,
+                    source: e.source,
+                    updated: Vec::new(),
+                });
+            }
+            self.snapshot_writes.inc();
+            // A failed reset schedules its own pending repair (re-driven
+            // before the next append); the dir-sync failure outranks it
+            // as the reported error either way.
+            let _ = inner.wal.reset(next_epoch);
+            inner.epoch = next_epoch;
+            inner.flushes_since_snapshot = 0;
+            return Err(FlushError::Snapshot {
+                path,
+                op: SnapshotOp::DirSync,
+                source: e.source,
                 updated: Vec::new(),
-            })?;
+            });
         }
         self.snapshot_writes.inc();
-        inner
-            .wal
-            .reset(next_epoch)
-            .map_err(|source| FlushError::WalTruncate {
-                path: inner.wal.path().to_path_buf(),
-                source,
-                updated: Vec::new(),
-            })?;
+        // The snapshot is committed: advance the epoch bookkeeping even
+        // when the truncation fails, so the *next* checkpoint's snapshot
+        // epoch stays strictly ahead of a log the pending repair has
+        // meanwhile reset onto `next_epoch` — an equal-epoch snapshot
+        // would make recovery double-apply that log's tail.
+        let reset = inner.wal.reset(next_epoch);
         inner.epoch = next_epoch;
         inner.flushes_since_snapshot = 0;
+        reset.map_err(|e| FlushError::WalTruncate {
+            path: inner.wal.path().to_path_buf(),
+            source: e.source,
+            updated: Vec::new(),
+        })?;
         Ok(())
     }
 
     /// Force logged frames to stable storage regardless of fsync policy.
-    pub fn sync(&self) -> io::Result<()> {
+    pub fn sync(&self) -> Result<(), WalIoError> {
         self.lock().wal.sync()
     }
 
@@ -448,8 +506,11 @@ impl DurableSession {
 
     /// The wrapped session's metric snapshot. The WAL and snapshot stages
     /// record into the same registry, so this is the whole durable
-    /// stack's view (see [`OnlineSession::metrics`]).
+    /// stack's view (see [`OnlineSession::metrics`]); a fault seam that is
+    /// actually injecting contributes its `kojak_faults_*` series too.
     pub fn metrics(&self) -> obs::MetricsSnapshot {
-        self.session.metrics()
+        let mut out = self.session.metrics();
+        obs::MetricsSource::collect_into(&self.faults, &mut out);
+        out
     }
 }

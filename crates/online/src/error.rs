@@ -9,6 +9,7 @@
 //! remain [`crate::durable::RecoveryError`].
 
 use crate::event::RunKey;
+use crate::snapshot::SnapshotOp;
 use cosy::{AnalysisError, SpecError};
 use std::fmt;
 use std::io;
@@ -35,11 +36,17 @@ pub enum FlushError {
     /// flush barrier.
     WorkerLost,
     /// Writing the checkpoint snapshot failed. The flush itself succeeded
-    /// and the WAL still holds the full history — durability is not
-    /// compromised, but the log was not truncated.
+    /// and durability is not compromised: before the rename commit point
+    /// the WAL still holds the full history; a failed *directory sync*
+    /// (the one post-commit step, see [`SnapshotOp::DirSync`]) means the
+    /// snapshot is live and the log has been moved onto its epoch — only
+    /// the rename's machine-crash durability is in doubt.
     Snapshot {
         /// The snapshot file being written.
         path: PathBuf,
+        /// The step of the atomic-write protocol that failed (temp
+        /// create/write/sync, rename, or directory sync).
+        op: SnapshotOp,
         /// The I/O failure.
         source: io::Error,
         /// The runs whose report the *successful* analysis flush changed
@@ -83,8 +90,10 @@ impl fmt::Display for FlushError {
             FlushError::Spec(e) => write!(f, "suite re-binding failed: {e}"),
             FlushError::Closed => write!(f, "ingestion pipeline is closed"),
             FlushError::WorkerLost => write!(f, "pipeline shard worker died"),
-            FlushError::Snapshot { path, source, .. } => {
-                write!(f, "snapshot write {} failed: {source}", path.display())
+            FlushError::Snapshot {
+                path, op, source, ..
+            } => {
+                write!(f, "snapshot {op} {} failed: {source}", path.display())
             }
             FlushError::WalTruncate { path, source, .. } => {
                 write!(f, "wal truncate {} failed: {source}", path.display())

@@ -512,8 +512,19 @@ pub enum IngestError {
     Closed,
     /// The durable session could not append to its write-ahead log (the
     /// event was **not** applied: write-ahead means no event reaches the
-    /// store unless it is on disk first).
-    Wal(String),
+    /// store unless it is on disk first — and on this error, no frame of
+    /// the batch remains in the log either, so a retry cannot
+    /// double-log).
+    Wal {
+        /// The WAL operation that failed (append, the fsync riding on
+        /// it, or the repair of an earlier torn append).
+        op: crate::wal::WalOp,
+        /// The OS error category ([`std::io::ErrorKind`] — the error
+        /// itself is not `Clone`, its classification is).
+        kind: std::io::ErrorKind,
+        /// Rendered description of the underlying error.
+        detail: String,
+    },
 }
 
 impl fmt::Display for IngestError {
@@ -543,12 +554,24 @@ impl fmt::Display for IngestError {
                 parent.name, parent.first_line
             ),
             IngestError::Closed => write!(f, "ingestion pipeline is closed"),
-            IngestError::Wal(e) => write!(f, "write-ahead log append failed: {e}"),
+            IngestError::Wal { op, kind, detail } => {
+                write!(f, "write-ahead log {op} failed ({kind:?}): {detail}")
+            }
         }
     }
 }
 
 impl std::error::Error for IngestError {}
+
+impl From<crate::wal::WalIoError> for IngestError {
+    fn from(e: crate::wal::WalIoError) -> Self {
+        IngestError::Wal {
+            op: e.op,
+            kind: e.source.kind(),
+            detail: e.source.to_string(),
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -129,5 +129,6 @@ pub use event::{
 pub use incremental::{IncrementalAnalyzer, IncrementalStats};
 pub use pipeline::{IngestPipeline, PipelineConfig, PipelineStats};
 pub use session::{OnlineSession, SessionConfig, SessionStats};
-pub use wal::{FsyncPolicy, WalCorruption, WalCorruptionKind};
+pub use snapshot::{SnapshotOp, SnapshotWriteError};
+pub use wal::{FsyncPolicy, WalCorruption, WalCorruptionKind, WalIoError, WalOp};
 pub use wire::WireError;

@@ -32,12 +32,13 @@
 use crate::builder::StoreBuilder;
 use crate::event::{RunKey, VersionTag};
 use crate::wire::{self, Reader, WireError};
+use faults::{Faults, Op as FaultOp};
 use perfdata::{
     CallTiming, DateTime, FunctionId, RegionId, Store, TestRunId, TimingType, VersionId,
 };
 use std::collections::HashMap;
 use std::fs::File;
-use std::io::{self, Read, Write};
+use std::io::{self, Read};
 use std::path::Path;
 
 /// Magic prefix of a snapshot file.
@@ -75,6 +76,62 @@ impl From<io::Error> for SnapshotError {
 impl From<WireError> for SnapshotError {
     fn from(e: WireError) -> Self {
         SnapshotError::Corrupt(e.to_string())
+    }
+}
+
+/// The step of the atomic snapshot-write protocol a
+/// [`SnapshotWriteError`] failed in. Every I/O result of the protocol
+/// is attributed to exactly one of these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotOp {
+    /// Creating the temp file.
+    Create,
+    /// Writing the image into the temp file.
+    Write,
+    /// Fsyncing the temp file before the rename.
+    Sync,
+    /// Renaming the temp file over the live snapshot — the commit point.
+    Rename,
+    /// Fsyncing the directory after the rename. The snapshot content is
+    /// already committed; only the *rename's* machine-crash durability
+    /// is in doubt.
+    DirSync,
+}
+
+impl std::fmt::Display for SnapshotOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            SnapshotOp::Create => "create temp",
+            SnapshotOp::Write => "write temp",
+            SnapshotOp::Sync => "sync temp",
+            SnapshotOp::Rename => "rename",
+            SnapshotOp::DirSync => "sync directory",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A typed snapshot-write failure: which protocol step failed, and the
+/// underlying OS error. Steps before [`SnapshotOp::Rename`] leave the
+/// previous snapshot untouched; recovery falls back to it plus the
+/// longer WAL tail.
+#[derive(Debug)]
+pub struct SnapshotWriteError {
+    /// The protocol step that failed.
+    pub op: SnapshotOp,
+    /// The underlying I/O error.
+    pub source: io::Error,
+}
+
+impl std::fmt::Display for SnapshotWriteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "snapshot {} failed: {}", self.op, self.source)
+    }
+}
+
+impl std::error::Error for SnapshotWriteError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
     }
 }
 
@@ -233,19 +290,48 @@ pub fn encode_snapshot(
 
 /// Atomically persist an encoded snapshot image to `path` (write to a
 /// temp file, fsync, rename over, fsync the directory).
-pub fn write_snapshot_bytes(path: &Path, file_bytes: &[u8]) -> io::Result<()> {
+pub fn write_snapshot_bytes(path: &Path, file_bytes: &[u8]) -> Result<(), SnapshotWriteError> {
+    write_snapshot_bytes_with(path, file_bytes, &Faults::none())
+}
+
+/// [`write_snapshot_bytes`] through a fault seam: each protocol step is
+/// individually injectable, and each failure is attributed to its
+/// [`SnapshotOp`].
+pub fn write_snapshot_bytes_with(
+    path: &Path,
+    file_bytes: &[u8],
+    faults: &Faults,
+) -> Result<(), SnapshotWriteError> {
+    let step = |op: SnapshotOp| move |source: io::Error| SnapshotWriteError { op, source };
     let tmp = path.with_extension("tmp");
     {
-        let mut f = File::create(&tmp)?;
-        f.write_all(file_bytes)?;
-        f.sync_all()?;
+        faults
+            .check(FaultOp::SnapshotCreate)
+            .and_then(|()| File::create(&tmp))
+            .map_err(step(SnapshotOp::Create))
+            .and_then(|mut f| {
+                faults
+                    .write_all(FaultOp::SnapshotWrite, &mut f, file_bytes)
+                    .map_err(step(SnapshotOp::Write))?;
+                faults
+                    .check(FaultOp::SnapshotSync)
+                    .and_then(|()| f.sync_all())
+                    .map_err(step(SnapshotOp::Sync))
+            })?;
     }
-    std::fs::rename(&tmp, path)?;
-    // Persist the rename itself; best-effort (not all filesystems allow
-    // opening a directory for sync).
+    faults
+        .rename(FaultOp::SnapshotRename, &tmp, path)
+        .map_err(step(SnapshotOp::Rename))?;
+    // Persist the rename itself. Failing to *open* the directory is
+    // tolerated (not every filesystem allows it — there is nothing to
+    // report), but once open, a failing sync is a real durability signal
+    // and surfaces typed instead of being swallowed.
     if let Some(dir) = path.parent() {
         if let Ok(d) = File::open(dir) {
-            let _ = d.sync_all();
+            faults
+                .check(FaultOp::SnapshotDirSync)
+                .and_then(|()| d.sync_all())
+                .map_err(step(SnapshotOp::DirSync))?;
         }
     }
     Ok(())
@@ -413,6 +499,15 @@ fn decode_payload(payload: &[u8]) -> Result<SnapshotData, SnapshotError> {
 /// (a fresh session); [`SnapshotError::Corrupt`] when it exists but cannot
 /// be trusted.
 pub fn read_snapshot(path: &Path) -> Result<Option<SnapshotData>, SnapshotError> {
+    read_snapshot_with(path, &Faults::none())
+}
+
+/// [`read_snapshot`] through a fault seam (recovery under chaos tests).
+pub fn read_snapshot_with(
+    path: &Path,
+    faults: &Faults,
+) -> Result<Option<SnapshotData>, SnapshotError> {
+    faults.check(FaultOp::SnapshotRead)?;
     let mut file = match File::open(path) {
         Ok(f) => f,
         Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),

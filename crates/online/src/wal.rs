@@ -32,8 +32,9 @@
 
 use crate::event::TraceEvent;
 use crate::wire::{self, WireError};
+use faults::{Faults, Op as FaultOp};
 use std::fs::{File, OpenOptions};
-use std::io::{self, Read, Write};
+use std::io::{self, Read};
 use std::path::{Path, PathBuf};
 
 /// Magic prefix of a WAL file.
@@ -71,6 +72,65 @@ impl Default for FsyncPolicy {
         // One sync per default pipeline batch: bounded loss window without
         // paying a disk round-trip per event.
         FsyncPolicy::EveryN(256)
+    }
+}
+
+/// The log-file operation a [`WalIoError`] failed in. Every I/O result
+/// on the write path is attributed to exactly one of these — none is
+/// collapsed into a catch-all or silently dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalOp {
+    /// Opening (or creating/truncating-to-resume) the log file.
+    Open,
+    /// Appending framed events.
+    Append,
+    /// Forcing appended frames to stable storage (`fsync`).
+    Sync,
+    /// Truncating — either dropping a torn tail before appending resumes,
+    /// or restarting the log behind a checkpoint.
+    Truncate,
+    /// Reading the log back (recovery / reintegration).
+    Read,
+}
+
+impl std::fmt::Display for WalOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            WalOp::Open => "open",
+            WalOp::Append => "append",
+            WalOp::Sync => "sync",
+            WalOp::Truncate => "truncate",
+            WalOp::Read => "read",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A typed WAL I/O failure: which file operation failed, and the
+/// underlying OS error.
+#[derive(Debug)]
+pub struct WalIoError {
+    /// The operation that failed.
+    pub op: WalOp,
+    /// The underlying I/O error.
+    pub source: io::Error,
+}
+
+impl WalIoError {
+    fn new(op: WalOp) -> impl FnOnce(io::Error) -> WalIoError {
+        move |source| WalIoError { op, source }
+    }
+}
+
+impl std::fmt::Display for WalIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wal {} failed: {}", self.op, self.source)
+    }
+}
+
+impl std::error::Error for WalIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
     }
 }
 
@@ -241,6 +301,12 @@ pub fn parse_frames(bytes: &[u8]) -> WalContents {
 /// Read a whole log file. A missing file is an empty log (fresh session),
 /// not an error; any other I/O failure is.
 pub fn read_wal(path: &Path) -> io::Result<WalContents> {
+    read_wal_with(path, &Faults::none())
+}
+
+/// [`read_wal`] through a fault seam (recovery under chaos tests).
+pub fn read_wal_with(path: &Path, faults: &Faults) -> io::Result<WalContents> {
+    faults.check(FaultOp::WalRead)?;
     let mut file = match File::open(path) {
         Ok(f) => f,
         Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(WalContents::default()),
@@ -275,7 +341,23 @@ pub struct WalMetrics {
     pub fsyncs: Option<std::sync::Arc<obs::Counter>>,
 }
 
+/// The repair an earlier failed mutation left behind; completed (or
+/// re-failed, typed) before the next mutation touches the file.
+#[derive(Debug, Clone, Copy)]
+enum PendingRepair {
+    /// A torn append: truncate the file back to this offset.
+    Truncate(u64),
+    /// A failed restart: redo the whole reset onto this epoch.
+    Reset(u64),
+}
+
 /// An append-only frame writer over one log file.
+///
+/// Failed mutations never leave the writer silently inconsistent with
+/// the file: a torn append is truncated away (immediately, or — if even
+/// that fails — before the next mutation), so on `Ok` the log is always
+/// exactly the frames of every `Ok`-returned append. That invariant is
+/// what lets recovery replay the log as ground truth.
 #[derive(Debug)]
 pub struct WalWriter {
     file: File,
@@ -286,6 +368,8 @@ pub struct WalWriter {
     appended_since_sync: u64,
     scratch: Vec<u8>,
     metrics: WalMetrics,
+    faults: Faults,
+    repair: Option<PendingRepair>,
 }
 
 impl WalWriter {
@@ -300,13 +384,28 @@ impl WalWriter {
         valid_len: u64,
         epoch: u64,
         policy: FsyncPolicy,
-    ) -> io::Result<WalWriter> {
+    ) -> Result<WalWriter, WalIoError> {
+        WalWriter::open_with(path, valid_len, epoch, policy, &Faults::none())
+    }
+
+    /// [`WalWriter::open`] through a fault seam: every subsequent file
+    /// operation of this writer is gated on `faults`.
+    pub fn open_with(
+        path: &Path,
+        valid_len: u64,
+        epoch: u64,
+        policy: FsyncPolicy,
+        faults: &Faults,
+    ) -> Result<WalWriter, WalIoError> {
+        let wrap = WalIoError::new(WalOp::Open);
+        faults.check(FaultOp::WalOpen).map_err(wrap)?;
         let file = OpenOptions::new()
             .create(true)
             .read(true)
             .write(true)
             .truncate(false)
-            .open(path)?;
+            .open(path)
+            .map_err(WalIoError::new(WalOp::Open))?;
         let mut w = WalWriter {
             file,
             path: path.to_path_buf(),
@@ -316,18 +415,58 @@ impl WalWriter {
             appended_since_sync: 0,
             scratch: Vec::new(),
             metrics: WalMetrics::default(),
+            faults: faults.clone(),
+            repair: None,
         };
         use std::io::Seek;
+        let wrap = WalIoError::new(WalOp::Open);
         if valid_len < WAL_HEADER_LEN {
-            w.file.set_len(0)?;
-            w.file.seek(io::SeekFrom::Start(0))?;
-            w.file.write_all(&wal_header(epoch))?;
+            w.file.set_len(0).map_err(WalIoError::new(WalOp::Open))?;
+            w.file.seek(io::SeekFrom::Start(0)).map_err(wrap)?;
+            w.faults
+                .write_all(FaultOp::WalOpen, &mut w.file, &wal_header(epoch))
+                .map_err(WalIoError::new(WalOp::Open))?;
             w.len = WAL_HEADER_LEN;
         } else {
-            w.file.set_len(valid_len)?;
-            w.file.seek(io::SeekFrom::Start(valid_len))?;
+            w.file
+                .set_len(valid_len)
+                .map_err(WalIoError::new(WalOp::Open))?;
+            w.file.seek(io::SeekFrom::Start(valid_len)).map_err(wrap)?;
         }
         Ok(w)
+    }
+
+    /// Complete whatever repair an earlier failed mutation deferred.
+    fn complete_repair(&mut self) -> Result<(), WalIoError> {
+        match self.repair {
+            None => Ok(()),
+            Some(PendingRepair::Truncate(off)) => {
+                self.truncate_to(off)
+                    .map_err(WalIoError::new(WalOp::Truncate))?;
+                self.repair = None;
+                Ok(())
+            }
+            Some(PendingRepair::Reset(epoch)) => self.reset(epoch),
+        }
+    }
+
+    /// Truncate the file to `off` and reposition the cursor there.
+    fn truncate_to(&mut self, off: u64) -> io::Result<()> {
+        use std::io::Seek;
+        self.file.set_len(off)?;
+        self.file.seek(io::SeekFrom::Start(off))?;
+        self.len = off;
+        Ok(())
+    }
+
+    /// An append tore the file (an error after a possibly-partial
+    /// write): truncate the torn bytes away now, or — if the repair
+    /// itself fails — remember to before the next mutation.
+    fn mark_torn(&mut self, valid: u64) {
+        if self.truncate_to(valid).is_err() {
+            self.repair = Some(PendingRepair::Truncate(valid));
+        }
+        self.len = valid;
     }
 
     /// Record append/fsync timings and frame counts into the given metric
@@ -358,41 +497,66 @@ impl WalWriter {
 
     /// Append a batch of events as consecutive frames with one `write`
     /// call, then apply the fsync policy. On `Ok`, every event is at least
-    /// in the OS page cache (crash-of-this-process durable).
-    pub fn append_batch(&mut self, events: &[TraceEvent]) -> io::Result<()> {
+    /// in the OS page cache (crash-of-this-process durable). On `Err`,
+    /// *no* frame of the batch remains in the log (a torn prefix is
+    /// truncated away), so the caller can safely not apply the events and
+    /// later retry the whole batch without double-logging.
+    pub fn append_batch(&mut self, events: &[TraceEvent]) -> Result<(), WalIoError> {
         if events.is_empty() {
             return Ok(());
         }
+        self.complete_repair()?;
         self.scratch.clear();
         for event in events {
             frame_event(&mut self.scratch, event);
         }
-        {
+        let before = self.len;
+        let written = {
             let _stage = obs::StageTimer::maybe(self.metrics.append_ns.as_deref());
-            self.file.write_all(&self.scratch)?;
-        }
-        if let Some(frames) = &self.metrics.frames {
-            frames.add(events.len() as u64);
+            self.faults
+                .write_all(FaultOp::WalAppend, &mut self.file, &self.scratch)
+        };
+        if let Err(source) = written {
+            self.mark_torn(before);
+            return Err(WalIoError {
+                op: WalOp::Append,
+                source,
+            });
         }
         self.len += self.scratch.len() as u64;
         self.appended_since_sync += events.len() as u64;
-        match self.policy {
-            FsyncPolicy::Never => {}
-            FsyncPolicy::Always => self.sync()?,
-            FsyncPolicy::EveryN(n) => {
-                if self.appended_since_sync >= n.max(1) as u64 {
-                    self.sync()?;
-                }
+        let due = match self.policy {
+            FsyncPolicy::Never => false,
+            FsyncPolicy::Always => true,
+            FsyncPolicy::EveryN(n) => self.appended_since_sync >= n.max(1) as u64,
+        };
+        if due {
+            if let Err(e) = self.sync() {
+                // The frames are intact on disk but the caller treats an
+                // erroring append as not-applied; truncate them away so
+                // the log stays exactly the applied history.
+                self.mark_torn(before);
+                return Err(e);
             }
+        }
+        // Counted only now: a frame that was appended but torn away by a
+        // failed policy-fsync never happened as far as the ledger
+        // (`kojak_wal_appended_frames_total == events applied`) goes.
+        if let Some(frames) = &self.metrics.frames {
+            frames.add(events.len() as u64);
         }
         Ok(())
     }
 
     /// Force the log to stable storage.
-    pub fn sync(&mut self) -> io::Result<()> {
+    pub fn sync(&mut self) -> Result<(), WalIoError> {
+        let wrap = WalIoError::new(WalOp::Sync);
         {
             let _stage = obs::StageTimer::maybe(self.metrics.fsync_ns.as_deref());
-            self.file.sync_data()?;
+            self.faults.check(FaultOp::WalSync).map_err(wrap)?;
+            self.file
+                .sync_data()
+                .map_err(WalIoError::new(WalOp::Sync))?;
         }
         if let Some(fsyncs) = &self.metrics.fsyncs {
             fsyncs.inc();
@@ -405,12 +569,32 @@ impl WalWriter {
     /// just written (recording the same epoch) now covers them. Syncs, so
     /// the truncation cannot be reordered after a crash into "snapshot
     /// missing *and* log empty".
-    pub fn reset(&mut self, epoch: u64) -> io::Result<()> {
+    ///
+    /// A failed reset leaves the file in a state recovery already
+    /// handles (either the old epoch-covered content or an empty
+    /// epoch-0 stub — both read as stale next to the newer snapshot)
+    /// and is re-driven to completion before the next append, so events
+    /// accepted after the failure can never land in a log a snapshot
+    /// already covers.
+    pub fn reset(&mut self, epoch: u64) -> Result<(), WalIoError> {
         use std::io::Seek;
-        self.file.set_len(0)?;
-        self.file.seek(io::SeekFrom::Start(0))?;
-        self.file.write_all(&wal_header(epoch))?;
-        self.file.sync_data()?;
+        let result = (|| {
+            self.faults.check(FaultOp::WalTruncate)?;
+            self.file.set_len(0)?;
+            self.file.seek(io::SeekFrom::Start(0))?;
+            self.faults
+                .write_all(FaultOp::WalTruncate, &mut self.file, &wal_header(epoch))?;
+            self.file.sync_data()?;
+            Ok(())
+        })();
+        if let Err(source) = result {
+            self.repair = Some(PendingRepair::Reset(epoch));
+            return Err(WalIoError {
+                op: WalOp::Truncate,
+                source,
+            });
+        }
+        self.repair = None;
         self.epoch = epoch;
         self.len = WAL_HEADER_LEN;
         self.appended_since_sync = 0;

@@ -66,6 +66,7 @@ fn durable_config(snapshot_every_flushes: u32) -> DurableConfig {
         // observe, and skipping fsync keeps the proptest fast.
         fsync: FsyncPolicy::Never,
         snapshot_every_flushes,
+        faults: Default::default(),
     }
 }
 
@@ -267,6 +268,65 @@ fn recovered_session_stats_report_replayed_counts() {
     let pstats = pipeline.close().expect("close");
     assert_eq!(pstats.events, 0);
     assert_eq!(pstats.events_replayed, events.len() as u64);
+}
+
+#[test]
+fn kill_mid_snapshot_write_falls_back_to_the_previous_snapshot() {
+    // Satellite: a crash *during* a checkpoint leaves a torn
+    // `snapshot.tmp` behind — the committed `snapshot.bin` is untouched
+    // (writes are tmp+rename-atomic), so recovery must ignore the tmp,
+    // load the previous snapshot, and replay the WAL tail bit-identically.
+    let store = sim_store(4242, 3, &[1, 8]);
+    let events = replay_store(&store);
+    let cut = events.len() * 3 / 4;
+
+    let dir = ScratchDir::new("mid-snapshot");
+    // snapshot_every = 2 with chunk 16: snapshots fire mid-stream, and a
+    // WAL tail accumulates after the last one.
+    stream_and_kill(&dir, &events[..cut], 16, 2);
+    let snapshot_path = dir.0.join(online::durable::SNAPSHOT_FILE);
+    assert!(snapshot_path.exists(), "a checkpoint must have committed");
+    let committed = std::fs::read(&snapshot_path).expect("committed snapshot");
+
+    // The kill hit mid-checkpoint: a torn, garbage tmp sits next to the
+    // committed snapshot (the prefix of a never-finished write).
+    std::fs::write(dir.0.join("snapshot.tmp"), b"KJSN torn mid-write").expect("torn tmp");
+
+    let (recovered, stats) =
+        OnlineSession::recover(&dir.0, SessionConfig::default()).expect("recover");
+    assert!(stats.used_snapshot, "previous snapshot must be used");
+    assert!(stats.wal_corruption.is_none());
+    assert_eq!(
+        std::fs::read(&snapshot_path).expect("snapshot after recovery"),
+        committed,
+        "recovery must not disturb the committed snapshot"
+    );
+    let control = control_session(&events[..cut]);
+    assert_bit_identical(
+        &recovered.reports(),
+        &control.reports(),
+        "mid-snapshot kill",
+    );
+    assert_eq!(
+        recovered.stats().events_applied,
+        control.stats().events_applied
+    );
+
+    // Resuming over the leftover tmp must not trip the next checkpoint:
+    // the tmp is overwritten and the rename commits a fresh snapshot.
+    let resumed = DurableSession::open(&dir.0, durable_config(1)).expect("reopen");
+    for batch in events[cut..].chunks(16) {
+        resumed.ingest_batch(batch).expect("resumed ingest");
+        resumed.flush().expect("resumed flush");
+    }
+    resumed.checkpoint().expect("checkpoint over leftover tmp");
+    let full_control = control_session(&events);
+    assert_bit_identical(&resumed.reports(), &full_control.reports(), "resumed");
+    assert_ne!(
+        std::fs::read(&snapshot_path).expect("fresh snapshot"),
+        committed,
+        "the repaired checkpoint must commit a newer snapshot"
+    );
 }
 
 #[test]

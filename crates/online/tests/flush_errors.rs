@@ -118,6 +118,7 @@ fn recovery_flush_failure_is_typed_too() {
             session: SessionConfig::default(),
             fsync: FsyncPolicy::Never,
             snapshot_every_flushes: 0,
+            faults: Default::default(),
         },
     )
     .expect("open");

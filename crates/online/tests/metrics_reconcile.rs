@@ -60,6 +60,7 @@ fn config() -> DurableConfig {
         session: SessionConfig::default(),
         fsync: FsyncPolicy::Never,
         snapshot_every_flushes: 0,
+        faults: Default::default(),
     }
 }
 

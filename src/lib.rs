@@ -22,6 +22,10 @@
 //! * [`obs`] — self-instrumentation: the [`obs::MetricsRegistry`],
 //!   scoped [`obs::StageTimer`]s on every pipeline stage, and the
 //!   [`obs::MetricsSnapshot`] the `Introspect` RPC ships
+//! * [`faults`] — deterministic fault injection: seeded
+//!   [`faults::FaultPlan`]s drive the WAL/snapshot/socket seams in
+//!   chaos tests; a zero-cost passthrough unless built with the
+//!   `faults` feature
 //!
 //! ```
 //! use kojak::engine::{AnalysisEngine, EngineBuilder};
@@ -36,6 +40,7 @@ pub use asl_eval;
 pub use asl_sql;
 pub use cosy;
 pub use engine;
+pub use faults;
 pub use net;
 pub use obs;
 pub use online;

@@ -166,6 +166,7 @@ fn durable_config(snapshot_every_flushes: u32) -> DurableConfig {
         session: SessionConfig::default(),
         fsync: FsyncPolicy::Never,
         snapshot_every_flushes,
+        faults: Default::default(),
     }
 }
 
