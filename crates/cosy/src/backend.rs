@@ -117,11 +117,15 @@ impl<'a> PreparedBackend<'a> {
         compiled: Arc<CompiledSpec>,
         store: &'a Store,
     ) -> Result<PreparedBackend<'a>, SpecError> {
-        let data = CosyData::new(store);
-        let eval = CompiledEvaluator::new(compiled, data).map_err(|source| SpecError::Bind {
-            backend: Backend::Compiled,
-            source,
-        })?;
+        // Property instances of one flush overwhelmingly share `Run ==`
+        // metric loads and helper calls (`Summary(r,t)`, `Duration(Basis,t)`
+        // in every severity arm); memoize both for the binding's lifetime.
+        let data = CosyData::with_filter_memo(store);
+        let eval =
+            CompiledEvaluator::new_memoized(compiled, data).map_err(|source| SpecError::Bind {
+                backend: Backend::Compiled,
+                source,
+            })?;
         Ok(PreparedBackend::Compiled(eval))
     }
 

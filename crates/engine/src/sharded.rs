@@ -206,6 +206,15 @@ fn quarantine_in_place<E>(
     }
 }
 
+/// How a batch splits over the shards (see `ShardedSession::partition`).
+enum Partitioned<'a> {
+    /// Every event routed to one shard: the caller's slice is passed
+    /// through untouched — the zero-copy hot path.
+    Single(usize, &'a [TraceEvent]),
+    /// A mixed batch, cloned into per-shard groups (idle shards empty).
+    Groups(Vec<Vec<TraceEvent>>),
+}
+
 /// N independent engine shards behind one [`AnalysisEngine`] surface.
 ///
 /// Generic over the shard engine: `ShardedSession<DurableSession>` is the
@@ -292,10 +301,19 @@ impl<E> ShardedSession<E> {
 
     /// Partition a batch into per-shard sub-batches, preserving relative
     /// order, updating run affinity as `RunStarted` events appear.
-    fn partition(&self, events: &[TraceEvent]) -> Vec<Vec<TraceEvent>> {
-        let mut routes = self.routes.lock().unwrap_or_else(|e| e.into_inner());
+    ///
+    /// The hot path is allocation-conscious: one pass resolves every
+    /// event's route (a single `routes` lock for the whole batch) into a
+    /// flat shard-index array; a batch that lands entirely on one shard —
+    /// always at one shard, and common for run-affine producer batches —
+    /// is returned as a zero-copy borrow of the caller's slice, and only
+    /// genuinely mixed batches clone, into groups allocated at their
+    /// exact final size.
+    fn partition<'a>(&self, events: &'a [TraceEvent]) -> Partitioned<'a> {
         let n = self.shards.len();
-        let mut groups: Vec<Vec<TraceEvent>> = vec![Vec::new(); n];
+        let mut routes = self.routes.lock().unwrap_or_else(|e| e.into_inner());
+        let mut shard_ids: Vec<u32> = Vec::with_capacity(events.len());
+        let mut counts = vec![0usize; n];
         for event in events {
             let run = event.run_key();
             let shard = match routes.get(&run) {
@@ -317,9 +335,22 @@ impl<E> ShardedSession<E> {
                     s
                 }
             };
-            groups[shard].push(event.clone());
+            shard_ids.push(shard as u32);
+            counts[shard] += 1;
         }
-        groups
+        drop(routes);
+
+        if let Some(shard) = counts.iter().position(|&c| c == events.len()) {
+            if !events.is_empty() {
+                return Partitioned::Single(shard, events);
+            }
+        }
+        let mut groups: Vec<Vec<TraceEvent>> =
+            counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+        for (event, &shard) in events.iter().zip(&shard_ids) {
+            groups[shard as usize].push(event.clone());
+        }
+        Partitioned::Groups(groups)
     }
 
     /// Run `f` for each listed shard index — the one fan-out/fan-in used
@@ -651,7 +682,14 @@ impl<E: AnalysisEngine> AnalysisEngine for ShardedSession<E> {
     /// accepted here — the error surfaces through
     /// [`ShardedSession::degraded_state`] instead of poisoning the batch.
     fn ingest_batch(&self, events: &[TraceEvent]) -> Result<usize, EngineError> {
-        let groups = self.partition(events);
+        let groups = match self.partition(events) {
+            // Whole batch, one shard: feed the caller's slice straight
+            // through — no clone, no per-shard Vec, no thread spawn.
+            Partitioned::Single(shard, slice) => {
+                return self.ingest_shard(shard, slice);
+            }
+            Partitioned::Groups(groups) => groups,
+        };
         let active: Vec<usize> = groups
             .iter()
             .enumerate()

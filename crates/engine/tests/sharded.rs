@@ -217,6 +217,46 @@ proptest! {
             control.stats().runs_finished
         );
     }
+
+    /// Batched path ≡ per-event path: for any chunking, the single-pass
+    /// partitioned ingest (including its whole-batch-to-one-shard fast
+    /// path) is bit-identical — ids included — to feeding the same
+    /// sharded layout one event at a time.
+    #[test]
+    fn batched_ingest_bit_identical_to_per_event(
+        seed in 0u64..10_000,
+        shards in prop_oneof![Just(1usize), Just(2), Just(4)],
+        chunk in prop_oneof![Just(3usize), Just(64), Just(257), Just(4096)],
+    ) {
+        let store = multi_version_store();
+        let events = interleave(per_run_streams(&store), seed);
+
+        let batched = ShardedSession::in_memory(shards, SessionConfig::default());
+        let per_event = ShardedSession::in_memory(shards, SessionConfig::default());
+        for batch in events.chunks(chunk) {
+            let applied = AnalysisEngine::ingest_batch(&batched, batch).expect("batched ingest");
+            prop_assert_eq!(applied, batch.len());
+        }
+        for event in &events {
+            AnalysisEngine::ingest_batch(&per_event, std::slice::from_ref(event))
+                .expect("per-event ingest");
+        }
+        let mut changed_batched = AnalysisEngine::flush(&batched).expect("batched flush");
+        let mut changed_per_event = AnalysisEngine::flush(&per_event).expect("per-event flush");
+        changed_batched.sort();
+        changed_per_event.sort();
+        prop_assert_eq!(changed_batched, changed_per_event);
+
+        prop_assert_eq!(
+            AnalysisEngine::reports(&batched),
+            AnalysisEngine::reports(&per_event),
+            "batched reports differ from per-event reports"
+        );
+        prop_assert_eq!(
+            AnalysisEngine::stats(&batched).events_applied,
+            AnalysisEngine::stats(&per_event).events_applied
+        );
+    }
 }
 
 /// Sharding is partitioning: with many versions spread over the shards,

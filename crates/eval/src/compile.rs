@@ -39,7 +39,7 @@ use asl_core::ast::*;
 use asl_core::check::CheckedSpec;
 use asl_core::intern::Symbol;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Maximum user-function call depth (mirrors the interpreter).
 const MAX_CALL_DEPTH: usize = 64;
@@ -57,6 +57,19 @@ static CACHE_MISSES: obs::Counter = obs::Counter::new();
 /// add these to a merged snapshot exactly once, at the top level).
 pub fn cache_counters() -> (u64, u64) {
     (CACHE_HITS.get(), CACHE_MISSES.get())
+}
+
+/// Process-wide hit counter of the helper-function result memo (see
+/// [`CompiledEvaluator::new_memoized`]).
+static FN_MEMO_HITS: obs::Counter = obs::Counter::new();
+/// Process-wide miss counter of the helper-function result memo.
+static FN_MEMO_MISSES: obs::Counter = obs::Counter::new();
+
+/// Lifetime `(hits, misses)` of the helper-function result memo, summed
+/// over every memoized evaluator in the process (same single-snapshot
+/// caveat as [`cache_counters`]).
+pub fn fn_memo_counters() -> (u64, u64) {
+    (FN_MEMO_HITS.get(), FN_MEMO_MISSES.get())
 }
 
 /// Reference to a node in the [`CompiledSpec`] pool.
@@ -892,6 +905,36 @@ fn simple_key(e: &Expr, binder: &str) -> bool {
 // Execution
 // ---------------------------------------------------------------------------
 
+/// Hashable projection of a helper-function argument for the function
+/// result memo. Arguments with no cheap exact projection (floats — NaN
+/// breaks `Eq` — strings, sets) disable memoization for that call.
+#[derive(PartialEq, Eq, Hash)]
+enum FnMemoArg {
+    Int(i64),
+    Bool(bool),
+    DateTime(i64),
+    Enum(Symbol, Symbol),
+    Obj(Symbol, u32),
+}
+
+/// Memo key: function id plus the projected argument tuple.
+type FnMemoKey = (u32, Vec<FnMemoArg>);
+
+fn fn_memo_key(fid: usize, args: &[Value]) -> Option<FnMemoKey> {
+    let mut key = Vec::with_capacity(args.len());
+    for a in args {
+        key.push(match a {
+            Value::Int(v) => FnMemoArg::Int(*v),
+            Value::Bool(b) => FnMemoArg::Bool(*b),
+            Value::DateTime(v) => FnMemoArg::DateTime(*v),
+            Value::Enum(owner, variant) => FnMemoArg::Enum(*owner, *variant),
+            Value::Obj(o) => FnMemoArg::Obj(o.class, o.index),
+            Value::Float(_) | Value::Str(_) | Value::Set(_) | Value::Null => return None,
+        });
+    }
+    Some((fid as u32, key))
+}
+
 /// Executes a [`CompiledSpec`] against an [`ObjectModel`]. Global constants
 /// are evaluated eagerly at construction (in declaration order, mirroring
 /// [`crate::Interpreter::new`]).
@@ -902,6 +945,7 @@ pub struct CompiledEvaluator<M: ObjectModel> {
     spec: Arc<CompiledSpec>,
     data: M,
     consts: Vec<Value>,
+    fn_memo: Option<Mutex<HashMap<FnMemoKey, Value>>>,
 }
 
 impl<M: ObjectModel> CompiledEvaluator<M> {
@@ -914,6 +958,7 @@ impl<M: ObjectModel> CompiledEvaluator<M> {
                     cs: &spec,
                     data: &data,
                     consts: &consts,
+                    fn_memo: None,
                 };
                 let mut frame = vec![Value::Null; spec.consts[i].n_slots];
                 let mut caches = vec![None; spec.consts[i].n_caches];
@@ -921,7 +966,32 @@ impl<M: ObjectModel> CompiledEvaluator<M> {
             };
             consts.push(v);
         }
-        Ok(CompiledEvaluator { spec, data, consts })
+        Ok(CompiledEvaluator {
+            spec,
+            data,
+            consts,
+            fn_memo: None,
+        })
+    }
+
+    /// Like [`CompiledEvaluator::new`], but memoizes helper-function
+    /// results for the evaluator's lifetime.
+    ///
+    /// ASL helper functions are pure and the data source is immutable for
+    /// the binding's lifetime, so a successfully computed `(function,
+    /// scalar args)` call always yields the same value across the property
+    /// instances of one analysis pass — e.g. every severity arm of the
+    /// standard suite divides by the same `Duration(Basis, t)`. Only `Ok`
+    /// results are memoized; calls with float/string/set arguments bypass
+    /// the memo. One deliberate divergence from the unmemoized engines: a
+    /// repeated call that would only fail by exceeding the call-depth
+    /// limit can instead hit the memo and return the value the shallower
+    /// evaluation proved — the resource-limit error is masked, never a
+    /// computed result.
+    pub fn new_memoized(spec: Arc<CompiledSpec>, data: M) -> EvalResult<Self> {
+        let mut out = Self::new(spec, data)?;
+        out.fn_memo = Some(Mutex::new(HashMap::new()));
+        Ok(out)
     }
 
     /// The compiled specification.
@@ -934,6 +1004,7 @@ impl<M: ObjectModel> CompiledEvaluator<M> {
             cs: &self.spec,
             data: &self.data,
             consts: &self.consts,
+            fn_memo: self.fn_memo.as_ref(),
         }
     }
 
@@ -1039,6 +1110,7 @@ struct Ctx<'c, M: ObjectModel> {
     cs: &'c CompiledSpec,
     data: &'c M,
     consts: &'c [Value],
+    fn_memo: Option<&'c Mutex<HashMap<FnMemoKey, Value>>>,
 }
 
 impl<M: ObjectModel> Ctx<'_, M> {
@@ -1061,10 +1133,25 @@ impl<M: ObjectModel> Ctx<'_, M> {
                 format!("call depth limit exceeded in `{}`", f.name),
             ));
         }
+        let key = self.fn_memo.and_then(|_| fn_memo_key(fid, &args));
+        if let (Some(memo), Some(key)) = (self.fn_memo, &key) {
+            let guard = memo.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(v) = guard.get(key) {
+                FN_MEMO_HITS.inc();
+                return Ok(v.clone());
+            }
+            FN_MEMO_MISSES.inc();
+        }
         let mut frame = args;
         frame.resize(f.n_slots, Value::Null);
         let mut caches = vec![None; f.n_caches];
-        self.exec(f.body, &mut frame, &mut caches, depth + 1)
+        let out = self.exec(f.body, &mut frame, &mut caches, depth + 1)?;
+        if let (Some(memo), Some(key)) = (self.fn_memo, key) {
+            memo.lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .insert(key, out.clone());
+        }
+        Ok(out)
     }
 
     fn exec(

@@ -364,6 +364,16 @@ pub fn encode_message(buf: &mut Vec<u8>, message: &Message) {
 /// Decode one frame payload. The whole payload must be consumed; typed
 /// errors on anything else — a socket feeds this arbitrary bytes.
 pub fn decode_message(payload: &[u8]) -> Result<Message, WireError> {
+    decode_message_with_pool(payload, &mut Vec::new())
+}
+
+/// [`decode_message`] with a recycled-vector pool: an `EventBatch`
+/// decodes into a vector popped from `pool` (allocation-free once warm)
+/// instead of a fresh one. See [`DecodeArena`] for the owning handle.
+fn decode_message_with_pool(
+    payload: &[u8],
+    pool: &mut Vec<Vec<TraceEvent>>,
+) -> Result<Message, WireError> {
     let mut r = Reader::new(payload);
     let message = match r.get_u8("message kind")? {
         KIND_EVENT_BATCH => {
@@ -373,7 +383,8 @@ pub fn decode_message(payload: &[u8]) -> Result<Message, WireError> {
             // its 4-byte length prefix, so `count` can never legitimately
             // exceed remaining/6 — a hostile count is caught by the
             // bounds-checked reads below, and must not balloon capacity.
-            let mut events = Vec::with_capacity(count.min(r.remaining() / 6 + 1));
+            let mut events = pool.pop().unwrap_or_default();
+            events.reserve(count.min(r.remaining() / 6 + 1));
             for _ in 0..count {
                 let len = r.get_u32("event length")? as usize;
                 let bytes = r.get_bytes(len, "event payload")?;
@@ -424,6 +435,20 @@ pub fn write_message(w: &mut impl Write, message: &Message) -> std::io::Result<(
 /// Read one frame payload, verifying length cap and checksum before
 /// anything downstream sees the bytes.
 pub fn read_frame(r: &mut impl Read, max_len: u32) -> Result<Vec<u8>, NetError> {
+    let mut payload = Vec::new();
+    read_frame_into(r, max_len, &mut payload)?;
+    Ok(payload)
+}
+
+/// [`read_frame`] into a caller-owned buffer (cleared first): the hot
+/// path reuses one buffer per connection instead of allocating per
+/// frame. The length cap is enforced *before* the buffer grows, so a
+/// hostile prefix still cannot balloon memory.
+pub fn read_frame_into(
+    r: &mut impl Read,
+    max_len: u32,
+    payload: &mut Vec<u8>,
+) -> Result<(), NetError> {
     let mut header = [0u8; 8];
     r.read_exact(&mut header)?;
     let len = u32::from_le_bytes(header[..4].try_into().unwrap());
@@ -431,16 +456,63 @@ pub fn read_frame(r: &mut impl Read, max_len: u32) -> Result<Vec<u8>, NetError> 
     if len > max_len {
         return Err(NetError::FrameTooLarge { len, max: max_len });
     }
-    let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload)?;
-    let actual = wire::crc32(&payload);
+    payload.clear();
+    payload.resize(len as usize, 0);
+    r.read_exact(payload)?;
+    let actual = wire::crc32(payload);
     if actual != crc {
         return Err(NetError::Checksum {
             expected: crc,
             actual,
         });
     }
-    Ok(payload)
+    Ok(())
+}
+
+/// A per-connection decode arena: one payload buffer reused across
+/// frames, plus a small pool of recycled event vectors, so the server's
+/// decode → handle path performs no per-frame (let alone per-event)
+/// buffer allocations once warm. The handler hands an `EventBatch`'s
+/// vector back through [`DecodeArena::recycle`] after ingesting it.
+#[derive(Debug, Default)]
+pub struct DecodeArena {
+    payload: Vec<u8>,
+    pool: Vec<Vec<TraceEvent>>,
+}
+
+/// Recycled event vectors kept per arena; beyond this, returned vectors
+/// are simply dropped (one in flight is the norm — the handler recycles
+/// before the next frame is read).
+const ARENA_POOL_CAP: usize = 4;
+
+impl DecodeArena {
+    /// A fresh arena (buffers grow on first use).
+    pub fn new() -> DecodeArena {
+        DecodeArena::default()
+    }
+
+    /// Read one frame into the arena's payload buffer (see
+    /// [`read_frame_into`]).
+    pub fn read_frame(&mut self, r: &mut impl Read, max_len: u32) -> Result<(), NetError> {
+        read_frame_into(r, max_len, &mut self.payload)
+    }
+
+    /// Decode the last frame read by [`DecodeArena::read_frame`]. An
+    /// `EventBatch` decodes into a recycled vector from the pool.
+    pub fn decode(&mut self) -> Result<Message, WireError> {
+        let payload = std::mem::take(&mut self.payload);
+        let result = decode_message_with_pool(&payload, &mut self.pool);
+        self.payload = payload;
+        result
+    }
+
+    /// Return an `EventBatch`'s event vector for reuse by a later decode.
+    pub fn recycle(&mut self, mut events: Vec<TraceEvent>) {
+        if self.pool.len() < ARENA_POOL_CAP {
+            events.clear();
+            self.pool.push(events);
+        }
+    }
 }
 
 /// Read one frame and decode its [`Message`].

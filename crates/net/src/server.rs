@@ -552,11 +552,16 @@ fn handle_connection(stream: TcpStream, inner: &ServerInner) -> Result<(), NetEr
         .set_read_timeout(if idle.is_zero() { None } else { Some(idle) });
 
     // --- frame loop -----------------------------------------------------
+    // One decode arena per connection: the frame payload buffer and the
+    // event vectors are reused across frames, so the steady-state decode
+    // → handle path allocates nothing per batch (the events' own heap
+    // contents aside).
+    let mut arena = proto::DecodeArena::new();
     loop {
         // The blocking socket read stays outside the decode timer — it
         // measures producer idle time, not decode work.
-        let payload = match proto::read_frame(&mut stream, inner.config.max_frame_len) {
-            Ok(p) => p,
+        match arena.read_frame(&mut stream, inner.config.max_frame_len) {
+            Ok(()) => {}
             Err(NetError::Io(e)) if is_timeout(&e) && !idle.is_zero() => {
                 // Idle (or dribbling) producer: reap the connection. Its
                 // resume state is kept — a live producer reconnects and
@@ -578,7 +583,7 @@ fn handle_connection(stream: TcpStream, inner: &ServerInner) -> Result<(), NetEr
         };
         let decoded = {
             let _stage = inner.decode_ns.start_timer();
-            proto::decode_message(&payload)
+            arena.decode()
         };
         let message = match decoded {
             Ok(m) => m,
@@ -640,6 +645,7 @@ fn handle_connection(stream: TcpStream, inner: &ServerInner) -> Result<(), NetEr
                 drop(slot);
                 inner.maybe_flush(false);
                 proto::write_message(&mut stream, &ack)?;
+                arena.recycle(events);
             }
             Message::Goodbye => {
                 inner.stats().goodbyes += 1;

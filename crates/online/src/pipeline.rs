@@ -2,12 +2,16 @@
 //!
 //! Events are routed to one of `shards` worker threads by a hash of their
 //! [`RunKey`], so each run's stream is handled by exactly one worker (and
-//! stays ordered). Workers accumulate events into per-run batches and
-//! apply a batch to the shared [`OnlineSession`] when it reaches
-//! `batch_size`, when the run finishes, or on a flush barrier. Each shard's
-//! input queue is a **bounded** channel: when ingestion outruns
-//! application, [`IngestPipeline::submit`] blocks — backpressure flows to
-//! the producer instead of growing memory.
+//! stays ordered). Producers that already hold a batch should use
+//! [`IngestPipeline::submit_batch`]: the batch is routed in one pass and
+//! each shard receives its whole group in a **single** channel send —
+//! per-event sends are the regression the batched hot path removes.
+//! Workers accumulate events into per-run batches and apply a batch to
+//! the shared [`OnlineSession`] when it reaches `batch_size`, when the
+//! run finishes, or on a flush barrier. Each shard's input queue is a
+//! **bounded** channel: when ingestion outruns application,
+//! [`IngestPipeline::submit`] blocks — backpressure flows to the producer
+//! instead of growing memory.
 
 use crate::error::FlushError;
 use crate::event::{IngestError, RunKey, TraceEvent};
@@ -55,6 +59,7 @@ impl Default for PipelineConfig {
 struct ShardStats {
     events: u64,
     batches: u64,
+    barrier_acks_lost: u64,
     errors: Vec<String>,
 }
 
@@ -71,6 +76,13 @@ pub struct PipelineStats {
     pub events_replayed: u64,
     /// Batches applied to the session.
     pub batches: u64,
+    /// Flush-barrier acks a worker could not deliver because the flusher
+    /// had already given up on the barrier (its receiver was dropped, e.g.
+    /// after [`IngestPipeline::flush`] returned `WorkerLost` for another
+    /// shard). The buffered events were still applied — only the
+    /// completion signal was lost — but a nonzero count means some flush
+    /// returned without proof that this shard had drained.
+    pub barrier_acks_lost: u64,
     /// Ingestion errors reported by the session (capped at 32 messages).
     pub errors: Vec<String>,
 }
@@ -81,17 +93,23 @@ impl MetricsSource for PipelineStats {
             events,
             events_replayed,
             batches,
+            barrier_acks_lost,
             errors,
         } = self;
         out.push_counter("kojak_pipeline_events_total", *events);
         out.push_counter("kojak_pipeline_events_replayed_total", *events_replayed);
         out.push_counter("kojak_pipeline_batches_total", *batches);
+        out.push_counter("kojak_pipeline_barrier_acks_lost_total", *barrier_acks_lost);
         out.push_counter("kojak_pipeline_errors_total", errors.len() as u64);
     }
 }
 
 enum ShardMsg {
     Event(TraceEvent),
+    /// A pre-routed group of events, all belonging to this shard: one
+    /// channel send carries the whole group (see
+    /// [`IngestPipeline::submit_batch`]).
+    Batch(Vec<TraceEvent>),
     /// Apply all buffered batches, then ack.
     Barrier(SyncSender<()>),
 }
@@ -147,7 +165,44 @@ impl IngestPipeline {
     /// (bounded-channel backpressure).
     pub fn submit(&self, event: TraceEvent) -> Result<(), IngestError> {
         let shard = self.shard_of(event.run_key());
-        match self.senders[shard].try_send(ShardMsg::Event(event)) {
+        self.send(shard, ShardMsg::Event(event))
+    }
+
+    /// Submit a batch of events: the batch is routed **once** — a single
+    /// pass groups the events per shard — and each shard with work gets
+    /// exactly one channel send carrying its whole group, instead of one
+    /// send (lock + wake) per event. Per-run ordering is preserved: the
+    /// single pass keeps each run's events in stream order, and a run
+    /// always maps to the same shard.
+    ///
+    /// Blocks when a target shard's queue is full, like [`submit`].
+    ///
+    /// [`submit`]: IngestPipeline::submit
+    pub fn submit_batch(&self, events: Vec<TraceEvent>) -> Result<(), IngestError> {
+        let shards = self.senders.len();
+        if shards == 1 {
+            // Nothing to group: the whole batch is one send.
+            if events.is_empty() {
+                return Ok(());
+            }
+            return self.send(0, ShardMsg::Batch(events));
+        }
+        let mut groups: Vec<Vec<TraceEvent>> = vec![Vec::new(); shards];
+        for event in events {
+            groups[shard_of(event.run_key().0, shards)].push(event);
+        }
+        for (shard, group) in groups.into_iter().enumerate() {
+            if !group.is_empty() {
+                self.send(shard, ShardMsg::Batch(group))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// One routed send with bounded-channel backpressure; only an actual
+    /// wait on a full queue is timed.
+    fn send(&self, shard: usize, msg: ShardMsg) -> Result<(), IngestError> {
+        match self.senders[shard].try_send(msg) {
             Ok(()) => Ok(()),
             Err(TrySendError::Disconnected(_)) => Err(IngestError::Closed),
             Err(TrySendError::Full(msg)) => {
@@ -189,8 +244,16 @@ impl IngestPipeline {
             let shard = worker.join().map_err(|_| FlushError::WorkerLost)?;
             stats.events += shard.events;
             stats.batches += shard.batches;
+            stats.barrier_acks_lost += shard.barrier_acks_lost;
             stats.errors.extend(shard.errors);
             stats.errors.truncate(32);
+        }
+        if stats.barrier_acks_lost > 0 && stats.errors.len() < 32 {
+            stats.errors.push(format!(
+                "{} flush barrier ack(s) undeliverable: a flush returned \
+                 without drain confirmation from every shard",
+                stats.barrier_acks_lost
+            ));
         }
         self.session.flush()?;
         Ok(stats)
@@ -214,23 +277,37 @@ fn shard_worker(session: &OnlineSession, rx: Receiver<ShardMsg>, batch_size: usi
         buf.clear();
     };
 
+    let buffer = |event: TraceEvent,
+                  buffers: &mut HashMap<RunKey, Vec<TraceEvent>>,
+                  stats: &mut ShardStats| {
+        stats.events += 1;
+        let run = event.run_key();
+        let finished = matches!(event, TraceEvent::RunFinished { .. });
+        let buf = buffers.entry(run).or_default();
+        buf.push(event);
+        if buf.len() >= batch_size || finished {
+            apply(buf, stats);
+        }
+    };
+
     while let Ok(msg) = rx.recv() {
         match msg {
-            ShardMsg::Event(event) => {
-                stats.events += 1;
-                let run = event.run_key();
-                let finished = matches!(event, TraceEvent::RunFinished { .. });
-                let buf = buffers.entry(run).or_default();
-                buf.push(event);
-                if buf.len() >= batch_size || finished {
-                    apply(buf, &mut stats);
+            ShardMsg::Event(event) => buffer(event, &mut buffers, &mut stats),
+            ShardMsg::Batch(events) => {
+                for event in events {
+                    buffer(event, &mut buffers, &mut stats);
                 }
             }
             ShardMsg::Barrier(ack) => {
                 for buf in buffers.values_mut() {
                     apply(buf, &mut stats);
                 }
-                let _ = ack.send(());
+                if ack.send(()).is_err() {
+                    // The flusher stopped listening before our drain
+                    // finished — the apply happened, the proof was lost.
+                    // Count it; `close` surfaces the total.
+                    stats.barrier_acks_lost += 1;
+                }
             }
         }
     }

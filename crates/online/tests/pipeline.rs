@@ -84,6 +84,48 @@ fn sharded_pipeline_matches_batch_analysis() {
     }
 }
 
+/// `submit_batch` (one routing pass, one channel send per shard group)
+/// must produce the same end state as per-event `submit`, for chunkings
+/// that split batches across shards and ones that don't.
+#[test]
+fn submit_batch_matches_per_event_submit() {
+    let store = simulated_store(&[1, 4, 16]);
+    let events = interleaved_events(&store);
+    for chunk in [1usize, 7, 64, events.len()] {
+        let batched_session = Arc::new(OnlineSession::new(SessionConfig::default()));
+        let per_event_session = Arc::new(OnlineSession::new(SessionConfig::default()));
+        let config = PipelineConfig {
+            shards: 3,
+            batch_size: 16,
+            queue_capacity: 64,
+        };
+        let batched = IngestPipeline::new(Arc::clone(&batched_session), config.clone());
+        let per_event = IngestPipeline::new(Arc::clone(&per_event_session), config);
+        for batch in events.chunks(chunk) {
+            batched.submit_batch(batch.to_vec()).unwrap();
+        }
+        for event in events.iter().cloned() {
+            per_event.submit(event).unwrap();
+        }
+        let batched_stats = batched.close().unwrap();
+        let per_event_stats = per_event.close().unwrap();
+        assert!(
+            batched_stats.errors.is_empty(),
+            "{:?}",
+            batched_stats.errors
+        );
+        assert_eq!(
+            batched_stats.events, per_event_stats.events,
+            "chunk {chunk}"
+        );
+        assert_eq!(
+            batched_session.reports(),
+            per_event_session.reports(),
+            "chunk {chunk}: reports diverged"
+        );
+    }
+}
+
 #[test]
 fn concurrent_producers_through_one_pipeline() {
     // Three producer threads each stream one run concurrently.
