@@ -14,6 +14,9 @@ pub struct CheckedSpec {
     pub spec: Specification,
     /// Resolved class/enum/function/property metadata.
     pub model: Model,
+    /// Warnings recorded on the success path (e.g. confidence constants
+    /// outside `[0, 1]`). Never contains errors — those fail [`check`].
+    pub warnings: Diagnostics,
 }
 
 impl CheckedSpec {
@@ -42,6 +45,7 @@ pub fn check(spec: &Specification) -> Result<CheckedSpec, Diagnostics> {
         Ok(CheckedSpec {
             spec: spec.clone(),
             model: cx.model,
+            warnings: cx.diags,
         })
     }
 }
@@ -1093,7 +1097,11 @@ mod tests {
         );
         let spec = parse(&src).unwrap();
         let res = check(&spec);
-        assert!(res.is_ok());
+        let checked = res.unwrap();
+        assert_eq!(checked.warnings.len(), 1);
+        let w = checked.warnings.iter().next().unwrap();
+        assert!(w.message.contains("outside [0, 1]"), "{}", w.message);
+        assert_ne!(w.span, Span::default(), "warning must carry a real span");
     }
 
     #[test]

@@ -60,6 +60,45 @@ impl Diagnostic {
             self.message
         )
     }
+
+    /// Render the diagnostic as a rustc-style caret snippet:
+    ///
+    /// ```text
+    /// warning: confidence constant 1.5 lies outside [0, 1]
+    ///   --> 4:18
+    ///    |
+    ///  4 |     CONFIDENCE 1.5;
+    ///    |                ^^^
+    /// ```
+    ///
+    /// The source line is taken from `source`; `map` must have been built
+    /// from the same text. Spans past the end of the source degrade to the
+    /// plain one-line rendering rather than panicking.
+    pub fn render_snippet(&self, source: &str, map: &SourceMap) -> String {
+        let loc = map.locate(self.span.start);
+        let mut out = format!("{}: {}\n  --> {}\n", self.severity, self.message, loc);
+        let start = self.span.start as usize;
+        if start > source.len() || !source.is_char_boundary(start) {
+            return out;
+        }
+        let line_start = start - (loc.col as usize - 1);
+        let line_end = source[line_start..]
+            .find('\n')
+            .map(|i| line_start + i)
+            .unwrap_or(source.len());
+        let line_text = &source[line_start..line_end];
+        // Width of the caret run: the spanned bytes that fall on this line,
+        // but at least one caret so point spans stay visible.
+        let span_on_line = (self.span.end as usize).min(line_end).saturating_sub(start);
+        let carets = span_on_line.max(1);
+        let gutter = loc.line.to_string();
+        let pad = " ".repeat(gutter.len());
+        out.push_str(&format!("{pad} |\n{gutter} | {line_text}\n{pad} | "));
+        out.push_str(&" ".repeat(loc.col as usize - 1));
+        out.push_str(&"^".repeat(carets));
+        out.push('\n');
+        out
+    }
 }
 
 /// An ordered collection of diagnostics.
@@ -124,6 +163,17 @@ impl Diagnostics {
         }
         out
     }
+
+    /// Render all diagnostics as caret snippets separated by blank lines.
+    pub fn render_snippets(&self, source: &str) -> String {
+        let map = SourceMap::new(source);
+        let mut out = String::new();
+        for d in &self.items {
+            out.push_str(&d.render_snippet(source, &map));
+            out.push('\n');
+        }
+        out
+    }
 }
 
 impl fmt::Display for Diagnostics {
@@ -170,6 +220,37 @@ mod tests {
         ds.error(Span::new(3, 4), "bad token");
         let rendered = ds.render(src);
         assert!(rendered.contains("2:1: error: bad token"), "{rendered}");
+    }
+
+    #[test]
+    fn snippet_renders_caret_under_span() {
+        let src = "PROPERTY P\n  CONFIDENCE 1.5;\nEND";
+        let map = SourceMap::new(src);
+        let d = Diagnostic::warning(Span::new(24, 27), "constant out of range");
+        let s = d.render_snippet(src, &map);
+        assert!(s.contains("warning: constant out of range"), "{s}");
+        assert!(s.contains("--> 2:14"), "{s}");
+        assert!(s.contains("2 |   CONFIDENCE 1.5;"), "{s}");
+        assert!(s.contains("|              ^^^"), "{s}");
+    }
+
+    #[test]
+    fn snippet_point_span_gets_one_caret() {
+        let src = "abc";
+        let map = SourceMap::new(src);
+        let d = Diagnostic::error(Span::point(1), "here");
+        let s = d.render_snippet(src, &map);
+        assert!(s.ends_with(" ^\n"), "{s}");
+        assert!(!s.contains("^^"), "{s}");
+    }
+
+    #[test]
+    fn snippet_out_of_range_span_degrades_gracefully() {
+        let src = "ab";
+        let map = SourceMap::new(src);
+        let d = Diagnostic::error(Span::new(50, 60), "past the end");
+        let s = d.render_snippet(src, &map);
+        assert!(s.contains("error: past the end"), "{s}");
     }
 
     #[test]

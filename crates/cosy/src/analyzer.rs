@@ -638,6 +638,44 @@ mod tests {
     }
 
     #[test]
+    fn runtime_eval_error_renders_source_span() {
+        let mut store = Store::new();
+        let model = archetypes::particle_mc(23);
+        let machine = MachineModel::t3e_900();
+        let version = simulate_program(&mut store, &model, &machine, &[1, 16]);
+        let run = store.versions[version.index()].runs[1];
+        // A severity expression that always divides by zero at runtime:
+        // the error must render a caret snippet pointing at the division
+        // in the spec source, not just a bare message.
+        let src = format!(
+            "{}\nProperty SyncCost(Region r, TestRun t, Region Basis) {{\n\
+             \x20   CONDITION: Duration(Basis, t) >= 0;\n\
+             \x20   CONFIDENCE: 1;\n\
+             \x20   SEVERITY: 1.0 / (Duration(r, t) - Duration(r, t));\n\
+             }}",
+            asl_eval::COSY_DATA_MODEL
+        );
+        let spec = asl_core::parse_and_check(&src).unwrap();
+        for backend in [Backend::Interpreter, Backend::Compiled] {
+            let err = Analyzer::new(&store, version)
+                .unwrap()
+                .with_suite(spec.clone())
+                .analyze(run, backend, ProblemThreshold::default())
+                .unwrap_err();
+            let rendered = err.render(&src);
+            assert!(rendered.contains("division by zero"), "{rendered}");
+            assert!(rendered.contains("-->"), "{rendered}");
+            assert!(rendered.contains('^'), "{rendered}");
+            // The caret points into the SEVERITY line of the property at
+            // the end of the source, far past the data model.
+            let line = err
+                .span()
+                .map(|s| asl_core::SourceMap::new(&src).locate(s.start).line);
+            assert!(line.unwrap_or(0) > 10, "span line: {line:?}");
+        }
+    }
+
+    #[test]
     fn threshold_controls_problem_flag() {
         let mut store = Store::new();
         let model = archetypes::particle_mc(23);

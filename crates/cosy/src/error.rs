@@ -51,6 +51,17 @@ pub enum SpecError {
     },
 }
 
+impl SpecError {
+    /// The source span of the failing spec expression, when the wrapped
+    /// evaluation error carries one.
+    pub fn span(&self) -> Option<asl_core::Span> {
+        match self {
+            SpecError::Bind { source, .. } => source.span,
+            SpecError::NoMainRegion | SpecError::Sql { .. } => None,
+        }
+    }
+}
+
 impl fmt::Display for SpecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -105,6 +116,32 @@ pub enum AnalysisError {
         /// What was wrong with the instance.
         detail: String,
     },
+}
+
+impl AnalysisError {
+    /// The source span of the failing spec expression, when the wrapped
+    /// evaluation error carries one.
+    pub fn span(&self) -> Option<asl_core::Span> {
+        match self {
+            AnalysisError::Spec(e) => e.span(),
+            AnalysisError::Property { source, .. } => source.span,
+            AnalysisError::Sql { .. } | AnalysisError::BadInstance { .. } => None,
+        }
+    }
+
+    /// Render the error against the spec source it came from. With a span,
+    /// this is the one-line message followed by a caret snippet pointing at
+    /// the failing expression; without one, just the message.
+    pub fn render(&self, source: &str) -> String {
+        match self.span() {
+            None => self.to_string(),
+            Some(span) => {
+                let map = asl_core::SourceMap::new(source);
+                let d = asl_core::Diagnostic::error(span, self.to_string());
+                d.render_snippet(source, &map)
+            }
+        }
+    }
 }
 
 impl fmt::Display for AnalysisError {

@@ -97,6 +97,11 @@ pub const SUITE: &[PropertyInfo] = &[
 /// `MeasuredCost`); the rest are refinement properties per overhead family,
 /// marked as extensions in [`SUITE`].
 pub const SUITE_PROPERTIES: &str = r#"
+// cosy-lint: allow(residual-filter-scan): the per-overhead-family properties
+// filter `r.TypTimes` by `Run == t AND Type == X`; the store only indexes
+// (owner, Run), so the Type equality runs per element. Known hot path,
+// accepted until the store serves a composite (Run, Type) index natively.
+
 // Tool-defined thresholds (§4.2 references ImbalanceThreshold).
 float ImbalanceThreshold = 0.25;
 float FrequentCallThreshold = 100.0;

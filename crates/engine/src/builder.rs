@@ -56,6 +56,7 @@ pub struct EngineBuilder {
     snapshot_every_flushes: Option<u32>,
     shards: usize,
     faults: faults::Faults,
+    lint_gate: lint::LintGate,
 }
 
 impl EngineBuilder {
@@ -137,6 +138,41 @@ impl EngineBuilder {
         self
     }
 
+    /// Static-analysis strictness applied when the engine is built (the
+    /// default is [`lint::LintGate::Warn`]): `Deny` makes
+    /// [`build`](EngineBuilder::build) fail with [`EngineError::Lint`]
+    /// when the suite has any active lint finding, `Warn` accepts the
+    /// suite (inspect findings via
+    /// [`lint_check`](EngineBuilder::lint_check)), `Off` skips the pass.
+    pub fn lint(mut self, gate: lint::LintGate) -> Self {
+        self.lint_gate = gate;
+        self
+    }
+
+    /// Run the configured lint gate over the suite this builder would
+    /// load and return the full report, or the gate rejection as an
+    /// [`EngineError::Lint`].
+    ///
+    /// A custom [`spec`](EngineBuilder::spec) is rendered through the
+    /// canonical pretty-printer for directive scanning and snippet
+    /// rendering; comments — including `cosy-lint: allow(...)`
+    /// directives — do not survive that round trip, so callers that rely
+    /// on allow directives in a custom suite should lint the original
+    /// source themselves (`lint::lint`) and set
+    /// [`lint`](EngineBuilder::lint) to `Off`.
+    pub fn lint_check(&self) -> Result<lint::LintReport, EngineError> {
+        let (spec, source) = match &self.spec {
+            Some(s) => (s.clone(), asl_core::pretty::print_spec(&s.spec)),
+            None => (
+                Arc::new(cosy::suite::standard_suite()),
+                cosy::suite::standard_suite_source(),
+            ),
+        };
+        let report = lint::lint(&spec, &source);
+        self.lint_gate.evaluate(&report, &source)?;
+        Ok(report)
+    }
+
     fn session_config(&self) -> SessionConfig {
         SessionConfig {
             threshold: self.threshold,
@@ -165,6 +201,9 @@ impl EngineBuilder {
 
     /// Build the configured engine.
     pub fn build(self) -> Result<Engine, EngineError> {
+        if self.lint_gate != lint::LintGate::Off {
+            self.lint_check()?;
+        }
         let config = |detail: &str| EngineError::Config {
             detail: detail.to_string(),
         };

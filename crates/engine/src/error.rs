@@ -20,6 +20,11 @@ pub enum EngineError {
         /// What was wrong with the requested configuration.
         detail: String,
     },
+    /// The builder's [`lint::LintGate::Deny`] gate rejected the suite:
+    /// the static-analysis pass reported findings the configuration does
+    /// not tolerate. The rejection carries the findings and their full
+    /// caret-snippet rendering.
+    Lint(lint::GateRejection),
     /// Constructing the engine (or binding its suite to a store) failed.
     Spec(SpecError),
     /// An event was rejected at ingestion.
@@ -57,6 +62,7 @@ impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EngineError::Config { detail } => write!(f, "invalid engine configuration: {detail}"),
+            EngineError::Lint(e) => write!(f, "{e}"),
             EngineError::Spec(e) => write!(f, "spec error: {e}"),
             EngineError::Ingest(e) => write!(f, "ingest error: {e}"),
             EngineError::Flush(e) => write!(f, "flush error: {e}"),
@@ -69,6 +75,7 @@ impl std::error::Error for EngineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             EngineError::Config { .. } => None,
+            EngineError::Lint(e) => Some(e),
             EngineError::Spec(e) => Some(e),
             EngineError::Ingest(e) => Some(e),
             EngineError::Flush(e) => Some(e),
@@ -80,6 +87,12 @@ impl std::error::Error for EngineError {
 impl From<SpecError> for EngineError {
     fn from(e: SpecError) -> Self {
         EngineError::Spec(e)
+    }
+}
+
+impl From<lint::GateRejection> for EngineError {
+    fn from(e: lint::GateRejection) -> Self {
+        EngineError::Lint(e)
     }
 }
 

@@ -57,6 +57,7 @@ use std::path::PathBuf;
 pub use batch::BatchEngine;
 pub use builder::{Engine, EngineBuilder};
 pub use error::EngineError;
+pub use lint::{GateRejection, LintGate, LintReport};
 pub use sharded::{
     DegradedState, QuarantineReason, QuarantinedShard, ShardedConfig, ShardedSession,
 };

@@ -158,3 +158,45 @@ fn rejections_are_typed_uniformly() {
         assert_eq!(engine.stats().events_rejected, 1);
     }
 }
+
+/// The standard suite passes the strictest lint gate (its one accepted
+/// pattern — the two-key `(Run, Type)` filters — carries an explicit
+/// `cosy-lint: allow(...)` directive), while a dirty custom suite is
+/// rejected by `Deny` and tolerated by `Warn`.
+#[test]
+fn lint_gate_denies_dirty_spec_and_passes_standard_suite() {
+    // Standard suite: clean under Deny.
+    let engine = EngineBuilder::new().lint(engine::LintGate::Deny).build();
+    assert!(engine.is_ok(), "standard suite must pass the deny gate");
+
+    // A spec with an unused constant and an isolated class.
+    let dirty = asl_core::parse_and_check(
+        "class TestRun { int NoPe; }\n\
+         class Dead { int X; }\n\
+         float Unused = 1.0;\n\
+         PROPERTY P(TestRun t) {\n\
+             CONDITION: t.NoPe > 0; CONFIDENCE: 1; SEVERITY: 1.0;\n\
+         }",
+    )
+    .unwrap();
+    let dirty = std::sync::Arc::new(dirty);
+
+    match EngineBuilder::new()
+        .spec(dirty.clone())
+        .lint(engine::LintGate::Deny)
+        .build()
+    {
+        Err(EngineError::Lint(rejection)) => {
+            assert!(!rejection.findings.is_empty());
+            assert!(rejection.rendered.contains("unused-constant"));
+            assert!(rejection.rendered.contains("unused-type"));
+        }
+        other => panic!("expected lint rejection, got {:?}", other.err()),
+    }
+
+    // Warn (the default) surfaces the findings but builds the engine.
+    let builder = EngineBuilder::new().spec(dirty);
+    let report = builder.lint_check().expect("warn gate must pass");
+    assert!(!report.is_clean());
+    assert!(builder.build().is_ok());
+}

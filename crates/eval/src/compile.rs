@@ -38,6 +38,7 @@ use crate::value::Value;
 use asl_core::ast::*;
 use asl_core::check::CheckedSpec;
 use asl_core::intern::Symbol;
+use asl_core::Span;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
@@ -226,10 +227,16 @@ struct PropBody {
 #[derive(Debug)]
 pub struct CompiledSpec {
     nodes: Vec<Ir>,
+    /// Source span of each node, parallel to `nodes` (the span of the AST
+    /// expression the node was lowered from; `Span::default()` for
+    /// synthesized nodes). Used to attach source positions to runtime
+    /// errors and by the static cost model.
+    spans: Vec<Span>,
     strings: Vec<String>,
     consts: Vec<ConstBody>,
     functions: Vec<FnBody>,
     properties: Vec<PropBody>,
+    prop_names: Vec<String>,
     fn_ids: HashMap<String, usize>,
     prop_ids: HashMap<String, usize>,
 }
@@ -244,6 +251,233 @@ impl CompiledSpec {
     pub fn node_count(&self) -> usize {
         self.nodes.len()
     }
+
+    /// Statically estimated evaluation cost of every property, in
+    /// declaration order. See [`PropCost`] for the model's assumptions.
+    pub fn property_costs(&self) -> Vec<PropCost> {
+        // Helper-function body costs first, in declaration order. A call
+        // to a callee whose cost is not known yet (self-recursion, forward
+        // or mutual recursion) is charged a flat penalty instead of
+        // recursing — the walk always terminates.
+        let mut fn_costs: Vec<Option<CostSum>> = vec![None; self.functions.len()];
+        for fid in 0..self.functions.len() {
+            let mut stats = CostStats::default();
+            let sum = self.cost_walk(self.functions[fid].body, 0, &fn_costs, &mut stats);
+            fn_costs[fid] = Some(sum);
+        }
+        self.properties
+            .iter()
+            .zip(&self.prop_names)
+            .map(|(p, name)| {
+                let mut stats = CostStats::default();
+                let mut total = CostSum::default();
+                for &(_, value) in &p.lets {
+                    total.add(self.cost_walk(value, 0, &fn_costs, &mut stats));
+                }
+                for (_, pred) in &p.conditions {
+                    total.add(self.cost_walk(*pred, 0, &fn_costs, &mut stats));
+                }
+                for arm in p.confidence.iter().chain(&p.severity) {
+                    total.add(self.cost_walk(arm.expr, 0, &fn_costs, &mut stats));
+                }
+                PropCost {
+                    property: name.clone(),
+                    ir_nodes: stats.nodes,
+                    indexed_loads: stats.indexed_loads,
+                    scan_constructs: stats.scan_constructs,
+                    cached_subtrees: stats.cached_subtrees,
+                    max_loop_depth: stats.max_loop_depth,
+                    estimated_units: total.per + total.once,
+                }
+            })
+            .collect()
+    }
+
+    /// Walk a subtree accumulating the cost model. Returns the cost split
+    /// into a per-evaluation part and a once-per-construct-entry part
+    /// (the lazily `Cached` subtrees, which an enclosing loop must not
+    /// multiply).
+    fn cost_walk(
+        &self,
+        node: NodeRef,
+        depth: u64,
+        fn_costs: &[Option<CostSum>],
+        stats: &mut CostStats,
+    ) -> CostSum {
+        stats.nodes += 1;
+        let mut sum = CostSum::default();
+        match &self.nodes[node as usize] {
+            Ir::Int(_) | Ir::Float(_) | Ir::Bool(_) | Ir::Str(_) | Ir::EnumVal(..) => sum.per += 1,
+            Ir::Load(_) | Ir::Const(_) | Ir::UnknownVar(_) => sum.per += 1,
+            Ir::Attr { base, .. } => {
+                sum.add(self.cost_walk(*base, depth, fn_costs, stats));
+                sum.per += COST_ATTR;
+            }
+            Ir::Call { func, args } => {
+                for a in args.iter() {
+                    sum.add(self.cost_walk(*a, depth, fn_costs, stats));
+                }
+                match fn_costs.get(*func as usize).and_then(|c| c.as_ref()) {
+                    // Body cost flattened into the call site; the callee's
+                    // caches are per-call, so its `once` is per-call too.
+                    Some(c) => sum.per += c.per + c.once + COST_CALL,
+                    // Self/forward recursion while the callee's own cost is
+                    // still being computed: flat penalty.
+                    None => sum.per += COST_RECURSIVE_CALL,
+                }
+            }
+            Ir::CallUnknown { args, .. } => {
+                for a in args.iter() {
+                    sum.add(self.cost_walk(*a, depth, fn_costs, stats));
+                }
+                sum.per += COST_CALL;
+            }
+            Ir::MinMax { args, .. } => {
+                for a in args.iter() {
+                    sum.add(self.cost_walk(*a, depth, fn_costs, stats));
+                }
+                sum.per += 1;
+            }
+            Ir::Unary(_, i) | Ir::Unique(i) | Ir::CountSet(i) => {
+                sum.add(self.cost_walk(*i, depth, fn_costs, stats));
+                sum.per += 1;
+            }
+            Ir::Binary(_, l, r) => {
+                sum.add(self.cost_walk(*l, depth, fn_costs, stats));
+                sum.add(self.cost_walk(*r, depth, fn_costs, stats));
+                sum.per += 1;
+            }
+            Ir::Cached { expr, .. } => {
+                stats.cached_subtrees += 1;
+                let inner = self.cost_walk(*expr, depth, fn_costs, stats);
+                // Evaluated once per construct entry, then a cache hit.
+                sum.once += inner.per + inner.once;
+                sum.per += 1;
+            }
+            Ir::SetComp { source, pred, .. } => {
+                let n = self.loop_cardinality(*source, stats);
+                stats.max_loop_depth = stats.max_loop_depth.max(depth + 1);
+                sum.add(self.cost_walk(*source, depth, fn_costs, stats));
+                let body = self.cost_walk(*pred, depth + 1, fn_costs, stats);
+                sum.per += n * body.per + body.once + COST_LOOP;
+            }
+            Ir::Aggregate {
+                source,
+                value,
+                pred,
+                ..
+            } => {
+                let n = self.loop_cardinality(*source, stats);
+                stats.max_loop_depth = stats.max_loop_depth.max(depth + 1);
+                sum.add(self.cost_walk(*source, depth, fn_costs, stats));
+                let mut body = self.cost_walk(*value, depth + 1, fn_costs, stats);
+                if let Some(p) = pred {
+                    body.add(self.cost_walk(*p, depth + 1, fn_costs, stats));
+                }
+                sum.per += n * body.per + body.once + COST_LOOP;
+            }
+            Ir::Quantifier { source, pred, .. } => {
+                let n = self.loop_cardinality(*source, stats);
+                stats.max_loop_depth = stats.max_loop_depth.max(depth + 1);
+                sum.add(self.cost_walk(*source, depth, fn_costs, stats));
+                if let Some(p) = pred {
+                    let body = self.cost_walk(*p, depth + 1, fn_costs, stats);
+                    sum.per += n * body.per + body.once;
+                }
+                sum.per += COST_LOOP;
+            }
+            Ir::FilterEq { obj, key, .. } => {
+                stats.indexed_loads += 1;
+                sum.add(self.cost_walk(*obj, depth, fn_costs, stats));
+                sum.add(self.cost_walk(*key, depth, fn_costs, stats));
+                sum.per += COST_FILTER_EQ;
+            }
+        }
+        sum
+    }
+
+    /// Assumed element count of a loop source: indexed filters are presumed
+    /// selective ([`CARD_FILTERED`]); anything else is a full-set scan
+    /// ([`CARD_SCAN`], also counted in `scan_constructs`).
+    fn loop_cardinality(&self, source: NodeRef, stats: &mut CostStats) -> u64 {
+        // A hoisted source is still whatever it wraps.
+        let mut n = source;
+        while let Ir::Cached { expr, .. } = &self.nodes[n as usize] {
+            n = *expr;
+        }
+        if matches!(self.nodes[n as usize], Ir::FilterEq { .. }) {
+            CARD_FILTERED
+        } else {
+            stats.scan_constructs += 1;
+            CARD_SCAN
+        }
+    }
+}
+
+/// Assumed cardinality of an unindexed (full-scan) loop source.
+const CARD_SCAN: u64 = 16;
+/// Assumed cardinality of an indexed `FilterEq` loop source.
+const CARD_FILTERED: u64 = 4;
+/// Cost of an attribute access (string-match dispatch in the data source).
+const COST_ATTR: u64 = 4;
+/// Fixed overhead of a helper-function call (frame setup).
+const COST_CALL: u64 = 2;
+/// Flat charge for a call whose cost is unknown at this point (recursion).
+const COST_RECURSIVE_CALL: u64 = 64;
+/// Fixed overhead of entering a set construct (set materialization).
+const COST_LOOP: u64 = 4;
+/// Cost of an indexed filter load answered from a secondary index.
+const COST_FILTER_EQ: u64 = 6;
+
+/// Accumulator for [`CompiledSpec::cost_walk`].
+#[derive(Default, Clone, Copy)]
+struct CostSum {
+    /// Units paid every time the subtree is evaluated.
+    per: u64,
+    /// Units paid once per enclosing construct entry (lazy caches).
+    once: u64,
+}
+
+impl CostSum {
+    fn add(&mut self, other: CostSum) {
+        self.per += other.per;
+        self.once += other.once;
+    }
+}
+
+#[derive(Default)]
+struct CostStats {
+    nodes: u64,
+    indexed_loads: u64,
+    scan_constructs: u64,
+    cached_subtrees: u64,
+    max_loop_depth: u64,
+}
+
+/// Statically estimated evaluation cost of one property, produced by
+/// [`CompiledSpec::property_costs`].
+///
+/// The estimate is a *ranking* heuristic, not a prediction: set sizes are
+/// unknown at compile time, so every unindexed loop is assumed to visit a
+/// fixed fan-out (16 elements) and every indexed (`FilterEq`) loop a
+/// smaller one (4). Units are abstract (≈ IR dispatches); compare
+/// properties against each other, not against wall-clock time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PropCost {
+    /// Property name.
+    pub property: String,
+    /// IR nodes visited by the walk (call bodies counted per call site).
+    pub ir_nodes: u64,
+    /// Indexed `FilterEq` loads (served in O(matches) on indexed models).
+    pub indexed_loads: u64,
+    /// Loops over a full, unindexed set materialization.
+    pub scan_constructs: u64,
+    /// Loop-invariant subtrees hoisted into lazy caches.
+    pub cached_subtrees: u64,
+    /// Deepest loop nesting (1 = a flat aggregate/comprehension).
+    pub max_loop_depth: u64,
+    /// Total estimated units under the model's cardinality assumptions.
+    pub estimated_units: u64,
 }
 
 /// Lower a checked specification into the slot-indexed IR.
@@ -263,6 +497,11 @@ pub fn compile(spec: &CheckedSpec) -> CompiledSpec {
 struct Compiler<'s> {
     spec: &'s CheckedSpec,
     nodes: Vec<Ir>,
+    /// Parallel to `nodes`; see [`CompiledSpec::spans`].
+    spans: Vec<Span>,
+    /// Span of the AST expression currently being lowered — the span
+    /// recorded by [`Compiler::push`].
+    cur_span: Span,
     strings: Vec<String>,
     /// Lexical scopes: innermost last; each frame maps name → slot.
     scopes: Vec<Vec<(String, u32)>>,
@@ -289,6 +528,8 @@ impl<'s> Compiler<'s> {
         Compiler {
             spec,
             nodes: Vec::new(),
+            spans: Vec::new(),
+            cur_span: Span::default(),
             strings: Vec::new(),
             scopes: Vec::new(),
             next_slot: 0,
@@ -330,18 +571,22 @@ impl<'s> Compiler<'s> {
         }
 
         let mut properties = Vec::new();
+        let mut prop_names = Vec::new();
         let mut prop_ids = HashMap::new();
         for p in &self.spec.spec.properties {
             prop_ids.insert(p.name.name.clone(), properties.len());
+            prop_names.push(p.name.name.clone());
             properties.push(self.lower_property(p));
         }
 
         CompiledSpec {
             nodes: self.nodes,
+            spans: self.spans,
             strings: self.strings,
             consts,
             functions,
             properties,
+            prop_names,
             fn_ids: self.fn_ids,
             prop_ids,
         }
@@ -433,7 +678,13 @@ impl<'s> Compiler<'s> {
     }
 
     fn push(&mut self, ir: Ir) -> NodeRef {
+        let span = self.cur_span;
+        self.push_at(ir, span)
+    }
+
+    fn push_at(&mut self, ir: Ir, span: Span) -> NodeRef {
         self.nodes.push(ir);
+        self.spans.push(span);
         (self.nodes.len() - 1) as NodeRef
     }
 
@@ -448,6 +699,17 @@ impl<'s> Compiler<'s> {
     // ---- expression lowering --------------------------------------------
 
     fn lower(&mut self, e: &Expr) -> NodeRef {
+        // Nodes pushed while lowering `e` (that are not inside a nested
+        // `lower` call) carry `e`'s span; save/restore keeps the parent's
+        // span intact for siblings.
+        let saved = self.cur_span;
+        self.cur_span = e.span;
+        let node = self.lower_inner(e);
+        self.cur_span = saved;
+        node
+    }
+
+    fn lower_inner(&mut self, e: &Expr) -> NodeRef {
         match &e.kind {
             ExprKind::IntLit(v) => self.push(Ir::Int(*v)),
             ExprKind::FloatLit(v) => self.push(Ir::Float(*v)),
@@ -680,7 +942,8 @@ impl<'s> Compiler<'s> {
             if self.is_expensive(node) {
                 let cache = self.n_caches;
                 self.n_caches += 1;
-                return self.push(Ir::Cached { cache, expr: node });
+                let span = self.spans[node as usize];
+                return self.push_at(Ir::Cached { cache, expr: node }, span);
             }
             return node;
         }
@@ -898,6 +1161,79 @@ fn simple_key(e: &Expr, binder: &str) -> bool {
         | ExprKind::BoolLit(_)
         | ExprKind::StrLit(_) => true,
         _ => false,
+    }
+}
+
+/// The compiler's comprehension-shape recognizers, exposed for static
+/// analysis (kojak-lint) so lints and codegen can never disagree about
+/// which `binder IN obj.Set WITH pred` shapes lower to an indexed
+/// `FilterEq` load.
+pub mod shape {
+    use super::{conjuncts, match_eq_filter, simple_key};
+    use asl_core::ast::{Expr, ExprKind};
+
+    /// The decomposition of a set-construct predicate the compiler would
+    /// extract into an indexed filter.
+    #[derive(Debug)]
+    pub struct IndexedFilter<'e> {
+        /// The object expression whose set attribute is filtered.
+        pub base: &'e Expr,
+        /// The set attribute being iterated (`obj.<set_attr>`).
+        pub set_attr: &'e str,
+        /// The element attribute the extracted conjunct compares.
+        pub elem_attr: &'e str,
+        /// The binder-free key expression compared against.
+        pub key: &'e Expr,
+        /// The conjuncts left over after extraction, in evaluation order
+        /// (still evaluated per element — a residual scan if non-empty).
+        pub residual: Vec<&'e Expr>,
+    }
+
+    /// Would the compiler lower `binder IN source [WITH pred]` to an
+    /// indexed `FilterEq` load? Returns the extracted parts
+    /// if so. Mirrors `Compiler::lower_source` exactly: the source must
+    /// be an attribute access, the **first** conjunct must be
+    /// `binder.Attr == key` (either side), and the key must be a simple
+    /// binder-free expression. On a checked spec, "simple" also implies
+    /// infallible (every name the checker admits resolves).
+    pub fn indexed_filter<'e>(
+        binder: &str,
+        source: &'e Expr,
+        pred: Option<&'e Expr>,
+    ) -> Option<IndexedFilter<'e>> {
+        let (ExprKind::Attr(base, set_attr), Some(p)) = (&source.kind, pred) else {
+            return None;
+        };
+        let mut cj = Vec::new();
+        conjuncts(p, &mut cj);
+        let (elem_attr, key) = match_eq_filter(cj[0], binder)?;
+        Some(IndexedFilter {
+            base,
+            set_attr: &set_attr.name,
+            elem_attr,
+            key,
+            residual: cj[1..].to_vec(),
+        })
+    }
+
+    /// Flatten an `AND` chain into its conjuncts in evaluation order.
+    pub fn and_conjuncts(e: &Expr) -> Vec<&Expr> {
+        let mut out = Vec::new();
+        conjuncts(e, &mut out);
+        out
+    }
+
+    /// Is `e` an equality conjunct of the form `binder.Attr == key` with a
+    /// simple binder-free key — i.e. *indexable in principle* even if its
+    /// position keeps the compiler from extracting it? Returns
+    /// `(attr name, key expr)`.
+    pub fn eq_filter_conjunct<'e>(e: &'e Expr, binder: &str) -> Option<(&'e str, &'e Expr)> {
+        match_eq_filter(e, binder)
+    }
+
+    /// Is `e` a cheap, binder-free, infallible key expression?
+    pub fn is_simple_key(e: &Expr, binder: &str) -> bool {
+        simple_key(e, binder)
     }
 }
 
@@ -1155,6 +1491,20 @@ impl<M: ObjectModel> Ctx<'_, M> {
     }
 
     fn exec(
+        &self,
+        node: NodeRef,
+        frame: &mut Vec<Value>,
+        caches: &mut [Option<Value>],
+        depth: usize,
+    ) -> EvalResult<Value> {
+        // Tag bubbling errors with the deepest node span that saw them
+        // (mirrors the interpreter's `eval` wrapper; success path pays
+        // only a no-op `map_err`).
+        self.exec_inner(node, frame, caches, depth)
+            .map_err(|e| e.or_span(self.cs.spans[node as usize]))
+    }
+
+    fn exec_inner(
         &self,
         node: NodeRef,
         frame: &mut Vec<Value>,

@@ -253,6 +253,20 @@ impl<'s> CosyData<'s> {
     }
 }
 
+/// Does [`CosyData`] serve the filter
+/// `elem IN <class>.<set_attr> WITH elem.<elem_attr> == key` from a
+/// secondary index? True exactly for the shapes `filter_eq` answers:
+/// `Region.TotTimes`, `Region.TypTimes` and `FunctionCall.Sums`, keyed on
+/// `Run`. Static analysis (kojak-lint) uses this to tell natively indexed
+/// filters from extracted-but-still-scanned ones.
+pub fn native_index(class: &str, set_attr: &str, elem_attr: &str) -> bool {
+    elem_attr == "Run"
+        && matches!(
+            (class, set_attr),
+            ("Region", "TotTimes") | ("Region", "TypTimes") | ("FunctionCall", "Sums")
+        )
+}
+
 fn set_of<I: Into<u32> + Copy>(class: Symbol, ids: &[I]) -> Value {
     Value::Set(
         ids.iter()

@@ -1,5 +1,6 @@
 //! Evaluation errors.
 
+use asl_core::Span;
 use std::fmt;
 
 /// Why an evaluation failed.
@@ -23,12 +24,25 @@ pub enum EvalErrorKind {
 }
 
 /// An evaluation error with context.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct EvalError {
     /// Machine-readable kind.
     pub kind: EvalErrorKind,
     /// Human-readable message.
     pub message: String,
+    /// Source span of the deepest expression that failed, when known.
+    /// Diagnostic metadata only — excluded from equality (see below).
+    pub span: Option<Span>,
+}
+
+/// Equality compares `(kind, message)` only. The span is diagnostic
+/// metadata: the interpreter and the compiled engine may attribute the
+/// same failure to slightly different (nested) expressions, and the
+/// interpreter≡compiled equivalence suite must not care.
+impl PartialEq for EvalError {
+    fn eq(&self, other: &Self) -> bool {
+        self.kind == other.kind && self.message == other.message
+    }
 }
 
 impl EvalError {
@@ -37,7 +51,24 @@ impl EvalError {
         EvalError {
             kind,
             message: message.into(),
+            span: None,
         }
+    }
+
+    /// Attach a source span, replacing any existing one.
+    pub fn with_span(mut self, span: Span) -> Self {
+        self.span = Some(span);
+        self
+    }
+
+    /// Attach a source span only if none is present yet. Used while an
+    /// error bubbles out of nested expressions so the *deepest* (most
+    /// precise) span wins.
+    pub fn or_span(mut self, span: Span) -> Self {
+        if self.span.is_none() && span != Span::default() {
+            self.span = Some(span);
+        }
+        self
     }
 
     /// True if this error means "property not applicable in this context"
@@ -57,3 +88,29 @@ impl std::error::Error for EvalError {}
 
 /// Result alias.
 pub type EvalResult<T> = Result<T, EvalError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equality_ignores_span() {
+        let a = EvalError::new(EvalErrorKind::DivByZero, "division by zero");
+        let b = a.clone().with_span(Span::new(10, 14));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn or_span_keeps_deepest() {
+        let e = EvalError::new(EvalErrorKind::Type, "bad")
+            .or_span(Span::new(5, 9))
+            .or_span(Span::new(0, 100));
+        assert_eq!(e.span, Some(Span::new(5, 9)));
+    }
+
+    #[test]
+    fn or_span_ignores_default_span() {
+        let e = EvalError::new(EvalErrorKind::Type, "bad").or_span(Span::default());
+        assert_eq!(e.span, None);
+    }
+}

@@ -285,6 +285,12 @@ impl<'a, M: ObjectModel> Interpreter<'a, M> {
     }
 
     fn eval(&self, e: &Expr, env: &mut Env) -> EvalResult<Value> {
+        // Tag bubbling errors with the deepest expression span that saw
+        // them (`or_span` keeps the first, i.e. innermost, attachment).
+        self.eval_inner(e, env).map_err(|err| err.or_span(e.span))
+    }
+
+    fn eval_inner(&self, e: &Expr, env: &mut Env) -> EvalResult<Value> {
         match &e.kind {
             ExprKind::IntLit(v) => Ok(Value::Int(*v)),
             ExprKind::FloatLit(v) => Ok(Value::Float(*v)),

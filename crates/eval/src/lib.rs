@@ -80,8 +80,10 @@ pub mod interp;
 pub mod ops;
 pub mod value;
 
-pub use compile::{cache_counters, compile, fn_memo_counters, CompiledEvaluator, CompiledSpec};
-pub use cosy_model::{filter_memo_counters, CosyData, COSY_DATA_MODEL};
+pub use compile::{
+    cache_counters, compile, fn_memo_counters, CompiledEvaluator, CompiledSpec, PropCost,
+};
+pub use cosy_model::{filter_memo_counters, native_index, CosyData, COSY_DATA_MODEL};
 pub use error::{EvalError, EvalErrorKind};
 pub use interp::{Interpreter, ObjectModel, PropertyOutcome};
 pub use value::{ObjRef, Value};

@@ -1,0 +1,341 @@
+//! Constant folding and threshold-interval reasoning.
+//!
+//! The correctness lints never need a full abstract interpreter: the
+//! questions they ask are "does this condition fold to a constant?",
+//! "does threshold condition `(a)` imply threshold condition `(b)`?" and
+//! "can this denominator provably be zero?". This module answers exactly
+//! those, conservatively — `None`/`false` always means "don't know", and
+//! a lint that consumes a "don't know" must stay quiet.
+
+use asl_core::ast::{AggOp, BinOp, Expr, ExprKind, Specification, UnOp};
+use asl_core::pretty;
+use std::collections::HashMap;
+
+/// A folded compile-time constant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Const {
+    /// An integer value.
+    Int(i64),
+    /// A float value.
+    Float(f64),
+    /// A boolean value.
+    Bool(bool),
+}
+
+impl Const {
+    /// Numeric view (`int` widens to `float`).
+    pub fn as_f64(self) -> Option<f64> {
+        match self {
+            Const::Int(v) => Some(v as f64),
+            Const::Float(v) => Some(v),
+            Const::Bool(_) => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(self) -> Option<bool> {
+        match self {
+            Const::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Is this exactly zero?
+    pub fn is_zero(self) -> bool {
+        matches!(self, Const::Int(0)) || matches!(self, Const::Float(v) if v == 0.0)
+    }
+}
+
+/// Folds expressions over the spec's global constants (themselves folded
+/// once, in declaration order, at construction).
+pub struct Folder {
+    consts: HashMap<String, Const>,
+}
+
+impl Folder {
+    /// Fold the spec's global constants.
+    pub fn new(spec: &Specification) -> Self {
+        let mut f = Folder {
+            consts: HashMap::new(),
+        };
+        for c in &spec.constants {
+            if let Some(v) = f.fold(&c.value) {
+                f.consts.insert(c.name.name.clone(), v);
+            }
+        }
+        f
+    }
+
+    /// Fold `e` to a constant, or `None` if any part is not statically
+    /// known. Arithmetic that would fail at runtime (division by zero,
+    /// integer overflow) folds to `None` — the div-by-zero lint reports
+    /// it separately.
+    pub fn fold(&self, e: &Expr) -> Option<Const> {
+        match &e.kind {
+            ExprKind::IntLit(v) => Some(Const::Int(*v)),
+            ExprKind::FloatLit(v) => Some(Const::Float(*v)),
+            ExprKind::BoolLit(b) => Some(Const::Bool(*b)),
+            ExprKind::Var(n) => self.consts.get(n).copied(),
+            ExprKind::Unary(UnOp::Neg, i) => match self.fold(i)? {
+                Const::Int(v) => v.checked_neg().map(Const::Int),
+                Const::Float(v) => Some(Const::Float(-v)),
+                Const::Bool(_) => None,
+            },
+            ExprKind::Unary(UnOp::Not, i) => self.fold(i)?.as_bool().map(|b| Const::Bool(!b)),
+            ExprKind::Binary(op, l, r) => self.fold_binary(*op, l, r),
+            _ => None,
+        }
+    }
+
+    fn fold_binary(&self, op: BinOp, l: &Expr, r: &Expr) -> Option<Const> {
+        // AND/OR mirror the engines' short-circuit: a folded-true OR (or
+        // folded-false AND) left side decides the result without the right.
+        if op == BinOp::And || op == BinOp::Or {
+            let lv = self.fold(l).and_then(Const::as_bool);
+            match (op, lv) {
+                (BinOp::And, Some(false)) => return Some(Const::Bool(false)),
+                (BinOp::Or, Some(true)) => return Some(Const::Bool(true)),
+                (_, Some(_)) => return self.fold(r).and_then(Const::as_bool).map(Const::Bool),
+                (_, None) => return None,
+            }
+        }
+        let lv = self.fold(l)?;
+        let rv = self.fold(r)?;
+        if op.is_arithmetic() {
+            return fold_arith(op, lv, rv);
+        }
+        if op.is_comparison() {
+            return fold_cmp(op, lv, rv);
+        }
+        None
+    }
+}
+
+fn fold_arith(op: BinOp, l: Const, r: Const) -> Option<Const> {
+    if let (Const::Int(a), Const::Int(b)) = (l, r) {
+        return match op {
+            BinOp::Add => a.checked_add(b).map(Const::Int),
+            BinOp::Sub => a.checked_sub(b).map(Const::Int),
+            BinOp::Mul => a.checked_mul(b).map(Const::Int),
+            BinOp::Div => a.checked_div(b).map(Const::Int),
+            BinOp::Mod => a.checked_rem(b).map(Const::Int),
+            _ => None,
+        };
+    }
+    let (a, b) = (l.as_f64()?, r.as_f64()?);
+    match op {
+        BinOp::Add => Some(Const::Float(a + b)),
+        BinOp::Sub => Some(Const::Float(a - b)),
+        BinOp::Mul => Some(Const::Float(a * b)),
+        BinOp::Div if b != 0.0 => Some(Const::Float(a / b)),
+        BinOp::Mod if b != 0.0 => Some(Const::Float(a % b)),
+        _ => None,
+    }
+}
+
+fn fold_cmp(op: BinOp, l: Const, r: Const) -> Option<Const> {
+    if let (Const::Bool(a), Const::Bool(b)) = (l, r) {
+        return match op {
+            BinOp::Eq => Some(Const::Bool(a == b)),
+            BinOp::Ne => Some(Const::Bool(a != b)),
+            _ => None,
+        };
+    }
+    let (a, b) = (l.as_f64()?, r.as_f64()?);
+    let out = match op {
+        BinOp::Eq => a == b,
+        BinOp::Ne => a != b,
+        BinOp::Lt => a < b,
+        BinOp::Le => a <= b,
+        BinOp::Gt => a > b,
+        BinOp::Ge => a >= b,
+        _ => return None,
+    };
+    Some(Const::Bool(out))
+}
+
+/// A condition of the shape `E op k`: an arbitrary (non-constant)
+/// expression compared against a foldable numeric threshold, normalized
+/// so the expression is on the left.
+#[derive(Debug, Clone)]
+pub struct Threshold {
+    /// Canonical (pretty-printed) text of `E`, used as a structural key.
+    pub key: String,
+    /// The (normalized) comparison operator.
+    pub op: BinOp,
+    /// The folded threshold value.
+    pub k: f64,
+}
+
+/// Extract a [`Threshold`] from a comparison, if one side folds to a
+/// number and the other does not fold at all.
+pub fn threshold_of(e: &Expr, folder: &Folder) -> Option<Threshold> {
+    let ExprKind::Binary(op, l, r) = &e.kind else {
+        return None;
+    };
+    if !op.is_comparison() {
+        return None;
+    }
+    match (folder.fold(l), folder.fold(r)) {
+        (None, Some(k)) => Some(Threshold {
+            key: pretty::print_expr(l),
+            op: *op,
+            k: k.as_f64()?,
+        }),
+        (Some(k), None) => Some(Threshold {
+            key: pretty::print_expr(r),
+            op: flip(*op),
+            k: k.as_f64()?,
+        }),
+        _ => None,
+    }
+}
+
+/// Mirror a comparison across `==`: `k op E` ⇔ `E flip(op) k`.
+fn flip(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::Le => BinOp::Ge,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::Ge => BinOp::Le,
+        other => other,
+    }
+}
+
+/// Does threshold condition `a` imply threshold condition `b`? (Set
+/// containment of the solution intervals over the same expression key.)
+pub fn implies(a: &Threshold, b: &Threshold) -> bool {
+    if a.key != b.key {
+        return false;
+    }
+    let (ka, kb) = (a.k, b.k);
+    match (a.op, b.op) {
+        (BinOp::Gt, BinOp::Gt) | (BinOp::Gt, BinOp::Ge) => ka >= kb,
+        (BinOp::Ge, BinOp::Ge) => ka >= kb,
+        (BinOp::Ge, BinOp::Gt) => ka > kb,
+        (BinOp::Lt, BinOp::Lt) | (BinOp::Lt, BinOp::Le) => ka <= kb,
+        (BinOp::Le, BinOp::Le) => ka <= kb,
+        (BinOp::Le, BinOp::Lt) => ka < kb,
+        (BinOp::Eq, BinOp::Eq) => ka == kb,
+        (BinOp::Eq, BinOp::Ne) => ka != kb,
+        (BinOp::Eq, BinOp::Gt) => ka > kb,
+        (BinOp::Eq, BinOp::Ge) => ka >= kb,
+        (BinOp::Eq, BinOp::Lt) => ka < kb,
+        (BinOp::Eq, BinOp::Le) => ka <= kb,
+        (BinOp::Ne, BinOp::Ne) => ka == kb,
+        _ => false,
+    }
+}
+
+/// Can `e` provably evaluate to zero? Returns a human-readable reason
+/// when so. Conservative: attribute loads, calls and anything else with
+/// an unknown value range return `None` (no warning) — only shapes whose
+/// range *provably* includes zero are reported.
+pub fn provably_can_be_zero(e: &Expr, folder: &Folder) -> Option<String> {
+    if let Some(v) = folder.fold(e) {
+        return if v.is_zero() {
+            Some("the denominator is constantly zero".to_string())
+        } else {
+            None
+        };
+    }
+    match &e.kind {
+        // COUNT(...) ranges over [0, ∞): zero exactly on an empty set.
+        ExprKind::CountSet(_) => {
+            Some("the denominator is a `COUNT`, which is zero on an empty set".to_string())
+        }
+        ExprKind::Aggregate {
+            op: AggOp::Count, ..
+        } => Some(
+            "the denominator is a `COUNT`, which is zero when no element passes the filter"
+                .to_string(),
+        ),
+        // E - E is identically zero whatever E evaluates to.
+        ExprKind::Binary(BinOp::Sub, l, r) if pretty::print_expr(l) == pretty::print_expr(r) => {
+            Some(format!(
+                "the denominator `{} - {}` is identically zero",
+                pretty::print_expr(l),
+                pretty::print_expr(r)
+            ))
+        }
+        _ => None,
+    }
+}
+
+/// Does threshold fact `t` (known to hold) prove that its key expression
+/// is nonzero?
+pub fn proves_nonzero(t: &Threshold) -> bool {
+    match t.op {
+        BinOp::Gt => t.k >= 0.0,
+        BinOp::Ge => t.k > 0.0,
+        BinOp::Lt => t.k <= 0.0,
+        BinOp::Le => t.k < 0.0,
+        BinOp::Eq => t.k != 0.0,
+        BinOp::Ne => t.k == 0.0,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asl_core::parse;
+
+    fn spec_with(consts: &str) -> Specification {
+        parse(consts).expect("test spec parses")
+    }
+
+    fn fold_expr(folder: &Folder, src: &str) -> Option<Const> {
+        // Wrap in a throwaway constant to reuse the expression parser.
+        let spec = parse(&format!("float __X__ = {src};")).expect("expr parses");
+        folder.fold(&spec.constants[0].value)
+    }
+
+    #[test]
+    fn folds_constants_and_arithmetic() {
+        let spec = spec_with("float T = 0.25; int N = 4;");
+        let f = Folder::new(&spec);
+        assert_eq!(fold_expr(&f, "T * 2.0"), Some(Const::Float(0.5)));
+        assert_eq!(fold_expr(&f, "N + 1"), Some(Const::Int(5)));
+        assert_eq!(fold_expr(&f, "N > 3"), Some(Const::Bool(true)));
+        assert_eq!(fold_expr(&f, "1 / 0"), None);
+    }
+
+    #[test]
+    fn short_circuit_logic() {
+        let f = Folder::new(&spec_with(""));
+        // `x` is unknown, but the left side decides.
+        assert_eq!(fold_expr(&f, "FALSE AND x > 0"), Some(Const::Bool(false)));
+        assert_eq!(fold_expr(&f, "TRUE OR x > 0"), Some(Const::Bool(true)));
+        assert_eq!(fold_expr(&f, "TRUE AND x > 0"), None);
+    }
+
+    #[test]
+    fn threshold_implication() {
+        let gt = |k| Threshold {
+            key: "x".into(),
+            op: BinOp::Gt,
+            k,
+        };
+        assert!(implies(&gt(2.0), &gt(1.0)));
+        assert!(!implies(&gt(1.0), &gt(2.0)));
+        let ge1 = Threshold {
+            key: "x".into(),
+            op: BinOp::Ge,
+            k: 1.0,
+        };
+        assert!(implies(&ge1, &gt(0.5)));
+        assert!(!implies(&ge1, &gt(1.0)));
+    }
+
+    #[test]
+    fn zero_proofs() {
+        let f = Folder::new(&spec_with("float Z = 0.0;"));
+        let spec = parse("float __X__ = Z;").unwrap();
+        assert!(provably_can_be_zero(&spec.constants[0].value, &f).is_some());
+        let spec = parse("float __X__ = COUNT(r.TotTimes);").unwrap();
+        assert!(provably_can_be_zero(&spec.constants[0].value, &f).is_some());
+        let spec = parse("float __X__ = r.Incl;").unwrap();
+        assert!(provably_can_be_zero(&spec.constants[0].value, &f).is_none());
+    }
+}

@@ -1,0 +1,99 @@
+//! Machine-readable (JSON) rendering of a lint report.
+//!
+//! Hand-rolled serialization: the workspace's `serde` shim is
+//! marker-only (no registry access), so the renderer writes the JSON
+//! text directly. The schema is stable and covered by golden tests:
+//!
+//! ```json
+//! {
+//!   "findings":   [{"rule", "message", "owner", "line", "col", "start", "end"}],
+//!   "suppressed": [ same shape ],
+//!   "costs":      [{"property", "ir_nodes", "indexed_loads", "scan_constructs",
+//!                   "cached_subtrees", "max_loop_depth", "estimated_units"}]
+//! }
+//! ```
+
+use crate::{Finding, LintReport};
+use asl_core::SourceMap;
+use std::fmt::Write;
+
+/// Escape a string for a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn finding_json(f: &Finding, map: &SourceMap) -> String {
+    let loc = map.locate(f.span.start);
+    format!(
+        "{{\"rule\":\"{}\",\"message\":\"{}\",\"owner\":\"{}\",\
+         \"line\":{},\"col\":{},\"start\":{},\"end\":{}}}",
+        escape(f.rule),
+        escape(&f.message),
+        escape(&f.owner),
+        loc.line,
+        loc.col,
+        f.span.start,
+        f.span.end
+    )
+}
+
+/// Render a full report as a single JSON object.
+pub fn report_to_json(report: &LintReport, source: &str) -> String {
+    let map = SourceMap::new(source);
+    let list = |fs: &[Finding]| {
+        fs.iter()
+            .map(|f| finding_json(f, &map))
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    let costs = report
+        .costs
+        .iter()
+        .map(|c| {
+            format!(
+                "{{\"property\":\"{}\",\"ir_nodes\":{},\"indexed_loads\":{},\
+                 \"scan_constructs\":{},\"cached_subtrees\":{},\
+                 \"max_loop_depth\":{},\"estimated_units\":{}}}",
+                escape(&c.property),
+                c.ir_nodes,
+                c.indexed_loads,
+                c.scan_constructs,
+                c.cached_subtrees,
+                c.max_loop_depth,
+                c.estimated_units
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"findings\":[{}],\"suppressed\":[{}],\"costs\":[{}]}}",
+        list(&report.findings),
+        list(&report.suppressed),
+        costs
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_control_and_quote_characters() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,350 @@
+//! # `kojak-lint` — static analysis for COSY/ASL specifications
+//!
+//! A span-precise lint pass over a type-checked specification
+//! ([`asl_core::CheckedSpec`]) *and* its compiled slot IR
+//! ([`asl_eval::CompiledSpec`]). Two rule tiers:
+//!
+//! * **Correctness lints** — dead declarations (constants, helper
+//!   functions, fully isolated classes/enums), identifier shadowing,
+//!   constant conditions and unreachable guarded arms (by constant
+//!   folding), overlapping `MAX` arms (by threshold-interval
+//!   implication), and divisions whose denominator provably can be zero.
+//! * **Performance lints** — grounded in the compiled engine's actual
+//!   lowering rules (`asl_eval::compile::shape`) and the COSY store's
+//!   native index coverage (`asl_eval::native_index`): two-key
+//!   `Run == t AND Type == X` filters the store cannot serve with one
+//!   indexed load, full scans where an indexed load exists but the
+//!   conjunct order hides it, and per-element set clones. A static
+//!   [IR cost estimator](asl_eval::CompiledSpec::property_costs) ranks
+//!   properties by estimated evaluation cost.
+//!
+//! Every [`Finding`] carries a real [`Span`]; reports render as
+//! rustc-style caret snippets ([`LintReport::render_text`]) or JSON
+//! ([`LintReport::to_json`]). Findings can be suppressed per rule with a
+//! file-wide comment directive:
+//!
+//! ```text
+//! // cosy-lint: allow(residual-filter-scan): accepted until the store
+//! // serves two-key filters natively.
+//! ```
+//!
+//! The [`LintGate`] integrates the pass into engine construction:
+//! `Warn` surfaces findings, `Deny` refuses to load a dirty suite.
+//!
+//! ```
+//! use asl_core::parse_and_check;
+//!
+//! let src = "class TestRun { int NoPe; }\n\
+//!            class Dead { int X; }\n\
+//!            float Answer = 42.0;\n\
+//!            PROPERTY P(TestRun t) {\n\
+//!                CONDITION: t.NoPe > 1;\n\
+//!                CONFIDENCE: 1;\n\
+//!                SEVERITY: 1.0;\n\
+//!            }";
+//! let spec = parse_and_check(src).unwrap();
+//! let report = lint::lint(&spec, src);
+//! let rules: Vec<&str> = report.findings.iter().map(|f| f.rule).collect();
+//! assert!(rules.contains(&"unused-type"));     // class Dead
+//! assert!(rules.contains(&"unused-constant")); // Answer
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod fold;
+pub mod json;
+pub mod rules;
+
+use asl_core::{CheckedSpec, Diagnostic, Diagnostics, SourceMap, Span};
+use asl_eval::PropCost;
+use std::collections::HashSet;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// One lint finding, attributed to a rule and a source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// Stable kebab-case rule name (also the `allow(...)` key).
+    pub rule: &'static str,
+    /// Human-readable message.
+    pub message: String,
+    /// The most precise source span the rule could attribute.
+    pub span: Span,
+    /// The enclosing declaration (`property X`, `function F`, …), or
+    /// empty when the finding is not owned by one declaration.
+    pub owner: String,
+}
+
+/// The result of one lint run: active findings, findings suppressed by
+/// `allow(...)` directives, and the static per-property cost ranking.
+#[derive(Debug, Clone)]
+pub struct LintReport {
+    /// Findings not suppressed by any directive, in source order.
+    pub findings: Vec<Finding>,
+    /// Findings matched by an `allow(...)` directive, in source order.
+    pub suppressed: Vec<Finding>,
+    /// Per-property static cost estimates, most expensive first.
+    pub costs: Vec<PropCost>,
+}
+
+impl LintReport {
+    /// True when no active finding remains.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Render the active findings as rustc-style caret snippets against
+    /// the source, followed by a one-line summary.
+    pub fn render_text(&self, source: &str) -> String {
+        let map = SourceMap::new(source);
+        let mut out = String::new();
+        for f in &self.findings {
+            let d = Diagnostic::warning(f.span, format!("[{}] {}", f.rule, f.message));
+            out.push_str(&d.render_snippet(source, &map));
+            if !f.owner.is_empty() {
+                let _ = writeln!(out, "   = in {}", f.owner);
+            }
+        }
+        let n = self.findings.len();
+        let m = self.suppressed.len();
+        match (n, m) {
+            (0, 0) => out.push_str("lint: clean\n"),
+            (0, m) => {
+                let _ = writeln!(out, "lint: clean ({m} suppressed by allow directives)");
+            }
+            (n, 0) => {
+                let _ = writeln!(out, "lint: {n} warning{}", plural(n));
+            }
+            (n, m) => {
+                let _ = writeln!(
+                    out,
+                    "lint: {n} warning{} ({m} suppressed by allow directives)",
+                    plural(n)
+                );
+            }
+        }
+        out
+    }
+
+    /// Render the static cost ranking as an aligned text table.
+    pub fn render_costs(&self) -> String {
+        let mut out = String::from(
+            "property                       est.units  ir  idx-loads  scans  cached  depth\n",
+        );
+        for c in &self.costs {
+            let _ = writeln!(
+                out,
+                "{:<30} {:>9}  {:>2}  {:>9}  {:>5}  {:>6}  {:>5}",
+                c.property,
+                c.estimated_units,
+                c.ir_nodes,
+                c.indexed_loads,
+                c.scan_constructs,
+                c.cached_subtrees,
+                c.max_loop_depth
+            );
+        }
+        out
+    }
+
+    /// Render the full report (findings, suppressions, costs) as JSON.
+    pub fn to_json(&self, source: &str) -> String {
+        json::report_to_json(self, source)
+    }
+}
+
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}
+
+/// Rule names allowed by file-wide `cosy-lint: allow(...)` directives in
+/// the source (inside comments; the scan is line-based and does not
+/// require the directive to parse as ASL).
+fn allowed_rules(source: &str) -> HashSet<String> {
+    let mut out = HashSet::new();
+    for line in source.lines() {
+        let Some(idx) = line.find("cosy-lint:") else {
+            continue;
+        };
+        let rest = &line[idx + "cosy-lint:".len()..];
+        let Some(open) = rest.find("allow(") else {
+            continue;
+        };
+        let inner = &rest[open + "allow(".len()..];
+        let Some(close) = inner.find(')') else {
+            continue;
+        };
+        for rule in inner[..close].split(',') {
+            let rule = rule.trim();
+            if !rule.is_empty() {
+                out.insert(rule.to_string());
+            }
+        }
+    }
+    out
+}
+
+/// Run every registered rule over a checked spec.
+///
+/// `source` must be the text the spec was parsed from: it feeds the
+/// `allow(...)` directive scan and all span rendering. Checker warnings
+/// recorded on the success path ([`CheckedSpec::warnings`]) are included
+/// as `checker-warning` findings, so one gate covers both passes. The
+/// spec is also compiled (to the slot IR) for the static cost ranking.
+pub fn lint(spec: &CheckedSpec, source: &str) -> LintReport {
+    let cx = rules::LintCx::new(spec);
+    let mut findings: Vec<Finding> = spec
+        .warnings
+        .iter()
+        .map(|w| Finding {
+            rule: "checker-warning",
+            message: w.message.clone(),
+            span: w.span,
+            owner: "checker".to_string(),
+        })
+        .collect();
+    for rule in rules::all() {
+        rule.run(&cx, &mut findings);
+    }
+    findings.sort_by(|a, b| {
+        (a.span.start, a.span.end, a.rule).cmp(&(b.span.start, b.span.end, b.rule))
+    });
+
+    let allowed = allowed_rules(source);
+    let (suppressed, findings): (Vec<_>, Vec<_>) =
+        findings.into_iter().partition(|f| allowed.contains(f.rule));
+
+    let mut costs = asl_eval::compile(spec).property_costs();
+    costs.sort_by_key(|c| std::cmp::Reverse(c.estimated_units));
+
+    LintReport {
+        findings,
+        suppressed,
+        costs,
+    }
+}
+
+/// Parse, check and lint a source text in one step. Front-end errors
+/// (parse or type-check) are returned as [`Diagnostics`]; lint findings
+/// are never errors and land in the report.
+pub fn lint_source(source: &str) -> Result<LintReport, Diagnostics> {
+    let spec = asl_core::parse_and_check(source)?;
+    Ok(lint(&spec, source))
+}
+
+/// Name and one-line description of every registered rule (plus the
+/// pseudo-rule for checker warnings), for `--help`-style listings.
+pub fn rule_catalog() -> Vec<(&'static str, &'static str)> {
+    let mut out = vec![(
+        "checker-warning",
+        "warning recorded by the type checker on the success path",
+    )];
+    out.extend(rules::all().iter().map(|r| (r.name(), r.description())));
+    out
+}
+
+/// How strictly engine construction treats lint findings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LintGate {
+    /// Do not run the lint pass at all.
+    Off,
+    /// Run the pass and surface findings, but accept the suite.
+    #[default]
+    Warn,
+    /// Refuse to load a suite with any active finding.
+    Deny,
+}
+
+/// Why a suite was rejected by a [`LintGate::Deny`] gate.
+#[derive(Debug, Clone)]
+pub struct GateRejection {
+    /// The active findings that caused the rejection.
+    pub findings: Vec<Finding>,
+    /// The full caret-snippet rendering of those findings.
+    pub rendered: String,
+}
+
+impl fmt::Display for GateRejection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "lint gate rejected the specification: {} finding{}",
+            self.findings.len(),
+            plural(self.findings.len())
+        )
+    }
+}
+
+impl std::error::Error for GateRejection {}
+
+impl LintGate {
+    /// Apply the gate to a report. `Deny` with any active finding is a
+    /// rejection; `Warn` and `Off` always pass (the caller decides how
+    /// to surface `Warn` findings).
+    pub fn evaluate(self, report: &LintReport, source: &str) -> Result<(), GateRejection> {
+        match self {
+            LintGate::Deny if !report.is_clean() => Err(GateRejection {
+                findings: report.findings.clone(),
+                rendered: report.render_text(source),
+            }),
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DIRTY: &str = "class TestRun { int NoPe; }\n\
+                         float Unused = 1.0;\n\
+                         PROPERTY P(TestRun t) {\n\
+                             CONDITION: t.NoPe > 0;\n\
+                             CONFIDENCE: 1;\n\
+                             SEVERITY: 1.0;\n\
+                         }";
+
+    #[test]
+    fn allow_directive_suppresses_by_rule() {
+        let with_allow = format!("// cosy-lint: allow(unused-constant): kept\n{DIRTY}");
+        let report = lint_source(&with_allow).unwrap();
+        assert!(report.is_clean(), "unexpected: {:?}", report.findings);
+        assert_eq!(report.suppressed.len(), 1);
+        assert_eq!(report.suppressed[0].rule, "unused-constant");
+    }
+
+    #[test]
+    fn gate_deny_rejects_and_warn_passes() {
+        let report = lint_source(DIRTY).unwrap();
+        assert!(!report.is_clean());
+        assert!(LintGate::Warn.evaluate(&report, DIRTY).is_ok());
+        let err = LintGate::Deny.evaluate(&report, DIRTY).unwrap_err();
+        assert_eq!(err.findings.len(), report.findings.len());
+        assert!(err.rendered.contains("unused-constant"));
+    }
+
+    #[test]
+    fn findings_are_source_ordered_with_real_spans() {
+        let report = lint_source(DIRTY).unwrap();
+        for f in &report.findings {
+            assert_ne!(f.span, Span::default(), "{}: span missing", f.rule);
+        }
+        let starts: Vec<u32> = report.findings.iter().map(|f| f.span.start).collect();
+        let mut sorted = starts.clone();
+        sorted.sort_unstable();
+        assert_eq!(starts, sorted);
+    }
+
+    #[test]
+    fn cost_ranking_is_descending() {
+        let report = lint_source(DIRTY).unwrap();
+        assert_eq!(report.costs.len(), 1);
+        let json = report.to_json(DIRTY);
+        assert!(json.contains("\"property\":\"P\""));
+    }
+}

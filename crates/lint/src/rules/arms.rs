@@ -1,0 +1,185 @@
+//! Condition/arm lints: constant conditions, unreachable guarded arms,
+//! and overlapping `MAX` arms detected by threshold-interval implication.
+
+use super::{LintCx, LintRule};
+use crate::fold::{implies, threshold_of, Const, Threshold};
+use crate::Finding;
+use asl_core::ast::{ArmSpec, Condition, PropertyDecl};
+use std::collections::HashMap;
+
+/// Display label for a condition: its id when named, its 1-based index
+/// otherwise.
+fn cond_label(c: &Condition, index: usize) -> String {
+    match &c.id {
+        Some(id) => format!("({})", id.name),
+        None => format!("#{}", index + 1),
+    }
+}
+
+/// `constant-condition`: a property condition folds to a constant.
+pub struct ConstantCondition;
+
+impl LintRule for ConstantCondition {
+    fn name(&self) -> &'static str {
+        "constant-condition"
+    }
+
+    fn description(&self) -> &'static str {
+        "property condition that folds to a compile-time constant"
+    }
+
+    fn run(&self, cx: &LintCx<'_>, out: &mut Vec<Finding>) {
+        for p in &cx.spec.spec.properties {
+            for (i, c) in p.conditions.iter().enumerate() {
+                if let Some(Const::Bool(b)) = cx.folder.fold(&c.expr) {
+                    out.push(Finding {
+                        rule: self.name(),
+                        message: format!(
+                            "condition `{}` is constantly {}",
+                            cond_label(c, i),
+                            if b { "TRUE" } else { "FALSE" }
+                        ),
+                        span: c.span,
+                        owner: format!("property {}", p.name.name),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// `unreachable-arm`: a confidence/severity arm guarded by a condition
+/// that folds to `FALSE` can never be selected.
+pub struct UnreachableArm;
+
+impl UnreachableArm {
+    fn check_section(
+        &self,
+        cx: &LintCx<'_>,
+        p: &PropertyDecl,
+        section: &str,
+        spec: &ArmSpec,
+        false_ids: &[String],
+        out: &mut Vec<Finding>,
+    ) {
+        for arm in &spec.arms {
+            let Some(guard) = &arm.guard else { continue };
+            if false_ids.contains(&guard.name) {
+                out.push(Finding {
+                    rule: LintRule::name(self),
+                    message: format!(
+                        "{section} arm guarded by `({})` is unreachable: the condition \
+                         is constantly FALSE",
+                        guard.name
+                    ),
+                    span: arm.span,
+                    owner: format!("property {}", p.name.name),
+                });
+            }
+        }
+        let _ = cx;
+    }
+}
+
+impl LintRule for UnreachableArm {
+    fn name(&self) -> &'static str {
+        "unreachable-arm"
+    }
+
+    fn description(&self) -> &'static str {
+        "guarded arm whose condition folds to FALSE"
+    }
+
+    fn run(&self, cx: &LintCx<'_>, out: &mut Vec<Finding>) {
+        for p in &cx.spec.spec.properties {
+            let false_ids: Vec<String> = p
+                .conditions
+                .iter()
+                .filter(|c| cx.folder.fold(&c.expr) == Some(Const::Bool(false)))
+                .filter_map(|c| c.id.as_ref().map(|i| i.name.clone()))
+                .collect();
+            if false_ids.is_empty() {
+                continue;
+            }
+            self.check_section(cx, p, "confidence", &p.confidence, &false_ids, out);
+            self.check_section(cx, p, "severity", &p.severity, &false_ids, out);
+        }
+    }
+}
+
+/// `overlapping-arms`: two arms of one `MAX` section are guarded by
+/// threshold conditions over the same expression where one condition
+/// implies the other — the "specialized" arm never fires alone, which
+/// usually means the thresholds were meant to be mutually exclusive.
+pub struct OverlappingArms;
+
+impl LintRule for OverlappingArms {
+    fn name(&self) -> &'static str {
+        "overlapping-arms"
+    }
+
+    fn description(&self) -> &'static str {
+        "MAX arms guarded by threshold conditions where one implies the other"
+    }
+
+    fn run(&self, cx: &LintCx<'_>, out: &mut Vec<Finding>) {
+        for p in &cx.spec.spec.properties {
+            // Threshold shape per named condition.
+            let mut thresholds: HashMap<&str, Threshold> = HashMap::new();
+            for c in &p.conditions {
+                if let (Some(id), Some(t)) = (&c.id, threshold_of(&c.expr, &cx.folder)) {
+                    thresholds.insert(&id.name, t);
+                }
+            }
+            if thresholds.len() < 2 {
+                continue;
+            }
+            for (section, spec) in [("confidence", &p.confidence), ("severity", &p.severity)] {
+                if !spec.is_max {
+                    continue;
+                }
+                let guards: Vec<&asl_core::ast::Arm> = spec
+                    .arms
+                    .iter()
+                    .filter(|a| {
+                        a.guard
+                            .as_ref()
+                            .is_some_and(|g| thresholds.contains_key(g.name.as_str()))
+                    })
+                    .collect();
+                for (i, a) in guards.iter().enumerate() {
+                    for b in &guards[i + 1..] {
+                        let (ga, gb) = (
+                            a.guard.as_ref().expect("filtered on guard"),
+                            b.guard.as_ref().expect("filtered on guard"),
+                        );
+                        if ga.name == gb.name {
+                            continue;
+                        }
+                        let (ta, tb) =
+                            (&thresholds[ga.name.as_str()], &thresholds[gb.name.as_str()]);
+                        // Report at the implied (weaker) guard; on mutual
+                        // implication report only once.
+                        let (strong, weak) = if implies(ta, tb) {
+                            (ga, gb)
+                        } else if implies(tb, ta) {
+                            (gb, ga)
+                        } else {
+                            continue;
+                        };
+                        out.push(Finding {
+                            rule: self.name(),
+                            message: format!(
+                                "{section} arms overlap: whenever `({})` holds, `({})` \
+                                 holds too (`{}` thresholds are nested, not exclusive)",
+                                strong.name, weak.name, ta.key
+                            ),
+                            span: weak.span,
+                            owner: format!("property {}", p.name.name),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}

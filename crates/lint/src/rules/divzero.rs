@@ -1,0 +1,156 @@
+//! `possible-div-by-zero`: a division (or modulo) whose denominator
+//! *provably* can be zero — it folds to zero, it is a `COUNT` (zero on
+//! an empty set), or it is syntactically `E - E`. A denominator that is
+//! a plain variable is resolved one level through the property's LET
+//! bindings, so the common `LET int N = COUNT(…) … / N` idiom is caught.
+//!
+//! The rule is deliberately one-sided: attribute loads and calls have
+//! unknown ranges and stay quiet. A finding is suppressed when a
+//! property condition proves the denominator nonzero (e.g. the arm
+//! `Cost / N` under the guarding condition `N > 0`), since
+//! severity/confidence arms only run once a condition holds.
+
+use super::{walk_expr, LintCx, LintRule};
+use crate::fold::{provably_can_be_zero, proves_nonzero, threshold_of, Threshold};
+use crate::Finding;
+use asl_core::ast::{BinOp, Expr, ExprKind};
+use asl_core::pretty;
+use asl_eval::compile::shape::and_conjuncts;
+
+/// See module docs.
+pub struct PossibleDivByZero;
+
+impl PossibleDivByZero {
+    fn check_body(
+        &self,
+        cx: &LintCx<'_>,
+        owner: &str,
+        body: &Expr,
+        facts: &[Threshold],
+        lets: &[(&str, &Expr)],
+        out: &mut Vec<Finding>,
+    ) {
+        walk_expr(body, &mut |e| {
+            let ExprKind::Binary(op @ (BinOp::Div | BinOp::Mod), _, den) = &e.kind else {
+                return;
+            };
+            // Resolve a plain-variable denominator one level through the
+            // LET bindings in scope (latest binding of the name wins).
+            let resolved = match &den.kind {
+                ExprKind::Var(v) => lets
+                    .iter()
+                    .rev()
+                    .find(|(n, _)| *n == v.as_str())
+                    .map(|(_, value)| *value),
+                _ => None,
+            };
+            let Some(reason) = provably_can_be_zero(den, &cx.folder).or_else(|| {
+                resolved.and_then(|value| {
+                    provably_can_be_zero(value, &cx.folder)
+                        .map(|r| format!("{r} (`{}` is LET-bound to it)", pretty::print_expr(den)))
+                })
+            }) else {
+                return;
+            };
+            // A condition fact can name either the variable or the bound
+            // expression itself; both prove the denominator nonzero.
+            let mut keys = vec![pretty::print_expr(den)];
+            if let Some(value) = resolved {
+                keys.push(pretty::print_expr(value));
+            }
+            let proven_nonzero = facts
+                .iter()
+                .any(|t| keys.contains(&t.key) && proves_nonzero(t));
+            if proven_nonzero {
+                return;
+            }
+            let what = match op {
+                BinOp::Mod => "modulo",
+                _ => "division",
+            };
+            out.push(Finding {
+                rule: LintRule::name(self),
+                message: format!("possible {what} by zero: {reason}"),
+                span: den.span,
+                owner: owner.to_string(),
+            });
+        });
+    }
+}
+
+/// Threshold facts established by a condition expression (all of its
+/// top-level conjuncts).
+fn condition_facts(cx: &LintCx<'_>, cond: &Expr) -> Vec<Threshold> {
+    and_conjuncts(cond)
+        .into_iter()
+        .filter_map(|c| threshold_of(c, &cx.folder))
+        .collect()
+}
+
+impl LintRule for PossibleDivByZero {
+    fn name(&self) -> &'static str {
+        "possible-div-by-zero"
+    }
+
+    fn description(&self) -> &'static str {
+        "division whose denominator provably can be zero"
+    }
+
+    fn run(&self, cx: &LintCx<'_>, out: &mut Vec<Finding>) {
+        let spec = &cx.spec.spec;
+        for c in &spec.constants {
+            self.check_body(
+                cx,
+                &format!("constant {}", c.name.name),
+                &c.value,
+                &[],
+                &[],
+                out,
+            );
+        }
+        for f in &spec.functions {
+            self.check_body(
+                cx,
+                &format!("function {}", f.name.name),
+                &f.body,
+                &[],
+                &[],
+                out,
+            );
+        }
+        for p in &spec.properties {
+            let owner = format!("property {}", p.name.name);
+            // LETs and conditions evaluate before any condition is known
+            // to hold: no facts apply there. Each LET body sees only the
+            // bindings declared before it.
+            let mut lets: Vec<(&str, &Expr)> = Vec::new();
+            for l in &p.lets {
+                self.check_body(cx, &owner, &l.value, &[], &lets, out);
+                lets.push((&l.name.name, &l.value));
+            }
+            for c in &p.conditions {
+                self.check_body(cx, &owner, &c.expr, &[], &lets, out);
+            }
+            // Arms run only once the property holds. A guarded arm is
+            // protected by its own condition; an unguarded arm is only
+            // protected when the property has exactly one condition.
+            let sole_facts = match p.conditions.as_slice() {
+                [only] => condition_facts(cx, &only.expr),
+                _ => Vec::new(),
+            };
+            for arm in p.confidence.arms.iter().chain(p.severity.arms.iter()) {
+                let guard_facts = arm
+                    .guard
+                    .as_ref()
+                    .and_then(|g| {
+                        p.conditions
+                            .iter()
+                            .find(|c| c.id.as_ref().is_some_and(|i| i.name == g.name))
+                    })
+                    .map(|c| condition_facts(cx, &c.expr));
+                let facts = guard_facts.as_deref().unwrap_or(&sole_facts);
+                self.check_body(cx, &owner, &arm.expr, facts, &lets, out);
+            }
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! The lint-rule framework and the rule registry.
+//!
+//! Every rule implements [`LintRule`] and pushes [`Finding`]s with the
+//! most precise [`asl_core::Span`] it can attribute — that span drives
+//! both the caret snippet of the text renderer and the line/column of
+//! the JSON output, so rules must never fall back to `Span::default()`
+//! when the AST offers a real location.
+
+pub mod arms;
+pub mod divzero;
+pub mod perf;
+pub mod shadow;
+pub mod unused;
+
+use crate::fold::Folder;
+use crate::Finding;
+use asl_core::ast::{Expr, ExprKind, Param, TypeExpr, TypeExprKind};
+use asl_core::check::{infer_expr_type, CheckedSpec, Scope};
+use asl_core::types::{Model, Type};
+
+/// Shared context handed to every rule: the checked spec plus the
+/// constant folder (built once over the spec's global constants).
+pub struct LintCx<'a> {
+    /// The type-checked specification under analysis.
+    pub spec: &'a CheckedSpec,
+    /// Constant folder over the spec's global constants.
+    pub folder: Folder,
+}
+
+impl<'a> LintCx<'a> {
+    /// Build the context for one lint run.
+    pub fn new(spec: &'a CheckedSpec) -> Self {
+        LintCx {
+            folder: Folder::new(&spec.spec),
+            spec,
+        }
+    }
+
+    /// The resolved data-model metadata.
+    pub fn model(&self) -> &Model {
+        &self.spec.model
+    }
+}
+
+/// A single lint rule.
+pub trait LintRule {
+    /// Stable kebab-case rule name (used by `allow(...)` directives and
+    /// the JSON output).
+    fn name(&self) -> &'static str;
+    /// One-line description for `--help`-style listings.
+    fn description(&self) -> &'static str;
+    /// Run the rule, appending findings.
+    fn run(&self, cx: &LintCx<'_>, out: &mut Vec<Finding>);
+}
+
+/// All registered rules, in a stable order.
+pub fn all() -> Vec<Box<dyn LintRule>> {
+    vec![
+        Box::new(unused::UnusedConstant),
+        Box::new(unused::UnusedFunction),
+        Box::new(unused::UnusedType),
+        Box::new(shadow::Shadowing),
+        Box::new(arms::ConstantCondition),
+        Box::new(arms::UnreachableArm),
+        Box::new(arms::OverlappingArms),
+        Box::new(divzero::PossibleDivByZero),
+        Box::new(perf::ResidualFilterScan),
+        Box::new(perf::FullScanWhereIndexed),
+        Box::new(perf::PerElementSetClone),
+    ]
+}
+
+/// Pre-order walk over every sub-expression, without scope tracking.
+pub(crate) fn walk_expr<'e>(e: &'e Expr, f: &mut impl FnMut(&'e Expr)) {
+    f(e);
+    match &e.kind {
+        ExprKind::IntLit(_)
+        | ExprKind::FloatLit(_)
+        | ExprKind::StrLit(_)
+        | ExprKind::BoolLit(_)
+        | ExprKind::Var(_) => {}
+        ExprKind::Attr(base, _) => walk_expr(base, f),
+        ExprKind::Call(_, args) => {
+            for a in args {
+                walk_expr(a, f);
+            }
+        }
+        ExprKind::Unary(_, inner) | ExprKind::Unique(inner) | ExprKind::CountSet(inner) => {
+            walk_expr(inner, f)
+        }
+        ExprKind::Binary(_, l, r) => {
+            walk_expr(l, f);
+            walk_expr(r, f);
+        }
+        ExprKind::SetComp { source, pred, .. } => {
+            walk_expr(source, f);
+            walk_expr(pred, f);
+        }
+        ExprKind::Aggregate {
+            value,
+            source,
+            pred,
+            ..
+        } => {
+            walk_expr(source, f);
+            walk_expr(value, f);
+            if let Some(p) = pred {
+                walk_expr(p, f);
+            }
+        }
+        ExprKind::Quantifier { source, pred, .. } => {
+            walk_expr(source, f);
+            walk_expr(pred, f);
+        }
+    }
+}
+
+/// Pre-order walk that keeps a type [`Scope`] current: set-construct
+/// binders are bound (to the inferred element type of their source)
+/// around the sub-expressions that can see them. The callback observes
+/// each node with the scope of its *surrounding* context — a construct's
+/// own binder is not yet bound when the construct node itself is visited.
+pub(crate) fn walk_scoped(
+    model: &Model,
+    e: &Expr,
+    scope: &mut Scope,
+    f: &mut impl FnMut(&Expr, &mut Scope),
+) {
+    f(e, scope);
+    match &e.kind {
+        ExprKind::IntLit(_)
+        | ExprKind::FloatLit(_)
+        | ExprKind::StrLit(_)
+        | ExprKind::BoolLit(_)
+        | ExprKind::Var(_) => {}
+        ExprKind::Attr(base, _) => walk_scoped(model, base, scope, f),
+        ExprKind::Call(_, args) => {
+            for a in args {
+                walk_scoped(model, a, scope, f);
+            }
+        }
+        ExprKind::Unary(_, inner) | ExprKind::Unique(inner) | ExprKind::CountSet(inner) => {
+            walk_scoped(model, inner, scope, f)
+        }
+        ExprKind::Binary(_, l, r) => {
+            walk_scoped(model, l, scope, f);
+            walk_scoped(model, r, scope, f);
+        }
+        ExprKind::SetComp {
+            binder,
+            source,
+            pred,
+        } => {
+            walk_scoped(model, source, scope, f);
+            let et = elem_of(model, source, scope);
+            scope.push();
+            scope.bind(&binder.name, et);
+            walk_scoped(model, pred, scope, f);
+            scope.pop();
+        }
+        ExprKind::Aggregate {
+            value,
+            binder,
+            source,
+            pred,
+            ..
+        } => {
+            walk_scoped(model, source, scope, f);
+            let et = elem_of(model, source, scope);
+            scope.push();
+            scope.bind(&binder.name, et);
+            walk_scoped(model, value, scope, f);
+            if let Some(p) = pred {
+                walk_scoped(model, p, scope, f);
+            }
+            scope.pop();
+        }
+        ExprKind::Quantifier {
+            binder,
+            source,
+            pred,
+            ..
+        } => {
+            walk_scoped(model, source, scope, f);
+            let et = elem_of(model, source, scope);
+            scope.push();
+            scope.bind(&binder.name, et);
+            walk_scoped(model, pred, scope, f);
+            scope.pop();
+        }
+    }
+}
+
+/// The element type of a set-valued source expression, `Type::Error`
+/// when inference fails (rules must treat `Error` as "unknown").
+pub(crate) fn elem_of(model: &Model, source: &Expr, scope: &mut Scope) -> Type {
+    match infer_expr_type(model, source, scope) {
+        Ok(Type::Set(e)) => *e,
+        _ => Type::Error,
+    }
+}
+
+/// Resolve a syntactic type annotation against the model.
+pub(crate) fn decl_ty(model: &Model, te: &TypeExpr) -> Type {
+    match &te.kind {
+        TypeExprKind::Named(n) => model.named_type(n).unwrap_or(Type::Error),
+        TypeExprKind::Setof(n) => model
+            .named_type(n)
+            .map(|t| Type::Set(Box::new(t)))
+            .unwrap_or(Type::Error),
+    }
+}
+
+/// Bind declaration parameters into the current scope frame.
+pub(crate) fn bind_params(model: &Model, scope: &mut Scope, params: &[Param]) {
+    for p in params {
+        scope.bind(&p.name.name, decl_ty(model, &p.ty));
+    }
+}
+
+/// Does `e` reference the variable `name` freely (i.e. not under a
+/// construct that rebinds the same name)?
+pub(crate) fn uses_var(e: &Expr, name: &str) -> bool {
+    match &e.kind {
+        ExprKind::Var(n) => n == name,
+        ExprKind::IntLit(_)
+        | ExprKind::FloatLit(_)
+        | ExprKind::StrLit(_)
+        | ExprKind::BoolLit(_) => false,
+        ExprKind::Attr(base, _) => uses_var(base, name),
+        ExprKind::Call(_, args) => args.iter().any(|a| uses_var(a, name)),
+        ExprKind::Unary(_, inner) | ExprKind::Unique(inner) | ExprKind::CountSet(inner) => {
+            uses_var(inner, name)
+        }
+        ExprKind::Binary(_, l, r) => uses_var(l, name) || uses_var(r, name),
+        ExprKind::SetComp {
+            binder,
+            source,
+            pred,
+        } => uses_var(source, name) || (binder.name != name && uses_var(pred, name)),
+        ExprKind::Aggregate {
+            value,
+            binder,
+            source,
+            pred,
+            ..
+        } => {
+            uses_var(source, name)
+                || (binder.name != name
+                    && (uses_var(value, name)
+                        || pred.as_deref().is_some_and(|p| uses_var(p, name))))
+        }
+        ExprKind::Quantifier {
+            binder,
+            source,
+            pred,
+            ..
+        } => uses_var(source, name) || (binder.name != name && uses_var(pred, name)),
+    }
+}

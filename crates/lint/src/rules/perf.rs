@@ -1,0 +1,313 @@
+//! Performance lints grounded in the compiled-IR lowering rules.
+//!
+//! These rules reuse `asl_eval::compile::shape` — the *exact* predicate
+//! decomposition the compiler performs — so a lint fires precisely when
+//! the compiled engine would (or would fail to) use an indexed load, and
+//! `asl_eval::native_index` to know which `(class, set, attr)` triples
+//! the COSY store can actually serve in O(matches).
+
+use super::{elem_of, walk_scoped, LintCx, LintRule};
+use crate::Finding;
+use asl_core::ast::{BinOp, Expr, ExprKind, Ident};
+use asl_core::check::{infer_expr_type, Scope};
+use asl_core::types::Type;
+use asl_eval::compile::shape::{and_conjuncts, eq_filter_conjunct, indexed_filter};
+use asl_eval::native_index;
+use std::collections::HashSet;
+
+/// A set construct the compiler's `lower_source` extraction applies to
+/// (quantifiers are excluded: `FORALL`/`EXISTS` never use the indexed
+/// filter).
+struct Construct<'e> {
+    binder: &'e Ident,
+    source: &'e Expr,
+    pred: Option<&'e Expr>,
+}
+
+impl<'e> Construct<'e> {
+    fn of(e: &'e Expr) -> Option<Construct<'e>> {
+        match &e.kind {
+            ExprKind::SetComp {
+                binder,
+                source,
+                pred,
+            } => Some(Construct {
+                binder,
+                source,
+                pred: Some(pred),
+            }),
+            ExprKind::Aggregate {
+                binder,
+                source,
+                pred,
+                ..
+            } => Some(Construct {
+                binder,
+                source,
+                pred: pred.as_deref(),
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Visit every expression of the spec with the lexical type scope of its
+/// position, tagging each with its owning declaration.
+fn for_each_expr(cx: &LintCx<'_>, f: &mut impl FnMut(&Expr, &mut Scope, &str)) {
+    let model = cx.model();
+    let spec = &cx.spec.spec;
+    for c in &spec.constants {
+        let mut scope = Scope::new();
+        let owner = format!("constant {}", c.name.name);
+        walk_scoped(model, &c.value, &mut scope, &mut |e, s| f(e, s, &owner));
+    }
+    for fun in &spec.functions {
+        let mut scope = Scope::new();
+        super::bind_params(model, &mut scope, &fun.params);
+        let owner = format!("function {}", fun.name.name);
+        walk_scoped(model, &fun.body, &mut scope, &mut |e, s| f(e, s, &owner));
+    }
+    for p in &spec.properties {
+        let mut scope = Scope::new();
+        super::bind_params(model, &mut scope, &p.params);
+        let owner = format!("property {}", p.name.name);
+        for l in &p.lets {
+            walk_scoped(model, &l.value, &mut scope, &mut |e, s| f(e, s, &owner));
+            scope.bind(&l.name.name, super::decl_ty(model, &l.ty));
+        }
+        for c in &p.conditions {
+            walk_scoped(model, &c.expr, &mut scope, &mut |e, s| f(e, s, &owner));
+        }
+        for arm in p.confidence.arms.iter().chain(p.severity.arms.iter()) {
+            walk_scoped(model, &arm.expr, &mut scope, &mut |e, s| f(e, s, &owner));
+        }
+    }
+}
+
+/// The class of an object-valued expression, via type inference.
+fn class_of(cx: &LintCx<'_>, e: &Expr, scope: &mut Scope) -> Option<String> {
+    match infer_expr_type(cx.model(), e, scope) {
+        Ok(Type::Class(c)) => Some(c),
+        _ => None,
+    }
+}
+
+/// Recognize a per-element equality *membership* filter on one attribute
+/// of the binder: either a single `b.Attr == key` conjunct or an `OR`
+/// chain of such comparisons over the same attribute
+/// (`b.Type == PtpSend OR b.Type == PtpRecv OR …`). Returns the
+/// attribute and the number of compared keys.
+fn eq_membership<'e>(e: &'e Expr, binder: &str) -> Option<(&'e str, usize)> {
+    if let Some((attr, _key)) = eq_filter_conjunct(e, binder) {
+        return Some((attr, 1));
+    }
+    if let ExprKind::Binary(BinOp::Or, l, r) = &e.kind {
+        let (la, ln) = eq_membership(l, binder)?;
+        let (ra, rn) = eq_membership(r, binder)?;
+        if la == ra {
+            return Some((la, ln + rn));
+        }
+    }
+    None
+}
+
+/// `residual-filter-scan`: the compiler extracts an indexed
+/// `b.Attr == key` load the store serves natively, but the predicate
+/// carries a *second* equality filter on another attribute that must run
+/// per element — a two-key filter (e.g. `Run == t AND Type == Barrier`)
+/// the store has no composite index for.
+pub struct ResidualFilterScan;
+
+impl LintRule for ResidualFilterScan {
+    fn name(&self) -> &'static str {
+        "residual-filter-scan"
+    }
+
+    fn description(&self) -> &'static str {
+        "two-key equality filter: indexed load plus a per-element residual equality"
+    }
+
+    fn run(&self, cx: &LintCx<'_>, out: &mut Vec<Finding>) {
+        for_each_expr(cx, &mut |e, scope, owner| {
+            let Some(c) = Construct::of(e) else { return };
+            let Some(f) = indexed_filter(&c.binder.name, c.source, c.pred) else {
+                return;
+            };
+            let Some(class) = class_of(cx, f.base, scope) else {
+                return;
+            };
+            if !native_index(&class, f.set_attr, f.elem_attr) {
+                return;
+            }
+            for r in &f.residual {
+                let Some((attr, n_keys)) = eq_membership(r, &c.binder.name) else {
+                    continue;
+                };
+                let keys = if n_keys == 1 {
+                    "…".to_string()
+                } else {
+                    format!("one of {n_keys} keys")
+                };
+                out.push(Finding {
+                    rule: LintRule::name(self),
+                    message: format!(
+                        "`{b}.{attr} == {keys}` runs per element after the indexed \
+                         `{b}.{ea} ==` load: `{class}.{sa}` has no ({ea}, {attr}) \
+                         two-key index, so the residual filter scans every match",
+                        b = c.binder.name,
+                        ea = f.elem_attr,
+                        sa = f.set_attr,
+                    ),
+                    span: r.span,
+                    owner: owner.to_string(),
+                });
+            }
+        });
+    }
+}
+
+/// `full-scan-where-indexed`: the predicate contains an equality
+/// conjunct the store could serve with an indexed load, but its position
+/// keeps the compiler from extracting it — the construct scans the whole
+/// set even though a `FilterEq` load exists.
+pub struct FullScanWhereIndexed;
+
+impl LintRule for FullScanWhereIndexed {
+    fn name(&self) -> &'static str {
+        "full-scan-where-indexed"
+    }
+
+    fn description(&self) -> &'static str {
+        "full scan although an equality conjunct could use the indexed load"
+    }
+
+    fn run(&self, cx: &LintCx<'_>, out: &mut Vec<Finding>) {
+        for_each_expr(cx, &mut |e, scope, owner| {
+            let Some(c) = Construct::of(e) else { return };
+            let (ExprKind::Attr(base, set_attr), Some(pred)) = (&c.source.kind, c.pred) else {
+                return;
+            };
+            let Some(class) = class_of(cx, base, scope) else {
+                return;
+            };
+            // When the first conjunct is already extracted *and* natively
+            // served, the construct is fine (a second servable conjunct is
+            // the two-key case handled by residual-filter-scan).
+            if indexed_filter(&c.binder.name, c.source, c.pred)
+                .is_some_and(|f| native_index(&class, f.set_attr, f.elem_attr))
+            {
+                return;
+            }
+            for (i, conj) in and_conjuncts(pred).into_iter().enumerate() {
+                let Some((attr, _)) = eq_filter_conjunct(conj, &c.binder.name) else {
+                    continue;
+                };
+                if !native_index(&class, &set_attr.name, attr) {
+                    continue;
+                }
+                let why = if i == 0 {
+                    // First conjunct, but extraction still failed (e.g. a
+                    // non-simple key): unreachable today, kept for safety.
+                    "the compiler could not extract it".to_string()
+                } else {
+                    format!(
+                        "it is conjunct {} — only the first conjunct is extracted",
+                        i + 1
+                    )
+                };
+                out.push(Finding {
+                    rule: LintRule::name(self),
+                    message: format!(
+                        "this construct scans `{class}.{sa}` in full although \
+                         `{b}.{attr} ==` could be served by the indexed load; {why}. \
+                         Move it to the front of the predicate",
+                        sa = set_attr.name,
+                        b = c.binder.name,
+                    ),
+                    span: conj.span,
+                    owner: owner.to_string(),
+                });
+                return; // one finding per construct is enough
+            }
+        });
+    }
+}
+
+/// `per-element-set-clone`: a set-valued attribute load that depends on
+/// a construct's binder is re-materialized (cloned out of the store) on
+/// every iteration of that construct. Binder-independent set loads are
+/// hoisted and cached by the compiler; binder-dependent ones cannot be.
+pub struct PerElementSetClone;
+
+impl LintRule for PerElementSetClone {
+    fn name(&self) -> &'static str {
+        "per-element-set-clone"
+    }
+
+    fn description(&self) -> &'static str {
+        "set-valued attribute materialized on every loop iteration"
+    }
+
+    fn run(&self, cx: &LintCx<'_>, out: &mut Vec<Finding>) {
+        let model = cx.model();
+        let mut seen: HashSet<(u32, u32)> = HashSet::new();
+        for_each_expr(cx, &mut |e, scope, owner| {
+            let (binder, source, bodies): (_, _, Vec<&Expr>) = match &e.kind {
+                ExprKind::SetComp {
+                    binder,
+                    source,
+                    pred,
+                } => (binder, source, vec![pred]),
+                ExprKind::Aggregate {
+                    binder,
+                    source,
+                    pred,
+                    value,
+                    ..
+                } => {
+                    let mut b: Vec<&Expr> = vec![value];
+                    b.extend(pred.as_deref());
+                    (binder, source, b)
+                }
+                ExprKind::Quantifier {
+                    binder,
+                    source,
+                    pred,
+                    ..
+                } => (binder, source, vec![pred]),
+                _ => return,
+            };
+            let et = elem_of(model, source, scope);
+            scope.push();
+            scope.bind(&binder.name, et);
+            for body in bodies {
+                walk_scoped(model, body, scope, &mut |inner, inner_scope| {
+                    if !matches!(inner.kind, ExprKind::Attr(..)) {
+                        return;
+                    }
+                    if !super::uses_var(inner, &binder.name) {
+                        return;
+                    }
+                    if !matches!(infer_expr_type(model, inner, inner_scope), Ok(Type::Set(_))) {
+                        return;
+                    }
+                    if seen.insert((inner.span.start, inner.span.end)) {
+                        out.push(Finding {
+                            rule: "per-element-set-clone",
+                            message: format!(
+                                "set-valued attribute `{}` depends on binder `{}` and is \
+                                 materialized (cloned) on every iteration; hoist it or \
+                                 restructure the loop if the set is large",
+                                asl_core::pretty::print_expr(inner),
+                                binder.name
+                            ),
+                            span: inner.span,
+                            owner: owner.to_string(),
+                        });
+                    }
+                });
+            }
+            scope.pop();
+        });
+    }
+}

@@ -1,0 +1,155 @@
+//! `shadowing`: a binder, `LET` binding or parameter reuses a name that
+//! is already visible (an outer binder, a parameter, an earlier `LET`,
+//! or a global constant). ASL resolves the innermost binding, so the
+//! code still type-checks — which is exactly why a silent rebind is
+//! worth a warning.
+
+use super::{LintCx, LintRule};
+use crate::Finding;
+use asl_core::ast::{Expr, ExprKind, Ident, Param};
+use std::collections::HashSet;
+
+/// See module docs.
+pub struct Shadowing;
+
+struct Walk<'a> {
+    /// Global constant names (shadowing one is legal but confusing).
+    consts: HashSet<&'a str>,
+    /// Currently visible local bindings, innermost last: (name, kind).
+    stack: Vec<(String, &'static str)>,
+    owner: String,
+    out: &'a mut Vec<Finding>,
+}
+
+impl Walk<'_> {
+    fn check(&mut self, name: &Ident, what: &'static str) {
+        let shadowed = self
+            .stack
+            .iter()
+            .rev()
+            .find(|(n, _)| n == &name.name)
+            .map(|(_, kind)| *kind)
+            .or_else(|| {
+                self.consts
+                    .contains(name.name.as_str())
+                    .then_some("global constant")
+            });
+        if let Some(kind) = shadowed {
+            self.out.push(Finding {
+                rule: "shadowing",
+                message: format!("{what} `{}` shadows a {kind} of the same name", name.name),
+                span: name.span,
+                owner: self.owner.clone(),
+            });
+        }
+    }
+
+    fn params(&mut self, params: &[Param]) {
+        for p in params {
+            self.check(&p.name, "parameter");
+            self.stack.push((p.name.name.clone(), "parameter"));
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        match &e.kind {
+            ExprKind::IntLit(_)
+            | ExprKind::FloatLit(_)
+            | ExprKind::StrLit(_)
+            | ExprKind::BoolLit(_)
+            | ExprKind::Var(_) => {}
+            ExprKind::Attr(base, _) => self.expr(base),
+            ExprKind::Call(_, args) => args.iter().for_each(|a| self.expr(a)),
+            ExprKind::Unary(_, i) | ExprKind::Unique(i) | ExprKind::CountSet(i) => self.expr(i),
+            ExprKind::Binary(_, l, r) => {
+                self.expr(l);
+                self.expr(r);
+            }
+            ExprKind::SetComp {
+                binder,
+                source,
+                pred,
+            } => self.binder_scope(binder, source, [Some(&**pred)]),
+            ExprKind::Aggregate {
+                value,
+                binder,
+                source,
+                pred,
+                ..
+            } => self.binder_scope(binder, source, [Some(&**value), pred.as_deref()]),
+            ExprKind::Quantifier {
+                binder,
+                source,
+                pred,
+                ..
+            } => self.binder_scope(binder, source, [Some(&**pred)]),
+        }
+    }
+
+    fn binder_scope<const N: usize>(
+        &mut self,
+        binder: &Ident,
+        source: &Expr,
+        bodies: [Option<&Expr>; N],
+    ) {
+        // The source is evaluated outside the binder's scope.
+        self.expr(source);
+        self.check(binder, "binder");
+        self.stack.push((binder.name.clone(), "binder"));
+        for body in bodies.into_iter().flatten() {
+            self.expr(body);
+        }
+        self.stack.pop();
+    }
+}
+
+impl LintRule for Shadowing {
+    fn name(&self) -> &'static str {
+        "shadowing"
+    }
+
+    fn description(&self) -> &'static str {
+        "binding reuses a name that is already visible in an enclosing scope"
+    }
+
+    fn run(&self, cx: &LintCx<'_>, out: &mut Vec<Finding>) {
+        let spec = &cx.spec.spec;
+        let consts: HashSet<&str> = spec
+            .constants
+            .iter()
+            .map(|c| c.name.name.as_str())
+            .collect();
+
+        for f in &spec.functions {
+            let mut w = Walk {
+                consts: consts.clone(),
+                stack: Vec::new(),
+                owner: format!("function {}", f.name.name),
+                out,
+            };
+            w.params(&f.params);
+            w.expr(&f.body);
+        }
+        for p in &spec.properties {
+            let mut w = Walk {
+                consts: consts.clone(),
+                stack: Vec::new(),
+                owner: format!("property {}", p.name.name),
+                out,
+            };
+            w.params(&p.params);
+            for l in &p.lets {
+                // The value sees everything bound so far, but not itself.
+                w.expr(&l.value);
+                w.check(&l.name, "LET binding");
+                w.stack.push((l.name.name.clone(), "LET binding"));
+            }
+            for c in &p.conditions {
+                w.expr(&c.expr);
+            }
+            for arm in p.confidence.arms.iter().chain(p.severity.arms.iter()) {
+                w.expr(&arm.expr);
+            }
+        }
+    }
+}

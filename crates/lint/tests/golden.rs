@@ -1,0 +1,120 @@
+//! Golden-file tests: one `.asl` fixture per rule family under
+//! `tests/golden/`, each checked against a blessed text report
+//! (`render_text`) and a blessed JSON report (`to_json`).
+//!
+//! Every fixture is linted with the COSY data model prepended, exactly as
+//! `cosy_lint --with-suite` would do for a standalone property file, so
+//! the performance rules see the store's real `(owner, Run)` indexes and
+//! spans/line numbers in the goldens are offsets into the combined
+//! source.
+//!
+//! To bless new output after an intentional change:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test -p kojak-lint --test golden
+//! ```
+
+use std::path::{Path, PathBuf};
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn check_golden(path: &Path, actual: &str) {
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(path).unwrap_or_else(|_| {
+        panic!("missing golden file {path:?}; run with UPDATE_GOLDEN=1 to create it")
+    });
+    assert_eq!(
+        expected, actual,
+        "golden mismatch for {path:?}; run with UPDATE_GOLDEN=1 to bless"
+    );
+}
+
+fn run_fixture(name: &str) {
+    let dir = golden_dir();
+    let fixture = std::fs::read_to_string(dir.join(format!("{name}.asl"))).unwrap();
+    let source = format!("{}\n{fixture}", asl_eval::COSY_DATA_MODEL);
+    let report = match lint::lint_source(&source) {
+        Ok(r) => r,
+        Err(d) => panic!("fixture {name} does not check:\n{}", d.render(&source)),
+    };
+    check_golden(
+        &dir.join(format!("{name}.txt")),
+        &report.render_text(&source),
+    );
+    check_golden(&dir.join(format!("{name}.json")), &report.to_json(&source));
+}
+
+#[test]
+fn golden_unused() {
+    run_fixture("unused");
+}
+
+#[test]
+fn golden_shadow() {
+    run_fixture("shadow");
+}
+
+#[test]
+fn golden_arms() {
+    run_fixture("arms");
+}
+
+#[test]
+fn golden_divzero() {
+    run_fixture("divzero");
+}
+
+#[test]
+fn golden_perf() {
+    run_fixture("perf");
+}
+
+#[test]
+fn golden_allow() {
+    run_fixture("allow");
+}
+
+/// Regression pin for the cost lints: a two-key `Run == t AND Type == X`
+/// filter over an indexed set is flagged (the `Type ==` test runs per
+/// element after the indexed load), while the structurally identical
+/// single-key filter — served entirely by the store's `FilterEq` index —
+/// stays quiet.
+#[test]
+fn two_key_filter_flagged_filtereq_equivalent_quiet() {
+    let prop = |filter: &str| {
+        format!(
+            "{}\nProperty P(Region r, TestRun t, Region Basis) {{\n\
+             LET float X = SUM(tt.Time WHERE tt IN r.TypTimes AND {filter})\n\
+             IN CONDITION: X > 0; CONFIDENCE: 1;\n\
+             SEVERITY: X / Duration(Basis, t); }}",
+            asl_eval::COSY_DATA_MODEL
+        )
+    };
+
+    let two_key = prop("tt.Run == t AND tt.Type == Barrier");
+    let report = lint::lint_source(&two_key).unwrap();
+    let residual: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "residual-filter-scan")
+        .collect();
+    assert_eq!(residual.len(), 1, "{}", report.render_text(&two_key));
+    assert!(
+        residual[0].message.contains("Type"),
+        "finding names the residual key: {}",
+        residual[0].message
+    );
+
+    let one_key = prop("tt.Run == t");
+    let report = lint::lint_source(&one_key).unwrap();
+    assert!(
+        report.is_clean(),
+        "FilterEq-served filter must stay quiet:\n{}",
+        report.render_text(&one_key)
+    );
+}

@@ -1,0 +1,13 @@
+// Golden fixture: file-wide suppression. The directive below silences the
+// unused-constant finding for `Tuning`; the suppressed finding still shows
+// up in the JSON report's "suppressed" array and the text summary count.
+//
+// cosy-lint: allow(unused-constant): reserved knob for a future property.
+
+float Tuning = 0.5;
+
+Property Allowed(Region r, TestRun t, Region Basis) {
+    CONDITION: Duration(r, t) > 0;
+    CONFIDENCE: 1;
+    SEVERITY: Duration(r, t) / Duration(Basis, t);
+}

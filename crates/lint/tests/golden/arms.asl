@@ -1,0 +1,15 @@
+// Golden fixture: severity-arm analysis — a condition that constant-folds
+// to TRUE, one that folds to FALSE (making its arm unreachable), and a
+// pair of threshold conditions where one implies the other (overlapping
+// guarded arms in both the CONFIDENCE and SEVERITY sections).
+
+float AlwaysOn = 1.0;
+
+Property ArmTrouble(Region r, TestRun t, Region Basis) {
+    LET float Load = SUM(s.Incl WHERE s IN r.TotTimes AND s.Run == t)
+    IN
+    CONDITION: (big) Load > 10.0 OR (huge) Load > 100.0
+            OR (on) AlwaysOn > 0.0 OR (never) 0.0 > 1.0;
+    CONFIDENCE: MAX((big) -> 0.5, (huge) -> 0.9, (never) -> 0.2);
+    SEVERITY: MAX((big) -> Load / Duration(Basis, t), (huge) -> 1.0, (on) -> 0.5);
+}

@@ -1,0 +1,17 @@
+// Golden fixture: division by a provably-possibly-zero denominator — a
+// constant folding to zero, a COUNT over a possibly-empty set, and a
+// structurally-equal subtraction. The guarded SEVERITY arm divides by N
+// under a condition that proves N nonzero, so it stays quiet.
+
+float Zero = 3.0 - 3.0;
+
+Property DivTrouble(Region r, TestRun t, Region Basis) {
+    LET int N = COUNT(r.TotTimes);
+        float FromConst = 1.0 / Zero;
+        float PerRecord = Duration(r, t) / N;
+        float Wild = 1.0 / (Duration(r, t) - Duration(r, t))
+    IN
+    CONDITION: (nonempty) N > 0;
+    CONFIDENCE: 1;
+    SEVERITY: MAX((nonempty) -> PerRecord * Wild * FromConst / N / Duration(Basis, t));
+}

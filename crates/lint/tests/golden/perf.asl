@@ -1,0 +1,26 @@
+// Golden fixture: the three performance lints over the store's native
+// (owner, Run) indexes. `TwoKey` pays a per-element residual `Type ==`
+// after the indexed load; `OneKey` is served entirely by the index and
+// stays quiet; `Reordered` puts the servable `Run ==` conjunct second, so
+// the whole filter degrades to a full scan. `CloneTrouble` materializes
+// `c.Sums` once per outer element.
+
+Property PerfTrouble(Region r, TestRun t, Region Basis) {
+    LET float TwoKey = SUM(tt.Time WHERE tt IN r.TypTimes AND tt.Run == t
+            AND tt.Type == Barrier);
+        float OneKey = SUM(tt.Time WHERE tt IN r.TypTimes AND tt.Run == t);
+        float Reordered = SUM(tt.Time WHERE tt IN r.TypTimes
+            AND tt.Type == Barrier AND tt.Run == t)
+    IN
+    CONDITION: TwoKey + OneKey + Reordered > 0;
+    CONFIDENCE: 1;
+    SEVERITY: TwoKey / Duration(Basis, t);
+}
+
+Property CloneTrouble(Function f, TestRun t, Region Basis) {
+    LET float Worst = MAX(SUM(ct.MeanTime WHERE ct IN c.Sums) WHERE c IN f.Calls)
+    IN
+    CONDITION: Worst > 0;
+    CONFIDENCE: 1;
+    SEVERITY: Worst / Duration(Basis, t);
+}

@@ -1,0 +1,15 @@
+// Golden fixture: shadowing — a LET rebinding a global constant's name
+// and a construct binder reusing an enclosing property parameter. The
+// shadowed constant also becomes unused, since every reference now
+// resolves to the LET.
+
+float Scale = 4.0;
+
+Property Shadows(Region r, TestRun t, Region Basis) {
+    LET float Scale = 2.0;
+        float Total = SUM(t.Incl WHERE t IN r.TotTimes)
+    IN
+    CONDITION: Total * Scale > 0;
+    CONFIDENCE: 1;
+    SEVERITY: Total / Duration(Basis, t);
+}

@@ -1,0 +1,22 @@
+// Golden fixture: dead declarations of every kind — an unused constant, a
+// helper function nobody calls, a fully isolated class and an isolated
+// enum. The property keeps the rest of the data model anchored.
+
+float DeadWeight = 2.5;
+
+float Twice(TestRun t) = t.NoPe * 2.0;
+
+class Orphan {
+    int Tag;
+}
+
+enum OrphanKind {
+    Stray,
+    Lost
+}
+
+Property UsesModel(Region r, TestRun t, Region Basis) {
+    CONDITION: Duration(r, t) > 0;
+    CONFIDENCE: 1;
+    SEVERITY: Duration(r, t) / Duration(Basis, t);
+}

@@ -8,7 +8,10 @@
 //! ```
 //!
 //! Exit code 0 when the specification checks; 1 with rendered diagnostics
-//! otherwise — usable as a CI gate for specification files.
+//! otherwise — usable as a CI gate for specification files. Warnings the
+//! checker records on the success path (e.g. a constant confidence
+//! outside `[0, 1]`) are rendered as caret snippets; `--deny-warnings`
+//! turns them into a failing exit code too.
 
 use kojak::asl_core::{parse_and_check, pretty};
 use kojak::asl_sql::generate_schema;
@@ -18,6 +21,7 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let want_schema = take_flag(&mut args, "--schema");
     let want_pretty = take_flag(&mut args, "--pretty");
+    let deny_warnings = take_flag(&mut args, "--deny-warnings");
 
     let (name, source) = match args.first().map(String::as_str) {
         Some("-") => {
@@ -48,6 +52,14 @@ fn main() {
             std::process::exit(1);
         }
     };
+
+    if !spec.warnings.is_empty() {
+        eprint!("{}", spec.warnings.render_snippets(&source));
+        if deny_warnings {
+            eprintln!("aslc: {name}: warnings present and --deny-warnings set");
+            std::process::exit(1);
+        }
+    }
 
     println!(
         "{name}: OK — {} class(es), {} enum(s), {} constant(s), {} function(s), {} propert(y/ies)",

@@ -1,0 +1,107 @@
+//! `cosy_lint` — the static-analysis CLI over COSY/ASL specifications.
+//!
+//! ```sh
+//! cargo run --release --example cosy_lint                       # lint the built-in suite
+//! cargo run --release --example cosy_lint -- spec.asl more.asl  # lint files
+//! cargo run --release --example cosy_lint -- --json spec.asl    # machine-readable report
+//! cargo run --release --example cosy_lint -- --cost             # static cost ranking
+//! cargo run --release --example cosy_lint -- --deny-warnings …  # exit 1 on any finding
+//! cargo run --release --example cosy_lint -- --rules            # list the rule catalog
+//! ```
+//!
+//! Pass `-` to read from stdin. `--with-suite` prepends the built-in
+//! data model and standard properties, for spec files that extend the
+//! COSY suite (e.g. `examples/specs/*.asl`). A file may suppress rules
+//! file-wide with `// cosy-lint: allow(rule-a, rule-b): reason`. Exit
+//! codes: 0 clean (or findings tolerated), 1 findings under
+//! `--deny-warnings` or front-end errors, 2 usage/IO errors — usable as
+//! a CI gate.
+
+use std::io::Read;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let want_json = take_flag(&mut args, "--json");
+    let want_cost = take_flag(&mut args, "--cost");
+    let deny = take_flag(&mut args, "--deny-warnings");
+    let with_suite = take_flag(&mut args, "--with-suite");
+    if take_flag(&mut args, "--rules") {
+        for (name, description) in kojak::lint::rule_catalog() {
+            println!("{name:<24} {description}");
+        }
+        return;
+    }
+
+    let inputs: Vec<(String, String)> = if args.is_empty() {
+        vec![(
+            "<built-in COSY suite>".to_string(),
+            kojak::cosy::suite::standard_suite_source(),
+        )]
+    } else {
+        args.iter()
+            .map(|a| {
+                let (name, source) = read_input(a);
+                if with_suite {
+                    let full = format!("{}\n{source}", kojak::cosy::suite::standard_suite_source());
+                    (name, full)
+                } else {
+                    (name, source)
+                }
+            })
+            .collect()
+    };
+
+    let mut dirty = false;
+    for (name, source) in &inputs {
+        let report = match kojak::lint::lint_source(source) {
+            Ok(report) => report,
+            Err(diags) => {
+                eprint!("{}", diags.render(source));
+                eprintln!("cosy_lint: {name}: specification has errors");
+                std::process::exit(1);
+            }
+        };
+        if inputs.len() > 1 {
+            println!("==> {name}");
+        }
+        if want_json {
+            println!("{}", report.to_json(source));
+        } else {
+            print!("{}", report.render_text(source));
+            if want_cost {
+                print!("{}", report.render_costs());
+            }
+        }
+        dirty |= !report.is_clean();
+    }
+    if deny && dirty {
+        eprintln!("cosy_lint: findings present and --deny-warnings set");
+        std::process::exit(1);
+    }
+}
+
+fn read_input(arg: &str) -> (String, String) {
+    if arg == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .expect("read stdin");
+        return ("<stdin>".to_string(), buf);
+    }
+    match std::fs::read_to_string(arg) {
+        Ok(source) => (arg.to_string(), source),
+        Err(e) => {
+            eprintln!("cosy_lint: cannot read {arg}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        args.remove(i);
+        true
+    } else {
+        false
+    }
+}

@@ -15,29 +15,14 @@ use kojak::asl_eval::COSY_DATA_MODEL;
 use kojak::cosy::{report, Analyzer, Backend, ProblemThreshold};
 use kojak::perfdata::Store;
 
-/// The standard suite plus one custom property, written from scratch.
+/// The standard suite plus one custom property, loaded from the
+/// standalone spec file (the same file CI lints with `cosy_lint`).
 fn custom_suite_source() -> String {
     format!(
         "{}\n{}\n{}",
         COSY_DATA_MODEL,
         kojak::cosy::suite::SUITE_PROPERTIES,
-        r#"
-// Custom: I/O time that grew superlinearly vs the reference run indicates
-// filesystem contention (shared-bandwidth saturation).
-Property IoContention(Region r, TestRun t, Region Basis) {
-    LET TotalTiming MinPeSum = UNIQUE({sum IN r.TotTimes WITH sum.Run.NoPe ==
-            MIN(s.Run.NoPe WHERE s IN r.TotTimes)});
-        float IoNow  = SUM(tt.Time WHERE tt IN r.TypTimes AND tt.Run==t
-            AND (tt.Type == IoRead OR tt.Type == IoWrite));
-        float IoRef  = SUM(tt.Time WHERE tt IN r.TypTimes AND tt.Run==MinPeSum.Run
-            AND (tt.Type == IoRead OR tt.Type == IoWrite));
-        float Growth = t.NoPe / MinPeSum.Run.NoPe
-    IN
-    CONDITION: (contended) IoRef > 0 AND IoNow > IoRef * Growth;
-    CONFIDENCE: MAX((contended) -> 0.9);
-    SEVERITY: MAX((contended) -> (IoNow - IoRef) / Duration(Basis,t));
-}
-"#
+        include_str!("specs/io_contention.asl")
     )
 }
 

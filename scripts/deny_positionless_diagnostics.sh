@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# Deny-positionless-diagnostics gate for the span-precise lint pass.
+#
+# PR 9 threads real source spans from the checker through the compiled IR
+# into every diagnostic, lint finding and runtime property error, so caret
+# snippets always point at the offending expression. A `Diagnostic`
+# constructed with `Span::default()` silently regresses that: it renders
+# as line 1, column 1. This check rejects any such construction in crate
+# sources (tests may still use `Span::default()` for fixtures — the grep
+# targets the `Diagnostic` constructors, not spans in general).
+set -eu
+cd "$(dirname "$0")/.."
+
+matches=$(grep -rn --include='*.rs' \
+    -e 'Diagnostic::error(Span::default()' \
+    -e 'Diagnostic::warning(Span::default()' \
+    -e '\.error(Span::default()' \
+    -e '\.warning(Span::default()' \
+    crates/*/src || true)
+if [ -n "$matches" ]; then
+    echo "positionless Diagnostic construction (Span::default()) found — thread the"
+    echo "real span of the offending AST node instead so caret rendering works:"
+    echo "$matches"
+    exit 1
+fi
+echo "ok: no Diagnostic constructed from Span::default() in crates/*/src"

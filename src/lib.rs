@@ -22,6 +22,10 @@
 //! * [`obs`] — self-instrumentation: the [`obs::MetricsRegistry`],
 //!   scoped [`obs::StageTimer`]s on every pipeline stage, and the
 //!   [`obs::MetricsSnapshot`] the `Introspect` RPC ships
+//! * [`lint`] — span-precise static analysis over COSY specs:
+//!   correctness lints, IR-cost-model performance lints, the
+//!   `cosy_lint` CLI modes, and the [`lint::LintGate`] the
+//!   [`engine::EngineBuilder`] applies at suite load
 //! * [`faults`] — deterministic fault injection: seeded
 //!   [`faults::FaultPlan`]s drive the WAL/snapshot/socket seams in
 //!   chaos tests; a zero-cost passthrough unless built with the
@@ -41,6 +45,7 @@ pub use asl_sql;
 pub use cosy;
 pub use engine;
 pub use faults;
+pub use lint;
 pub use net;
 pub use obs;
 pub use online;
