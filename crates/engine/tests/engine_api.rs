@@ -200,3 +200,31 @@ fn lint_gate_denies_dirty_spec_and_passes_standard_suite() {
     assert!(!report.is_clean());
     assert!(builder.build().is_ok());
 }
+
+/// Flow-proven findings are hard errors under `Deny`: a denominator the
+/// abstract interpreter proves identically zero, and a comparison
+/// between a time-valued and a count-valued expression.
+#[test]
+fn lint_gate_denies_flow_proven_findings() {
+    let spec = asl_core::parse_and_check(
+        "class TestRun { int NoPe; }\n\
+         class TotalTiming { float Excl; }\n\
+         PROPERTY Bad(TestRun t, TotalTiming tt) {\n\
+             CONDITION: tt.Excl > t.NoPe;\n\
+             CONFIDENCE: 1;\n\
+             SEVERITY: 1.0 / (t.NoPe - t.NoPe);\n\
+         }",
+    )
+    .unwrap();
+    match EngineBuilder::new()
+        .spec(std::sync::Arc::new(spec))
+        .lint(engine::LintGate::Deny)
+        .build()
+    {
+        Err(EngineError::Lint(rejection)) => {
+            assert!(rejection.rendered.contains("proven-div-by-zero"));
+            assert!(rejection.rendered.contains("unit-mismatch"));
+        }
+        other => panic!("expected lint rejection, got {:?}", other.err()),
+    }
+}

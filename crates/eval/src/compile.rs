@@ -74,13 +74,15 @@ pub fn fn_memo_counters() -> (u64, u64) {
 }
 
 /// Reference to a node in the [`CompiledSpec`] pool.
-type NodeRef = u32;
+pub type NodeRef = u32;
 
 /// Which syntactic construct a lowered set source belongs to — only used
 /// to reproduce the interpreter's exact error messages.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum SourceCtx {
+pub enum SourceCtx {
+    /// A set comprehension `{ x IN s WITH p }`.
     Comp,
+    /// A quantified aggregate `SUM(v WHERE x IN s AND p)`.
     Agg,
 }
 
@@ -96,10 +98,17 @@ impl SourceCtx {
 /// One IR node. References are indices into the owning spec's node pool;
 /// all names are resolved (slots, const indices, function ids, interned
 /// strings) — executing a node never hashes a string.
+///
+/// The enum is public (read-only, via [`CompiledSpec::node`]) so that
+/// analysis passes such as `kojak-flow` can walk the exact program the
+/// engine executes rather than re-deriving semantics from the AST.
 #[derive(Debug, Clone)]
-enum Ir {
+pub enum Ir {
+    /// Integer literal.
     Int(i64),
+    /// Float literal.
     Float(f64),
+    /// Boolean literal.
     Bool(bool),
     /// String literal (index into the spec's string pool).
     Str(u32),
@@ -114,51 +123,80 @@ enum Ir {
     UnknownVar(u32),
     /// `base.attr` — the attribute name is pre-interned.
     Attr {
+        /// The object expression.
         base: NodeRef,
+        /// Attribute name.
         attr: &'static str,
     },
     /// Call of a compiled helper function.
     Call {
+        /// Index into the spec's function table.
         func: u32,
+        /// Argument expressions, in declaration order.
         args: Box<[NodeRef]>,
     },
     /// Call of an undeclared function: evaluates the arguments, then fails
     /// exactly like the interpreter.
     CallUnknown {
+        /// Index of the unknown name in the string pool.
         name: u32,
+        /// Argument expressions.
         args: Box<[NodeRef]>,
     },
     /// The n-ary `MAX(a, b, …)` / `MIN(a, b, …)` builtin.
     MinMax {
+        /// `true` for `MAX`, `false` for `MIN`.
         is_max: bool,
+        /// Argument expressions.
         args: Box<[NodeRef]>,
     },
+    /// Unary operator application.
     Unary(UnOp, NodeRef),
+    /// Binary operator application (`AND`/`OR` short-circuit).
     Binary(BinOp, NodeRef, NodeRef),
     /// `{ binder IN source WITH pred }` (pred not fully absorbed by an
     /// indexed filter). `resets` is the cache range invalidated on entry.
     SetComp {
+        /// Register slot the binder occupies per iteration.
         slot: u32,
+        /// Set expression iterated over.
         source: NodeRef,
+        /// Per-element predicate.
         pred: NodeRef,
+        /// Cache range invalidated on construct entry.
         resets: (u32, u32),
     },
+    /// `UNIQUE(set)` — exactly-one-element extraction.
     Unique(NodeRef),
+    /// Quantified aggregate `SUM(value WHERE slot IN source AND pred)`.
     Aggregate {
+        /// Aggregate operator.
         op: AggOp,
+        /// Register slot the binder occupies per iteration.
         slot: u32,
+        /// Set expression iterated over.
         source: NodeRef,
+        /// Per-element value expression.
         value: NodeRef,
+        /// Optional per-element predicate.
         pred: Option<NodeRef>,
+        /// Cache range invalidated on construct entry.
         resets: (u32, u32),
     },
+    /// `FORALL`/`EXISTS` over a set.
     Quantifier {
+        /// `true` for `FORALL`, `false` for `EXISTS`.
         forall: bool,
+        /// Register slot the binder occupies per iteration.
         slot: u32,
+        /// Set expression iterated over.
         source: NodeRef,
+        /// Optional per-element predicate.
         pred: Option<NodeRef>,
+        /// Cache range invalidated on construct entry.
         resets: (u32, u32),
     },
+    /// `COUNT(set)` without a quantifier — set cardinality.
     CountSet(NodeRef),
     /// Loop-invariant subexpression hoisted out of a set construct:
     /// evaluated lazily on first touch per construct entry, then reused
@@ -167,7 +205,9 @@ enum Ir {
     /// first iteration that would have reached the expression still
     /// evaluates it, and iterations that never reach it never pay for it.
     Cached {
+        /// Cache slot index.
         cache: u32,
+        /// The hoisted expression.
         expr: NodeRef,
     },
     /// Indexed set filter: the elements of `obj.set_attr` whose
@@ -175,20 +215,26 @@ enum Ir {
     /// the data source has an index, otherwise by a scan that reproduces
     /// the generic `==` filter element-by-element.
     FilterEq {
+        /// The object whose set attribute is filtered.
         obj: NodeRef,
+        /// The set-valued attribute on `obj`.
         set_attr: &'static str,
+        /// The element attribute compared against `key`.
         elem_attr: &'static str,
+        /// The filter key expression.
         key: NodeRef,
+        /// Which construct the filter was lowered from (error parity).
         ctx: SourceCtx,
     },
 }
 
 /// A confidence/severity arm with its guard resolved to a condition index.
 #[derive(Debug, Clone)]
-struct CompiledArm {
+pub struct CompiledArm {
     /// `None` = unguarded; `Some(i)` = applicable iff condition `i` fired.
-    guard: Option<usize>,
-    expr: NodeRef,
+    pub guard: Option<usize>,
+    /// Root node of the arm's value expression.
+    pub expr: NodeRef,
 }
 
 #[derive(Debug)]
@@ -252,9 +298,77 @@ impl CompiledSpec {
         self.nodes.len()
     }
 
+    /// The IR node behind a reference (read-only; analysis passes).
+    pub fn node(&self, r: NodeRef) -> &Ir {
+        &self.nodes[r as usize]
+    }
+
+    /// Source span of a node (`Span::default()` for synthesized nodes).
+    pub fn node_span(&self, r: NodeRef) -> Span {
+        self.spans[r as usize]
+    }
+
+    /// A string-pool entry (string literals, unknown names).
+    pub fn str_lit(&self, i: u32) -> &str {
+        &self.strings[i as usize]
+    }
+
+    /// Read-only views of the compiled global constants, in declaration
+    /// order (the order [`Ir::Const`] indexes them).
+    pub fn consts_ir(&self) -> impl Iterator<Item = ConstIr<'_>> {
+        self.consts.iter().map(|c| ConstIr {
+            name: &c.name,
+            n_slots: c.n_slots,
+            body: c.body,
+        })
+    }
+
+    /// Read-only views of the compiled helper functions, in declaration
+    /// order (the order [`Ir::Call`] indexes them). Parameters occupy
+    /// slots `0..n_params`.
+    pub fn functions_ir(&self) -> impl Iterator<Item = FnIr<'_>> {
+        self.functions.iter().map(|f| FnIr {
+            name: &f.name,
+            n_params: f.n_params,
+            n_slots: f.n_slots,
+            body: f.body,
+        })
+    }
+
+    /// Read-only views of the compiled properties, in declaration order.
+    /// Parameters occupy slots `0..n_params`.
+    pub fn properties_ir(&self) -> impl Iterator<Item = PropIr<'_>> {
+        self.properties
+            .iter()
+            .zip(&self.prop_names)
+            .map(|(p, name)| PropIr {
+                name,
+                n_params: p.n_params,
+                n_slots: p.n_slots,
+                lets: &p.lets,
+                conditions: &p.conditions,
+                confidence: &p.confidence,
+                severity: &p.severity,
+            })
+    }
+
     /// Statically estimated evaluation cost of every property, in
     /// declaration order. See [`PropCost`] for the model's assumptions.
     pub fn property_costs(&self) -> Vec<PropCost> {
+        self.property_costs_with_bounds(&|_| None)
+    }
+
+    /// [`property_costs`](Self::property_costs) with an external
+    /// cardinality oracle: `bounds` may return a proven upper bound on
+    /// the element count of a loop-source node (keyed by the source's
+    /// [`NodeRef`], `Cached` wrappers already unwrapped). Dataflow
+    /// analysis (`kojak-flow`) derives such bounds from COUNT guards and
+    /// comprehension structure; sources the oracle cannot bound fall
+    /// back to the model's fixed scan/filter assumptions.
+    pub fn property_costs_with_bounds(
+        &self,
+        bounds: &dyn Fn(NodeRef) -> Option<u64>,
+    ) -> Vec<PropCost> {
         // Helper-function body costs first, in declaration order. A call
         // to a callee whose cost is not known yet (self-recursion, forward
         // or mutual recursion) is charged a flat penalty instead of
@@ -262,7 +376,7 @@ impl CompiledSpec {
         let mut fn_costs: Vec<Option<CostSum>> = vec![None; self.functions.len()];
         for fid in 0..self.functions.len() {
             let mut stats = CostStats::default();
-            let sum = self.cost_walk(self.functions[fid].body, 0, &fn_costs, &mut stats);
+            let sum = self.cost_walk(self.functions[fid].body, 0, &fn_costs, bounds, &mut stats);
             fn_costs[fid] = Some(sum);
         }
         self.properties
@@ -272,13 +386,13 @@ impl CompiledSpec {
                 let mut stats = CostStats::default();
                 let mut total = CostSum::default();
                 for &(_, value) in &p.lets {
-                    total.add(self.cost_walk(value, 0, &fn_costs, &mut stats));
+                    total.add(self.cost_walk(value, 0, &fn_costs, bounds, &mut stats));
                 }
                 for (_, pred) in &p.conditions {
-                    total.add(self.cost_walk(*pred, 0, &fn_costs, &mut stats));
+                    total.add(self.cost_walk(*pred, 0, &fn_costs, bounds, &mut stats));
                 }
                 for arm in p.confidence.iter().chain(&p.severity) {
-                    total.add(self.cost_walk(arm.expr, 0, &fn_costs, &mut stats));
+                    total.add(self.cost_walk(arm.expr, 0, &fn_costs, bounds, &mut stats));
                 }
                 PropCost {
                     property: name.clone(),
@@ -302,6 +416,7 @@ impl CompiledSpec {
         node: NodeRef,
         depth: u64,
         fn_costs: &[Option<CostSum>],
+        bounds: &dyn Fn(NodeRef) -> Option<u64>,
         stats: &mut CostStats,
     ) -> CostSum {
         stats.nodes += 1;
@@ -310,12 +425,12 @@ impl CompiledSpec {
             Ir::Int(_) | Ir::Float(_) | Ir::Bool(_) | Ir::Str(_) | Ir::EnumVal(..) => sum.per += 1,
             Ir::Load(_) | Ir::Const(_) | Ir::UnknownVar(_) => sum.per += 1,
             Ir::Attr { base, .. } => {
-                sum.add(self.cost_walk(*base, depth, fn_costs, stats));
+                sum.add(self.cost_walk(*base, depth, fn_costs, bounds, stats));
                 sum.per += COST_ATTR;
             }
             Ir::Call { func, args } => {
                 for a in args.iter() {
-                    sum.add(self.cost_walk(*a, depth, fn_costs, stats));
+                    sum.add(self.cost_walk(*a, depth, fn_costs, bounds, stats));
                 }
                 match fn_costs.get(*func as usize).and_then(|c| c.as_ref()) {
                     // Body cost flattened into the call site; the callee's
@@ -328,37 +443,37 @@ impl CompiledSpec {
             }
             Ir::CallUnknown { args, .. } => {
                 for a in args.iter() {
-                    sum.add(self.cost_walk(*a, depth, fn_costs, stats));
+                    sum.add(self.cost_walk(*a, depth, fn_costs, bounds, stats));
                 }
                 sum.per += COST_CALL;
             }
             Ir::MinMax { args, .. } => {
                 for a in args.iter() {
-                    sum.add(self.cost_walk(*a, depth, fn_costs, stats));
+                    sum.add(self.cost_walk(*a, depth, fn_costs, bounds, stats));
                 }
                 sum.per += 1;
             }
             Ir::Unary(_, i) | Ir::Unique(i) | Ir::CountSet(i) => {
-                sum.add(self.cost_walk(*i, depth, fn_costs, stats));
+                sum.add(self.cost_walk(*i, depth, fn_costs, bounds, stats));
                 sum.per += 1;
             }
             Ir::Binary(_, l, r) => {
-                sum.add(self.cost_walk(*l, depth, fn_costs, stats));
-                sum.add(self.cost_walk(*r, depth, fn_costs, stats));
+                sum.add(self.cost_walk(*l, depth, fn_costs, bounds, stats));
+                sum.add(self.cost_walk(*r, depth, fn_costs, bounds, stats));
                 sum.per += 1;
             }
             Ir::Cached { expr, .. } => {
                 stats.cached_subtrees += 1;
-                let inner = self.cost_walk(*expr, depth, fn_costs, stats);
+                let inner = self.cost_walk(*expr, depth, fn_costs, bounds, stats);
                 // Evaluated once per construct entry, then a cache hit.
                 sum.once += inner.per + inner.once;
                 sum.per += 1;
             }
             Ir::SetComp { source, pred, .. } => {
-                let n = self.loop_cardinality(*source, stats);
+                let n = self.loop_cardinality(*source, bounds, stats);
                 stats.max_loop_depth = stats.max_loop_depth.max(depth + 1);
-                sum.add(self.cost_walk(*source, depth, fn_costs, stats));
-                let body = self.cost_walk(*pred, depth + 1, fn_costs, stats);
+                sum.add(self.cost_walk(*source, depth, fn_costs, bounds, stats));
+                let body = self.cost_walk(*pred, depth + 1, fn_costs, bounds, stats);
                 sum.per += n * body.per + body.once + COST_LOOP;
             }
             Ir::Aggregate {
@@ -367,51 +482,106 @@ impl CompiledSpec {
                 pred,
                 ..
             } => {
-                let n = self.loop_cardinality(*source, stats);
+                let n = self.loop_cardinality(*source, bounds, stats);
                 stats.max_loop_depth = stats.max_loop_depth.max(depth + 1);
-                sum.add(self.cost_walk(*source, depth, fn_costs, stats));
-                let mut body = self.cost_walk(*value, depth + 1, fn_costs, stats);
+                sum.add(self.cost_walk(*source, depth, fn_costs, bounds, stats));
+                let mut body = self.cost_walk(*value, depth + 1, fn_costs, bounds, stats);
                 if let Some(p) = pred {
-                    body.add(self.cost_walk(*p, depth + 1, fn_costs, stats));
+                    body.add(self.cost_walk(*p, depth + 1, fn_costs, bounds, stats));
                 }
                 sum.per += n * body.per + body.once + COST_LOOP;
             }
             Ir::Quantifier { source, pred, .. } => {
-                let n = self.loop_cardinality(*source, stats);
+                let n = self.loop_cardinality(*source, bounds, stats);
                 stats.max_loop_depth = stats.max_loop_depth.max(depth + 1);
-                sum.add(self.cost_walk(*source, depth, fn_costs, stats));
+                sum.add(self.cost_walk(*source, depth, fn_costs, bounds, stats));
                 if let Some(p) = pred {
-                    let body = self.cost_walk(*p, depth + 1, fn_costs, stats);
+                    let body = self.cost_walk(*p, depth + 1, fn_costs, bounds, stats);
                     sum.per += n * body.per + body.once;
                 }
                 sum.per += COST_LOOP;
             }
             Ir::FilterEq { obj, key, .. } => {
                 stats.indexed_loads += 1;
-                sum.add(self.cost_walk(*obj, depth, fn_costs, stats));
-                sum.add(self.cost_walk(*key, depth, fn_costs, stats));
+                sum.add(self.cost_walk(*obj, depth, fn_costs, bounds, stats));
+                sum.add(self.cost_walk(*key, depth, fn_costs, bounds, stats));
                 sum.per += COST_FILTER_EQ;
             }
         }
         sum
     }
 
-    /// Assumed element count of a loop source: indexed filters are presumed
-    /// selective ([`CARD_FILTERED`]); anything else is a full-set scan
+    /// Assumed element count of a loop source: a proven bound from the
+    /// oracle wins; otherwise indexed filters are presumed selective
+    /// ([`CARD_FILTERED`]) and anything else is a full-set scan
     /// ([`CARD_SCAN`], also counted in `scan_constructs`).
-    fn loop_cardinality(&self, source: NodeRef, stats: &mut CostStats) -> u64 {
+    fn loop_cardinality(
+        &self,
+        source: NodeRef,
+        bounds: &dyn Fn(NodeRef) -> Option<u64>,
+        stats: &mut CostStats,
+    ) -> u64 {
         // A hoisted source is still whatever it wraps.
         let mut n = source;
         while let Ir::Cached { expr, .. } = &self.nodes[n as usize] {
             n = *expr;
         }
-        if matches!(self.nodes[n as usize], Ir::FilterEq { .. }) {
+        let indexed = matches!(self.nodes[n as usize], Ir::FilterEq { .. });
+        if !indexed {
+            stats.scan_constructs += 1;
+        }
+        if let Some(b) = bounds(n) {
+            return b;
+        }
+        if indexed {
             CARD_FILTERED
         } else {
-            stats.scan_constructs += 1;
             CARD_SCAN
         }
     }
+}
+
+/// Read-only view of a compiled global constant (analysis passes).
+#[derive(Debug, Clone, Copy)]
+pub struct ConstIr<'a> {
+    /// Declared name.
+    pub name: &'a str,
+    /// Register slots the body needs.
+    pub n_slots: usize,
+    /// Root node of the value expression.
+    pub body: NodeRef,
+}
+
+/// Read-only view of a compiled helper function (analysis passes).
+#[derive(Debug, Clone, Copy)]
+pub struct FnIr<'a> {
+    /// Declared name.
+    pub name: &'a str,
+    /// Parameter count; parameters occupy slots `0..n_params`.
+    pub n_params: usize,
+    /// Register slots the body needs (including the parameters).
+    pub n_slots: usize,
+    /// Root node of the body expression.
+    pub body: NodeRef,
+}
+
+/// Read-only view of a compiled property (analysis passes).
+#[derive(Debug, Clone, Copy)]
+pub struct PropIr<'a> {
+    /// Declared name.
+    pub name: &'a str,
+    /// Parameter count; parameters occupy slots `0..n_params`.
+    pub n_params: usize,
+    /// Register slots the property needs.
+    pub n_slots: usize,
+    /// `(slot, value)` LET bindings in declaration order.
+    pub lets: &'a [(u32, NodeRef)],
+    /// `(condition id, predicate)` in declaration order.
+    pub conditions: &'a [(Option<String>, NodeRef)],
+    /// Compiled confidence arms.
+    pub confidence: &'a [CompiledArm],
+    /// Compiled severity arms.
+    pub severity: &'a [CompiledArm],
 }
 
 /// Assumed cardinality of an unindexed (full-scan) loop source.

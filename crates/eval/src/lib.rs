@@ -81,7 +81,8 @@ pub mod ops;
 pub mod value;
 
 pub use compile::{
-    cache_counters, compile, fn_memo_counters, CompiledEvaluator, CompiledSpec, PropCost,
+    cache_counters, compile, fn_memo_counters, CompiledArm, CompiledEvaluator, CompiledSpec,
+    ConstIr, FnIr, Ir, NodeRef, PropCost, PropIr, SourceCtx,
 };
 pub use cosy_model::{filter_memo_counters, native_index, CosyData, COSY_DATA_MODEL};
 pub use error::{EvalError, EvalErrorKind};

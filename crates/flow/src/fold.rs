@@ -1,11 +1,18 @@
-//! Constant folding and threshold-interval reasoning.
+//! Constant folding and threshold-interval reasoning over the AST.
 //!
-//! The correctness lints never need a full abstract interpreter: the
-//! questions they ask are "does this condition fold to a constant?",
-//! "does threshold condition `(a)` imply threshold condition `(b)`?" and
-//! "can this denominator provably be zero?". This module answers exactly
-//! those, conservatively — `None`/`false` always means "don't know", and
-//! a lint that consumes a "don't know" must stay quiet.
+//! This is the *syntactic* layer of the analysis (the original
+//! `kojak-lint` folding engine, now housed here so both the lint rules
+//! and the abstract interpreter share one set of engine-faithful
+//! short-circuit semantics). The questions it answers are "does this
+//! condition fold to a constant?", "does threshold condition `(a)`
+//! imply threshold condition `(b)`?" and "can this denominator provably
+//! be zero?" — all conservatively: `None`/`false` always means "don't
+//! know", and a lint that consumes a "don't know" must stay quiet.
+//!
+//! The semantic layer — intervals, units, guard implication over
+//! arbitrary conjunctions — lives in [`crate::absint`] and subsumes
+//! these answers where it applies; the folder remains the fallback for
+//! AST-level callers and the `--no-flow` lint path.
 
 use asl_core::ast::{AggOp, BinOp, Expr, ExprKind, Specification, UnOp};
 use asl_core::pretty;

@@ -2,16 +2,27 @@
 //!
 //! Hand-rolled serialization: the workspace's `serde` shim is
 //! marker-only (no registry access), so the renderer writes the JSON
-//! text directly. The schema is stable and covered by golden tests:
+//! text directly. The schema is stable, versioned by the top-level
+//! `"schema"` field, and covered by golden tests:
 //!
 //! ```json
 //! {
-//!   "findings":   [{"rule", "message", "owner", "line", "col", "start", "end"}],
+//!   "schema":     1,
+//!   "findings":   [{"rule", "message", "owner", "verdict", "line", "col",
+//!                   "start", "end", "notes": [{"message", "line", "col",
+//!                   "start", "end"}]}],
 //!   "suppressed": [ same shape ],
+//!   "proofs":     [ same shape; verdict is always "proven-safe" ],
 //!   "costs":      [{"property", "ir_nodes", "indexed_loads", "scan_constructs",
 //!                   "cached_subtrees", "max_loop_depth", "estimated_units"}]
 //! }
 //! ```
+//!
+//! `"verdict"` is `null` for syntactic findings; flow-decided findings
+//! carry the verdict tag (`"proven-div-by-zero"`, `"possible"`,
+//! `"proven"`, `"proven-safe"`). `"notes"` is the dominating span
+//! chain (proving guards, unsatisfiable conditions, mismatched
+//! operands).
 
 use crate::{Finding, LintReport};
 use asl_core::SourceMap;
@@ -38,16 +49,38 @@ fn escape(s: &str) -> String {
 
 fn finding_json(f: &Finding, map: &SourceMap) -> String {
     let loc = map.locate(f.span.start);
+    let verdict = match f.verdict {
+        Some(v) => format!("\"{}\"", escape(v)),
+        None => "null".to_string(),
+    };
+    let notes = f
+        .notes
+        .iter()
+        .map(|n| {
+            let nloc = map.locate(n.span.start);
+            format!(
+                "{{\"message\":\"{}\",\"line\":{},\"col\":{},\"start\":{},\"end\":{}}}",
+                escape(&n.message),
+                nloc.line,
+                nloc.col,
+                n.span.start,
+                n.span.end
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
     format!(
-        "{{\"rule\":\"{}\",\"message\":\"{}\",\"owner\":\"{}\",\
-         \"line\":{},\"col\":{},\"start\":{},\"end\":{}}}",
+        "{{\"rule\":\"{}\",\"message\":\"{}\",\"owner\":\"{}\",\"verdict\":{},\
+         \"line\":{},\"col\":{},\"start\":{},\"end\":{},\"notes\":[{}]}}",
         escape(f.rule),
         escape(&f.message),
         escape(&f.owner),
+        verdict,
         loc.line,
         loc.col,
         f.span.start,
-        f.span.end
+        f.span.end,
+        notes
     )
 }
 
@@ -80,9 +113,10 @@ pub fn report_to_json(report: &LintReport, source: &str) -> String {
         .collect::<Vec<_>>()
         .join(",");
     format!(
-        "{{\"findings\":[{}],\"suppressed\":[{}],\"costs\":[{}]}}",
+        "{{\"schema\":1,\"findings\":[{}],\"suppressed\":[{}],\"proofs\":[{}],\"costs\":[{}]}}",
         list(&report.findings),
         list(&report.suppressed),
+        list(&report.proofs),
         costs
     )
 }

@@ -6,9 +6,9 @@
 //!
 //! * **Correctness lints** — dead declarations (constants, helper
 //!   functions, fully isolated classes/enums), identifier shadowing,
-//!   constant conditions and unreachable guarded arms (by constant
-//!   folding), overlapping `MAX` arms (by threshold-interval
-//!   implication), and divisions whose denominator provably can be zero.
+//!   constant conditions and unreachable guarded arms, overlapping
+//!   `MAX` arms, divisions by a provably-zero denominator, unit
+//!   mismatches, and whole-suite property subsumption.
 //! * **Performance lints** — grounded in the compiled engine's actual
 //!   lowering rules (`asl_eval::compile::shape`) and the COSY store's
 //!   native index coverage (`asl_eval::native_index`): two-key
@@ -18,18 +18,35 @@
 //!   [IR cost estimator](asl_eval::CompiledSpec::property_costs) ranks
 //!   properties by estimated evaluation cost.
 //!
-//! Every [`Finding`] carries a real [`Span`]; reports render as
-//! rustc-style caret snippets ([`LintReport::render_text`]) or JSON
-//! ([`LintReport::to_json`]). Findings can be suppressed per rule with a
-//! file-wide comment directive:
+//! By default the pass runs the `kojak-flow` abstract interpreter over
+//! the compiled IR ([`flow::analyze`]) and the semantic rules consume
+//! its results: division sites are triaged into
+//! proven-safe / possible / proven-div-by-zero verdicts,
+//! unreachable/overlapping arms are decided by guard implication over
+//! arbitrary expressions (not just threshold literals), unit mismatches
+//! are reported from the inferred dimension lattice, and flow-proven
+//! cardinality bounds sharpen the cost ranking. [`lint_with`] with
+//! `run_flow = false` falls back to the purely syntactic rules.
+//!
+//! Every [`Finding`] carries a real [`Span`], an optional flow
+//! *verdict* tag, and [`Note`]s pointing at the dominating spans (the
+//! guard that proves a division safe, the condition proven
+//! unsatisfiable). Reports render as rustc-style caret snippets
+//! ([`LintReport::render_text`]) or JSON ([`LintReport::to_json`]).
+//! Findings can be suppressed per rule with a file-wide comment
+//! directive:
 //!
 //! ```text
 //! // cosy-lint: allow(residual-filter-scan): accepted until the store
 //! // serves two-key filters natively.
 //! ```
 //!
+//! A directive that suppresses nothing is itself reported
+//! (`unused-allow`), so stale suppressions cannot linger silently.
+//!
 //! The [`LintGate`] integrates the pass into engine construction:
-//! `Warn` surfaces findings, `Deny` refuses to load a dirty suite.
+//! `Warn` surfaces findings, `Deny` refuses to load a dirty suite —
+//! including suites with a proven division by zero or a unit mismatch.
 //!
 //! ```
 //! use asl_core::parse_and_check;
@@ -52,9 +69,10 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-pub mod fold;
 pub mod json;
 pub mod rules;
+
+pub use flow::fold;
 
 use asl_core::{CheckedSpec, Diagnostic, Diagnostics, SourceMap, Span};
 use asl_eval::PropCost;
@@ -62,8 +80,20 @@ use std::collections::HashSet;
 use std::fmt;
 use std::fmt::Write as _;
 
+/// A secondary span attached to a finding: part of the dominating span
+/// chain (the guard condition that proves a division safe, the
+/// condition an unreachable arm is guarded by, the two operands of a
+/// unit mismatch).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Note {
+    /// The span the note points at.
+    pub span: Span,
+    /// What that span contributes to the finding.
+    pub message: String,
+}
+
 /// One lint finding, attributed to a rule and a source span.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Finding {
     /// Stable kebab-case rule name (also the `allow(...)` key).
     pub rule: &'static str,
@@ -74,17 +104,31 @@ pub struct Finding {
     /// The enclosing declaration (`property X`, `function F`, …), or
     /// empty when the finding is not owned by one declaration.
     pub owner: String,
+    /// Flow verdict tag, when the finding was decided by the abstract
+    /// interpreter: `"proven-div-by-zero"`, `"possible"`, `"proven"`
+    /// (unreachable arms, overlaps, unit mismatches, subsumption) or
+    /// `"proven-safe"` (proof entries). `None` for syntactic findings.
+    pub verdict: Option<&'static str>,
+    /// The dominating span chain, innermost first.
+    pub notes: Vec<Note>,
 }
 
 /// The result of one lint run: active findings, findings suppressed by
-/// `allow(...)` directives, and the static per-property cost ranking.
+/// `allow(...)` directives, flow proofs, and the static per-property
+/// cost ranking.
 #[derive(Debug, Clone)]
 pub struct LintReport {
     /// Findings not suppressed by any directive, in source order.
     pub findings: Vec<Finding>,
     /// Findings matched by an `allow(...)` directive, in source order.
     pub suppressed: Vec<Finding>,
-    /// Per-property static cost estimates, most expensive first.
+    /// Flow proofs: sites a syntactic rule would have flagged that the
+    /// abstract interpreter proved safe (verdict `"proven-safe"`).
+    /// Informational — proofs never make a report dirty.
+    pub proofs: Vec<Finding>,
+    /// Per-property static cost estimates, most expensive first. When
+    /// the flow pass ran, proven cardinality bounds sharpen the
+    /// estimates.
     pub costs: Vec<PropCost>,
 }
 
@@ -95,34 +139,57 @@ impl LintReport {
     }
 
     /// Render the active findings as rustc-style caret snippets against
-    /// the source, followed by a one-line summary.
+    /// the source, followed by proof lines and a one-line summary.
     pub fn render_text(&self, source: &str) -> String {
         let map = SourceMap::new(source);
         let mut out = String::new();
         for f in &self.findings {
             let d = Diagnostic::warning(f.span, format!("[{}] {}", f.rule, f.message));
             out.push_str(&d.render_snippet(source, &map));
+            if let Some(v) = f.verdict {
+                let _ = writeln!(out, "   = verdict: {v}");
+            }
+            for n in &f.notes {
+                let loc = map.locate(n.span.start);
+                let _ = writeln!(out, "   = note (line {}): {}", loc.line, n.message);
+            }
             if !f.owner.is_empty() {
                 let _ = writeln!(out, "   = in {}", f.owner);
             }
         }
+        for p in &self.proofs {
+            let loc = map.locate(p.span.start);
+            let owner = if p.owner.is_empty() {
+                String::new()
+            } else {
+                format!(" (in {})", p.owner)
+            };
+            let _ = writeln!(
+                out,
+                "proof: [{}] line {}:{}: {}{}",
+                p.rule, loc.line, loc.col, p.message, owner
+            );
+        }
         let n = self.findings.len();
-        let m = self.suppressed.len();
-        match (n, m) {
-            (0, 0) => out.push_str("lint: clean\n"),
-            (0, m) => {
-                let _ = writeln!(out, "lint: clean ({m} suppressed by allow directives)");
-            }
-            (n, 0) => {
-                let _ = writeln!(out, "lint: {n} warning{}", plural(n));
-            }
-            (n, m) => {
-                let _ = writeln!(
-                    out,
-                    "lint: {n} warning{} ({m} suppressed by allow directives)",
-                    plural(n)
-                );
-            }
+        let mut extras = Vec::new();
+        if !self.suppressed.is_empty() {
+            extras.push(format!(
+                "{} suppressed by allow directives",
+                self.suppressed.len()
+            ));
+        }
+        if !self.proofs.is_empty() {
+            extras.push(format!("{} proven safe", self.proofs.len()));
+        }
+        let extras = if extras.is_empty() {
+            String::new()
+        } else {
+            format!(" ({})", extras.join(", "))
+        };
+        if n == 0 {
+            let _ = writeln!(out, "lint: clean{extras}");
+        } else {
+            let _ = writeln!(out, "lint: {n} warning{}{extras}", plural(n));
         }
         out
     }
@@ -148,7 +215,8 @@ impl LintReport {
         out
     }
 
-    /// Render the full report (findings, suppressions, costs) as JSON.
+    /// Render the full report (findings, suppressions, proofs, costs)
+    /// as JSON.
     pub fn to_json(&self, source: &str) -> String {
         json::report_to_json(self, source)
     }
@@ -162,31 +230,55 @@ fn plural(n: usize) -> &'static str {
     }
 }
 
-/// Rule names allowed by file-wide `cosy-lint: allow(...)` directives in
-/// the source (inside comments; the scan is line-based and does not
-/// require the directive to parse as ASL).
-fn allowed_rules(source: &str) -> HashSet<String> {
-    let mut out = HashSet::new();
-    for line in source.lines() {
-        let Some(idx) = line.find("cosy-lint:") else {
-            continue;
-        };
-        let rest = &line[idx + "cosy-lint:".len()..];
-        let Some(open) = rest.find("allow(") else {
-            continue;
-        };
-        let inner = &rest[open + "allow(".len()..];
-        let Some(close) = inner.find(')') else {
-            continue;
-        };
-        for rule in inner[..close].split(',') {
-            let rule = rule.trim();
-            if !rule.is_empty() {
-                out.insert(rule.to_string());
+/// One file-wide `cosy-lint: allow(rule)` directive occurrence, with
+/// the span of the rule name inside the directive (so an unused
+/// directive can be reported at a real location).
+#[derive(Debug, Clone)]
+struct AllowDirective {
+    rule: String,
+    span: Span,
+}
+
+/// Scan the source for `cosy-lint: allow(...)` directives (inside
+/// comments; the scan is line-based and does not require the directive
+/// to parse as ASL).
+fn allow_directives(source: &str) -> Vec<AllowDirective> {
+    let mut out = Vec::new();
+    let mut line_start = 0usize;
+    for line in source.split_inclusive('\n') {
+        let mut scan = || -> Option<()> {
+            let idx = line.find("cosy-lint:")?;
+            let rest = &line[idx + "cosy-lint:".len()..];
+            let open = rest.find("allow(")?;
+            // Byte offset of the first character inside `allow(...)`.
+            let inner_start = idx + "cosy-lint:".len() + open + "allow(".len();
+            let inner = &line[inner_start..];
+            let close = inner.find(')')?;
+            let mut at = inner_start;
+            for rule in inner[..close].split(',') {
+                let trimmed = rule.trim();
+                if !trimmed.is_empty() {
+                    let lead = rule.len() - rule.trim_start().len();
+                    let start = (line_start + at + lead) as u32;
+                    out.push(AllowDirective {
+                        rule: trimmed.to_string(),
+                        span: Span::new(start, start + trimmed.len() as u32),
+                    });
+                }
+                at += rule.len() + 1; // past the comma
             }
-        }
+            None
+        };
+        let _ = scan();
+        line_start += line.len();
     }
     out
+}
+
+/// Run every registered rule over a checked spec, with the flow pass
+/// enabled (see [`lint_with`]).
+pub fn lint(spec: &CheckedSpec, source: &str) -> LintReport {
+    lint_with(spec, source, true)
 }
 
 /// Run every registered rule over a checked spec.
@@ -196,8 +288,16 @@ fn allowed_rules(source: &str) -> HashSet<String> {
 /// recorded on the success path ([`CheckedSpec::warnings`]) are included
 /// as `checker-warning` findings, so one gate covers both passes. The
 /// spec is also compiled (to the slot IR) for the static cost ranking.
-pub fn lint(spec: &CheckedSpec, source: &str) -> LintReport {
-    let cx = rules::LintCx::new(spec);
+///
+/// With `run_flow`, the `kojak-flow` abstract interpreter analyzes the
+/// compiled IR first and the semantic rules (div-by-zero triage,
+/// unreachable/overlapping arms, unit mismatch, property subsumption)
+/// consume its results; without it, the syntactic fallback rules run
+/// and the flow-only rules stay silent.
+pub fn lint_with(spec: &CheckedSpec, source: &str, run_flow: bool) -> LintReport {
+    let comp = asl_eval::compile(spec);
+    let flow_report = run_flow.then(|| flow::analyze(spec, &comp));
+    let cx = rules::LintCx::with_flow(spec, flow_report.as_ref());
     let mut findings: Vec<Finding> = spec
         .warnings
         .iter()
@@ -206,25 +306,70 @@ pub fn lint(spec: &CheckedSpec, source: &str) -> LintReport {
             message: w.message.clone(),
             span: w.span,
             owner: "checker".to_string(),
+            ..Finding::default()
         })
         .collect();
     for rule in rules::all() {
         rule.run(&cx, &mut findings);
     }
-    findings.sort_by(|a, b| {
+    let by_span = |a: &Finding, b: &Finding| {
         (a.span.start, a.span.end, a.rule).cmp(&(b.span.start, b.span.end, b.rule))
-    });
+    };
+    findings.sort_by(by_span);
 
-    let allowed = allowed_rules(source);
-    let (suppressed, findings): (Vec<_>, Vec<_>) =
+    // Proof entries (verdict "proven-safe") are informational: they
+    // never dirty the report and are not subject to allow directives.
+    let (proofs, findings): (Vec<_>, Vec<_>) = findings
+        .into_iter()
+        .partition(|f| f.verdict == Some("proven-safe"));
+
+    let directives = allow_directives(source);
+    let allowed: HashSet<&str> = directives.iter().map(|d| d.rule.as_str()).collect();
+    let (mut suppressed, mut findings): (Vec<_>, Vec<_>) =
         findings.into_iter().partition(|f| allowed.contains(f.rule));
 
-    let mut costs = asl_eval::compile(spec).property_costs();
+    // `unused-allow`: a directive that suppressed nothing is itself a
+    // finding, reported at the rule name inside the directive. An
+    // `allow(unused-allow)` directive suppresses those in turn — and is
+    // itself unused when there was nothing to suppress.
+    let used: HashSet<&str> = suppressed.iter().map(|f| f.rule).collect();
+    let as_unused = |d: &AllowDirective| Finding {
+        rule: "unused-allow",
+        message: format!(
+            "allow({}) suppresses no findings; remove the stale directive",
+            d.rule
+        ),
+        span: d.span,
+        ..Finding::default()
+    };
+    let mut unused: Vec<Finding> = directives
+        .iter()
+        .filter(|d| d.rule != "unused-allow" && !used.contains(d.rule.as_str()))
+        .map(as_unused)
+        .collect();
+    let meta: Vec<&AllowDirective> = directives
+        .iter()
+        .filter(|d| d.rule == "unused-allow")
+        .collect();
+    if unused.is_empty() {
+        unused.extend(meta.into_iter().map(as_unused));
+    } else if !meta.is_empty() {
+        suppressed.append(&mut unused);
+    }
+    findings.append(&mut unused);
+    findings.sort_by(by_span);
+    suppressed.sort_by(by_span);
+
+    let mut costs = match &flow_report {
+        Some(fr) => comp.property_costs_with_bounds(&|n| fr.loop_bound(n)),
+        None => comp.property_costs(),
+    };
     costs.sort_by_key(|c| std::cmp::Reverse(c.estimated_units));
 
     LintReport {
         findings,
         suppressed,
+        proofs,
         costs,
     }
 }
@@ -238,12 +383,19 @@ pub fn lint_source(source: &str) -> Result<LintReport, Diagnostics> {
 }
 
 /// Name and one-line description of every registered rule (plus the
-/// pseudo-rule for checker warnings), for `--help`-style listings.
+/// pseudo-rules handled outside the registry), for `--help`-style
+/// listings.
 pub fn rule_catalog() -> Vec<(&'static str, &'static str)> {
-    let mut out = vec![(
-        "checker-warning",
-        "warning recorded by the type checker on the success path",
-    )];
+    let mut out = vec![
+        (
+            "checker-warning",
+            "warning recorded by the type checker on the success path",
+        ),
+        (
+            "unused-allow",
+            "allow(...) directive that suppresses no findings",
+        ),
+    ];
     out.extend(rules::all().iter().map(|r| (r.name(), r.description())));
     out
 }
@@ -256,7 +408,8 @@ pub enum LintGate {
     /// Run the pass and surface findings, but accept the suite.
     #[default]
     Warn,
-    /// Refuse to load a suite with any active finding.
+    /// Refuse to load a suite with any active finding — including
+    /// proven divisions by zero and unit mismatches from the flow pass.
     Deny,
 }
 
@@ -319,6 +472,29 @@ mod tests {
     }
 
     #[test]
+    fn unused_allow_directive_is_reported_at_its_span() {
+        let src = format!("// cosy-lint: allow(shadowing): nothing shadows\n{DIRTY}");
+        let report = lint_source(&src).unwrap();
+        let ua: Vec<&Finding> = report
+            .findings
+            .iter()
+            .filter(|f| f.rule == "unused-allow")
+            .collect();
+        assert_eq!(ua.len(), 1, "{:?}", report.findings);
+        assert_eq!(ua[0].span.slice(&src), "shadowing");
+        // ... and allow(unused-allow) suppresses it.
+        let src2 = format!("// cosy-lint: allow(unused-allow)\n{src}");
+        let report2 = lint_source(&src2).unwrap();
+        assert!(!report2.findings.iter().any(|f| f.rule == "unused-allow"));
+        assert!(report2.suppressed.iter().any(|f| f.rule == "unused-allow"));
+        // A lone allow(unused-allow) with nothing to suppress is itself
+        // unused.
+        let src3 = format!("// cosy-lint: allow(unused-allow)\n{DIRTY}");
+        let report3 = lint_source(&src3).unwrap();
+        assert!(report3.findings.iter().any(|f| f.rule == "unused-allow"));
+    }
+
+    #[test]
     fn gate_deny_rejects_and_warn_passes() {
         let report = lint_source(DIRTY).unwrap();
         assert!(!report.is_clean());
@@ -346,5 +522,14 @@ mod tests {
         assert_eq!(report.costs.len(), 1);
         let json = report.to_json(DIRTY);
         assert!(json.contains("\"property\":\"P\""));
+        assert!(json.contains("\"schema\":1"));
+    }
+
+    #[test]
+    fn no_flow_fallback_matches_syntactic_rules() {
+        let spec = asl_core::parse_and_check(DIRTY).unwrap();
+        let syntactic = lint_with(&spec, DIRTY, false);
+        assert!(!syntactic.is_clean());
+        assert!(syntactic.proofs.is_empty());
     }
 }

@@ -1,10 +1,19 @@
 //! Condition/arm lints: constant conditions, unreachable guarded arms,
-//! and overlapping `MAX` arms detected by threshold-interval implication.
+//! and overlapping `MAX` arms.
+//!
+//! Without the flow pass, unreachable arms are detected by constant
+//! folding (guard condition folds to `FALSE`) and overlaps by
+//! threshold-literal implication. With it, both generalize to
+//! arbitrary guard expressions: an arm is unreachable when the
+//! abstract interpreter proves its guard condition `False`, and two
+//! `MAX` arms overlap when one guard's constraint set implies the
+//! other's.
 
 use super::{LintCx, LintRule};
 use crate::fold::{implies, threshold_of, Const, Threshold};
-use crate::Finding;
+use crate::{Finding, Note};
 use asl_core::ast::{ArmSpec, Condition, PropertyDecl};
+use flow::Tri;
 use std::collections::HashMap;
 
 /// Display label for a condition: its id when named, its 1-based index
@@ -41,6 +50,7 @@ impl LintRule for ConstantCondition {
                         ),
                         span: c.span,
                         owner: format!("property {}", p.name.name),
+                        ..Finding::default()
                     });
                 }
             }
@@ -74,6 +84,7 @@ impl UnreachableArm {
                     ),
                     span: arm.span,
                     owner: format!("property {}", p.name.name),
+                    ..Finding::default()
                 });
             }
         }
@@ -91,6 +102,10 @@ impl LintRule for UnreachableArm {
     }
 
     fn run(&self, cx: &LintCx<'_>, out: &mut Vec<Finding>) {
+        if let Some(fr) = cx.flow {
+            self.run_flow(cx, fr, out);
+            return;
+        }
         for p in &cx.spec.spec.properties {
             let false_ids: Vec<String> = p
                 .conditions
@@ -103,6 +118,68 @@ impl LintRule for UnreachableArm {
             }
             self.check_section(cx, p, "confidence", &p.confidence, &false_ids, out);
             self.check_section(cx, p, "severity", &p.severity, &false_ids, out);
+        }
+    }
+}
+
+impl UnreachableArm {
+    /// Flow-driven variant: an arm is unreachable when the abstract
+    /// interpreter proves its guard condition `False` over all runs —
+    /// this covers constant folding (the syntactic case) and arbitrary
+    /// guard expressions with provably-empty solution sets.
+    fn run_flow(&self, cx: &LintCx<'_>, fr: &flow::FlowReport, out: &mut Vec<Finding>) {
+        for p in &cx.spec.spec.properties {
+            let Some(pf) = fr.property(&p.name.name) else {
+                continue;
+            };
+            let false_conds: Vec<&flow::CondFlow> = pf
+                .conditions
+                .iter()
+                .filter(|c| c.value == Tri::False && c.id.is_some())
+                .collect();
+            if false_conds.is_empty() {
+                continue;
+            }
+            for (section, spec) in [("confidence", &p.confidence), ("severity", &p.severity)] {
+                for arm in &spec.arms {
+                    let Some(guard) = &arm.guard else { continue };
+                    let Some(cf) = false_conds
+                        .iter()
+                        .find(|c| c.id.as_deref() == Some(guard.name.as_str()))
+                    else {
+                        continue;
+                    };
+                    // Keep the syntactic wording when folding alone
+                    // decides it, so the no-flow path reads the same.
+                    let folded = p
+                        .conditions
+                        .iter()
+                        .find(|c| c.id.as_ref().is_some_and(|i| i.name == guard.name))
+                        .is_some_and(|c| cx.folder.fold(&c.expr) == Some(Const::Bool(false)));
+                    let how = if folded {
+                        "the condition is constantly FALSE"
+                    } else {
+                        "the condition can never hold"
+                    };
+                    out.push(Finding {
+                        rule: LintRule::name(self),
+                        message: format!(
+                            "{section} arm guarded by `({})` is unreachable: {how}",
+                            guard.name
+                        ),
+                        span: arm.span,
+                        owner: format!("property {}", p.name.name),
+                        verdict: Some("proven"),
+                        notes: vec![Note {
+                            span: cf.span,
+                            message: format!(
+                                "guard condition {} proven unsatisfiable here",
+                                cf.label
+                            ),
+                        }],
+                    });
+                }
+            }
         }
     }
 }
@@ -123,6 +200,10 @@ impl LintRule for OverlappingArms {
     }
 
     fn run(&self, cx: &LintCx<'_>, out: &mut Vec<Finding>) {
+        if let Some(fr) = cx.flow {
+            self.run_flow(cx, fr, out);
+            return;
+        }
         for p in &cx.spec.spec.properties {
             // Threshold shape per named condition.
             let mut thresholds: HashMap<&str, Threshold> = HashMap::new();
@@ -176,6 +257,93 @@ impl LintRule for OverlappingArms {
                             ),
                             span: weak.span,
                             owner: format!("property {}", p.name.name),
+                            ..Finding::default()
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl OverlappingArms {
+    /// Flow-driven variant: one guard's constraint set implying the
+    /// other's generalizes threshold nesting to arbitrary conjunctions
+    /// of interval constraints.
+    fn run_flow(&self, cx: &LintCx<'_>, fr: &flow::FlowReport, out: &mut Vec<Finding>) {
+        for p in &cx.spec.spec.properties {
+            let Some(pf) = fr.property(&p.name.name) else {
+                continue;
+            };
+            // Constraint view (and span) per named condition.
+            let by_id: HashMap<&str, &flow::CondFlow> = pf
+                .conditions
+                .iter()
+                .filter_map(|c| c.id.as_deref().map(|i| (i, c)))
+                .collect();
+            for (section, spec) in [("confidence", &p.confidence), ("severity", &p.severity)] {
+                if !spec.is_max {
+                    continue;
+                }
+                let guards: Vec<&asl_core::ast::Arm> = spec
+                    .arms
+                    .iter()
+                    .filter(|a| {
+                        a.guard
+                            .as_ref()
+                            .is_some_and(|g| by_id.contains_key(g.name.as_str()))
+                    })
+                    .collect();
+                for (i, a) in guards.iter().enumerate() {
+                    for b in &guards[i + 1..] {
+                        let (ga, gb) = (
+                            a.guard.as_ref().expect("filtered on guard"),
+                            b.guard.as_ref().expect("filtered on guard"),
+                        );
+                        if ga.name == gb.name {
+                            continue;
+                        }
+                        let (ca, cb) = (by_id[ga.name.as_str()], by_id[gb.name.as_str()]);
+                        // An unsatisfiable premise implies everything;
+                        // that is unreachable-arm's finding, not ours.
+                        // A conclusion with no representable atom would
+                        // make the implication vacuous — require one.
+                        let fwd = !ca.constraints.unsat()
+                            && !cb.constraints.atoms.is_empty()
+                            && ca.constraints.implies(&cb.constraints);
+                        let bwd = !cb.constraints.unsat()
+                            && !ca.constraints.atoms.is_empty()
+                            && cb.constraints.implies(&ca.constraints);
+                        // Report at the implied (weaker) guard; on
+                        // mutual implication report only once.
+                        let (strong, weak, sc, wc) = if fwd {
+                            (ga, gb, ca, cb)
+                        } else if bwd {
+                            (gb, ga, cb, ca)
+                        } else {
+                            continue;
+                        };
+                        out.push(Finding {
+                            rule: self.name(),
+                            message: format!(
+                                "{section} arms overlap: whenever `({})` holds, `({})` \
+                                 holds too (the guard constraints are nested, not \
+                                 exclusive)",
+                                strong.name, weak.name
+                            ),
+                            span: weak.span,
+                            owner: format!("property {}", p.name.name),
+                            verdict: Some("proven"),
+                            notes: vec![
+                                Note {
+                                    span: sc.span,
+                                    message: format!("the stronger condition {} …", sc.label),
+                                },
+                                Note {
+                                    span: wc.span,
+                                    message: format!("… implies the weaker condition {}", wc.label),
+                                },
+                            ],
                         });
                     }
                 }

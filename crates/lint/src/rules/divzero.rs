@@ -9,16 +9,57 @@
 //! property condition proves the denominator nonzero (e.g. the arm
 //! `Cost / N` under the guarding condition `N > 0`), since
 //! severity/confidence arms only run once a condition holds.
+//!
+//! With the flow pass ([`LintCx::flow`]) the same sites are triaged by
+//! the abstract interpreter instead: every finding carries a verdict
+//! (`proven-div-by-zero` / `possible`), and sites the interpreter
+//! proves safe become [proof entries](crate::LintReport::proofs) with
+//! the proving guard in the span chain.
 
 use super::{walk_expr, LintCx, LintRule};
 use crate::fold::{provably_can_be_zero, proves_nonzero, threshold_of, Threshold};
-use crate::Finding;
+use crate::{Finding, Note};
 use asl_core::ast::{BinOp, Expr, ExprKind};
 use asl_core::pretty;
 use asl_eval::compile::shape::and_conjuncts;
+use flow::{DivSite, DivVerdict};
 
 /// See module docs.
 pub struct PossibleDivByZero;
+
+/// Translate flow division sites for one owner into findings/proofs.
+/// Only *triggered* sites (trigger shapes the syntactic rule reports)
+/// surface at all, so a flow run never flags more sites than the
+/// syntactic rule — it only sharpens their verdicts.
+fn emit_flow_sites(rule: &'static str, owner: &str, sites: &[DivSite], out: &mut Vec<Finding>) {
+    for s in sites.iter().filter(|s| s.triggered) {
+        let what = if s.is_mod { "modulo" } else { "division" };
+        let (verdict, message) = match s.verdict {
+            DivVerdict::ProvenZero => (
+                "proven-div-by-zero",
+                format!("proven {what} by zero: {}", s.reason),
+            ),
+            DivVerdict::Possible => ("possible", format!("possible {what} by zero: {}", s.reason)),
+            DivVerdict::ProvenSafe => ("proven-safe", format!("{what} proven safe: {}", s.reason)),
+            DivVerdict::Unknown => continue,
+        };
+        let notes = match (&s.guard, s.guard_span) {
+            (Some(g), Some(span)) => vec![Note {
+                span,
+                message: format!("condition {g} proves the denominator nonzero"),
+            }],
+            _ => Vec::new(),
+        };
+        out.push(Finding {
+            rule,
+            message,
+            span: s.span,
+            owner: owner.to_string(),
+            verdict: Some(verdict),
+            notes,
+        });
+    }
+}
 
 impl PossibleDivByZero {
     fn check_body(
@@ -73,6 +114,7 @@ impl PossibleDivByZero {
                 message: format!("possible {what} by zero: {reason}"),
                 span: den.span,
                 owner: owner.to_string(),
+                ..Finding::default()
             });
         });
     }
@@ -97,6 +139,17 @@ impl LintRule for PossibleDivByZero {
     }
 
     fn run(&self, cx: &LintCx<'_>, out: &mut Vec<Finding>) {
+        if let Some(fr) = cx.flow {
+            let rule = LintRule::name(self);
+            for d in fr.consts.iter().chain(&fr.functions) {
+                emit_flow_sites(rule, &d.owner, &d.divisions, out);
+            }
+            for p in &fr.properties {
+                let owner = format!("property {}", p.name);
+                emit_flow_sites(rule, &owner, &p.divisions, out);
+            }
+            return;
+        }
         let spec = &cx.spec.spec;
         for c in &spec.constants {
             self.check_body(

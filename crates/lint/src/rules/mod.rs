@@ -10,6 +10,8 @@ pub mod arms;
 pub mod divzero;
 pub mod perf;
 pub mod shadow;
+pub mod subsume;
+pub mod units;
 pub mod unused;
 
 use crate::fold::Folder;
@@ -18,21 +20,33 @@ use asl_core::ast::{Expr, ExprKind, Param, TypeExpr, TypeExprKind};
 use asl_core::check::{infer_expr_type, CheckedSpec, Scope};
 use asl_core::types::{Model, Type};
 
-/// Shared context handed to every rule: the checked spec plus the
-/// constant folder (built once over the spec's global constants).
+/// Shared context handed to every rule: the checked spec, the constant
+/// folder (built once over the spec's global constants), and — when the
+/// flow pass ran — the abstract-interpretation results.
 pub struct LintCx<'a> {
     /// The type-checked specification under analysis.
     pub spec: &'a CheckedSpec,
     /// Constant folder over the spec's global constants.
     pub folder: Folder,
+    /// Flow results over the compiled IR, when the pass ran. Semantic
+    /// rules branch on this: with flow they consume proven facts, without
+    /// it they fall back to their syntactic approximation (or stay
+    /// silent, for the flow-only rules).
+    pub flow: Option<&'a flow::FlowReport>,
 }
 
 impl<'a> LintCx<'a> {
-    /// Build the context for one lint run.
+    /// Build the context for a syntactic-only lint run.
     pub fn new(spec: &'a CheckedSpec) -> Self {
+        LintCx::with_flow(spec, None)
+    }
+
+    /// Build the context, optionally wiring in flow results.
+    pub fn with_flow(spec: &'a CheckedSpec, flow: Option<&'a flow::FlowReport>) -> Self {
         LintCx {
             folder: Folder::new(&spec.spec),
             spec,
+            flow,
         }
     }
 
@@ -64,6 +78,8 @@ pub fn all() -> Vec<Box<dyn LintRule>> {
         Box::new(arms::UnreachableArm),
         Box::new(arms::OverlappingArms),
         Box::new(divzero::PossibleDivByZero),
+        Box::new(units::UnitMismatchRule),
+        Box::new(subsume::SubsumedProperty),
         Box::new(perf::ResidualFilterScan),
         Box::new(perf::FullScanWhereIndexed),
         Box::new(perf::PerElementSetClone),

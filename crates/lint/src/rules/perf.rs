@@ -160,6 +160,7 @@ impl LintRule for ResidualFilterScan {
                     ),
                     span: r.span,
                     owner: owner.to_string(),
+                    ..Finding::default()
                 });
             }
         });
@@ -226,6 +227,7 @@ impl LintRule for FullScanWhereIndexed {
                     ),
                     span: conj.span,
                     owner: owner.to_string(),
+                    ..Finding::default()
                 });
                 return; // one finding per construct is enough
             }
@@ -303,6 +305,7 @@ impl LintRule for PerElementSetClone {
                             ),
                             span: inner.span,
                             owner: owner.to_string(),
+                            ..Finding::default()
                         });
                     }
                 });

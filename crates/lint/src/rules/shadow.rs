@@ -40,6 +40,7 @@ impl Walk<'_> {
                 message: format!("{what} `{}` shadows a {kind} of the same name", name.name),
                 span: name.span,
                 owner: self.owner.clone(),
+                ..Finding::default()
             });
         }
     }

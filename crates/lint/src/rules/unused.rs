@@ -75,6 +75,7 @@ impl LintRule for UnusedConstant {
                     message: format!("constant `{}` is never referenced", c.name.name),
                     span: c.name.span,
                     owner: format!("constant {}", c.name.name),
+                    ..Finding::default()
                 });
             }
         }
@@ -126,6 +127,7 @@ impl LintRule for UnusedFunction {
                 message,
                 span: f.name.span,
                 owner: format!("function {name}"),
+                ..Finding::default()
             });
         }
     }
@@ -238,6 +240,7 @@ impl LintRule for UnusedType {
                     ),
                     span: c.name.span,
                     owner: format!("class {}", c.name.name),
+                    ..Finding::default()
                 });
             }
         }
@@ -252,6 +255,7 @@ impl LintRule for UnusedType {
                     ),
                     span: e.name.span,
                     owner: format!("enum {}", e.name.name),
+                    ..Finding::default()
                 });
             }
         }

@@ -118,3 +118,23 @@ fn two_key_filter_flagged_filtereq_equivalent_quiet() {
         report.render_text(&one_key)
     );
 }
+
+#[test]
+fn golden_flow_unreachable() {
+    run_fixture("flow_unreachable");
+}
+
+#[test]
+fn golden_flow_units() {
+    run_fixture("flow_units");
+}
+
+#[test]
+fn golden_flow_subsumed() {
+    run_fixture("flow_subsumed");
+}
+
+#[test]
+fn golden_unused_allow() {
+    run_fixture("unused_allow");
+}

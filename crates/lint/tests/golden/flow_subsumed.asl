@@ -1,0 +1,20 @@
+// Golden fixture: subsumed-property. `HighLoad`'s condition
+// (COUNT > 100 AND NoPe > 0) implies `SomeLoad`'s (COUNT > 10 AND
+// NoPe > 0) — its constraint intervals are subsets on the same
+// canonical keys — and its constant severity is not higher, so every
+// run `HighLoad` would flag, `SomeLoad` already flags at least as
+// loudly. `HighLoad` is redundant.
+//
+// cosy-lint: allow(unused-function): the fixture does not call Duration.
+
+Property HighLoad(Region r, TestRun t) {
+    CONDITION: (hot) COUNT(r.TotTimes) > 100 AND t.NoPe > 0;
+    CONFIDENCE: 1;
+    SEVERITY: 0.5;
+}
+
+Property SomeLoad(Region r, TestRun t) {
+    CONDITION: (warm) COUNT(r.TotTimes) > 10 AND t.NoPe > 0;
+    CONFIDENCE: 1;
+    SEVERITY: 0.8;
+}

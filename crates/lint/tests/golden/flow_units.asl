@@ -1,0 +1,13 @@
+// Golden fixture: unit-mismatch. `TotalTiming.Excl`/`Incl` carry the
+// time dimension and `TestRun.NoPe` the count dimension (seeded from
+// the perfdata attribute schema), so comparing or adding them is a
+// proven dimensional error. The division by the dimensionless literal
+// stays quiet — only two *different proven* dimensions fire.
+//
+// cosy-lint: allow(unused-function): the fixture does not call Duration.
+
+Property FlowUnits(TotalTiming tt, TestRun t) {
+    CONDITION: (skewed) tt.Excl > t.NoPe;
+    CONFIDENCE: 1;
+    SEVERITY: (tt.Incl + t.NoPe) / 100.0;
+}

@@ -1,0 +1,14 @@
+// Golden fixture: flow-proven unreachable arm with a NON-literal guard.
+// `(impossible)` compares a COUNT — whose abstract range is [0, +inf) —
+// against 0, so the interpreter proves the condition False even though
+// constant folding cannot (the expression is not a literal). The arm it
+// guards is reported unreachable with a note at the condition.
+//
+// cosy-lint: allow(unused-function): the fixture does not call Duration.
+
+Property FlowUnreachable(Region r, TestRun t) {
+    CONDITION: (busy) COUNT(r.TotTimes) > t.NoPe
+            OR (impossible) COUNT(r.TotTimes) < 0;
+    CONFIDENCE: 1;
+    SEVERITY: MAX((busy) -> 1.0, (impossible) -> 0.5);
+}

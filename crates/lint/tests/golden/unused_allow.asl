@@ -1,0 +1,11 @@
+// Golden fixture: unused-allow. The directive below names a rule that
+// produces no finding in this file, so the directive itself is
+// reported — at the span of the rule name inside the directive.
+//
+// cosy-lint: allow(shadowing): left over from an old revision.
+
+Property AllGood(Region r, TestRun t) {
+    CONDITION: Duration(r, t) > 0.0;
+    CONFIDENCE: 1;
+    SEVERITY: 1.0;
+}

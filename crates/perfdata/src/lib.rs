@@ -25,12 +25,14 @@
 
 pub mod ids;
 pub mod model;
+pub mod schema;
 pub mod store;
 pub mod timing_type;
 pub mod validate;
 
 pub use ids::*;
 pub use model::*;
+pub use schema::{attr_unit, AttrUnit};
 pub use store::Store;
 pub use timing_type::{OverheadCategory, TimingType};
 pub use validate::{validate, Violation};

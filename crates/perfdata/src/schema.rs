@@ -1,0 +1,61 @@
+//! Physical units of the store's attributes.
+//!
+//! The COSY data model mixes three kinds of numeric attributes: summed
+//! **times** (Apprentice reports seconds accumulated over all
+//! processes), **counts** (numbers of processes, numbers of calls), and
+//! identifiers that are neither (processor numbers such as
+//! `MinCountPe`, clock speeds). Analysis passes that reason about
+//! arithmetic over specifications — notably `kojak-flow`'s
+//! unit-inference lattice — need to know which is which; this module is
+//! the single authoritative table.
+//!
+//! Attributes not listed here (object references, processor ids,
+//! `Clockspeed`, …) have no assigned unit and [`attr_unit`] returns
+//! `None` for them, which downstream analyses must treat as "unknown",
+//! never as "dimensionless".
+
+/// The physical unit of a numeric store attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttrUnit {
+    /// A duration (summed seconds over all processes).
+    Time,
+    /// A cardinality: processes, calls, events.
+    Count,
+    /// A data volume. No current COSY attribute carries it, but traces
+    /// with communication volumes will (the lattice reserves the slot).
+    Bytes,
+}
+
+/// Unit of attribute `attr` on class `class`, or `None` when the
+/// attribute is not a numeric quantity with a known unit.
+pub fn attr_unit(class: &str, attr: &str) -> Option<AttrUnit> {
+    use AttrUnit::*;
+    let unit = match (class, attr) {
+        ("TestRun", "NoPe") => Count,
+        ("TotalTiming", "Excl" | "Incl" | "Ovhd") => Time,
+        ("TypedTiming", "Time") => Time,
+        ("CallTiming", "MinCount" | "MaxCount" | "MeanCount" | "StdevCount") => Count,
+        ("CallTiming", "MinTime" | "MaxTime" | "MeanTime" | "StdevTime") => Time,
+        // `MinCountPe`/`MaxTimePe`/… are processor *numbers* (which PE
+        // attained the extremum), not counts; `Clockspeed` is a
+        // frequency the model does not otherwise use. Both stay unknown.
+        _ => return None,
+    };
+    Some(unit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn times_counts_and_unknowns() {
+        assert_eq!(attr_unit("TotalTiming", "Incl"), Some(AttrUnit::Time));
+        assert_eq!(attr_unit("CallTiming", "MeanCount"), Some(AttrUnit::Count));
+        assert_eq!(attr_unit("TestRun", "NoPe"), Some(AttrUnit::Count));
+        // Processor ids and clock speeds are not quantities with units.
+        assert_eq!(attr_unit("CallTiming", "MinCountPe"), None);
+        assert_eq!(attr_unit("TestRun", "Clockspeed"), None);
+        assert_eq!(attr_unit("Region", "Name"), None);
+    }
+}

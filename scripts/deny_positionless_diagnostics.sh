@@ -7,7 +7,9 @@
 # constructed with `Span::default()` silently regresses that: it renders
 # as line 1, column 1. This check rejects any such construction in crate
 # sources (tests may still use `Span::default()` for fixtures — the grep
-# targets the `Diagnostic` constructors, not spans in general).
+# targets the `Diagnostic` constructors, not spans in general). The
+# `crates/*/src` glob picks up every workspace crate, `crates/flow`
+# included — flow findings anchor notes to real spans the same way.
 set -eu
 cd "$(dirname "$0")/.."
 

@@ -9,7 +9,9 @@
 # gate from birth (its codec fails with `obs::SnapshotDecodeError`), as
 # does PR 7's `kojak-faults` (injected failures are `io::Error`s wrapping
 # a typed `faults::InjectedFault`), and PR 9's `kojak-lint` (gate failures
-# are `lint::GateRejection`, front-end failures are `asl_core::Diagnostics`).
+# are `lint::GateRejection`, front-end failures are `asl_core::Diagnostics`),
+# and PR 10's `kojak-flow` (the abstract interpreter is total — it reports
+# verdicts, it never fails, so nothing in it may return a stringly error).
 # This check keeps stringly failures out: any `Result<…, String>` anywhere in
 # those crates' sources — public or private, signatures or locals — fails
 # CI.
@@ -22,13 +24,13 @@ cd "$(dirname "$0")/.."
 # catches stringly map/tuple error payloads, which we don't want either.
 matches=$(grep -rn --include='*.rs' ',[[:space:]]*String[[:space:]]*>' \
     crates/cosy/src crates/online/src crates/engine/src crates/net/src \
-    crates/obs/src crates/faults/src crates/lint/src || true)
+    crates/obs/src crates/faults/src crates/lint/src crates/flow/src || true)
 if [ -n "$matches" ]; then
-    echo "stringly-typed Result<_, String> found in crates/{cosy,online,engine,net,obs,faults,lint} — use the"
+    echo "stringly-typed Result<_, String> found in crates/{cosy,online,engine,net,obs,faults,lint,flow} — use the"
     echo "typed error hierarchy (cosy::SpecError/AnalysisError, online::FlushError,"
     echo "engine::EngineError, net::NetError, obs::SnapshotDecodeError, faults::InjectedFault,"
     echo "lint::GateRejection, …):"
     echo "$matches"
     exit 1
 fi
-echo "ok: no Result<_, String> in crates/{cosy,online,engine,net,obs,faults,lint}"
+echo "ok: no Result<_, String> in crates/{cosy,online,engine,net,obs,faults,lint,flow}"

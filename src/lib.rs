@@ -26,6 +26,11 @@
 //!   correctness lints, IR-cost-model performance lints, the
 //!   `cosy_lint` CLI modes, and the [`lint::LintGate`] the
 //!   [`engine::EngineBuilder`] applies at suite load
+//! * [`flow`] — abstract interpretation over the compiled IR:
+//!   interval/unit/cardinality domains, [`flow::DivVerdict`] triage of
+//!   division sites, guard implication ([`flow::ConstraintSet`]) and
+//!   whole-suite property subsumption; feeds the semantic lint rules
+//!   and sharpens the static cost model with proven loop bounds
 //! * [`faults`] — deterministic fault injection: seeded
 //!   [`faults::FaultPlan`]s drive the WAL/snapshot/socket seams in
 //!   chaos tests; a zero-cost passthrough unless built with the
@@ -45,6 +50,7 @@ pub use asl_sql;
 pub use cosy;
 pub use engine;
 pub use faults;
+pub use flow;
 pub use lint;
 pub use net;
 pub use obs;
